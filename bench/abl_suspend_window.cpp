@@ -1,0 +1,41 @@
+// Ablation: the 1-minute suspend window (§4).
+//
+// The paper keeps S1/S2 through sub-minute load spikes ("we find it very
+// common that the host CPU load which exceeds Th2 will drop down shortly
+// after several seconds") and only declares S3 when the excursion
+// sustains. This ablation sweeps the sustain window and reports how many
+// guest terminations the policy avoids.
+#include <cstdio>
+
+#include "fgcs/core/analyzer.hpp"
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/util/table.hpp"
+
+using namespace fgcs;
+
+int main() {
+  std::printf(
+      "== Ablation: S3 sustain (suspend) window ==\n"
+      "Same host behaviour; the detector's sustain window varied.\n\n");
+
+  util::TextTable table({"Sustain window", "CPU occ/machine", "Total/machine",
+                         "Weekday mean interval"});
+  for (int seconds : {0, 15, 30, 60, 120, 300}) {
+    core::TestbedConfig config;
+    config.policy.sustain_window = sim::SimDuration::seconds(seconds);
+    const auto trace = core::run_testbed(config);
+    const core::TraceAnalyzer analyzer(trace);
+    const auto t2 = analyzer.table2();
+    const auto iv = analyzer.intervals();
+    table.add(std::to_string(seconds) + "s",
+              util::format_double(t2.cpu_contention.mean, 1),
+              util::format_double(t2.total.mean, 1),
+              util::format_duration_s(iv.weekday.mean_hours * 3600));
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "reading: with no sustain window every transient spike kills the\n"
+      "guest; the paper's 1 minute absorbs spikes at the cost of letting\n"
+      "the guest sit suspended briefly during real S3 episodes.\n");
+  return 0;
+}

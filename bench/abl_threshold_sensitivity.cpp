@@ -1,0 +1,41 @@
+// Ablation: sensitivity of the detector to the Th1/Th2 choice.
+//
+// The paper calibrates Th1/Th2 offline per system (§3.1). This ablation
+// runs the testbed detector with shifted thresholds and reports how the
+// occurrence counts and interval statistics move — i.e. what a
+// mis-calibrated monitor would have reported.
+#include <cstdio>
+
+#include "fgcs/core/analyzer.hpp"
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/util/table.hpp"
+
+using namespace fgcs;
+
+int main() {
+  std::printf(
+      "== Ablation: detector sensitivity to the Th2 threshold ==\n"
+      "Same synthesized host behaviour; detector thresholds varied.\n\n");
+
+  util::TextTable table({"Th2", "CPU occ/machine (mean)", "Total/machine",
+                         "Weekday mean interval", "<5min intervals"});
+  for (double th2 : {0.45, 0.525, 0.60, 0.675, 0.75}) {
+    core::TestbedConfig config;
+    config.policy.th2 = th2;
+    const auto trace = core::run_testbed(config);
+    const core::TraceAnalyzer analyzer(trace);
+    const auto t2 = analyzer.table2();
+    const auto iv = analyzer.intervals();
+    table.add(util::format_double(th2, 3),
+              util::format_double(t2.cpu_contention.mean, 1),
+              util::format_double(t2.total.mean, 1),
+              util::format_duration_s(iv.weekday.mean_hours * 3600),
+              util::format_percent(iv.weekday.frac_under_5min, 1));
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "reading: a lower Th2 reclassifies busy-but-usable periods as S3\n"
+      "(more occurrences, shorter intervals); a higher Th2 misses real\n"
+      "contention. The paper's offline calibration picks the knee.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Extension: deliverable compute capacity by hour of day.
+//
+// The related work the paper positions against ([17], [8]) measured *CPU
+// availability*; the paper's model adds the state dimension. This bench
+// combines them: how much CPU a guest could actually harvest from the
+// testbed, per hour of day, accounting for the five-state model (nothing
+// is deliverable in S3/S4/S5).
+#include <cstdio>
+
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/util/table.hpp"
+
+using namespace fgcs;
+
+int main() {
+  std::printf(
+      "== Extension: deliverable capacity by hour of day ==\n"
+      "Mean CPU fraction a guest can harvest (0 during S3/S4/S5), and\n"
+      "mean free memory, over the simulated 20x92 testbed.\n\n");
+
+  core::TestbedConfig config;
+  const auto profile = core::run_capacity_profile(config);
+
+  util::TextTable table({"Hour", "Weekday CPU", "Weekend CPU",
+                         "Weekday free MB", "Weekend free MB"});
+  for (int h = 0; h < 24; ++h) {
+    const auto hh = static_cast<std::size_t>(h);
+    table.add(std::to_string(h) + "-" + std::to_string(h + 1),
+              util::format_percent(profile.weekday_cpu[hh], 1),
+              util::format_percent(profile.weekend_cpu[hh], 1),
+              util::format_double(profile.weekday_free_mem[hh], 0),
+              util::format_double(profile.weekend_free_mem[hh], 0));
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("overall deliverable CPU: %s of one machine\n",
+              util::format_percent(profile.overall_cpu, 1).c_str());
+  std::printf("machine usable (S1/S2) share of samples: %s\n",
+              util::format_percent(profile.overall_usable, 1).c_str());
+  std::printf(
+      "\nreading: even this heavily-used student lab delivers most of a\n"
+      "CPU to guests around the clock except the 4-5 AM updatedb window\n"
+      "and busy afternoons — the resource pool the paper's FGCS vision\n"
+      "wants to harvest.\n");
+  return 0;
+}

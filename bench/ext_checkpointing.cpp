@@ -1,0 +1,119 @@
+// Extension: checkpointing vs restart-from-scratch for guest jobs.
+//
+// The paper's guest jobs are batch programs that die with the resource
+// (§1, §4: "the guest process is already killed or migrated off and no
+// state is left on the host"). A natural follow-up for proactive
+// management is checkpointing: how much response time does periodic
+// checkpointing buy on this availability trace, as a function of the
+// checkpoint interval and its overhead?
+#include <cstdio>
+#include <vector>
+
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/stats/descriptive.hpp"
+#include "fgcs/trace/index.hpp"
+#include "fgcs/util/rng.hpp"
+#include "fgcs/util/table.hpp"
+
+using namespace fgcs;
+using namespace fgcs::sim::time_literals;
+using sim::SimDuration;
+using sim::SimTime;
+
+namespace {
+
+/// Runs a job of `len` CPU-work on machine `m` from `submit`.
+/// `checkpoint_every` <= 0 disables checkpointing; otherwise progress is
+/// saved at that cadence, each checkpoint costing `overhead`.
+SimDuration run_job(const trace::TraceIndex& index, trace::MachineId m,
+                    SimTime submit, SimDuration len,
+                    SimDuration checkpoint_every, SimDuration overhead,
+                    SimTime horizon) {
+  SimTime t = submit;
+  SimDuration done = SimDuration::zero();  // checkpointed progress
+  const SimDuration resubmit = 30_min;
+  while (done < len) {
+    // Work remaining, padded with the checkpoints we will take.
+    const SimDuration remaining = len - done;
+    SimDuration wall = remaining;
+    if (checkpoint_every > SimDuration::zero()) {
+      const auto checkpoints =
+          remaining.as_micros() / checkpoint_every.as_micros();
+      wall += overhead * checkpoints;
+    }
+    if (t + wall > horizon) return horizon - submit;  // censored
+
+    const auto* ep = index.first_overlap(m, t, t + wall);
+    if (ep == nullptr) {
+      return (t + wall) - submit;  // completed
+    }
+    if (ep->start > t) {
+      // Ran until the failure; keep whatever was checkpointed.
+      const SimDuration ran = ep->start - t;
+      if (checkpoint_every > SimDuration::zero()) {
+        const SimDuration slot = checkpoint_every + overhead;
+        const auto completed_slots = ran.as_micros() / slot.as_micros();
+        done += checkpoint_every * completed_slots;
+        if (done > len) done = len;
+      }
+      // Without checkpointing: all progress since `done` is lost.
+    }
+    t = ep->end + 5_min + resubmit;
+  }
+  return t - submit;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Extension: checkpointing ablation for guest jobs ==\n"
+      "Jobs on the simulated testbed trace; a killed job resumes from its\n"
+      "last checkpoint (or from scratch without checkpointing).\n\n");
+
+  core::TestbedConfig config;
+  config.machines = 12;
+  config.days = 63;
+  const auto trace = core::run_testbed(config);
+  const trace::TraceIndex index(trace);
+  const SimTime first_submit = trace.horizon_start() + SimDuration::days(7);
+  const SimTime horizon = trace.horizon_end();
+
+  const SimDuration overhead = 2_min;  // write + stage a checkpoint
+
+  util::TextTable table({"Job length", "Checkpoint interval", "Mean response",
+                         "P90 response", "Mean stretch"});
+  util::RngStream rng(77);
+  for (const SimDuration len : {4_h, 8_h, 16_h}) {
+    for (const SimDuration interval :
+         {SimDuration::zero(), 4_h, 2_h, 1_h, 30_min, 10_min}) {
+      std::vector<double> responses;
+      util::RngStream pick(77);  // same machine sequence for every policy
+      for (SimTime submit = first_submit;
+           submit + SimDuration::hours(48) < horizon; submit += 5_h) {
+        const auto m = static_cast<trace::MachineId>(
+            pick.uniform_index(config.machines));
+        responses.push_back(
+            run_job(index, m, submit, len, interval, overhead, horizon)
+                .as_hours());
+      }
+      table.add(util::format_duration_s(len.as_seconds()),
+                interval == SimDuration::zero()
+                    ? "none"
+                    : util::format_duration_s(interval.as_seconds()),
+                util::format_duration_s(stats::mean(responses) * 3600),
+                util::format_duration_s(
+                    stats::quantile(responses, 0.9) * 3600),
+                util::format_double(
+                    stats::mean(responses) / len.as_hours(), 2));
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "reading: without checkpoints, jobs longer than the typical\n"
+      "availability interval (~3-4h weekday, Fig 6) almost never finish a\n"
+      "clean run and response explodes; checkpointing caps the loss per\n"
+      "kill at one interval. Too-frequent checkpoints pay more overhead\n"
+      "than they save — the optimum sits near the classic sqrt(2*MTTF*C).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 1 reproduction: host CPU usage reduction under CPU contention.
+//
+// (a) guest at equal priority (nice 0) — the 5% crossing is Th1.
+// (b) guest at lowest priority (nice 19) — the 5% crossing is Th2.
+//
+// Curves are printed per host-group size M (the paper shows M = 1..5 and
+// notes the curves converge; we extend to M = 8 to show the saturation).
+#include <cstdio>
+
+#include "fgcs/core/contention.hpp"
+#include "fgcs/util/table.hpp"
+
+using namespace fgcs;
+
+namespace {
+
+void print_panel(const core::Fig1Result& result,
+                 const core::Fig1Config& config, int nice,
+                 const char* title) {
+  std::printf("%s\n", title);
+  std::vector<std::string> headers = {"L_H"};
+  for (int m = 1; m <= config.max_group_size; ++m) {
+    headers.push_back("M=" + std::to_string(m));
+  }
+  util::TextTable table(headers);
+  for (double lh : config.lh_grid) {
+    std::vector<std::string> row = {util::format_double(lh, 1)};
+    for (int m = 1; m <= config.max_group_size; ++m) {
+      if (lh < 0.02 * m) {
+        row.push_back("-");
+        continue;
+      }
+      row.push_back(
+          util::format_percent(result.at(lh, m, nice).reduction, 1));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Figure 1: reduction rate of host CPU usage vs host load (L_H) ==\n"
+      "Simulated %s machine; guest is a CPU-bound synthetic program.\n\n",
+      os::SchedulerParams::linux_2_4().name.c_str());
+
+  core::Fig1Config config;
+  config.max_group_size = 8;  // paper used 1..5; 6..8 shows saturation
+  const core::Fig1Result result = core::run_fig1(config);
+
+  print_panel(result, config, 0,
+              "(a) all processes at the same priority "
+              "(paper: 5% crossing at Th1 ~= 0.2)");
+  print_panel(result, config, 19,
+              "(b) guest at lowest priority, nice 19 "
+              "(paper: 5% crossing at Th2 ~= 0.6)");
+
+  std::printf("thresholds read off the curves (5%% slowdown rule):\n");
+  std::printf("  Th1 = %.2f   (paper: 0.20)\n", result.th1);
+  std::printf("  Th2 = %.2f   (paper: 0.60)\n", result.th2);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 3 reproduction: guest CPU usage at equal vs lowest priority under
+// light host load.
+//
+// The paper: always enforcing the lowest guest priority is too
+// conservative — the guest loses about 2% CPU on average, which matters
+// for hour-long jobs.
+#include <cstdio>
+
+#include "fgcs/core/contention.hpp"
+#include "fgcs/util/table.hpp"
+
+using namespace fgcs;
+
+int main() {
+  std::printf(
+      "== Figure 3: guest CPU usage with equal and lowest priority ==\n"
+      "x-axis labels are host+guest isolated usages, e.g. 0.2+1.0.\n\n");
+
+  core::ContentionConfig config;
+  const auto points = core::run_fig3(config);
+
+  util::TextTable table({"Host+Guest", "Equal priority", "Nice 19", "Delta"});
+  double delta_sum = 0.0;
+  for (const auto& p : points) {
+    table.add(util::format_double(p.host_usage, 1) + "+" +
+                  util::format_double(p.guest_demand, 1),
+              util::format_percent(p.guest_usage_equal, 1),
+              util::format_percent(p.guest_usage_lowest, 1),
+              util::format_percent(
+                  p.guest_usage_equal - p.guest_usage_lowest, 2));
+    delta_sum += p.guest_usage_equal - p.guest_usage_lowest;
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("mean guest-CPU advantage of equal priority: %s (paper: ~2%%)\n",
+              util::format_percent(
+                  delta_sum / static_cast<double>(points.size()), 2)
+                  .c_str());
+  return 0;
+}

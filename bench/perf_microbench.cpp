@@ -1,0 +1,164 @@
+// Library micro-benchmarks (google-benchmark): the hot paths of the
+// simulation and analysis pipeline.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/ishare/system.hpp"
+#include "fgcs/monitor/detector.hpp"
+#include "fgcs/os/machine.hpp"
+#include "fgcs/predict/history_window.hpp"
+#include "fgcs/sim/simulation.hpp"
+#include "fgcs/stats/ecdf.hpp"
+#include "fgcs/trace/io.hpp"
+#include "fgcs/workload/load_model.hpp"
+#include "fgcs/workload/synthetic.hpp"
+
+using namespace fgcs;
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation simulation;
+    for (int i = 0; i < 1000; ++i) {
+      simulation.after(sim::SimDuration::millis(i % 97), [] {});
+    }
+    simulation.run_all();
+    benchmark::DoNotOptimize(simulation.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_MachineTick(benchmark::State& state) {
+  const auto procs = state.range(0);
+  os::Machine machine(os::SchedulerParams::linux_2_4(),
+                      os::MemoryParams::linux_1gb(), 42);
+  util::RngStream rng(7);
+  for (std::int64_t i = 0; i < procs; ++i) {
+    machine.spawn(workload::synthetic_host(0.3 + 0.05 * (i % 5)));
+  }
+  machine.spawn(workload::synthetic_guest(19));
+  for (auto _ : state) {
+    machine.run_for(sim::SimDuration::seconds(1));  // 100 ticks
+    benchmark::DoNotOptimize(machine.totals().total().as_micros());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_MachineTick)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_DetectorObserve(benchmark::State& state) {
+  monitor::UnavailabilityDetector detector{
+      monitor::ThresholdPolicy::linux_testbed()};
+  util::RngStream rng(11);
+  sim::SimTime t = sim::SimTime::epoch();
+  for (auto _ : state) {
+    t += sim::SimDuration::seconds(15);
+    monitor::HostSample s;
+    s.time = t;
+    s.host_cpu = rng.uniform();
+    s.free_mem_mb = 300.0 + 600.0 * rng.uniform();
+    s.service_alive = true;
+    benchmark::DoNotOptimize(detector.observe(s));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetectorObserve);
+
+void BM_GenerateMachineLoadDay(benchmark::State& state) {
+  const auto profile = workload::LabProfile::purdue_lab();
+  std::uint32_t machine = 0;
+  for (auto _ : state) {
+    auto trace = workload::generate_machine_load(profile, 99, machine++, 7);
+    benchmark::DoNotOptimize(trace.load.points().size());
+  }
+  state.SetItemsProcessed(state.iterations() * 7);  // machine-days
+}
+BENCHMARK(BM_GenerateMachineLoadDay);
+
+void BM_TestbedMachineWeek(benchmark::State& state) {
+  core::TestbedConfig config;
+  config.days = 7;
+  config.machines = 1;
+  for (auto _ : state) {
+    auto records = core::run_testbed_machine(config, 0);
+    benchmark::DoNotOptimize(records.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 7);
+}
+BENCHMARK(BM_TestbedMachineWeek);
+
+void BM_EcdfEval(benchmark::State& state) {
+  util::RngStream rng(3);
+  std::vector<double> xs(10000);
+  for (auto& x : xs) x = rng.uniform(0.0, 12.0);
+  stats::Ecdf ecdf{xs};
+  double q = 0.0;
+  for (auto _ : state) {
+    q += 0.37;
+    if (q > 12.0) q = 0.0;
+    benchmark::DoNotOptimize(ecdf(q));
+  }
+}
+BENCHMARK(BM_EcdfEval);
+
+void BM_TraceRoundTripBinary(benchmark::State& state) {
+  core::TestbedConfig config;
+  config.days = 14;
+  config.machines = 4;
+  const auto trace = core::run_testbed(config);
+  for (auto _ : state) {
+    std::stringstream buffer;
+    trace::write_trace_binary(trace, buffer);
+    auto loaded = trace::read_trace_binary(buffer);
+    benchmark::DoNotOptimize(loaded.size());
+  }
+  state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_TraceRoundTripBinary);
+
+void BM_HistoryWindowPredict(benchmark::State& state) {
+  core::TestbedConfig config;
+  config.days = 35;
+  config.machines = 4;
+  const auto trace = core::run_testbed(config);
+  const trace::TraceIndex index(trace);
+  const trace::TraceCalendar calendar;
+  predict::HistoryWindowPredictor predictor;
+  predictor.attach(index, calendar);
+  sim::SimTime t = trace.horizon_start() + sim::SimDuration::days(30);
+  for (auto _ : state) {
+    t += sim::SimDuration::minutes(30);
+    if (t + sim::SimDuration::hours(2) >= trace.horizon_end()) {
+      t = trace.horizon_start() + sim::SimDuration::days(30);
+    }
+    predict::PredictionQuery q{0, t, sim::SimDuration::hours(2)};
+    benchmark::DoNotOptimize(predictor.predict_availability(q));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistoryWindowPredict);
+
+void BM_IshareClusterHour(benchmark::State& state) {
+  for (auto _ : state) {
+    ishare::FgcsSystem system;
+    for (int n = 0; n < 4; ++n) {
+      ishare::NodeConfig cfg;
+      cfg.host_processes = {workload::synthetic_host(0.2 + 0.15 * n)};
+      system.add_node(cfg);
+    }
+    ishare::GuestJob job;
+    job.work = sim::SimDuration::minutes(20);
+    for (int i = 0; i < 6; ++i) system.submit(job);
+    system.run_for(sim::SimDuration::hours(1));
+    benchmark::DoNotOptimize(system.stats().completed);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);  // node-hours
+}
+BENCHMARK(BM_IshareClusterHour);
+
+}  // namespace
+
+BENCHMARK_MAIN();

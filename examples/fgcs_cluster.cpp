@@ -1,0 +1,104 @@
+// A small FGCS cluster end to end: the iShare-like middleware runs guest
+// jobs across machines with different host users, the monitors enforce
+// the five-state policy, and killed jobs are requeued automatically.
+#include <cstdio>
+
+#include "fgcs/ishare/discovery.hpp"
+#include "fgcs/ishare/system.hpp"
+#include "fgcs/util/rng.hpp"
+#include "fgcs/util/table.hpp"
+#include "fgcs/workload/synthetic.hpp"
+
+using namespace fgcs;
+using namespace fgcs::sim::time_literals;
+
+int main() {
+  std::printf("fgcs cluster: middleware + monitors + guest job stream\n\n");
+
+  ishare::FgcsSystem system;
+
+  // Six published machines with different owners: two nearly idle, two
+  // moderately busy (S2 territory), one bursty, one heavily used.
+  auto add = [&](const char* who, double usage) {
+    ishare::NodeConfig cfg;
+    auto host = workload::synthetic_host(usage);
+    host.name = who;
+    cfg.host_processes = {host};
+    return system.add_node(cfg);
+  };
+  add("idle-desk-1", 0.05);
+  add("idle-desk-2", 0.10);
+  add("writer", 0.30);
+  add("coder", 0.45);
+  add("data-cruncher", 0.70);
+  add("renderer", 0.95);
+
+  // A stream of guest jobs arriving over the first two hours.
+  util::RngStream rng(42);
+  int submitted = 0;
+  for (sim::SimDuration at = 1_min; at < 2_h;
+       at += sim::SimDuration::minutes(rng.uniform_int(4, 15))) {
+    system.run_until(sim::SimTime::epoch() + at);
+    ishare::GuestJob job;
+    job.name = "mc-sim";
+    job.work = sim::SimDuration::minutes(rng.uniform_int(10, 45));
+    job.resident_mb = rng.uniform(30.0, 120.0);
+    system.submit(job);
+    ++submitted;
+  }
+  system.run_for(6_h);  // drain
+
+  const auto stats = system.stats();
+  std::printf("submitted %d jobs; completed %zu, still running %zu, "
+              "queued %zu\n",
+              submitted, stats.completed, stats.running, stats.queued);
+  std::printf("policy kills (restarts): %d, mean response %s\n\n",
+              stats.total_restarts,
+              util::format_duration_s(stats.mean_response_hours * 3600)
+                  .c_str());
+
+  util::TextTable nodes({"Node", "Model state", "Episodes recorded"});
+  const char* names[] = {"idle-desk-1", "idle-desk-2", "writer",
+                         "coder",       "data-cruncher", "renderer"};
+  for (ishare::NodeId n = 0; n < system.node_count(); ++n) {
+    nodes.add(names[n], monitor::to_string(system.node_state(n)),
+              system.node_episodes(n).size());
+  }
+  std::printf("%s\n", nodes.str().c_str());
+
+  // Publication & discovery: every provider publishes its machine's
+  // descriptor (with the monitor's current model state) into the P2P
+  // overlay; a consumer then discovers usable machines from any peer.
+  ishare::DiscoveryOverlay overlay;
+  std::vector<ishare::PeerId> providers;
+  for (ishare::NodeId n = 0; n < system.node_count(); ++n) {
+    providers.push_back(overlay.join(std::string("provider-") + names[n]));
+  }
+  const ishare::PeerId consumer = overlay.join("guest-user");
+  for (ishare::NodeId n = 0; n < system.node_count(); ++n) {
+    ishare::ResourceDescriptor d;
+    d.name = names[n];
+    d.owner = std::string("provider-") + names[n];
+    d.cpu_ghz = 1.7;  // the paper's lab machines
+    d.state = system.node_state(n);
+    d.published_at = system.now();
+    overlay.publish(providers[n], d);
+  }
+  ishare::RouteStats route_stats;
+  const auto usable = overlay.find_available(consumer, 1.0, 10, &route_stats);
+  std::printf("P2P discovery from '%s': %zu usable machines "
+              "(ring walk: %d hops, %s):\n",
+              "guest-user", usable.size(), route_stats.hops,
+              route_stats.latency.str().c_str());
+  for (const auto& d : usable) {
+    std::printf("  %-14s state %s (published by %s)\n", d.name.c_str(),
+                monitor::to_string(d.state), d.owner.c_str());
+  }
+
+  std::printf(
+      "\nexpected: the idle desks and the writer absorb most jobs; the\n"
+      "renderer sits in S3 (its owner uses it) and both the middleware\n"
+      "and the discovery layer route around it, exactly the behaviour\n"
+      "the paper's model prescribes.\n");
+  return 0;
+}

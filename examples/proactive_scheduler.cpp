@@ -1,0 +1,189 @@
+// Proactive guest-job scheduling — the paper's end goal.
+//
+// "The ultimate goal of this work is to develop availability prediction
+//  algorithms used for proactive job management." (§6)  The paper's intro
+// argues proactive approaches "achieve significantly improved job response
+// time compared to the methods which are oblivious to future
+// unavailability".
+//
+// This example quantifies that on a simulated testbed trace: a stream of
+// compute-bound guest jobs (no checkpointing — a killed job restarts from
+// scratch, §1) is placed on machines either obliviously (random available
+// machine) or proactively (history-window prediction, §5.3). Response
+// time is the metric, as the paper prescribes for batch guest jobs.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/predict/history_window.hpp"
+#include "fgcs/stats/descriptive.hpp"
+#include "fgcs/trace/index.hpp"
+#include "fgcs/util/rng.hpp"
+#include "fgcs/util/table.hpp"
+
+using namespace fgcs;
+using namespace fgcs::sim::time_literals;
+using sim::SimDuration;
+using sim::SimTime;
+
+namespace {
+
+struct JobOutcome {
+  SimDuration response;
+  SimDuration wasted;  // CPU time of runs that were killed mid-flight
+  int kills = 0;
+};
+
+/// Runs one job of length `len` on machine `m` starting no earlier than
+/// `submit`: waits out downtime, restarts from scratch on every failure.
+JobOutcome run_job_on(const trace::TraceIndex& index, trace::MachineId m,
+                      SimTime submit, SimDuration len, SimTime horizon) {
+  JobOutcome out;
+  SimTime t = submit;
+  const SimDuration harvest_delay = 5_min;  // §5.2's recommendation
+  // A killed guest job is not free to restart: the middleware must detect
+  // the failure, re-stage input files (guest I/O happens at job start,
+  // §3.2), and requeue.
+  const SimDuration resubmit_overhead = 30_min;
+  for (;;) {
+    if (t + len > horizon) {
+      // Censored: charge the remaining horizon (pessimistic floor).
+      out.response = horizon - submit;
+      return out;
+    }
+    const auto* ep = index.first_overlap(m, t, t + len);
+    if (ep == nullptr) {
+      out.response = (t + len) - submit;
+      return out;
+    }
+    if (ep->start > t) {
+      ++out.kills;  // started, then killed mid-run
+      out.wasted += ep->start - t;
+    }
+    t = ep->end + harvest_delay + resubmit_overhead;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("fgcs proactive vs oblivious guest-job scheduling\n\n");
+
+  core::TestbedConfig config;
+  config.machines = 12;
+  config.days = 63;
+  std::printf("simulating %u machines for %d days...\n\n", config.machines,
+              config.days);
+  const auto trace = core::run_testbed(config);
+  const trace::TraceIndex index(trace);
+  const trace::TraceCalendar calendar;
+  const SimTime horizon = trace.horizon_end();
+
+  predict::HistoryWindowPredictor predictor;
+  predictor.attach(index, calendar);
+
+  // Job stream: one job every 3 hours after a 28-day history warm-up.
+  const SimTime first_submit = trace.horizon_start() + SimDuration::days(28);
+  util::RngStream rng(2006);
+
+  util::TextTable table({"Job length", "Policy", "Jobs", "Mean response",
+                         "P90 response", "Mean stretch", "Kills/job",
+                         "Wasted CPU-h/job"});
+
+  for (const SimDuration len : {2_h, 4_h, 8_h}) {
+    struct Agg {
+      std::vector<double> responses;
+      std::vector<double> stretches;
+      double wasted_h = 0.0;
+      int kills = 0;
+      int jobs = 0;
+    } oblivious, proactive;
+
+    for (SimTime submit = first_submit;
+         submit + SimDuration::hours(36) < horizon; submit += 3_h) {
+      // Machines that are up right now (a scheduler can observe that).
+      std::vector<trace::MachineId> candidates;
+      for (trace::MachineId m = 0; m < config.machines; ++m) {
+        bool inside = false;
+        index.last_end_before(m, submit, &inside);
+        if (!inside) candidates.push_back(m);
+      }
+      if (candidates.empty()) continue;
+
+      // Oblivious: any currently-available machine.
+      const trace::MachineId random_pick =
+          candidates[rng.uniform_index(candidates.size())];
+
+      // Proactive: pick both *where* and *when* by minimizing the
+      // expected completion time — wait + len / P(survive) approximates
+      // restart-from-scratch retries as geometric. Machines in the lab
+      // are nearly statistically identical (the paper's tight Table 2
+      // ranges), so most of the win comes from scheduling around busy
+      // daytime windows rather than machine choice.
+      trace::MachineId best_pick = candidates.front();
+      SimTime best_start = submit;
+      {
+        double best_cost = 1e300;
+        for (int slot = 0; slot <= 24; ++slot) {
+          const SimTime start = submit + SimDuration::hours(slot);
+          for (const trace::MachineId m : candidates) {
+            const double p = std::clamp(
+                predictor.predict_availability({m, start, len}), 0.05, 1.0);
+            // Expected response: wait + run + expected retries, each retry
+            // costing roughly half a run (lost work) plus the typical
+            // episode-and-resubmit latency (~3h on this testbed).
+            const double cost = static_cast<double>(slot) + len.as_hours() +
+                                (1.0 / p - 1.0) *
+                                    (0.5 * len.as_hours() + 3.0);
+            if (cost < best_cost) {
+              best_cost = cost;
+              best_pick = m;
+              best_start = start;
+            }
+          }
+        }
+      }
+
+      for (auto* agg : {&oblivious, &proactive}) {
+        const bool is_proactive = agg == &proactive;
+        const trace::MachineId m = is_proactive ? best_pick : random_pick;
+        const SimTime start = is_proactive ? best_start : submit;
+        JobOutcome outcome = run_job_on(index, m, start, len, horizon);
+        // Response time is measured from submission, including any
+        // deliberate deferral.
+        outcome.response += start - submit;
+        agg->responses.push_back(outcome.response.as_hours());
+        agg->stretches.push_back(outcome.response / len);
+        agg->wasted_h += outcome.wasted.as_hours();
+        agg->kills += outcome.kills;
+        agg->jobs += 1;
+      }
+    }
+
+    for (const auto* agg : {&oblivious, &proactive}) {
+      const char* policy = agg == &oblivious ? "oblivious" : "proactive";
+      const double mean_resp = stats::mean(agg->responses);
+      const double p90 = stats::quantile(agg->responses, 0.9);
+      table.add(util::format_duration_s(len.as_seconds()), policy, agg->jobs,
+                util::format_duration_s(mean_resp * 3600),
+                util::format_duration_s(p90 * 3600),
+                util::format_double(stats::mean(agg->stretches), 2),
+                util::format_double(
+                    static_cast<double>(agg->kills) / agg->jobs, 2),
+                util::format_double(agg->wasted_h / agg->jobs, 2));
+    }
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "stretch = response time / job length (1.00 is perfect).\n"
+      "The proactive policy picks machine and start slot via the paper's\n"
+      "history-window prediction (§5.3); the oblivious policy starts\n"
+      "immediately on a random up machine. On this testbed the machines\n"
+      "are statistically near-identical (Table 2's tight ranges), so\n"
+      "prediction cannot beat blind placement on response time — its win\n"
+      "is eliminating a large share of mid-run kills and the wasted CPU\n"
+      "they burn, at essentially unchanged response time.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the CSV series exported by the CLI.
+
+Usage:
+    ./build/tools/fgcs figures --out figs/
+    python3 scripts/plot_figures.py figs/ [--save out_dir]
+
+Requires matplotlib (plots to screen by default, PNGs with --save).
+Each plot mirrors the corresponding figure in Ren & Eigenmann (ICPP 2006).
+"""
+import argparse
+import csv
+import pathlib
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_dir", type=pathlib.Path,
+                        help="directory written by `fgcs figures --out`")
+    parser.add_argument("--save", type=pathlib.Path, default=None,
+                        help="write PNGs here instead of showing windows")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        if args.save:
+            matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    def finish(fig, name):
+        if args.save:
+            args.save.mkdir(parents=True, exist_ok=True)
+            fig.savefig(args.save / f"{name}.png", dpi=150,
+                        bbox_inches="tight")
+            print(f"wrote {args.save / name}.png")
+        else:
+            plt.show()
+
+    d = args.csv_dir
+
+    # Figure 1: reduction rate vs L_H per host-group size, two panels.
+    rows = read_csv(d / "fig1.csv")
+    fig, axes = plt.subplots(1, 2, figsize=(11, 4), sharey=True)
+    for panel, ax, title in (("a", axes[0], "equal priority (Th1)"),
+                             ("b", axes[1], "guest nice 19 (Th2)")):
+        sizes = sorted({int(r["group_size"]) for r in rows})
+        for m in sizes:
+            pts = sorted(((float(r["lh"]), float(r["reduction"]))
+                          for r in rows
+                          if r["panel"] == panel and int(r["group_size"]) == m))
+            ax.plot([p[0] for p in pts], [p[1] for p in pts],
+                    marker="o", label=f"M={m}")
+        ax.axhline(0.05, color="gray", linestyle="--", linewidth=1)
+        ax.set_xlabel("host CPU usage in absence of guest (L_H)")
+        ax.set_title(title)
+        ax.legend(fontsize=7)
+    axes[0].set_ylabel("reduction rate of host CPU usage")
+    fig.suptitle("Figure 1: host slowdown under CPU contention")
+    finish(fig, "fig1")
+
+    # Figure 2: reduction vs L_H per guest priority.
+    rows = read_csv(d / "fig2.csv")
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for nice in sorted({int(r["guest_nice"]) for r in rows}):
+        pts = sorted(((float(r["lh"]), float(r["reduction"]))
+                      for r in rows if int(r["guest_nice"]) == nice))
+        ax.plot([p[0] for p in pts], [p[1] for p in pts], marker="o",
+                label=f"nice {nice}")
+    ax.set_xlabel("L_H")
+    ax.set_ylabel("reduction rate")
+    ax.set_title("Figure 2: only nice 19 limits the guest")
+    ax.legend(fontsize=7)
+    finish(fig, "fig2")
+
+    # Figure 6: interval-length CDFs.
+    rows = read_csv(d / "fig6.csv")
+    fig, ax = plt.subplots(figsize=(6, 4))
+    xs = [float(r["hours"]) for r in rows]
+    ax.plot(xs, [float(r["weekday_cdf"]) for r in rows], label="weekday")
+    ax.plot(xs, [float(r["weekend_cdf"]) for r in rows], label="weekend")
+    ax.set_xlabel("interval length (hours)")
+    ax.set_ylabel("cumulative fraction")
+    ax.set_title("Figure 6: availability-interval CDF")
+    ax.legend()
+    finish(fig, "fig6")
+
+    # Figure 7: occurrences per hour with ranges.
+    rows = read_csv(d / "fig7.csv")
+    fig, axes = plt.subplots(1, 2, figsize=(11, 4), sharey=True)
+    for ax, cls in ((axes[0], "weekday"), (axes[1], "weekend")):
+        sel = [r for r in rows if r["day_class"] == cls]
+        hours = [int(r["hour"]) + 1 for r in sel]
+        means = [float(r["mean"]) for r in sel]
+        lows = [float(r["mean"]) - float(r["min"]) for r in sel]
+        highs = [float(r["max"]) - float(r["mean"]) for r in sel]
+        ax.bar(hours, means, yerr=[lows, highs], capsize=2)
+        ax.set_xlabel("hour of day")
+        ax.set_title(cls)
+    axes[0].set_ylabel("unavailability occurrences")
+    fig.suptitle("Figure 7: occurrences per hour (mean + range)")
+    finish(fig, "fig7")
+
+    # Capacity profile (extension).
+    rows = read_csv(d / "capacity.csv")
+    fig, ax = plt.subplots(figsize=(6, 4))
+    hours = [int(r["hour"]) for r in rows]
+    ax.plot(hours, [float(r["weekday_cpu"]) for r in rows], label="weekday")
+    ax.plot(hours, [float(r["weekend_cpu"]) for r in rows], label="weekend")
+    ax.set_xlabel("hour of day")
+    ax.set_ylabel("deliverable CPU fraction")
+    ax.set_title("Extension: deliverable capacity by hour")
+    ax.legend()
+    finish(fig, "capacity")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,183 @@
+#include "fgcs/core/analyzer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::core {
+
+using monitor::AvailabilityState;
+
+TraceAnalyzer::TraceAnalyzer(const trace::TraceSet& trace,
+                             trace::TraceCalendar calendar)
+    : trace_(trace), calendar_(calendar) {}
+
+Table2Stats TraceAnalyzer::table2() const {
+  const std::uint32_t n = trace_.machine_count();
+  struct Counts {
+    int total = 0, cpu = 0, mem = 0, urr = 0;
+  };
+  std::vector<Counts> per_machine(n);
+  std::size_t urr_total = 0, urr_reboots = 0;
+
+  for (const auto& r : trace_.records()) {
+    auto& c = per_machine[r.machine];
+    ++c.total;
+    switch (r.cause) {
+      case AvailabilityState::kS3CpuUnavailable:
+        ++c.cpu;
+        break;
+      case AvailabilityState::kS4MemoryThrashing:
+        ++c.mem;
+        break;
+      case AvailabilityState::kS5MachineUnavailable:
+        ++c.urr;
+        ++urr_total;
+        if (r.is_reboot()) ++urr_reboots;
+        break;
+      default:
+        FGCS_ASSERT(!"trace record with non-failure cause");
+    }
+  }
+
+  Table2Stats out;
+  out.machines = n;
+  auto fold = [&](auto member, Table2Stats::Range& range) {
+    range.min = per_machine.empty() ? 0 : per_machine[0].*member;
+    range.max = range.min;
+    double sum = 0.0;
+    for (const auto& c : per_machine) {
+      range.min = std::min(range.min, c.*member);
+      range.max = std::max(range.max, c.*member);
+      sum += c.*member;
+    }
+    range.mean = per_machine.empty() ? 0.0 : sum / static_cast<double>(n);
+  };
+  fold(&Counts::total, out.total);
+  fold(&Counts::cpu, out.cpu_contention);
+  fold(&Counts::mem, out.mem_contention);
+  fold(&Counts::urr, out.urr);
+
+  bool first = true;
+  for (const auto& c : per_machine) {
+    if (c.total == 0) continue;
+    const double t = c.total;
+    const double cpu_pct = c.cpu / t, mem_pct = c.mem / t, urr_pct = c.urr / t;
+    if (first) {
+      out.cpu_pct_min = out.cpu_pct_max = cpu_pct;
+      out.mem_pct_min = out.mem_pct_max = mem_pct;
+      out.urr_pct_min = out.urr_pct_max = urr_pct;
+      first = false;
+    } else {
+      out.cpu_pct_min = std::min(out.cpu_pct_min, cpu_pct);
+      out.cpu_pct_max = std::max(out.cpu_pct_max, cpu_pct);
+      out.mem_pct_min = std::min(out.mem_pct_min, mem_pct);
+      out.mem_pct_max = std::max(out.mem_pct_max, mem_pct);
+      out.urr_pct_min = std::min(out.urr_pct_min, urr_pct);
+      out.urr_pct_max = std::max(out.urr_pct_max, urr_pct);
+    }
+  }
+  if (urr_total > 0) {
+    out.reboot_fraction_of_urr =
+        static_cast<double>(urr_reboots) / static_cast<double>(urr_total);
+  }
+  return out;
+}
+
+namespace {
+IntervalClassStats summarize_intervals(const std::vector<double>& hours) {
+  IntervalClassStats s;
+  s.count = hours.size();
+  s.ecdf_hours = stats::Ecdf{hours};
+  s.mean_hours = s.ecdf_hours.mean();
+  if (!hours.empty()) {
+    const double five_min = 5.0 / 60.0;
+    s.frac_under_5min = s.ecdf_hours(five_min);
+    s.frac_5min_to_2h = s.ecdf_hours.mass_between(five_min, 2.0);
+    s.frac_2h_to_4h = s.ecdf_hours.mass_between(2.0, 4.0);
+    s.frac_4h_to_6h = s.ecdf_hours.mass_between(4.0, 6.0);
+  }
+  return s;
+}
+}  // namespace
+
+IntervalStats TraceAnalyzer::intervals() const {
+  std::vector<double> weekday_hours, weekend_hours;
+  for (const auto& iv : trace_.availability_intervals()) {
+    const double h = iv.length().as_hours();
+    if (calendar_.is_weekend(iv.start)) {
+      weekend_hours.push_back(h);
+    } else {
+      weekday_hours.push_back(h);
+    }
+  }
+  IntervalStats out;
+  out.weekday = summarize_intervals(weekday_hours);
+  out.weekend = summarize_intervals(weekend_hours);
+  return out;
+}
+
+HourlyPattern TraceAnalyzer::hourly() const {
+  const int days = std::max(
+      1, calendar_.day_index(trace_.horizon_end() -
+                             sim::SimDuration::micros(1)) +
+             1);
+  // counts[day][hour]: testbed-wide number of episodes overlapping that
+  // hour of that day.
+  std::vector<std::array<double, 24>> counts(
+      static_cast<std::size_t>(days), std::array<double, 24>{});
+  for (const auto& r : trace_.records()) {
+    // Clamp the (rare) open-ended or horizon-crossing episodes.
+    const sim::SimTime start = std::max(r.start, trace_.horizon_start());
+    const sim::SimTime end = std::min(
+        std::max(r.end, start + sim::SimDuration::micros(1)),
+        trace_.horizon_end());
+    const std::int64_t hour_us = sim::SimDuration::hours(1).as_micros();
+    std::int64_t first_hour = start.as_micros() / hour_us;
+    const std::int64_t last_hour = (end.as_micros() - 1) / hour_us;
+    for (std::int64_t hh = first_hour; hh <= last_hour; ++hh) {
+      const auto day = static_cast<std::size_t>(hh / 24);
+      if (day >= counts.size()) break;
+      counts[day][static_cast<std::size_t>(hh % 24)] += 1.0;
+    }
+  }
+
+  stats::HourOfDayBinner weekday_binner, weekend_binner;
+  int wd = 0, we = 0;
+  for (int d = 0; d < days; ++d) {
+    if (calendar_.is_weekend_day(d)) {
+      weekend_binner.add_day(counts[static_cast<std::size_t>(d)]);
+      ++we;
+    } else {
+      weekday_binner.add_day(counts[static_cast<std::size_t>(d)]);
+      ++wd;
+    }
+  }
+
+  HourlyPattern out;
+  out.weekday_days = wd;
+  out.weekend_days = we;
+  for (std::size_t h = 0; h < 24; ++h) {
+    const auto w = weekday_binner.hour(h);
+    out.weekday[h] = {w.mean, w.min, w.max, w.stddev};
+    const auto e = weekend_binner.hour(h);
+    out.weekend[h] = {e.mean, e.min, e.max, e.stddev};
+  }
+  return out;
+}
+
+double TraceAnalyzer::hourly_relative_deviation(bool weekend) const {
+  const HourlyPattern pattern = hourly();
+  const auto& rows = weekend ? pattern.weekend : pattern.weekday;
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& row : rows) {
+    if (row.mean < 0.5) continue;  // skip near-empty hours
+    sum += row.stddev / row.mean;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+}  // namespace fgcs::core

@@ -1,0 +1,90 @@
+// Trace analysis: regenerates the paper's Table 2, Figure 6, and Figure 7
+// statistics from a TraceSet.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "fgcs/stats/ecdf.hpp"
+#include "fgcs/stats/histogram.hpp"
+#include "fgcs/trace/calendar.hpp"
+#include "fgcs/trace/trace_set.hpp"
+
+namespace fgcs::core {
+
+/// Table 2: per-machine unavailability counts by cause over the trace.
+struct Table2Stats {
+  struct Range {
+    int min = 0;
+    int max = 0;
+    double mean = 0.0;
+  };
+  Range total;          // all causes
+  Range cpu_contention; // S3
+  Range mem_contention; // S4
+  Range urr;            // S5
+
+  /// Per-machine percentage ranges (the paper's "69-79%" style rows).
+  double cpu_pct_min = 0.0, cpu_pct_max = 0.0;
+  double mem_pct_min = 0.0, mem_pct_max = 0.0;
+  double urr_pct_min = 0.0, urr_pct_max = 0.0;
+
+  /// Fraction of URR episodes shorter than one minute (§5.1: ~90% of URR
+  /// originated from machine reboots).
+  double reboot_fraction_of_urr = 0.0;
+
+  std::uint32_t machines = 0;
+};
+
+/// Figure 6: availability-interval length distribution for one day class.
+struct IntervalClassStats {
+  stats::Ecdf ecdf_hours;
+  std::size_t count = 0;
+  double mean_hours = 0.0;
+  double frac_under_5min = 0.0;   // the paper's ~5% small gaps
+  double frac_5min_to_2h = 0.0;   // the paper's "flat" region
+  double frac_2h_to_4h = 0.0;     // ~60% on weekdays
+  double frac_4h_to_6h = 0.0;     // ~60% on weekends
+};
+
+struct IntervalStats {
+  IntervalClassStats weekday;
+  IntervalClassStats weekend;
+};
+
+/// Figure 7: per-hour-of-day unavailability occurrences across the
+/// testbed, mean and range over days, by day class. An episode spanning
+/// several hours is counted in each hour it overlaps (§5.3).
+struct HourlyPattern {
+  struct HourRow {
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double stddev = 0.0;
+  };
+  std::array<HourRow, 24> weekday{};
+  std::array<HourRow, 24> weekend{};
+  int weekday_days = 0;
+  int weekend_days = 0;
+};
+
+class TraceAnalyzer {
+ public:
+  explicit TraceAnalyzer(const trace::TraceSet& trace,
+                         trace::TraceCalendar calendar = trace::TraceCalendar{});
+
+  Table2Stats table2() const;
+  IntervalStats intervals() const;
+  HourlyPattern hourly() const;
+
+  /// Hour-of-day deviation metric used for the predictability claim: the
+  /// mean over hours of (stddev / max(mean, eps)) of per-day counts —
+  /// small values mean "daily patterns are comparable to recent history".
+  double hourly_relative_deviation(bool weekend) const;
+
+ private:
+  const trace::TraceSet& trace_;
+  trace::TraceCalendar calendar_;
+};
+
+}  // namespace fgcs::core

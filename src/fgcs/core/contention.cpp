@@ -1,0 +1,336 @@
+#include "fgcs/core/contention.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "fgcs/util/error.hpp"
+#include "fgcs/util/parallel.hpp"
+#include "fgcs/util/rng.hpp"
+
+namespace fgcs::core {
+
+namespace {
+constexpr std::uint64_t kContentionTag = 0x434F4E54;  // "CONT"
+}
+
+void ContentionConfig::validate() const {
+  scheduler.validate();
+  memory.validate();
+  fgcs::require(measure > sim::SimDuration::zero(), "measure must be > 0");
+  fgcs::require(warmup >= sim::SimDuration::zero(), "warmup must be >= 0");
+  fgcs::require(combinations >= 1, "combinations must be >= 1");
+}
+
+ContentionMeasurement measure_contention(
+    const ContentionConfig& config,
+    const std::vector<os::ProcessSpec>& host_specs,
+    const os::ProcessSpec& guest_spec, std::uint64_t run_seed) {
+  config.validate();
+  fgcs::require(!host_specs.empty(), "need at least one host process");
+
+  ContentionMeasurement out;
+
+  // Run 1: host group alone (the L_H measurement).
+  {
+    os::Machine machine(config.scheduler, config.memory, run_seed);
+    for (const auto& spec : host_specs) machine.spawn(spec);
+    machine.run_for(config.warmup);
+    const os::CpuTotals before = machine.totals();
+    machine.run_for(config.measure);
+    out.host_usage_alone = os::CpuTotals::host_usage(before, machine.totals());
+  }
+
+  // Run 2: host group + guest. Same seed: host processes get the same
+  // pids (spawned first) and therefore identical phase randomness.
+  {
+    os::Machine machine(config.scheduler, config.memory, run_seed);
+    for (const auto& spec : host_specs) machine.spawn(spec);
+    machine.spawn(guest_spec);
+    machine.run_for(config.warmup);
+    const os::CpuTotals before = machine.totals();
+    const sim::SimDuration thrash_before = machine.thrash_time();
+    machine.run_for(config.measure);
+    out.host_usage_together =
+        os::CpuTotals::host_usage(before, machine.totals());
+    out.guest_usage = os::CpuTotals::guest_usage(before, machine.totals());
+    const sim::SimDuration thrashed = machine.thrash_time() - thrash_before;
+    out.thrashing = thrashed > config.measure * 0.10;
+  }
+  return out;
+}
+
+double measure_isolated_usage(const ContentionConfig& config,
+                              const os::ProcessSpec& spec,
+                              std::uint64_t run_seed) {
+  os::Machine machine(config.scheduler, config.memory, run_seed);
+  const os::ProcessId pid = machine.spawn(spec);
+  machine.run_for(config.warmup);
+  const sim::SimDuration cpu_before = machine.process(pid).cpu_time();
+  machine.run_for(config.measure);
+  return machine.process(pid).usage_since(cpu_before, config.measure);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1
+
+const Fig1Point& Fig1Result::at(double lh, int m, int nice) const {
+  for (const auto& p : points) {
+    if (p.group_size == m && p.guest_nice == nice &&
+        std::abs(p.lh_nominal - lh) < 1e-9) {
+      return p;
+    }
+  }
+  throw ConfigError("Fig1Result::at: no such point");
+}
+
+Fig1Result run_fig1(const Fig1Config& config) {
+  config.base.validate();
+  fgcs::require(config.max_group_size >= 1, "max_group_size must be >= 1");
+
+  struct Task {
+    std::size_t lh_idx;
+    int m;
+    int nice;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < config.lh_grid.size(); ++i) {
+    for (int m = 1; m <= config.max_group_size; ++m) {
+      // A group of M processes needs L_H large enough for M non-trivial
+      // shares (the paper only tests feasible combinations).
+      if (config.lh_grid[i] < 0.02 * static_cast<double>(m)) continue;
+      for (int nice : {0, 19}) {
+        tasks.push_back({i, m, nice});
+      }
+    }
+  }
+
+  std::vector<Fig1Point> points(tasks.size());
+  util::parallel_for(tasks.size(), [&](std::size_t ti) {
+    const Task& task = tasks[ti];
+    const double lh = config.lh_grid[task.lh_idx];
+    Fig1Point point;
+    point.lh_nominal = lh;
+    point.group_size = task.m;
+    point.guest_nice = task.nice;
+    double sum_red = 0.0, sum_lh = 0.0;
+    double red_min = 1.0, red_max = -1.0;
+    for (int combo = 0; combo < config.base.combinations; ++combo) {
+      const std::uint64_t run_seed = util::RngStream::derive(
+          config.base.seed,
+          {kContentionTag, task.lh_idx, static_cast<std::uint64_t>(task.m),
+           static_cast<std::uint64_t>(task.nice),
+           static_cast<std::uint64_t>(combo)});
+      util::RngStream group_rng(run_seed);
+      const auto hosts = workload::make_host_group(
+          lh, static_cast<std::size_t>(task.m), group_rng);
+      const auto guest = workload::synthetic_guest(task.nice);
+      const auto meas =
+          measure_contention(config.base, hosts, guest, run_seed);
+      const double red = meas.reduction_rate();
+      sum_red += red;
+      sum_lh += meas.host_usage_alone;
+      red_min = std::min(red_min, red);
+      red_max = std::max(red_max, red);
+    }
+    const auto n = static_cast<double>(config.base.combinations);
+    point.reduction = sum_red / n;
+    point.lh_measured = sum_lh / n;
+    point.reduction_min = red_min;
+    point.reduction_max = red_max;
+    points[ti] = point;
+  });
+
+  Fig1Result result;
+  result.points = std::move(points);
+
+  // Thresholds: lowest grid L_H whose reduction exceeds the limit for any
+  // group size (§3.2.1).
+  auto lowest_crossing = [&](int nice) {
+    for (double lh : config.lh_grid) {
+      for (int m = 1; m <= config.max_group_size; ++m) {
+        if (lh < 0.02 * static_cast<double>(m)) continue;
+        if (result.at(lh, m, nice).reduction > config.slowdown_limit) {
+          return lh;
+        }
+      }
+    }
+    return 1.0;
+  };
+  result.th1 = lowest_crossing(0);
+  result.th2 = lowest_crossing(19);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2
+
+std::vector<Fig2Point> run_fig2(const ContentionConfig& config,
+                                const std::vector<double>& lh_grid,
+                                const std::vector<int>& nice_grid) {
+  config.validate();
+  struct Task {
+    std::size_t lh_idx;
+    std::size_t nice_idx;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < lh_grid.size(); ++i) {
+    for (std::size_t j = 0; j < nice_grid.size(); ++j) {
+      tasks.push_back({i, j});
+    }
+  }
+  std::vector<Fig2Point> points(tasks.size());
+  util::parallel_for(tasks.size(), [&](std::size_t ti) {
+    const Task& task = tasks[ti];
+    const double lh = lh_grid[task.lh_idx];
+    const int nice = nice_grid[task.nice_idx];
+    double sum = 0.0;
+    for (int combo = 0; combo < config.combinations; ++combo) {
+      const std::uint64_t run_seed = util::RngStream::derive(
+          config.seed, {kContentionTag, 2, task.lh_idx, task.nice_idx,
+                        static_cast<std::uint64_t>(combo)});
+      const std::vector<os::ProcessSpec> hosts{workload::synthetic_host(lh)};
+      const auto guest = workload::synthetic_guest(nice);
+      sum += measure_contention(config, hosts, guest, run_seed)
+                 .reduction_rate();
+    }
+    points[ti] = {lh, nice, sum / static_cast<double>(config.combinations)};
+  });
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3
+
+std::vector<Fig3Point> run_fig3(const ContentionConfig& config) {
+  config.validate();
+  const std::vector<double> host_usages = {0.2, 0.1};
+  const std::vector<double> guest_demands = {1.0, 0.9, 0.8, 0.7};
+  struct Task {
+    std::size_t h;
+    std::size_t g;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t h = 0; h < host_usages.size(); ++h) {
+    for (std::size_t g = 0; g < guest_demands.size(); ++g) {
+      tasks.push_back({h, g});
+    }
+  }
+  std::vector<Fig3Point> points(tasks.size());
+  util::parallel_for(tasks.size(), [&](std::size_t ti) {
+    const Task& task = tasks[ti];
+    Fig3Point p;
+    p.host_usage = host_usages[task.h];
+    p.guest_demand = guest_demands[task.g];
+    double sum_equal = 0.0, sum_lowest = 0.0;
+    for (int combo = 0; combo < config.combinations; ++combo) {
+      const std::uint64_t run_seed = util::RngStream::derive(
+          config.seed,
+          {kContentionTag, 3, task.h, task.g,
+           static_cast<std::uint64_t>(combo)});
+      const std::vector<os::ProcessSpec> hosts{
+          workload::synthetic_host(p.host_usage)};
+      sum_equal +=
+          measure_contention(config, hosts,
+                             workload::synthetic_guest_with_usage(
+                                 p.guest_demand, 0),
+                             run_seed)
+              .guest_usage;
+      sum_lowest +=
+          measure_contention(config, hosts,
+                             workload::synthetic_guest_with_usage(
+                                 p.guest_demand, 19),
+                             run_seed)
+              .guest_usage;
+    }
+    const auto n = static_cast<double>(config.combinations);
+    p.guest_usage_equal = sum_equal / n;
+    p.guest_usage_lowest = sum_lowest / n;
+    points[ti] = p;
+  });
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 and Table 1
+
+Fig4Config::Fig4Config() {
+  base.scheduler = os::SchedulerParams::solaris_ts();
+  base.memory = os::MemoryParams::solaris_384mb();
+}
+
+std::vector<Fig4Cell> run_fig4(const Fig4Config& config) {
+  config.base.validate();
+  const auto hosts = workload::musbus_workloads();
+  const auto guests = workload::spec_cpu2000_apps();
+  struct Task {
+    std::size_t h;
+    std::size_t g;
+    int nice;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    for (std::size_t g = 0; g < guests.size(); ++g) {
+      for (int nice : {0, 19}) tasks.push_back({h, g, nice});
+    }
+  }
+  std::vector<Fig4Cell> cells(tasks.size());
+  util::parallel_for(tasks.size(), [&](std::size_t ti) {
+    const Task& task = tasks[ti];
+    const auto& w = hosts[task.h];
+    const auto& app = guests[task.g];
+    const std::uint64_t run_seed = util::RngStream::derive(
+        config.base.seed,
+        {kContentionTag, 4, task.h, task.g,
+         static_cast<std::uint64_t>(task.nice)});
+    const auto host_specs = workload::musbus_processes(w);
+    const auto guest_spec = workload::spec_guest(app, task.nice);
+    const auto meas =
+        measure_contention(config.base, host_specs, guest_spec, run_seed);
+    Fig4Cell cell;
+    cell.host_workload = std::string(w.name);
+    cell.guest_app = std::string(app.name);
+    cell.guest_nice = task.nice;
+    cell.reduction = meas.reduction_rate();
+    cell.thrashing = meas.thrashing;
+    cells[ti] = cell;
+  });
+  return cells;
+}
+
+std::vector<Table1Row> run_table1(const ContentionConfig& config) {
+  config.validate();
+  std::vector<Table1Row> rows;
+  for (const auto& app : workload::spec_cpu2000_apps()) {
+    Table1Row row;
+    row.name = std::string(app.name);
+    const std::uint64_t run_seed = util::RngStream::derive(
+        config.seed, {kContentionTag, 1, rows.size()});
+    row.cpu_usage =
+        measure_isolated_usage(config, workload::spec_guest(app), run_seed);
+    row.resident_mb = app.resident_mb;
+    row.virtual_mb = app.virtual_mb;
+    rows.push_back(row);
+  }
+  for (const auto& w : workload::musbus_workloads()) {
+    Table1Row row;
+    row.name = std::string(w.name);
+    const std::uint64_t run_seed = util::RngStream::derive(
+        config.seed, {kContentionTag, 1, rows.size()});
+    // Aggregate isolated usage: run the workload's processes together
+    // (they are jointly "the host") and measure host CPU usage.
+    os::Machine machine(config.scheduler, config.memory, run_seed);
+    for (const auto& spec : workload::musbus_processes(w)) {
+      machine.spawn(spec);
+    }
+    machine.run_for(config.warmup);
+    const os::CpuTotals before = machine.totals();
+    machine.run_for(config.measure);
+    row.cpu_usage = os::CpuTotals::host_usage(before, machine.totals());
+    row.resident_mb = w.resident_mb;
+    row.virtual_mb = w.virtual_mb;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace fgcs::core

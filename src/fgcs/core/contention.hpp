@@ -1,0 +1,153 @@
+// Offline resource-contention experiments (§3.2, Figures 1-4, Table 1).
+//
+// Each experiment runs host processes (optionally with one guest) on a
+// fresh simulated machine, measures CPU usage by OS accounting after a
+// warm-up, and reports the reduction rate of host CPU usage — exactly the
+// paper's methodology, with the physical machines replaced by fgcs::os.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fgcs/os/machine.hpp"
+#include "fgcs/workload/musbus.hpp"
+#include "fgcs/workload/spec_cpu2000.hpp"
+#include "fgcs/workload/synthetic.hpp"
+
+namespace fgcs::core {
+
+/// Shared experiment parameters.
+struct ContentionConfig {
+  os::SchedulerParams scheduler = os::SchedulerParams::linux_2_4();
+  os::MemoryParams memory = os::MemoryParams::linux_1gb();
+  /// Measurement duration (after warm-up).
+  sim::SimDuration measure = sim::SimDuration::minutes(8);
+  sim::SimDuration warmup = sim::SimDuration::seconds(40);
+  /// Host-group compositions averaged per grid point (the paper used
+  /// "multiple combinations of host processes" per L_H).
+  int combinations = 4;
+  std::uint64_t seed = 20060815;
+
+  void validate() const;
+};
+
+/// Outcome of one contention run.
+struct ContentionMeasurement {
+  double host_usage_alone = 0.0;     // measured L_H
+  double host_usage_together = 0.0;  // with the guest present
+  double guest_usage = 0.0;
+  bool thrashing = false;            // machine thrashed during the run
+
+  /// The paper's y-axis: (alone - together) / alone.
+  double reduction_rate() const {
+    if (host_usage_alone <= 0.0) return 0.0;
+    return (host_usage_alone - host_usage_together) / host_usage_alone;
+  }
+};
+
+/// Runs `host_specs` alone, then together with `guest_spec`, on machines
+/// configured per `config` (seeded by `run_seed`).
+ContentionMeasurement measure_contention(
+    const ContentionConfig& config,
+    const std::vector<os::ProcessSpec>& host_specs,
+    const os::ProcessSpec& guest_spec, std::uint64_t run_seed);
+
+/// Measures the isolated CPU usage of a single process (Table 1's CPU
+/// column, via getrusage-equivalent accounting).
+double measure_isolated_usage(const ContentionConfig& config,
+                              const os::ProcessSpec& spec,
+                              std::uint64_t run_seed);
+
+// ---------------------------------------------------------------------------
+// Figure 1: reduction rate vs L_H for host group sizes M, guest at equal
+// and at lowest priority.
+
+struct Fig1Point {
+  double lh_nominal = 0.0;  // grid L_H
+  int group_size = 0;       // M
+  int guest_nice = 0;       // 0 or 19
+  double lh_measured = 0.0;
+  double reduction = 0.0;  // mean over combinations
+  double reduction_min = 0.0;
+  double reduction_max = 0.0;
+};
+
+struct Fig1Result {
+  std::vector<Fig1Point> points;
+  /// Thresholds read off the curves: lowest grid L_H whose reduction
+  /// exceeds the slowdown limit at equal (Th1) / lowest (Th2) priority,
+  /// minimized over group sizes (§3.2.1).
+  double th1 = 0.0;
+  double th2 = 0.0;
+
+  const Fig1Point& at(double lh, int m, int nice) const;
+};
+
+struct Fig1Config {
+  ContentionConfig base;
+  std::vector<double> lh_grid = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                 0.6, 0.7, 0.8, 0.9, 1.0};
+  int max_group_size = 5;
+  double slowdown_limit = 0.05;
+};
+
+Fig1Result run_fig1(const Fig1Config& config);
+
+// ---------------------------------------------------------------------------
+// Figure 2: reduction rate vs (L_H, guest priority), single host process.
+
+struct Fig2Point {
+  double lh_nominal = 0.0;
+  int guest_nice = 0;
+  double reduction = 0.0;
+};
+
+std::vector<Fig2Point> run_fig2(const ContentionConfig& config,
+                                const std::vector<double>& lh_grid,
+                                const std::vector<int>& nice_grid);
+
+// ---------------------------------------------------------------------------
+// Figure 3: guest CPU usage at equal vs lowest priority under light host
+// load.
+
+struct Fig3Point {
+  double host_usage = 0.0;   // isolated host usage (0.1 / 0.2)
+  double guest_demand = 0.0; // isolated guest usage (0.7 .. 1.0)
+  double guest_usage_equal = 0.0;   // guest priority 0
+  double guest_usage_lowest = 0.0;  // guest priority 19
+};
+
+std::vector<Fig3Point> run_fig3(const ContentionConfig& config);
+
+// ---------------------------------------------------------------------------
+// Figure 4 + Table 1: Musbus host workloads x SPEC guests on the Solaris
+// machine; thrashing when working sets exceed physical memory.
+
+struct Fig4Cell {
+  std::string host_workload;  // H1..H6
+  std::string guest_app;      // apsi/galgel/bzip2/mcf
+  int guest_nice = 0;
+  double reduction = 0.0;
+  bool thrashing = false;
+};
+
+struct Fig4Config {
+  ContentionConfig base;  // defaults overridden to the Solaris profiles
+  Fig4Config();
+};
+
+std::vector<Fig4Cell> run_fig4(const Fig4Config& config);
+
+/// Table 1 rows, measured in simulation (CPU usage) plus the modelled
+/// memory footprints.
+struct Table1Row {
+  std::string name;
+  double cpu_usage = 0.0;
+  double resident_mb = 0.0;
+  double virtual_mb = 0.0;
+};
+
+std::vector<Table1Row> run_table1(const ContentionConfig& config);
+
+}  // namespace fgcs::core

@@ -1,0 +1,54 @@
+#include "fgcs/core/prediction_study.hpp"
+
+#include <memory>
+
+#include "fgcs/predict/baselines.hpp"
+#include "fgcs/predict/history_window.hpp"
+#include "fgcs/predict/robust_history.hpp"
+#include "fgcs/predict/semi_markov.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::core {
+
+std::vector<PredictionStudyRow> run_prediction_study(
+    const trace::TraceSet& trace, const trace::TraceCalendar& calendar,
+    const PredictionStudyConfig& config) {
+  fgcs::require(config.train_days >= 1, "train_days must be >= 1");
+  const sim::SimTime eval_begin =
+      trace.horizon_start() + sim::SimDuration::days(config.train_days);
+  fgcs::require(eval_begin < trace.horizon_end(),
+                "train period consumes the whole trace");
+
+  const trace::TraceIndex index(trace);
+
+  std::vector<std::unique_ptr<predict::AvailabilityPredictor>> predictors;
+  predictors.push_back(std::make_unique<predict::HistoryWindowPredictor>());
+  {
+    predict::HistoryWindowConfig pooled;
+    pooled.pool_machines = true;
+    predictors.push_back(
+        std::make_unique<predict::HistoryWindowPredictor>(pooled));
+  }
+  predictors.push_back(std::make_unique<predict::RobustHistoryPredictor>());
+  predictors.push_back(std::make_unique<predict::SemiMarkovPredictor>());
+  predictors.push_back(std::make_unique<predict::RecentRatePredictor>());
+  predictors.push_back(
+      std::make_unique<predict::SaturatingCounterPredictor>());
+  predictors.push_back(std::make_unique<predict::AlwaysAvailablePredictor>());
+
+  std::vector<PredictionStudyRow> rows;
+  for (const auto window : config.windows) {
+    predict::EvaluationConfig eval;
+    eval.begin = eval_begin;
+    eval.end = trace.horizon_end();
+    eval.window = window;
+    eval.stride = config.stride;
+    eval.decision_threshold = config.decision_threshold;
+    for (const auto& p : predictors) {
+      rows.push_back({window, evaluate_predictor(*p, index, calendar, eval)});
+    }
+  }
+  return rows;
+}
+
+}  // namespace fgcs::core

@@ -1,0 +1,37 @@
+// The prediction study (the paper's §6 future work, built and evaluated).
+//
+// Runs a panel of predictors over a testbed trace: the paper's proposed
+// history-window scheme, a per-machine and a pooled variant, a renewal
+// (semi-Markov) predictor, and baselines. Queries roll through a held-out
+// evaluation period for several window lengths.
+#pragma once
+
+#include <vector>
+
+#include "fgcs/predict/evaluation.hpp"
+#include "fgcs/trace/calendar.hpp"
+#include "fgcs/trace/trace_set.hpp"
+
+namespace fgcs::core {
+
+struct PredictionStudyConfig {
+  /// Days reserved for warm-up history before evaluation starts.
+  int train_days = 56;
+  /// Window lengths to evaluate (guest-job run-time estimates).
+  std::vector<sim::SimDuration> windows = {
+      sim::SimDuration::hours(1), sim::SimDuration::hours(2),
+      sim::SimDuration::hours(4), sim::SimDuration::hours(8)};
+  sim::SimDuration stride = sim::SimDuration::minutes(45);
+  double decision_threshold = 0.5;
+};
+
+struct PredictionStudyRow {
+  sim::SimDuration window;
+  predict::EvaluationResult result;
+};
+
+std::vector<PredictionStudyRow> run_prediction_study(
+    const trace::TraceSet& trace, const trace::TraceCalendar& calendar,
+    const PredictionStudyConfig& config = {});
+
+}  // namespace fgcs::core

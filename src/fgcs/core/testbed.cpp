@@ -1,0 +1,188 @@
+#include "fgcs/core/testbed.hpp"
+
+#include <mutex>
+
+#include "fgcs/monitor/detector.hpp"
+#include "fgcs/monitor/machine_sampler.hpp"
+#include "fgcs/util/error.hpp"
+#include "fgcs/util/parallel.hpp"
+
+namespace fgcs::core {
+
+void TestbedConfig::validate() const {
+  fgcs::require(machines >= 1, "testbed needs at least one machine");
+  fgcs::require(days >= 1, "testbed needs at least one day");
+  profile.validate();
+  policy.validate();
+  fgcs::require(ram_mb > kernel_mb && kernel_mb >= 0,
+                "invalid testbed memory sizes");
+}
+
+namespace {
+
+/// Drives the detector over a machine's synthesized load, invoking
+/// `on_sample(sample, state)` for every observation.
+template <typename OnSample>
+monitor::UnavailabilityDetector walk_machine(const TestbedConfig& config,
+                                             trace::MachineId machine,
+                                             OnSample&& on_sample) {
+  const auto load = workload::generate_machine_load(
+      config.profile, config.seed, machine, config.days,
+      static_cast<int>(config.start_dow));
+
+  monitor::TrajectorySampler sampler(load, config.ram_mb, config.kernel_mb);
+  monitor::UnavailabilityDetector detector(config.policy);
+
+  const sim::SimTime end =
+      sim::SimTime::epoch() + sim::SimDuration::days(config.days);
+  const sim::SimDuration period = config.policy.sample_period;
+  for (sim::SimTime t = sim::SimTime::epoch() + period; t <= end;
+       t += period) {
+    const monitor::HostSample sample = sampler.sample(t, period);
+    const monitor::AvailabilityState state = detector.observe(sample);
+    on_sample(sample, state);
+  }
+  detector.finish(end);
+  return detector;
+}
+
+std::vector<trace::UnavailabilityRecord> records_from(
+    const monitor::UnavailabilityDetector& detector,
+    trace::MachineId machine) {
+  std::vector<trace::UnavailabilityRecord> records;
+  records.reserve(detector.episodes().size());
+  for (const auto& ep : detector.episodes()) {
+    trace::UnavailabilityRecord r;
+    r.machine = machine;
+    r.start = ep.start;
+    r.end = ep.end;
+    r.cause = ep.cause;
+    r.host_cpu = ep.host_cpu_at_start;
+    r.free_mem_mb = ep.free_mem_at_start;
+    records.push_back(r);
+  }
+  return records;
+}
+
+}  // namespace
+
+std::vector<trace::UnavailabilityRecord> run_testbed_machine(
+    const TestbedConfig& config, trace::MachineId machine) {
+  config.validate();
+  fgcs::require(machine < config.machines, "machine id out of range");
+  const auto detector =
+      walk_machine(config, machine, [](const auto&, auto) {});
+  return records_from(detector, machine);
+}
+
+TestbedMachineDetail run_testbed_machine_detailed(const TestbedConfig& config,
+                                                  trace::MachineId machine) {
+  config.validate();
+  fgcs::require(machine < config.machines, "machine id out of range");
+  const auto detector =
+      walk_machine(config, machine, [](const auto&, auto) {});
+  TestbedMachineDetail detail;
+  detail.records = records_from(detector, machine);
+  detail.timeline = monitor::StateTimeline::from_detector(
+      detector, sim::SimTime::epoch(),
+      sim::SimTime::epoch() + sim::SimDuration::days(config.days));
+  return detail;
+}
+
+CapacityProfile run_capacity_profile(const TestbedConfig& config) {
+  config.validate();
+  const trace::TraceCalendar calendar(config.start_dow);
+
+  struct Acc {
+    std::array<double, 24> cpu_sum{};
+    std::array<double, 24> mem_sum{};
+    std::array<double, 24> load_sum{};
+    std::array<std::uint64_t, 24> n{};
+    double cpu_total = 0.0;
+    std::uint64_t usable = 0;
+    std::uint64_t samples = 0;
+  };
+  std::vector<Acc> weekday_acc(config.machines), weekend_acc(config.machines);
+
+  util::parallel_for(config.machines, [&](std::size_t m) {
+    walk_machine(
+        config, static_cast<trace::MachineId>(m),
+        [&](const monitor::HostSample& sample,
+            monitor::AvailabilityState state) {
+          Acc& acc = calendar.is_weekend(sample.time)
+                         ? weekend_acc[m]
+                         : weekday_acc[m];
+          const auto hour =
+              static_cast<std::size_t>(calendar.hour_of_day(sample.time));
+          const bool usable = !monitor::is_failure(state);
+          const double cpu = usable ? 1.0 - sample.host_cpu : 0.0;
+          acc.cpu_sum[hour] += cpu;
+          acc.mem_sum[hour] += usable ? sample.free_mem_mb : 0.0;
+          acc.load_sum[hour] += sample.host_cpu;
+          acc.n[hour] += 1;
+          acc.cpu_total += cpu;
+          acc.usable += usable ? 1 : 0;
+          acc.samples += 1;
+        });
+  });
+
+  CapacityProfile out;
+  double cpu_total = 0.0;
+  std::uint64_t usable = 0, samples = 0;
+  for (int h = 0; h < 24; ++h) {
+    double wd_cpu = 0.0, wd_mem = 0.0, wd_load = 0.0;
+    double we_cpu = 0.0, we_mem = 0.0, we_load = 0.0;
+    std::uint64_t wd_n = 0, we_n = 0;
+    for (std::uint32_t m = 0; m < config.machines; ++m) {
+      const auto hh = static_cast<std::size_t>(h);
+      wd_cpu += weekday_acc[m].cpu_sum[hh];
+      wd_mem += weekday_acc[m].mem_sum[hh];
+      wd_load += weekday_acc[m].load_sum[hh];
+      wd_n += weekday_acc[m].n[hh];
+      we_cpu += weekend_acc[m].cpu_sum[hh];
+      we_mem += weekend_acc[m].mem_sum[hh];
+      we_load += weekend_acc[m].load_sum[hh];
+      we_n += weekend_acc[m].n[hh];
+    }
+    const auto hh = static_cast<std::size_t>(h);
+    out.weekday_cpu[hh] = wd_n ? wd_cpu / static_cast<double>(wd_n) : 0.0;
+    out.weekday_free_mem[hh] = wd_n ? wd_mem / static_cast<double>(wd_n) : 0.0;
+    out.weekday_host_load[hh] = wd_n ? wd_load / static_cast<double>(wd_n) : 0.0;
+    out.weekend_cpu[hh] = we_n ? we_cpu / static_cast<double>(we_n) : 0.0;
+    out.weekend_free_mem[hh] = we_n ? we_mem / static_cast<double>(we_n) : 0.0;
+    out.weekend_host_load[hh] = we_n ? we_load / static_cast<double>(we_n) : 0.0;
+  }
+  for (std::uint32_t m = 0; m < config.machines; ++m) {
+    for (const auto* acc : {&weekday_acc[m], &weekend_acc[m]}) {
+      cpu_total += acc->cpu_total;
+      usable += acc->usable;
+      samples += acc->samples;
+    }
+  }
+  if (samples > 0) {
+    out.overall_cpu = cpu_total / static_cast<double>(samples);
+    out.overall_usable =
+        static_cast<double>(usable) / static_cast<double>(samples);
+  }
+  return out;
+}
+
+trace::TraceSet run_testbed(const TestbedConfig& config) {
+  config.validate();
+  const sim::SimTime start = sim::SimTime::epoch();
+  const sim::SimTime end = start + sim::SimDuration::days(config.days);
+  trace::TraceSet trace(config.machines, start, end);
+
+  std::vector<std::vector<trace::UnavailabilityRecord>> per_machine(
+      config.machines);
+  util::parallel_for(config.machines, [&](std::size_t m) {
+    per_machine[m] =
+        run_testbed_machine(config, static_cast<trace::MachineId>(m));
+  });
+  for (const auto& records : per_machine) {
+    for (const auto& r : records) trace.add(r);
+  }
+  return trace;
+}
+
+}  // namespace fgcs::core

@@ -1,0 +1,207 @@
+#include "fgcs/ishare/discovery.hpp"
+
+#include <algorithm>
+
+#include "fgcs/util/error.hpp"
+#include "fgcs/util/rng.hpp"
+
+namespace fgcs::ishare {
+
+DiscoveryOverlay::DiscoveryOverlay(Config config) : config_(config) {
+  fgcs::require(config_.per_hop_latency >= sim::SimDuration::zero(),
+                "per_hop_latency must be >= 0");
+}
+
+PeerId DiscoveryOverlay::key_of(const std::string& name) {
+  // FNV-1a over the name, finalized through SplitMix64 for avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return util::SplitMix64(h).next();
+}
+
+PeerId DiscoveryOverlay::join(const std::string& peer_name) {
+  const PeerId id = key_of(peer_name);
+  fgcs::require(ring_.count(id) == 0,
+                "peer already joined (or hash collision): " + peer_name);
+  Peer peer;
+  peer.name = peer_name;
+  // Keys the new peer now owns migrate from the old owner (its successor):
+  // a key belongs to the first peer clockwise at/after it, so after the
+  // join that is `id` for exactly the keys whose owner-among-the-union
+  // is `id`.
+  if (!ring_.empty()) {
+    auto succ_it = ring_.lower_bound(id);
+    if (succ_it == ring_.end()) succ_it = ring_.begin();
+    Peer& successor = succ_it->second;
+    auto owner_in_union = [&](PeerId key) {
+      // first peer >= key among ring ∪ {id}, wrapping to the smallest.
+      auto it = ring_.lower_bound(key);
+      PeerId best;
+      bool found = false;
+      if (it != ring_.end()) {
+        best = it->first;
+        found = true;
+      }
+      if (id >= key && (!found || id < best)) {
+        best = id;
+        found = true;
+      }
+      if (!found) best = std::min(ring_.begin()->first, id);
+      return best;
+    };
+    for (auto it = successor.store.begin(); it != successor.store.end();) {
+      if (owner_in_union(it->first) == id) {
+        peer.store.emplace(it->first, std::move(it->second));
+        it = successor.store.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  ring_.emplace(id, std::move(peer));
+  rebuild_fingers();
+  return id;
+}
+
+void DiscoveryOverlay::leave(PeerId peer) {
+  auto it = ring_.find(peer);
+  fgcs::require(it != ring_.end(), "no such peer");
+  if (ring_.size() > 1) {
+    auto succ_it = std::next(it);
+    if (succ_it == ring_.end()) succ_it = ring_.begin();
+    for (auto& [key, descriptor] : it->second.store) {
+      succ_it->second.store.emplace(key, std::move(descriptor));
+    }
+  }
+  ring_.erase(it);
+  rebuild_fingers();
+}
+
+PeerId DiscoveryOverlay::owner_of(PeerId key) const {
+  FGCS_ASSERT(!ring_.empty());
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) return ring_.begin()->first;
+  return it->first;
+}
+
+void DiscoveryOverlay::rebuild_fingers() {
+  for (auto& [id, peer] : ring_) {
+    peer.fingers.clear();
+    for (int k = 0; k < 64; ++k) {
+      const PeerId target = id + (1ULL << k);  // wraps naturally (mod 2^64)
+      const PeerId finger = owner_of(target);
+      if (peer.fingers.empty() || peer.fingers.back() != finger) {
+        peer.fingers.push_back(finger);
+      }
+    }
+  }
+}
+
+namespace {
+/// Clockwise distance from a to b on the 2^64 ring.
+std::uint64_t ring_distance(PeerId a, PeerId b) { return b - a; }
+}  // namespace
+
+PeerId DiscoveryOverlay::route(PeerId from, PeerId key, int* hops) const {
+  FGCS_ASSERT(ring_.count(from) > 0);
+  const PeerId target_owner = owner_of(key);
+  PeerId current = from;
+  int guard = 0;
+  while (current != target_owner) {
+    const Peer& peer = ring_.at(current);
+    // Greedy Chord routing: the finger that travels furthest clockwise
+    // without overshooting the target owner. The owner itself is always a
+    // valid final hop (every peer's finger set contains its successor,
+    // which guarantees progress).
+    PeerId next = target_owner;
+    std::uint64_t best_remaining = ring_distance(current, target_owner);
+    const std::uint64_t to_owner = ring_distance(current, target_owner);
+    for (const PeerId finger : peer.fingers) {
+      if (finger == current) continue;
+      const std::uint64_t travelled = ring_distance(current, finger);
+      if (travelled == 0 || travelled > to_owner) continue;  // overshoot
+      const std::uint64_t remaining = ring_distance(finger, target_owner);
+      if (remaining < best_remaining) {
+        best_remaining = remaining;
+        next = finger;
+      }
+    }
+    ++(*hops);
+    current = next;
+    FGCS_ASSERT(++guard <= 200);  // routing must terminate
+  }
+  return target_owner;
+}
+
+RouteStats DiscoveryOverlay::stats_for(int hops) const {
+  RouteStats s;
+  s.hops = hops;
+  s.latency = config_.per_hop_latency * static_cast<std::int64_t>(hops);
+  return s;
+}
+
+RouteStats DiscoveryOverlay::publish(PeerId via, ResourceDescriptor descriptor) {
+  fgcs::require(!ring_.empty(), "overlay has no peers");
+  fgcs::require(!descriptor.name.empty(), "descriptor needs a name");
+  const PeerId key = key_of(descriptor.name);
+  int hops = 0;
+  const PeerId owner = route(via, key, &hops);
+  ring_.at(owner).store[key] = std::move(descriptor);
+  return stats_for(hops);
+}
+
+bool DiscoveryOverlay::unpublish(PeerId via, const std::string& name,
+                                 RouteStats* stats) {
+  const PeerId key = key_of(name);
+  int hops = 0;
+  const PeerId owner = route(via, key, &hops);
+  if (stats) *stats = stats_for(hops);
+  return ring_.at(owner).store.erase(key) > 0;
+}
+
+std::optional<ResourceDescriptor> DiscoveryOverlay::lookup(
+    PeerId via, const std::string& name, RouteStats* stats) const {
+  const PeerId key = key_of(name);
+  int hops = 0;
+  const PeerId owner = route(via, key, &hops);
+  if (stats) *stats = stats_for(hops);
+  const auto& store = ring_.at(owner).store;
+  const auto it = store.find(key);
+  if (it == store.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<ResourceDescriptor> DiscoveryOverlay::find_available(
+    PeerId via, double min_cpu_ghz, std::size_t max_results,
+    RouteStats* stats) const {
+  fgcs::require(ring_.count(via) > 0, "no such peer");
+  std::vector<ResourceDescriptor> results;
+  int hops = 0;
+  // Walk the ring clockwise starting from `via` itself.
+  auto it = ring_.find(via);
+  for (std::size_t visited = 0;
+       visited < ring_.size() && results.size() < max_results; ++visited) {
+    for (const auto& [key, descriptor] : it->second.store) {
+      if (descriptor.cpu_ghz < min_cpu_ghz) continue;
+      if (monitor::is_failure(descriptor.state)) continue;
+      results.push_back(descriptor);
+      if (results.size() >= max_results) break;
+    }
+    ++it;
+    if (it == ring_.end()) it = ring_.begin();
+    ++hops;
+  }
+  if (stats) *stats = stats_for(hops);
+  return results;
+}
+
+std::size_t DiscoveryOverlay::descriptor_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, peer] : ring_) n += peer.store.size();
+  return n;
+}
+
+}  // namespace fgcs::ishare

@@ -1,0 +1,116 @@
+// P2P resource publication and discovery — the iShare substrate.
+//
+// "In iShare, resource publication and discovery are enabled by a
+//  Peer-to-Peer network." (§5, citing [12, 13])
+//
+// DiscoveryOverlay is a Chord-style consistent-hashing ring: every peer
+// owns the key range between its predecessor's id and its own id;
+// resource descriptors are stored at the peer owning hash(name); requests
+// route greedily through finger tables (successor(p + 2^k)) in O(log n)
+// hops. Joins and graceful leaves hand the affected keys over, exactly
+// like published machines entering and leaving the cycle-sharing pool.
+//
+// The overlay is synchronous and deterministic: routing returns hop
+// counts (and a modelled network latency) instead of scheduling events,
+// which is all the availability study needs from the substrate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fgcs/monitor/availability.hpp"
+#include "fgcs/sim/time.hpp"
+
+namespace fgcs::ishare {
+
+using PeerId = std::uint64_t;  // position on the hash ring
+
+/// What a provider publishes about a machine.
+struct ResourceDescriptor {
+  std::string name;   // unique resource id, e.g. "lab-pc-07"
+  std::string owner;  // provider peer name
+  double cpu_ghz = 1.0;
+  double ram_mb = 1024.0;
+  /// The availability-model state the monitor last advertised.
+  monitor::AvailabilityState state =
+      monitor::AvailabilityState::kS1FullAvailability;
+  sim::SimTime published_at;
+};
+
+/// Routing cost of one overlay operation.
+struct RouteStats {
+  int hops = 0;
+  /// Modelled network latency (per_hop_latency * hops).
+  sim::SimDuration latency;
+};
+
+class DiscoveryOverlay {
+ public:
+  struct Config {
+    /// Latency charged per overlay hop (LAN/WAN mix).
+    sim::SimDuration per_hop_latency = sim::SimDuration::millis(20);
+  };
+
+  DiscoveryOverlay() : DiscoveryOverlay(Config{}) {}
+  explicit DiscoveryOverlay(Config config);
+
+  /// Adds a peer; keys it now owns migrate from its successor.
+  /// Peer names must be unique.
+  PeerId join(const std::string& peer_name);
+
+  /// Graceful leave: the peer's stored keys move to its successor.
+  void leave(PeerId peer);
+
+  std::size_t peer_count() const { return ring_.size(); }
+  bool has_peer(PeerId peer) const { return ring_.count(peer) > 0; }
+
+  /// Publishes a descriptor, routing from `via` to the owner peer.
+  RouteStats publish(PeerId via, ResourceDescriptor descriptor);
+
+  /// Removes a published descriptor by name; returns false if absent.
+  bool unpublish(PeerId via, const std::string& name,
+                 RouteStats* stats = nullptr);
+
+  /// Exact-name lookup, routed from `via`.
+  std::optional<ResourceDescriptor> lookup(PeerId via,
+                                           const std::string& name,
+                                           RouteStats* stats = nullptr) const;
+
+  /// Attribute search: walks the ring from the peer after `via`, visiting
+  /// every peer's store until `max_results` matches are found (published
+  /// state S1/S2, at least `min_cpu_ghz`). Hop count reflects the walk.
+  std::vector<ResourceDescriptor> find_available(
+      PeerId via, double min_cpu_ghz, std::size_t max_results,
+      RouteStats* stats = nullptr) const;
+
+  /// Total descriptors stored across the ring.
+  std::size_t descriptor_count() const;
+
+  /// The ring id a name hashes to (exposed for tests).
+  static PeerId key_of(const std::string& name);
+
+ private:
+  struct Peer {
+    std::string name;
+    std::map<PeerId, ResourceDescriptor> store;  // key -> descriptor
+    std::vector<PeerId> fingers;                 // successor(id + 2^k)
+  };
+
+  /// Peer owning `key`: the first peer clockwise at or after the key.
+  PeerId owner_of(PeerId key) const;
+
+  /// Greedy finger routing from `from` toward the owner of `key`;
+  /// returns the owner and accumulates hops.
+  PeerId route(PeerId from, PeerId key, int* hops) const;
+
+  void rebuild_fingers();
+  RouteStats stats_for(int hops) const;
+
+  Config config_;
+  std::map<PeerId, Peer> ring_;  // sorted by ring position
+};
+
+}  // namespace fgcs::ishare

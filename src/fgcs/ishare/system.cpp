@@ -1,0 +1,208 @@
+#include "fgcs/ishare/system.hpp"
+
+#include <algorithm>
+
+#include "fgcs/util/error.hpp"
+#include "fgcs/util/rng.hpp"
+
+namespace fgcs::ishare {
+
+const char* to_string(JobStatus s) {
+  switch (s) {
+    case JobStatus::kQueued:
+      return "queued";
+    case JobStatus::kRunning:
+      return "running";
+    case JobStatus::kCompleted:
+      return "completed";
+  }
+  return "?";
+}
+
+FgcsSystem::FgcsSystem(Config config) : config_(config) {
+  fgcs::require(config_.sample_period > sim::SimDuration::zero(),
+                "sample_period must be > 0");
+  fgcs::require(config_.resubmit_delay >= sim::SimDuration::zero(),
+                "resubmit_delay must be >= 0");
+}
+
+NodeId FgcsSystem::add_node(NodeConfig node_config) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  Node node;
+  node.machine = std::make_unique<os::Machine>(
+      node_config.scheduler, node_config.memory,
+      util::RngStream::derive(config_.seed, {0x4E4F4445u, id}));
+  for (auto& spec : node_config.host_processes) {
+    node.machine->spawn(spec);
+  }
+  node.sampler = std::make_unique<monitor::MachineSampler>(*node.machine);
+  node.detector = std::make_unique<monitor::UnavailabilityDetector>(
+      node_config.policy);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+JobId FgcsSystem::submit(GuestJob job) {
+  fgcs::require(job.work > sim::SimDuration::zero(), "job work must be > 0");
+  const auto id = static_cast<JobId>(jobs_.size());
+  JobRecord record;
+  record.id = id;
+  record.job = std::move(job);
+  record.submitted = now();
+  jobs_.push_back(std::move(record));
+  queue_.push_back(id);
+  return id;
+}
+
+const JobRecord& FgcsSystem::job(JobId id) const {
+  fgcs::require(id < jobs_.size(), "no such job");
+  return jobs_[id];
+}
+
+monitor::AvailabilityState FgcsSystem::node_state(NodeId id) const {
+  fgcs::require(id < nodes_.size(), "no such node");
+  return nodes_[id].detector->state();
+}
+
+std::span<const monitor::UnavailabilityEpisode> FgcsSystem::node_episodes(
+    NodeId id) const {
+  fgcs::require(id < nodes_.size(), "no such node");
+  return nodes_[id].detector->episodes();
+}
+
+std::size_t FgcsSystem::running_count() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.busy) ++n;
+  }
+  return n;
+}
+
+void FgcsSystem::ensure_started() {
+  if (started_) return;
+  started_ = true;
+  simulation_.every(config_.sample_period, [this] {
+    sweep();
+    dispatch();
+  });
+}
+
+void FgcsSystem::run_until(sim::SimTime t) {
+  fgcs::require(!nodes_.empty(), "add at least one node before running");
+  ensure_started();
+  simulation_.run_until(t);
+  // Bring every machine fully up to the requested instant (the last
+  // sampling event may precede it).
+  for (auto& node : nodes_) {
+    node.machine->run_until(t);
+  }
+}
+
+void FgcsSystem::sweep() {
+  const sim::SimTime t = simulation_.now();
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    Node& node = nodes_[id];
+    node.machine->run_until(t);
+    node.detector->observe(node.sampler->sample());
+
+    if (!node.busy) continue;
+    JobRecord& record = jobs_[node.running_job];
+    node.controller->apply(*node.detector);
+
+    const auto& guest = node.machine->process(node.guest_pid);
+    if (guest.state() == os::ProcState::kExited) {
+      const auto& actions = node.controller->actions();
+      const bool killed_by_policy =
+          !actions.empty() &&
+          actions.back().action == monitor::GuestAction::kTerminate;
+      if (killed_by_policy) {
+        // Killed by the availability policy: the work is lost; requeue
+        // after the detection/re-staging delay.
+        ++record.restarts;
+        record.status = JobStatus::kQueued;
+        requeue_later(record.id);
+      } else {
+        record.status = JobStatus::kCompleted;
+        record.completed = guest.exit_time();
+      }
+      node.busy = false;
+      node.controller.reset();
+    }
+  }
+}
+
+void FgcsSystem::requeue_later(JobId id) {
+  simulation_.after(config_.resubmit_delay, [this, id] {
+    queue_.push_back(id);
+  });
+}
+
+void FgcsSystem::dispatch() {
+  if (queue_.empty()) return;
+  const sim::SimTime t = simulation_.now();
+  for (NodeId id = 0; id < nodes_.size() && !queue_.empty(); ++id) {
+    Node& node = nodes_[id];
+    if (node.busy) continue;
+    if (monitor::is_failure(node.detector->state())) continue;
+    if (node.detector->transient_high()) continue;
+    // §5.2: "the system should wait for about 5 minutes before harvesting
+    // a machine recently released from heavy host workloads" — short gaps
+    // after an episode are usually noise.
+    const auto episodes = node.detector->episodes();
+    if (!episodes.empty() && !episodes.back().open &&
+        t - episodes.back().end < node.detector->policy().harvest_delay) {
+      continue;
+    }
+
+    const JobId job_id = queue_.front();
+    queue_.erase(queue_.begin());
+    JobRecord& record = jobs_[job_id];
+
+    os::ProcessSpec spec;
+    spec.name = record.job.name + "#" + std::to_string(job_id);
+    spec.kind = os::ProcessKind::kGuest;
+    // S2 placement starts at lowest priority immediately (§3.2).
+    spec.nice = node.detector->state() ==
+                        monitor::AvailabilityState::kS2LowestPriority
+                    ? 19
+                    : 0;
+    spec.resident_mb = record.job.resident_mb;
+    spec.working_set_mb = record.job.working_set_mb;
+    spec.program = os::fixed_program({os::Phase::compute(record.job.work)});
+
+    node.guest_pid = node.machine->spawn(spec);
+    node.controller.emplace(*node.machine, node.guest_pid, 0);
+    node.running_job = job_id;
+    node.busy = true;
+    record.status = JobStatus::kRunning;
+    record.last_node = id;
+    record.ever_started = true;
+  }
+}
+
+FgcsSystem::Stats FgcsSystem::stats() const {
+  Stats s;
+  s.submitted = jobs_.size();
+  s.queued = queue_.size();
+  double response_sum = 0.0;
+  for (const auto& record : jobs_) {
+    s.total_restarts += record.restarts;
+    switch (record.status) {
+      case JobStatus::kCompleted:
+        ++s.completed;
+        response_sum += record.response().as_hours();
+        break;
+      case JobStatus::kRunning:
+        ++s.running;
+        break;
+      case JobStatus::kQueued:
+        break;
+    }
+  }
+  if (s.completed > 0) {
+    s.mean_response_hours = response_sum / static_cast<double>(s.completed);
+  }
+  return s;
+}
+
+}  // namespace fgcs::ishare

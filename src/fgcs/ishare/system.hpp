@@ -1,0 +1,147 @@
+// An iShare-like FGCS middleware (§5: "an Internet-sharing system ...
+// which supports FGCS").
+//
+// The paper's testbed ran iShare: each published machine runs a resource
+// monitor; guest jobs are submitted to published machines, run
+// concurrently with host processes, and are reniced / suspended /
+// terminated by the §3.2 policy as host load changes. FgcsSystem is that
+// middleware over simulated machines:
+//
+//   * nodes = fine-grained os::Machine instances with their own host
+//     workloads, samplers, detectors, and guest controllers;
+//   * a FIFO job queue; jobs are dispatched to nodes whose model state is
+//     S1/S2 and that run no guest (one guest per machine, §3.2);
+//   * a terminated guest loses its work and is requeued after a
+//     resubmission delay; completion is the guest process finishing its
+//     compute naturally.
+//
+// The discrete-event kernel drives one sampling sweep per period across
+// all nodes, exactly like the deployed monitor's vmstat cadence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fgcs/monitor/guest_controller.hpp"
+#include "fgcs/monitor/machine_sampler.hpp"
+#include "fgcs/sim/simulation.hpp"
+
+namespace fgcs::ishare {
+
+using NodeId = std::uint32_t;
+using JobId = std::uint32_t;
+
+/// A compute-bound guest job (§1: sequential batch work, response time is
+/// the metric).
+struct GuestJob {
+  std::string name = "guest-job";
+  /// CPU-seconds of work at full machine speed.
+  sim::SimDuration work = sim::SimDuration::minutes(30);
+  double resident_mb = 50.0;
+  double working_set_mb = -1.0;  // defaults to resident_mb
+};
+
+enum class JobStatus : std::uint8_t { kQueued, kRunning, kCompleted };
+
+const char* to_string(JobStatus s);
+
+struct JobRecord {
+  JobId id = 0;
+  GuestJob job;
+  JobStatus status = JobStatus::kQueued;
+  sim::SimTime submitted;
+  sim::SimTime completed;  // valid when status == kCompleted
+  /// Times the job was killed by the availability policy and requeued.
+  int restarts = 0;
+  /// Node that ran (or is running) the job most recently.
+  NodeId last_node = 0;
+  bool ever_started = false;
+
+  sim::SimDuration response() const { return completed - submitted; }
+};
+
+/// Per-node configuration: the machine profile plus the host workload
+/// that the machine's owner runs.
+struct NodeConfig {
+  os::SchedulerParams scheduler = os::SchedulerParams::linux_2_4();
+  os::MemoryParams memory = os::MemoryParams::linux_1gb();
+  monitor::ThresholdPolicy policy = monitor::ThresholdPolicy::linux_testbed();
+  std::vector<os::ProcessSpec> host_processes;
+};
+
+class FgcsSystem {
+ public:
+  struct Config {
+    sim::SimDuration sample_period = sim::SimDuration::seconds(15);
+    /// Detection + re-staging + queue latency after a guest is killed.
+    sim::SimDuration resubmit_delay = sim::SimDuration::minutes(5);
+    std::uint64_t seed = 1;
+  };
+
+  FgcsSystem() : FgcsSystem(Config{}) {}
+  explicit FgcsSystem(Config config);
+
+  /// Publishes a machine into the pool. Host processes start immediately.
+  NodeId add_node(NodeConfig config);
+
+  /// Submits a job at the current simulated time.
+  JobId submit(GuestJob job);
+
+  /// Advances the whole system (machines, monitors, dispatch).
+  void run_until(sim::SimTime t);
+  void run_for(sim::SimDuration d) { run_until(now() + d); }
+
+  sim::SimTime now() const { return simulation_.now(); }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t job_count() const { return jobs_.size(); }
+  const JobRecord& job(JobId id) const;
+
+  /// The availability model state of a node right now.
+  monitor::AvailabilityState node_state(NodeId id) const;
+
+  /// Unavailability episodes a node's detector has recorded.
+  std::span<const monitor::UnavailabilityEpisode> node_episodes(
+      NodeId id) const;
+
+  std::size_t queued_count() const { return queue_.size(); }
+  std::size_t running_count() const;
+
+  struct Stats {
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t running = 0;
+    std::size_t queued = 0;
+    int total_restarts = 0;
+    double mean_response_hours = 0.0;  // over completed jobs
+  };
+  Stats stats() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<os::Machine> machine;
+    std::unique_ptr<monitor::MachineSampler> sampler;
+    std::unique_ptr<monitor::UnavailabilityDetector> detector;
+    std::optional<monitor::GuestController> controller;
+    os::ProcessId guest_pid = 0;
+    JobId running_job = 0;
+    bool busy = false;
+  };
+
+  void ensure_started();
+  void sweep();                 // one sampling pass over every node
+  void dispatch();              // queue -> free available nodes
+  void requeue_later(JobId id);
+
+  Config config_;
+  sim::Simulation simulation_;
+  std::vector<Node> nodes_;
+  std::vector<JobRecord> jobs_;
+  std::vector<JobId> queue_;  // FIFO
+  bool started_ = false;
+};
+
+}  // namespace fgcs::ishare

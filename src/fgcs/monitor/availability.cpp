@@ -1,0 +1,63 @@
+#include "fgcs/monitor/availability.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::monitor {
+
+const char* to_string(AvailabilityState s) {
+  switch (s) {
+    case AvailabilityState::kS1FullAvailability:
+      return "S1";
+    case AvailabilityState::kS2LowestPriority:
+      return "S2";
+    case AvailabilityState::kS3CpuUnavailable:
+      return "S3";
+    case AvailabilityState::kS4MemoryThrashing:
+      return "S4";
+    case AvailabilityState::kS5MachineUnavailable:
+      return "S5";
+  }
+  return "?";
+}
+
+const char* describe(AvailabilityState s) {
+  switch (s) {
+    case AvailabilityState::kS1FullAvailability:
+      return "full resource availability for guest process";
+    case AvailabilityState::kS2LowestPriority:
+      return "resource availability for guest process with lowest priority";
+    case AvailabilityState::kS3CpuUnavailable:
+      return "CPU unavailability (UEC)";
+    case AvailabilityState::kS4MemoryThrashing:
+      return "memory thrashing (UEC)";
+    case AvailabilityState::kS5MachineUnavailable:
+      return "machine unavailability (URR)";
+  }
+  return "?";
+}
+
+bool is_failure(AvailabilityState s) {
+  return s == AvailabilityState::kS3CpuUnavailable ||
+         s == AvailabilityState::kS4MemoryThrashing ||
+         s == AvailabilityState::kS5MachineUnavailable;
+}
+
+bool is_uec(AvailabilityState s) {
+  return s == AvailabilityState::kS3CpuUnavailable ||
+         s == AvailabilityState::kS4MemoryThrashing;
+}
+
+AvailabilityState availability_state_from_string(const char* s) {
+  if (std::strcmp(s, "S1") == 0) return AvailabilityState::kS1FullAvailability;
+  if (std::strcmp(s, "S2") == 0) return AvailabilityState::kS2LowestPriority;
+  if (std::strcmp(s, "S3") == 0) return AvailabilityState::kS3CpuUnavailable;
+  if (std::strcmp(s, "S4") == 0) return AvailabilityState::kS4MemoryThrashing;
+  if (std::strcmp(s, "S5") == 0)
+    return AvailabilityState::kS5MachineUnavailable;
+  throw ConfigError("unknown availability state: " + std::string(s));
+}
+
+}  // namespace fgcs::monitor

@@ -1,0 +1,42 @@
+// The paper's five-state availability model (Figure 5).
+//
+//   S1  full resource availability for the guest process
+//   S2  availability with the guest at lowest priority (renice 19)
+//   S3  CPU unavailability (UEC: host CPU load steadily above Th2)
+//   S4  memory thrashing (UEC: guest working set does not fit free memory)
+//   S5  machine unavailability (URR: revocation or hardware/software failure)
+//
+// S3, S4, S5 are unrecoverable *for the running guest* — the guest is
+// killed or migrated. The machine itself recovers and a new availability
+// interval begins when the triggering condition clears.
+#pragma once
+
+#include <cstdint>
+
+namespace fgcs::monitor {
+
+enum class AvailabilityState : std::uint8_t {
+  kS1FullAvailability = 1,
+  kS2LowestPriority = 2,
+  kS3CpuUnavailable = 3,
+  kS4MemoryThrashing = 4,
+  kS5MachineUnavailable = 5,
+};
+
+/// Short state name, "S1".."S5".
+const char* to_string(AvailabilityState s);
+
+/// Long human-readable description (Figure 5's legend).
+const char* describe(AvailabilityState s);
+
+/// True for the unrecoverable failure states S3, S4, S5.
+bool is_failure(AvailabilityState s);
+
+/// True for the UEC states S3 and S4 (unavailability due to excessive
+/// resource contention, as opposed to URR / S5).
+bool is_uec(AvailabilityState s);
+
+/// Parses "S1".."S5"; throws ConfigError on anything else.
+AvailabilityState availability_state_from_string(const char* s);
+
+}  // namespace fgcs::monitor

@@ -1,0 +1,110 @@
+#include "fgcs/monitor/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::monitor {
+
+UnavailabilityDetector::UnavailabilityDetector(ThresholdPolicy policy)
+    : policy_(policy) {
+  policy_.validate();
+}
+
+AvailabilityState UnavailabilityDetector::observe(HostSample sample) {
+  FGCS_ASSERT(!saw_sample_ || sample.time >= last_time_);
+  // vmstat-style inputs can be momentarily out of range (counter skew,
+  // rounding); NaNs however indicate a broken sampler.
+  FGCS_ASSERT(!std::isnan(sample.host_cpu) && !std::isnan(sample.free_mem_mb));
+  sample.host_cpu = std::clamp(sample.host_cpu, 0.0, 1.0);
+  sample.free_mem_mb = std::max(0.0, sample.free_mem_mb);
+  saw_sample_ = true;
+  last_time_ = sample.time;
+
+  AvailabilityState next;
+  // CPU-excursion tracking is orthogonal to the memory check (§3.2.3);
+  // only machine downtime resets it.
+  if (sample.service_alive) {
+    if (sample.host_cpu > policy_.th2) {
+      if (!high_since_valid_) {
+        high_since_valid_ = true;
+        high_since_ = sample.time;
+      }
+    } else {
+      high_since_valid_ = false;
+    }
+  } else {
+    high_since_valid_ = false;
+  }
+
+  if (!sample.service_alive) {
+    next = AvailabilityState::kS5MachineUnavailable;
+  } else if (sample.free_mem_mb < policy_.guest_working_set_mb) {
+    // S4 is immediate: starting a guest (or keeping one) would thrash (§4).
+    next = AvailabilityState::kS4MemoryThrashing;
+  } else if (sample.host_cpu > policy_.th2) {
+    const bool sustained =
+        (sample.time - high_since_) >= policy_.sustain_window;
+    if (state_ == AvailabilityState::kS3CpuUnavailable || sustained) {
+      next = AvailabilityState::kS3CpuUnavailable;
+    } else if (state_ == AvailabilityState::kS1FullAvailability ||
+               state_ == AvailabilityState::kS2LowestPriority) {
+      // Transient spike: the guest is merely suspended; the model stays in
+      // S1/S2 (§4's definition of those states).
+      next = state_;
+    } else {
+      // Recovering from a failure state straight into high load.
+      next = AvailabilityState::kS2LowestPriority;
+    }
+  } else {
+    high_since_valid_ = false;
+    next = sample.host_cpu >= policy_.th1
+               ? AvailabilityState::kS2LowestPriority
+               : AvailabilityState::kS1FullAvailability;
+  }
+
+  if (next != state_) enter(next, sample.time, sample);
+  return state_;
+}
+
+void UnavailabilityDetector::enter(AvailabilityState next, sim::SimTime when,
+                                   const HostSample& sample) {
+  transitions_.push_back({when, state_, next});
+
+  if (is_failure(state_) && !episodes_.empty() && episodes_.back().open) {
+    episodes_.back().end = when;
+    episodes_.back().open = false;
+  }
+  if (is_failure(next)) {
+    UnavailabilityEpisode ep;
+    // S3 episodes begin when the load excursion began (the guest was
+    // already suspended through the confirmation window) — unless we come
+    // straight out of another failure episode, which owns that time. The
+    // excursion may also have started *before* an intervening S4/S5
+    // episode; clamp so episodes never overlap.
+    ep.start = when;
+    if (next == AvailabilityState::kS3CpuUnavailable && high_since_valid_ &&
+        !is_failure(state_)) {
+      ep.start = high_since_;
+      if (!episodes_.empty()) {
+        ep.start = std::max(ep.start, episodes_.back().end);
+      }
+    }
+    ep.end = ep.start;
+    ep.cause = next;
+    ep.host_cpu_at_start = sample.host_cpu;
+    ep.free_mem_at_start = sample.free_mem_mb;
+    episodes_.push_back(ep);
+  }
+  state_ = next;
+}
+
+void UnavailabilityDetector::finish(sim::SimTime end) {
+  if (!episodes_.empty() && episodes_.back().open) {
+    episodes_.back().end = end;
+    episodes_.back().open = false;
+  }
+}
+
+}  // namespace fgcs::monitor

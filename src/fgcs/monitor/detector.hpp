@@ -1,0 +1,102 @@
+// Non-intrusive unavailability detection (§3, §4).
+//
+// The detector consumes periodic host-resource samples — exactly what the
+// iShare monitor obtained from vmstat/prstat — and runs the five-state
+// model:
+//
+//   * service not alive                      -> S5 (URR)
+//   * free memory < guest working set        -> S4 (immediate)
+//   * host CPU > Th2 sustained >= 1 minute   -> S3 (the guest is only
+//     suspended during the first minute; short spikes are common, §4)
+//   * Th1 <= host CPU <= Th2                 -> S2 (guest reniced)
+//   * host CPU < Th1                         -> S1
+//
+// Each entry into S3/S4/S5 is one *unavailability occurrence*; the episode
+// ends when the condition clears, and the next availability interval
+// begins there.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fgcs/monitor/availability.hpp"
+#include "fgcs/monitor/policy.hpp"
+#include "fgcs/sim/time.hpp"
+
+namespace fgcs::monitor {
+
+/// One observation of host-side resources (what the monitor can see
+/// without special privileges).
+struct HostSample {
+  sim::SimTime time;
+  /// Aggregate CPU usage of all host (and system) processes, in [0, 1].
+  double host_cpu = 0.0;
+  /// Free physical memory available to a guest, MB.
+  double free_mem_mb = 0.0;
+  /// FGCS service liveness; false means the machine is revoked/down.
+  bool service_alive = true;
+};
+
+/// A state-machine transition, recorded at sample granularity.
+struct Transition {
+  sim::SimTime time;
+  AvailabilityState from;
+  AvailabilityState to;
+};
+
+/// One unavailability episode (occurrence + duration + cause).
+struct UnavailabilityEpisode {
+  sim::SimTime start;
+  sim::SimTime end;  // == start while still open
+  AvailabilityState cause;
+  /// Host CPU load and free memory observed when the episode began
+  /// (the trace's "available CPU and memory for guest jobs", §5).
+  double host_cpu_at_start = 0.0;
+  double free_mem_at_start = 0.0;
+  bool open = true;
+
+  sim::SimDuration duration() const { return end - start; }
+};
+
+class UnavailabilityDetector {
+ public:
+  explicit UnavailabilityDetector(ThresholdPolicy policy);
+
+  /// Processes one sample (times must be non-decreasing) and returns the
+  /// state after it. Out-of-range CPU/memory readings are clamped (real
+  /// vmstat output can momentarily exceed bounds); NaNs are rejected.
+  AvailabilityState observe(HostSample sample);
+
+  /// Current model state.
+  AvailabilityState state() const { return state_; }
+
+  /// True while host CPU is above Th2 but the sustain window has not
+  /// elapsed — the guest should be *suspended*, not killed (§4).
+  bool transient_high() const { return high_since_valid_ && !is_failure(state_); }
+
+  /// Closes any open episode at `end` (end-of-trace bookkeeping).
+  void finish(sim::SimTime end);
+
+  std::span<const Transition> transitions() const { return transitions_; }
+  std::span<const UnavailabilityEpisode> episodes() const { return episodes_; }
+
+  const ThresholdPolicy& policy() const { return policy_; }
+
+ private:
+  void enter(AvailabilityState next, sim::SimTime when,
+             const HostSample& sample);
+
+  ThresholdPolicy policy_;
+  AvailabilityState state_ = AvailabilityState::kS1FullAvailability;
+  bool saw_sample_ = false;
+  sim::SimTime last_time_ = sim::SimTime::epoch();
+
+  // Sustained-high-CPU tracking.
+  bool high_since_valid_ = false;
+  sim::SimTime high_since_ = sim::SimTime::epoch();
+
+  std::vector<Transition> transitions_;
+  std::vector<UnavailabilityEpisode> episodes_;
+};
+
+}  // namespace fgcs::monitor

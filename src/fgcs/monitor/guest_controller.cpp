@@ -1,0 +1,78 @@
+#include "fgcs/monitor/guest_controller.hpp"
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::monitor {
+
+const char* to_string(GuestAction a) {
+  switch (a) {
+    case GuestAction::kSetDefaultPriority:
+      return "set-default-priority";
+    case GuestAction::kSetLowestPriority:
+      return "renice-19";
+    case GuestAction::kSuspend:
+      return "suspend";
+    case GuestAction::kResume:
+      return "resume";
+    case GuestAction::kTerminate:
+      return "terminate";
+  }
+  return "?";
+}
+
+GuestController::GuestController(os::Machine& machine, os::ProcessId guest,
+                                 int default_nice)
+    : machine_(machine),
+      guest_(guest),
+      default_nice_(default_nice),
+      current_nice_(machine.process(guest).nice()) {
+  fgcs::require(default_nice >= 0 && default_nice <= 19,
+                "default_nice must be in [0, 19]");
+}
+
+void GuestController::record(GuestAction a, AvailabilityState s) {
+  actions_.push_back({machine_.now(), a, s});
+}
+
+void GuestController::apply(const UnavailabilityDetector& detector) {
+  if (terminated_) return;
+  if (machine_.process(guest_).state() == os::ProcState::kExited) {
+    terminated_ = true;
+    return;
+  }
+
+  const AvailabilityState s = detector.state();
+  if (is_failure(s)) {
+    machine_.terminate(guest_);
+    terminated_ = true;
+    record(GuestAction::kTerminate, s);
+    return;
+  }
+
+  if (detector.transient_high()) {
+    if (!suspended_) {
+      machine_.suspend(guest_);
+      suspended_ = true;
+      record(GuestAction::kSuspend, s);
+    }
+    return;
+  }
+
+  if (suspended_) {
+    machine_.resume(guest_);
+    suspended_ = false;
+    record(GuestAction::kResume, s);
+  }
+
+  const int want_nice =
+      s == AvailabilityState::kS2LowestPriority ? 19 : default_nice_;
+  if (want_nice != current_nice_) {
+    machine_.renice(guest_, want_nice);
+    current_nice_ = want_nice;
+    record(want_nice == 19 ? GuestAction::kSetLowestPriority
+                           : GuestAction::kSetDefaultPriority,
+           s);
+  }
+}
+
+}  // namespace fgcs::monitor

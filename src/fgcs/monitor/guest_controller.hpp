@@ -1,0 +1,65 @@
+// Guest-process management policy (§3.2).
+//
+// "The priority of a running guest process is minimized (using renice)
+//  whenever it causes noticeable slowdown on the host processes. If this
+//  does not alleviate the resource contention, the reniced guest process
+//  is suspended. The guest process resumes if the contention diminishes
+//  after a certain duration (1 minute in our experiments), otherwise it
+//  is terminated."
+//
+// GuestController translates detector states into renice / suspend /
+// resume / terminate actions on a simulated machine's guest process.
+#pragma once
+
+#include <vector>
+
+#include "fgcs/monitor/detector.hpp"
+#include "fgcs/os/machine.hpp"
+
+namespace fgcs::monitor {
+
+enum class GuestAction : std::uint8_t {
+  kSetDefaultPriority,
+  kSetLowestPriority,
+  kSuspend,
+  kResume,
+  kTerminate,
+};
+
+const char* to_string(GuestAction a);
+
+struct GuestActionRecord {
+  sim::SimTime time;
+  GuestAction action;
+  AvailabilityState state;
+};
+
+class GuestController {
+ public:
+  /// Manages `guest` on `machine`. `default_nice` is the guest's S1
+  /// priority (0 in the paper's experiments).
+  GuestController(os::Machine& machine, os::ProcessId guest,
+                  int default_nice = 0);
+
+  /// Applies the policy for the detector's current state. Call after each
+  /// detector.observe().
+  void apply(const UnavailabilityDetector& detector);
+
+  bool terminated() const { return terminated_; }
+  bool suspended() const { return suspended_; }
+
+  const std::vector<GuestActionRecord>& actions() const { return actions_; }
+
+ private:
+  void record(GuestAction a, AvailabilityState s);
+
+  os::Machine& machine_;
+  os::ProcessId guest_;
+  int default_nice_;
+  bool suspended_ = false;
+  bool terminated_ = false;
+  int current_nice_;
+  std::vector<GuestActionRecord> actions_;
+};
+
+}  // namespace fgcs::monitor

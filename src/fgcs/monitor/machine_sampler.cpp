@@ -1,0 +1,55 @@
+#include "fgcs/monitor/machine_sampler.hpp"
+
+#include <algorithm>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::monitor {
+
+MachineSampler::MachineSampler(const os::Machine& machine)
+    : machine_(machine), last_totals_(machine.totals()) {}
+
+HostSample MachineSampler::sample() {
+  const os::CpuTotals now_totals = machine_.totals();
+  HostSample s;
+  s.time = machine_.now();
+  s.host_cpu = os::CpuTotals::host_usage(last_totals_, now_totals);
+  s.free_mem_mb = machine_.free_memory_mb();
+  s.service_alive = true;
+  last_totals_ = now_totals;
+  return s;
+}
+
+TrajectorySampler::TrajectorySampler(const workload::MachineLoadTrace& trace,
+                                     double ram_mb, double kernel_mb)
+    : trace_(trace), ram_mb_(ram_mb), kernel_mb_(kernel_mb),
+      cursor_(trace.load) {
+  fgcs::require(ram_mb > kernel_mb && kernel_mb >= 0,
+                "TrajectorySampler: invalid memory sizes");
+}
+
+bool TrajectorySampler::in_downtime(sim::SimTime t) {
+  const auto& downs = trace_.downtimes;
+  while (downtime_index_ < downs.size() &&
+         downs[downtime_index_].start + downs[downtime_index_].duration <= t) {
+    ++downtime_index_;
+  }
+  return downtime_index_ < downs.size() && downs[downtime_index_].start <= t;
+}
+
+HostSample TrajectorySampler::sample(sim::SimTime t, sim::SimDuration period) {
+  FGCS_ASSERT(period > sim::SimDuration::zero());
+  HostSample s;
+  s.time = t;
+  s.service_alive = !in_downtime(t);
+  // Trajectories are piecewise-constant with segments much longer than the
+  // sampling period, so the instantaneous value stands in for the window
+  // average (the cursor is still advanced monotonically).
+  const workload::LoadPoint& p = cursor_.at(t);
+  s.host_cpu = p.cpu;
+  const double host_mem = p.mem_mb;
+  s.free_mem_mb = std::max(0.0, ram_mb_ - kernel_mb_ - host_mem);
+  return s;
+}
+
+}  // namespace fgcs::monitor

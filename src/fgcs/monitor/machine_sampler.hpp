@@ -1,0 +1,52 @@
+// Sampler adapters: produce HostSamples from resource sources.
+//
+// MachineSampler polls a fine-grained os::Machine the way the iShare
+// monitor polled vmstat/prstat: host CPU usage over the last period
+// (host + system processes), current free memory, service alive.
+#pragma once
+
+#include "fgcs/monitor/detector.hpp"
+#include "fgcs/os/machine.hpp"
+#include "fgcs/workload/load_model.hpp"
+
+namespace fgcs::monitor {
+
+/// Polls an os::Machine. Advance the machine externally, then call
+/// sample() at each period boundary.
+class MachineSampler {
+ public:
+  explicit MachineSampler(const os::Machine& machine);
+
+  /// Produces the sample for the window [last-call, now]. The first call
+  /// covers [construction, now].
+  HostSample sample();
+
+ private:
+  const os::Machine& machine_;
+  os::CpuTotals last_totals_;
+};
+
+/// Samples a synthesized load trajectory (testbed tier). Host CPU over a
+/// window is the time-average of the piecewise-constant trajectory;
+/// free memory derives from total RAM minus kernel and host usage;
+/// downtimes turn service_alive off.
+class TrajectorySampler {
+ public:
+  TrajectorySampler(const workload::MachineLoadTrace& trace, double ram_mb,
+                    double kernel_mb);
+
+  /// Sample at time `t` covering the window [t - period, t]; `t` must be
+  /// non-decreasing across calls.
+  HostSample sample(sim::SimTime t, sim::SimDuration period);
+
+ private:
+  bool in_downtime(sim::SimTime t);
+
+  const workload::MachineLoadTrace& trace_;
+  double ram_mb_;
+  double kernel_mb_;
+  workload::LoadTrajectory::Cursor cursor_;
+  std::size_t downtime_index_ = 0;
+};
+
+}  // namespace fgcs::monitor

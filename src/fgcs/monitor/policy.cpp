@@ -1,0 +1,27 @@
+#include "fgcs/monitor/policy.hpp"
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::monitor {
+
+void ThresholdPolicy::validate() const {
+  fgcs::require(th1 > 0.0 && th1 < 1.0, "Th1 must be in (0, 1)");
+  fgcs::require(th2 > th1 && th2 <= 1.0, "Th2 must be in (Th1, 1]");
+  fgcs::require(slowdown_limit > 0.0 && slowdown_limit < 1.0,
+                "slowdown_limit must be in (0, 1)");
+  fgcs::require(sustain_window >= sim::SimDuration::zero(),
+                "sustain_window must be >= 0");
+  fgcs::require(guest_working_set_mb >= 0.0,
+                "guest_working_set_mb must be >= 0");
+  fgcs::require(sample_period > sim::SimDuration::zero(),
+                "sample_period must be > 0");
+}
+
+ThresholdPolicy ThresholdPolicy::linux_testbed() {
+  ThresholdPolicy p;
+  p.th1 = 0.20;
+  p.th2 = 0.60;
+  return p;
+}
+
+}  // namespace fgcs::monitor

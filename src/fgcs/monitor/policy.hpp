@@ -1,0 +1,43 @@
+// Threshold policy: the calibrated constants driving detection (§3, §4).
+#pragma once
+
+#include "fgcs/sim/time.hpp"
+
+namespace fgcs::monitor {
+
+struct ThresholdPolicy {
+  /// Host CPU load above which the guest must run at lowest priority
+  /// (the paper's Th1; 20% on the Linux testbed).
+  double th1 = 0.20;
+
+  /// Host CPU load above which even a nice-19 guest slows hosts by more
+  /// than the limit (the paper's Th2; 60% on the Linux testbed).
+  double th2 = 0.60;
+
+  /// The "noticeable slowdown" bound for host processes (§3.2: 5%).
+  double slowdown_limit = 0.05;
+
+  /// How long host load must stay above Th2 before declaring S3. Shorter
+  /// excursions only suspend the guest (§4: 1 minute).
+  sim::SimDuration sustain_window = sim::SimDuration::minutes(1);
+
+  /// Reference guest working-set size for the S4 check: S4 when free host
+  /// memory cannot fit this (§4: "no enough free memory to fit the
+  /// working set of a guest process").
+  double guest_working_set_mb = 200.0;
+
+  /// Monitor sampling period (vmstat/prstat polling cadence).
+  sim::SimDuration sample_period = sim::SimDuration::seconds(15);
+
+  /// §5.2's recommendation: wait ~5 minutes before re-harvesting a machine
+  /// recently released from heavy load. Used by the job-manager example
+  /// and the interval analyzer's small-gap accounting.
+  sim::SimDuration harvest_delay = sim::SimDuration::minutes(5);
+
+  void validate() const;
+
+  /// The paper's Linux testbed thresholds (Th1=20%, Th2=60%).
+  static ThresholdPolicy linux_testbed();
+};
+
+}  // namespace fgcs::monitor

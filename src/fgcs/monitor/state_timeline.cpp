@@ -1,0 +1,91 @@
+#include "fgcs/monitor/state_timeline.hpp"
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::monitor {
+
+StateTimeline StateTimeline::from_transitions(
+    AvailabilityState initial, sim::SimTime start, sim::SimTime end,
+    std::span<const Transition> transitions) {
+  fgcs::require(end > start, "StateTimeline: empty horizon");
+  StateTimeline tl;
+  tl.start_ = start;
+  tl.end_ = end;
+  tl.total_ = end - start;
+
+  AvailabilityState current = initial;
+  sim::SimTime cursor = start;
+  for (const auto& t : transitions) {
+    fgcs::require(t.time >= cursor && t.time <= end,
+                  "StateTimeline: transition outside horizon or unordered");
+    fgcs::require(t.from == current,
+                  "StateTimeline: transition chain mismatch");
+    if (t.time > cursor) {
+      tl.intervals_.push_back({current, cursor, t.time});
+      tl.time_in_[idx(current)] += t.time - cursor;
+    }
+    ++tl.transitions_[idx(t.from)][idx(t.to)];
+    current = t.to;
+    cursor = t.time;
+  }
+  if (cursor < end) {
+    tl.intervals_.push_back({current, cursor, end});
+    tl.time_in_[idx(current)] += end - cursor;
+  }
+  return tl;
+}
+
+StateTimeline StateTimeline::from_detector(
+    const UnavailabilityDetector& detector, sim::SimTime start,
+    sim::SimTime end) {
+  return from_transitions(AvailabilityState::kS1FullAvailability, start, end,
+                          detector.transitions());
+}
+
+sim::SimDuration StateTimeline::time_in(AvailabilityState s) const {
+  return time_in_[idx(s)];
+}
+
+double StateTimeline::fraction_in(AvailabilityState s) const {
+  if (total_ <= sim::SimDuration::zero()) return 0.0;
+  return time_in(s) / total_;
+}
+
+double StateTimeline::availability() const {
+  return fraction_in(AvailabilityState::kS1FullAvailability) +
+         fraction_in(AvailabilityState::kS2LowestPriority);
+}
+
+std::uint32_t StateTimeline::transition_count(AvailabilityState from,
+                                              AvailabilityState to) const {
+  return transitions_[idx(from)][idx(to)];
+}
+
+std::uint32_t StateTimeline::transitions_from(AvailabilityState from) const {
+  std::uint32_t n = 0;
+  for (std::size_t to = 0; to < 5; ++to) n += transitions_[idx(from)][to];
+  return n;
+}
+
+std::vector<double> StateTimeline::sojourn_hours(AvailabilityState s) const {
+  std::vector<double> out;
+  for (const auto& iv : intervals_) {
+    if (iv.state == s) out.push_back(iv.duration().as_hours());
+  }
+  return out;
+}
+
+void StateTimeline::accumulate(const StateTimeline& other) {
+  for (std::size_t i = 0; i < 5; ++i) {
+    time_in_[i] += other.time_in_[i];
+    for (std::size_t j = 0; j < 5; ++j) {
+      transitions_[i][j] += other.transitions_[i][j];
+    }
+  }
+  total_ += other.total_;
+  // Keep intervals of both for sojourn statistics.
+  intervals_.insert(intervals_.end(), other.intervals_.begin(),
+                    other.intervals_.end());
+}
+
+}  // namespace fgcs::monitor

@@ -1,0 +1,84 @@
+// State timeline: the empirical view of the five-state model (Figure 5).
+//
+// The detector logs transitions; StateTimeline reconstructs the full
+// piecewise-constant state history and answers occupancy questions: how
+// much time a machine spends in each state, how often each transition
+// fires, and how long sojourns in each state last. This is the measured
+// counterpart of the paper's Figure 5 diagram.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fgcs/monitor/detector.hpp"
+
+namespace fgcs::monitor {
+
+/// One maximal period spent in a single state.
+struct StateInterval {
+  AvailabilityState state;
+  sim::SimTime start;
+  sim::SimTime end;
+
+  sim::SimDuration duration() const { return end - start; }
+};
+
+class StateTimeline {
+ public:
+  StateTimeline() = default;
+
+  /// Reconstructs the timeline over [start, end) from a detector's
+  /// transition log. `initial` is the state at `start` (S1 for a fresh
+  /// detector). Transitions outside [start, end) are rejected.
+  static StateTimeline from_transitions(AvailabilityState initial,
+                                        sim::SimTime start, sim::SimTime end,
+                                        std::span<const Transition> transitions);
+
+  /// Convenience: reads everything from a finished detector.
+  static StateTimeline from_detector(const UnavailabilityDetector& detector,
+                                     sim::SimTime start, sim::SimTime end);
+
+  std::span<const StateInterval> intervals() const { return intervals_; }
+  sim::SimTime start() const { return start_; }
+  sim::SimTime end() const { return end_; }
+
+  /// Total time spent in `s`.
+  sim::SimDuration time_in(AvailabilityState s) const;
+
+  /// time_in(s) / (end - start).
+  double fraction_in(AvailabilityState s) const;
+
+  /// Fraction of time the machine was usable by a guest (S1 or S2).
+  double availability() const;
+
+  /// Number of transitions from `from` to `to`.
+  std::uint32_t transition_count(AvailabilityState from,
+                                 AvailabilityState to) const;
+
+  /// Total transitions out of `from`.
+  std::uint32_t transitions_from(AvailabilityState from) const;
+
+  /// Sojourn durations (hours) of every completed stay in `s`.
+  std::vector<double> sojourn_hours(AvailabilityState s) const;
+
+  /// Merges another machine's timeline statistics into this one (for
+  /// testbed-wide aggregates). Timelines keep their own intervals; only
+  /// counters and durations accumulate.
+  void accumulate(const StateTimeline& other);
+
+ private:
+  static std::size_t idx(AvailabilityState s) {
+    return static_cast<std::size_t>(s) - 1;
+  }
+
+  sim::SimTime start_;
+  sim::SimTime end_;
+  std::vector<StateInterval> intervals_;
+  std::array<sim::SimDuration, 5> time_in_{};
+  std::array<std::array<std::uint32_t, 5>, 5> transitions_{};
+  sim::SimDuration total_ = sim::SimDuration::zero();
+};
+
+}  // namespace fgcs::monitor

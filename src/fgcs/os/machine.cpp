@@ -1,0 +1,272 @@
+#include "fgcs/os/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::os {
+
+double CpuTotals::host_usage(const CpuTotals& earlier, const CpuTotals& later) {
+  const sim::SimDuration wall = later.total() - earlier.total();
+  if (wall <= sim::SimDuration::zero()) return 0.0;
+  const sim::SimDuration host_cpu =
+      (later.host - earlier.host) + (later.system - earlier.system);
+  return host_cpu / wall;
+}
+
+double CpuTotals::guest_usage(const CpuTotals& earlier,
+                              const CpuTotals& later) {
+  const sim::SimDuration wall = later.total() - earlier.total();
+  if (wall <= sim::SimDuration::zero()) return 0.0;
+  return (later.guest - earlier.guest) / wall;
+}
+
+Machine::Machine(SchedulerParams sched, MemoryParams mem, std::uint64_t seed)
+    : sched_(std::move(sched)), mem_(mem), rng_(seed, {0x4d41'4348u}) {
+  sched_.validate();
+  mem_.validate();
+}
+
+ProcessId Machine::spawn(ProcessSpec spec) {
+  const auto pid = static_cast<ProcessId>(procs_.size());
+  Process p(pid, std::move(spec), now_, rng_.child(pid));
+  // New processes start with a fresh timeslice, runnable, in their first
+  // phase.
+  p.counter_ticks_ = sched_.refill_ticks(p.nice_);
+  procs_.push_back(std::move(p));
+  advance_phase(procs_.back());  // pull the first phase from the program
+  return pid;
+}
+
+Process& Machine::live_process(ProcessId pid, const char* op) {
+  fgcs::require(pid < procs_.size(),
+                std::string(op) + ": no such pid " + std::to_string(pid));
+  Process& p = procs_[pid];
+  fgcs::require(p.state_ != ProcState::kExited,
+                std::string(op) + ": process already exited");
+  return p;
+}
+
+void Machine::renice(ProcessId pid, int nice) {
+  fgcs::require(nice >= 0 && nice <= 19, "renice: nice must be in [0, 19]");
+  Process& p = live_process(pid, "renice");
+  p.nice_ = nice;
+  // Credit above the new cap is clipped (renicing down sheds privilege).
+  p.counter_ticks_ = std::min(
+      p.counter_ticks_,
+      sched_.sleep_credit_multiplier * sched_.refill_ticks(nice));
+}
+
+void Machine::suspend(ProcessId pid) {
+  Process& p = live_process(pid, "suspend");
+  if (p.state_ == ProcState::kSuspended) return;
+  p.was_runnable_before_suspend_ = (p.state_ == ProcState::kRunnable);
+  p.state_ = ProcState::kSuspended;
+}
+
+void Machine::resume(ProcessId pid) {
+  Process& p = live_process(pid, "resume");
+  if (p.state_ != ProcState::kSuspended) return;
+  // If the sleep deadline passed while suspended, the wake sweep at the
+  // next tick advances the phase.
+  p.state_ = p.was_runnable_before_suspend_ ? ProcState::kRunnable
+                                            : ProcState::kSleeping;
+}
+
+void Machine::terminate(ProcessId pid) {
+  Process& p = live_process(pid, "terminate");
+  p.state_ = ProcState::kExited;
+  p.exit_time_ = now_;
+}
+
+const Process& Machine::process(ProcessId pid) const {
+  fgcs::require(pid < procs_.size(),
+                "process(): no such pid " + std::to_string(pid));
+  return procs_[pid];
+}
+
+std::size_t Machine::live_count() const {
+  std::size_t n = 0;
+  for (const auto& p : procs_) {
+    if (p.state_ != ProcState::kExited) ++n;
+  }
+  return n;
+}
+
+double Machine::free_memory_mb() const {
+  double resident = 0.0;
+  for (const auto& p : procs_) {
+    if (p.state_ != ProcState::kExited && p.state_ != ProcState::kSuspended) {
+      resident += p.resident_mb();
+    }
+  }
+  return std::max(0.0, mem_.ram_mb - mem_.kernel_mb - resident);
+}
+
+double Machine::active_working_set_mb() const {
+  double ws = 0.0;
+  for (const auto& p : procs_) {
+    if (p.state_ != ProcState::kExited && p.state_ != ProcState::kSuspended) {
+      ws += p.working_set_mb();
+    }
+  }
+  return ws;
+}
+
+void Machine::advance_phase(Process& p) {
+  // Pull phases until we land on one with work to do (or the process
+  // exits). A guard bounds pathological programs that emit endless
+  // zero-length phases.
+  for (int guard = 0; guard < 1000; ++guard) {
+    const Phase phase = p.spec_.program(p.rng_);
+    p.current_phase_ = phase;
+    p.phase_done_ = sim::SimDuration::zero();
+    switch (phase.kind) {
+      case Phase::Kind::kExit:
+        p.state_ = ProcState::kExited;
+        p.exit_time_ = now_;
+        return;
+      case Phase::Kind::kCompute:
+        if (phase.amount > sim::SimDuration::zero()) {
+          p.state_ = ProcState::kRunnable;
+          return;
+        }
+        break;  // zero work: pull the next phase
+      case Phase::Kind::kSleep:
+        if (phase.amount > sim::SimDuration::zero()) {
+          p.state_ = ProcState::kSleeping;
+          p.sleep_until_ = now_ + phase.amount;
+          return;
+        }
+        break;
+    }
+  }
+  FGCS_ASSERT(!"phase program emitted 1000 empty phases");
+}
+
+void Machine::recalc_counters() {
+  for (auto& p : procs_) {
+    if (p.state_ == ProcState::kExited) continue;
+    const double refill = sched_.refill_ticks(p.nice_);
+    if (p.state_ == ProcState::kRunnable) {
+      // Linux-2.4 style: runnable credit halves and refills (bounded by
+      // 2x refill through the recursion itself).
+      p.counter_ticks_ = p.counter_ticks_ / 2.0 + refill;
+    } else {
+      // Sleepers accumulate linearly up to the sleeper-credit cap — the
+      // interactivity boost that protects light host processes.
+      p.counter_ticks_ = std::min(p.counter_ticks_ + refill,
+                                  sched_.sleep_credit_multiplier * refill);
+    }
+  }
+}
+
+double Machine::converge_counter(double counter, double cap, double refill,
+                                 std::int64_t k) {
+  if (k <= 0) return counter;
+  return std::min(cap, counter + refill * static_cast<double>(k));
+}
+
+void Machine::run_until(sim::SimTime until) {
+  FGCS_ASSERT(until >= now_);
+  while (now_ < until) {
+    step_tick(until);
+  }
+}
+
+void Machine::step_tick(sim::SimTime until) {
+  const sim::SimDuration tick = sched_.tick;
+
+  // 1. Wake sleepers whose deadline has passed: the sleep phase is over,
+  // so pull the next phase from the program.
+  for (auto& p : procs_) {
+    if (p.state_ == ProcState::kSleeping && p.sleep_until_ <= now_) {
+      advance_phase(p);
+    }
+  }
+
+  // 2. Select the runnable process with the highest goodness.
+  Process* runner = nullptr;
+  bool any_runnable = false;
+  for (int attempt = 0; attempt < 2 && runner == nullptr; ++attempt) {
+    double best = 0.0;
+    any_runnable = false;
+    for (auto& p : procs_) {
+      if (p.state_ != ProcState::kRunnable) continue;
+      any_runnable = true;
+      const double g = sched_.goodness(p.counter_ticks_, p.nice_);
+      if (g <= 0.0) continue;
+      // Round-robin tie-break: older last_run_seq wins on equal goodness.
+      if (runner == nullptr || g > best ||
+          (g == best && p.last_run_seq_ < runner->last_run_seq_)) {
+        best = g;
+        runner = &p;
+      }
+    }
+    if (runner == nullptr && any_runnable) {
+      // Epoch boundary: all runnable credit exhausted.
+      recalc_counters();
+    } else {
+      break;
+    }
+  }
+
+  if (runner == nullptr) {
+    // CPU idle. Fast-forward to the next wake-up (or `until`), crediting
+    // sleepers with the epoch recalculations they would have received.
+    sim::SimTime next_wake = until;
+    for (const auto& p : procs_) {
+      if (p.state_ == ProcState::kSleeping) {
+        next_wake = std::min(next_wake, p.sleep_until_);
+      }
+    }
+    // Advance at least one tick, in whole ticks.
+    sim::SimDuration gap = next_wake - now_;
+    if (gap < tick) gap = tick;
+    const std::int64_t k = gap.as_micros() / tick.as_micros();
+    const sim::SimDuration skipped = tick * k;
+    for (auto& p : procs_) {
+      if (p.state_ == ProcState::kExited) continue;
+      const double refill = sched_.refill_ticks(p.nice_);
+      p.counter_ticks_ = converge_counter(
+          p.counter_ticks_, sched_.sleep_credit_multiplier * refill, refill,
+          k);
+    }
+    totals_.idle += skipped;
+    now_ += skipped;
+    return;
+  }
+
+  // 3. Run the winner for one tick at the current memory efficiency.
+  const double eff = current_efficiency();
+  if (eff < 1.0) thrash_time_ += tick;
+  const sim::SimDuration progress = tick * eff;
+  runner->phase_done_ += progress;
+  runner->cpu_time_ += progress;
+  runner->counter_ticks_ = std::max(0.0, runner->counter_ticks_ - 1.0);
+  runner->last_run_seq_ = ++run_seq_;
+
+  switch (runner->kind()) {
+    case ProcessKind::kHost:
+      totals_.host += progress;
+      break;
+    case ProcessKind::kGuest:
+      totals_.guest += progress;
+      break;
+    case ProcessKind::kSystem:
+      totals_.system += progress;
+      break;
+  }
+  // Time lost to page faults shows up as non-CPU (I/O wait -> idle).
+  totals_.idle += tick - progress;
+
+  if (runner->phase_done_ >= runner->current_phase_.amount) {
+    advance_phase(*runner);
+  }
+
+  now_ += tick;
+}
+
+}  // namespace fgcs::os

@@ -1,0 +1,141 @@
+// The simulated Unix machine.
+//
+// Combines the goodness scheduler (scheduler.hpp), the memory/thrashing
+// model (memory.hpp), and a process table. Time advances in scheduler
+// ticks inside run_until/run_for; the machine is deterministic given its
+// seed. This is the fine-grained substrate for the paper's contention
+// experiments (Figures 1-4, Table 1); the coarse testbed simulation in
+// fgcs::core drives the same monitor code from a load-process abstraction
+// instead.
+//
+// Typical use:
+//   Machine m(SchedulerParams::linux_2_4(), MemoryParams::linux_1gb(), seed);
+//   auto host = m.spawn(host_spec);
+//   auto guest = m.spawn(guest_spec);
+//   m.run_for(SimDuration::minutes(5));
+//   double lh = ...; // from m.totals() snapshots
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fgcs/os/memory.hpp"
+#include "fgcs/os/process.hpp"
+#include "fgcs/os/scheduler.hpp"
+#include "fgcs/sim/time.hpp"
+#include "fgcs/util/rng.hpp"
+
+namespace fgcs::os {
+
+/// Cumulative CPU-time accounting by process kind. Invariant:
+/// host + guest + system + idle == elapsed simulated time.
+struct CpuTotals {
+  sim::SimDuration host;
+  sim::SimDuration guest;
+  sim::SimDuration system;
+  sim::SimDuration idle;
+
+  sim::SimDuration total() const { return host + guest + system + idle; }
+
+  /// Host-side CPU usage as the paper's monitor computes it: host plus
+  /// system daemons (updatedb et al. are "also viewed as host processes").
+  static double host_usage(const CpuTotals& earlier, const CpuTotals& later);
+  /// Guest CPU usage between two snapshots.
+  static double guest_usage(const CpuTotals& earlier, const CpuTotals& later);
+};
+
+class Machine {
+ public:
+  Machine(SchedulerParams sched, MemoryParams mem, std::uint64_t seed);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+  Machine(Machine&&) = default;
+  Machine& operator=(Machine&&) = default;
+
+  // -- process control (the FGCS guest controller uses these) --------------
+
+  /// Spawns a process; it becomes runnable at the current instant.
+  ProcessId spawn(ProcessSpec spec);
+
+  /// Changes a live process's nice value (renice; §3.2's control knob).
+  void renice(ProcessId pid, int nice);
+
+  /// SIGSTOP: removes the process from scheduling and from the active
+  /// working set (its pages may be evicted without faulting).
+  void suspend(ProcessId pid);
+
+  /// SIGCONT: the process resumes where it was.
+  void resume(ProcessId pid);
+
+  /// SIGKILL: the process exits immediately.
+  void terminate(ProcessId pid);
+
+  // -- time ----------------------------------------------------------------
+
+  sim::SimTime now() const { return now_; }
+
+  /// Advances the machine to `until` in scheduler ticks.
+  void run_until(sim::SimTime until);
+
+  /// Advances the machine by `d`.
+  void run_for(sim::SimDuration d) { run_until(now_ + d); }
+
+  // -- observation (what a monitor can see) ---------------------------------
+
+  const Process& process(ProcessId pid) const;
+  std::size_t process_count() const { return procs_.size(); }
+
+  /// Cumulative CPU accounting snapshot.
+  const CpuTotals& totals() const { return totals_; }
+
+  /// Free physical memory right now: RAM - kernel - resident sets of all
+  /// live, non-suspended processes (floored at 0; under overcommit the
+  /// residents spill to swap).
+  double free_memory_mb() const;
+
+  /// Total active working set (live, non-suspended processes).
+  double active_working_set_mb() const;
+
+  /// True if the machine is currently thrashing.
+  bool is_thrashing() const {
+    return mem_.thrashes(active_working_set_mb());
+  }
+
+  /// Current compute-efficiency factor (1.0 unless thrashing).
+  double current_efficiency() const {
+    return mem_.efficiency(active_working_set_mb());
+  }
+
+  /// Cumulative time the machine spent thrashing (efficiency < 1 while a
+  /// process was running).
+  sim::SimDuration thrash_time() const { return thrash_time_; }
+
+  const SchedulerParams& scheduler_params() const { return sched_; }
+  const MemoryParams& memory_params() const { return mem_; }
+
+  /// Number of live (not exited) processes.
+  std::size_t live_count() const;
+
+ private:
+  Process& live_process(ProcessId pid, const char* op);
+  void advance_phase(Process& p);
+  void recalc_counters();
+  /// Applies k epoch recalculations to a sleeping process's counter in
+  /// closed form: counter -> min(cap, counter + k * refill).
+  static double converge_counter(double counter, double cap, double refill,
+                                 std::int64_t k);
+  void step_tick(sim::SimTime until);
+
+  SchedulerParams sched_;
+  MemoryParams mem_;
+  util::RngStream rng_;
+  sim::SimTime now_ = sim::SimTime::epoch();
+  std::vector<Process> procs_;
+  CpuTotals totals_{};
+  sim::SimDuration thrash_time_ = sim::SimDuration::zero();
+  std::uint64_t run_seq_ = 0;
+};
+
+}  // namespace fgcs::os

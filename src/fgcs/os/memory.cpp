@@ -1,0 +1,40 @@
+#include "fgcs/os/memory.hpp"
+
+#include <algorithm>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::os {
+
+MemoryParams MemoryParams::solaris_384mb() {
+  MemoryParams p;
+  p.ram_mb = 384.0;
+  p.kernel_mb = 100.0;
+  return p;
+}
+
+MemoryParams MemoryParams::linux_1gb() {
+  MemoryParams p;
+  p.ram_mb = 1024.0;
+  p.kernel_mb = 100.0;
+  return p;
+}
+
+void MemoryParams::validate() const {
+  fgcs::require(ram_mb > 0, "ram_mb must be > 0");
+  fgcs::require(kernel_mb >= 0 && kernel_mb < ram_mb,
+                "kernel_mb must be in [0, ram_mb)");
+  fgcs::require(thrash_severity >= 0, "thrash_severity must be >= 0");
+  fgcs::require(efficiency_floor > 0 && efficiency_floor <= 1.0,
+                "efficiency_floor must be in (0, 1]");
+}
+
+double MemoryParams::efficiency(double active_working_set_mb) const {
+  const double avail = available_mb();
+  if (active_working_set_mb <= avail) return 1.0;
+  const double overcommit = active_working_set_mb / avail;
+  const double eff = 1.0 / (1.0 + thrash_severity * (overcommit - 1.0));
+  return std::max(efficiency_floor, eff);
+}
+
+}  // namespace fgcs::os

@@ -1,0 +1,50 @@
+// Physical memory and thrashing model.
+//
+// The paper's §3.2.3 observation: when the combined working sets of guest
+// and host processes (plus ~100 MB kernel usage) exceed physical memory,
+// every process thrashes and host CPU usage collapses regardless of CPU
+// priorities. We model this with a machine-wide *efficiency* factor applied
+// to compute progress: 1.0 when working sets fit, dropping smoothly with
+// the overcommit ratio when they do not. Suspended processes do not
+// contribute working set (their pages may be evicted without faulting).
+#pragma once
+
+#include <string>
+
+namespace fgcs::os {
+
+struct MemoryParams {
+  /// Physical RAM. The paper's machines: 384 MB (Solaris), >1 GB (Linux lab).
+  double ram_mb = 1024.0;
+
+  /// Kernel/baseline memory usage (paper assumes ~100 MB).
+  double kernel_mb = 100.0;
+
+  /// Slope of the efficiency loss past 100% working-set occupancy.
+  /// efficiency = max(floor, 1 / (1 + severity * (overcommit - 1))).
+  double thrash_severity = 12.0;
+
+  /// Lower bound on efficiency (the system never fully stops).
+  double efficiency_floor = 0.10;
+
+  /// Profile of the paper's 300 MHz, 384 MB Solaris machine.
+  static MemoryParams solaris_384mb();
+
+  /// Profile of the paper's lab Linux machines (>1 GB RAM, §5.1).
+  static MemoryParams linux_1gb();
+
+  void validate() const;
+
+  /// Memory available to processes (RAM minus kernel).
+  double available_mb() const { return ram_mb - kernel_mb; }
+
+  /// Efficiency factor for the given total active working set.
+  double efficiency(double active_working_set_mb) const;
+
+  /// True when the given working set total causes thrashing.
+  bool thrashes(double active_working_set_mb) const {
+    return active_working_set_mb > available_mb();
+  }
+};
+
+}  // namespace fgcs::os

@@ -1,0 +1,75 @@
+#include "fgcs/os/process.hpp"
+
+#include <memory>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::os {
+
+const char* to_string(ProcessKind kind) {
+  switch (kind) {
+    case ProcessKind::kHost:
+      return "host";
+    case ProcessKind::kGuest:
+      return "guest";
+    case ProcessKind::kSystem:
+      return "system";
+  }
+  return "?";
+}
+
+const char* to_string(ProcState state) {
+  switch (state) {
+    case ProcState::kRunnable:
+      return "runnable";
+    case ProcState::kSleeping:
+      return "sleeping";
+    case ProcState::kSuspended:
+      return "suspended";
+    case ProcState::kExited:
+      return "exited";
+  }
+  return "?";
+}
+
+PhaseProgram fixed_program(std::vector<Phase> phases) {
+  auto index = std::make_shared<std::size_t>(0);
+  auto list = std::make_shared<std::vector<Phase>>(std::move(phases));
+  return [index, list](util::RngStream&) -> Phase {
+    if (*index >= list->size()) return Phase::exit();
+    return (*list)[(*index)++];
+  };
+}
+
+PhaseProgram cpu_bound_program() {
+  return [](util::RngStream&) {
+    // Renewed in large chunks; the scheduler preempts per tick anyway.
+    return Phase::compute(sim::SimDuration::hours(1));
+  };
+}
+
+Process::Process(ProcessId pid, ProcessSpec spec, sim::SimTime start,
+                 util::RngStream rng)
+    : pid_(pid),
+      spec_(std::move(spec)),
+      working_set_mb_(spec_.working_set_mb > 0 ? spec_.working_set_mb
+                                               : spec_.resident_mb),
+      nice_(spec_.nice),
+      start_(start),
+      rng_(rng) {
+  fgcs::require(nice_ >= 0 && nice_ <= 19,
+                "process nice must be in [0, 19], got " +
+                    std::to_string(nice_));
+  fgcs::require(spec_.resident_mb >= 0 && spec_.virtual_mb >= 0,
+                "process memory sizes must be non-negative");
+  fgcs::require(static_cast<bool>(spec_.program),
+                "process '" + spec_.name + "' has no phase program");
+}
+
+double Process::usage_since(sim::SimDuration cpu_at_since,
+                            sim::SimDuration wall_elapsed) const {
+  if (wall_elapsed <= sim::SimDuration::zero()) return 0.0;
+  return (cpu_time_ - cpu_at_since) / wall_elapsed;
+}
+
+}  // namespace fgcs::os

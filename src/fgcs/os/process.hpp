@@ -1,0 +1,136 @@
+// Process model for the simulated Unix machine.
+//
+// A process executes a *phase program*: a generator producing Compute,
+// Sleep, or Exit phases. Compute amounts are CPU-seconds of work at full
+// speed (they stretch under contention or thrashing); Sleep amounts are
+// wall-clock (blocked, also covers I/O waits). Memory footprints are
+// static per process, matching how the paper characterizes workloads
+// (Table 1: CPU usage, resident size, virtual size).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fgcs/sim/time.hpp"
+#include "fgcs/util/rng.hpp"
+
+namespace fgcs::os {
+
+/// Distinguishes guest processes (cycle-stealing jobs) from host processes
+/// (the machine owner's workload) and system daemons (counted as host by
+/// the paper's monitor, see §5.3 on updatedb).
+enum class ProcessKind : std::uint8_t { kHost, kGuest, kSystem };
+
+const char* to_string(ProcessKind kind);
+
+/// One step of a process's behavior.
+struct Phase {
+  enum class Kind : std::uint8_t { kCompute, kSleep, kExit };
+  Kind kind = Kind::kExit;
+  /// CPU-seconds for kCompute, wall time for kSleep, ignored for kExit.
+  sim::SimDuration amount = sim::SimDuration::zero();
+
+  static Phase compute(sim::SimDuration work) {
+    return Phase{Kind::kCompute, work};
+  }
+  static Phase sleep(sim::SimDuration wall) {
+    return Phase{Kind::kSleep, wall};
+  }
+  static Phase exit() { return Phase{Kind::kExit, sim::SimDuration::zero()}; }
+};
+
+/// Generates the next phase each time the previous one completes. The
+/// RngStream is the process's private stream (deterministic per process).
+using PhaseProgram = std::function<Phase(util::RngStream&)>;
+
+/// A program that replays a fixed list of phases, then exits.
+PhaseProgram fixed_program(std::vector<Phase> phases);
+
+/// A fully CPU-bound program (one unbounded compute phase, renewed forever).
+PhaseProgram cpu_bound_program();
+
+/// Static description of a process to spawn.
+struct ProcessSpec {
+  std::string name;
+  ProcessKind kind = ProcessKind::kHost;
+  /// Unix nice value, 0 (default) .. 19 (lowest priority).
+  int nice = 0;
+  /// Memory footprint (Table 1 columns).
+  double resident_mb = 1.0;
+  double virtual_mb = 2.0;
+  /// Pages the process actively touches; drives the thrashing model.
+  /// Defaults to resident_mb when <= 0.
+  double working_set_mb = -1.0;
+  PhaseProgram program;
+};
+
+/// Scheduling state of a process.
+enum class ProcState : std::uint8_t {
+  kRunnable,
+  kSleeping,
+  kSuspended,  // SIGSTOP'd (guest suspension per §3.2)
+  kExited,
+};
+
+const char* to_string(ProcState state);
+
+using ProcessId = std::uint32_t;
+
+/// Runtime process record. Owned and mutated by Machine; read-only to
+/// library users (accessors only).
+class Process {
+ public:
+  Process(ProcessId pid, ProcessSpec spec, sim::SimTime start,
+          util::RngStream rng);
+
+  ProcessId pid() const { return pid_; }
+  const std::string& name() const { return spec_.name; }
+  ProcessKind kind() const { return spec_.kind; }
+  int nice() const { return nice_; }
+  ProcState state() const { return state_; }
+  double resident_mb() const { return spec_.resident_mb; }
+  double virtual_mb() const { return spec_.virtual_mb; }
+  double working_set_mb() const { return working_set_mb_; }
+
+  /// Cumulative CPU time consumed (getrusage ru_utime equivalent). Under
+  /// thrashing this advances at the degraded efficiency — consistent with
+  /// the host monitor seeing host CPU usage collapse (§3.2.3).
+  sim::SimDuration cpu_time() const { return cpu_time_; }
+
+  sim::SimTime start_time() const { return start_; }
+  sim::SimTime exit_time() const { return exit_time_; }
+
+  /// CPU usage over [since, now): delta cpu_time / delta wall.
+  /// Caller supplies the snapshot taken at `since`.
+  double usage_since(sim::SimDuration cpu_at_since,
+                     sim::SimDuration wall_elapsed) const;
+
+ private:
+  friend class Machine;
+
+  ProcessId pid_;
+  ProcessSpec spec_;
+  double working_set_mb_;
+  int nice_;
+  ProcState state_ = ProcState::kRunnable;
+  sim::SimTime start_;
+  sim::SimTime exit_time_ = sim::SimTime::max();
+  util::RngStream rng_;
+
+  // Scheduler fields (Linux-2.4-style counter; see scheduler.hpp).
+  double counter_ticks_ = 0.0;
+  std::uint64_t last_run_seq_ = 0;  // for round-robin tie-breaking
+
+  // Current phase execution state.
+  Phase current_phase_{};
+  sim::SimDuration phase_done_ = sim::SimDuration::zero();  // progress
+  sim::SimTime sleep_until_ = sim::SimTime::epoch();
+  bool was_runnable_before_suspend_ = false;
+
+  sim::SimDuration cpu_time_ = sim::SimDuration::zero();
+};
+
+}  // namespace fgcs::os

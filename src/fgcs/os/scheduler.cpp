@@ -1,0 +1,54 @@
+#include "fgcs/os/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::os {
+
+double SchedulerParams::refill_ticks(int nice) const {
+  const double t = static_cast<double>(nice) / 19.0;
+  const double shape = std::pow(1.0 - t, refill_curve_gamma);
+  return std::max(min_refill_ticks,
+                  min_refill_ticks +
+                      (base_refill_ticks - min_refill_ticks) * shape);
+}
+
+double SchedulerParams::goodness(double counter_ticks, int nice) const {
+  if (counter_ticks <= 0.0) return 0.0;
+  return counter_ticks + goodness_nice_weight - static_cast<double>(nice);
+}
+
+SchedulerParams SchedulerParams::linux_2_4() {
+  SchedulerParams p;
+  p.tick = sim::SimDuration::millis(10);
+  p.base_refill_ticks = 8.0;
+  p.min_refill_ticks = 1.0;
+  p.goodness_nice_weight = 20.0;
+  p.name = "linux-2.4";
+  return p;
+}
+
+SchedulerParams SchedulerParams::solaris_ts() {
+  SchedulerParams p;
+  p.tick = sim::SimDuration::millis(10);
+  p.base_refill_ticks = 6.0;
+  p.min_refill_ticks = 1.0;
+  p.goodness_nice_weight = 20.0;
+  p.sleep_credit_multiplier = 4.5;
+  p.name = "solaris-ts";
+  return p;
+}
+
+void SchedulerParams::validate() const {
+  fgcs::require(tick > sim::SimDuration::zero(), "scheduler tick must be > 0");
+  fgcs::require(min_refill_ticks >= 1.0, "min_refill_ticks must be >= 1");
+  fgcs::require(base_refill_ticks >= min_refill_ticks,
+                "base_refill_ticks must be >= min_refill_ticks");
+  fgcs::require(goodness_nice_weight > 0, "goodness_nice_weight must be > 0");
+  fgcs::require(sleep_credit_multiplier >= 1.0,
+                "sleep_credit_multiplier must be >= 1");
+}
+
+}  // namespace fgcs::os

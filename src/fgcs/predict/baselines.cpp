@@ -1,0 +1,65 @@
+#include "fgcs/predict/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::predict {
+
+AlwaysAvailablePredictor::AlwaysAvailablePredictor(double p) : p_(p) {
+  fgcs::require(p >= 0.0 && p <= 1.0, "p must be a probability");
+}
+
+RecentRatePredictor::RecentRatePredictor(sim::SimDuration lookback)
+    : lookback_(lookback) {
+  fgcs::require(lookback > sim::SimDuration::zero(), "lookback must be > 0");
+}
+
+double RecentRatePredictor::rate_per_hour(const PredictionQuery& q) const {
+  const sim::SimTime from = q.start - lookback_;
+  const auto n = index().count_starts_in(q.machine, from, q.start);
+  return static_cast<double>(n) / lookback_.as_hours();
+}
+
+double RecentRatePredictor::predict_availability(
+    const PredictionQuery& q) const {
+  return std::exp(-rate_per_hour(q) * q.length.as_hours());
+}
+
+double RecentRatePredictor::predict_occurrences(
+    const PredictionQuery& q) const {
+  return rate_per_hour(q) * q.length.as_hours();
+}
+
+double SaturatingCounterPredictor::predict_availability(
+    const PredictionQuery& q) const {
+  const auto& cal = calendar();
+  const int query_day = cal.day_index(q.start);
+  const bool want_weekend = cal.is_weekend_day(query_day);
+  const sim::SimDuration offset = q.start - cal.day_start(query_day);
+
+  // Replay the counter over up to the last 6 same-class days, oldest
+  // first, starting from weakly-available (2 of 0..3).
+  int counter = 2;
+  std::vector<bool> outcomes;
+  for (int d = query_day - 1; d >= 0 && outcomes.size() < 6; --d) {
+    if (cal.is_weekend_day(d) != want_weekend) continue;
+    const sim::SimTime w_start = cal.day_start(d) + offset;
+    if (w_start + q.length > q.start) continue;
+    outcomes.push_back(
+        !index().any_overlap(q.machine, w_start, w_start + q.length));
+  }
+  for (auto it = outcomes.rbegin(); it != outcomes.rend(); ++it) {
+    counter = *it ? std::min(3, counter + 1) : std::max(0, counter - 1);
+  }
+  return counter >= 2 ? 1.0 : 0.0;
+}
+
+double SaturatingCounterPredictor::predict_occurrences(
+    const PredictionQuery& q) const {
+  // The counter is a classifier; expose a coarse count estimate.
+  return predict_availability(q) >= 0.5 ? 0.0 : 1.0;
+}
+
+}  // namespace fgcs::predict

@@ -1,0 +1,52 @@
+// Baseline predictors the history-window approach is compared against.
+#pragma once
+
+#include "fgcs/predict/predictor.hpp"
+
+namespace fgcs::predict {
+
+/// Predicts "available" with a fixed probability regardless of history —
+/// the failure-oblivious scheduler the paper's related work improves on.
+class AlwaysAvailablePredictor : public AvailabilityPredictor {
+ public:
+  explicit AlwaysAvailablePredictor(double p = 1.0);
+  std::string name() const override { return "always-available"; }
+  double predict_availability(const PredictionQuery&) const override {
+    return p_;
+  }
+  double predict_occurrences(const PredictionQuery&) const override {
+    return 0.0;
+  }
+
+ private:
+  double p_;
+};
+
+/// Estimates a constant failure rate from a trailing observation window
+/// and assumes Poisson arrivals: P(avail) = exp(-rate * w). Captures "how
+/// busy has this machine been lately" without any daily-pattern knowledge.
+class RecentRatePredictor : public AvailabilityPredictor {
+ public:
+  explicit RecentRatePredictor(
+      sim::SimDuration lookback = sim::SimDuration::hours(24));
+  std::string name() const override { return "recent-rate"; }
+  double predict_availability(const PredictionQuery& q) const override;
+  double predict_occurrences(const PredictionQuery& q) const override;
+
+ private:
+  double rate_per_hour(const PredictionQuery& q) const;
+  sim::SimDuration lookback_;
+};
+
+/// Two-bit saturating counter over the most recent same-clock windows
+/// (branch-predictor style): counts up on failure-free windows, down on
+/// failed ones, predicts by the counter's high bit.
+class SaturatingCounterPredictor : public AvailabilityPredictor {
+ public:
+  SaturatingCounterPredictor() = default;
+  std::string name() const override { return "saturating-counter"; }
+  double predict_availability(const PredictionQuery& q) const override;
+  double predict_occurrences(const PredictionQuery& q) const override;
+};
+
+}  // namespace fgcs::predict

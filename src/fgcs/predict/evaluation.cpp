@@ -1,0 +1,118 @@
+#include "fgcs/predict/evaluation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::predict {
+
+double EvaluationResult::expected_calibration_error() const {
+  double weighted = 0.0;
+  std::size_t total = 0;
+  for (const auto& bucket : reliability) {
+    if (bucket.count == 0) continue;
+    weighted += static_cast<double>(bucket.count) *
+                std::abs(bucket.observed_available - bucket.mean_predicted);
+    total += bucket.count;
+  }
+  return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+}
+
+}  // namespace fgcs::predict
+
+namespace fgcs::predict {
+
+void EvaluationConfig::validate() const {
+  fgcs::require(end > begin, "evaluation period must be non-empty");
+  fgcs::require(window > sim::SimDuration::zero(), "window must be > 0");
+  fgcs::require(stride > sim::SimDuration::zero(), "stride must be > 0");
+  fgcs::require(decision_threshold >= 0.0 && decision_threshold <= 1.0,
+                "decision_threshold must be a probability");
+}
+
+EvaluationResult evaluate_predictor(AvailabilityPredictor& predictor,
+                                    const trace::TraceIndex& index,
+                                    const trace::TraceCalendar& calendar,
+                                    const EvaluationConfig& config) {
+  config.validate();
+  predictor.attach(index, calendar);
+
+  EvaluationResult result;
+  result.predictor = predictor.name();
+
+  double brier_sum = 0.0;
+  double occ_mae_sum = 0.0;
+  std::size_t correct = 0;
+  std::size_t truly_available = 0;
+  std::size_t tp = 0;  // predicted available, was available
+  std::size_t fp = 0;  // predicted available, was unavailable
+  std::array<double, 10> bucket_pred_sum{};
+  std::array<std::size_t, 10> bucket_avail{};
+
+  for (trace::MachineId m = 0; m < index.machine_count(); ++m) {
+    for (sim::SimTime t = config.begin; t + config.window <= config.end;
+         t += config.stride) {
+      // Skip instants where the machine is already down: a scheduler
+      // would not consider submitting there.
+      bool inside = false;
+      index.last_end_before(m, t, &inside);
+      if (inside) continue;
+
+      PredictionQuery q{m, t, config.window};
+      const double p = predictor.predict_availability(q);
+      FGCS_ASSERT(p >= 0.0 && p <= 1.0);
+      const bool actual_available =
+          !index.any_overlap(m, t, t + config.window);
+      const bool predicted_available = p >= config.decision_threshold;
+
+      ++result.queries;
+      const double truth = actual_available ? 1.0 : 0.0;
+      brier_sum += (p - truth) * (p - truth);
+      {
+        auto bucket = static_cast<std::size_t>(p * 10.0);
+        bucket = std::min<std::size_t>(bucket, 9);
+        result.reliability[bucket].count += 1;
+        bucket_pred_sum[bucket] += p;
+        if (actual_available) bucket_avail[bucket] += 1;
+      }
+      if (predicted_available == actual_available) ++correct;
+      if (actual_available) ++truly_available;
+      if (predicted_available) {
+        (actual_available ? tp : fp)++;
+      }
+
+      const double predicted_occ = predictor.predict_occurrences(q);
+      const auto actual_occ = static_cast<double>(
+          index.count_starts_in(m, t, t + config.window));
+      occ_mae_sum += std::abs(predicted_occ - actual_occ);
+    }
+  }
+
+  if (result.queries == 0) return result;
+  for (std::size_t b = 0; b < 10; ++b) {
+    auto& bucket = result.reliability[b];
+    if (bucket.count == 0) continue;
+    bucket.mean_predicted =
+        bucket_pred_sum[b] / static_cast<double>(bucket.count);
+    bucket.observed_available = static_cast<double>(bucket_avail[b]) /
+                                static_cast<double>(bucket.count);
+  }
+  const auto n = static_cast<double>(result.queries);
+  result.brier = brier_sum / n;
+  result.accuracy = static_cast<double>(correct) / n;
+  result.occurrence_mae = occ_mae_sum / n;
+  result.base_availability = static_cast<double>(truly_available) / n;
+  if (truly_available > 0) {
+    result.true_positive_rate =
+        static_cast<double>(tp) / static_cast<double>(truly_available);
+  }
+  const std::size_t truly_unavailable = result.queries - truly_available;
+  if (truly_unavailable > 0) {
+    result.false_positive_rate =
+        static_cast<double>(fp) / static_cast<double>(truly_unavailable);
+  }
+  return result;
+}
+
+}  // namespace fgcs::predict

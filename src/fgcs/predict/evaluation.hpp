@@ -1,0 +1,68 @@
+// Rolling evaluation of availability predictors on a trace.
+//
+// For each machine and each stride-spaced window start in the evaluation
+// period (skipping instants where the machine is already down), the
+// predictor estimates P(available through window); ground truth is
+// whether any episode overlaps the window. Reported metrics:
+//
+//   * Brier score (mean squared probability error; lower is better)
+//   * accuracy / TPR / FPR at a decision threshold
+//   * MAE of the expected-occurrence estimate vs the actual count
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "fgcs/predict/predictor.hpp"
+
+namespace fgcs::predict {
+
+struct EvaluationConfig {
+  /// Evaluation period (queries start in [begin, end - window]).
+  sim::SimTime begin;
+  sim::SimTime end;
+  /// Prediction window length (the guest job's estimated run time).
+  sim::SimDuration window = sim::SimDuration::hours(2);
+  /// Spacing between query starts.
+  sim::SimDuration stride = sim::SimDuration::minutes(30);
+  /// Classification threshold on predicted availability.
+  double decision_threshold = 0.5;
+
+  void validate() const;
+};
+
+struct EvaluationResult {
+  std::string predictor;
+  std::size_t queries = 0;
+  double brier = 0.0;
+  double accuracy = 0.0;
+  double true_positive_rate = 0.0;   // predicted-available | was available
+  double false_positive_rate = 0.0;  // predicted-available | was unavailable
+  double occurrence_mae = 0.0;
+  double base_availability = 0.0;    // fraction of windows truly available
+
+  /// Reliability diagram: queries bucketed by predicted probability into
+  /// ten deciles ([0,0.1), ..., [0.9,1.0]); a well-calibrated predictor
+  /// has observed ~= mean_predicted in every non-empty bucket.
+  struct ReliabilityBucket {
+    std::size_t count = 0;
+    double mean_predicted = 0.0;
+    double observed_available = 0.0;
+  };
+  std::array<ReliabilityBucket, 10> reliability{};
+
+  /// Expected calibration error: the count-weighted mean of
+  /// |observed - mean_predicted| over buckets.
+  double expected_calibration_error() const;
+};
+
+/// Runs the rolling evaluation. The predictor is attach()ed to the trace
+/// inside; per the predictor contract it must only use records before each
+/// query's start.
+EvaluationResult evaluate_predictor(AvailabilityPredictor& predictor,
+                                    const trace::TraceIndex& index,
+                                    const trace::TraceCalendar& calendar,
+                                    const EvaluationConfig& config);
+
+}  // namespace fgcs::predict

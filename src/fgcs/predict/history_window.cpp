@@ -1,0 +1,77 @@
+#include "fgcs/predict/history_window.hpp"
+
+#include <algorithm>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::predict {
+
+HistoryWindowPredictor::HistoryWindowPredictor(HistoryWindowConfig config)
+    : config_(config) {
+  fgcs::require(config_.history_days >= 1,
+                "history_days must be at least 1");
+  fgcs::require(config_.laplace_alpha >= 0.0,
+                "laplace_alpha must be >= 0");
+}
+
+std::string HistoryWindowPredictor::name() const {
+  std::string n = "history-window(k=" + std::to_string(config_.history_days);
+  if (config_.pool_machines) n += ",pooled";
+  n += ")";
+  return n;
+}
+
+template <typename Fn>
+void HistoryWindowPredictor::for_each_history_window(
+    const PredictionQuery& q, Fn&& fn) const {
+  const auto& cal = calendar();
+  const int query_day = cal.day_index(q.start);
+  const bool want_weekend = cal.is_weekend_day(query_day);
+  const sim::SimDuration offset = q.start - cal.day_start(query_day);
+
+  int used = 0;
+  for (int d = query_day - 1; d >= 0 && used < config_.history_days; --d) {
+    if (cal.is_weekend_day(d) != want_weekend) continue;
+    const sim::SimTime w_start = cal.day_start(d) + offset;
+    // Only windows that end strictly before the query start are usable
+    // history (matters for windows longer than the day gap).
+    if (w_start + q.length > q.start) continue;
+    ++used;
+    if (config_.pool_machines) {
+      for (trace::MachineId m = 0; m < index().machine_count(); ++m) {
+        fn(m, w_start);
+      }
+    } else {
+      fn(q.machine, w_start);
+    }
+  }
+}
+
+double HistoryWindowPredictor::predict_availability(
+    const PredictionQuery& q) const {
+  std::size_t windows = 0;
+  std::size_t free_windows = 0;
+  for_each_history_window(q, [&](trace::MachineId m, sim::SimTime w_start) {
+    ++windows;
+    if (!index().any_overlap(m, w_start, w_start + q.length)) {
+      ++free_windows;
+    }
+  });
+  const double a = config_.laplace_alpha;
+  return (static_cast<double>(free_windows) + a) /
+         (static_cast<double>(windows) + 2.0 * a);
+}
+
+double HistoryWindowPredictor::predict_occurrences(
+    const PredictionQuery& q) const {
+  std::size_t windows = 0;
+  std::size_t occurrences = 0;
+  for_each_history_window(q, [&](trace::MachineId m, sim::SimTime w_start) {
+    ++windows;
+    occurrences += index().count_starts_in(m, w_start, w_start + q.length);
+  });
+  if (windows == 0) return 0.0;
+  return static_cast<double>(occurrences) / static_cast<double>(windows);
+}
+
+}  // namespace fgcs::predict

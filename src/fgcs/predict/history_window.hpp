@@ -1,0 +1,46 @@
+// The paper's proposed predictor (§5.3):
+//
+//   "it is feasible to predict resource availability over an arbitrary
+//    future time window, if the prediction uses history data for the
+//    corresponding time windows from previous weekdays or weekends."
+//
+// For a query window on machine m, HistoryWindowPredictor looks at the
+// same clock window on the most recent `history_days` days of the same
+// day class (weekday/weekend), counts how many of those windows were
+// failure-free, and reports the Laplace-smoothed fraction. Expected
+// occurrences are the mean count over the history windows.
+#pragma once
+
+#include "fgcs/predict/predictor.hpp"
+
+namespace fgcs::predict {
+
+struct HistoryWindowConfig {
+  /// How many previous same-class days to consult.
+  int history_days = 8;
+  /// Pool the corresponding windows of every machine in the testbed
+  /// (more data per estimate, ignores per-machine idiosyncrasies).
+  bool pool_machines = false;
+  /// Laplace smoothing: p = (free + alpha) / (n + 2*alpha).
+  double laplace_alpha = 1.0;
+};
+
+class HistoryWindowPredictor : public AvailabilityPredictor {
+ public:
+  explicit HistoryWindowPredictor(HistoryWindowConfig config = {});
+
+  std::string name() const override;
+
+  double predict_availability(const PredictionQuery& q) const override;
+  double predict_occurrences(const PredictionQuery& q) const override;
+
+ private:
+  /// Collects the same-clock windows on previous same-class days, entirely
+  /// before q.start. Invokes fn(machine, window_start) per window.
+  template <typename Fn>
+  void for_each_history_window(const PredictionQuery& q, Fn&& fn) const;
+
+  HistoryWindowConfig config_;
+};
+
+}  // namespace fgcs::predict

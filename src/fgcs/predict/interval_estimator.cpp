@@ -1,0 +1,69 @@
+#include "fgcs/predict/interval_estimator.hpp"
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::predict {
+
+IntervalLengthEstimator::IntervalLengthEstimator(
+    const trace::TraceIndex& index, const trace::TraceCalendar& calendar,
+    Config config)
+    : index_(index), calendar_(calendar), config_(config) {
+  fgcs::require(config_.fallback_hours >= 0.0,
+                "fallback_hours must be >= 0");
+}
+
+std::vector<double> IntervalLengthEstimator::samples(trace::MachineId m,
+                                                     sim::SimTime t) const {
+  const auto& episodes = index_.machine(m);
+  const bool want_weekend = calendar_.is_weekend(t);
+  std::vector<double> lengths;
+  for (std::size_t i = 1; i < episodes.size(); ++i) {
+    if (episodes[i].start >= t) break;
+    const sim::SimTime gap_start = episodes[i - 1].end;
+    const sim::SimTime gap_end = episodes[i].start;
+    if (gap_end <= gap_start) continue;
+    if (calendar_.is_weekend(gap_start) != want_weekend) continue;
+    lengths.push_back((gap_end - gap_start).as_hours());
+  }
+  return lengths;
+}
+
+double IntervalLengthEstimator::expected_interval_hours(
+    trace::MachineId m, sim::SimTime t) const {
+  const auto lengths = samples(m, t);
+  if (lengths.size() < config_.min_samples) return config_.fallback_hours;
+  double sum = 0.0;
+  for (double l : lengths) sum += l;
+  return sum / static_cast<double>(lengths.size());
+}
+
+double IntervalLengthEstimator::expected_remaining_hours(
+    trace::MachineId m, sim::SimTime t) const {
+  bool inside = false;
+  const sim::SimTime last_end = index_.last_end_before(m, t, &inside);
+  if (inside) return 0.0;
+
+  const double age_h = (t - last_end).as_hours();
+  const auto lengths = samples(m, t);
+  if (lengths.size() < config_.min_samples) {
+    // Memoryless fallback.
+    return config_.fallback_hours;
+  }
+  // Mean residual life: E[L - a | L > a].
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (double l : lengths) {
+    if (l > age_h) {
+      sum += l - age_h;
+      ++n;
+    }
+  }
+  if (n == 0) {
+    // Older than anything observed; assume the tail behaves like the
+    // shortest meaningful remainder.
+    return 0.25;
+  }
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace fgcs::predict

@@ -1,0 +1,51 @@
+// Availability-interval length estimation (§5.2):
+//
+//   "Facilities to predict such interval lengths provide the knowledge of
+//    how much computation power an FGCS system can deliver without
+//    interruption."
+//
+// Estimates are empirical, per day class (Figure 6 shows the two classes
+// differ), and condition on the current interval's age via the
+// mean-residual-life of the history distribution.
+#pragma once
+
+#include "fgcs/trace/calendar.hpp"
+#include "fgcs/trace/index.hpp"
+
+namespace fgcs::predict {
+
+class IntervalLengthEstimator {
+ public:
+  struct Config {
+    /// Minimum history intervals before trusting the empirical estimate.
+    std::size_t min_samples = 12;
+    /// Returned when history is too thin.
+    double fallback_hours = 3.0;
+  };
+
+  IntervalLengthEstimator(const trace::TraceIndex& index,
+                          const trace::TraceCalendar& calendar)
+      : IntervalLengthEstimator(index, calendar, Config{}) {}
+  IntervalLengthEstimator(const trace::TraceIndex& index,
+                          const trace::TraceCalendar& calendar,
+                          Config config);
+
+  /// Unconditional mean availability-interval length (hours) for the day
+  /// class of `t` on machine `m`, from intervals observed before `t`.
+  double expected_interval_hours(trace::MachineId m, sim::SimTime t) const;
+
+  /// Expected *remaining* availability at `t` (hours): the mean residual
+  /// life of the interval distribution at the current interval's age.
+  /// Returns 0 when the machine is inside an unavailability episode.
+  double expected_remaining_hours(trace::MachineId m, sim::SimTime t) const;
+
+ private:
+  /// Day-class interval lengths (hours) on machine m strictly before `t`.
+  std::vector<double> samples(trace::MachineId m, sim::SimTime t) const;
+
+  const trace::TraceIndex& index_;
+  const trace::TraceCalendar& calendar_;
+  Config config_;
+};
+
+}  // namespace fgcs::predict

@@ -1,0 +1,17 @@
+#include "fgcs/predict/predictor.hpp"
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::predict {
+
+const trace::TraceIndex& AvailabilityPredictor::index() const {
+  FGCS_ASSERT(index_ != nullptr);
+  return *index_;
+}
+
+const trace::TraceCalendar& AvailabilityPredictor::calendar() const {
+  FGCS_ASSERT(calendar_ != nullptr);
+  return *calendar_;
+}
+
+}  // namespace fgcs::predict

@@ -1,0 +1,56 @@
+// Availability prediction interface (the paper's stated future work, §6).
+//
+// A predictor answers: given everything observed strictly before a query's
+// start time, how likely is machine m to stay available throughout
+// [start, start + length), and how many unavailability occurrences are
+// expected in that window?
+//
+// Contract: predictors receive the full trace via attach() but MUST only
+// consult records with start < query.start — the evaluation harness relies
+// on this to emulate online prediction without per-query retraining.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fgcs/trace/calendar.hpp"
+#include "fgcs/trace/index.hpp"
+#include "fgcs/trace/trace_set.hpp"
+
+namespace fgcs::predict {
+
+struct PredictionQuery {
+  trace::MachineId machine = 0;
+  sim::SimTime start;
+  sim::SimDuration length;
+};
+
+class AvailabilityPredictor {
+ public:
+  virtual ~AvailabilityPredictor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Binds the predictor to a trace (history source) and calendar.
+  virtual void attach(const trace::TraceIndex& index,
+                      const trace::TraceCalendar& calendar) {
+    index_ = &index;
+    calendar_ = &calendar;
+  }
+
+  /// P(no unavailability occurrence overlaps the window), in [0, 1].
+  virtual double predict_availability(const PredictionQuery& q) const = 0;
+
+  /// Expected number of occurrences starting within the window.
+  virtual double predict_occurrences(const PredictionQuery& q) const = 0;
+
+ protected:
+  const trace::TraceIndex& index() const;
+  const trace::TraceCalendar& calendar() const;
+
+ private:
+  const trace::TraceIndex* index_ = nullptr;
+  const trace::TraceCalendar* calendar_ = nullptr;
+};
+
+}  // namespace fgcs::predict

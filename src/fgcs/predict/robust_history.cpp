@@ -1,0 +1,80 @@
+#include "fgcs/predict/robust_history.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::predict {
+
+RobustHistoryPredictor::RobustHistoryPredictor(RobustHistoryConfig config)
+    : config_(config) {
+  fgcs::require(config_.history_days >= 1, "history_days must be >= 1");
+  fgcs::require(config_.discount > 0.0 && config_.discount <= 1.0,
+                "discount must be in (0, 1]");
+  fgcs::require(config_.prior_weight >= 0.0, "prior_weight must be >= 0");
+}
+
+std::string RobustHistoryPredictor::name() const {
+  return "robust-history(k=" + std::to_string(config_.history_days) + ",d=" +
+         std::to_string(config_.discount).substr(0, 4) + ")";
+}
+
+std::vector<sim::SimTime> RobustHistoryPredictor::history_windows(
+    const PredictionQuery& q) const {
+  const auto& cal = calendar();
+  const int query_day = cal.day_index(q.start);
+  const bool want_weekend = cal.is_weekend_day(query_day);
+  const sim::SimDuration offset = q.start - cal.day_start(query_day);
+
+  std::vector<sim::SimTime> windows;
+  for (int d = query_day - 1; d >= 0 &&
+       windows.size() < static_cast<std::size_t>(config_.history_days); --d) {
+    if (cal.is_weekend_day(d) != want_weekend) continue;
+    const sim::SimTime w_start = cal.day_start(d) + offset;
+    if (w_start + q.length > q.start) continue;  // must precede the query
+    windows.push_back(w_start);
+  }
+  return windows;  // most recent first
+}
+
+double RobustHistoryPredictor::predict_availability(
+    const PredictionQuery& q) const {
+  const auto windows = history_windows(q);
+  // Weighted vote with a prior toward 0.5.
+  double weight_sum = config_.prior_weight;
+  double free_sum = 0.5 * config_.prior_weight;
+  double w = 1.0;
+  for (const sim::SimTime start : windows) {
+    const bool free_window =
+        !index().any_overlap(q.machine, start, start + q.length);
+    weight_sum += w;
+    if (free_window) free_sum += w;
+    w *= config_.discount;
+  }
+  return free_sum / weight_sum;
+}
+
+double RobustHistoryPredictor::predict_occurrences(
+    const PredictionQuery& q) const {
+  const auto windows = history_windows(q);
+  if (windows.empty()) return 0.0;
+  std::vector<double> counts;
+  counts.reserve(windows.size());
+  for (const sim::SimTime start : windows) {
+    counts.push_back(static_cast<double>(
+        index().count_starts_in(q.machine, start, start + q.length)));
+  }
+  std::sort(counts.begin(), counts.end());
+  std::size_t lo = 0, hi = counts.size();
+  if (counts.size() >= config_.trim_threshold) {
+    // Drop the single most irregular window from each end.
+    ++lo;
+    --hi;
+  }
+  double sum = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) sum += counts[i];
+  return sum / static_cast<double>(hi - lo);
+}
+
+}  // namespace fgcs::predict

@@ -1,0 +1,49 @@
+// Robust history-window predictor — the paper's "aggressive" variant:
+//
+//   "An aggressive prediction algorithm would accommodate the small
+//    deviations of resource availability among related time windows. One
+//    approach is to use statistics on history trace to alleviate the
+//    effects of 'irregular' data." (§5.3)
+//
+// Two robustness mechanisms on top of the plain history-window scheme:
+//   * recency weighting — window i days back gets weight discount^rank,
+//     so a schedule shift (new semester, new lab hours) washes out fast;
+//   * trimming — with enough history, the most irregular windows (the
+//     holiday that behaved like a weekend, the one-off outage) are
+//     dropped from the occurrence estimate.
+#pragma once
+
+#include "fgcs/predict/predictor.hpp"
+
+namespace fgcs::predict {
+
+struct RobustHistoryConfig {
+  /// Same-class days consulted (more than the plain predictor; the
+  /// weighting keeps old days from dominating).
+  int history_days = 12;
+  /// Geometric recency discount per history rank, in (0, 1].
+  double discount = 0.85;
+  /// Trim the single most extreme window from each end of the occurrence
+  /// sample when at least this many windows are available.
+  std::size_t trim_threshold = 6;
+  /// Laplace-style prior weight toward availability 0.5.
+  double prior_weight = 1.0;
+};
+
+class RobustHistoryPredictor : public AvailabilityPredictor {
+ public:
+  explicit RobustHistoryPredictor(RobustHistoryConfig config = {});
+
+  std::string name() const override;
+
+  double predict_availability(const PredictionQuery& q) const override;
+  double predict_occurrences(const PredictionQuery& q) const override;
+
+ private:
+  /// Same-clock windows on previous same-class days, most recent first.
+  std::vector<sim::SimTime> history_windows(const PredictionQuery& q) const;
+
+  RobustHistoryConfig config_;
+};
+
+}  // namespace fgcs::predict

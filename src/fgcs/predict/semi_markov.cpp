@@ -1,0 +1,68 @@
+#include "fgcs/predict/semi_markov.hpp"
+
+#include <algorithm>
+
+#include "fgcs/stats/ecdf.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::predict {
+
+SemiMarkovPredictor::SemiMarkovPredictor(SemiMarkovConfig config)
+    : config_(config) {
+  fgcs::require(config_.prior_availability >= 0.0 &&
+                    config_.prior_availability <= 1.0,
+                "prior_availability must be a probability");
+}
+
+std::vector<double> SemiMarkovPredictor::interval_samples(
+    const PredictionQuery& q) const {
+  const auto& episodes = index().machine(q.machine);
+  const bool want_weekend = calendar().is_weekend(q.start);
+  std::vector<double> lengths_h;
+  for (std::size_t i = 1; i < episodes.size(); ++i) {
+    if (episodes[i].start >= q.start) break;  // history only
+    const sim::SimTime gap_start = episodes[i - 1].end;
+    const sim::SimTime gap_end = episodes[i].start;
+    if (gap_end <= gap_start) continue;
+    if (calendar().is_weekend(gap_start) != want_weekend) continue;
+    lengths_h.push_back((gap_end - gap_start).as_hours());
+  }
+  return lengths_h;
+}
+
+double SemiMarkovPredictor::predict_availability(
+    const PredictionQuery& q) const {
+  bool inside = false;
+  const sim::SimTime last_end = index().last_end_before(q.machine, q.start,
+                                                        &inside);
+  if (inside) return 0.0;  // the machine is down right now
+
+  const auto lengths = interval_samples(q);
+  if (lengths.size() < config_.min_samples) {
+    return config_.prior_availability;
+  }
+  const stats::Ecdf ecdf{lengths};
+  const double age_h = (q.start - last_end).as_hours();
+  const double horizon_h = age_h + q.length.as_hours();
+  const double surv_age = 1.0 - ecdf(age_h);
+  const double surv_horizon = 1.0 - ecdf(horizon_h);
+  if (surv_age <= 0.0) {
+    // Interval already older than anything in history; be pessimistic but
+    // not absolute.
+    return std::min(config_.prior_availability, 0.2);
+  }
+  return std::clamp(surv_horizon / surv_age, 0.0, 1.0);
+}
+
+double SemiMarkovPredictor::predict_occurrences(
+    const PredictionQuery& q) const {
+  const auto lengths = interval_samples(q);
+  if (lengths.empty()) return 0.0;
+  double sum = 0.0;
+  for (double l : lengths) sum += l;
+  const double mean_h = sum / static_cast<double>(lengths.size());
+  if (mean_h <= 0.0) return 0.0;
+  return q.length.as_hours() / mean_h;
+}
+
+}  // namespace fgcs::predict

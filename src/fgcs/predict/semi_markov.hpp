@@ -1,0 +1,40 @@
+// Renewal / semi-Markov predictor over availability-interval lengths.
+//
+// Figure 6 shows interval-length distributions differ by day class; this
+// predictor builds the empirical interval-length distribution per day
+// class from history, then answers a query at availability age `a` with
+// the conditional survival  P(L > a + w | L > a)  — the classic
+// "remaining lifetime" estimate. Expected occurrences use the renewal
+// approximation w / E[L].
+#pragma once
+
+#include "fgcs/predict/predictor.hpp"
+
+namespace fgcs::predict {
+
+struct SemiMarkovConfig {
+  /// Minimum history samples required before trusting the conditional
+  /// survival estimate; below this, fall back to the prior availability.
+  std::size_t min_samples = 12;
+  /// Prior P(available) used when history is too thin.
+  double prior_availability = 0.7;
+};
+
+class SemiMarkovPredictor : public AvailabilityPredictor {
+ public:
+  explicit SemiMarkovPredictor(SemiMarkovConfig config = {});
+
+  std::string name() const override { return "semi-markov"; }
+
+  double predict_availability(const PredictionQuery& q) const override;
+  double predict_occurrences(const PredictionQuery& q) const override;
+
+ private:
+  /// Availability-interval lengths (hours) of the query's day class, from
+  /// episodes strictly before `before` on the query's machine.
+  std::vector<double> interval_samples(const PredictionQuery& q) const;
+
+  SemiMarkovConfig config_;
+};
+
+}  // namespace fgcs::predict

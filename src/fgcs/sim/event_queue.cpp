@@ -1,0 +1,41 @@
+#include "fgcs/sim/event_queue.hpp"
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::sim {
+
+EventHandle EventQueue::schedule(SimTime when, Callback cb) {
+  FGCS_ASSERT(cb != nullptr);
+  auto flag = std::make_shared<bool>(false);
+  heap_.push(Entry{when, next_seq_++, std::move(cb), flag});
+  return EventHandle(std::move(flag));
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && *heap_.top().cancelled) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  if (heap_.empty()) return SimTime::max();
+  return heap_.top().when;
+}
+
+SimTime EventQueue::run_next() {
+  drop_cancelled();
+  FGCS_ASSERT(!heap_.empty());
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback (callbacks are small closures in practice).
+  Entry entry = heap_.top();
+  heap_.pop();
+  entry.cb();
+  return entry.when;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace fgcs::sim

@@ -1,0 +1,91 @@
+// Discrete-event queue with stable ordering and O(log n) cancellation.
+//
+// Events at equal timestamps fire in insertion order (sequence-number
+// tiebreak) so simulations are fully deterministic. Cancellation is lazy:
+// a cancelled entry stays in the heap and is skipped on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "fgcs/sim/time.hpp"
+
+namespace fgcs::sim {
+
+/// Handle for cancelling a scheduled event. Default-constructed handles are
+/// inert. Copies share the same cancellation flag.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+
+  /// True if the handle refers to a scheduled (possibly fired) event.
+  bool valid() const { return static_cast<bool>(cancelled_); }
+
+  /// True if cancel() was called before the event fired.
+  bool cancelled() const { return cancelled_ && *cancelled_; }
+
+ private:
+  friend class EventQueue;
+  friend class Simulation;
+  explicit EventHandle(std::shared_ptr<bool> flag)
+      : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// Priority queue of (time, callback) pairs.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `when`. Returns a cancellation handle.
+  EventHandle schedule(SimTime when, Callback cb);
+
+  /// True when no live (uncancelled) events remain.
+  bool empty() const {
+    drop_cancelled();
+    return heap_.empty();
+  }
+
+  /// Number of pending entries. Cancelled events that have not yet been
+  /// garbage-collected are counted, so this is an upper bound on live events.
+  std::size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the earliest live event; SimTime::max() when empty.
+  SimTime next_time() const;
+
+  /// Pops and runs the earliest live event; returns its time.
+  /// Precondition: !empty().
+  SimTime run_next();
+
+  /// Drops every pending event.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace fgcs::sim

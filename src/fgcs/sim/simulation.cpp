@@ -1,0 +1,69 @@
+#include "fgcs/sim/simulation.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::sim {
+
+EventHandle Simulation::at(SimTime when, EventQueue::Callback cb) {
+  FGCS_ASSERT(when >= now_);
+  return queue_.schedule(when, std::move(cb));
+}
+
+EventHandle Simulation::after(SimDuration delay, EventQueue::Callback cb) {
+  FGCS_ASSERT(delay >= SimDuration::zero());
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+// Periodic tasks share one cancellation flag across all firings: `every`
+// returns a handle over that flag, and each firing re-schedules a fresh
+// closure holding the shared state. No closure references itself, so the
+// chain is freed as soon as the series is cancelled or the queue drains.
+struct Simulation::PeriodicState {
+  std::function<void()> task;
+  SimDuration period;
+  std::shared_ptr<bool> cancelled;
+};
+
+void Simulation::fire_periodic(const std::shared_ptr<PeriodicState>& state) {
+  if (*state->cancelled) return;
+  state->task();
+  if (*state->cancelled) return;  // the task may cancel the series
+  queue_.schedule(now_ + state->period,
+                  [this, state] { fire_periodic(state); });
+}
+
+EventHandle Simulation::every(SimDuration period, std::function<void()> task) {
+  FGCS_ASSERT(period > SimDuration::zero());
+  auto state = std::make_shared<PeriodicState>();
+  state->task = std::move(task);
+  state->period = period;
+  state->cancelled = std::make_shared<bool>(false);
+  queue_.schedule(now_ + period, [this, state] { fire_periodic(state); });
+  return EventHandle(state->cancelled);
+}
+
+void Simulation::run_until(SimTime until) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    const SimTime next = queue_.next_time();
+    if (next > until) break;
+    now_ = next;
+    queue_.run_next();
+    ++events_executed_;
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulation::run_all() {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++events_executed_;
+  }
+}
+
+}  // namespace fgcs::sim

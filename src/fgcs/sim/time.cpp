@@ -1,0 +1,43 @@
+#include "fgcs/sim/time.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fgcs::sim {
+
+std::string SimDuration::str() const {
+  char buf[64];
+  const std::int64_t abs_us = us_ < 0 ? -us_ : us_;
+  const char* sign = us_ < 0 ? "-" : "";
+  if (abs_us >= 3'600'000'000LL) {
+    std::snprintf(buf, sizeof buf, "%s%lldh %02lldm", sign,
+                  static_cast<long long>(abs_us / 3'600'000'000LL),
+                  static_cast<long long>((abs_us / 60'000'000LL) % 60));
+  } else if (abs_us >= 60'000'000LL) {
+    std::snprintf(buf, sizeof buf, "%s%lldm %02llds", sign,
+                  static_cast<long long>(abs_us / 60'000'000LL),
+                  static_cast<long long>((abs_us / 1'000'000LL) % 60));
+  } else if (abs_us >= 1'000'000LL) {
+    std::snprintf(buf, sizeof buf, "%s%.3fs", sign,
+                  static_cast<double>(abs_us) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%.3fms", sign,
+                  static_cast<double>(abs_us) / 1e3);
+  }
+  return buf;
+}
+
+std::string SimTime::str() const {
+  // Render as d+hh:mm:ss.mmm relative to the simulation epoch.
+  char buf[64];
+  const std::int64_t total_s = us_ / 1'000'000LL;
+  std::snprintf(buf, sizeof buf, "%lldd %02lld:%02lld:%02lld.%03lld",
+                static_cast<long long>(total_s / 86'400),
+                static_cast<long long>((total_s / 3'600) % 24),
+                static_cast<long long>((total_s / 60) % 60),
+                static_cast<long long>(total_s % 60),
+                static_cast<long long>((us_ / 1'000) % 1'000));
+  return buf;
+}
+
+}  // namespace fgcs::sim

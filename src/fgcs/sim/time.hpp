@@ -1,0 +1,150 @@
+// Strongly-typed simulated time.
+//
+// SimTime is an absolute instant, SimDuration a signed span; both count
+// integer microseconds so event ordering is exact and platform-independent.
+// Conversions from floating-point seconds round to the nearest microsecond.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace fgcs::sim {
+
+/// A signed span of simulated time, microsecond resolution.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+
+  static constexpr SimDuration micros(std::int64_t us) {
+    return SimDuration(us);
+  }
+  static constexpr SimDuration millis(std::int64_t ms) {
+    return SimDuration(ms * 1000);
+  }
+  static constexpr SimDuration seconds(std::int64_t s) {
+    return SimDuration(s * 1'000'000);
+  }
+  static constexpr SimDuration minutes(std::int64_t m) {
+    return seconds(m * 60);
+  }
+  static constexpr SimDuration hours(std::int64_t h) { return seconds(h * 3600); }
+  static constexpr SimDuration days(std::int64_t d) { return hours(d * 24); }
+
+  /// From floating-point seconds (rounded to nearest microsecond).
+  static SimDuration from_seconds(double s) {
+    return SimDuration(static_cast<std::int64_t>(std::llround(s * 1e6)));
+  }
+
+  constexpr std::int64_t as_micros() const { return us_; }
+  constexpr double as_seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+  constexpr double as_minutes() const { return as_seconds() / 60.0; }
+  constexpr double as_hours() const { return as_seconds() / 3600.0; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration operator+(SimDuration o) const {
+    return SimDuration(us_ + o.us_);
+  }
+  constexpr SimDuration operator-(SimDuration o) const {
+    return SimDuration(us_ - o.us_);
+  }
+  constexpr SimDuration operator-() const { return SimDuration(-us_); }
+  constexpr SimDuration operator*(std::int64_t k) const {
+    return SimDuration(us_ * k);
+  }
+  constexpr SimDuration operator*(int k) const {
+    return SimDuration(us_ * k);
+  }
+  SimDuration operator*(double k) const { return from_seconds(as_seconds() * k); }
+  constexpr SimDuration operator/(std::int64_t k) const {
+    return SimDuration(us_ / k);
+  }
+  constexpr double operator/(SimDuration o) const {
+    return static_cast<double>(us_) / static_cast<double>(o.us_);
+  }
+  SimDuration& operator+=(SimDuration o) {
+    us_ += o.us_;
+    return *this;
+  }
+  SimDuration& operator-=(SimDuration o) {
+    us_ -= o.us_;
+    return *this;
+  }
+
+  static constexpr SimDuration zero() { return SimDuration(0); }
+  static constexpr SimDuration max() {
+    return SimDuration(INT64_MAX);
+  }
+
+  /// "2h 03m", "5m 12s", "3.2s", "250ms" style rendering.
+  std::string str() const;
+
+ private:
+  explicit constexpr SimDuration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute simulated instant (microseconds since simulation epoch).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime epoch() { return SimTime(0); }
+  static constexpr SimTime from_micros(std::int64_t us) { return SimTime(us); }
+  static SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(std::llround(s * 1e6)));
+  }
+  static constexpr SimTime max() { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t as_micros() const { return us_; }
+  constexpr double as_seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+  constexpr double as_hours() const { return as_seconds() / 3600.0; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimDuration d) const {
+    return SimTime(us_ + d.as_micros());
+  }
+  constexpr SimTime operator-(SimDuration d) const {
+    return SimTime(us_ - d.as_micros());
+  }
+  constexpr SimDuration operator-(SimTime o) const {
+    return SimDuration::micros(us_ - o.us_);
+  }
+  SimTime& operator+=(SimDuration d) {
+    us_ += d.as_micros();
+    return *this;
+  }
+
+  std::string str() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+namespace time_literals {
+constexpr SimDuration operator""_us(unsigned long long v) {
+  return SimDuration::micros(static_cast<std::int64_t>(v));
+}
+constexpr SimDuration operator""_ms(unsigned long long v) {
+  return SimDuration::millis(static_cast<std::int64_t>(v));
+}
+constexpr SimDuration operator""_s(unsigned long long v) {
+  return SimDuration::seconds(static_cast<std::int64_t>(v));
+}
+constexpr SimDuration operator""_min(unsigned long long v) {
+  return SimDuration::minutes(static_cast<std::int64_t>(v));
+}
+constexpr SimDuration operator""_h(unsigned long long v) {
+  return SimDuration::hours(static_cast<std::int64_t>(v));
+}
+}  // namespace time_literals
+
+}  // namespace fgcs::sim

@@ -1,0 +1,40 @@
+#include "fgcs/stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "fgcs/stats/descriptive.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::stats {
+
+BootstrapResult bootstrap_ci(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)>& statistic,
+    util::RngStream& rng, std::size_t resamples, double confidence) {
+  fgcs::require(confidence > 0.0 && confidence < 1.0,
+                "bootstrap confidence must be in (0, 1)");
+  BootstrapResult result;
+  if (xs.empty()) return result;
+  result.point = statistic(xs);
+  if (xs.size() == 1 || resamples == 0) {
+    result.lo = result.hi = result.point;
+    return result;
+  }
+  std::vector<double> resample(xs.size());
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& v : resample) {
+      v = xs[rng.uniform_index(xs.size())];
+    }
+    estimates.push_back(statistic(resample));
+  }
+  std::sort(estimates.begin(), estimates.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  result.lo = quantile_sorted(estimates, alpha);
+  result.hi = quantile_sorted(estimates, 1.0 - alpha);
+  return result;
+}
+
+}  // namespace fgcs::stats

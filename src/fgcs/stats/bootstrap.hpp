@@ -1,0 +1,29 @@
+// Bootstrap confidence intervals.
+//
+// §5.3 suggests "statistics on history trace to alleviate the effects of
+// irregular data"; the prediction study uses bootstrap CIs to report the
+// stability of history-window estimates.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "fgcs/util/rng.hpp"
+
+namespace fgcs::stats {
+
+struct BootstrapResult {
+  double point = 0.0;  // statistic on the original sample
+  double lo = 0.0;     // percentile CI lower bound
+  double hi = 0.0;     // percentile CI upper bound
+};
+
+/// Percentile-bootstrap CI of `statistic` over `xs`.
+/// `confidence` in (0, 1), e.g. 0.95.
+BootstrapResult bootstrap_ci(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)>& statistic,
+    util::RngStream& rng, std::size_t resamples = 1000,
+    double confidence = 0.95);
+
+}  // namespace fgcs::stats

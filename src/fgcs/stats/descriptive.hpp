@@ -1,0 +1,46 @@
+// Descriptive statistics over double samples.
+//
+// The trace analysis (§5) reports means, ranges, and per-window deviations;
+// Summary computes them in one pass plus a sort for order statistics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fgcs::stats {
+
+/// Order-agnostic summary of a sample set.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+
+  /// Computes all fields. Returns a zeroed summary for empty input.
+  static Summary of(std::span<const double> xs);
+};
+
+/// Linear-interpolation quantile of *sorted* data, p in [0, 1].
+double quantile_sorted(std::span<const double> sorted, double p);
+
+/// Convenience: copies, sorts, and evaluates the quantile.
+double quantile(std::span<const double> xs, double p);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Sample variance (n-1); 0 when n < 2.
+double variance(std::span<const double> xs);
+
+/// Pearson correlation of two equal-length series; 0 when degenerate.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Lag-k autocorrelation of a series; 0 when degenerate.
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+}  // namespace fgcs::stats

@@ -1,0 +1,117 @@
+#include "fgcs/stats/distributions.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::stats {
+
+std::uint32_t sample_poisson(util::RngStream& rng, double lambda) {
+  FGCS_ASSERT(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda < 60.0) {
+    // Multiplication method: count uniforms until product < e^-lambda.
+    const double limit = std::exp(-lambda);
+    double product = 1.0;
+    std::uint32_t k = 0;
+    for (;;) {
+      product *= rng.uniform();
+      if (product < limit) return k;
+      ++k;
+      FGCS_ASSERT(k < 100000);  // numeric safety
+    }
+  }
+  // Normal approximation with continuity correction for large lambda.
+  const double x = rng.normal(lambda, std::sqrt(lambda));
+  return x < 0.0 ? 0u : static_cast<std::uint32_t>(x + 0.5);
+}
+
+double sample_lognormal(util::RngStream& rng, double mu, double sigma) {
+  FGCS_ASSERT(sigma >= 0.0);
+  return std::exp(mu + sigma * rng.normal());
+}
+
+double sample_lognormal_mean(util::RngStream& rng, double mean, double sigma) {
+  FGCS_ASSERT(mean > 0.0);
+  const double mu = std::log(mean) - sigma * sigma / 2.0;
+  return sample_lognormal(rng, mu, sigma);
+}
+
+double sample_weibull(util::RngStream& rng, double shape, double scale) {
+  FGCS_ASSERT(shape > 0.0 && scale > 0.0);
+  const double u = 1.0 - rng.uniform();  // (0, 1]
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+double sample_pareto(util::RngStream& rng, double x_min, double alpha) {
+  FGCS_ASSERT(x_min > 0.0 && alpha > 0.0);
+  const double u = 1.0 - rng.uniform();  // (0, 1]
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+double sample_truncated_normal(util::RngStream& rng, double mean,
+                               double stddev, double lo, double hi) {
+  FGCS_ASSERT(lo < hi);
+  FGCS_ASSERT(stddev >= 0.0);
+  if (stddev == 0.0) {
+    return std::min(hi, std::max(lo, mean));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal(mean, stddev);
+    if (x >= lo && x <= hi) return x;
+  }
+  // Pathological truncation (interval far in the tail): fall back to
+  // uniform within the interval rather than looping forever.
+  return rng.uniform(lo, hi);
+}
+
+ExponentialFit fit_exponential(std::span<const double> xs) {
+  ExponentialFit fit;
+  if (xs.empty()) return fit;
+  double sum = 0.0;
+  for (double x : xs) {
+    FGCS_ASSERT(x >= 0.0);
+    sum += x;
+  }
+  fit.mean = sum / static_cast<double>(xs.size());
+  if (fit.mean > 0.0) {
+    const auto n = static_cast<double>(xs.size());
+    fit.log_likelihood = -n * std::log(fit.mean) - sum / fit.mean;
+  }
+  return fit;
+}
+
+double LognormalFit::mean() const {
+  return std::exp(mu + sigma * sigma / 2.0);
+}
+
+LognormalFit fit_lognormal(std::span<const double> xs) {
+  LognormalFit fit;
+  if (xs.empty()) return fit;
+  const auto n = static_cast<double>(xs.size());
+  double sum_log = 0.0;
+  for (double x : xs) {
+    FGCS_ASSERT(x > 0.0);
+    sum_log += std::log(x);
+  }
+  fit.mu = sum_log / n;
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = std::log(x) - fit.mu;
+    ss += d * d;
+  }
+  fit.sigma = std::sqrt(ss / n);
+  if (fit.sigma > 0.0) {
+    double ll = 0.0;
+    for (double x : xs) {
+      const double z = (std::log(x) - fit.mu) / fit.sigma;
+      ll += -std::log(x) - std::log(fit.sigma) -
+            0.5 * std::log(2.0 * std::numbers::pi) - 0.5 * z * z;
+    }
+    fit.log_likelihood = ll;
+  }
+  return fit;
+}
+
+}  // namespace fgcs::stats

@@ -1,0 +1,52 @@
+// Random-variate samplers and simple fitters.
+//
+// All samplers draw from a util::RngStream so every simulation remains
+// deterministic and platform-independent (<random> distributions are not
+// guaranteed to produce identical streams across standard libraries).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "fgcs/util/rng.hpp"
+
+namespace fgcs::stats {
+
+/// Poisson(lambda) via multiplication method (lambda < ~60) or normal
+/// approximation beyond. lambda must be >= 0.
+std::uint32_t sample_poisson(util::RngStream& rng, double lambda);
+
+/// LogNormal with log-space parameters mu, sigma.
+double sample_lognormal(util::RngStream& rng, double mu, double sigma);
+
+/// LogNormal parameterized by its *mean* and log-space sigma:
+/// mu = ln(mean) - sigma^2 / 2.
+double sample_lognormal_mean(util::RngStream& rng, double mean, double sigma);
+
+/// Weibull(shape k, scale lambda) by inversion.
+double sample_weibull(util::RngStream& rng, double shape, double scale);
+
+/// Pareto (Lomax-style, x >= x_min) with tail index alpha, by inversion.
+double sample_pareto(util::RngStream& rng, double x_min, double alpha);
+
+/// Normal truncated to [lo, hi] by rejection (lo < hi required).
+double sample_truncated_normal(util::RngStream& rng, double mean,
+                               double stddev, double lo, double hi);
+
+/// Fitted parameters of an exponential distribution (MLE: mean).
+struct ExponentialFit {
+  double mean = 0.0;
+  double log_likelihood = 0.0;
+};
+ExponentialFit fit_exponential(std::span<const double> xs);
+
+/// Fitted parameters of a lognormal distribution (MLE on logs).
+struct LognormalFit {
+  double mu = 0.0;
+  double sigma = 0.0;
+  double log_likelihood = 0.0;
+  double mean() const;
+};
+LognormalFit fit_lognormal(std::span<const double> xs);
+
+}  // namespace fgcs::stats

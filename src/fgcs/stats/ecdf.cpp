@@ -1,0 +1,90 @@
+#include "fgcs/stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::stats {
+
+Ecdf::Ecdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double p) const {
+  FGCS_ASSERT(p >= 0.0 && p <= 1.0);
+  if (sorted_.empty()) return 0.0;
+  if (p <= 0.0) return sorted_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank == 0 ? 0 : rank - 1, sorted_.size() - 1)];
+}
+
+double Ecdf::mean() const {
+  if (sorted_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : sorted_) sum += v;
+  return sum / static_cast<double>(sorted_.size());
+}
+
+std::vector<Ecdf::Point> Ecdf::steps() const {
+  std::vector<Point> pts;
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    if (i + 1 < sorted_.size() && sorted_[i + 1] == sorted_[i]) continue;
+    pts.push_back({sorted_[i], static_cast<double>(i + 1) /
+                                   static_cast<double>(sorted_.size())});
+  }
+  return pts;
+}
+
+std::vector<Ecdf::Point> Ecdf::grid(double lo, double hi,
+                                    std::size_t n) const {
+  FGCS_ASSERT(n >= 2 && hi >= lo);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+    pts.push_back({x, (*this)(x)});
+  }
+  return pts;
+}
+
+double ks_statistic(const Ecdf& a, const Ecdf& b) {
+  double d = 0.0;
+  for (double x : a.sorted_samples()) d = std::max(d, std::abs(a(x) - b(x)));
+  for (double x : b.sorted_samples()) d = std::max(d, std::abs(a(x) - b(x)));
+  return d;
+}
+
+double ks_p_value(const Ecdf& a, const Ecdf& b) {
+  if (a.empty() || b.empty()) return 1.0;
+  const double d = ks_statistic(a, b);
+  const double n = static_cast<double>(a.size());
+  const double m = static_cast<double>(b.size());
+  const double ne = n * m / (n + m);
+  const double sqrt_ne = std::sqrt(ne);
+  const double lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+  if (lambda < 1e-6) return 1.0;  // the series degenerates at zero gap
+  // Q_KS(lambda) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  const double p = 2.0 * sum;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace fgcs::stats

@@ -1,0 +1,65 @@
+// Empirical cumulative distribution function.
+//
+// Figure 6 plots the CDF of availability-interval lengths; Ecdf provides
+// evaluation, quantiles, and a step-point series for regenerating the
+// figure.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fgcs::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+
+  /// Builds from (unsorted) samples.
+  explicit Ecdf(std::span<const double> samples);
+
+  bool empty() const { return sorted_.empty(); }
+  std::size_t size() const { return sorted_.size(); }
+
+  /// P(X <= x); 0 for empty ECDFs.
+  double operator()(double x) const;
+
+  /// Smallest sample v with P(X <= v) >= p.
+  double quantile(double p) const;
+
+  /// Fraction of mass in (lo, hi].
+  double mass_between(double lo, double hi) const {
+    return (*this)(hi) - (*this)(lo);
+  }
+
+  double min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
+  double max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+  double mean() const;
+
+  /// Step points (x, F(x)) evaluated at each distinct sample value.
+  struct Point {
+    double x;
+    double f;
+  };
+  std::vector<Point> steps() const;
+
+  /// Evaluation on a regular grid [lo, hi] with `n` points (n >= 2),
+  /// for fixed-resolution figure output.
+  std::vector<Point> grid(double lo, double hi, std::size_t n) const;
+
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Two-sample Kolmogorov–Smirnov statistic (max CDF gap). Used by tests to
+/// check distribution sampler correctness and by the prediction study to
+/// compare history windows.
+double ks_statistic(const Ecdf& a, const Ecdf& b);
+
+/// Asymptotic two-sample KS p-value (Q_KS of Numerical Recipes): the
+/// probability of a gap at least this large under the null hypothesis
+/// that both samples come from the same distribution.
+double ks_p_value(const Ecdf& a, const Ecdf& b);
+
+}  // namespace fgcs::stats

@@ -1,0 +1,86 @@
+#include "fgcs/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins, bool clamp)
+    : lo_(lo), hi_(hi), clamp_(clamp), counts_(bins, 0) {
+  fgcs::require(hi > lo, "Histogram: hi must be > lo");
+  fgcs::require(bins >= 1, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  if (x < lo_) {
+    if (!clamp_) {
+      ++underflow_;
+      return;
+    }
+    x = lo_;
+  }
+  if (x >= hi_) {
+    if (!clamp_) {
+      ++overflow_;
+      return;
+    }
+    x = std::nextafter(hi_, lo_);
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin + 1);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return 0.5 * (bin_lo(bin) + bin_hi(bin));
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+void HourOfDayBinner::add_day(const std::array<double, 24>& day) {
+  days_.push_back(day);
+}
+
+HourOfDayBinner::HourStats HourOfDayBinner::hour(std::size_t h) const {
+  FGCS_ASSERT(h < 24);
+  HourStats s;
+  if (days_.empty()) return s;
+  double sum = 0.0;
+  s.min = days_.front()[h];
+  s.max = days_.front()[h];
+  for (const auto& d : days_) {
+    sum += d[h];
+    s.min = std::min(s.min, d[h]);
+    s.max = std::max(s.max, d[h]);
+  }
+  s.mean = sum / static_cast<double>(days_.size());
+  if (days_.size() > 1) {
+    double ss = 0.0;
+    for (const auto& d : days_) ss += (d[h] - s.mean) * (d[h] - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(days_.size() - 1));
+  }
+  return s;
+}
+
+}  // namespace fgcs::stats

@@ -1,0 +1,73 @@
+// Fixed-bin histogram and hour-of-day binning.
+//
+// Figure 7 reports, for each hour of the day, the mean and range (over
+// days) of unavailability occurrences in that hour. HourOfDayBinner
+// aggregates per-day hourly counts into exactly that shape.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fgcs::stats {
+
+/// Equal-width histogram over [lo, hi); out-of-range values clamp to the
+/// edge bins when `clamp` is set, otherwise they are dropped (counted in
+/// under/overflow).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins, bool clamp = false);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// Center of a bin.
+  double bin_center(std::size_t bin) const;
+  /// Lower edge of a bin.
+  double bin_lo(std::size_t bin) const;
+  /// Upper edge of a bin.
+  double bin_hi(std::size_t bin) const;
+
+  /// count(bin) / total(), 0 if the histogram is empty.
+  double fraction(std::size_t bin) const;
+
+ private:
+  double lo_, hi_;
+  bool clamp_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Per-hour-of-day statistics across many days (Figure 7's mean + range).
+class HourOfDayBinner {
+ public:
+  /// Adds one day's 24 hourly values.
+  void add_day(const std::array<double, 24>& day);
+
+  std::size_t days() const { return days_.size(); }
+
+  struct HourStats {
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double stddev = 0.0;
+  };
+
+  /// Statistics over days for the given hour (0..23).
+  HourStats hour(std::size_t h) const;
+
+ private:
+  std::vector<std::array<double, 24>> days_;
+};
+
+}  // namespace fgcs::stats

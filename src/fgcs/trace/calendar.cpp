@@ -1,0 +1,73 @@
+#include "fgcs/trace/calendar.hpp"
+
+#include <cstdio>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::trace {
+
+const char* to_string(DayOfWeek d) {
+  switch (d) {
+    case DayOfWeek::kMonday:
+      return "Mon";
+    case DayOfWeek::kTuesday:
+      return "Tue";
+    case DayOfWeek::kWednesday:
+      return "Wed";
+    case DayOfWeek::kThursday:
+      return "Thu";
+    case DayOfWeek::kFriday:
+      return "Fri";
+    case DayOfWeek::kSaturday:
+      return "Sat";
+    case DayOfWeek::kSunday:
+      return "Sun";
+  }
+  return "?";
+}
+
+int TraceCalendar::day_index(sim::SimTime t) const {
+  const std::int64_t us = t.as_micros();
+  if (us <= 0) return 0;
+  return static_cast<int>(us / sim::SimDuration::days(1).as_micros());
+}
+
+int TraceCalendar::hour_of_day(sim::SimTime t) const {
+  const std::int64_t us = t.as_micros();
+  const std::int64_t day_us = sim::SimDuration::days(1).as_micros();
+  const std::int64_t within = ((us % day_us) + day_us) % day_us;
+  return static_cast<int>(within / sim::SimDuration::hours(1).as_micros());
+}
+
+DayOfWeek TraceCalendar::day_of_week_for_day(int day_index) const {
+  return static_cast<DayOfWeek>(((start_dow_ + day_index) % 7 + 7) % 7);
+}
+
+DayOfWeek TraceCalendar::day_of_week(sim::SimTime t) const {
+  return day_of_week_for_day(day_index(t));
+}
+
+bool TraceCalendar::is_weekend_day(int day_index) const {
+  return static_cast<int>(day_of_week_for_day(day_index)) >= 5;
+}
+
+bool TraceCalendar::is_weekend(sim::SimTime t) const {
+  return is_weekend_day(day_index(t));
+}
+
+sim::SimTime TraceCalendar::day_start(int day_index) const {
+  return sim::SimTime::epoch() + sim::SimDuration::days(day_index);
+}
+
+std::string TraceCalendar::label(sim::SimTime t) const {
+  char buf[64];
+  const int day = day_index(t);
+  const std::int64_t s = t.as_micros() / 1'000'000;
+  std::snprintf(buf, sizeof buf, "day %d (%s) %02d:%02d", day,
+                to_string(day_of_week_for_day(day)),
+                static_cast<int>((s / 3600) % 24),
+                static_cast<int>((s / 60) % 60));
+  return buf;
+}
+
+}  // namespace fgcs::trace

@@ -1,0 +1,57 @@
+// Trace calendar: maps simulated instants to calendar structure.
+//
+// The paper's trace runs three months, August to November 2005, on a
+// testbed whose behaviour differs by hour-of-day and weekday/weekend.
+// TraceCalendar anchors SimTime::epoch() to local midnight of the trace's
+// first day and answers day/hour/day-class queries. The default anchor is
+// Monday, August 15, 2005 (the paper's trace started in August 2005).
+#pragma once
+
+#include <string>
+
+#include "fgcs/sim/time.hpp"
+
+namespace fgcs::trace {
+
+/// Day-of-week with Monday == 0 ... Sunday == 6.
+enum class DayOfWeek : int {
+  kMonday = 0,
+  kTuesday = 1,
+  kWednesday = 2,
+  kThursday = 3,
+  kFriday = 4,
+  kSaturday = 5,
+  kSunday = 6,
+};
+
+const char* to_string(DayOfWeek d);
+
+class TraceCalendar {
+ public:
+  /// `start_dow` is the day-of-week of day 0 (the day containing epoch).
+  explicit TraceCalendar(DayOfWeek start_dow = DayOfWeek::kMonday)
+      : start_dow_(static_cast<int>(start_dow)) {}
+
+  /// Day index since epoch (negative times clamp to day 0).
+  int day_index(sim::SimTime t) const;
+
+  /// Hour of day, 0..23.
+  int hour_of_day(sim::SimTime t) const;
+
+  DayOfWeek day_of_week(sim::SimTime t) const;
+  DayOfWeek day_of_week_for_day(int day_index) const;
+
+  bool is_weekend(sim::SimTime t) const;
+  bool is_weekend_day(int day_index) const;
+
+  /// Midnight starting the given day.
+  sim::SimTime day_start(int day_index) const;
+
+  /// "day 12 (Sat) 14:05" style label for reports.
+  std::string label(sim::SimTime t) const;
+
+ private:
+  int start_dow_;
+};
+
+}  // namespace fgcs::trace

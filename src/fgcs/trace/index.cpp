@@ -1,0 +1,96 @@
+#include "fgcs/trace/index.hpp"
+
+#include <algorithm>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::trace {
+
+TraceIndex::TraceIndex(const TraceSet& trace)
+    : horizon_start_(trace.horizon_start()),
+      by_machine_(trace.machine_count()) {
+  for (const auto& r : trace.records()) {
+    by_machine_[r.machine].push_back(r);
+  }
+  // TraceSet::records() is sorted by (machine, start), so each bucket is
+  // already start-sorted; assert in case of future changes.
+  for (const auto& bucket : by_machine_) {
+    for (std::size_t i = 1; i < bucket.size(); ++i) {
+      FGCS_ASSERT(bucket[i - 1].start <= bucket[i].start);
+    }
+  }
+}
+
+const std::vector<UnavailabilityRecord>& TraceIndex::machine(
+    MachineId m) const {
+  fgcs::require(m < by_machine_.size(), "TraceIndex: machine out of range");
+  return by_machine_[m];
+}
+
+bool TraceIndex::any_overlap(MachineId m, sim::SimTime t0,
+                             sim::SimTime t1) const {
+  const auto& bucket = machine(m);
+  // First episode with start >= t1; everything at or after it starts too
+  // late. Episodes are not nested (sequential detector output), so only a
+  // bounded scan backwards is needed.
+  auto it = std::lower_bound(
+      bucket.begin(), bucket.end(), t1,
+      [](const UnavailabilityRecord& r, sim::SimTime t) { return r.start < t; });
+  while (it != bucket.begin()) {
+    --it;
+    if (it->end > t0) return true;
+    // Episodes are time-ordered and non-overlapping; once an episode ends
+    // at or before t0, earlier ones end even earlier.
+    break;
+  }
+  return false;
+}
+
+const UnavailabilityRecord* TraceIndex::first_overlap(MachineId m,
+                                                      sim::SimTime t0,
+                                                      sim::SimTime t1) const {
+  const auto& bucket = machine(m);
+  // First episode with start >= t0; the one before it may straddle t0.
+  auto it = std::lower_bound(
+      bucket.begin(), bucket.end(), t0,
+      [](const UnavailabilityRecord& r, sim::SimTime t) { return r.start < t; });
+  if (it != bucket.begin()) {
+    auto prev = it - 1;
+    if (prev->end > t0) return &*prev;
+  }
+  if (it != bucket.end() && it->start < t1) return &*it;
+  return nullptr;
+}
+
+std::size_t TraceIndex::count_starts_in(MachineId m, sim::SimTime t0,
+                                        sim::SimTime t1) const {
+  const auto& bucket = machine(m);
+  auto cmp = [](const UnavailabilityRecord& r, sim::SimTime t) {
+    return r.start < t;
+  };
+  auto lo = std::lower_bound(bucket.begin(), bucket.end(), t0, cmp);
+  auto hi = std::lower_bound(bucket.begin(), bucket.end(), t1, cmp);
+  return static_cast<std::size_t>(hi - lo);
+}
+
+sim::SimTime TraceIndex::last_end_before(MachineId m, sim::SimTime t,
+                                         bool* inside) const {
+  const auto& bucket = machine(m);
+  if (inside) *inside = false;
+  auto it = std::lower_bound(
+      bucket.begin(), bucket.end(), t,
+      [](const UnavailabilityRecord& r, sim::SimTime tt) {
+        return r.start <= tt;
+      });
+  // `it` is the first episode starting after t; the previous one (if any)
+  // is the latest starting at or before t.
+  if (it == bucket.begin()) return horizon_start_;
+  --it;
+  if (it->end > t) {
+    if (inside) *inside = true;
+    return it->end;
+  }
+  return it->end;
+}
+
+}  // namespace fgcs::trace

@@ -1,0 +1,47 @@
+// Per-machine episode index for fast time queries over a TraceSet.
+//
+// Predictors and the evaluation harness ask "does any episode overlap
+// [t0, t1)?" and "how many episodes start in [t0, t1)?" many thousands of
+// times; TraceIndex answers in O(log n).
+#pragma once
+
+#include <vector>
+
+#include "fgcs/trace/trace_set.hpp"
+
+namespace fgcs::trace {
+
+class TraceIndex {
+ public:
+  explicit TraceIndex(const TraceSet& trace);
+
+  std::uint32_t machine_count() const {
+    return static_cast<std::uint32_t>(by_machine_.size());
+  }
+
+  /// Episodes of machine m, sorted by start.
+  const std::vector<UnavailabilityRecord>& machine(MachineId m) const;
+
+  /// True if any episode of machine m overlaps [t0, t1).
+  bool any_overlap(MachineId m, sim::SimTime t0, sim::SimTime t1) const;
+
+  /// Earliest episode of machine m overlapping [t0, t1); nullptr if none.
+  const UnavailabilityRecord* first_overlap(MachineId m, sim::SimTime t0,
+                                            sim::SimTime t1) const;
+
+  /// Number of episodes of machine m starting in [t0, t1).
+  std::size_t count_starts_in(MachineId m, sim::SimTime t0,
+                              sim::SimTime t1) const;
+
+  /// End time of the last episode of machine m ending at or before t;
+  /// returns horizon_start when none exists. If t falls inside an episode,
+  /// sets *inside to true (when provided).
+  sim::SimTime last_end_before(MachineId m, sim::SimTime t,
+                               bool* inside = nullptr) const;
+
+ private:
+  sim::SimTime horizon_start_;
+  std::vector<std::vector<UnavailabilityRecord>> by_machine_;
+};
+
+}  // namespace fgcs::trace

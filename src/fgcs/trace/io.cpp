@@ -1,0 +1,179 @@
+#include "fgcs/trace/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "fgcs/util/csv.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::trace {
+
+namespace {
+
+constexpr char kCsvMagic[] = "# fgcs-trace v1";
+constexpr char kBinMagic[8] = {'F', 'G', 'C', 'S', 'T', 'R', 'C', '1'};
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw IoError("truncated binary trace");
+  return value;
+}
+
+std::int64_t parse_i64(const std::string& s) {
+  std::size_t pos = 0;
+  const long long v = std::stoll(s, &pos);
+  if (pos != s.size()) throw IoError("bad integer in trace: " + s);
+  return v;
+}
+
+double parse_f64(const std::string& s) {
+  std::size_t pos = 0;
+  const double v = std::stod(s, &pos);
+  if (pos != s.size()) throw IoError("bad number in trace: " + s);
+  return v;
+}
+
+}  // namespace
+
+void write_trace_csv(const TraceSet& trace, std::ostream& out) {
+  out << kCsvMagic << " machines=" << trace.machine_count()
+      << " start_us=" << trace.horizon_start().as_micros()
+      << " end_us=" << trace.horizon_end().as_micros() << '\n';
+  util::CsvWriter csv(out);
+  csv.write("machine", "start_us", "end_us", "cause", "host_cpu",
+            "free_mem_mb");
+  for (const auto& r : trace.records()) {
+    csv.write(static_cast<std::uint64_t>(r.machine), r.start.as_micros(),
+              r.end.as_micros(), monitor::to_string(r.cause), r.host_cpu,
+              r.free_mem_mb);
+  }
+  if (!out) throw IoError("failed writing CSV trace");
+}
+
+TraceSet read_trace_csv(std::istream& in) {
+  std::string meta_line;
+  if (!std::getline(in, meta_line) ||
+      meta_line.rfind(kCsvMagic, 0) != 0) {
+    throw IoError("missing fgcs-trace CSV header");
+  }
+  std::uint32_t machines = 0;
+  std::int64_t start_us = 0, end_us = 0;
+  {
+    std::istringstream ms(meta_line.substr(std::strlen(kCsvMagic)));
+    std::string token;
+    while (ms >> token) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "machines") {
+        machines = static_cast<std::uint32_t>(parse_i64(value));
+      } else if (key == "start_us") {
+        start_us = parse_i64(value);
+      } else if (key == "end_us") {
+        end_us = parse_i64(value);
+      }
+    }
+  }
+  if (machines == 0 || end_us <= start_us) {
+    throw IoError("invalid fgcs-trace CSV metadata");
+  }
+  TraceSet trace(machines, sim::SimTime::from_micros(start_us),
+                 sim::SimTime::from_micros(end_us));
+
+  util::CsvReader csv(in);
+  const auto c_machine = csv.column("machine");
+  const auto c_start = csv.column("start_us");
+  const auto c_end = csv.column("end_us");
+  const auto c_cause = csv.column("cause");
+  const auto c_cpu = csv.column("host_cpu");
+  const auto c_mem = csv.column("free_mem_mb");
+  for (const auto& row : csv.rows()) {
+    UnavailabilityRecord r;
+    r.machine = static_cast<MachineId>(parse_i64(row[c_machine]));
+    r.start = sim::SimTime::from_micros(parse_i64(row[c_start]));
+    r.end = sim::SimTime::from_micros(parse_i64(row[c_end]));
+    r.cause = monitor::availability_state_from_string(row[c_cause].c_str());
+    r.host_cpu = parse_f64(row[c_cpu]);
+    r.free_mem_mb = parse_f64(row[c_mem]);
+    trace.add(r);
+  }
+  return trace;
+}
+
+void write_trace_binary(const TraceSet& trace, std::ostream& out) {
+  out.write(kBinMagic, sizeof kBinMagic);
+  put<std::uint32_t>(out, trace.machine_count());
+  put<std::int64_t>(out, trace.horizon_start().as_micros());
+  put<std::int64_t>(out, trace.horizon_end().as_micros());
+  put<std::uint64_t>(out, trace.records().size());
+  for (const auto& r : trace.records()) {
+    put<std::uint32_t>(out, r.machine);
+    put<std::int64_t>(out, r.start.as_micros());
+    put<std::int64_t>(out, r.end.as_micros());
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(r.cause));
+    put<double>(out, r.host_cpu);
+    put<double>(out, r.free_mem_mb);
+  }
+  if (!out) throw IoError("failed writing binary trace");
+}
+
+TraceSet read_trace_binary(std::istream& in) {
+  char magic[sizeof kBinMagic];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kBinMagic, sizeof kBinMagic) != 0) {
+    throw IoError("not an fgcs binary trace");
+  }
+  const auto machines = get<std::uint32_t>(in);
+  const auto start_us = get<std::int64_t>(in);
+  const auto end_us = get<std::int64_t>(in);
+  const auto count = get<std::uint64_t>(in);
+  if (machines == 0 || end_us <= start_us) {
+    throw IoError("invalid binary trace metadata");
+  }
+  TraceSet trace(machines, sim::SimTime::from_micros(start_us),
+                 sim::SimTime::from_micros(end_us));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    UnavailabilityRecord r;
+    r.machine = get<std::uint32_t>(in);
+    r.start = sim::SimTime::from_micros(get<std::int64_t>(in));
+    r.end = sim::SimTime::from_micros(get<std::int64_t>(in));
+    const auto cause = get<std::uint8_t>(in);
+    if (cause < 3 || cause > 5) throw IoError("invalid cause in binary trace");
+    r.cause = static_cast<monitor::AvailabilityState>(cause);
+    r.host_cpu = get<double>(in);
+    r.free_mem_mb = get<double>(in);
+    trace.add(r);
+  }
+  return trace;
+}
+
+void save_trace(const TraceSet& trace, const std::string& path) {
+  const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
+  std::ofstream out(path, csv ? std::ios::out : std::ios::out | std::ios::binary);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  if (csv) {
+    write_trace_csv(trace, out);
+  } else {
+    write_trace_binary(trace, out);
+  }
+}
+
+TraceSet load_trace(const std::string& path) {
+  const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
+  std::ifstream in(path, csv ? std::ios::in : std::ios::in | std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  return csv ? read_trace_csv(in) : read_trace_binary(in);
+}
+
+}  // namespace fgcs::trace

@@ -1,0 +1,35 @@
+// Trace serialization: a human-readable CSV dialect and a compact binary
+// format. Both round-trip TraceSets exactly (times are integral
+// microseconds).
+//
+// CSV layout:
+//   # fgcs-trace v1 machines=<N> start_us=<S> end_us=<E>
+//   machine,start_us,end_us,cause,host_cpu,free_mem_mb
+//   0,120000000,180000000,S3,0.84,512
+//   ...
+//
+// Binary layout (little-endian):
+//   magic "FGCSTRC1", u32 machines, i64 start_us, i64 end_us, u64 count,
+//   then per record: u32 machine, i64 start_us, i64 end_us, u8 cause,
+//   f64 host_cpu, f64 free_mem_mb.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fgcs/trace/trace_set.hpp"
+
+namespace fgcs::trace {
+
+void write_trace_csv(const TraceSet& trace, std::ostream& out);
+TraceSet read_trace_csv(std::istream& in);
+
+void write_trace_binary(const TraceSet& trace, std::ostream& out);
+TraceSet read_trace_binary(std::istream& in);
+
+/// File-path conveniences; format chosen by extension (".csv" otherwise
+/// binary). Throw IoError on failure.
+void save_trace(const TraceSet& trace, const std::string& path);
+TraceSet load_trace(const std::string& path);
+
+}  // namespace fgcs::trace

@@ -1,0 +1,49 @@
+// Trace record types (§5: "the data contains the start and end time of
+// each occurrence of resource unavailability, the corresponding failure
+// state (S3, S4, or S5), and the available CPU and memory for guest jobs").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fgcs/monitor/availability.hpp"
+#include "fgcs/sim/time.hpp"
+
+namespace fgcs::trace {
+
+using MachineId = std::uint32_t;
+
+/// One unavailability occurrence on one machine.
+struct UnavailabilityRecord {
+  MachineId machine = 0;
+  sim::SimTime start;
+  sim::SimTime end;
+  monitor::AvailabilityState cause =
+      monitor::AvailabilityState::kS3CpuUnavailable;
+  /// Host CPU load observed when the episode began (available CPU for
+  /// guests is 1 - host_cpu).
+  double host_cpu = 0.0;
+  /// Free memory available to guests when the episode began, MB.
+  double free_mem_mb = 0.0;
+
+  sim::SimDuration duration() const { return end - start; }
+
+  /// §5.1's classification: URR episodes shorter than one minute are
+  /// machine reboots; longer ones are hardware/software failures.
+  bool is_reboot() const {
+    return cause == monitor::AvailabilityState::kS5MachineUnavailable &&
+           duration() < sim::SimDuration::minutes(1);
+  }
+};
+
+/// A maximal period during which a guest may run (or be suspended) but
+/// does not fail (§5.2).
+struct AvailabilityInterval {
+  MachineId machine = 0;
+  sim::SimTime start;
+  sim::SimTime end;
+
+  sim::SimDuration length() const { return end - start; }
+};
+
+}  // namespace fgcs::trace

@@ -1,0 +1,107 @@
+#include "fgcs/trace/trace_set.hpp"
+
+#include <algorithm>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::trace {
+
+TraceSet::TraceSet(std::uint32_t machines, sim::SimTime horizon_start,
+                   sim::SimTime horizon_end)
+    : machines_(machines), start_(horizon_start), end_(horizon_end) {
+  fgcs::require(machines > 0, "TraceSet needs at least one machine");
+  fgcs::require(horizon_end > horizon_start,
+                "TraceSet horizon must be non-empty");
+}
+
+void TraceSet::add(UnavailabilityRecord record) {
+  fgcs::require(record.machine < machines_,
+                "record machine id out of range");
+  fgcs::require(record.end >= record.start, "record end before start");
+  records_.push_back(record);
+  sorted_ = false;
+}
+
+void TraceSet::ensure_sorted() const {
+  if (sorted_) return;
+  std::sort(records_.begin(), records_.end(),
+            [](const UnavailabilityRecord& a, const UnavailabilityRecord& b) {
+              if (a.machine != b.machine) return a.machine < b.machine;
+              return a.start < b.start;
+            });
+  sorted_ = true;
+}
+
+std::span<const UnavailabilityRecord> TraceSet::records() const {
+  ensure_sorted();
+  return records_;
+}
+
+std::vector<UnavailabilityRecord> TraceSet::machine_records(MachineId m) const {
+  ensure_sorted();
+  std::vector<UnavailabilityRecord> out;
+  for (const auto& r : records_) {
+    if (r.machine == m) out.push_back(r);
+  }
+  return out;
+}
+
+TraceSet TraceSet::filter(sim::SimTime from, sim::SimTime to,
+                          std::span<const MachineId> machines) const {
+  fgcs::require(to > from, "filter window must be non-empty");
+  TraceSet out(machines_, std::max(from, start_), std::min(to, end_));
+  auto keep_machine = [&](MachineId m) {
+    if (machines.empty()) return true;
+    for (const MachineId want : machines) {
+      if (want == m) return true;
+    }
+    return false;
+  };
+  ensure_sorted();
+  for (const auto& r : records_) {
+    if (!keep_machine(r.machine)) continue;
+    if (r.end <= from || r.start >= to) continue;
+    UnavailabilityRecord clipped = r;
+    clipped.start = std::max(r.start, from);
+    clipped.end = std::min(r.end, to);
+    out.add(clipped);
+  }
+  return out;
+}
+
+TraceSet TraceSet::merge(const TraceSet& other) const {
+  fgcs::require(start_ == other.start_ && end_ == other.end_,
+                "merge requires identical horizons");
+  TraceSet out(machines_ + other.machines_, start_, end_);
+  for (const auto& r : records()) out.add(r);
+  for (const auto& r : other.records()) {
+    UnavailabilityRecord shifted = r;
+    shifted.machine += machines_;
+    out.add(shifted);
+  }
+  return out;
+}
+
+std::vector<AvailabilityInterval> TraceSet::availability_intervals() const {
+  ensure_sorted();
+  std::vector<AvailabilityInterval> intervals;
+  std::size_t i = 0;
+  while (i < records_.size()) {
+    const MachineId m = records_[i].machine;
+    // Walk this machine's episodes; the gap between consecutive episodes
+    // is an availability interval.
+    sim::SimTime prev_end = records_[i].end;
+    ++i;
+    while (i < records_.size() && records_[i].machine == m) {
+      const auto& r = records_[i];
+      if (r.start > prev_end) {
+        intervals.push_back({m, prev_end, r.start});
+      }
+      prev_end = std::max(prev_end, r.end);
+      ++i;
+    }
+  }
+  return intervals;
+}
+
+}  // namespace fgcs::trace

@@ -1,0 +1,63 @@
+// A multi-machine unavailability trace and derived availability intervals.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fgcs/trace/calendar.hpp"
+#include "fgcs/trace/records.hpp"
+
+namespace fgcs::trace {
+
+class TraceSet {
+ public:
+  TraceSet() = default;
+
+  /// `machines` is the number of machines in the testbed; records may be
+  /// appended in any order (they are sorted per machine on demand).
+  TraceSet(std::uint32_t machines, sim::SimTime horizon_start,
+           sim::SimTime horizon_end);
+
+  void add(UnavailabilityRecord record);
+
+  std::uint32_t machine_count() const { return machines_; }
+  sim::SimTime horizon_start() const { return start_; }
+  sim::SimTime horizon_end() const { return end_; }
+  sim::SimDuration horizon() const { return end_ - start_; }
+
+  /// All records, sorted by (machine, start).
+  std::span<const UnavailabilityRecord> records() const;
+
+  /// Records of one machine, sorted by start.
+  std::vector<UnavailabilityRecord> machine_records(MachineId m) const;
+
+  /// Derives availability intervals between consecutive episodes on each
+  /// machine. Boundary intervals (before the first and after the last
+  /// episode of a machine) are censored and excluded.
+  std::vector<AvailabilityInterval> availability_intervals() const;
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// A new TraceSet restricted to [from, to) (records clipped to the
+  /// window) and, when `machines` is non-empty, to those machine ids
+  /// (ids are preserved, not renumbered).
+  TraceSet filter(sim::SimTime from, sim::SimTime to,
+                  std::span<const MachineId> machines = {}) const;
+
+  /// Merges another trace collected over the same horizon with disjoint
+  /// machine ids mapped into this set's id space: `other`'s machine k
+  /// becomes machine_count() + k. Returns the combined set.
+  TraceSet merge(const TraceSet& other) const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::uint32_t machines_ = 0;
+  sim::SimTime start_;
+  sim::SimTime end_;
+  mutable std::vector<UnavailabilityRecord> records_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace fgcs::trace

@@ -1,0 +1,66 @@
+#include "fgcs/util/cli.hpp"
+
+#include <stdexcept>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::util {
+
+CliArgs CliArgs::parse(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return parse(tokens);
+}
+
+CliArgs CliArgs::parse(const std::vector<std::string>& tokens) {
+  CliArgs args;
+  std::size_t i = 0;
+  if (!tokens.empty() && tokens[0].rfind("--", 0) != 0) {
+    args.command_ = tokens[0];
+    i = 1;
+  }
+  for (; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok.rfind("--", 0) == 0) {
+      const std::string key = tok.substr(2);
+      fgcs::require(!key.empty(), "empty option name '--'");
+      if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+        args.options_[key] = tokens[++i];
+      } else {
+        args.flags_[key] = true;
+      }
+    } else {
+      args.positional_.push_back(tok);
+    }
+  }
+  return args;
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+long CliArgs::get_int(const std::string& key, long fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(it->second, &pos);
+    fgcs::require(pos == it->second.size(),
+                  "malformed integer for --" + key + ": " + it->second);
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw ConfigError("malformed integer for --" + key + ": " + it->second);
+  } catch (const std::out_of_range&) {
+    throw ConfigError("integer out of range for --" + key + ": " +
+                      it->second);
+  }
+}
+
+bool CliArgs::has_flag(const std::string& key) const {
+  return flags_.count(key) > 0 || options_.count(key) > 0;
+}
+
+}  // namespace fgcs::util

@@ -1,0 +1,42 @@
+// Minimal command-line argument parsing for the fgcs tools.
+//
+// Grammar: `prog <command> [positional...] [--key value | --flag]...`.
+// An option token starting with "--" consumes the next token as its value
+// unless that token also starts with "--" (then it is a boolean flag).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fgcs::util {
+
+class CliArgs {
+ public:
+  static CliArgs parse(int argc, const char* const* argv);
+  static CliArgs parse(const std::vector<std::string>& tokens);
+
+  const std::string& command() const { return command_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has_option(const std::string& key) const {
+    return options_.count(key) > 0;
+  }
+
+  /// Option value or fallback.
+  std::string get(const std::string& key, const std::string& fallback) const;
+
+  /// Integer option; throws ConfigError on a malformed value.
+  long get_int(const std::string& key, long fallback) const;
+
+  /// True when the key appeared, with or without a value.
+  bool has_flag(const std::string& key) const;
+
+ private:
+  std::string command_;
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;
+  std::map<std::string, bool> flags_;
+};
+
+}  // namespace fgcs::util

@@ -1,0 +1,111 @@
+#include "fgcs/util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::util {
+
+namespace {
+
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void write_field(std::ostream& out, std::string_view field) {
+  if (!needs_quoting(field)) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (char c : field) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    write_field(out_, fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::to_field(double v) {
+  char buf[64];
+  // %.17g round-trips doubles; shorter representations chosen when exact.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string CsvWriter::to_field(std::int64_t v) { return std::to_string(v); }
+std::string CsvWriter::to_field(std::uint64_t v) { return std::to_string(v); }
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) throw IoError("unterminated quote in CSV line");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+CsvReader::CsvReader(std::istream& in) {
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty() && in.peek() == std::char_traits<char>::eof()) break;
+    auto fields = parse_csv_line(line);
+    if (first) {
+      header_ = std::move(fields);
+      first = false;
+    } else {
+      if (fields.size() != header_.size()) {
+        throw IoError("CSV row has " + std::to_string(fields.size()) +
+                      " fields, header has " + std::to_string(header_.size()));
+      }
+      rows_.push_back(std::move(fields));
+    }
+  }
+  if (first) throw IoError("CSV input is empty (no header)");
+}
+
+std::size_t CsvReader::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw IoError("CSV column not found: " + std::string(name));
+}
+
+}  // namespace fgcs::util

@@ -1,0 +1,69 @@
+// Minimal CSV reading/writing for trace files and experiment outputs.
+//
+// The dialect is deliberately simple: comma separator, quotes around fields
+// containing commas/quotes/newlines, '\n' record terminator, first record
+// is the header. This matches what the trace readers/writers emit and is
+// enough for interchange with pandas/R for offline plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fgcs::util {
+
+/// Serializes rows of string fields as CSV to an ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row; fields are quoted only when necessary.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: builds a row from heterogeneous printable values.
+  template <typename... Ts>
+  void write(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(to_field(values)), ...);
+    write_row(fields);
+  }
+
+ private:
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(const char* s) { return s; }
+  static std::string to_field(std::string_view s) { return std::string(s); }
+  static std::string to_field(double v);
+  static std::string to_field(float v) { return to_field(double{v}); }
+  static std::string to_field(std::int64_t v);
+  static std::string to_field(std::uint64_t v);
+  static std::string to_field(int v) { return to_field(std::int64_t{v}); }
+  static std::string to_field(unsigned v) { return to_field(std::uint64_t{v}); }
+  static std::string to_field(bool v) { return v ? "1" : "0"; }
+
+  std::ostream& out_;
+};
+
+/// Parses CSV from an istream. Header row is exposed separately.
+class CsvReader {
+ public:
+  /// Reads everything up-front; throws IoError on malformed input.
+  explicit CsvReader(std::istream& in);
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Index of a header column; throws IoError if absent.
+  std::size_t column(std::string_view name) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses one CSV record (no trailing newline). Exposed for tests.
+std::vector<std::string> parse_csv_line(std::string_view line);
+
+}  // namespace fgcs::util

@@ -1,0 +1,18 @@
+#include "fgcs/util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fgcs::detail {
+
+void assert_fail(const char* expr, std::source_location loc) {
+  std::fprintf(stderr, "FGCS_ASSERT failed: %s at %s:%u (%s)\n", expr,
+               loc.file_name(), loc.line(), loc.function_name());
+  std::abort();
+}
+
+void require_fail(const std::string& message) {
+  throw ConfigError(message);
+}
+
+}  // namespace fgcs::detail

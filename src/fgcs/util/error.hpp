@@ -1,0 +1,44 @@
+// Error types and invariant checking for the fgcs library.
+//
+// Configuration errors (bad user input to constructors / config structs)
+// throw ConfigError. Internal invariant breaches use FGCS_ASSERT, which is
+// active in all build types: simulation correctness bugs must not be
+// silently ignored in Release runs that produce paper numbers.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace fgcs {
+
+/// Thrown when a user-supplied configuration value is invalid.
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when an I/O operation (trace file read/write) fails.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, std::source_location loc);
+[[noreturn]] void require_fail(const std::string& message);
+}  // namespace detail
+
+/// Validates a configuration predicate; throws ConfigError on failure.
+inline void require(bool ok, const std::string& message) {
+  if (!ok) detail::require_fail(message);
+}
+
+}  // namespace fgcs
+
+/// Always-on invariant check (simulation correctness is not optional).
+#define FGCS_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::fgcs::detail::assert_fail(#expr, std::source_location::current()); \
+  } while (false)

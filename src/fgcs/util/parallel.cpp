@@ -1,0 +1,97 @@
+#include "fgcs/util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  ThreadPool& pool) {
+  if (n == 0) return;
+  const std::size_t workers = std::max<std::size_t>(1, pool.worker_count());
+  if (workers == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // Contiguous chunks, a few per worker for load balance.
+  const std::size_t chunks = std::min(n, workers * 4);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t submitted = 0;
+  for (std::size_t begin = 0; begin < n; begin += chunk_size) {
+    const std::size_t end = std::min(n, begin + chunk_size);
+    ++submitted;
+    pool.submit([&, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+      std::lock_guard lock(done_mutex);
+      ++done;
+      done_cv.notify_one();
+    });
+  }
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return done.load() == submitted; });
+}
+
+}  // namespace fgcs::util

@@ -1,0 +1,58 @@
+// A small thread pool and a deterministic parallel_for.
+//
+// fgcs sweeps (experiment grids, per-machine testbed simulation) are
+// embarrassingly parallel. parallel_for dispatches index ranges to a pool;
+// each index must derive its own RngStream substream from the index, so the
+// result is identical for any worker count (including 0 = inline).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fgcs::util {
+
+/// Fixed-size worker pool executing queued tasks.
+class ThreadPool {
+ public:
+  /// Creates `workers` threads; 0 means "run submitted work inline".
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw (std::terminate otherwise).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// A process-wide default pool sized to the hardware.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n), distributed over `pool` in contiguous
+/// chunks. Blocks until complete. body must be thread-safe across distinct
+/// indices and must not throw.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  ThreadPool& pool = ThreadPool::global());
+
+}  // namespace fgcs::util

@@ -1,0 +1,98 @@
+#include "fgcs/util/rng.hpp"
+
+#include <numbers>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : state_) s = sm.next();
+  // An all-zero state is the one invalid state of xoshiro; SplitMix64 cannot
+  // emit four consecutive zeros for any seed, but keep the guard explicit.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+      }
+      next();
+    }
+  }
+  state_ = acc;
+}
+
+std::uint64_t RngStream::derive(std::uint64_t seed,
+                                std::initializer_list<std::uint64_t> keys) {
+  std::uint64_t h = mix_key(0x6a09e667f3bcc909ULL, seed);
+  for (std::uint64_t k : keys) h = mix_key(h, k);
+  return h;
+}
+
+std::uint64_t RngStream::uniform_index(std::uint64_t n) {
+  FGCS_ASSERT(n > 0);
+  // Lemire-style rejection on the top bits.
+  const std::uint64_t threshold = (~n + 1) % n;  // 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = gen_.next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FGCS_ASSERT(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // hi-lo < 2^63 in our uses
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+double RngStream::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Box–Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double RngStream::exponential(double mean) {
+  FGCS_ASSERT(mean > 0.0);
+  double u = 1.0 - uniform();  // (0,1]
+  return -mean * std::log(u);
+}
+
+}  // namespace fgcs::util

@@ -1,0 +1,123 @@
+// Deterministic random number generation for fgcs simulations.
+//
+// All stochastic components in fgcs are seeded explicitly. Reproducibility
+// across thread counts is achieved with *keyed substreams*: a root seed is
+// combined with a small vector of stream keys (machine id, day index,
+// purpose tag, ...) through SplitMix64 to derive an independent Xoshiro256**
+// state. Two streams with different keys are statistically independent; the
+// same (seed, keys) always yields the same sequence.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <initializer_list>
+#include <limits>
+
+namespace fgcs::util {
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer. Used for seeding and for
+/// hashing stream keys; not used directly as a simulation generator.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Mixes a key into a running hash; used to derive substream seeds.
+constexpr std::uint64_t mix_key(std::uint64_t h, std::uint64_t key) {
+  SplitMix64 sm(h ^ (key + 0x9e3779b97f4a7c15ULL));
+  return sm.next();
+}
+
+/// Xoshiro256** — the workhorse generator. Satisfies (most of) the C++
+/// UniformRandomBitGenerator requirements so it can drive <random>
+/// distributions, though fgcs provides its own inverse-CDF samplers for
+/// cross-platform determinism.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Jump function: advances the state by 2^128 steps (for manual
+  /// substream splitting; prefer keyed RngStream construction).
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// A keyed random stream: root seed + key path -> independent generator.
+///
+/// Typical use:
+///   RngStream rng(config.seed, {kMachineTag, machine_id, day_index});
+///   double u = rng.uniform();
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed) : gen_(seed) {}
+
+  RngStream(std::uint64_t seed, std::initializer_list<std::uint64_t> keys)
+      : gen_(derive(seed, keys)) {}
+
+  /// Derives the substream seed for (seed, keys) without constructing.
+  static std::uint64_t derive(std::uint64_t seed,
+                              std::initializer_list<std::uint64_t> keys);
+
+  /// Creates a child stream keyed off this stream's next output.
+  RngStream child(std::uint64_t key) {
+    return RngStream(mix_key(gen_.next(), key));
+  }
+
+  std::uint64_t next_u64() { return gen_.next(); }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() {
+    return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Uses rejection to avoid modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (deterministic, no <random>).
+  double normal();
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given mean (mean = 1/rate).
+  double exponential(double mean);
+
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  Xoshiro256 gen_;
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace fgcs::util

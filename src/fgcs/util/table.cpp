@@ -1,0 +1,83 @@
+#include "fgcs/util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "TextTable requires at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "TextTable row arity mismatch: got " + std::to_string(cells.size()) +
+              ", expected " + std::to_string(headers_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::cell(double v) { return format_double(v); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "  ";
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size(), ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string format_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string format_duration_s(double seconds) {
+  char buf[64];
+  if (seconds >= 3600.0) {
+    std::snprintf(buf, sizeof buf, "%dh %02dm", static_cast<int>(seconds / 3600),
+                  static_cast<int>(std::fmod(seconds, 3600.0) / 60));
+  } else if (seconds >= 60.0) {
+    std::snprintf(buf, sizeof buf, "%dm %02ds", static_cast<int>(seconds / 60),
+                  static_cast<int>(std::fmod(seconds, 60.0)));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace fgcs::util

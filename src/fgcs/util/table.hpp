@@ -1,0 +1,56 @@
+// Fixed-width text table rendering for the reproduction binaries.
+//
+// The bench targets print paper tables/figure series to stdout; TextTable
+// keeps them aligned and readable without any external dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fgcs::util {
+
+/// Accumulates rows of cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a fully-formed row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats heterogeneous values into a row.
+  template <typename... Ts>
+  void add(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(cell(values)), ...);
+    add_row(std::move(cells));
+  }
+
+  /// Renders the table with a header underline.
+  std::string str() const;
+
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(const char* s) { return s; }
+  static std::string cell(double v);
+  static std::string cell(std::int64_t v) { return std::to_string(v); }
+  static std::string cell(std::uint64_t v) { return std::to_string(v); }
+  static std::string cell(int v) { return std::to_string(v); }
+  static std::string cell(unsigned v) { return std::to_string(v); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming noise.
+std::string format_double(double v, int decimals = 3);
+
+/// Formats a fraction as a percentage string, e.g. 0.0525 -> "5.25%".
+std::string format_percent(double fraction, int decimals = 1);
+
+/// Formats seconds as "Hh MMm" / "MMm SSs" as appropriate.
+std::string format_duration_s(double seconds);
+
+}  // namespace fgcs::util

@@ -1,0 +1,64 @@
+#include "fgcs/workload/musbus.hpp"
+
+#include <array>
+#include <string>
+
+#include "fgcs/util/error.hpp"
+#include "fgcs/workload/synthetic.hpp"
+
+namespace fgcs::workload {
+
+namespace {
+// Table 1, host workloads created by Musbus.
+constexpr std::array<MusbusWorkload, 6> kWorkloads{{
+    {"H1", 0.086, 71.0, 122.0},
+    {"H2", 0.092, 213.0, 247.0},
+    {"H3", 0.172, 53.0, 151.0},
+    {"H4", 0.219, 68.0, 122.0},
+    {"H5", 0.570, 210.0, 236.0},
+    {"H6", 0.662, 84.0, 113.0},
+}};
+
+os::ProcessSpec component(const MusbusWorkload& w, std::string_view role,
+                          double usage_share, double mem_share,
+                          sim::SimDuration period) {
+  os::ProcessSpec spec;
+  spec.name = std::string(w.name) + "-" + std::string(role);
+  spec.kind = os::ProcessKind::kHost;
+  spec.nice = 0;
+  spec.resident_mb = w.resident_mb * mem_share;
+  spec.virtual_mb = w.virtual_mb * mem_share;
+  SyntheticCpuSpec cycle;
+  cycle.isolated_usage = w.cpu_usage * usage_share;
+  cycle.period = period;
+  cycle.jitter = 0.3;
+  spec.program = duty_cycle_program(cycle);
+  return spec;
+}
+}  // namespace
+
+std::span<const MusbusWorkload> musbus_workloads() { return kWorkloads; }
+
+const MusbusWorkload& musbus_workload(std::string_view name) {
+  for (const auto& w : kWorkloads) {
+    if (w.name == name) return w;
+  }
+  throw ConfigError("unknown Musbus workload: " + std::string(name));
+}
+
+std::vector<os::ProcessSpec> musbus_processes(const MusbusWorkload& w) {
+  std::vector<os::ProcessSpec> procs;
+  // Editor: short frequent bursts (keystroke handling).
+  procs.push_back(component(w, "edit", 0.05, 0.25,
+                            sim::SimDuration::millis(400)));
+  // Utilities: medium bursts (ls/grep/etc.).
+  procs.push_back(component(w, "util", 0.10, 0.15,
+                            sim::SimDuration::millis(900)));
+  // Compiler: the bulk of the CPU, in long bursts (cc invocations on the
+  // file the simulated user edits; bigger files -> heavier workloads).
+  procs.push_back(component(w, "cc", 0.85, 0.60,
+                            sim::SimDuration::millis(2500)));
+  return procs;
+}
+
+}  // namespace fgcs::workload

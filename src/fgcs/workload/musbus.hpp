@@ -1,0 +1,39 @@
+// Musbus-style interactive host workloads H1..H6 (§3.2.3, Table 1).
+//
+// The paper simulates interactive host users on text terminals with the
+// Musbus Unix benchmark: interactive editing, command-line utilities, and
+// compiler invocations, scaled to produce six workloads with the CPU and
+// memory usages of Table 1. Each workload here is a small set of host
+// processes (editor / utilities / compiler) whose aggregate isolated CPU
+// usage and resident size match the corresponding Table 1 row.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "fgcs/os/process.hpp"
+
+namespace fgcs::workload {
+
+/// One row of Table 1 (host-workload section).
+struct MusbusWorkload {
+  std::string_view name;
+  double cpu_usage;    // aggregate isolated CPU usage
+  double resident_mb;  // aggregate resident size
+  double virtual_mb;
+};
+
+/// The six host workloads of Table 1: H1..H6.
+std::span<const MusbusWorkload> musbus_workloads();
+
+/// Looks up a workload by name ("H1".."H6"); throws ConfigError if unknown.
+const MusbusWorkload& musbus_workload(std::string_view name);
+
+/// Builds the component host processes for a workload. The split follows
+/// Musbus's structure: an editor (short frequent bursts), utilities
+/// (medium bursts), and a compiler (long bursts), with CPU and memory
+/// split so the totals match Table 1.
+std::vector<os::ProcessSpec> musbus_processes(const MusbusWorkload& w);
+
+}  // namespace fgcs::workload

@@ -1,0 +1,48 @@
+#include "fgcs/workload/spec_cpu2000.hpp"
+
+#include <array>
+#include <string>
+
+#include "fgcs/util/error.hpp"
+#include "fgcs/workload/synthetic.hpp"
+
+namespace fgcs::workload {
+
+namespace {
+// Table 1, guest applications (CPU usage, resident size, virtual size).
+constexpr std::array<SpecApp, 4> kApps{{
+    {"apsi", 0.98, 193.0, 205.0},
+    {"galgel", 0.99, 29.0, 155.0},
+    {"bzip2", 0.97, 180.0, 182.0},
+    {"mcf", 0.99, 96.0, 96.0},
+}};
+}  // namespace
+
+std::span<const SpecApp> spec_cpu2000_apps() { return kApps; }
+
+const SpecApp& spec_app(std::string_view name) {
+  for (const auto& app : kApps) {
+    if (app.name == name) return app;
+  }
+  throw ConfigError("unknown SPEC CPU2000 app: " + std::string(name));
+}
+
+os::ProcessSpec spec_guest(const SpecApp& app, int nice) {
+  os::ProcessSpec spec;
+  spec.name = std::string(app.name);
+  spec.kind = os::ProcessKind::kGuest;
+  spec.nice = nice;
+  spec.resident_mb = app.resident_mb;
+  spec.virtual_mb = app.virtual_mb;
+  spec.working_set_mb = app.resident_mb;
+  // SPEC apps are CPU-bound with brief I/O at start/end (§3.2); model the
+  // steady state as a duty cycle at the measured usage with long bursts.
+  SyntheticCpuSpec cycle;
+  cycle.isolated_usage = app.cpu_usage;
+  cycle.period = sim::SimDuration::seconds(2);
+  cycle.jitter = 0.1;
+  spec.program = duty_cycle_program(cycle);
+  return spec;
+}
+
+}  // namespace fgcs::workload

@@ -1,0 +1,34 @@
+// Guest application models from SPEC CPU2000 (§3.2.3, Table 1).
+//
+// The paper uses four CPU-bound SPEC CPU2000 applications as guest jobs.
+// For contention behaviour only two properties matter (the paper's own
+// argument): CPU-boundness and memory footprint. Both are reproduced
+// verbatim from Table 1.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "fgcs/os/process.hpp"
+
+namespace fgcs::workload {
+
+/// One row of Table 1 (guest section).
+struct SpecApp {
+  std::string_view name;
+  double cpu_usage;     // isolated CPU usage (0.97..0.99)
+  double resident_mb;   // resident set size == working set (§3.2.3)
+  double virtual_mb;
+};
+
+/// The four guest applications of Table 1: apsi, galgel, bzip2, mcf.
+std::span<const SpecApp> spec_cpu2000_apps();
+
+/// Looks up an app by name; throws ConfigError if unknown.
+const SpecApp& spec_app(std::string_view name);
+
+/// Builds a guest ProcessSpec for the given SPEC app at the given nice.
+os::ProcessSpec spec_guest(const SpecApp& app, int nice = 0);
+
+}  // namespace fgcs::workload

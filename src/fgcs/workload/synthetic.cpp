@@ -1,0 +1,119 @@
+#include "fgcs/workload/synthetic.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::workload {
+
+void SyntheticCpuSpec::validate() const {
+  fgcs::require(isolated_usage > 0.0 && isolated_usage <= 1.0,
+                "isolated_usage must be in (0, 1]");
+  fgcs::require(period > sim::SimDuration::zero(), "period must be > 0");
+  fgcs::require(jitter >= 0.0 && jitter < 1.0, "jitter must be in [0, 1)");
+}
+
+os::PhaseProgram duty_cycle_program(SyntheticCpuSpec spec) {
+  spec.validate();
+  if (spec.isolated_usage >= 0.999) {
+    return os::cpu_bound_program();
+  }
+  // Each cycle emits a compute phase then a sleep phase. State toggles
+  // between them; the jittered period is drawn once per cycle.
+  auto compute_next = std::make_shared<bool>(true);
+  auto cycle_period = std::make_shared<sim::SimDuration>(spec.period);
+  return [spec, compute_next, cycle_period](util::RngStream& rng) -> os::Phase {
+    if (*compute_next) {
+      *compute_next = false;
+      const double scale = 1.0 + spec.jitter * rng.uniform(-1.0, 1.0);
+      *cycle_period = spec.period * scale;
+      return os::Phase::compute(*cycle_period * spec.isolated_usage);
+    }
+    *compute_next = true;
+    return os::Phase::sleep(*cycle_period * (1.0 - spec.isolated_usage));
+  };
+}
+
+os::ProcessSpec synthetic_host(double isolated_usage, int nice,
+                               SyntheticCpuSpec base) {
+  base.isolated_usage = isolated_usage;
+  os::ProcessSpec spec;
+  spec.name = "synth-host-" + std::to_string(static_cast<int>(
+                                  isolated_usage * 100.0 + 0.5));
+  spec.kind = os::ProcessKind::kHost;
+  spec.nice = nice;
+  spec.resident_mb = 2.0;  // "very small resident sets" (§3.2.1)
+  spec.virtual_mb = 4.0;
+  spec.program = duty_cycle_program(base);
+  return spec;
+}
+
+os::ProcessSpec synthetic_guest(int nice) {
+  os::ProcessSpec spec;
+  spec.name = "synth-guest";
+  spec.kind = os::ProcessKind::kGuest;
+  spec.nice = nice;
+  spec.resident_mb = 2.0;
+  spec.virtual_mb = 4.0;
+  spec.program = os::cpu_bound_program();
+  return spec;
+}
+
+os::ProcessSpec synthetic_guest_with_usage(double isolated_usage, int nice) {
+  os::ProcessSpec spec = synthetic_guest(nice);
+  if (isolated_usage < 0.999) {
+    SyntheticCpuSpec s;
+    s.isolated_usage = isolated_usage;
+    spec.program = duty_cycle_program(s);
+    spec.name = "synth-guest-" + std::to_string(static_cast<int>(
+                                     isolated_usage * 100.0 + 0.5));
+  }
+  return spec;
+}
+
+std::vector<os::ProcessSpec> make_host_group(double total_usage,
+                                             std::size_t m,
+                                             util::RngStream& rng,
+                                             double min_usage,
+                                             double max_usage) {
+  fgcs::require(m >= 1, "host group needs at least one process");
+  fgcs::require(total_usage > 0.0 && total_usage <= 1.0,
+                "total_usage must be in (0, 1]");
+  fgcs::require(min_usage * static_cast<double>(m) <= total_usage,
+                "min_usage * m exceeds total_usage");
+
+  // Exponential spacings -> uniform composition on the simplex, then clamp
+  // to [min_usage, max_usage] and redistribute the residual.
+  std::vector<double> shares(m);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    double sum = 0.0;
+    for (auto& s : shares) {
+      s = rng.exponential(1.0);
+      sum += s;
+    }
+    bool ok = true;
+    for (auto& s : shares) {
+      s = s / sum * total_usage;
+      if (s < min_usage || s > max_usage) {
+        ok = false;
+      }
+    }
+    if (ok) break;
+    if (attempt == 63) {
+      // Fall back to an even split (always feasible given the requires).
+      for (auto& s : shares) s = total_usage / static_cast<double>(m);
+    }
+  }
+
+  std::vector<os::ProcessSpec> group;
+  group.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    group.push_back(synthetic_host(shares[i]));
+    group.back().name += "-" + std::to_string(i);
+  }
+  return group;
+}
+
+}  // namespace fgcs::workload

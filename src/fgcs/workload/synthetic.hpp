@@ -1,0 +1,58 @@
+// Synthetic duty-cycle workloads (§3.2.1).
+//
+// The paper's CPU-contention experiments use synthetic programs with small
+// resident sets whose *isolated CPU usage* (usage when run alone) is
+// controlled by alternating compute bursts and sleeps, measured with
+// gettimeofday/getrusage. These builders create the same programs for the
+// simulated machine. Jitter decorrelates the phases of the processes in a
+// host group, mimicking independent real programs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fgcs/os/process.hpp"
+#include "fgcs/sim/time.hpp"
+#include "fgcs/util/rng.hpp"
+
+namespace fgcs::workload {
+
+/// Parameters of a duty-cycle synthetic program.
+struct SyntheticCpuSpec {
+  /// Target isolated CPU usage in (0, 1].
+  double isolated_usage = 0.5;
+  /// Nominal cycle period (compute + sleep).
+  sim::SimDuration period = sim::SimDuration::millis(1500);
+  /// Relative period jitter in [0, 1): each cycle's period is
+  /// period * (1 + jitter * U(-1, 1)).
+  double jitter = 0.25;
+
+  void validate() const;
+};
+
+/// Phase program implementing a SyntheticCpuSpec.
+os::PhaseProgram duty_cycle_program(SyntheticCpuSpec spec);
+
+/// A host process with the given isolated usage and a tiny resident set.
+os::ProcessSpec synthetic_host(double isolated_usage, int nice = 0,
+                               SyntheticCpuSpec base = {});
+
+/// The fully CPU-bound guest process used in Figures 1 and 2.
+os::ProcessSpec synthetic_guest(int nice = 0);
+
+/// A guest with a duty-cycle-limited isolated usage (Figure 3 uses
+/// guests with isolated usage 0.7..1.0).
+os::ProcessSpec synthetic_guest_with_usage(double isolated_usage,
+                                           int nice = 0);
+
+/// Composes a host group of `m` processes whose isolated usages sum to
+/// `total_usage` (the paper's L_H), each usage in [min_usage, max_usage].
+/// Compositions are random (exponential spacings, normalized), matching the
+/// paper's "multiple combinations of host processes per tested L_H".
+std::vector<os::ProcessSpec> make_host_group(double total_usage,
+                                             std::size_t m,
+                                             util::RngStream& rng,
+                                             double min_usage = 0.02,
+                                             double max_usage = 0.98);
+
+}  // namespace fgcs::workload

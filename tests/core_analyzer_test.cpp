@@ -1,0 +1,137 @@
+// Tests for the trace analyzer on hand-built traces with known answers.
+#include <gtest/gtest.h>
+
+#include "fgcs/core/analyzer.hpp"
+#include "fgcs/trace/trace_set.hpp"
+
+namespace fgcs::core {
+namespace {
+
+using namespace sim::time_literals;
+using monitor::AvailabilityState;
+using sim::SimDuration;
+using sim::SimTime;
+
+trace::UnavailabilityRecord rec(trace::MachineId m, SimTime start,
+                                SimDuration dur, AvailabilityState cause) {
+  trace::UnavailabilityRecord r;
+  r.machine = m;
+  r.start = start;
+  r.end = start + dur;
+  r.cause = cause;
+  return r;
+}
+
+TEST(Analyzer, Table2CountsByCause) {
+  trace::TraceSet t(2, SimTime::epoch(),
+                    SimTime::epoch() + SimDuration::days(7));
+  const SimTime d0 = SimTime::epoch();
+  // Machine 0: 2x S3, 1x S4, 1x S5 (reboot).
+  t.add(rec(0, d0 + 10_h, 1_h, AvailabilityState::kS3CpuUnavailable));
+  t.add(rec(0, d0 + 30_h, 1_h, AvailabilityState::kS3CpuUnavailable));
+  t.add(rec(0, d0 + 50_h, 30_min, AvailabilityState::kS4MemoryThrashing));
+  t.add(rec(0, d0 + 70_h, SimDuration::seconds(30),
+            AvailabilityState::kS5MachineUnavailable));
+  // Machine 1: 1x S3, 1x S5 (long failure).
+  t.add(rec(1, d0 + 20_h, 2_h, AvailabilityState::kS3CpuUnavailable));
+  t.add(rec(1, d0 + 60_h, 3_h, AvailabilityState::kS5MachineUnavailable));
+
+  const TraceAnalyzer analyzer(t);
+  const auto t2 = analyzer.table2();
+  EXPECT_EQ(t2.machines, 2u);
+  EXPECT_EQ(t2.total.min, 2);
+  EXPECT_EQ(t2.total.max, 4);
+  EXPECT_DOUBLE_EQ(t2.total.mean, 3.0);
+  EXPECT_EQ(t2.cpu_contention.min, 1);
+  EXPECT_EQ(t2.cpu_contention.max, 2);
+  EXPECT_EQ(t2.mem_contention.max, 1);
+  EXPECT_EQ(t2.urr.min, 1);
+  EXPECT_EQ(t2.urr.max, 1);
+  // Machine 0: cpu 50%; machine 1: cpu 50%.
+  EXPECT_DOUBLE_EQ(t2.cpu_pct_min, 0.5);
+  EXPECT_DOUBLE_EQ(t2.cpu_pct_max, 0.5);
+  // One of two URR episodes is a sub-minute reboot.
+  EXPECT_DOUBLE_EQ(t2.reboot_fraction_of_urr, 0.5);
+}
+
+TEST(Analyzer, IntervalStatsByDayClass) {
+  // Day 0 (Monday) and day 5 (Saturday) each contain two episodes 3h apart
+  // on machine 0.
+  trace::TraceSet t(1, SimTime::epoch(),
+                    SimTime::epoch() + SimDuration::days(7));
+  for (int day : {0, 5}) {
+    const SimTime base = SimTime::epoch() + SimDuration::days(day);
+    t.add(rec(0, base + 8_h, 1_h, AvailabilityState::kS3CpuUnavailable));
+    t.add(rec(0, base + 12_h, 1_h, AvailabilityState::kS3CpuUnavailable));
+  }
+  const TraceAnalyzer analyzer(t);
+  const auto iv = analyzer.intervals();
+  // Weekday intervals: [Mon 9h, Mon 12h] (3h) and the long gap
+  // [Mon 13h, Sat 8h] which starts on a weekday.
+  EXPECT_EQ(iv.weekday.count, 2u);
+  EXPECT_EQ(iv.weekend.count, 1u);
+  EXPECT_DOUBLE_EQ(iv.weekend.ecdf_hours.min(), 3.0);
+  EXPECT_DOUBLE_EQ(iv.weekday.ecdf_hours.min(), 3.0);
+  // [Mon 13:00, Sat 08:00] = 4 days 19 hours.
+  EXPECT_DOUBLE_EQ(iv.weekday.ecdf_hours.max(), 4.0 * 24.0 + 19.0);
+  EXPECT_DOUBLE_EQ(iv.weekend.frac_2h_to_4h, 1.0);
+}
+
+TEST(Analyzer, HourlyPatternCountsSpanningEpisodes) {
+  trace::TraceSet t(1, SimTime::epoch(),
+                    SimTime::epoch() + SimDuration::days(7));
+  // A 2.5-hour episode from 10:15 on day 0 overlaps hours 10, 11, 12.
+  t.add(rec(0, SimTime::epoch() + 10_h + 15_min, 2_h + 30_min,
+            AvailabilityState::kS3CpuUnavailable));
+  const TraceAnalyzer analyzer(t);
+  const auto pattern = analyzer.hourly();
+  EXPECT_EQ(pattern.weekday_days, 5);
+  EXPECT_EQ(pattern.weekend_days, 2);
+  // Day 0 contributes 1 to hours 10-12; the other 4 weekdays contribute 0.
+  EXPECT_DOUBLE_EQ(pattern.weekday[10].max, 1.0);
+  EXPECT_DOUBLE_EQ(pattern.weekday[11].max, 1.0);
+  EXPECT_DOUBLE_EQ(pattern.weekday[12].max, 1.0);
+  EXPECT_DOUBLE_EQ(pattern.weekday[13].max, 0.0);
+  EXPECT_DOUBLE_EQ(pattern.weekday[9].max, 0.0);
+  EXPECT_DOUBLE_EQ(pattern.weekday[10].mean, 0.2);
+  EXPECT_DOUBLE_EQ(pattern.weekend[10].max, 0.0);
+}
+
+TEST(Analyzer, HourlyCountsAggregateMachines) {
+  trace::TraceSet t(3, SimTime::epoch(),
+                    SimTime::epoch() + SimDuration::days(1));
+  for (trace::MachineId m = 0; m < 3; ++m) {
+    t.add(rec(m, SimTime::epoch() + 4_h, 30_min,
+              AvailabilityState::kS3CpuUnavailable));
+  }
+  const TraceAnalyzer analyzer(t);
+  const auto pattern = analyzer.hourly();
+  // All three machines fail in hour 4-5 (the updatedb effect).
+  EXPECT_DOUBLE_EQ(pattern.weekday[4].mean, 3.0);
+}
+
+TEST(Analyzer, RelativeDeviationZeroForPerfectlyRegularTrace) {
+  trace::TraceSet t(1, SimTime::epoch(),
+                    SimTime::epoch() + SimDuration::days(14));
+  for (int d = 0; d < 14; ++d) {
+    t.add(rec(0, SimTime::epoch() + SimDuration::days(d) + 4_h, 30_min,
+              AvailabilityState::kS3CpuUnavailable));
+  }
+  const TraceAnalyzer analyzer(t);
+  EXPECT_DOUBLE_EQ(analyzer.hourly_relative_deviation(false), 0.0);
+  EXPECT_DOUBLE_EQ(analyzer.hourly_relative_deviation(true), 0.0);
+}
+
+TEST(Analyzer, EmptyTraceYieldsZeroedStats) {
+  trace::TraceSet t(2, SimTime::epoch(),
+                    SimTime::epoch() + SimDuration::days(1));
+  const TraceAnalyzer analyzer(t);
+  const auto t2 = analyzer.table2();
+  EXPECT_EQ(t2.total.max, 0);
+  EXPECT_DOUBLE_EQ(t2.reboot_fraction_of_urr, 0.0);
+  const auto iv = analyzer.intervals();
+  EXPECT_EQ(iv.weekday.count, 0u);
+}
+
+}  // namespace
+}  // namespace fgcs::core

@@ -1,0 +1,115 @@
+// Tests for the detailed testbed outputs: state timelines and the
+// deliverable-capacity profile.
+#include <gtest/gtest.h>
+
+#include "fgcs/core/testbed.hpp"
+
+namespace fgcs::core {
+namespace {
+
+using monitor::AvailabilityState;
+
+TestbedConfig small_config() {
+  TestbedConfig cfg;
+  cfg.machines = 3;
+  cfg.days = 14;
+  return cfg;
+}
+
+TEST(TestbedDetail, TimelineConsistentWithRecords) {
+  const auto detail = run_testbed_machine_detailed(small_config(), 0);
+  // Failure-state time in the timeline equals the summed record durations.
+  sim::SimDuration record_time = sim::SimDuration::zero();
+  for (const auto& r : detail.records) record_time += r.duration();
+  const sim::SimDuration timeline_failure_time =
+      detail.timeline.time_in(AvailabilityState::kS3CpuUnavailable) +
+      detail.timeline.time_in(AvailabilityState::kS4MemoryThrashing) +
+      detail.timeline.time_in(AvailabilityState::kS5MachineUnavailable);
+  // S3 episodes start at the excursion start (before the confirming
+  // transition), so records may be slightly longer than timeline time.
+  const double diff_h =
+      (record_time - timeline_failure_time).as_hours();
+  EXPECT_GE(diff_h, 0.0);
+  EXPECT_LT(diff_h, 0.05 * record_time.as_hours() + 1.0);
+}
+
+TEST(TestbedDetail, RecordsMatchPlainRun) {
+  const auto cfg = small_config();
+  const auto detail = run_testbed_machine_detailed(cfg, 1);
+  const auto plain = run_testbed_machine(cfg, 1);
+  ASSERT_EQ(detail.records.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(detail.records[i].start, plain[i].start);
+    EXPECT_EQ(detail.records[i].cause, plain[i].cause);
+  }
+}
+
+TEST(TestbedDetail, OccupancyFractionsSumToOne) {
+  const auto detail = run_testbed_machine_detailed(small_config(), 2);
+  double sum = 0.0;
+  for (const auto s :
+       {AvailabilityState::kS1FullAvailability,
+        AvailabilityState::kS2LowestPriority,
+        AvailabilityState::kS3CpuUnavailable,
+        AvailabilityState::kS4MemoryThrashing,
+        AvailabilityState::kS5MachineUnavailable}) {
+    sum += detail.timeline.fraction_in(s);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(detail.timeline.availability(), 0.4);
+  EXPECT_LT(detail.timeline.availability(), 0.95);
+}
+
+TEST(CapacityProfile, ValuesAreSane) {
+  const auto profile = run_capacity_profile(small_config());
+  for (int h = 0; h < 24; ++h) {
+    const auto hh = static_cast<std::size_t>(h);
+    EXPECT_GE(profile.weekday_cpu[hh], 0.0);
+    EXPECT_LE(profile.weekday_cpu[hh], 1.0);
+    EXPECT_GE(profile.weekend_cpu[hh], 0.0);
+    EXPECT_LE(profile.weekend_cpu[hh], 1.0);
+    EXPECT_GE(profile.weekday_free_mem[hh], 0.0);
+    EXPECT_LE(profile.weekday_free_mem[hh], 1024.0);
+  }
+  EXPECT_GT(profile.overall_cpu, 0.3);
+  EXPECT_LT(profile.overall_cpu, 1.0);
+  EXPECT_GT(profile.overall_usable, 0.4);
+  EXPECT_LE(profile.overall_usable, 1.0);
+}
+
+TEST(CapacityProfile, UpdatedbHourDeliversLess) {
+  const auto profile = run_capacity_profile(small_config());
+  // Hour 4-5 (updatedb) must deliver far less than the pre-dawn hours.
+  EXPECT_LT(profile.weekday_cpu[4], profile.weekday_cpu[3] - 0.2);
+  EXPECT_LT(profile.weekend_cpu[4], profile.weekend_cpu[3] - 0.2);
+}
+
+TEST(CapacityProfile, NightDeliversMoreThanAfternoon) {
+  const auto profile = run_capacity_profile(small_config());
+  EXPECT_GT(profile.weekday_cpu[3], profile.weekday_cpu[14]);
+}
+
+TEST(CapacityProfile, WeekendAfternoonBeatsWeekday) {
+  // Compare whole afternoons on a larger sample (few weekend days exist
+  // in a two-week config).
+  auto cfg = small_config();
+  cfg.machines = 6;
+  cfg.days = 35;
+  const auto profile = run_capacity_profile(cfg);
+  double wd = 0.0, we = 0.0;
+  for (std::size_t h = 12; h < 18; ++h) {
+    wd += profile.weekday_cpu[h];
+    we += profile.weekend_cpu[h];
+  }
+  EXPECT_GT(we, wd);
+}
+
+TEST(CapacityProfile, DisablingUpdatedbRestoresHour4) {
+  auto cfg = small_config();
+  cfg.profile.updatedb_enabled = false;
+  const auto profile = run_capacity_profile(cfg);
+  EXPECT_GT(profile.weekday_cpu[4], 0.8);
+}
+
+}  // namespace
+}  // namespace fgcs::core

@@ -1,0 +1,165 @@
+// Tests for the contention-experiment drivers (reduced-size versions of
+// Figures 1-4 / Table 1; the full reproductions live in bench/).
+#include <gtest/gtest.h>
+
+#include "fgcs/core/contention.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::core {
+namespace {
+
+using namespace sim::time_literals;
+
+ContentionConfig fast_config() {
+  ContentionConfig cfg;
+  cfg.measure = 3_min;
+  cfg.warmup = 30_s;
+  cfg.combinations = 2;
+  return cfg;
+}
+
+TEST(ContentionConfig, Validation) {
+  ContentionConfig cfg = fast_config();
+  cfg.measure = sim::SimDuration::zero();
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = fast_config();
+  cfg.combinations = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(MeasureContention, AloneUsageMatchesTarget) {
+  const auto cfg = fast_config();
+  const std::vector<os::ProcessSpec> hosts{workload::synthetic_host(0.5)};
+  const auto m = measure_contention(cfg, hosts, workload::synthetic_guest(0),
+                                    1234);
+  EXPECT_NEAR(m.host_usage_alone, 0.5, 0.04);
+  EXPECT_FALSE(m.thrashing);
+}
+
+TEST(MeasureContention, GuestReducesHostUsage) {
+  const auto cfg = fast_config();
+  const std::vector<os::ProcessSpec> hosts{workload::synthetic_host(0.9)};
+  const auto m =
+      measure_contention(cfg, hosts, workload::synthetic_guest(0), 99);
+  EXPECT_GT(m.reduction_rate(), 0.2);
+  EXPECT_GT(m.guest_usage, 0.2);
+}
+
+TEST(MeasureContention, Nice19GuestBarelyHurtsLightHost) {
+  const auto cfg = fast_config();
+  const std::vector<os::ProcessSpec> hosts{workload::synthetic_host(0.3)};
+  const auto m =
+      measure_contention(cfg, hosts, workload::synthetic_guest(19), 7);
+  EXPECT_LT(m.reduction_rate(), 0.05);
+}
+
+TEST(MeasureContention, RequiresHosts) {
+  EXPECT_THROW(measure_contention(fast_config(), {},
+                                  workload::synthetic_guest(0), 1),
+               ConfigError);
+}
+
+TEST(MeasureIsolatedUsage, CpuBoundIsFull) {
+  EXPECT_NEAR(
+      measure_isolated_usage(fast_config(), workload::synthetic_guest(0), 3),
+      1.0, 0.01);
+}
+
+TEST(Fig1, SmallGridHasPaperShape) {
+  Fig1Config cfg;
+  cfg.base = fast_config();
+  cfg.lh_grid = {0.1, 0.5, 1.0};
+  cfg.max_group_size = 2;
+  const auto result = run_fig1(cfg);
+  ASSERT_EQ(result.points.size(), 3u * 2u * 2u);
+
+  // Equal priority: reduction grows with L_H.
+  EXPECT_LT(result.at(0.1, 1, 0).reduction, result.at(0.5, 1, 0).reduction);
+  EXPECT_LT(result.at(0.5, 1, 0).reduction, result.at(1.0, 1, 0).reduction);
+  // Bigger host groups suffer less.
+  EXPECT_GT(result.at(1.0, 1, 0).reduction, result.at(1.0, 2, 0).reduction);
+  // Nice 19 always hurts less than equal priority.
+  EXPECT_LT(result.at(1.0, 1, 19).reduction, result.at(1.0, 1, 0).reduction);
+  // 50% fair share at full load, single host process.
+  EXPECT_NEAR(result.at(1.0, 1, 0).reduction, 0.5, 0.03);
+}
+
+TEST(Fig1, MeasuredLhTracksNominal) {
+  Fig1Config cfg;
+  cfg.base = fast_config();
+  cfg.lh_grid = {0.4};
+  cfg.max_group_size = 3;
+  const auto result = run_fig1(cfg);
+  for (const auto& p : result.points) {
+    EXPECT_NEAR(p.lh_measured, 0.4, 0.06);
+  }
+}
+
+TEST(Fig1, AtThrowsForUnknownPoint) {
+  Fig1Config cfg;
+  cfg.base = fast_config();
+  cfg.lh_grid = {0.5};
+  cfg.max_group_size = 1;
+  const auto result = run_fig1(cfg);
+  EXPECT_THROW(result.at(0.9, 1, 0), ConfigError);
+}
+
+TEST(Fig2, OnlyNice19Helps) {
+  const auto points = run_fig2(fast_config(), {0.8}, {0, 10, 19});
+  ASSERT_EQ(points.size(), 3u);
+  const double r0 = points[0].reduction;
+  const double r10 = points[1].reduction;
+  const double r19 = points[2].reduction;
+  // Mid priority buys much less than nice 19 does (Figure 2's message).
+  EXPECT_GT(r10, r19 + 0.1);
+  EXPECT_GT(r0, r19 + 0.2);
+}
+
+TEST(Fig3, EqualPriorityGuestGetsMoreCpu) {
+  auto cfg = fast_config();
+  cfg.combinations = 2;
+  const auto points = run_fig3(cfg);
+  ASSERT_EQ(points.size(), 8u);
+  double delta_sum = 0.0;
+  for (const auto& p : points) {
+    EXPECT_GT(p.guest_usage_equal, 0.3);
+    delta_sum += p.guest_usage_equal - p.guest_usage_lowest;
+  }
+  // "about 2% higher on average" (§3.2.2); loose band for the small config.
+  EXPECT_GT(delta_sum / 8.0, 0.003);
+  EXPECT_LT(delta_sum / 8.0, 0.05);
+}
+
+TEST(Fig4, ThrashCellsMatchPaper) {
+  Fig4Config cfg;
+  cfg.base.measure = 3_min;
+  cfg.base.warmup = 30_s;
+  const auto cells = run_fig4(cfg);
+  ASSERT_EQ(cells.size(), 6u * 4u * 2u);
+  for (const auto& cell : cells) {
+    const bool expect_thrash =
+        (cell.host_workload == "H2" || cell.host_workload == "H5") &&
+        cell.guest_app != "galgel";
+    EXPECT_EQ(cell.thrashing, expect_thrash)
+        << cell.host_workload << "+" << cell.guest_app << " nice "
+        << cell.guest_nice;
+  }
+}
+
+TEST(Table1, MeasuredUsagesNearPaper) {
+  ContentionConfig cfg;
+  cfg.scheduler = os::SchedulerParams::solaris_ts();
+  cfg.memory = os::MemoryParams::solaris_384mb();
+  cfg.measure = 4_min;
+  cfg.warmup = 30_s;
+  const auto rows = run_table1(cfg);
+  ASSERT_EQ(rows.size(), 10u);
+  for (const auto& row : rows) {
+    if (row.name == "apsi") EXPECT_NEAR(row.cpu_usage, 0.98, 0.02);
+    if (row.name == "H5") EXPECT_NEAR(row.cpu_usage, 0.57, 0.06);
+    if (row.name == "H1") EXPECT_NEAR(row.cpu_usage, 0.086, 0.04);
+  }
+}
+
+}  // namespace
+}  // namespace fgcs::core

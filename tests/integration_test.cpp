@@ -1,0 +1,142 @@
+// End-to-end integration tests across modules:
+//   testbed -> trace I/O -> analyzer -> predictors
+//   machine + sampler + detector + guest controller closed loop
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fgcs/core/analyzer.hpp"
+#include "fgcs/core/prediction_study.hpp"
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/monitor/guest_controller.hpp"
+#include "fgcs/monitor/machine_sampler.hpp"
+#include "fgcs/predict/history_window.hpp"
+#include "fgcs/trace/io.hpp"
+#include "fgcs/util/error.hpp"
+#include "fgcs/workload/synthetic.hpp"
+
+namespace fgcs {
+namespace {
+
+using namespace sim::time_literals;
+
+TEST(Integration, TestbedTraceSurvivesSerializationAndAnalysis) {
+  core::TestbedConfig cfg;
+  cfg.machines = 5;
+  cfg.days = 21;
+  const auto trace = core::run_testbed(cfg);
+
+  // Round-trip through the binary format.
+  std::stringstream buffer;
+  trace::write_trace_binary(trace, buffer);
+  const auto loaded = trace::read_trace_binary(buffer);
+
+  // Analysis results must be identical on the loaded trace.
+  const core::TraceAnalyzer a1(trace), a2(loaded);
+  const auto t1 = a1.table2();
+  const auto t2 = a2.table2();
+  EXPECT_EQ(t1.total.min, t2.total.min);
+  EXPECT_EQ(t1.total.max, t2.total.max);
+  EXPECT_DOUBLE_EQ(a1.intervals().weekday.mean_hours,
+                   a2.intervals().weekday.mean_hours);
+}
+
+TEST(Integration, PredictionStudyRanksHistoryWindowAboveOblivious) {
+  core::TestbedConfig cfg;
+  cfg.machines = 6;
+  cfg.days = 35;
+  const auto trace = core::run_testbed(cfg);
+
+  core::PredictionStudyConfig study;
+  study.train_days = 21;
+  study.windows = {2_h};
+  study.stride = 2_h;
+  const auto rows =
+      core::run_prediction_study(trace, trace::TraceCalendar{}, study);
+
+  double history_brier = -1.0, oblivious_brier = -1.0;
+  for (const auto& row : rows) {
+    if (row.result.predictor == "history-window(k=8)") {
+      history_brier = row.result.brier;
+    }
+    if (row.result.predictor == "always-available") {
+      oblivious_brier = row.result.brier;
+    }
+  }
+  ASSERT_GE(history_brier, 0.0);
+  ASSERT_GE(oblivious_brier, 0.0);
+  EXPECT_LT(history_brier, oblivious_brier);
+}
+
+TEST(Integration, PredictionStudyValidation) {
+  core::TestbedConfig cfg;
+  cfg.machines = 1;
+  cfg.days = 7;
+  const auto trace = core::run_testbed(cfg);
+  core::PredictionStudyConfig study;
+  study.train_days = 10;  // longer than the trace
+  EXPECT_THROW(
+      core::run_prediction_study(trace, trace::TraceCalendar{}, study),
+      ConfigError);
+}
+
+// Closed loop: the monitor samples a live machine, the detector classifies,
+// the controller acts on the guest — the full §3/§4 pipeline.
+TEST(Integration, MonitorControlsGuestOnLiveMachine) {
+  os::Machine machine(os::SchedulerParams::linux_2_4(),
+                      os::MemoryParams::linux_1gb(), 2026);
+  // Host: a staged workload — idle, then moderate, then overload.
+  os::ProcessSpec host;
+  host.name = "staged-host";
+  host.kind = os::ProcessKind::kHost;
+  std::vector<os::Phase> phases;
+  phases.push_back(os::Phase::sleep(2_min));  // stage 1: idle (S1)
+  for (int i = 0; i < 16; ++i) {
+    // stage 2: ~40% duty in short cycles -> sustained S2-level load.
+    phases.push_back(os::Phase::compute(6_s));
+    phases.push_back(os::Phase::sleep(9_s));
+  }
+  // stage 3: overload -> S3.
+  phases.push_back(os::Phase::compute(sim::SimDuration::minutes(20)));
+  host.program = os::fixed_program(std::move(phases));
+  machine.spawn(host);
+  const os::ProcessId guest = machine.spawn(workload::synthetic_guest(0));
+
+  monitor::UnavailabilityDetector detector(
+      monitor::ThresholdPolicy::linux_testbed());
+  monitor::MachineSampler sampler(machine);
+  monitor::GuestController controller(machine, guest);
+
+  bool saw_s2 = false;
+  for (int step = 0; step < 60 && !controller.terminated(); ++step) {
+    machine.run_for(15_s);
+    detector.observe(sampler.sample());
+    controller.apply(detector);
+    if (detector.state() == monitor::AvailabilityState::kS2LowestPriority) {
+      saw_s2 = true;
+    }
+  }
+
+  EXPECT_TRUE(saw_s2);  // the moderate stage reniced the guest
+  EXPECT_TRUE(controller.terminated());  // the overload stage killed it
+  EXPECT_EQ(machine.process(guest).state(), os::ProcState::kExited);
+  ASSERT_FALSE(detector.episodes().empty());
+  EXPECT_EQ(detector.episodes().back().cause,
+            monitor::AvailabilityState::kS3CpuUnavailable);
+}
+
+TEST(Integration, DetectorEpisodesMatchTraceRecords) {
+  // run_testbed_machine must faithfully copy the detector's episodes.
+  core::TestbedConfig cfg;
+  cfg.machines = 1;
+  cfg.days = 7;
+  const auto records = core::run_testbed_machine(cfg, 0);
+  ASSERT_FALSE(records.empty());
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].start, records[i - 1].end)
+        << "episodes must not overlap";
+  }
+}
+
+}  // namespace
+}  // namespace fgcs

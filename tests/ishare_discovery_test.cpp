@@ -1,0 +1,181 @@
+// Tests for the P2P publication/discovery overlay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "fgcs/ishare/discovery.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::ishare {
+namespace {
+
+ResourceDescriptor desc(const std::string& name, double ghz = 1.7,
+                        monitor::AvailabilityState state =
+                            monitor::AvailabilityState::kS1FullAvailability) {
+  ResourceDescriptor d;
+  d.name = name;
+  d.owner = "prov-" + name;
+  d.cpu_ghz = ghz;
+  d.state = state;
+  return d;
+}
+
+struct OverlayFixture : ::testing::Test {
+  OverlayFixture() {
+    for (int i = 0; i < 16; ++i) {
+      peers.push_back(overlay.join("peer-" + std::to_string(i)));
+    }
+  }
+  DiscoveryOverlay overlay;
+  std::vector<PeerId> peers;
+};
+
+TEST_F(OverlayFixture, PublishThenLookupFromAnyPeer) {
+  overlay.publish(peers[0], desc("lab-pc-07"));
+  for (const PeerId via : peers) {
+    const auto found = overlay.lookup(via, "lab-pc-07");
+    ASSERT_TRUE(found.has_value()) << via;
+    EXPECT_EQ(found->name, "lab-pc-07");
+    EXPECT_EQ(found->owner, "prov-lab-pc-07");
+  }
+}
+
+TEST_F(OverlayFixture, LookupMissingReturnsNothing) {
+  EXPECT_FALSE(overlay.lookup(peers[3], "ghost").has_value());
+}
+
+TEST_F(OverlayFixture, RepublishOverwrites) {
+  overlay.publish(peers[0], desc("m", 1.0));
+  auto updated = desc("m", 2.4);
+  updated.state = monitor::AvailabilityState::kS2LowestPriority;
+  overlay.publish(peers[5], updated);
+  const auto found = overlay.lookup(peers[9], "m");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_DOUBLE_EQ(found->cpu_ghz, 2.4);
+  EXPECT_EQ(found->state, monitor::AvailabilityState::kS2LowestPriority);
+  EXPECT_EQ(overlay.descriptor_count(), 1u);
+}
+
+TEST_F(OverlayFixture, Unpublish) {
+  overlay.publish(peers[0], desc("m"));
+  EXPECT_TRUE(overlay.unpublish(peers[7], "m"));
+  EXPECT_FALSE(overlay.lookup(peers[2], "m").has_value());
+  EXPECT_FALSE(overlay.unpublish(peers[7], "m"));
+}
+
+TEST_F(OverlayFixture, RoutingHopsAreLogarithmic) {
+  // Publish many resources; the mean lookup hop count stays well under
+  // the ring size (Chord: O(log n)).
+  for (int i = 0; i < 64; ++i) {
+    overlay.publish(peers[0], desc("res-" + std::to_string(i)));
+  }
+  double total_hops = 0;
+  int lookups = 0;
+  for (const PeerId via : peers) {
+    for (int i = 0; i < 64; i += 7) {
+      RouteStats stats;
+      ASSERT_TRUE(
+          overlay.lookup(via, "res-" + std::to_string(i), &stats).has_value());
+      total_hops += stats.hops;
+      ++lookups;
+    }
+  }
+  const double mean_hops = total_hops / lookups;
+  EXPECT_LE(mean_hops, 2.0 * std::log2(16.0));
+  EXPECT_GE(mean_hops, 0.0);
+}
+
+TEST_F(OverlayFixture, LatencyScalesWithHops) {
+  overlay.publish(peers[0], desc("m"));
+  RouteStats stats;
+  overlay.lookup(peers[8], "m", &stats);
+  EXPECT_EQ(stats.latency.as_micros(), stats.hops * 20'000);
+}
+
+TEST_F(OverlayFixture, LeaveHandsKeysToSuccessor) {
+  for (int i = 0; i < 40; ++i) {
+    overlay.publish(peers[0], desc("res-" + std::to_string(i)));
+  }
+  ASSERT_EQ(overlay.descriptor_count(), 40u);
+  // Half the peers leave; every descriptor must remain reachable.
+  for (int i = 0; i < 8; ++i) {
+    overlay.leave(peers[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(overlay.peer_count(), 8u);
+  EXPECT_EQ(overlay.descriptor_count(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(
+        overlay.lookup(peers[12], "res-" + std::to_string(i)).has_value())
+        << i;
+  }
+}
+
+TEST_F(OverlayFixture, JoinTakesOverKeys) {
+  for (int i = 0; i < 40; ++i) {
+    overlay.publish(peers[0], desc("res-" + std::to_string(i)));
+  }
+  // New peers join; all descriptors stay reachable from everywhere.
+  for (int i = 100; i < 110; ++i) {
+    overlay.join("peer-" + std::to_string(i));
+  }
+  EXPECT_EQ(overlay.descriptor_count(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(
+        overlay.lookup(peers[3], "res-" + std::to_string(i)).has_value())
+        << i;
+  }
+}
+
+TEST_F(OverlayFixture, FindAvailableFiltersStateAndCpu) {
+  overlay.publish(peers[0], desc("fast-free", 3.0));
+  overlay.publish(peers[0], desc("slow-free", 0.5));
+  overlay.publish(peers[0],
+                  desc("fast-busy", 3.0,
+                       monitor::AvailabilityState::kS3CpuUnavailable));
+  overlay.publish(peers[0],
+                  desc("fast-renice", 3.0,
+                       monitor::AvailabilityState::kS2LowestPriority));
+  const auto found = overlay.find_available(peers[4], 1.0, 10);
+  std::set<std::string> names;
+  for (const auto& d : found) names.insert(d.name);
+  EXPECT_TRUE(names.count("fast-free"));
+  EXPECT_TRUE(names.count("fast-renice"));  // S2 is usable
+  EXPECT_FALSE(names.count("slow-free"));   // too slow
+  EXPECT_FALSE(names.count("fast-busy"));   // S3 not usable
+}
+
+TEST_F(OverlayFixture, FindAvailableHonorsMaxResults) {
+  for (int i = 0; i < 30; ++i) {
+    overlay.publish(peers[0], desc("r" + std::to_string(i), 2.0));
+  }
+  EXPECT_EQ(overlay.find_available(peers[0], 1.0, 5).size(), 5u);
+}
+
+TEST(DiscoveryOverlay, SinglePeerOwnsEverything) {
+  DiscoveryOverlay overlay;
+  const PeerId solo = overlay.join("solo");
+  RouteStats stats;
+  overlay.publish(solo, desc("m"));
+  const auto found = overlay.lookup(solo, "m", &stats);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(stats.hops, 0);
+}
+
+TEST(DiscoveryOverlay, Validation) {
+  DiscoveryOverlay overlay;
+  EXPECT_THROW(overlay.publish(1, desc("m")), ConfigError);  // no peers
+  const PeerId p = overlay.join("a");
+  EXPECT_THROW(overlay.join("a"), ConfigError);  // duplicate
+  ResourceDescriptor unnamed;
+  EXPECT_THROW(overlay.publish(p, unnamed), ConfigError);
+  EXPECT_THROW(overlay.leave(p + 1), ConfigError);
+}
+
+TEST(DiscoveryOverlay, KeyOfIsStable) {
+  EXPECT_EQ(DiscoveryOverlay::key_of("x"), DiscoveryOverlay::key_of("x"));
+  EXPECT_NE(DiscoveryOverlay::key_of("x"), DiscoveryOverlay::key_of("y"));
+}
+
+}  // namespace
+}  // namespace fgcs::ishare

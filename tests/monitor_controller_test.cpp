@@ -1,0 +1,121 @@
+// Tests for the guest controller: renice / suspend / resume / terminate
+// policy (§3.2) driven by detector states on a simulated machine.
+#include <gtest/gtest.h>
+
+#include "fgcs/monitor/guest_controller.hpp"
+#include "fgcs/util/error.hpp"
+#include "fgcs/workload/synthetic.hpp"
+
+namespace fgcs::monitor {
+namespace {
+
+using namespace sim::time_literals;
+
+struct ControllerFixture : ::testing::Test {
+  ControllerFixture()
+      : machine(os::SchedulerParams::linux_2_4(), os::MemoryParams::linux_1gb(),
+                5),
+        guest(machine.spawn(workload::synthetic_guest(0))),
+        detector(ThresholdPolicy::linux_testbed()),
+        controller(machine, guest, 0) {}
+
+  void feed(double cpu, double free_mem = 900.0, bool alive = true) {
+    machine.run_for(15_s);
+    detector.observe({machine.now(), cpu, free_mem, alive});
+    controller.apply(detector);
+  }
+
+  os::Machine machine;
+  os::ProcessId guest;
+  UnavailabilityDetector detector;
+  GuestController controller;
+};
+
+TEST_F(ControllerFixture, S1KeepsDefaultPriority) {
+  feed(0.1);
+  EXPECT_EQ(machine.process(guest).nice(), 0);
+  EXPECT_FALSE(controller.suspended());
+  EXPECT_FALSE(controller.terminated());
+}
+
+TEST_F(ControllerFixture, S2RenicesTo19) {
+  feed(0.4);
+  EXPECT_EQ(machine.process(guest).nice(), 19);
+  ASSERT_FALSE(controller.actions().empty());
+  EXPECT_EQ(controller.actions().back().action,
+            GuestAction::kSetLowestPriority);
+}
+
+TEST_F(ControllerFixture, ReturnToS1RestoresPriority) {
+  feed(0.4);
+  feed(0.1);
+  EXPECT_EQ(machine.process(guest).nice(), 0);
+  EXPECT_EQ(controller.actions().back().action,
+            GuestAction::kSetDefaultPriority);
+}
+
+TEST_F(ControllerFixture, TransientSpikeSuspendsThenResumes) {
+  feed(0.3);
+  feed(0.9);  // transient: suspend
+  EXPECT_TRUE(controller.suspended());
+  EXPECT_EQ(machine.process(guest).state(), os::ProcState::kSuspended);
+  feed(0.3);  // spike over: resume
+  EXPECT_FALSE(controller.suspended());
+  EXPECT_NE(machine.process(guest).state(), os::ProcState::kSuspended);
+}
+
+TEST_F(ControllerFixture, SustainedOverloadTerminates) {
+  feed(0.3);
+  for (int i = 0; i < 8; ++i) feed(0.9);
+  EXPECT_TRUE(controller.terminated());
+  EXPECT_EQ(machine.process(guest).state(), os::ProcState::kExited);
+  EXPECT_EQ(controller.actions().back().action, GuestAction::kTerminate);
+  EXPECT_EQ(controller.actions().back().state,
+            AvailabilityState::kS3CpuUnavailable);
+}
+
+TEST_F(ControllerFixture, MemoryExhaustionTerminatesImmediately) {
+  feed(0.3);
+  feed(0.3, 100.0);
+  EXPECT_TRUE(controller.terminated());
+  EXPECT_EQ(controller.actions().back().state,
+            AvailabilityState::kS4MemoryThrashing);
+}
+
+TEST_F(ControllerFixture, ApplyAfterTerminationIsNoOp) {
+  feed(0.3, 100.0);
+  ASSERT_TRUE(controller.terminated());
+  const auto action_count = controller.actions().size();
+  feed(0.1);
+  EXPECT_EQ(controller.actions().size(), action_count);
+}
+
+TEST_F(ControllerFixture, SuspendedGuestConsumesNoCpu) {
+  feed(0.3);
+  feed(0.9);  // suspend
+  const auto cpu_before = machine.process(guest).cpu_time();
+  feed(0.9);  // still transient (30s < 1 min)
+  EXPECT_EQ(machine.process(guest).cpu_time(), cpu_before);
+}
+
+TEST_F(ControllerFixture, ActionsCarryTimestamps) {
+  feed(0.4);
+  ASSERT_FALSE(controller.actions().empty());
+  EXPECT_EQ(controller.actions().back().time, machine.now());
+}
+
+TEST(GuestController, RejectsBadDefaultNice) {
+  os::Machine m(os::SchedulerParams::linux_2_4(), os::MemoryParams::linux_1gb(),
+                1);
+  const auto pid = m.spawn(workload::synthetic_guest(0));
+  EXPECT_THROW(GuestController(m, pid, 20), ConfigError);
+}
+
+TEST(GuestAction, Names) {
+  EXPECT_STREQ(to_string(GuestAction::kTerminate), "terminate");
+  EXPECT_STREQ(to_string(GuestAction::kSuspend), "suspend");
+  EXPECT_STREQ(to_string(GuestAction::kResume), "resume");
+}
+
+}  // namespace
+}  // namespace fgcs::monitor

@@ -1,0 +1,271 @@
+// Tests for the five-state availability model and unavailability detector.
+#include <gtest/gtest.h>
+
+#include "fgcs/monitor/detector.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::monitor {
+namespace {
+
+using namespace sim::time_literals;
+using sim::SimDuration;
+using sim::SimTime;
+
+constexpr auto S1 = AvailabilityState::kS1FullAvailability;
+constexpr auto S2 = AvailabilityState::kS2LowestPriority;
+constexpr auto S3 = AvailabilityState::kS3CpuUnavailable;
+constexpr auto S4 = AvailabilityState::kS4MemoryThrashing;
+constexpr auto S5 = AvailabilityState::kS5MachineUnavailable;
+
+TEST(AvailabilityState, Names) {
+  EXPECT_STREQ(to_string(S1), "S1");
+  EXPECT_STREQ(to_string(S5), "S5");
+  EXPECT_EQ(availability_state_from_string("S3"), S3);
+  EXPECT_THROW(availability_state_from_string("S9"), ConfigError);
+}
+
+TEST(AvailabilityState, Predicates) {
+  EXPECT_FALSE(is_failure(S1));
+  EXPECT_FALSE(is_failure(S2));
+  EXPECT_TRUE(is_failure(S3));
+  EXPECT_TRUE(is_failure(S4));
+  EXPECT_TRUE(is_failure(S5));
+  EXPECT_TRUE(is_uec(S3));
+  EXPECT_TRUE(is_uec(S4));
+  EXPECT_FALSE(is_uec(S5));
+  EXPECT_FALSE(is_uec(S1));
+}
+
+TEST(ThresholdPolicy, Validation) {
+  ThresholdPolicy p;
+  p.th1 = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = ThresholdPolicy{};
+  p.th2 = p.th1;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = ThresholdPolicy{};
+  p.sample_period = SimDuration::zero();
+  EXPECT_THROW(p.validate(), ConfigError);
+  EXPECT_NO_THROW(ThresholdPolicy::linux_testbed().validate());
+}
+
+// A small harness feeding samples at a fixed period.
+class DetectorHarness {
+ public:
+  explicit DetectorHarness(ThresholdPolicy policy = ThresholdPolicy::linux_testbed())
+      : detector_(policy) {}
+
+  AvailabilityState feed(double cpu, double free_mem = 900.0,
+                         bool alive = true) {
+    t_ += 15_s;
+    return detector_.observe({t_, cpu, free_mem, alive});
+  }
+
+  AvailabilityState feed_for(SimDuration span, double cpu,
+                             double free_mem = 900.0, bool alive = true) {
+    AvailabilityState s = detector_.state();
+    const auto steps = span.as_micros() / (15_s).as_micros();
+    for (std::int64_t i = 0; i < steps; ++i) s = feed(cpu, free_mem, alive);
+    return s;
+  }
+
+  UnavailabilityDetector detector_;
+  SimTime t_ = SimTime::epoch();
+};
+
+TEST(Detector, StartsAvailable) {
+  UnavailabilityDetector d{ThresholdPolicy::linux_testbed()};
+  EXPECT_EQ(d.state(), S1);
+}
+
+TEST(Detector, LightLoadIsS1) {
+  DetectorHarness h;
+  EXPECT_EQ(h.feed(0.1), S1);
+  EXPECT_EQ(h.feed(0.19), S1);
+}
+
+TEST(Detector, ModerateLoadIsS2) {
+  DetectorHarness h;
+  EXPECT_EQ(h.feed(0.20), S2);  // Th1 inclusive
+  EXPECT_EQ(h.feed(0.45), S2);
+  EXPECT_EQ(h.feed(0.60), S2);  // Th2 inclusive: renice suffices
+}
+
+TEST(Detector, S1S2Hysteresis) {
+  DetectorHarness h;
+  EXPECT_EQ(h.feed(0.3), S2);
+  EXPECT_EQ(h.feed(0.1), S1);
+  EXPECT_EQ(h.feed(0.5), S2);
+}
+
+TEST(Detector, TransientSpikeDoesNotFail) {
+  DetectorHarness h;
+  h.feed(0.3);
+  // Three samples above Th2 spanning 30s < 1 min sustain window.
+  EXPECT_EQ(h.feed(0.9), S2);
+  EXPECT_TRUE(h.detector_.transient_high());
+  EXPECT_EQ(h.feed(0.9), S2);
+  EXPECT_EQ(h.feed(0.3), S2);  // spike over, no failure
+  EXPECT_FALSE(h.detector_.transient_high());
+  EXPECT_TRUE(h.detector_.episodes().empty());
+}
+
+TEST(Detector, SustainedHighLoadBecomesS3) {
+  DetectorHarness h;
+  h.feed(0.3);
+  AvailabilityState s = h.feed_for(2_min, 0.9);
+  EXPECT_EQ(s, S3);
+  ASSERT_EQ(h.detector_.episodes().size(), 1u);
+  EXPECT_EQ(h.detector_.episodes()[0].cause, S3);
+}
+
+TEST(Detector, S3StartsAtExcursionStart) {
+  DetectorHarness h;
+  h.feed(0.3);  // t = 15s
+  const SimTime excursion_start = h.t_ + 15_s;
+  h.feed_for(3_min, 0.9);
+  ASSERT_FALSE(h.detector_.episodes().empty());
+  EXPECT_EQ(h.detector_.episodes()[0].start, excursion_start);
+}
+
+TEST(Detector, SpikeResetsSustainTimer) {
+  DetectorHarness h;
+  // Alternate high-high-low forever: never sustained.
+  for (int i = 0; i < 40; ++i) {
+    h.feed(0.9);
+    h.feed(0.9);
+    h.feed(0.3);
+  }
+  EXPECT_TRUE(h.detector_.episodes().empty());
+}
+
+TEST(Detector, S3RecoversWhenLoadDrops) {
+  DetectorHarness h;
+  h.feed_for(2_min, 0.9);
+  ASSERT_EQ(h.detector_.state(), S3);
+  EXPECT_EQ(h.feed(0.4), S2);
+  ASSERT_EQ(h.detector_.episodes().size(), 1u);
+  EXPECT_FALSE(h.detector_.episodes()[0].open);
+  EXPECT_EQ(h.detector_.episodes()[0].end, h.t_);
+}
+
+TEST(Detector, LowMemoryIsImmediateS4) {
+  DetectorHarness h;
+  h.feed(0.3);
+  EXPECT_EQ(h.feed(0.3, 150.0), S4);  // below the 200 MB guest working set
+  ASSERT_EQ(h.detector_.episodes().size(), 1u);
+  EXPECT_EQ(h.detector_.episodes()[0].cause, S4);
+}
+
+TEST(Detector, S4RecoveryRestoresAvailability) {
+  DetectorHarness h;
+  h.feed(0.3, 100.0);
+  EXPECT_EQ(h.detector_.state(), S4);
+  EXPECT_EQ(h.feed(0.3, 800.0), S2);
+}
+
+TEST(Detector, S4DuringSustainedHighLoadChainsToS3WithoutGap) {
+  DetectorHarness h;
+  h.feed_for(3_min, 0.9);  // S3
+  ASSERT_EQ(h.detector_.state(), S3);
+  h.feed(0.9, 100.0);  // memory exhausted while load stays high -> S4
+  EXPECT_EQ(h.detector_.state(), S4);
+  h.feed(0.9, 100.0);
+  // Memory frees, CPU still high and long-sustained: straight back to S3.
+  EXPECT_EQ(h.feed(0.9, 800.0), S3);
+  const auto eps = h.detector_.episodes();
+  ASSERT_EQ(eps.size(), 3u);
+  EXPECT_EQ(eps[0].cause, S3);
+  EXPECT_EQ(eps[1].cause, S4);
+  EXPECT_EQ(eps[2].cause, S3);
+  // Records touch: no fabricated availability between them.
+  EXPECT_EQ(eps[0].end, eps[1].start);
+  EXPECT_EQ(eps[1].end, eps[2].start);
+}
+
+TEST(Detector, ServiceDeadIsS5) {
+  DetectorHarness h;
+  h.feed(0.3);
+  EXPECT_EQ(h.feed(0.0, 900.0, false), S5);
+  ASSERT_EQ(h.detector_.episodes().size(), 1u);
+  EXPECT_EQ(h.detector_.episodes()[0].cause, S5);
+}
+
+TEST(Detector, S5PreemptsEverything) {
+  DetectorHarness h;
+  EXPECT_EQ(h.feed(0.9, 50.0, false), S5);  // dead beats low-mem + high cpu
+}
+
+TEST(Detector, RebootRecoveryIntoHighLoadIsS2ThenS3) {
+  DetectorHarness h;
+  h.feed(0.2, 900.0, false);
+  ASSERT_EQ(h.detector_.state(), S5);
+  // Machine back, load instantly high: sustain window restarts.
+  EXPECT_EQ(h.feed(0.9), S2);
+  EXPECT_EQ(h.feed_for(2_min, 0.9), S3);
+}
+
+TEST(Detector, EpisodeRecordsObservationsAtStart) {
+  DetectorHarness h;
+  h.feed(0.3);
+  h.feed(0.95, 700.0);
+  h.feed_for(90_s, 0.95, 700.0);
+  ASSERT_FALSE(h.detector_.episodes().empty());
+  EXPECT_DOUBLE_EQ(h.detector_.episodes()[0].host_cpu_at_start, 0.95);
+  EXPECT_DOUBLE_EQ(h.detector_.episodes()[0].free_mem_at_start, 700.0);
+}
+
+TEST(Detector, FinishClosesOpenEpisode) {
+  DetectorHarness h;
+  h.feed_for(2_min, 0.9);
+  ASSERT_TRUE(h.detector_.episodes().back().open);
+  h.detector_.finish(h.t_ + 1_min);
+  EXPECT_FALSE(h.detector_.episodes().back().open);
+  EXPECT_EQ(h.detector_.episodes().back().end, h.t_ + 1_min);
+}
+
+TEST(Detector, TransitionsAreLogged) {
+  DetectorHarness h;
+  h.feed(0.1);  // S1 (no transition: initial state)
+  h.feed(0.3);  // S1 -> S2
+  h.feed(0.1);  // S2 -> S1
+  const auto trans = h.detector_.transitions();
+  ASSERT_EQ(trans.size(), 2u);
+  EXPECT_EQ(trans[0].from, S1);
+  EXPECT_EQ(trans[0].to, S2);
+  EXPECT_EQ(trans[1].from, S2);
+  EXPECT_EQ(trans[1].to, S1);
+}
+
+TEST(Detector, CustomThresholds) {
+  ThresholdPolicy p;
+  p.th1 = 0.10;
+  p.th2 = 0.30;
+  DetectorHarness h(p);
+  EXPECT_EQ(h.feed(0.05), S1);
+  EXPECT_EQ(h.feed(0.15), S2);
+  EXPECT_EQ(h.feed_for(2_min, 0.35), S3);
+}
+
+TEST(Detector, ZeroSustainWindowFailsImmediately) {
+  ThresholdPolicy p;
+  p.sustain_window = SimDuration::zero();
+  DetectorHarness h(p);
+  EXPECT_EQ(h.feed(0.9), S3);
+}
+
+TEST(Detector, MultipleEpisodesCounted) {
+  DetectorHarness h;
+  for (int i = 0; i < 5; ++i) {
+    h.feed_for(3_min, 0.9);
+    h.feed_for(10_min, 0.1);
+  }
+  EXPECT_EQ(h.detector_.episodes().size(), 5u);
+  for (const auto& ep : h.detector_.episodes()) {
+    EXPECT_FALSE(ep.open);
+    EXPECT_GT(ep.duration(), SimDuration::zero());
+  }
+}
+
+}  // namespace
+}  // namespace fgcs::monitor

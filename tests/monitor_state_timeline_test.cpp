@@ -1,0 +1,117 @@
+// Tests for the state timeline (the measured Figure 5 view).
+#include <gtest/gtest.h>
+
+#include "fgcs/monitor/state_timeline.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::monitor {
+namespace {
+
+using namespace sim::time_literals;
+using sim::SimDuration;
+using sim::SimTime;
+
+constexpr auto S1 = AvailabilityState::kS1FullAvailability;
+constexpr auto S2 = AvailabilityState::kS2LowestPriority;
+constexpr auto S3 = AvailabilityState::kS3CpuUnavailable;
+
+SimTime at(std::int64_t minutes) {
+  return SimTime::epoch() + SimDuration::minutes(minutes);
+}
+
+TEST(StateTimeline, NoTransitionsSingleInterval) {
+  const auto tl =
+      StateTimeline::from_transitions(S1, at(0), at(100), {});
+  ASSERT_EQ(tl.intervals().size(), 1u);
+  EXPECT_EQ(tl.intervals()[0].state, S1);
+  EXPECT_DOUBLE_EQ(tl.fraction_in(S1), 1.0);
+  EXPECT_DOUBLE_EQ(tl.availability(), 1.0);
+  EXPECT_EQ(tl.transitions_from(S1), 0u);
+}
+
+TEST(StateTimeline, OccupancyAndTransitions) {
+  const std::vector<Transition> trans = {
+      {at(10), S1, S2},
+      {at(30), S2, S3},
+      {at(40), S3, S1},
+  };
+  const auto tl = StateTimeline::from_transitions(S1, at(0), at(100), trans);
+  ASSERT_EQ(tl.intervals().size(), 4u);
+  EXPECT_EQ(tl.time_in(S1), SimDuration::minutes(70));  // 10 + 60
+  EXPECT_EQ(tl.time_in(S2), SimDuration::minutes(20));
+  EXPECT_EQ(tl.time_in(S3), SimDuration::minutes(10));
+  EXPECT_DOUBLE_EQ(tl.fraction_in(S2), 0.2);
+  EXPECT_DOUBLE_EQ(tl.availability(), 0.9);
+  EXPECT_EQ(tl.transition_count(S1, S2), 1u);
+  EXPECT_EQ(tl.transition_count(S2, S3), 1u);
+  EXPECT_EQ(tl.transition_count(S2, S1), 0u);
+  EXPECT_EQ(tl.transitions_from(S2), 1u);
+}
+
+TEST(StateTimeline, SojournDurations) {
+  const std::vector<Transition> trans = {
+      {at(10), S1, S2},
+      {at(40), S2, S1},
+      {at(60), S1, S2},
+      {at(70), S2, S1},
+  };
+  const auto tl = StateTimeline::from_transitions(S1, at(0), at(100), trans);
+  const auto s2_sojourns = tl.sojourn_hours(S2);
+  ASSERT_EQ(s2_sojourns.size(), 2u);
+  EXPECT_NEAR(s2_sojourns[0], 0.5, 1e-9);
+  EXPECT_NEAR(s2_sojourns[1], 1.0 / 6.0, 1e-9);
+  EXPECT_EQ(tl.sojourn_hours(S1).size(), 3u);
+  EXPECT_TRUE(tl.sojourn_hours(S3).empty());
+}
+
+TEST(StateTimeline, RejectsBrokenChains) {
+  const std::vector<Transition> wrong_from = {{at(10), S2, S3}};
+  EXPECT_THROW(
+      StateTimeline::from_transitions(S1, at(0), at(100), wrong_from),
+      ConfigError);
+  const std::vector<Transition> unordered = {{at(50), S1, S2},
+                                             {at(40), S2, S1}};
+  EXPECT_THROW(
+      StateTimeline::from_transitions(S1, at(0), at(100), unordered),
+      ConfigError);
+  EXPECT_THROW(StateTimeline::from_transitions(S1, at(10), at(10), {}),
+               ConfigError);
+}
+
+TEST(StateTimeline, FromDetectorMatchesObservations) {
+  UnavailabilityDetector detector{ThresholdPolicy::linux_testbed()};
+  SimTime t = SimTime::epoch();
+  auto feed = [&](double cpu, int samples) {
+    for (int i = 0; i < samples; ++i) {
+      t += 15_s;
+      detector.observe({t, cpu, 900.0, true});
+    }
+  };
+  feed(0.1, 40);   // 10 min S1
+  feed(0.4, 40);   // 10 min S2
+  feed(0.9, 40);   // sustained high: S3 after 1 min
+  feed(0.1, 40);   // recovered
+  detector.finish(t);
+  const auto tl = StateTimeline::from_detector(detector, SimTime::epoch(), t);
+  EXPECT_GT(tl.fraction_in(S3), 0.15);
+  EXPECT_GT(tl.fraction_in(S1), 0.4);
+  EXPECT_EQ(tl.transition_count(S2, S3), 1u);
+  EXPECT_DOUBLE_EQ(tl.availability(), 1.0 - tl.fraction_in(S3));
+}
+
+TEST(StateTimeline, AccumulateSumsMachines) {
+  const std::vector<Transition> ta = {{at(30), S1, S2}};
+  const std::vector<Transition> tb = {{at(45), S1, S2}};
+  const auto a = StateTimeline::from_transitions(S1, at(0), at(60), ta);
+  const auto b = StateTimeline::from_transitions(S1, at(0), at(60), tb);
+  StateTimeline total = a;
+  total.accumulate(b);
+  EXPECT_EQ(total.time_in(S1), SimDuration::minutes(75));
+  EXPECT_EQ(total.time_in(S2), SimDuration::minutes(45));
+  EXPECT_EQ(total.transition_count(S1, S2), 2u);
+  EXPECT_DOUBLE_EQ(total.fraction_in(S1), 75.0 / 120.0);
+  EXPECT_EQ(total.sojourn_hours(S1).size(), 2u);
+}
+
+}  // namespace
+}  // namespace fgcs::monitor

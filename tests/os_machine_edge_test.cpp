@@ -1,0 +1,166 @@
+// Edge-case tests for the simulated machine: phase program corner cases,
+// renice timing, idle fast-forward, memory accounting corners.
+#include <gtest/gtest.h>
+
+#include "fgcs/os/machine.hpp"
+#include "fgcs/util/error.hpp"
+#include "fgcs/workload/synthetic.hpp"
+
+namespace fgcs::os {
+namespace {
+
+using namespace sim::time_literals;
+
+Machine make_machine(std::uint64_t seed = 1) {
+  return Machine(SchedulerParams::linux_2_4(), MemoryParams::linux_1gb(),
+                 seed);
+}
+
+TEST(MachineEdge, ImmediateExitProgram) {
+  Machine m = make_machine();
+  ProcessSpec spec;
+  spec.name = "noop";
+  spec.program = fixed_program({});
+  const ProcessId pid = m.spawn(spec);
+  EXPECT_EQ(m.process(pid).state(), ProcState::kExited);
+  EXPECT_EQ(m.live_count(), 0u);
+  m.run_for(1_s);  // must not crash
+}
+
+TEST(MachineEdge, ZeroLengthPhasesAreSkipped) {
+  Machine m = make_machine();
+  ProcessSpec spec;
+  spec.name = "zeros";
+  spec.program = fixed_program({
+      Phase::compute(sim::SimDuration::zero()),
+      Phase::sleep(sim::SimDuration::zero()),
+      Phase::compute(100_ms),
+  });
+  const ProcessId pid = m.spawn(spec);
+  EXPECT_EQ(m.process(pid).state(), ProcState::kRunnable);
+  m.run_for(1_s);
+  EXPECT_EQ(m.process(pid).state(), ProcState::kExited);
+  EXPECT_NEAR(m.process(pid).cpu_time().as_seconds(), 0.1, 0.02);
+}
+
+TEST(MachineEdge, SleepOnlyProcessNeverUsesCpu) {
+  Machine m = make_machine();
+  ProcessSpec spec;
+  spec.name = "dormant";
+  spec.program = fixed_program({Phase::sleep(10_s), Phase::sleep(10_s)});
+  const ProcessId pid = m.spawn(spec);
+  m.run_for(30_s);
+  EXPECT_EQ(m.process(pid).cpu_time(), sim::SimDuration::zero());
+  EXPECT_EQ(m.process(pid).state(), ProcState::kExited);
+}
+
+TEST(MachineEdge, IdleFastForwardPreservesWakeTimes) {
+  Machine m = make_machine();
+  ProcessSpec spec;
+  spec.name = "long-sleeper";
+  spec.program = fixed_program({Phase::sleep(1_h), Phase::compute(1_s)});
+  const ProcessId pid = m.spawn(spec);
+  m.run_for(2_h);  // crosses the 1h wake via the idle fast path
+  EXPECT_EQ(m.process(pid).state(), ProcState::kExited);
+  EXPECT_NEAR(m.process(pid).cpu_time().as_seconds(), 1.0, 0.05);
+  EXPECT_NEAR(m.process(pid).exit_time().as_seconds(), 3601.0, 1.0);
+}
+
+TEST(MachineEdge, ClockAdvancesWithNoProcesses) {
+  Machine m = make_machine();
+  m.run_for(1_h);
+  EXPECT_EQ(m.now().as_seconds(), 3600.0);
+  EXPECT_EQ(m.totals().idle.as_seconds(), 3600.0);
+}
+
+TEST(MachineEdge, ReniceSuspendedProcess) {
+  Machine m = make_machine();
+  const ProcessId pid = m.spawn(workload::synthetic_guest(0));
+  m.suspend(pid);
+  m.renice(pid, 19);
+  EXPECT_EQ(m.process(pid).nice(), 19);
+  m.resume(pid);
+  m.run_for(1_s);
+  EXPECT_GT(m.process(pid).cpu_time(), sim::SimDuration::zero());
+}
+
+TEST(MachineEdge, TerminateSuspendedProcess) {
+  Machine m = make_machine();
+  const ProcessId pid = m.spawn(workload::synthetic_guest(0));
+  m.suspend(pid);
+  m.terminate(pid);
+  EXPECT_EQ(m.process(pid).state(), ProcState::kExited);
+  EXPECT_THROW(m.resume(pid), ConfigError);
+}
+
+TEST(MachineEdge, ManyProcessesStillScheduled) {
+  Machine m = make_machine();
+  std::vector<ProcessId> pids;
+  for (int i = 0; i < 30; ++i) {
+    pids.push_back(m.spawn(workload::synthetic_guest(0)));
+  }
+  m.run_for(60_s);
+  for (const ProcessId pid : pids) {
+    // Everyone got roughly an equal slice.
+    EXPECT_NEAR(m.process(pid).cpu_time().as_seconds(), 2.0, 0.8);
+  }
+}
+
+TEST(MachineEdge, MixedKindsAccounting) {
+  Machine m = make_machine();
+  auto host = workload::synthetic_host(0.3);
+  auto sys = workload::synthetic_host(0.1);
+  sys.kind = ProcessKind::kSystem;
+  sys.name = "updatedb";
+  m.spawn(host);
+  m.spawn(sys);
+  m.spawn(workload::synthetic_guest(19));
+  m.run_for(120_s);
+  const CpuTotals t = m.totals();
+  EXPECT_GT(t.host, sim::SimDuration::zero());
+  EXPECT_GT(t.system, sim::SimDuration::zero());
+  EXPECT_GT(t.guest, sim::SimDuration::zero());
+  // Monitor-style host usage includes system processes.
+  EXPECT_NEAR(CpuTotals::host_usage(CpuTotals{}, t), 0.4, 0.05);
+}
+
+TEST(MachineEdge, SuspendAllProcessesIdlesMachine) {
+  Machine m = make_machine();
+  const ProcessId a = m.spawn(workload::synthetic_guest(0));
+  const ProcessId b = m.spawn(workload::synthetic_guest(0));
+  m.run_for(10_s);
+  m.suspend(a);
+  m.suspend(b);
+  const auto idle_before = m.totals().idle;
+  m.run_for(10_s);
+  EXPECT_EQ((m.totals().idle - idle_before).as_seconds(), 10.0);
+}
+
+TEST(MachineEdge, ExitTimeOfNaturalCompletion) {
+  Machine m = make_machine();
+  ProcessSpec spec;
+  spec.name = "timed";
+  spec.program = fixed_program({Phase::compute(500_ms)});
+  const ProcessId pid = m.spawn(spec);
+  m.run_for(10_s);
+  EXPECT_NEAR(m.process(pid).exit_time().as_seconds(), 0.5, 0.02);
+}
+
+TEST(MachineEdge, UsageSinceHandlesZeroWindow) {
+  Machine m = make_machine();
+  const ProcessId pid = m.spawn(workload::synthetic_guest(0));
+  EXPECT_DOUBLE_EQ(
+      m.process(pid).usage_since(sim::SimDuration::zero(),
+                                 sim::SimDuration::zero()),
+      0.0);
+}
+
+TEST(MachineEdge, ThrashTimeZeroWithoutOvercommit) {
+  Machine m = make_machine();
+  m.spawn(workload::synthetic_guest(0));
+  m.run_for(60_s);
+  EXPECT_EQ(m.thrash_time(), sim::SimDuration::zero());
+}
+
+}  // namespace
+}  // namespace fgcs::os

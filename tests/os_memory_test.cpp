@@ -1,0 +1,87 @@
+// Tests for the memory/thrashing model.
+#include <gtest/gtest.h>
+
+#include "fgcs/os/memory.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::os {
+namespace {
+
+TEST(MemoryParams, AvailableExcludesKernel) {
+  const auto p = MemoryParams::solaris_384mb();
+  EXPECT_DOUBLE_EQ(p.available_mb(), 284.0);
+}
+
+TEST(MemoryParams, NoThrashWithinCapacity) {
+  const auto p = MemoryParams::solaris_384mb();
+  EXPECT_FALSE(p.thrashes(283.0));
+  EXPECT_DOUBLE_EQ(p.efficiency(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.efficiency(284.0), 1.0);
+}
+
+TEST(MemoryParams, ThrashBeyondCapacity) {
+  const auto p = MemoryParams::solaris_384mb();
+  EXPECT_TRUE(p.thrashes(285.0));
+  EXPECT_LT(p.efficiency(300.0), 1.0);
+}
+
+TEST(MemoryParams, EfficiencyMonotoneInOvercommit) {
+  const auto p = MemoryParams::solaris_384mb();
+  double prev = 1.0;
+  for (double ws = 290; ws <= 600; ws += 20) {
+    const double e = p.efficiency(ws);
+    EXPECT_LE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(MemoryParams, EfficiencyHasFloor) {
+  const auto p = MemoryParams::solaris_384mb();
+  EXPECT_DOUBLE_EQ(p.efficiency(1e9), p.efficiency_floor);
+}
+
+TEST(MemoryParams, PaperThrashCases) {
+  // Table 1 footprints on the 384 MB Solaris machine: H2/H5 with
+  // apsi/bzip2/mcf exceed capacity, galgel never does (§3.2.3).
+  const auto p = MemoryParams::solaris_384mb();
+  const double h2 = 213.0, h5 = 210.0;
+  const double apsi = 193.0, galgel = 29.0, bzip2 = 180.0, mcf = 96.0;
+  for (double host : {h2, h5}) {
+    EXPECT_TRUE(p.thrashes(host + apsi));
+    EXPECT_TRUE(p.thrashes(host + bzip2));
+    EXPECT_TRUE(p.thrashes(host + mcf));
+    EXPECT_FALSE(p.thrashes(host + galgel));
+  }
+  const double h1 = 71.0, h3 = 53.0, h4 = 68.0, h6 = 84.0;
+  for (double host : {h1, h3, h4, h6}) {
+    for (double guest : {apsi, galgel, bzip2, mcf}) {
+      EXPECT_FALSE(p.thrashes(host + guest));
+    }
+  }
+}
+
+TEST(MemoryParams, LinuxProfileLargerRam) {
+  EXPECT_GT(MemoryParams::linux_1gb().ram_mb,
+            MemoryParams::solaris_384mb().ram_mb);
+}
+
+TEST(MemoryParams, ValidationRejectsBadValues) {
+  MemoryParams p;
+  p.ram_mb = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+
+  p = MemoryParams{};
+  p.kernel_mb = p.ram_mb + 1;
+  EXPECT_THROW(p.validate(), ConfigError);
+
+  p = MemoryParams{};
+  p.efficiency_floor = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+
+  p = MemoryParams{};
+  p.thrash_severity = -1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace fgcs::os

@@ -1,0 +1,100 @@
+// Tests for scheduler parameters: refill curve, goodness, profiles.
+#include <gtest/gtest.h>
+
+#include "fgcs/os/scheduler.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::os {
+namespace {
+
+TEST(SchedulerParams, RefillEndpoints) {
+  const auto p = SchedulerParams::linux_2_4();
+  EXPECT_DOUBLE_EQ(p.refill_ticks(0), p.base_refill_ticks);
+  EXPECT_DOUBLE_EQ(p.refill_ticks(19), p.min_refill_ticks);
+}
+
+TEST(SchedulerParams, RefillMonotoneDecreasing) {
+  const auto p = SchedulerParams::linux_2_4();
+  for (int nice = 1; nice <= 19; ++nice) {
+    EXPECT_LE(p.refill_ticks(nice), p.refill_ticks(nice - 1))
+        << "nice " << nice;
+  }
+}
+
+TEST(SchedulerParams, ConvexCurveKeepsMidPrioritiesHigh) {
+  // The Figure 2 property: mid-range priorities stay close to nice 0.
+  const auto p = SchedulerParams::linux_2_4();
+  const double mid = p.refill_ticks(10);
+  const double linear =
+      p.base_refill_ticks +
+      (p.min_refill_ticks - p.base_refill_ticks) * 10.0 / 19.0;
+  EXPECT_GT(mid, linear);
+}
+
+TEST(SchedulerParams, GoodnessZeroWithoutCredit) {
+  const auto p = SchedulerParams::linux_2_4();
+  EXPECT_EQ(p.goodness(0.0, 0), 0.0);
+  EXPECT_EQ(p.goodness(-1.0, 0), 0.0);
+}
+
+TEST(SchedulerParams, GoodnessOrdering) {
+  const auto p = SchedulerParams::linux_2_4();
+  // More credit wins at equal nice.
+  EXPECT_GT(p.goodness(10, 0), p.goodness(5, 0));
+  // Lower nice wins at equal credit.
+  EXPECT_GT(p.goodness(5, 0), p.goodness(5, 19));
+  // A nice-0 process with any credit outranks a nice-19 one with slightly
+  // more: static weight dominates small credit differences.
+  EXPECT_GT(p.goodness(5, 0), p.goodness(6, 19));
+}
+
+TEST(SchedulerParams, ProfilesDiffer) {
+  const auto linux = SchedulerParams::linux_2_4();
+  const auto solaris = SchedulerParams::solaris_ts();
+  EXPECT_NE(linux.name, solaris.name);
+  EXPECT_NE(linux.base_refill_ticks, solaris.base_refill_ticks);
+  EXPECT_NE(linux.sleep_credit_multiplier, solaris.sleep_credit_multiplier);
+}
+
+TEST(SchedulerParams, ProfilesValidate) {
+  EXPECT_NO_THROW(SchedulerParams::linux_2_4().validate());
+  EXPECT_NO_THROW(SchedulerParams::solaris_ts().validate());
+}
+
+TEST(SchedulerParams, ValidationRejectsBadValues) {
+  auto p = SchedulerParams::linux_2_4();
+  p.tick = sim::SimDuration::zero();
+  EXPECT_THROW(p.validate(), ConfigError);
+
+  p = SchedulerParams::linux_2_4();
+  p.min_refill_ticks = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+
+  p = SchedulerParams::linux_2_4();
+  p.base_refill_ticks = 0.5;  // below min_refill_ticks
+  EXPECT_THROW(p.validate(), ConfigError);
+
+  p = SchedulerParams::linux_2_4();
+  p.sleep_credit_multiplier = 0.5;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+// Refill stays within [min, base] across the whole nice range for a sweep
+// of gamma shapes.
+class RefillGammaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RefillGammaTest, StaysInBounds) {
+  auto p = SchedulerParams::linux_2_4();
+  p.refill_curve_gamma = GetParam();
+  for (int nice = 0; nice <= 19; ++nice) {
+    const double r = p.refill_ticks(nice);
+    EXPECT_GE(r, p.min_refill_ticks);
+    EXPECT_LE(r, p.base_refill_ticks);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GammaSweep, RefillGammaTest,
+                         ::testing::Values(0.1, 0.35, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace fgcs::os

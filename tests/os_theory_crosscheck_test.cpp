@@ -1,0 +1,73 @@
+// Cross-check: the simulated scheduler against closed-form predictions.
+//
+// For a nice-19 CPU-bound guest against a single duty-cycle host, the
+// fluid model of the counter scheduler predicts
+//
+//   host reduction(u) ~= 1 - 1 / (1 + g * u),   g = ts(19) / ts(0),
+//
+// once the host's sleeper credit is exhausted within each burst (see
+// docs/architecture.md). The simulation must track this within the
+// credit-induced deviation. This guards the scheduler against silent
+// regressions that unit tests of individual mechanisms would miss.
+#include <gtest/gtest.h>
+
+#include "fgcs/os/machine.hpp"
+#include "fgcs/workload/synthetic.hpp"
+
+namespace fgcs::os {
+namespace {
+
+using namespace sim::time_literals;
+
+double measure_reduction(double u, int guest_nice, std::uint64_t seed) {
+  auto run = [&](bool with_guest) {
+    Machine m(SchedulerParams::linux_2_4(), MemoryParams::linux_1gb(), seed);
+    m.spawn(workload::synthetic_host(u));
+    if (with_guest) m.spawn(workload::synthetic_guest(guest_nice));
+    m.run_for(40_s);
+    const CpuTotals before = m.totals();
+    m.run_for(sim::SimDuration::minutes(6));
+    return CpuTotals::host_usage(before, m.totals());
+  };
+  const double alone = run(false);
+  const double together = run(true);
+  return (alone - together) / alone;
+}
+
+class Nice19TheoryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Nice19TheoryTest, ReductionTracksFluidModel) {
+  const double u = GetParam();
+  const auto params = SchedulerParams::linux_2_4();
+  const double g = params.refill_ticks(19) / params.refill_ticks(0);
+  const double fluid = 1.0 - 1.0 / (1.0 + g * u);
+  const double measured = measure_reduction(u, 19, 321);
+  // Sleeper credit shields part of each burst, so the measured reduction
+  // sits at or below the fluid bound; it must not exceed it materially
+  // and must not collapse to zero at high load.
+  EXPECT_LE(measured, fluid + 0.015) << "u=" << u;
+  if (u >= 0.7) {
+    EXPECT_GE(measured, 0.4 * fluid) << "u=" << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadGrid, Nice19TheoryTest,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9, 1.0));
+
+TEST(EqualPriorityTheory, FairShareAtSaturation) {
+  // Two CPU-bound processes at equal nice must converge to the fluid 50%
+  // fair share — the anchor of Figure 1(a)'s top-right point.
+  const double measured = measure_reduction(1.0, 0, 99);
+  EXPECT_NEAR(measured, 0.5, 0.01);
+}
+
+TEST(EqualPriorityTheory, GuestShareBoundedByFairShare) {
+  // At equal priority, a single guest can never take more than half the
+  // machine from a saturated host (no priority inversion).
+  for (const double u : {0.6, 0.8, 1.0}) {
+    EXPECT_LE(measure_reduction(u, 0, 7), 0.5 + 0.01) << u;
+  }
+}
+
+}  // namespace
+}  // namespace fgcs::os

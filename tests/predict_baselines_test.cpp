@@ -1,0 +1,112 @@
+// Tests for the baseline predictors.
+#include <gtest/gtest.h>
+
+#include "fgcs/predict/baselines.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::predict {
+namespace {
+
+using namespace sim::time_literals;
+using monitor::AvailabilityState;
+using sim::SimDuration;
+using sim::SimTime;
+
+trace::TraceSet trace_with_burst() {
+  // Machine 0: three failures packed into the hour before t=10d.
+  trace::TraceSet t(1, SimTime::epoch(),
+                    SimTime::epoch() + SimDuration::days(20));
+  const SimTime anchor = SimTime::epoch() + SimDuration::days(10);
+  for (int i = 1; i <= 3; ++i) {
+    trace::UnavailabilityRecord r;
+    r.machine = 0;
+    r.start = anchor - SimDuration::minutes(15 * i);
+    r.end = r.start + 5_min;
+    r.cause = AvailabilityState::kS3CpuUnavailable;
+    t.add(r);
+  }
+  return t;
+}
+
+TEST(AlwaysAvailable, ConstantProbability) {
+  AlwaysAvailablePredictor p(0.9);
+  PredictionQuery q{0, SimTime::epoch(), 1_h};
+  EXPECT_DOUBLE_EQ(p.predict_availability(q), 0.9);
+  EXPECT_DOUBLE_EQ(p.predict_occurrences(q), 0.0);
+  EXPECT_THROW(AlwaysAvailablePredictor(1.5), ConfigError);
+}
+
+TEST(RecentRate, HighRateAfterBurst) {
+  const auto t = trace_with_burst();
+  const trace::TraceIndex index(t);
+  const trace::TraceCalendar cal;
+  RecentRatePredictor p(SimDuration::hours(24));
+  p.attach(index, cal);
+  const SimTime anchor = SimTime::epoch() + SimDuration::days(10);
+  // Rate = 3 per 24h = 0.125/h -> P(avail 2h) = exp(-0.25) ~ 0.78.
+  PredictionQuery q{0, anchor, 2_h};
+  EXPECT_NEAR(p.predict_availability(q), std::exp(-0.25), 1e-9);
+  EXPECT_NEAR(p.predict_occurrences(q), 0.25, 1e-9);
+}
+
+TEST(RecentRate, CleanHistoryPredictsAvailable) {
+  const auto t = trace_with_burst();
+  const trace::TraceIndex index(t);
+  const trace::TraceCalendar cal;
+  RecentRatePredictor p(SimDuration::hours(24));
+  p.attach(index, cal);
+  // Two days later, the burst is outside the lookback.
+  PredictionQuery q{0, SimTime::epoch() + SimDuration::days(12), 2_h};
+  EXPECT_DOUBLE_EQ(p.predict_availability(q), 1.0);
+}
+
+TEST(RecentRate, LookbackValidation) {
+  EXPECT_THROW(RecentRatePredictor(SimDuration::zero()), ConfigError);
+}
+
+TEST(SaturatingCounter, LearnsStableFailurePattern) {
+  // Machine fails every weekday 10-11 for six weeks (cf. §5.3's pattern).
+  trace::TraceSet t(1, SimTime::epoch(),
+                    SimTime::epoch() + SimDuration::days(42));
+  trace::TraceCalendar cal;
+  for (int d = 0; d < 42; ++d) {
+    if (cal.is_weekend_day(d)) continue;
+    trace::UnavailabilityRecord r;
+    r.machine = 0;
+    r.start = cal.day_start(d) + 10_h;
+    r.end = r.start + 1_h;
+    r.cause = AvailabilityState::kS3CpuUnavailable;
+    t.add(r);
+  }
+  const trace::TraceIndex index(t);
+  SaturatingCounterPredictor p;
+  p.attach(index, cal);
+  // Day 35 (Monday) 10:00: the last weekday windows all failed.
+  PredictionQuery bad{0, cal.day_start(35) + 10_h, 1_h};
+  EXPECT_DOUBLE_EQ(p.predict_availability(bad), 0.0);
+  EXPECT_DOUBLE_EQ(p.predict_occurrences(bad), 1.0);
+  // 14:00 windows were always clean.
+  PredictionQuery good{0, cal.day_start(35) + 14_h, 1_h};
+  EXPECT_DOUBLE_EQ(p.predict_availability(good), 1.0);
+  EXPECT_DOUBLE_EQ(p.predict_occurrences(good), 0.0);
+}
+
+TEST(SaturatingCounter, NoHistoryDefaultsAvailable) {
+  trace::TraceSet t(1, SimTime::epoch(),
+                    SimTime::epoch() + SimDuration::days(5));
+  trace::UnavailabilityRecord r;
+  r.machine = 0;
+  r.start = SimTime::epoch() + 1_h;
+  r.end = r.start + 1_min;
+  r.cause = AvailabilityState::kS5MachineUnavailable;
+  t.add(r);
+  const trace::TraceIndex index(t);
+  const trace::TraceCalendar cal;
+  SaturatingCounterPredictor p;
+  p.attach(index, cal);
+  PredictionQuery q{0, cal.day_start(0) + 12_h, 1_h};
+  EXPECT_DOUBLE_EQ(p.predict_availability(q), 1.0);
+}
+
+}  // namespace
+}  // namespace fgcs::predict

@@ -1,0 +1,184 @@
+// Tests for the rolling evaluation harness.
+#include <gtest/gtest.h>
+
+#include "fgcs/predict/evaluation.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::predict {
+namespace {
+
+using namespace sim::time_literals;
+using monitor::AvailabilityState;
+using sim::SimDuration;
+using sim::SimTime;
+
+trace::TraceSet pattern_trace() {
+  // Failures 10:00-11:00 every day on one machine, for 30 days.
+  trace::TraceSet t(1, SimTime::epoch(),
+                    SimTime::epoch() + SimDuration::days(30));
+  for (int d = 0; d < 30; ++d) {
+    trace::UnavailabilityRecord r;
+    r.machine = 0;
+    r.start = SimTime::epoch() + SimDuration::days(d) + 10_h;
+    r.end = r.start + 1_h;
+    r.cause = AvailabilityState::kS3CpuUnavailable;
+    t.add(r);
+  }
+  return t;
+}
+
+/// A test predictor that knows the truth (oracle) or inverts it.
+class OraclePredictor : public AvailabilityPredictor {
+ public:
+  explicit OraclePredictor(bool invert) : invert_(invert) {}
+  std::string name() const override { return invert_ ? "anti" : "oracle"; }
+  double predict_availability(const PredictionQuery& q) const override {
+    const bool avail = !index().any_overlap(q.machine, q.start,
+                                            q.start + q.length);
+    return (avail != invert_) ? 1.0 : 0.0;
+  }
+  double predict_occurrences(const PredictionQuery& q) const override {
+    return static_cast<double>(
+        index().count_starts_in(q.machine, q.start, q.start + q.length));
+  }
+
+ private:
+  bool invert_;
+};
+
+EvaluationConfig config_for(const trace::TraceSet& t) {
+  EvaluationConfig cfg;
+  cfg.begin = t.horizon_start() + SimDuration::days(5);
+  cfg.end = t.horizon_end();
+  cfg.window = 2_h;
+  cfg.stride = 1_h;
+  return cfg;
+}
+
+TEST(Evaluation, OracleScoresPerfectly) {
+  const auto t = pattern_trace();
+  const trace::TraceIndex index(t);
+  const trace::TraceCalendar cal;
+  OraclePredictor oracle(false);
+  const auto r = evaluate_predictor(oracle, index, cal, config_for(t));
+  EXPECT_GT(r.queries, 100u);
+  EXPECT_DOUBLE_EQ(r.brier, 0.0);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(r.true_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(r.false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(r.occurrence_mae, 0.0);
+}
+
+TEST(Evaluation, AntiOracleScoresWorst) {
+  const auto t = pattern_trace();
+  const trace::TraceIndex index(t);
+  const trace::TraceCalendar cal;
+  OraclePredictor anti(true);
+  const auto r = evaluate_predictor(anti, index, cal, config_for(t));
+  EXPECT_DOUBLE_EQ(r.brier, 1.0);
+  EXPECT_DOUBLE_EQ(r.accuracy, 0.0);
+}
+
+TEST(Evaluation, SkipsQueriesInsideEpisodes) {
+  const auto t = pattern_trace();
+  const trace::TraceIndex index(t);
+  const trace::TraceCalendar cal;
+  OraclePredictor oracle(false);
+  auto cfg = config_for(t);
+  cfg.stride = 30_min;
+  const auto r = evaluate_predictor(oracle, index, cal, cfg);
+  // 25 days x 48 slots minus windows that start inside the daily episode
+  // (10:00 boundary start is not "inside"; 10:30 is) minus the tail whose
+  // window would cross the horizon.
+  const std::size_t slots_per_day = 48;
+  EXPECT_LT(r.queries, 25 * slots_per_day);
+  EXPECT_GT(r.queries, 25 * (slots_per_day - 4));
+}
+
+TEST(Evaluation, BaseAvailabilityMatchesPattern) {
+  const auto t = pattern_trace();
+  const trace::TraceIndex index(t);
+  const trace::TraceCalendar cal;
+  OraclePredictor oracle(false);
+  const auto r = evaluate_predictor(oracle, index, cal, config_for(t));
+  // A 2h window fails iff it overlaps [10, 11). On the hourly stride the
+  // only failing start is 09:00 (the 10:00 start is skipped as "inside"),
+  // out of 23 usable slots per day.
+  EXPECT_NEAR(r.base_availability, 1.0 - 1.0 / 23.0, 0.02);
+}
+
+TEST(Evaluation, OracleIsPerfectlyCalibrated) {
+  const auto t = pattern_trace();
+  const trace::TraceIndex index(t);
+  const trace::TraceCalendar cal;
+  OraclePredictor oracle(false);
+  const auto r = evaluate_predictor(oracle, index, cal, config_for(t));
+  EXPECT_DOUBLE_EQ(r.expected_calibration_error(), 0.0);
+  // Oracle emits only 0.0 and 1.0: exactly two non-empty buckets.
+  std::size_t non_empty = 0;
+  for (const auto& bucket : r.reliability) {
+    if (bucket.count > 0) ++non_empty;
+  }
+  EXPECT_EQ(non_empty, 2u);
+  EXPECT_DOUBLE_EQ(r.reliability[9].observed_available, 1.0);
+  EXPECT_DOUBLE_EQ(r.reliability[0].observed_available, 0.0);
+}
+
+TEST(Evaluation, ReliabilityCountsSumToQueries) {
+  const auto t = pattern_trace();
+  const trace::TraceIndex index(t);
+  const trace::TraceCalendar cal;
+  OraclePredictor oracle(false);
+  const auto r = evaluate_predictor(oracle, index, cal, config_for(t));
+  std::size_t total = 0;
+  for (const auto& bucket : r.reliability) total += bucket.count;
+  EXPECT_EQ(total, r.queries);
+}
+
+TEST(Evaluation, AntiOracleMaximallyMiscalibrated) {
+  const auto t = pattern_trace();
+  const trace::TraceIndex index(t);
+  const trace::TraceCalendar cal;
+  OraclePredictor anti(true);
+  const auto r = evaluate_predictor(anti, index, cal, config_for(t));
+  EXPECT_DOUBLE_EQ(r.expected_calibration_error(), 1.0);
+}
+
+TEST(Evaluation, ConfigValidation) {
+  EvaluationConfig cfg;
+  cfg.begin = SimTime::epoch();
+  cfg.end = SimTime::epoch();  // empty
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.end = cfg.begin + 1_h;
+  cfg.stride = SimDuration::zero();
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = EvaluationConfig{};
+  cfg.begin = SimTime::epoch();
+  cfg.end = cfg.begin + 1_h;
+  cfg.decision_threshold = 2.0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(Evaluation, EmptyQuerySetReturnsZeroedResult) {
+  // Horizon shorter than the window: no queries fit.
+  trace::TraceSet t(1, SimTime::epoch(), SimTime::epoch() + 1_h);
+  trace::UnavailabilityRecord r;
+  r.machine = 0;
+  r.start = SimTime::epoch() + 1_min;
+  r.end = r.start + 1_min;
+  r.cause = AvailabilityState::kS3CpuUnavailable;
+  t.add(r);
+  const trace::TraceIndex index(t);
+  const trace::TraceCalendar cal;
+  OraclePredictor oracle(false);
+  EvaluationConfig cfg;
+  cfg.begin = t.horizon_start();
+  cfg.end = t.horizon_end();
+  cfg.window = 4_h;
+  cfg.stride = 1_h;
+  const auto result = evaluate_predictor(oracle, index, cal, cfg);
+  EXPECT_EQ(result.queries, 0u);
+}
+
+}  // namespace
+}  // namespace fgcs::predict

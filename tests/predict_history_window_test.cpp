@@ -1,0 +1,153 @@
+// Tests for the history-window predictor (§5.3's proposal) on crafted
+// traces with known daily patterns.
+#include <gtest/gtest.h>
+
+#include "fgcs/predict/history_window.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::predict {
+namespace {
+
+using namespace sim::time_literals;
+using monitor::AvailabilityState;
+using sim::SimDuration;
+using sim::SimTime;
+
+// A 6-week trace on 2 machines: machine 0 fails every *weekday* 10:00 to
+// 11:00; machine 1 never fails (one far-future-free record is required per
+// machine only if it has records; machine 1 simply has none).
+trace::TraceSet weekday_pattern_trace(int days = 42) {
+  trace::TraceSet t(2, SimTime::epoch(),
+                    SimTime::epoch() + SimDuration::days(days));
+  trace::TraceCalendar cal;
+  for (int d = 0; d < days; ++d) {
+    if (cal.is_weekend_day(d)) continue;
+    trace::UnavailabilityRecord r;
+    r.machine = 0;
+    r.start = cal.day_start(d) + 10_h;
+    r.end = cal.day_start(d) + 11_h;
+    r.cause = AvailabilityState::kS3CpuUnavailable;
+    t.add(r);
+  }
+  return t;
+}
+
+struct HistoryWindowFixture : ::testing::Test {
+  HistoryWindowFixture()
+      : trace(weekday_pattern_trace()), index(trace), calendar() {}
+
+  void attach(HistoryWindowPredictor& p) { p.attach(index, calendar); }
+
+  PredictionQuery query_at_day_hour(int day, int hour,
+                                    SimDuration len = SimDuration::hours(1),
+                                    trace::MachineId m = 0) const {
+    return {m, calendar.day_start(day) + SimDuration::hours(hour), len};
+  }
+
+  trace::TraceSet trace;
+  trace::TraceIndex index;
+  trace::TraceCalendar calendar;
+};
+
+TEST_F(HistoryWindowFixture, PredictsFailureInPatternWindow) {
+  HistoryWindowPredictor p;
+  attach(p);
+  // Day 35 is a Monday; the 10-11 window failed on the previous 8 weekdays.
+  const double avail = p.predict_availability(query_at_day_hour(35, 10));
+  EXPECT_LT(avail, 0.2);
+}
+
+TEST_F(HistoryWindowFixture, PredictsAvailabilityOutsidePattern) {
+  HistoryWindowPredictor p;
+  attach(p);
+  const double avail = p.predict_availability(query_at_day_hour(35, 14));
+  EXPECT_GT(avail, 0.8);
+}
+
+TEST_F(HistoryWindowFixture, WeekendQueriesUseWeekendHistory) {
+  HistoryWindowPredictor p;
+  attach(p);
+  // Day 40 is a Saturday: weekends never fail, even at 10:00.
+  const double avail = p.predict_availability(query_at_day_hour(40, 10));
+  EXPECT_GT(avail, 0.8);
+}
+
+TEST_F(HistoryWindowFixture, OtherMachineUnaffected) {
+  HistoryWindowPredictor p;
+  attach(p);
+  const double avail =
+      p.predict_availability(query_at_day_hour(35, 10, 1_h, 1));
+  EXPECT_GT(avail, 0.8);
+}
+
+TEST_F(HistoryWindowFixture, PooledVariantMixesMachines) {
+  HistoryWindowConfig cfg;
+  cfg.pool_machines = true;
+  HistoryWindowPredictor p(cfg);
+  attach(p);
+  // Pooled over {failing machine 0, clean machine 1}: probability near 0.5.
+  const double avail = p.predict_availability(query_at_day_hour(35, 10));
+  EXPECT_GT(avail, 0.3);
+  EXPECT_LT(avail, 0.7);
+}
+
+TEST_F(HistoryWindowFixture, OccurrenceEstimateMatchesPattern) {
+  HistoryWindowPredictor p;
+  attach(p);
+  EXPECT_NEAR(p.predict_occurrences(query_at_day_hour(35, 10)), 1.0, 0.15);
+  EXPECT_NEAR(p.predict_occurrences(query_at_day_hour(35, 15)), 0.0, 0.15);
+}
+
+TEST_F(HistoryWindowFixture, WindowOverlappingPatternEdge) {
+  HistoryWindowPredictor p;
+  attach(p);
+  // 09:30-10:30 overlaps the failing window.
+  PredictionQuery q{0, calendar.day_start(35) + 9_h + 30_min, 1_h};
+  EXPECT_LT(p.predict_availability(q), 0.2);
+}
+
+TEST_F(HistoryWindowFixture, NoHistoryFallsBackToPrior) {
+  HistoryWindowPredictor p;
+  attach(p);
+  // Day 0 has no previous same-class days at all: Laplace prior = 0.5.
+  const double avail = p.predict_availability(query_at_day_hour(0, 10));
+  EXPECT_DOUBLE_EQ(avail, 0.5);
+}
+
+TEST_F(HistoryWindowFixture, FewerHistoryDaysStillWorks) {
+  HistoryWindowConfig cfg;
+  cfg.history_days = 2;
+  HistoryWindowPredictor p(cfg);
+  attach(p);
+  EXPECT_LT(p.predict_availability(query_at_day_hour(35, 10)), 0.35);
+}
+
+TEST_F(HistoryWindowFixture, LongWindowsExcludeOverlappingHistory) {
+  HistoryWindowPredictor p;
+  attach(p);
+  // A 30-hour window cannot use yesterday (it would overlap the query);
+  // the predictor must survive and produce a probability.
+  PredictionQuery q{0, calendar.day_start(35) + 2_h, SimDuration::hours(30)};
+  const double avail = p.predict_availability(q);
+  EXPECT_GE(avail, 0.0);
+  EXPECT_LE(avail, 1.0);
+}
+
+TEST(HistoryWindowPredictor, ConfigValidation) {
+  HistoryWindowConfig cfg;
+  cfg.history_days = 0;
+  EXPECT_THROW(HistoryWindowPredictor{cfg}, ConfigError);
+  cfg = HistoryWindowConfig{};
+  cfg.laplace_alpha = -1.0;
+  EXPECT_THROW(HistoryWindowPredictor{cfg}, ConfigError);
+}
+
+TEST(HistoryWindowPredictor, NameEncodesConfig) {
+  HistoryWindowConfig cfg;
+  cfg.history_days = 5;
+  cfg.pool_machines = true;
+  EXPECT_EQ(HistoryWindowPredictor(cfg).name(), "history-window(k=5,pooled)");
+}
+
+}  // namespace
+}  // namespace fgcs::predict

@@ -1,0 +1,118 @@
+// Tests for the §5.2 interval-length estimator (mean residual life).
+#include <gtest/gtest.h>
+
+#include "fgcs/predict/interval_estimator.hpp"
+#include "fgcs/stats/ecdf.hpp"
+#include "fgcs/util/rng.hpp"
+
+namespace fgcs::predict {
+namespace {
+
+using namespace sim::time_literals;
+using monitor::AvailabilityState;
+using sim::SimDuration;
+using sim::SimTime;
+
+// Episodes every 4 hours, 30 minutes long: intervals all exactly 3.5 h.
+trace::TraceSet regular_trace(int days = 30) {
+  trace::TraceSet t(1, SimTime::epoch(),
+                    SimTime::epoch() + SimDuration::days(days));
+  for (int d = 0; d < days; ++d) {
+    for (int h = 0; h < 24; h += 4) {
+      trace::UnavailabilityRecord r;
+      r.machine = 0;
+      r.start = SimTime::epoch() + SimDuration::days(d) + SimDuration::hours(h);
+      r.end = r.start + 30_min;
+      r.cause = AvailabilityState::kS3CpuUnavailable;
+      t.add(r);
+    }
+  }
+  return t;
+}
+
+struct EstimatorFixture : ::testing::Test {
+  EstimatorFixture()
+      : trace(regular_trace()), index(trace), estimator(index, calendar) {}
+  trace::TraceSet trace;
+  trace::TraceIndex index;
+  trace::TraceCalendar calendar;
+  IntervalLengthEstimator estimator;
+};
+
+TEST_F(EstimatorFixture, UnconditionalMeanMatchesPattern) {
+  EXPECT_NEAR(estimator.expected_interval_hours(
+                  0, SimTime::epoch() + SimDuration::days(20)),
+              3.5, 0.05);
+}
+
+TEST_F(EstimatorFixture, FreshIntervalExpectsFullLength) {
+  // Just after an episode: age ~0, so MRL ~ full interval.
+  const SimTime t = SimTime::epoch() + SimDuration::days(20) + 31_min;
+  EXPECT_NEAR(estimator.expected_remaining_hours(0, t), 3.5, 0.1);
+}
+
+TEST_F(EstimatorFixture, AgedIntervalExpectsRemainder) {
+  // Two hours into a 3.5-hour interval: ~1.5 hours left.
+  const SimTime t = SimTime::epoch() + SimDuration::days(20) + 30_min + 2_h;
+  EXPECT_NEAR(estimator.expected_remaining_hours(0, t), 1.5, 0.1);
+}
+
+TEST_F(EstimatorFixture, InsideEpisodeIsZero) {
+  const SimTime t = SimTime::epoch() + SimDuration::days(20) + 10_min;
+  EXPECT_DOUBLE_EQ(estimator.expected_remaining_hours(0, t), 0.0);
+}
+
+TEST_F(EstimatorFixture, AgeBeyondHistorySmallRemainder) {
+  // Query long after the last recorded episode: age exceeds every sample.
+  const SimTime t = SimTime::epoch() + SimDuration::days(40);
+  EXPECT_LE(estimator.expected_remaining_hours(0, t), 0.5);
+}
+
+TEST(IntervalLengthEstimator, ThinHistoryFallsBack) {
+  trace::TraceSet t(1, SimTime::epoch(),
+                    SimTime::epoch() + SimDuration::days(10));
+  trace::UnavailabilityRecord r;
+  r.machine = 0;
+  r.start = SimTime::epoch() + 1_h;
+  r.end = r.start + 10_min;
+  r.cause = AvailabilityState::kS3CpuUnavailable;
+  t.add(r);
+  const trace::TraceIndex index(t);
+  const trace::TraceCalendar cal;
+  IntervalLengthEstimator::Config cfg;
+  cfg.fallback_hours = 7.5;
+  const IntervalLengthEstimator est(index, cal, cfg);
+  const SimTime q = SimTime::epoch() + SimDuration::days(5);
+  EXPECT_DOUBLE_EQ(est.expected_interval_hours(0, q), 7.5);
+  EXPECT_DOUBLE_EQ(est.expected_remaining_hours(0, q), 7.5);
+}
+
+TEST(KsPValue, SameDistributionHighP) {
+  util::RngStream rng(1);
+  std::vector<double> xs(800), ys(800);
+  for (auto& x : xs) x = rng.normal();
+  for (auto& y : ys) y = rng.normal();
+  EXPECT_GT(stats::ks_p_value(stats::Ecdf{xs}, stats::Ecdf{ys}), 0.05);
+}
+
+TEST(KsPValue, DifferentDistributionsLowP) {
+  util::RngStream rng(2);
+  std::vector<double> xs(800), ys(800);
+  for (auto& x : xs) x = rng.normal();
+  for (auto& y : ys) y = rng.normal(0.4, 1.0);
+  EXPECT_LT(stats::ks_p_value(stats::Ecdf{xs}, stats::Ecdf{ys}), 0.01);
+}
+
+TEST(KsPValue, IdenticalSamplesPOne) {
+  stats::Ecdf a{std::vector<double>{1, 2, 3, 4, 5}};
+  EXPECT_NEAR(stats::ks_p_value(a, a), 1.0, 1e-6);
+}
+
+TEST(KsPValue, EmptyIsVacuouslyOne) {
+  stats::Ecdf a{std::vector<double>{1.0}};
+  stats::Ecdf empty;
+  EXPECT_DOUBLE_EQ(stats::ks_p_value(a, empty), 1.0);
+}
+
+}  // namespace
+}  // namespace fgcs::predict

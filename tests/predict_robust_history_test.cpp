@@ -1,0 +1,123 @@
+// Tests for the robust ("aggressive", §5.3) history predictor.
+#include <gtest/gtest.h>
+
+#include "fgcs/predict/robust_history.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::predict {
+namespace {
+
+using namespace sim::time_literals;
+using monitor::AvailabilityState;
+using sim::SimDuration;
+using sim::SimTime;
+
+void add_failure(trace::TraceSet& t, const trace::TraceCalendar& cal, int day,
+                 int hour, SimDuration dur = SimDuration::hours(1)) {
+  trace::UnavailabilityRecord r;
+  r.machine = 0;
+  r.start = cal.day_start(day) + SimDuration::hours(hour);
+  r.end = r.start + dur;
+  r.cause = AvailabilityState::kS3CpuUnavailable;
+  t.add(r);
+}
+
+// Weekday 10-11 failures for 6 weeks, except one "irregular" holiday
+// (day 21, a Monday) with no failure, plus one irregular triple-failure
+// day (day 22) packing extra occurrences.
+struct RobustFixture : ::testing::Test {
+  RobustFixture()
+      : trace(1, SimTime::epoch(), SimTime::epoch() + SimDuration::days(42)) {
+    for (int d = 0; d < 42; ++d) {
+      if (cal.is_weekend_day(d)) continue;
+      if (d == 21) continue;  // holiday: lab closed, no failure
+      add_failure(trace, cal, d, 10);
+      if (d == 22) {  // irregular burst day
+        add_failure(trace, cal, d, 12, 10_min);
+        add_failure(trace, cal, d, 13, 10_min);
+        add_failure(trace, cal, d, 14, 10_min);
+      }
+    }
+    index.emplace(trace);
+    predictor.attach(*index, cal);
+  }
+
+  trace::TraceCalendar cal;
+  trace::TraceSet trace;
+  std::optional<trace::TraceIndex> index;
+  RobustHistoryPredictor predictor;
+};
+
+TEST_F(RobustFixture, PatternWindowPredictedUnavailable) {
+  PredictionQuery q{0, cal.day_start(35) + 10_h, 1_h};
+  EXPECT_LT(predictor.predict_availability(q), 0.25);
+}
+
+TEST_F(RobustFixture, CleanWindowPredictedAvailable) {
+  PredictionQuery q{0, cal.day_start(35) + 16_h, 1_h};
+  EXPECT_GT(predictor.predict_availability(q), 0.8);
+}
+
+TEST_F(RobustFixture, HolidayDoesNotFlipThePattern) {
+  // Day 24 (Thursday) right after the irregular days: predictions for the
+  // 10-11 window must still say unavailable despite the day-21 holiday.
+  PredictionQuery q{0, cal.day_start(24) + 10_h, 1_h};
+  EXPECT_LT(predictor.predict_availability(q), 0.35);
+}
+
+TEST_F(RobustFixture, TrimmedOccurrencesIgnoreBurstDay) {
+  // The plain mean over 12 windows of the 12:00-15:00 window counts the
+  // day-22 burst; the trimmed estimate must stay near zero.
+  PredictionQuery q{0, cal.day_start(35) + 12_h, SimDuration::hours(3)};
+  EXPECT_LT(predictor.predict_occurrences(q), 0.15);
+}
+
+TEST_F(RobustFixture, NoHistoryYieldsPrior) {
+  PredictionQuery q{0, cal.day_start(0) + 10_h, 1_h};
+  EXPECT_DOUBLE_EQ(predictor.predict_availability(q), 0.5);
+  EXPECT_DOUBLE_EQ(predictor.predict_occurrences(q), 0.0);
+}
+
+TEST_F(RobustFixture, RecencyWeightingAdaptsFasterThanPlain) {
+  // Build a schedule shift: failures stop entirely after day 28.
+  trace::TraceSet shifted(1, SimTime::epoch(),
+                          SimTime::epoch() + SimDuration::days(70));
+  for (int d = 0; d < 28; ++d) {
+    if (!cal.is_weekend_day(d)) add_failure(shifted, cal, d, 10);
+  }
+  const trace::TraceIndex idx(shifted);
+  RobustHistoryConfig fast;
+  fast.discount = 0.5;
+  RobustHistoryPredictor adaptive(fast);
+  adaptive.attach(idx, cal);
+  RobustHistoryConfig slow;
+  slow.discount = 1.0;
+  RobustHistoryPredictor uniform(slow);
+  uniform.attach(idx, cal);
+
+  // One week after the shift, the recent windows are clean but the
+  // 12-day history still contains the old failing regime: the discounted
+  // predictor must trust the recent (clean) windows more.
+  PredictionQuery q{0, cal.day_start(35) + 10_h, 1_h};
+  EXPECT_GT(adaptive.predict_availability(q),
+            uniform.predict_availability(q));
+}
+
+TEST(RobustHistoryPredictor, ConfigValidation) {
+  RobustHistoryConfig cfg;
+  cfg.discount = 0.0;
+  EXPECT_THROW(RobustHistoryPredictor{cfg}, ConfigError);
+  cfg = RobustHistoryConfig{};
+  cfg.discount = 1.5;
+  EXPECT_THROW(RobustHistoryPredictor{cfg}, ConfigError);
+  cfg = RobustHistoryConfig{};
+  cfg.history_days = 0;
+  EXPECT_THROW(RobustHistoryPredictor{cfg}, ConfigError);
+}
+
+TEST(RobustHistoryPredictor, NameMentionsParameters) {
+  EXPECT_EQ(RobustHistoryPredictor().name(), "robust-history(k=12,d=0.85)");
+}
+
+}  // namespace
+}  // namespace fgcs::predict

@@ -1,0 +1,128 @@
+// Property tests for the lab load model across profiles and seeds:
+// structural invariants of the generated trajectories and the calibrated
+// statistics of the default profile.
+#include <gtest/gtest.h>
+
+#include "fgcs/core/analyzer.hpp"
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/workload/load_model.hpp"
+
+namespace fgcs::workload {
+namespace {
+
+using sim::SimDuration;
+using sim::SimTime;
+
+class LoadModelPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+ protected:
+  LabProfile profile() const {
+    return std::get<0>(GetParam()) == 0 ? LabProfile::purdue_lab()
+                                        : LabProfile::enterprise_desktop();
+  }
+  std::uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(LoadModelPropertyTest, TrajectoryIsWellFormed) {
+  const auto trace = generate_machine_load(profile(), seed(), 0, 21);
+  const auto& pts = trace.load.points();
+  ASSERT_FALSE(pts.empty());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    ASSERT_GE(pts[i].cpu, 0.0);
+    ASSERT_LE(pts[i].cpu, 1.0);
+    ASSERT_GE(pts[i].mem_mb, 0.0);
+    if (i > 0) ASSERT_LT(pts[i - 1].t, pts[i].t);
+  }
+}
+
+TEST_P(LoadModelPropertyTest, LoadReturnsToZeroEventually) {
+  // The overlay's contributions all end; the final point is all-zero.
+  const auto trace = generate_machine_load(profile(), seed(), 0, 7);
+  const auto& last = trace.load.points().back();
+  EXPECT_NEAR(last.cpu, 0.0, 1e-9);     // +=/-= pairs leave fp residue
+  EXPECT_NEAR(last.mem_mb, 0.0, 1e-9);
+}
+
+TEST_P(LoadModelPropertyTest, DowntimesAreWellFormed) {
+  auto p = profile();
+  p.reboot_rate_per_day = 0.4;
+  p.failure_rate_per_day = 0.1;
+  const auto trace = generate_machine_load(p, seed(), 0, 90);
+  for (std::size_t i = 0; i < trace.downtimes.size(); ++i) {
+    const auto& d = trace.downtimes[i];
+    EXPECT_GT(d.duration, SimDuration::zero());
+    if (d.is_reboot) EXPECT_LT(d.duration, SimDuration::minutes(1));
+    if (i > 0) {
+      const auto& prev = trace.downtimes[i - 1];
+      EXPECT_GE(d.start.as_micros(),
+                (prev.start + prev.duration).as_micros());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfileSeedGrid, LoadModelPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(1ULL, 42ULL, 20050815ULL)));
+
+// The calibration contract: the default testbed reproduces the paper's
+// Table 2 ranges. This is the regression test that guards the calibrated
+// constants in LabProfile::purdue_lab().
+TEST(Calibration, Table2RangesMatchPaper) {
+  core::TestbedConfig config;  // 20 machines, 92 days, default seed
+  const auto trace = core::run_testbed(config);
+  const core::TraceAnalyzer analyzer(trace);
+  const auto t2 = analyzer.table2();
+
+  // Paper Table 2 ranges, with a small tolerance for the band edges.
+  EXPECT_GE(t2.total.min, 380);
+  EXPECT_LE(t2.total.max, 470);
+  EXPECT_GE(t2.cpu_contention.min, 283 - 15);
+  EXPECT_LE(t2.cpu_contention.max, 356 + 15);
+  EXPECT_GE(t2.mem_contention.min, 83 - 10);
+  EXPECT_LE(t2.mem_contention.max, 121 + 10);
+  EXPECT_GE(t2.urr.min, 1);
+  EXPECT_LE(t2.urr.max, 16);
+  // Percentages: CPU dominates, as §5.1 concludes.
+  EXPECT_GT(t2.cpu_pct_min, 0.65);
+  EXPECT_LT(t2.mem_pct_max, 0.35);
+  EXPECT_LT(t2.urr_pct_max, 0.05);
+  // ~90% of URR are reboots.
+  EXPECT_GT(t2.reboot_fraction_of_urr, 0.75);
+}
+
+TEST(Calibration, IntervalShapesMatchPaper) {
+  core::TestbedConfig config;
+  const auto trace = core::run_testbed(config);
+  const core::TraceAnalyzer analyzer(trace);
+  const auto iv = analyzer.intervals();
+
+  // Weekday intervals shorter than weekend (Figure 6's headline).
+  EXPECT_LT(iv.weekday.mean_hours, iv.weekend.mean_hours);
+  EXPECT_GT(iv.weekday.mean_hours, 2.5);
+  EXPECT_LT(iv.weekday.mean_hours, 4.5);
+  EXPECT_GT(iv.weekend.mean_hours, 5.0);
+  // ~5% of intervals are sub-5-minute gaps.
+  EXPECT_GT(iv.weekday.frac_under_5min, 0.02);
+  EXPECT_LT(iv.weekday.frac_under_5min, 0.10);
+}
+
+TEST(Calibration, HourlyPatternMatchesPaper) {
+  core::TestbedConfig config;
+  const auto trace = core::run_testbed(config);
+  const core::TraceAnalyzer analyzer(trace);
+  const auto hourly = analyzer.hourly();
+
+  // The 4-5 AM updatedb spike equals the machine count on both classes.
+  EXPECT_NEAR(hourly.weekday[4].mean, 20.0, 1.0);
+  EXPECT_NEAR(hourly.weekend[4].mean, 20.0, 1.0);
+  EXPECT_GE(hourly.weekday[4].min, 20.0);
+  // Daytime counts rise after 10 AM and exceed weekend counts.
+  EXPECT_GT(hourly.weekday[13].mean, hourly.weekday[8].mean + 5.0);
+  EXPECT_GT(hourly.weekday[12].mean, hourly.weekend[12].mean);
+  // Small across-day deviation (the predictability claim).
+  EXPECT_LT(analyzer.hourly_relative_deviation(false), 0.5);
+}
+
+}  // namespace
+}  // namespace fgcs::workload

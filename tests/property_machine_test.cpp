@@ -1,0 +1,143 @@
+// Property tests for the simulated machine: accounting and scheduling
+// invariants across a grid of workload mixes and scheduler profiles.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "fgcs/os/machine.hpp"
+#include "fgcs/util/rng.hpp"
+#include "fgcs/workload/synthetic.hpp"
+
+namespace fgcs::os {
+namespace {
+
+using namespace sim::time_literals;
+
+// (profile: 0 = linux, 1 = solaris; host count; total host usage;
+//  guest nice)
+using MachineParam = std::tuple<int, int, double, int>;
+
+class MachinePropertyTest : public ::testing::TestWithParam<MachineParam> {
+ protected:
+  SchedulerParams scheduler() const {
+    return std::get<0>(GetParam()) == 0 ? SchedulerParams::linux_2_4()
+                                        : SchedulerParams::solaris_ts();
+  }
+
+  Machine make_loaded_machine(std::uint64_t seed,
+                              std::vector<ProcessId>* host_pids = nullptr,
+                              ProcessId* guest_pid = nullptr) const {
+    const auto [profile, hosts, total_usage, guest_nice] = GetParam();
+    (void)profile;
+    Machine m(scheduler(), MemoryParams::linux_1gb(), seed);
+    util::RngStream rng(seed, {77});
+    const auto specs = workload::make_host_group(
+        total_usage, static_cast<std::size_t>(hosts), rng);
+    for (const auto& spec : specs) {
+      const ProcessId pid = m.spawn(spec);
+      if (host_pids) host_pids->push_back(pid);
+    }
+    const ProcessId g = m.spawn(workload::synthetic_guest(guest_nice));
+    if (guest_pid) *guest_pid = g;
+    return m;
+  }
+};
+
+TEST_P(MachinePropertyTest, AccountingSumsToElapsedTime) {
+  Machine m = make_loaded_machine(11);
+  for (int step = 0; step < 10; ++step) {
+    m.run_for(30_s);
+    EXPECT_EQ(m.totals().total().as_micros(), m.now().as_micros());
+  }
+}
+
+TEST_P(MachinePropertyTest, NoUsageExceedsCapacity) {
+  Machine m = make_loaded_machine(12);
+  const CpuTotals before = m.totals();
+  m.run_for(120_s);
+  const CpuTotals after = m.totals();
+  const double host = CpuTotals::host_usage(before, after);
+  const double guest = CpuTotals::guest_usage(before, after);
+  EXPECT_GE(host, 0.0);
+  EXPECT_GE(guest, 0.0);
+  EXPECT_LE(host + guest, 1.0 + 1e-9);
+}
+
+TEST_P(MachinePropertyTest, GuestNeverStarvesCompletely) {
+  // The CPU-bound guest always makes progress under time-sharing (no
+  // strict starvation; the paper's Figure 1(b) depends on this).
+  ProcessId guest{};
+  Machine m = make_loaded_machine(13, nullptr, &guest);
+  m.run_for(60_s);
+  const sim::SimDuration before = m.process(guest).cpu_time();
+  m.run_for(120_s);
+  EXPECT_GT(m.process(guest).cpu_time(), before);
+}
+
+TEST_P(MachinePropertyTest, HostUsageNotIncreasedByGuest) {
+  // Adding a guest can only reduce (or preserve) host CPU usage.
+  const auto [profile, hosts, total_usage, guest_nice] = GetParam();
+  (void)profile;
+  (void)guest_nice;
+  auto host_usage = [&](bool with_guest) {
+    Machine m(scheduler(), MemoryParams::linux_1gb(), 14);
+    util::RngStream rng(14, {77});
+    const auto specs = workload::make_host_group(
+        total_usage, static_cast<std::size_t>(hosts), rng);
+    for (const auto& spec : specs) m.spawn(spec);
+    if (with_guest) m.spawn(workload::synthetic_guest(0));
+    m.run_for(40_s);
+    const CpuTotals before = m.totals();
+    m.run_for(240_s);
+    return CpuTotals::host_usage(before, m.totals());
+  };
+  EXPECT_LE(host_usage(true), host_usage(false) + 0.01);
+}
+
+TEST_P(MachinePropertyTest, SuspendFreezesExactly) {
+  ProcessId guest{};
+  Machine m = make_loaded_machine(15, nullptr, &guest);
+  m.run_for(30_s);
+  m.suspend(guest);
+  const auto frozen = m.process(guest).cpu_time();
+  m.run_for(60_s);
+  EXPECT_EQ(m.process(guest).cpu_time(), frozen);
+  m.resume(guest);
+  m.run_for(60_s);
+  EXPECT_GT(m.process(guest).cpu_time(), frozen);
+}
+
+TEST_P(MachinePropertyTest, HostGroupUsageNearTargetWhenAlone) {
+  const auto [profile, hosts, total_usage, guest_nice] = GetParam();
+  (void)profile;
+  (void)guest_nice;
+  Machine m(scheduler(), MemoryParams::linux_1gb(), 16);
+  util::RngStream rng(16, {77});
+  for (const auto& spec : workload::make_host_group(
+           total_usage, static_cast<std::size_t>(hosts), rng)) {
+    m.spawn(spec);
+  }
+  m.run_for(40_s);
+  const CpuTotals before = m.totals();
+  m.run_for(300_s);
+  // At high aggregate load, the group's own internal contention stretches
+  // compute bursts and the achieved usage falls short of nominal (the
+  // paper selected combinations by *measured* L_H; Fig1Result reports
+  // lh_measured for the same reason).
+  const double tolerance = total_usage > 0.6 ? 0.18 : 0.06;
+  EXPECT_NEAR(CpuTotals::host_usage(before, m.totals()), total_usage,
+              tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadGrid, MachinePropertyTest,
+    ::testing::Values(MachineParam{0, 1, 0.2, 0},
+                      MachineParam{0, 3, 0.5, 0},
+                      MachineParam{0, 5, 0.9, 19},
+                      MachineParam{0, 2, 0.7, 19},
+                      MachineParam{1, 1, 0.3, 0},
+                      MachineParam{1, 4, 0.8, 19},
+                      MachineParam{1, 3, 0.22, 0}));
+
+}  // namespace
+}  // namespace fgcs::os

@@ -1,0 +1,107 @@
+// Property tests: trace serialization round-trips exactly for randomly
+// generated trace sets, in both formats, across seeds.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fgcs/trace/io.hpp"
+#include "fgcs/util/rng.hpp"
+
+namespace fgcs::trace {
+namespace {
+
+using monitor::AvailabilityState;
+using sim::SimDuration;
+using sim::SimTime;
+
+TraceSet random_trace(std::uint64_t seed) {
+  util::RngStream rng(seed);
+  const auto machines =
+      static_cast<std::uint32_t>(rng.uniform_int(1, 12));
+  const auto days = rng.uniform_int(1, 30);
+  TraceSet t(machines, SimTime::epoch(),
+             SimTime::epoch() + SimDuration::days(days));
+  const std::int64_t horizon_us = SimDuration::days(days).as_micros();
+  for (MachineId m = 0; m < machines; ++m) {
+    // Sequential, non-overlapping episodes per machine.
+    std::int64_t cursor = 0;
+    while (true) {
+      cursor += rng.uniform_int(1, horizon_us / 10);
+      const std::int64_t dur = rng.uniform_int(1, horizon_us / 20);
+      if (cursor + dur >= horizon_us) break;
+      UnavailabilityRecord r;
+      r.machine = m;
+      r.start = SimTime::from_micros(cursor);
+      r.end = SimTime::from_micros(cursor + dur);
+      const double which = rng.uniform();
+      r.cause = which < 0.7   ? AvailabilityState::kS3CpuUnavailable
+                : which < 0.9 ? AvailabilityState::kS4MemoryThrashing
+                              : AvailabilityState::kS5MachineUnavailable;
+      r.host_cpu = rng.uniform();
+      r.free_mem_mb = rng.uniform(0.0, 1024.0);
+      t.add(r);
+      cursor += dur;
+    }
+  }
+  return t;
+}
+
+void expect_identical(const TraceSet& a, const TraceSet& b) {
+  ASSERT_EQ(a.machine_count(), b.machine_count());
+  ASSERT_EQ(a.horizon_start(), b.horizon_start());
+  ASSERT_EQ(a.horizon_end(), b.horizon_end());
+  const auto ra = a.records();
+  const auto rb = b.records();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(ra[i].machine, rb[i].machine);
+    ASSERT_EQ(ra[i].start, rb[i].start);
+    ASSERT_EQ(ra[i].end, rb[i].end);
+    ASSERT_EQ(ra[i].cause, rb[i].cause);
+    ASSERT_DOUBLE_EQ(ra[i].host_cpu, rb[i].host_cpu);
+    ASSERT_DOUBLE_EQ(ra[i].free_mem_mb, rb[i].free_mem_mb);
+  }
+}
+
+class TraceIoPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceIoPropertyTest, CsvRoundTripExact) {
+  const auto original = random_trace(GetParam());
+  std::stringstream buffer;
+  write_trace_csv(original, buffer);
+  expect_identical(original, read_trace_csv(buffer));
+}
+
+TEST_P(TraceIoPropertyTest, BinaryRoundTripExact) {
+  const auto original = random_trace(GetParam());
+  std::stringstream buffer;
+  write_trace_binary(original, buffer);
+  expect_identical(original, read_trace_binary(buffer));
+}
+
+TEST_P(TraceIoPropertyTest, FormatsAgreeWithEachOther) {
+  const auto original = random_trace(GetParam());
+  std::stringstream csv_buf, bin_buf;
+  write_trace_csv(original, csv_buf);
+  write_trace_binary(original, bin_buf);
+  expect_identical(read_trace_csv(csv_buf), read_trace_binary(bin_buf));
+}
+
+TEST_P(TraceIoPropertyTest, DerivedStatisticsSurviveRoundTrip) {
+  const auto original = random_trace(GetParam());
+  std::stringstream buffer;
+  write_trace_binary(original, buffer);
+  const auto loaded = read_trace_binary(buffer);
+  const auto iv_a = original.availability_intervals();
+  const auto iv_b = loaded.availability_intervals();
+  ASSERT_EQ(iv_a.size(), iv_b.size());
+  for (std::size_t i = 0; i < iv_a.size(); ++i) {
+    ASSERT_EQ(iv_a[i].length().as_micros(), iv_b[i].length().as_micros());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceIoPropertyTest,
+                         ::testing::Values(1, 7, 42, 999, 31337, 20050815));
+
+}  // namespace
+}  // namespace fgcs::trace

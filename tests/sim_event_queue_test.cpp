@@ -1,0 +1,128 @@
+// Tests for the discrete-event queue: ordering, tie stability, cancellation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fgcs/sim/event_queue.hpp"
+
+namespace fgcs::sim {
+namespace {
+
+using namespace time_literals;
+
+SimTime at(std::int64_t s) { return SimTime::epoch() + SimDuration::seconds(s); }
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), SimTime::max());
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(3), [&] { order.push_back(3); });
+  q.schedule(at(1), [&] { order.push_back(1); });
+  q.schedule(at(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(at(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, RunNextReturnsEventTime) {
+  EventQueue q;
+  q.schedule(at(7), [] {});
+  EXPECT_EQ(q.run_next(), at(7));
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.schedule(at(9), [] {});
+  q.schedule(at(4), [] {});
+  EXPECT_EQ(q.next_time(), at(4));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.schedule(at(1), [&] { fired = true; });
+  h.cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelOneOfMany) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(1), [&] { order.push_back(1); });
+  EventHandle h = q.schedule(at(2), [&] { order.push_back(2); });
+  q.schedule(at(3), [&] { order.push_back(3); });
+  h.cancel();
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  EventHandle h = q.schedule(at(1), [] {});
+  h.cancel();
+  h.cancel();
+  EXPECT_TRUE(h.cancelled());
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(h.cancelled());
+  h.cancel();  // no-op, no crash
+}
+
+TEST(EventQueue, HandleCopiesShareCancellation) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h1 = q.schedule(at(1), [&] { fired = true; });
+  EventHandle h2 = h1;
+  h2.cancel();
+  EXPECT_TRUE(h1.cancelled());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.schedule(at(1), [] {});
+  q.schedule(at(2), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(1), [&] {
+    order.push_back(1);
+    q.schedule(at(2), [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, SizeCountsPending) {
+  EventQueue q;
+  q.schedule(at(1), [] {});
+  q.schedule(at(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.run_next();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fgcs::sim

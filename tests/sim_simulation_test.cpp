@@ -1,0 +1,115 @@
+// Tests for the simulation driver: clock semantics, periodic tasks.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fgcs/sim/simulation.hpp"
+
+namespace fgcs::sim {
+namespace {
+
+using namespace time_literals;
+
+TEST(Simulation, StartsAtEpoch) {
+  Simulation s;
+  EXPECT_EQ(s.now(), SimTime::epoch());
+}
+
+TEST(Simulation, AfterSchedulesRelative) {
+  Simulation s;
+  SimTime fired;
+  s.after(5_s, [&] { fired = s.now(); });
+  s.run_all();
+  EXPECT_EQ(fired, SimTime::epoch() + 5_s);
+}
+
+TEST(Simulation, ClockIsEventTimeDuringCallback) {
+  Simulation s;
+  s.after(2_s, [&] { EXPECT_EQ(s.now().as_seconds(), 2.0); });
+  s.after(7_s, [&] { EXPECT_EQ(s.now().as_seconds(), 7.0); });
+  s.run_all();
+}
+
+TEST(Simulation, RunUntilStopsClockAtBound) {
+  Simulation s;
+  s.after(10_s, [] {});
+  s.run_until(SimTime::epoch() + 4_s);
+  EXPECT_EQ(s.now(), SimTime::epoch() + 4_s);
+  EXPECT_EQ(s.events_executed(), 0u);
+  s.run_until(SimTime::epoch() + 20_s);
+  EXPECT_EQ(s.events_executed(), 1u);
+  // No more events: clock still advances to the requested bound.
+  EXPECT_EQ(s.now(), SimTime::epoch() + 20_s);
+}
+
+TEST(Simulation, EventExactlyAtBoundRuns) {
+  Simulation s;
+  bool fired = false;
+  s.after(5_s, [&] { fired = true; });
+  s.run_until(SimTime::epoch() + 5_s);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, RelativeSchedulingInsideCallback) {
+  Simulation s;
+  std::vector<double> times;
+  s.after(1_s, [&] {
+    times.push_back(s.now().as_seconds());
+    s.after(1_s, [&] { times.push_back(s.now().as_seconds()); });
+  });
+  s.run_all();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Simulation, EveryFiresPeriodically) {
+  Simulation s;
+  std::vector<double> times;
+  auto handle = s.every(2_s, [&] { times.push_back(s.now().as_seconds()); });
+  s.run_until(SimTime::epoch() + 7_s);
+  EXPECT_EQ(times, (std::vector<double>{2.0, 4.0, 6.0}));
+  handle.cancel();
+  s.run_until(SimTime::epoch() + 20_s);
+  EXPECT_EQ(times.size(), 3u);
+}
+
+TEST(Simulation, EveryCancelFromInsideTask) {
+  Simulation s;
+  int count = 0;
+  EventHandle handle;
+  handle = s.every(1_s, [&] {
+    if (++count == 3) handle.cancel();
+  });
+  s.run_until(SimTime::epoch() + 10_s);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulation, StopHaltsRun) {
+  Simulation s;
+  int count = 0;
+  s.every(1_s, [&] {
+    if (++count == 2) s.stop();
+  });
+  s.run_all();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, CancelScheduledEvent) {
+  Simulation s;
+  bool fired = false;
+  EventHandle h = s.after(1_s, [&] { fired = true; });
+  h.cancel();
+  s.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, EventsExecutedCounts) {
+  Simulation s;
+  for (int i = 1; i <= 5; ++i) {
+    s.after(SimDuration::seconds(i), [] {});
+  }
+  s.run_all();
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+}  // namespace
+}  // namespace fgcs::sim

@@ -1,0 +1,96 @@
+// Tests for the strong time types.
+#include <gtest/gtest.h>
+
+#include "fgcs/sim/time.hpp"
+
+namespace fgcs::sim {
+namespace {
+
+using namespace time_literals;
+
+TEST(SimDuration, Constructors) {
+  EXPECT_EQ(SimDuration::seconds(2).as_micros(), 2'000'000);
+  EXPECT_EQ(SimDuration::millis(3).as_micros(), 3'000);
+  EXPECT_EQ(SimDuration::minutes(1).as_micros(), 60'000'000);
+  EXPECT_EQ(SimDuration::hours(1).as_seconds(), 3600.0);
+  EXPECT_EQ(SimDuration::days(2).as_hours(), 48.0);
+}
+
+TEST(SimDuration, FromSecondsRounds) {
+  EXPECT_EQ(SimDuration::from_seconds(1.0000004).as_micros(), 1'000'000);
+  EXPECT_EQ(SimDuration::from_seconds(1.0000006).as_micros(), 1'000'001);
+  EXPECT_EQ(SimDuration::from_seconds(-0.5).as_micros(), -500'000);
+}
+
+TEST(SimDuration, Arithmetic) {
+  const SimDuration a = 5_s, b = 3_s;
+  EXPECT_EQ((a + b).as_seconds(), 8.0);
+  EXPECT_EQ((a - b).as_seconds(), 2.0);
+  EXPECT_EQ((-a).as_seconds(), -5.0);
+  EXPECT_EQ((a * std::int64_t{2}).as_seconds(), 10.0);
+  EXPECT_EQ((a / std::int64_t{5}).as_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(a / b, 5.0 / 3.0);
+}
+
+TEST(SimDuration, ScalarDoubleMultiply) {
+  EXPECT_EQ((10_s * 0.5).as_seconds(), 5.0);
+  EXPECT_EQ((1_s * 0.1).as_micros(), 100'000);
+}
+
+TEST(SimDuration, Comparisons) {
+  EXPECT_LT(1_s, 2_s);
+  EXPECT_EQ(1000_ms, 1_s);
+  EXPECT_GT(1_min, 59_s);
+  EXPECT_LE(1_h, 60_min);
+}
+
+TEST(SimDuration, CompoundAssignment) {
+  SimDuration d = 1_s;
+  d += 500_ms;
+  EXPECT_EQ(d.as_micros(), 1'500'000);
+  d -= 1_s;
+  EXPECT_EQ(d, 500_ms);
+}
+
+TEST(SimDuration, Literals) {
+  EXPECT_EQ((5_us).as_micros(), 5);
+  EXPECT_EQ((2_h).as_hours(), 2.0);
+}
+
+TEST(SimDuration, Str) {
+  EXPECT_EQ((90_min).str(), "1h 30m");
+  EXPECT_EQ((65_s).str(), "1m 05s");
+  EXPECT_EQ((1500_ms).str(), "1.500s");
+  EXPECT_EQ((250_ms).str(), "250.000ms");
+}
+
+TEST(SimTime, EpochAndArithmetic) {
+  const SimTime t0 = SimTime::epoch();
+  const SimTime t1 = t0 + 5_s;
+  EXPECT_EQ((t1 - t0), 5_s);
+  EXPECT_EQ((t1 - 2_s).as_seconds(), 3.0);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(SimTime, FromSecondsAndMicros) {
+  EXPECT_EQ(SimTime::from_seconds(1.5).as_micros(), 1'500'000);
+  EXPECT_EQ(SimTime::from_micros(42).as_micros(), 42);
+}
+
+TEST(SimTime, CompoundAdd) {
+  SimTime t = SimTime::epoch();
+  t += 1_h;
+  EXPECT_EQ(t.as_hours(), 1.0);
+}
+
+TEST(SimTime, StrRendersDayAndClock) {
+  const SimTime t = SimTime::epoch() + SimDuration::days(2) + 3_h + 4_min;
+  EXPECT_EQ(t.str(), "2d 03:04:00.000");
+}
+
+TEST(SimTime, MaxIsLargerThanAnyPracticalTime) {
+  EXPECT_GT(SimTime::max(), SimTime::epoch() + SimDuration::days(100000));
+}
+
+}  // namespace
+}  // namespace fgcs::sim

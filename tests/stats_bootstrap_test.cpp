@@ -1,0 +1,77 @@
+// Tests for bootstrap confidence intervals.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fgcs/stats/bootstrap.hpp"
+#include "fgcs/stats/descriptive.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::stats {
+namespace {
+
+const auto kMean = [](std::span<const double> xs) { return mean(xs); };
+
+TEST(Bootstrap, PointEstimateIsStatistic) {
+  util::RngStream rng(1);
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const auto r = bootstrap_ci(xs, kMean, rng, 500);
+  EXPECT_DOUBLE_EQ(r.point, 3.0);
+}
+
+TEST(Bootstrap, IntervalContainsPointForSymmetricData) {
+  util::RngStream rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  const auto r = bootstrap_ci(xs, kMean, rng, 1000);
+  EXPECT_LE(r.lo, r.point);
+  EXPECT_GE(r.hi, r.point);
+  EXPECT_NEAR(r.point, 10.0, 0.6);
+  // CI width for n=200, sigma=2: roughly 4 * 2/sqrt(200) ~ 0.57.
+  EXPECT_LT(r.hi - r.lo, 1.2);
+  EXPECT_GT(r.hi - r.lo, 0.2);
+}
+
+TEST(Bootstrap, WiderConfidenceWiderInterval) {
+  util::RngStream rng1(3), rng2(3);
+  std::vector<double> xs;
+  util::RngStream data(4);
+  for (int i = 0; i < 100; ++i) xs.push_back(data.uniform());
+  const auto r90 = bootstrap_ci(xs, kMean, rng1, 2000, 0.90);
+  const auto r99 = bootstrap_ci(xs, kMean, rng2, 2000, 0.99);
+  EXPECT_GT(r99.hi - r99.lo, r90.hi - r90.lo);
+}
+
+TEST(Bootstrap, EmptyInput) {
+  util::RngStream rng(5);
+  const auto r = bootstrap_ci(std::vector<double>{}, kMean, rng);
+  EXPECT_DOUBLE_EQ(r.point, 0.0);
+  EXPECT_DOUBLE_EQ(r.lo, 0.0);
+}
+
+TEST(Bootstrap, SingleSampleDegenerate) {
+  util::RngStream rng(6);
+  const auto r = bootstrap_ci(std::vector<double>{7.0}, kMean, rng);
+  EXPECT_DOUBLE_EQ(r.point, 7.0);
+  EXPECT_DOUBLE_EQ(r.lo, 7.0);
+  EXPECT_DOUBLE_EQ(r.hi, 7.0);
+}
+
+TEST(Bootstrap, InvalidConfidenceThrows) {
+  util::RngStream rng(7);
+  const std::vector<double> xs{1, 2};
+  EXPECT_THROW(bootstrap_ci(xs, kMean, rng, 100, 0.0), ConfigError);
+  EXPECT_THROW(bootstrap_ci(xs, kMean, rng, 100, 1.0), ConfigError);
+}
+
+TEST(Bootstrap, DeterministicGivenStream) {
+  const std::vector<double> xs{3, 1, 4, 1, 5, 9, 2, 6};
+  util::RngStream a(8), b(8);
+  const auto ra = bootstrap_ci(xs, kMean, a, 300);
+  const auto rb = bootstrap_ci(xs, kMean, b, 300);
+  EXPECT_DOUBLE_EQ(ra.lo, rb.lo);
+  EXPECT_DOUBLE_EQ(ra.hi, rb.hi);
+}
+
+}  // namespace
+}  // namespace fgcs::stats

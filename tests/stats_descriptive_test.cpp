@@ -1,0 +1,90 @@
+// Tests for descriptive statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fgcs/stats/descriptive.hpp"
+
+namespace fgcs::stats {
+namespace {
+
+TEST(Mean, BasicAndEmpty) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{-5}), -5.0);
+}
+
+TEST(Variance, KnownValues) {
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{2, 4, 4, 4, 5, 5, 7, 9}),
+                   32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{}), 0.0);
+}
+
+TEST(QuantileSorted, Interpolates) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.125), 1.5);
+}
+
+TEST(QuantileSorted, Degenerate) {
+  EXPECT_DOUBLE_EQ(quantile_sorted(std::vector<double>{}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(std::vector<double>{7}, 0.9), 7.0);
+}
+
+TEST(Quantile, SortsInput) {
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{5, 1, 3, 2, 4}, 0.5), 3.0);
+}
+
+TEST(Summary, AllFields) {
+  const std::vector<double> xs{4, 1, 3, 2, 5};
+  const Summary s = Summary::of(xs);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q25, 2.0);
+  EXPECT_DOUBLE_EQ(s.q75, 4.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(Summary, Empty) {
+  const Summary s = Summary::of(std::vector<double>{});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateIsZero) {
+  const std::vector<double> xs{1, 1, 1};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(std::vector<double>{1}, std::vector<double>{1}),
+                   0.0);
+}
+
+TEST(Autocorrelation, PeriodicSignal) {
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_GT(autocorrelation(xs, 2), 0.9);
+  EXPECT_LT(autocorrelation(xs, 1), -0.9);
+}
+
+TEST(Autocorrelation, Degenerate) {
+  EXPECT_DOUBLE_EQ(autocorrelation(std::vector<double>{1, 2}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(std::vector<double>{3, 3, 3, 3}, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace fgcs::stats

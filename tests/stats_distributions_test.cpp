@@ -1,0 +1,172 @@
+// Tests for the distribution samplers and fitters: moment checks across a
+// parameter sweep, deterministic reproducibility.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fgcs/stats/distributions.hpp"
+
+namespace fgcs::stats {
+namespace {
+
+class PoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonTest, MeanAndVarianceMatchLambda) {
+  const double lambda = GetParam();
+  util::RngStream rng(42);
+  const int n = 40000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample_poisson(rng, lambda);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  const double tol = 4.0 * std::sqrt(lambda / n) + 0.01;
+  EXPECT_NEAR(mean, lambda, tol);
+  EXPECT_NEAR(var, lambda, 8.0 * lambda / std::sqrt(n) + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(LambdaSweep, PoissonTest,
+                         ::testing::Values(0.05, 0.5, 2.0, 10.0, 55.0, 120.0));
+
+TEST(Poisson, ZeroLambdaIsZero) {
+  util::RngStream rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sample_poisson(rng, 0.0), 0u);
+}
+
+class LognormalTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LognormalTest, MeanParameterization) {
+  const auto [target_mean, sigma] = GetParam();
+  util::RngStream rng(7);
+  const int n = 60000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample_lognormal_mean(rng, target_mean, sigma);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, target_mean, target_mean * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeanSigmaSweep, LognormalTest,
+    ::testing::Values(std::make_tuple(1.0, 0.3), std::make_tuple(45.0, 0.5),
+                      std::make_tuple(200.0, 0.35),
+                      std::make_tuple(10.0, 1.0)));
+
+TEST(Lognormal, MedianIsExpMu) {
+  util::RngStream rng(9);
+  const double mu = 1.5, sigma = 0.8;
+  std::vector<double> xs(20001);
+  for (auto& x : xs) x = sample_lognormal(rng, mu, sigma);
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(mu), std::exp(mu) * 0.06);
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  util::RngStream rng(11);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += sample_weibull(rng, 1.0, 3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Weibull, LargeShapeConcentratesAtScale) {
+  util::RngStream rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = sample_weibull(rng, 20.0, 5.0);
+    EXPECT_GT(x, 3.0);
+    EXPECT_LT(x, 7.0);
+  }
+}
+
+TEST(Pareto, RespectsMinimum) {
+  util::RngStream rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(sample_pareto(rng, 2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Pareto, MeanForAlphaAboveOne) {
+  util::RngStream rng(14);
+  const double x_min = 1.0, alpha = 3.0;
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += sample_pareto(rng, x_min, alpha);
+  EXPECT_NEAR(sum / n, alpha * x_min / (alpha - 1.0), 0.03);
+}
+
+TEST(TruncatedNormal, StaysInBounds) {
+  util::RngStream rng(15);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = sample_truncated_normal(rng, 0.0, 1.0, -0.5, 0.5);
+    EXPECT_GE(x, -0.5);
+    EXPECT_LE(x, 0.5);
+  }
+}
+
+TEST(TruncatedNormal, ZeroStddevClamps) {
+  util::RngStream rng(16);
+  EXPECT_DOUBLE_EQ(sample_truncated_normal(rng, 10.0, 0.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(sample_truncated_normal(rng, -10.0, 0.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(sample_truncated_normal(rng, 0.5, 0.0, 0.0, 1.0), 0.5);
+}
+
+TEST(TruncatedNormal, FarTailFallsBackToUniform) {
+  util::RngStream rng(17);
+  const double x = sample_truncated_normal(rng, 0.0, 0.001, 50.0, 51.0);
+  EXPECT_GE(x, 50.0);
+  EXPECT_LE(x, 51.0);
+}
+
+TEST(FitExponential, RecoversMean) {
+  util::RngStream rng(18);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.exponential(4.0);
+  const auto fit = fit_exponential(xs);
+  EXPECT_NEAR(fit.mean, 4.0, 0.1);
+  EXPECT_LT(fit.log_likelihood, 0.0);
+}
+
+TEST(FitExponential, EmptyInput) {
+  const auto fit = fit_exponential(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(fit.mean, 0.0);
+}
+
+TEST(FitLognormal, RecoversParameters) {
+  util::RngStream rng(19);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = sample_lognormal(rng, 2.0, 0.7);
+  const auto fit = fit_lognormal(xs);
+  EXPECT_NEAR(fit.mu, 2.0, 0.02);
+  EXPECT_NEAR(fit.sigma, 0.7, 0.02);
+  EXPECT_NEAR(fit.mean(), std::exp(2.0 + 0.7 * 0.7 / 2.0),
+              fit.mean() * 0.03);
+}
+
+TEST(FitLognormal, HigherLikelihoodForTrueModel) {
+  // Lognormal data: lognormal fit should beat exponential fit in
+  // log-likelihood (model selection sanity).
+  util::RngStream rng(20);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = sample_lognormal(rng, 1.0, 0.25);
+  EXPECT_GT(fit_lognormal(xs).log_likelihood,
+            fit_exponential(xs).log_likelihood);
+}
+
+TEST(Samplers, DeterministicGivenStream) {
+  util::RngStream a(21), b(21);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(sample_poisson(a, 3.0), sample_poisson(b, 3.0));
+    ASSERT_DOUBLE_EQ(sample_lognormal(a, 0.0, 1.0),
+                     sample_lognormal(b, 0.0, 1.0));
+  }
+}
+
+}  // namespace
+}  // namespace fgcs::stats

@@ -1,0 +1,116 @@
+// Tests for the empirical CDF.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fgcs/stats/ecdf.hpp"
+#include "fgcs/util/rng.hpp"
+
+namespace fgcs::stats {
+namespace {
+
+TEST(Ecdf, EmptyBehaviour) {
+  Ecdf e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 0.0);
+}
+
+TEST(Ecdf, StepEvaluation) {
+  Ecdf e{std::vector<double>{1, 2, 3, 4}};
+  EXPECT_DOUBLE_EQ(e(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e(100.0), 1.0);
+}
+
+TEST(Ecdf, HandlesDuplicates) {
+  Ecdf e{std::vector<double>{2, 2, 2, 5}};
+  EXPECT_DOUBLE_EQ(e(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(e(1.9), 0.0);
+}
+
+TEST(Ecdf, Quantiles) {
+  Ecdf e{std::vector<double>{10, 20, 30, 40, 50}};
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 50.0);
+}
+
+TEST(Ecdf, MassBetween) {
+  Ecdf e{std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}};
+  EXPECT_DOUBLE_EQ(e.mass_between(2.0, 4.0), 0.2);  // (2,4]: {3,4}
+  EXPECT_DOUBLE_EQ(e.mass_between(0.0, 10.0), 1.0);
+}
+
+TEST(Ecdf, MinMaxMean) {
+  Ecdf e{std::vector<double>{5, 1, 3}};
+  EXPECT_DOUBLE_EQ(e.min(), 1.0);
+  EXPECT_DOUBLE_EQ(e.max(), 5.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 3.0);
+}
+
+TEST(Ecdf, StepsSkipDuplicates) {
+  Ecdf e{std::vector<double>{1, 1, 2}};
+  const auto steps = e.steps();
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_DOUBLE_EQ(steps[0].x, 1.0);
+  EXPECT_NEAR(steps[0].f, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(steps[1].f, 1.0);
+}
+
+TEST(Ecdf, GridEvaluation) {
+  Ecdf e{std::vector<double>{0, 10}};
+  const auto grid = e.grid(0.0, 10.0, 11);
+  ASSERT_EQ(grid.size(), 11u);
+  EXPECT_DOUBLE_EQ(grid[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(grid[0].f, 0.5);
+  EXPECT_DOUBLE_EQ(grid[10].f, 1.0);
+  EXPECT_DOUBLE_EQ(grid[5].x, 5.0);
+}
+
+TEST(Ecdf, MonotoneNondecreasing) {
+  util::RngStream rng(1);
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rng.normal();
+  Ecdf e{xs};
+  double prev = 0.0;
+  for (double q = -4.0; q <= 4.0; q += 0.05) {
+    const double f = e(q);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(KsStatistic, IdenticalSamplesZero) {
+  Ecdf a{std::vector<double>{1, 2, 3}};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, a), 0.0);
+}
+
+TEST(KsStatistic, DisjointSamplesOne) {
+  Ecdf a{std::vector<double>{1, 2}};
+  Ecdf b{std::vector<double>{10, 20}};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 1.0);
+}
+
+TEST(KsStatistic, SameDistributionSmall) {
+  util::RngStream rng(2);
+  std::vector<double> xs(2000), ys(2000);
+  for (auto& x : xs) x = rng.uniform();
+  for (auto& y : ys) y = rng.uniform();
+  EXPECT_LT(ks_statistic(Ecdf{xs}, Ecdf{ys}), 0.06);
+}
+
+TEST(KsStatistic, DifferentDistributionsLarge) {
+  util::RngStream rng(3);
+  std::vector<double> xs(1000), ys(1000);
+  for (auto& x : xs) x = rng.uniform();
+  for (auto& y : ys) y = rng.uniform() + 0.5;
+  EXPECT_GT(ks_statistic(Ecdf{xs}, Ecdf{ys}), 0.4);
+}
+
+}  // namespace
+}  // namespace fgcs::stats

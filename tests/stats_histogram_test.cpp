@@ -1,0 +1,109 @@
+// Tests for histograms and the hour-of-day binner.
+#include <gtest/gtest.h>
+
+#include "fgcs/stats/histogram.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::stats {
+namespace {
+
+TEST(Histogram, BasicBinning) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeDroppedByDefault) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  h.add(15.0);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, ClampMode) {
+  Histogram h(0.0, 10.0, 5, /*clamp=*/true);
+  h.add(-1.0);
+  h.add(99.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinEdgesAndCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 5.0);
+}
+
+TEST(Histogram, Fractions) {
+  Histogram h(0.0, 4.0, 4);
+  h.add_all(std::vector<double>{0.5, 1.5, 1.6, 3.0});
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 0.0);
+}
+
+TEST(Histogram, FractionOfEmptyIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ConfigError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ConfigError);
+}
+
+TEST(HourOfDayBinner, MeanMinMax) {
+  HourOfDayBinner binner;
+  std::array<double, 24> d1{}, d2{}, d3{};
+  d1[4] = 20.0;
+  d2[4] = 18.0;
+  d3[4] = 22.0;
+  d1[10] = 5.0;
+  d2[10] = 5.0;
+  d3[10] = 5.0;
+  binner.add_day(d1);
+  binner.add_day(d2);
+  binner.add_day(d3);
+  EXPECT_EQ(binner.days(), 3u);
+
+  const auto h4 = binner.hour(4);
+  EXPECT_DOUBLE_EQ(h4.mean, 20.0);
+  EXPECT_DOUBLE_EQ(h4.min, 18.0);
+  EXPECT_DOUBLE_EQ(h4.max, 22.0);
+  EXPECT_DOUBLE_EQ(h4.stddev, 2.0);
+
+  const auto h10 = binner.hour(10);
+  EXPECT_DOUBLE_EQ(h10.mean, 5.0);
+  EXPECT_DOUBLE_EQ(h10.stddev, 0.0);
+
+  const auto h0 = binner.hour(0);
+  EXPECT_DOUBLE_EQ(h0.mean, 0.0);
+}
+
+TEST(HourOfDayBinner, EmptyReturnsZeros) {
+  HourOfDayBinner binner;
+  const auto h = binner.hour(12);
+  EXPECT_DOUBLE_EQ(h.mean, 0.0);
+  EXPECT_DOUBLE_EQ(h.max, 0.0);
+}
+
+TEST(HourOfDayBinner, SingleDayStddevZero) {
+  HourOfDayBinner binner;
+  std::array<double, 24> d{};
+  d[7] = 3.0;
+  binner.add_day(d);
+  EXPECT_DOUBLE_EQ(binner.hour(7).stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace fgcs::stats

@@ -1,0 +1,71 @@
+// Tests for the trace calendar.
+#include <gtest/gtest.h>
+
+#include "fgcs/trace/calendar.hpp"
+
+namespace fgcs::trace {
+namespace {
+
+using namespace sim::time_literals;
+using sim::SimDuration;
+using sim::SimTime;
+
+TEST(TraceCalendar, DayIndex) {
+  TraceCalendar cal;
+  EXPECT_EQ(cal.day_index(SimTime::epoch()), 0);
+  EXPECT_EQ(cal.day_index(SimTime::epoch() + 23_h), 0);
+  EXPECT_EQ(cal.day_index(SimTime::epoch() + 24_h), 1);
+  EXPECT_EQ(cal.day_index(SimTime::epoch() + SimDuration::days(91) + 5_h), 91);
+}
+
+TEST(TraceCalendar, HourOfDay) {
+  TraceCalendar cal;
+  EXPECT_EQ(cal.hour_of_day(SimTime::epoch()), 0);
+  EXPECT_EQ(cal.hour_of_day(SimTime::epoch() + 4_h + 30_min), 4);
+  EXPECT_EQ(cal.hour_of_day(SimTime::epoch() + SimDuration::days(3) + 23_h), 23);
+}
+
+TEST(TraceCalendar, DayOfWeekFromMondayStart) {
+  TraceCalendar cal(DayOfWeek::kMonday);
+  EXPECT_EQ(cal.day_of_week_for_day(0), DayOfWeek::kMonday);
+  EXPECT_EQ(cal.day_of_week_for_day(4), DayOfWeek::kFriday);
+  EXPECT_EQ(cal.day_of_week_for_day(5), DayOfWeek::kSaturday);
+  EXPECT_EQ(cal.day_of_week_for_day(6), DayOfWeek::kSunday);
+  EXPECT_EQ(cal.day_of_week_for_day(7), DayOfWeek::kMonday);
+}
+
+TEST(TraceCalendar, WeekendDetection) {
+  TraceCalendar cal;
+  EXPECT_FALSE(cal.is_weekend_day(0));
+  EXPECT_TRUE(cal.is_weekend_day(5));
+  EXPECT_TRUE(cal.is_weekend_day(6));
+  EXPECT_FALSE(cal.is_weekend_day(7));
+  EXPECT_TRUE(cal.is_weekend(SimTime::epoch() + SimDuration::days(5) + 3_h));
+}
+
+TEST(TraceCalendar, NonMondayStart) {
+  TraceCalendar cal(DayOfWeek::kSaturday);
+  EXPECT_TRUE(cal.is_weekend_day(0));
+  EXPECT_TRUE(cal.is_weekend_day(1));
+  EXPECT_FALSE(cal.is_weekend_day(2));
+}
+
+TEST(TraceCalendar, DayStart) {
+  TraceCalendar cal;
+  EXPECT_EQ(cal.day_start(0), SimTime::epoch());
+  EXPECT_EQ(cal.day_start(10), SimTime::epoch() + SimDuration::days(10));
+}
+
+TEST(TraceCalendar, Label) {
+  TraceCalendar cal;
+  const SimTime t = SimTime::epoch() + SimDuration::days(12) + 14_h + 5_min;
+  EXPECT_EQ(cal.label(t), "day 12 (Sat) 14:05");
+}
+
+TEST(DayOfWeek, Names) {
+  EXPECT_STREQ(to_string(DayOfWeek::kMonday), "Mon");
+  EXPECT_STREQ(to_string(DayOfWeek::kSunday), "Sun");
+}
+
+}  // namespace
+}  // namespace fgcs::trace

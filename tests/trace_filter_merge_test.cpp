@@ -1,0 +1,94 @@
+// Tests for TraceSet::filter and TraceSet::merge.
+#include <gtest/gtest.h>
+
+#include "fgcs/trace/trace_set.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::trace {
+namespace {
+
+using monitor::AvailabilityState;
+using sim::SimDuration;
+using sim::SimTime;
+
+SimTime at(std::int64_t minutes) {
+  return SimTime::epoch() + SimDuration::minutes(minutes);
+}
+
+UnavailabilityRecord rec(MachineId m, std::int64_t s, std::int64_t e) {
+  UnavailabilityRecord r;
+  r.machine = m;
+  r.start = at(s);
+  r.end = at(e);
+  r.cause = AvailabilityState::kS3CpuUnavailable;
+  return r;
+}
+
+TraceSet sample() {
+  TraceSet t(3, SimTime::epoch(), at(1000));
+  t.add(rec(0, 10, 20));
+  t.add(rec(0, 100, 200));
+  t.add(rec(1, 50, 60));
+  t.add(rec(2, 500, 700));
+  return t;
+}
+
+TEST(TraceFilter, TimeWindowClipsRecords) {
+  const auto f = sample().filter(at(150), at(600));
+  EXPECT_EQ(f.horizon_start(), at(150));
+  EXPECT_EQ(f.horizon_end(), at(600));
+  ASSERT_EQ(f.size(), 2u);
+  // The machine-0 episode [100,200) is clipped to [150,200).
+  EXPECT_EQ(f.records()[0].start, at(150));
+  EXPECT_EQ(f.records()[0].end, at(200));
+  // The machine-2 episode [500,700) is clipped to [500,600).
+  EXPECT_EQ(f.records()[1].end, at(600));
+}
+
+TEST(TraceFilter, MachineSubset) {
+  const std::vector<MachineId> keep{0};
+  const auto f = sample().filter(SimTime::epoch(), at(1000), keep);
+  EXPECT_EQ(f.size(), 2u);
+  for (const auto& r : f.records()) EXPECT_EQ(r.machine, 0u);
+  // Machine count preserved (ids are not renumbered).
+  EXPECT_EQ(f.machine_count(), 3u);
+}
+
+TEST(TraceFilter, EmptyWindowThrows) {
+  EXPECT_THROW(sample().filter(at(10), at(10)), ConfigError);
+}
+
+TEST(TraceFilter, NonOverlappingRecordsDropped) {
+  const auto f = sample().filter(at(210), at(490));
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(TraceMerge, CombinesAndRemapsIds) {
+  const auto a = sample();
+  TraceSet b(2, SimTime::epoch(), at(1000));
+  b.add(rec(0, 5, 6));
+  b.add(rec(1, 7, 8));
+  const auto merged = a.merge(b);
+  EXPECT_EQ(merged.machine_count(), 5u);
+  EXPECT_EQ(merged.size(), 6u);
+  // b's machine 1 became machine 4.
+  EXPECT_EQ(merged.machine_records(4).size(), 1u);
+  EXPECT_EQ(merged.machine_records(4)[0].start, at(7));
+  // a's records untouched.
+  EXPECT_EQ(merged.machine_records(0).size(), 2u);
+}
+
+TEST(TraceMerge, RequiresMatchingHorizons) {
+  const auto a = sample();
+  TraceSet b(1, SimTime::epoch(), at(999));
+  EXPECT_THROW(a.merge(b), ConfigError);
+}
+
+TEST(TraceFilter, AnalysisOnFilteredTraceWorks) {
+  const auto f = sample().filter(at(0), at(1000));
+  EXPECT_EQ(f.availability_intervals().size(),
+            sample().availability_intervals().size());
+}
+
+}  // namespace
+}  // namespace fgcs::trace

@@ -1,0 +1,147 @@
+// Tests for trace serialization (CSV and binary round trips).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fgcs/trace/io.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::trace {
+namespace {
+
+using monitor::AvailabilityState;
+using sim::SimDuration;
+using sim::SimTime;
+
+TraceSet sample_trace() {
+  TraceSet t(3, SimTime::epoch(), SimTime::epoch() + SimDuration::days(2));
+  UnavailabilityRecord r;
+  r.machine = 0;
+  r.start = SimTime::from_micros(1'000'000);
+  r.end = SimTime::from_micros(61'000'000);
+  r.cause = AvailabilityState::kS3CpuUnavailable;
+  r.host_cpu = 0.875;
+  r.free_mem_mb = 512.25;
+  t.add(r);
+  r.machine = 2;
+  r.start = SimTime::from_micros(100'000'123);
+  r.end = SimTime::from_micros(100'040'123);
+  r.cause = AvailabilityState::kS5MachineUnavailable;
+  r.host_cpu = 0.0;
+  r.free_mem_mb = 0.0;
+  t.add(r);
+  r.machine = 1;
+  r.start = SimTime::from_micros(7);
+  r.end = SimTime::from_micros(11);
+  r.cause = AvailabilityState::kS4MemoryThrashing;
+  r.host_cpu = 0.3;
+  r.free_mem_mb = 150.0;
+  t.add(r);
+  return t;
+}
+
+void expect_equal(const TraceSet& a, const TraceSet& b) {
+  EXPECT_EQ(a.machine_count(), b.machine_count());
+  EXPECT_EQ(a.horizon_start(), b.horizon_start());
+  EXPECT_EQ(a.horizon_end(), b.horizon_end());
+  const auto ra = a.records();
+  const auto rb = b.records();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].machine, rb[i].machine);
+    EXPECT_EQ(ra[i].start, rb[i].start);
+    EXPECT_EQ(ra[i].end, rb[i].end);
+    EXPECT_EQ(ra[i].cause, rb[i].cause);
+    EXPECT_DOUBLE_EQ(ra[i].host_cpu, rb[i].host_cpu);
+    EXPECT_DOUBLE_EQ(ra[i].free_mem_mb, rb[i].free_mem_mb);
+  }
+}
+
+TEST(TraceIo, CsvRoundTrip) {
+  const auto original = sample_trace();
+  std::stringstream buffer;
+  write_trace_csv(original, buffer);
+  const auto loaded = read_trace_csv(buffer);
+  expect_equal(original, loaded);
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  const auto original = sample_trace();
+  std::stringstream buffer;
+  write_trace_binary(original, buffer);
+  const auto loaded = read_trace_binary(buffer);
+  expect_equal(original, loaded);
+}
+
+TEST(TraceIo, CsvHasHumanReadableHeader) {
+  std::stringstream buffer;
+  write_trace_csv(sample_trace(), buffer);
+  const std::string s = buffer.str();
+  EXPECT_NE(s.find("# fgcs-trace v1"), std::string::npos);
+  EXPECT_NE(s.find("machine,start_us,end_us,cause,host_cpu,free_mem_mb"),
+            std::string::npos);
+  EXPECT_NE(s.find("S5"), std::string::npos);
+}
+
+TEST(TraceIo, CsvMissingHeaderThrows) {
+  std::stringstream buffer("machine,start_us\n");
+  EXPECT_THROW(read_trace_csv(buffer), IoError);
+}
+
+TEST(TraceIo, CsvBadMetadataThrows) {
+  std::stringstream buffer("# fgcs-trace v1 machines=0 start_us=0 end_us=5\n");
+  EXPECT_THROW(read_trace_csv(buffer), IoError);
+}
+
+TEST(TraceIo, BinaryBadMagicThrows) {
+  std::stringstream buffer("NOTATRACEFILE");
+  EXPECT_THROW(read_trace_binary(buffer), IoError);
+}
+
+TEST(TraceIo, BinaryTruncatedThrows) {
+  const auto original = sample_trace();
+  std::stringstream buffer;
+  write_trace_binary(original, buffer);
+  std::string data = buffer.str();
+  data.resize(data.size() / 2);
+  std::stringstream half(data);
+  EXPECT_THROW(read_trace_binary(half), IoError);
+}
+
+TEST(TraceIo, BinaryRejectsInvalidCause) {
+  const auto original = sample_trace();
+  std::stringstream buffer;
+  write_trace_binary(original, buffer);
+  std::string data = buffer.str();
+  // The first record's cause byte sits after magic(8) + u32 + i64*2 + u64
+  // + (u32 + i64 + i64) = 8+4+16+8+20 = 56.
+  data[56] = 9;
+  std::stringstream bad(data);
+  EXPECT_THROW(read_trace_binary(bad), IoError);
+}
+
+TEST(TraceIo, SaveLoadByExtension) {
+  const auto original = sample_trace();
+  const std::string csv_path = "/tmp/fgcs_io_test.csv";
+  const std::string bin_path = "/tmp/fgcs_io_test.trc";
+  save_trace(original, csv_path);
+  save_trace(original, bin_path);
+  expect_equal(original, load_trace(csv_path));
+  expect_equal(original, load_trace(bin_path));
+  // Binary is the compact format.
+  std::ifstream csv_in(csv_path, std::ios::ate);
+  std::ifstream bin_in(bin_path, std::ios::ate | std::ios::binary);
+  EXPECT_GT(csv_in.tellg(), 0);
+  EXPECT_GT(bin_in.tellg(), 0);
+  std::remove(csv_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_trace("/tmp/fgcs_does_not_exist.trc"), IoError);
+}
+
+}  // namespace
+}  // namespace fgcs::trace

@@ -1,0 +1,154 @@
+// Tests for TraceSet: record management, interval derivation, the index.
+#include <gtest/gtest.h>
+
+#include "fgcs/trace/index.hpp"
+#include "fgcs/trace/trace_set.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::trace {
+namespace {
+
+using namespace sim::time_literals;
+using monitor::AvailabilityState;
+using sim::SimDuration;
+using sim::SimTime;
+
+SimTime at(std::int64_t minutes) {
+  return SimTime::epoch() + SimDuration::minutes(minutes);
+}
+
+UnavailabilityRecord rec(MachineId m, std::int64_t start_min,
+                         std::int64_t end_min,
+                         AvailabilityState cause =
+                             AvailabilityState::kS3CpuUnavailable) {
+  UnavailabilityRecord r;
+  r.machine = m;
+  r.start = at(start_min);
+  r.end = at(end_min);
+  r.cause = cause;
+  return r;
+}
+
+TraceSet make_trace() {
+  TraceSet t(2, SimTime::epoch(), SimTime::epoch() + SimDuration::days(1));
+  t.add(rec(0, 100, 130));
+  t.add(rec(0, 300, 310, AvailabilityState::kS4MemoryThrashing));
+  t.add(rec(0, 10, 40));  // out of order on purpose
+  t.add(rec(1, 50, 55, AvailabilityState::kS5MachineUnavailable));
+  return t;
+}
+
+TEST(TraceSet, ValidatesConstruction) {
+  EXPECT_THROW(TraceSet(0, SimTime::epoch(), at(1)), ConfigError);
+  EXPECT_THROW(TraceSet(1, at(5), at(5)), ConfigError);
+}
+
+TEST(TraceSet, ValidatesRecords) {
+  TraceSet t(1, SimTime::epoch(), at(100));
+  EXPECT_THROW(t.add(rec(3, 0, 1)), ConfigError);   // machine out of range
+  EXPECT_THROW(t.add(rec(0, 10, 5)), ConfigError);  // end before start
+}
+
+TEST(TraceSet, RecordsSortedByMachineThenStart) {
+  const auto t = make_trace();
+  const auto records = t.records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].machine, 0u);
+  EXPECT_EQ(records[0].start, at(10));
+  EXPECT_EQ(records[1].start, at(100));
+  EXPECT_EQ(records[2].start, at(300));
+  EXPECT_EQ(records[3].machine, 1u);
+}
+
+TEST(TraceSet, MachineRecordsFilters) {
+  const auto t = make_trace();
+  EXPECT_EQ(t.machine_records(0).size(), 3u);
+  EXPECT_EQ(t.machine_records(1).size(), 1u);
+}
+
+TEST(TraceSet, IntervalsBetweenEpisodes) {
+  const auto t = make_trace();
+  const auto intervals = t.availability_intervals();
+  // Machine 0: gaps [40,100] and [130,300]; machine 1 has one episode, no
+  // interior gap. Boundary intervals are censored.
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0].start, at(40));
+  EXPECT_EQ(intervals[0].end, at(100));
+  EXPECT_EQ(intervals[1].length(), SimDuration::minutes(170));
+}
+
+TEST(TraceSet, TouchingEpisodesYieldNoInterval) {
+  TraceSet t(1, SimTime::epoch(), at(1000));
+  t.add(rec(0, 10, 20));
+  t.add(rec(0, 20, 30));
+  t.add(rec(0, 50, 60));
+  const auto intervals = t.availability_intervals();
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].start, at(30));
+}
+
+TEST(TraceSet, OverlappingEpisodesHandled) {
+  TraceSet t(1, SimTime::epoch(), at(1000));
+  t.add(rec(0, 10, 50));
+  t.add(rec(0, 20, 30));  // nested
+  t.add(rec(0, 70, 80));
+  const auto intervals = t.availability_intervals();
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].start, at(50));
+  EXPECT_EQ(intervals[0].end, at(70));
+}
+
+TEST(UnavailabilityRecord, RebootClassification) {
+  auto r = rec(0, 10, 10, AvailabilityState::kS5MachineUnavailable);
+  r.end = r.start + SimDuration::seconds(40);
+  EXPECT_TRUE(r.is_reboot());
+  r.end = r.start + SimDuration::minutes(5);
+  EXPECT_FALSE(r.is_reboot());
+  // Non-URR episodes are never reboots.
+  auto s3 = rec(0, 10, 10);
+  s3.end = s3.start + SimDuration::seconds(30);
+  EXPECT_FALSE(s3.is_reboot());
+}
+
+TEST(TraceIndex, AnyOverlap) {
+  const auto t = make_trace();
+  const TraceIndex idx(t);
+  EXPECT_TRUE(idx.any_overlap(0, at(20), at(25)));    // inside episode
+  EXPECT_TRUE(idx.any_overlap(0, at(35), at(50)));    // straddles end
+  EXPECT_TRUE(idx.any_overlap(0, at(5), at(200)));    // spans episodes
+  EXPECT_FALSE(idx.any_overlap(0, at(40), at(100)));  // exactly the gap
+  EXPECT_FALSE(idx.any_overlap(0, at(500), at(600)));
+  EXPECT_FALSE(idx.any_overlap(1, at(100), at(200)));
+}
+
+TEST(TraceIndex, CountStartsIn) {
+  const auto t = make_trace();
+  const TraceIndex idx(t);
+  EXPECT_EQ(idx.count_starts_in(0, at(0), at(1440)), 3u);
+  EXPECT_EQ(idx.count_starts_in(0, at(50), at(150)), 1u);
+  EXPECT_EQ(idx.count_starts_in(0, at(10), at(11)), 1u);  // inclusive start
+  EXPECT_EQ(idx.count_starts_in(0, at(41), at(99)), 0u);
+}
+
+TEST(TraceIndex, LastEndBefore) {
+  const auto t = make_trace();
+  const TraceIndex idx(t);
+  bool inside = false;
+  EXPECT_EQ(idx.last_end_before(0, at(200), &inside), at(130));
+  EXPECT_FALSE(inside);
+  // Time inside an episode.
+  EXPECT_EQ(idx.last_end_before(0, at(20), &inside), at(40));
+  EXPECT_TRUE(inside);
+  // Before any episode: horizon start.
+  EXPECT_EQ(idx.last_end_before(0, at(5), &inside), SimTime::epoch());
+  EXPECT_FALSE(inside);
+}
+
+TEST(TraceIndex, MachineOutOfRange) {
+  const auto t = make_trace();
+  const TraceIndex idx(t);
+  EXPECT_THROW(idx.machine(5), ConfigError);
+}
+
+}  // namespace
+}  // namespace fgcs::trace

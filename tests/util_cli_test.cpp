@@ -1,0 +1,85 @@
+// Tests for the CLI argument parser.
+#include <gtest/gtest.h>
+
+#include "fgcs/util/cli.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::util {
+namespace {
+
+TEST(CliArgs, CommandAndPositional) {
+  const auto args = CliArgs::parse({"analyze", "trace.trc", "extra"});
+  EXPECT_EQ(args.command(), "analyze");
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "trace.trc");
+}
+
+TEST(CliArgs, Empty) {
+  const auto args = CliArgs::parse({});
+  EXPECT_TRUE(args.command().empty());
+  EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(CliArgs, OptionsWithValues) {
+  const auto args =
+      CliArgs::parse({"simulate", "--machines", "8", "--out", "x.trc"});
+  EXPECT_EQ(args.get("machines", ""), "8");
+  EXPECT_EQ(args.get_int("machines", 0), 8);
+  EXPECT_EQ(args.get("out", ""), "x.trc");
+  EXPECT_TRUE(args.has_option("out"));
+  EXPECT_FALSE(args.has_option("seed"));
+  EXPECT_EQ(args.get_int("seed", 42), 42);
+}
+
+TEST(CliArgs, BooleanFlags) {
+  const auto args = CliArgs::parse({"figures", "--quick", "--out", "d"});
+  EXPECT_TRUE(args.has_flag("quick"));
+  EXPECT_TRUE(args.has_flag("out"));  // option presence counts as flag
+  EXPECT_FALSE(args.has_flag("verbose"));
+}
+
+TEST(CliArgs, FlagFollowedByOption) {
+  // "--quick --out d": quick must not swallow "--out".
+  const auto args = CliArgs::parse({"cmd", "--quick", "--out", "d"});
+  EXPECT_TRUE(args.has_flag("quick"));
+  EXPECT_EQ(args.get("out", ""), "d");
+}
+
+TEST(CliArgs, TrailingFlag) {
+  const auto args = CliArgs::parse({"cmd", "--verbose"});
+  EXPECT_TRUE(args.has_flag("verbose"));
+}
+
+TEST(CliArgs, NegativeIntegerValue) {
+  const auto args = CliArgs::parse({"cmd", "--offset", "-5"});
+  EXPECT_EQ(args.get_int("offset", 0), -5);
+}
+
+TEST(CliArgs, MalformedIntegerThrows) {
+  const auto args = CliArgs::parse({"cmd", "--n", "12abc"});
+  EXPECT_THROW(args.get_int("n", 0), ConfigError);
+  const auto args2 = CliArgs::parse({"cmd", "--n", "abc"});
+  EXPECT_THROW(args2.get_int("n", 0), ConfigError);
+}
+
+TEST(CliArgs, EmptyOptionNameThrows) {
+  EXPECT_THROW(CliArgs::parse({"cmd", "--", "x"}), ConfigError);
+}
+
+TEST(CliArgs, ArgcArgvEntry) {
+  const char* argv[] = {"prog", "analyze", "--start-dow", "3", "t.csv"};
+  const auto args = CliArgs::parse(5, argv);
+  EXPECT_EQ(args.command(), "analyze");
+  EXPECT_EQ(args.get_int("start-dow", 0), 3);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "t.csv");
+}
+
+TEST(CliArgs, NoCommandWhenFirstTokenIsOption) {
+  const auto args = CliArgs::parse({"--help"});
+  EXPECT_TRUE(args.command().empty());
+  EXPECT_TRUE(args.has_flag("help"));
+}
+
+}  // namespace
+}  // namespace fgcs::util

@@ -1,0 +1,115 @@
+// Tests for CSV reading/writing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fgcs/util/csv.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::util {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write("a", "b", "c");
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesCommasAndQuotes) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write(std::string("a,b"), std::string("say \"hi\""));
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, NumericFormatting) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write(1, -5, 2.5, true, false);
+  EXPECT_EQ(out.str(), "1,-5,2.5,1,0\n");
+}
+
+TEST(CsvWriter, DoubleRoundTripsExactly) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  const double v = 0.1234567890123456789;
+  w.write(v);
+  std::istringstream in("h\n" + out.str());
+  CsvReader r(in);
+  EXPECT_EQ(std::stod(r.rows()[0][0]), v);
+}
+
+TEST(ParseCsvLine, SimpleFields) {
+  const auto fields = parse_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(ParseCsvLine, EmptyFields) {
+  const auto fields = parse_csv_line(",,");
+  ASSERT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_TRUE(f.empty());
+}
+
+TEST(ParseCsvLine, QuotedComma) {
+  const auto fields = parse_csv_line("\"a,b\",c");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+}
+
+TEST(ParseCsvLine, EscapedQuote) {
+  const auto fields = parse_csv_line("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(ParseCsvLine, ToleratesCarriageReturn) {
+  const auto fields = parse_csv_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(ParseCsvLine, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv_line("\"abc"), IoError);
+}
+
+TEST(CsvReader, HeaderAndRows) {
+  std::istringstream in("x,y\n1,2\n3,4\n");
+  CsvReader r(in);
+  EXPECT_EQ(r.header().size(), 2u);
+  EXPECT_EQ(r.rows().size(), 2u);
+  EXPECT_EQ(r.rows()[1][1], "4");
+}
+
+TEST(CsvReader, ColumnLookup) {
+  std::istringstream in("x,y,z\n1,2,3\n");
+  CsvReader r(in);
+  EXPECT_EQ(r.column("y"), 1u);
+  EXPECT_THROW(r.column("nope"), IoError);
+}
+
+TEST(CsvReader, ArityMismatchThrows) {
+  std::istringstream in("x,y\n1\n");
+  EXPECT_THROW(CsvReader r(in), IoError);
+}
+
+TEST(CsvReader, EmptyInputThrows) {
+  std::istringstream in("");
+  EXPECT_THROW(CsvReader r(in), IoError);
+}
+
+TEST(CsvRoundTrip, WriterToReader) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write("name", "value");
+  w.write(std::string("weird,\"name\""), 3.25);
+  std::istringstream in(out.str());
+  CsvReader r(in);
+  EXPECT_EQ(r.rows()[0][0], "weird,\"name\"");
+  EXPECT_EQ(r.rows()[0][1], "3.25");
+}
+
+}  // namespace
+}  // namespace fgcs::util

@@ -1,0 +1,88 @@
+// Tests for the thread pool and parallel_for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "fgcs/util/parallel.hpp"
+
+namespace fgcs::util {
+namespace {
+
+TEST(ThreadPool, InlineExecutionWithZeroWorkers) {
+  ThreadPool pool(0);
+  int value = 0;
+  pool.submit([&] { value = 42; });  // runs inline
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); }, pool);
+  for (const auto& h : hits) {
+    ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ZeroIterations) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; }, pool);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleIterationRunsInline) {
+  ThreadPool pool(4);
+  int value = 0;
+  parallel_for(1, [&](std::size_t i) { value = static_cast<int>(i) + 7; },
+               pool);
+  EXPECT_EQ(value, 7);
+}
+
+TEST(ParallelFor, ResultIndependentOfWorkerCount) {
+  auto run = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<double> out(500);
+    parallel_for(500, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5;
+    }, pool);
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(ParallelFor, LargeNSmallPool) {
+  ThreadPool pool(2);
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(10000, [&](std::size_t i) {
+    sum.fetch_add(static_cast<std::int64_t>(i));
+  }, pool);
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+TEST(ParallelFor, GlobalPoolWorks) {
+  std::atomic<int> counter{0};
+  parallel_for(64, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+}  // namespace
+}  // namespace fgcs::util

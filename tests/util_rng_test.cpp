@@ -1,0 +1,190 @@
+// Tests for the deterministic RNG layer: reproducibility, keyed substream
+// independence, and sampler statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "fgcs/util/rng.hpp"
+
+namespace fgcs::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, ReferenceDeterminism) {
+  Xoshiro256 g1(123), g2(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(g1.next(), g2.next());
+  }
+}
+
+TEST(Xoshiro256, JumpChangesSequence) {
+  Xoshiro256 a(7), b(7);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngStream, SameKeysSameSequence) {
+  RngStream a(99, {1, 2, 3});
+  RngStream b(99, {1, 2, 3});
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngStream, DifferentKeysIndependent) {
+  RngStream a(99, {1, 2, 3});
+  RngStream b(99, {1, 2, 4});
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngStream, KeyOrderMatters) {
+  EXPECT_NE(RngStream::derive(5, {1, 2}), RngStream::derive(5, {2, 1}));
+}
+
+TEST(RngStream, ChildStreamsDiffer) {
+  RngStream parent(1);
+  RngStream c1 = parent.child(0);
+  RngStream c2 = parent.child(0);  // same key, different parent position
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(RngStream, UniformInUnitInterval) {
+  RngStream rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngStream, UniformMeanAndVariance) {
+  RngStream rng(4);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(RngStream, UniformRangeRespectsBounds) {
+  RngStream rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.0);
+  }
+}
+
+TEST(RngStream, UniformIndexCoversRange) {
+  RngStream rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_index(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngStream, UniformIndexOneAlwaysZero) {
+  RngStream rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_index(1), 0u);
+  }
+}
+
+TEST(RngStream, UniformIntInclusiveBounds) {
+  RngStream rng(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngStream, NormalMoments) {
+  RngStream rng(9);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngStream, NormalScaled) {
+  RngStream rng(10);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngStream, ExponentialMean) {
+  RngStream rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(3.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngStream, BernoulliFrequency) {
+  RngStream rng(12);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+// Property: derive() is a pure function of (seed, keys).
+TEST(RngStream, DeriveIsPure) {
+  for (std::uint64_t seed : {0ULL, 1ULL, 0xFFFFFFFFFFFFFFFFULL}) {
+    EXPECT_EQ(RngStream::derive(seed, {9, 9}), RngStream::derive(seed, {9, 9}));
+  }
+}
+
+}  // namespace
+}  // namespace fgcs::util

@@ -1,0 +1,69 @@
+// Tests for text-table rendering and number formatting.
+#include <gtest/gtest.h>
+
+#include "fgcs/util/error.hpp"
+#include "fgcs/util/table.hpp"
+
+namespace fgcs::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"a", "bb"});
+  t.add("1", "2");
+  const std::string s = t.str();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"x", "y"});
+  t.add("long-cell", "1");
+  t.add("s", "2");
+  const std::string s = t.str();
+  // Both data rows start their second column at the same offset.
+  const auto line_at = [&](int n) {
+    std::size_t pos = 0;
+    for (int i = 0; i < n; ++i) pos = s.find('\n', pos) + 1;
+    return s.substr(pos, s.find('\n', pos) - pos);
+  };
+  EXPECT_EQ(line_at(2).find('1'), line_at(3).find('2'));
+}
+
+TEST(TextTable, ArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add("only-one"), ConfigError);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable t({}), ConfigError);
+}
+
+TEST(TextTable, MixedCellTypes) {
+  TextTable t({"s", "i", "d"});
+  t.add("x", 42, 2.5);
+  EXPECT_NE(t.str().find("42"), std::string::npos);
+  EXPECT_NE(t.str().find("2.500"), std::string::npos);
+}
+
+TEST(FormatDouble, Decimals) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+}
+
+TEST(FormatPercent, Basic) {
+  EXPECT_EQ(format_percent(0.0526, 1), "5.3%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+  EXPECT_EQ(format_percent(0.0, 2), "0.00%");
+}
+
+TEST(FormatDuration, Ranges) {
+  EXPECT_EQ(format_duration_s(3.2), "3.2s");
+  EXPECT_EQ(format_duration_s(125.0), "2m 05s");
+  EXPECT_EQ(format_duration_s(7380.0), "2h 03m");
+}
+
+}  // namespace
+}  // namespace fgcs::util

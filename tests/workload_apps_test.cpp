@@ -1,0 +1,82 @@
+// Tests for the SPEC CPU2000 guest models and Musbus host workloads
+// (Table 1 fidelity).
+#include <gtest/gtest.h>
+
+#include "fgcs/util/error.hpp"
+#include "fgcs/workload/musbus.hpp"
+#include "fgcs/workload/spec_cpu2000.hpp"
+
+namespace fgcs::workload {
+namespace {
+
+TEST(SpecCpu2000, FourAppsWithTable1Footprints) {
+  const auto apps = spec_cpu2000_apps();
+  ASSERT_EQ(apps.size(), 4u);
+  EXPECT_EQ(spec_app("apsi").resident_mb, 193.0);
+  EXPECT_EQ(spec_app("apsi").virtual_mb, 205.0);
+  EXPECT_EQ(spec_app("galgel").resident_mb, 29.0);
+  EXPECT_EQ(spec_app("galgel").virtual_mb, 155.0);
+  EXPECT_EQ(spec_app("bzip2").resident_mb, 180.0);
+  EXPECT_EQ(spec_app("mcf").resident_mb, 96.0);
+  EXPECT_EQ(spec_app("mcf").virtual_mb, 96.0);
+}
+
+TEST(SpecCpu2000, AllCpuBound) {
+  for (const auto& app : spec_cpu2000_apps()) {
+    EXPECT_GE(app.cpu_usage, 0.97) << app.name;
+  }
+}
+
+TEST(SpecCpu2000, UnknownAppThrows) {
+  EXPECT_THROW(spec_app("gcc"), ConfigError);
+}
+
+TEST(SpecCpu2000, GuestSpecConstruction) {
+  const auto spec = spec_guest(spec_app("bzip2"), 19);
+  EXPECT_EQ(spec.kind, os::ProcessKind::kGuest);
+  EXPECT_EQ(spec.nice, 19);
+  EXPECT_EQ(spec.resident_mb, 180.0);
+  EXPECT_EQ(spec.working_set_mb, 180.0);
+  EXPECT_TRUE(static_cast<bool>(spec.program));
+}
+
+TEST(Musbus, SixWorkloadsWithTable1Values) {
+  const auto ws = musbus_workloads();
+  ASSERT_EQ(ws.size(), 6u);
+  EXPECT_DOUBLE_EQ(musbus_workload("H1").cpu_usage, 0.086);
+  EXPECT_DOUBLE_EQ(musbus_workload("H2").cpu_usage, 0.092);
+  EXPECT_DOUBLE_EQ(musbus_workload("H3").cpu_usage, 0.172);
+  EXPECT_DOUBLE_EQ(musbus_workload("H4").cpu_usage, 0.219);
+  EXPECT_DOUBLE_EQ(musbus_workload("H5").cpu_usage, 0.570);
+  EXPECT_DOUBLE_EQ(musbus_workload("H6").cpu_usage, 0.662);
+  EXPECT_DOUBLE_EQ(musbus_workload("H2").resident_mb, 213.0);
+  EXPECT_DOUBLE_EQ(musbus_workload("H5").resident_mb, 210.0);
+}
+
+TEST(Musbus, UnknownWorkloadThrows) {
+  EXPECT_THROW(musbus_workload("H7"), ConfigError);
+}
+
+TEST(Musbus, ComponentsPreserveAggregates) {
+  for (const auto& w : musbus_workloads()) {
+    const auto procs = musbus_processes(w);
+    ASSERT_EQ(procs.size(), 3u) << w.name;
+    double mem = 0.0;
+    for (const auto& p : procs) {
+      EXPECT_EQ(p.kind, os::ProcessKind::kHost);
+      EXPECT_EQ(p.nice, 0);
+      mem += p.resident_mb;
+    }
+    EXPECT_NEAR(mem, w.resident_mb, 1e-9) << w.name;
+  }
+}
+
+TEST(Musbus, ComponentNamesIncludeWorkload) {
+  const auto procs = musbus_processes(musbus_workload("H3"));
+  for (const auto& p : procs) {
+    EXPECT_EQ(p.name.rfind("H3-", 0), 0u) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace fgcs::workload

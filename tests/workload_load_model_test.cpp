@@ -1,0 +1,257 @@
+// Tests for the testbed host-load model: trajectories, overlays, profiles,
+// generation invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fgcs/util/error.hpp"
+#include "fgcs/workload/load_model.hpp"
+
+namespace fgcs::workload {
+namespace {
+
+using namespace sim::time_literals;
+using sim::SimDuration;
+using sim::SimTime;
+
+SimTime at(std::int64_t s) { return SimTime::epoch() + SimDuration::seconds(s); }
+
+TEST(LoadTrajectory, StepFunctionLookup) {
+  LoadTrajectory traj({{at(0), 0.1, 100.0},
+                       {at(10), 0.5, 200.0},
+                       {at(20), 0.2, 50.0}});
+  EXPECT_DOUBLE_EQ(traj.cpu_at(at(0)), 0.1);
+  EXPECT_DOUBLE_EQ(traj.cpu_at(at(9)), 0.1);
+  EXPECT_DOUBLE_EQ(traj.cpu_at(at(10)), 0.5);
+  EXPECT_DOUBLE_EQ(traj.cpu_at(at(15)), 0.5);
+  EXPECT_DOUBLE_EQ(traj.cpu_at(at(25)), 0.2);
+  EXPECT_DOUBLE_EQ(traj.mem_at(at(12)), 200.0);
+}
+
+TEST(LoadTrajectory, EarlyTimesClampToFirstPoint) {
+  LoadTrajectory traj({{at(10), 0.7, 10.0}});
+  EXPECT_DOUBLE_EQ(traj.cpu_at(at(0)), 0.7);
+}
+
+TEST(LoadTrajectory, RejectsUnsortedPoints) {
+  EXPECT_THROW(LoadTrajectory({{at(10), 0.1, 0.0}, {at(5), 0.2, 0.0}}),
+               ConfigError);
+  EXPECT_THROW(LoadTrajectory({{at(5), 0.1, 0.0}, {at(5), 0.2, 0.0}}),
+               ConfigError);
+}
+
+TEST(LoadTrajectory, CursorMatchesBinarySearch) {
+  std::vector<LoadPoint> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({at(i * 7), i * 0.01, static_cast<double>(i)});
+  }
+  LoadTrajectory traj(pts);
+  LoadTrajectory::Cursor cursor(traj);
+  for (int s = 0; s < 700; s += 3) {
+    ASSERT_DOUBLE_EQ(cursor.at(at(s)).cpu, traj.cpu_at(at(s))) << s;
+  }
+}
+
+TEST(LoadOverlay, SumsOverlappingContributions) {
+  LoadOverlay ov;
+  ov.add_cpu(at(0), at(100), 0.3);
+  ov.add_cpu(at(50), at(150), 0.4);
+  const auto traj = ov.build(SimTime::epoch());
+  EXPECT_DOUBLE_EQ(traj.cpu_at(at(10)), 0.3);
+  EXPECT_DOUBLE_EQ(traj.cpu_at(at(60)), 0.7);
+  EXPECT_DOUBLE_EQ(traj.cpu_at(at(120)), 0.4);
+  EXPECT_DOUBLE_EQ(traj.cpu_at(at(200)), 0.0);
+}
+
+TEST(LoadOverlay, CapsCpuAtOne) {
+  LoadOverlay ov;
+  ov.add_cpu(at(0), at(10), 0.8);
+  ov.add_cpu(at(0), at(10), 0.9);
+  const auto traj = ov.build(SimTime::epoch());
+  EXPECT_DOUBLE_EQ(traj.cpu_at(at(5)), 1.0);
+}
+
+TEST(LoadOverlay, MemorySumsWithoutCap) {
+  LoadOverlay ov;
+  ov.add_mem(at(0), at(10), 700.0);
+  ov.add_mem(at(5), at(15), 600.0);
+  const auto traj = ov.build(SimTime::epoch());
+  EXPECT_DOUBLE_EQ(traj.mem_at(at(7)), 1300.0);
+}
+
+TEST(LoadOverlay, EmptyIntervalRejected) {
+  LoadOverlay ov;
+  EXPECT_THROW(ov.add_cpu(at(5), at(5), 0.5), ConfigError);
+  EXPECT_THROW(ov.add_mem(at(5), at(4), 10.0), ConfigError);
+}
+
+TEST(HourlyRates, DailyTotal) {
+  HourlyRates r;
+  r.weekday[3] = 0.5;
+  r.weekday[10] = 1.5;
+  r.weekend[0] = 0.25;
+  EXPECT_DOUBLE_EQ(r.daily_total(false), 2.0);
+  EXPECT_DOUBLE_EQ(r.daily_total(true), 0.25);
+}
+
+TEST(Calendar, IsWeekendDay) {
+  // start_dow = 0 (Monday): days 5, 6 are the first weekend.
+  EXPECT_FALSE(is_weekend_day(0));
+  EXPECT_FALSE(is_weekend_day(4));
+  EXPECT_TRUE(is_weekend_day(5));
+  EXPECT_TRUE(is_weekend_day(6));
+  EXPECT_FALSE(is_weekend_day(7));
+  EXPECT_TRUE(is_weekend_day(12));
+  // Saturday start.
+  EXPECT_TRUE(is_weekend_day(0, 5));
+  EXPECT_FALSE(is_weekend_day(2, 5));
+}
+
+TEST(LabProfile, BuiltinsValidate) {
+  EXPECT_NO_THROW(LabProfile::purdue_lab().validate());
+  EXPECT_NO_THROW(LabProfile::enterprise_desktop().validate());
+}
+
+TEST(LabProfile, ValidationRejectsBadValues) {
+  auto p = LabProfile::purdue_lab();
+  p.cpu_episode_rate.weekday[0] = -1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+
+  p = LabProfile::purdue_lab();
+  p.base_load_weekday[10] = 0.9;  // above the background cap
+  EXPECT_THROW(p.validate(), ConfigError);
+
+  p = LabProfile::purdue_lab();
+  p.updatedb_hour = 24;
+  EXPECT_THROW(p.validate(), ConfigError);
+
+  p = LabProfile::purdue_lab();
+  p.choppy_probability = 1.5;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(GenerateMachineLoad, Deterministic) {
+  const auto profile = LabProfile::purdue_lab();
+  const auto a = generate_machine_load(profile, 42, 3, 7);
+  const auto b = generate_machine_load(profile, 42, 3, 7);
+  ASSERT_EQ(a.load.points().size(), b.load.points().size());
+  for (std::size_t i = 0; i < a.load.points().size(); ++i) {
+    ASSERT_EQ(a.load.points()[i].t, b.load.points()[i].t);
+    ASSERT_EQ(a.load.points()[i].cpu, b.load.points()[i].cpu);
+  }
+  ASSERT_EQ(a.downtimes.size(), b.downtimes.size());
+}
+
+TEST(GenerateMachineLoad, MachinesDiffer) {
+  const auto profile = LabProfile::purdue_lab();
+  const auto a = generate_machine_load(profile, 42, 0, 7);
+  const auto b = generate_machine_load(profile, 42, 1, 7);
+  EXPECT_NE(a.load.points().size(), b.load.points().size());
+}
+
+TEST(GenerateMachineLoad, UpdatedbSpikesEveryDay) {
+  auto profile = LabProfile::purdue_lab();
+  const int days = 10;
+  const auto trace = generate_machine_load(profile, 7, 0, days);
+  for (int d = 0; d < days; ++d) {
+    const SimTime probe = SimTime::epoch() + SimDuration::days(d) +
+                          SimDuration::hours(4) + 10_min;
+    EXPECT_GT(trace.load.cpu_at(probe), 0.6) << "day " << d;
+  }
+}
+
+TEST(GenerateMachineLoad, NoUpdatedbWhenDisabled) {
+  auto profile = LabProfile::purdue_lab();
+  profile.updatedb_enabled = false;
+  // Also silence other load sources to isolate the cron.
+  profile.cpu_episode_rate = HourlyRates{};
+  profile.mem_episode_rate = HourlyRates{};
+  profile.busy_episode_rate = HourlyRates{};
+  profile.spike_rate_per_day = 0.0;
+  const auto trace = generate_machine_load(profile, 7, 0, 5);
+  for (int d = 0; d < 5; ++d) {
+    const SimTime probe = SimTime::epoch() + SimDuration::days(d) +
+                          SimDuration::hours(4) + 10_min;
+    EXPECT_LT(trace.load.cpu_at(probe), 0.6) << "day " << d;
+  }
+}
+
+TEST(GenerateMachineLoad, DowntimesSortedAndDisjoint) {
+  auto profile = LabProfile::purdue_lab();
+  profile.reboot_rate_per_day = 0.5;  // exaggerate to get many
+  profile.failure_rate_per_day = 0.1;
+  const auto trace = generate_machine_load(profile, 11, 0, 60);
+  ASSERT_GT(trace.downtimes.size(), 5u);
+  for (std::size_t i = 1; i < trace.downtimes.size(); ++i) {
+    const auto& prev = trace.downtimes[i - 1];
+    const auto& cur = trace.downtimes[i];
+    EXPECT_GE(cur.start.as_micros(),
+              (prev.start + prev.duration).as_micros());
+  }
+}
+
+TEST(GenerateMachineLoad, RebootsShorterThanFailures) {
+  auto profile = LabProfile::purdue_lab();
+  profile.reboot_rate_per_day = 0.5;
+  profile.failure_rate_per_day = 0.2;
+  const auto trace = generate_machine_load(profile, 13, 0, 120);
+  for (const auto& d : trace.downtimes) {
+    if (d.is_reboot) {
+      EXPECT_LT(d.duration, 1_min);
+    }
+  }
+}
+
+TEST(GenerateMachineLoad, BackgroundStaysBelowTh2) {
+  auto profile = LabProfile::purdue_lab();
+  profile.cpu_episode_rate = HourlyRates{};
+  profile.mem_episode_rate = HourlyRates{};
+  profile.busy_episode_rate = HourlyRates{};
+  profile.spike_rate_per_day = 0.0;
+  profile.updatedb_enabled = false;
+  const auto trace = generate_machine_load(profile, 3, 0, 7);
+  for (const auto& pt : trace.load.points()) {
+    EXPECT_LT(pt.cpu, 0.60);
+  }
+}
+
+TEST(GenerateMachineLoad, BusyEpisodesStayBelowTh2) {
+  auto profile = LabProfile::purdue_lab();
+  profile.cpu_episode_rate = HourlyRates{};
+  profile.mem_episode_rate = HourlyRates{};
+  profile.spike_rate_per_day = 0.0;
+  profile.updatedb_enabled = false;
+  const auto trace = generate_machine_load(profile, 5, 0, 30);
+  for (const auto& pt : trace.load.points()) {
+    EXPECT_LT(pt.cpu, 0.60) << pt.t.str();
+  }
+}
+
+TEST(GenerateMachineLoad, CpuValuesAlwaysInRange) {
+  const auto trace =
+      generate_machine_load(LabProfile::purdue_lab(), 17, 2, 30);
+  for (const auto& pt : trace.load.points()) {
+    ASSERT_GE(pt.cpu, 0.0);
+    ASSERT_LE(pt.cpu, 1.0);
+    ASSERT_GE(pt.mem_mb, 0.0);
+  }
+}
+
+TEST(GenerateMachineLoad, RequiresPositiveDays) {
+  EXPECT_THROW(generate_machine_load(LabProfile::purdue_lab(), 1, 0, 0),
+               ConfigError);
+}
+
+TEST(GenerateMachineLoad, EnterpriseQuietAtNight) {
+  const auto trace =
+      generate_machine_load(LabProfile::enterprise_desktop(), 19, 0, 14);
+  // Probe 2-3 AM every day: office machines are idle.
+  for (int d = 0; d < 14; ++d) {
+    const SimTime probe =
+        SimTime::epoch() + SimDuration::days(d) + SimDuration::hours(2);
+    EXPECT_LT(trace.load.cpu_at(probe), 0.3) << "day " << d;
+  }
+}
+
+}  // namespace
+}  // namespace fgcs::workload

@@ -1,0 +1,145 @@
+// Tests for synthetic duty-cycle workloads and host-group composition.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fgcs/util/error.hpp"
+#include "fgcs/workload/synthetic.hpp"
+
+namespace fgcs::workload {
+namespace {
+
+TEST(SyntheticCpuSpec, Validation) {
+  SyntheticCpuSpec s;
+  s.isolated_usage = 0.0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = SyntheticCpuSpec{};
+  s.isolated_usage = 1.5;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = SyntheticCpuSpec{};
+  s.jitter = 1.0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = SyntheticCpuSpec{};
+  s.period = sim::SimDuration::zero();
+  EXPECT_THROW(s.validate(), ConfigError);
+  EXPECT_NO_THROW(SyntheticCpuSpec{}.validate());
+}
+
+TEST(DutyCycleProgram, AlternatesComputeAndSleep) {
+  SyntheticCpuSpec s;
+  s.isolated_usage = 0.25;
+  s.jitter = 0.0;
+  s.period = sim::SimDuration::seconds(2);
+  auto prog = duty_cycle_program(s);
+  util::RngStream rng(1);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const os::Phase c = prog(rng);
+    ASSERT_EQ(c.kind, os::Phase::Kind::kCompute);
+    EXPECT_EQ(c.amount.as_micros(), 500'000);
+    const os::Phase z = prog(rng);
+    ASSERT_EQ(z.kind, os::Phase::Kind::kSleep);
+    EXPECT_EQ(z.amount.as_micros(), 1'500'000);
+  }
+}
+
+TEST(DutyCycleProgram, JitterVariesCyclePeriod) {
+  SyntheticCpuSpec s;
+  s.isolated_usage = 0.5;
+  s.jitter = 0.4;
+  auto prog = duty_cycle_program(s);
+  util::RngStream rng(2);
+  std::set<std::int64_t> compute_amounts;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    const os::Phase c = prog(rng);
+    compute_amounts.insert(c.amount.as_micros());
+    (void)prog(rng);  // sleep
+  }
+  EXPECT_GT(compute_amounts.size(), 5u);
+}
+
+TEST(DutyCycleProgram, JitterPreservesDutyRatio) {
+  SyntheticCpuSpec s;
+  s.isolated_usage = 0.3;
+  s.jitter = 0.3;
+  auto prog = duty_cycle_program(s);
+  util::RngStream rng(3);
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    const os::Phase c = prog(rng);
+    const os::Phase z = prog(rng);
+    const double ratio =
+        c.amount.as_seconds() / (c.amount.as_seconds() + z.amount.as_seconds());
+    EXPECT_NEAR(ratio, 0.3, 1e-5);  // microsecond rounding
+  }
+}
+
+TEST(DutyCycleProgram, FullUsageIsCpuBound) {
+  SyntheticCpuSpec s;
+  s.isolated_usage = 1.0;
+  auto prog = duty_cycle_program(s);
+  util::RngStream rng(4);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(prog(rng).kind, os::Phase::Kind::kCompute);
+  }
+}
+
+TEST(SyntheticSpecs, KindsAndNames) {
+  const auto host = synthetic_host(0.42);
+  EXPECT_EQ(host.kind, os::ProcessKind::kHost);
+  EXPECT_EQ(host.nice, 0);
+  EXPECT_LT(host.resident_mb, 10.0);  // "very small resident sets"
+
+  const auto guest = synthetic_guest(19);
+  EXPECT_EQ(guest.kind, os::ProcessKind::kGuest);
+  EXPECT_EQ(guest.nice, 19);
+
+  const auto partial = synthetic_guest_with_usage(0.7);
+  EXPECT_EQ(partial.kind, os::ProcessKind::kGuest);
+}
+
+class HostGroupTest
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(HostGroupTest, SharesSumToTotalAndRespectBounds) {
+  const auto [total, m] = GetParam();
+  util::RngStream rng(99);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto group = make_host_group(total, m, rng);
+    ASSERT_EQ(group.size(), m);
+    // Group names must be unique (distinct processes).
+    std::set<std::string> names;
+    for (const auto& spec : group) names.insert(spec.name);
+    EXPECT_EQ(names.size(), m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HostGroupTest,
+    ::testing::Values(std::make_tuple(0.1, std::size_t{1}),
+                      std::make_tuple(0.2, std::size_t{3}),
+                      std::make_tuple(0.5, std::size_t{5}),
+                      std::make_tuple(1.0, std::size_t{5}),
+                      std::make_tuple(1.0, std::size_t{8})));
+
+TEST(HostGroup, Validation) {
+  util::RngStream rng(1);
+  EXPECT_THROW(make_host_group(0.0, 1, rng), ConfigError);
+  EXPECT_THROW(make_host_group(1.5, 1, rng), ConfigError);
+  EXPECT_THROW(make_host_group(0.5, 0, rng), ConfigError);
+  // min_usage * m > total
+  EXPECT_THROW(make_host_group(0.05, 5, rng, 0.02), ConfigError);
+}
+
+TEST(HostGroup, CompositionsVaryAcrossDraws) {
+  util::RngStream rng(5);
+  const auto g1 = make_host_group(0.8, 3, rng);
+  const auto g2 = make_host_group(0.8, 3, rng);
+  // Names encode the rounded usage; at least sometimes they differ.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (g1[i].name != g2[i].name) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace fgcs::workload

@@ -1,0 +1,332 @@
+// fgcs — command-line front end for the library.
+//
+//   fgcs simulate  --out trace.trc [--machines N] [--days D] [--seed S]
+//                  [--profile purdue|enterprise] [--csv]
+//   fgcs analyze   <trace> [--start-dow 0..6]
+//   fgcs predict   <trace> [--train-days D] [--window-hours H]
+//   fgcs calibrate [--profile linux|solaris]
+//
+// `simulate` runs the testbed and writes a trace; `analyze` reproduces the
+// paper's Table 2 / Figure 6 / Figure 7 statistics from any saved trace;
+// `predict` runs the predictor panel; `calibrate` derives Th1/Th2 for a
+// scheduler profile via the offline contention sweep.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fgcs/core/analyzer.hpp"
+#include "fgcs/core/contention.hpp"
+#include "fgcs/core/prediction_study.hpp"
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/trace/io.hpp"
+#include "fgcs/util/cli.hpp"
+#include "fgcs/util/csv.hpp"
+#include "fgcs/util/error.hpp"
+#include "fgcs/util/table.hpp"
+
+using namespace fgcs;
+
+namespace {
+
+using Args = util::CliArgs;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  fgcs simulate  --out <path> [--machines N] [--days D] [--seed S]\n"
+      "                 [--profile purdue|enterprise]\n"
+      "  fgcs analyze   <trace> [--start-dow 0..6]\n"
+      "  fgcs predict   <trace> [--train-days D] [--window-hours H]\n"
+      "  fgcs calibrate [--profile linux|solaris]\n"
+      "  fgcs figures   --out <dir> [--quick]\n"
+      "\ntrace format chosen by extension: .csv is textual, anything else\n"
+      "is the compact binary format. `figures` writes one plottable CSV\n"
+      "per paper figure/table into <dir>.\n");
+  return 2;
+}
+
+core::TestbedConfig testbed_config_from(const Args& args) {
+  core::TestbedConfig config;
+  config.machines = static_cast<std::uint32_t>(args.get_int("machines", 20));
+  config.days = static_cast<int>(args.get_int("days", 92));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 20050815));
+  const std::string profile = args.get("profile", "purdue");
+  if (profile == "purdue") {
+    config.profile = workload::LabProfile::purdue_lab();
+  } else if (profile == "enterprise") {
+    config.profile = workload::LabProfile::enterprise_desktop();
+  } else {
+    throw fgcs::ConfigError("unknown profile: " + profile);
+  }
+  return config;
+}
+
+int cmd_simulate(const Args& args) {
+  if (!args.has_option("out")) return usage();
+  const auto config = testbed_config_from(args);
+  std::printf("simulating %u machines for %d days (seed %llu)...\n",
+              config.machines, config.days,
+              static_cast<unsigned long long>(config.seed));
+  const auto trace = core::run_testbed(config);
+  const std::string path = args.get("out", "trace.trc");
+  trace::save_trace(trace, path);
+  std::printf("wrote %zu unavailability records to %s\n", trace.size(),
+              path.c_str());
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional().empty()) return usage();
+  const auto trace = trace::load_trace(args.positional()[0]);
+  const auto dow = static_cast<trace::DayOfWeek>(args.get_int("start-dow", 0));
+  const core::TraceAnalyzer analyzer(trace, trace::TraceCalendar(dow));
+
+  std::printf("trace: %u machines, %s, %zu records\n\n", trace.machine_count(),
+              util::format_duration_s(trace.horizon().as_seconds()).c_str(),
+              trace.size());
+
+  const auto t2 = analyzer.table2();
+  util::TextTable causes({"Cause", "Per-machine", "Share"});
+  auto range = [](const core::Table2Stats::Range& r) {
+    return std::to_string(r.min) + "-" + std::to_string(r.max);
+  };
+  auto share = [&](double lo, double hi) {
+    return util::format_percent(lo, 0) + "-" + util::format_percent(hi, 0);
+  };
+  causes.add("total", range(t2.total), "100%");
+  causes.add("UEC: CPU (S3)", range(t2.cpu_contention),
+             share(t2.cpu_pct_min, t2.cpu_pct_max));
+  causes.add("UEC: memory (S4)", range(t2.mem_contention),
+             share(t2.mem_pct_min, t2.mem_pct_max));
+  causes.add("URR (S5)", range(t2.urr), share(t2.urr_pct_min, t2.urr_pct_max));
+  std::printf("%s", causes.str().c_str());
+  std::printf("reboot share of URR: %s\n\n",
+              util::format_percent(t2.reboot_fraction_of_urr, 0).c_str());
+
+  const auto iv = analyzer.intervals();
+  std::printf("availability intervals: weekday n=%zu mean=%s | "
+              "weekend n=%zu mean=%s\n\n",
+              iv.weekday.count,
+              util::format_duration_s(iv.weekday.mean_hours * 3600).c_str(),
+              iv.weekend.count,
+              util::format_duration_s(iv.weekend.mean_hours * 3600).c_str());
+
+  const auto hourly = analyzer.hourly();
+  util::TextTable pattern({"Hour", "Weekday mean", "Weekday range",
+                           "Weekend mean", "Weekend range"});
+  for (int h = 0; h < 24; ++h) {
+    const auto hh = static_cast<std::size_t>(h);
+    pattern.add(std::to_string(h),
+                util::format_double(hourly.weekday[hh].mean, 1),
+                util::format_double(hourly.weekday[hh].min, 0) + "-" +
+                    util::format_double(hourly.weekday[hh].max, 0),
+                util::format_double(hourly.weekend[hh].mean, 1),
+                util::format_double(hourly.weekend[hh].min, 0) + "-" +
+                    util::format_double(hourly.weekend[hh].max, 0));
+  }
+  std::printf("%s", pattern.str().c_str());
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  if (args.positional().empty()) return usage();
+  const auto trace = trace::load_trace(args.positional()[0]);
+  core::PredictionStudyConfig study;
+  study.train_days = static_cast<int>(args.get_int("train-days", 56));
+  study.windows = {
+      sim::SimDuration::hours(args.get_int("window-hours", 2))};
+  const auto rows =
+      core::run_prediction_study(trace, trace::TraceCalendar{}, study);
+
+  util::TextTable table({"Predictor", "Queries", "Brier", "Accuracy", "FPR"});
+  for (const auto& row : rows) {
+    table.add(row.result.predictor, row.result.queries,
+              util::format_double(row.result.brier, 4),
+              util::format_percent(row.result.accuracy, 1),
+              util::format_percent(row.result.false_positive_rate, 1));
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+int cmd_calibrate(const Args& args) {
+  core::Fig1Config sweep;
+  const std::string profile = args.get("profile", "linux");
+  if (profile == "linux") {
+    sweep.base.scheduler = os::SchedulerParams::linux_2_4();
+    sweep.base.memory = os::MemoryParams::linux_1gb();
+  } else if (profile == "solaris") {
+    sweep.base.scheduler = os::SchedulerParams::solaris_ts();
+    sweep.base.memory = os::MemoryParams::solaris_384mb();
+  } else {
+    throw fgcs::ConfigError("unknown profile: " + profile);
+  }
+  sweep.max_group_size = 3;
+  std::printf("running the offline contention sweep on '%s'...\n",
+              sweep.base.scheduler.name.c_str());
+  const auto result = core::run_fig1(sweep);
+  std::printf("Th1 = %.2f, Th2 = %.2f\n", result.th1, result.th2);
+  return 0;
+}
+
+int cmd_figures(const Args& args) {
+  if (!args.has_option("out")) return usage();
+  const std::filesystem::path dir = args.get("out", "figures");
+  std::filesystem::create_directories(dir);
+  const bool quick = args.has_flag("quick");
+
+  auto open_csv = [&](const char* name) {
+    std::ofstream out(dir / name);
+    if (!out) throw IoError("cannot write " + (dir / name).string());
+    return out;
+  };
+
+  // Figures 1 and 2: contention sweeps.
+  {
+    core::Fig1Config cfg;
+    if (quick) {
+      cfg.base.measure = sim::SimDuration::minutes(3);
+      cfg.base.combinations = 2;
+      cfg.max_group_size = 3;
+    }
+    std::printf("fig1 (contention sweep)...\n");
+    const auto result = core::run_fig1(cfg);
+    auto out = open_csv("fig1.csv");
+    util::CsvWriter csv(out);
+    csv.write("panel", "lh", "group_size", "reduction", "lh_measured");
+    for (const auto& p : result.points) {
+      csv.write(p.guest_nice == 0 ? "a" : "b", p.lh_nominal, p.group_size,
+                p.reduction, p.lh_measured);
+    }
+    std::printf("  Th1=%.2f Th2=%.2f\n", result.th1, result.th2);
+  }
+  {
+    std::printf("fig2 (priority sweep)...\n");
+    core::ContentionConfig cfg;
+    if (quick) {
+      cfg.measure = sim::SimDuration::minutes(3);
+      cfg.combinations = 2;
+    }
+    const auto points = core::run_fig2(
+        cfg, {0.2, 0.4, 0.6, 0.8, 1.0}, {0, 5, 10, 15, 18, 19});
+    auto out = open_csv("fig2.csv");
+    util::CsvWriter csv(out);
+    csv.write("lh", "guest_nice", "reduction");
+    for (const auto& p : points) csv.write(p.lh_nominal, p.guest_nice, p.reduction);
+  }
+  {
+    std::printf("fig3 (guest usage)...\n");
+    core::ContentionConfig cfg;
+    if (quick) {
+      cfg.measure = sim::SimDuration::minutes(3);
+      cfg.combinations = 2;
+    }
+    auto out = open_csv("fig3.csv");
+    util::CsvWriter csv(out);
+    csv.write("host_usage", "guest_demand", "guest_equal", "guest_nice19");
+    for (const auto& p : core::run_fig3(cfg)) {
+      csv.write(p.host_usage, p.guest_demand, p.guest_usage_equal,
+                p.guest_usage_lowest);
+    }
+  }
+  {
+    std::printf("fig4 + table1 (Solaris mixed contention)...\n");
+    core::Fig4Config cfg;
+    if (quick) {
+      cfg.base.measure = sim::SimDuration::minutes(3);
+    }
+    auto out = open_csv("fig4.csv");
+    util::CsvWriter csv(out);
+    csv.write("host", "guest", "guest_nice", "reduction", "thrashing");
+    for (const auto& c : core::run_fig4(cfg)) {
+      csv.write(c.host_workload, c.guest_app, c.guest_nice, c.reduction,
+                c.thrashing);
+    }
+    core::ContentionConfig t1cfg = cfg.base;
+    auto out1 = open_csv("table1.csv");
+    util::CsvWriter csv1(out1);
+    csv1.write("workload", "cpu_usage", "resident_mb", "virtual_mb");
+    for (const auto& row : core::run_table1(t1cfg)) {
+      csv1.write(row.name, row.cpu_usage, row.resident_mb, row.virtual_mb);
+    }
+  }
+
+  // Testbed figures.
+  std::printf("testbed (table2, fig6, fig7, capacity)...\n");
+  core::TestbedConfig testbed;
+  if (quick) {
+    testbed.machines = 8;
+    testbed.days = 28;
+  }
+  const auto trace = core::run_testbed(testbed);
+  const core::TraceAnalyzer analyzer(trace);
+  {
+    const auto t2 = analyzer.table2();
+    auto out = open_csv("table2.csv");
+    util::CsvWriter csv(out);
+    csv.write("category", "min", "max", "mean");
+    csv.write("total", t2.total.min, t2.total.max, t2.total.mean);
+    csv.write("cpu", t2.cpu_contention.min, t2.cpu_contention.max,
+              t2.cpu_contention.mean);
+    csv.write("memory", t2.mem_contention.min, t2.mem_contention.max,
+              t2.mem_contention.mean);
+    csv.write("urr", t2.urr.min, t2.urr.max, t2.urr.mean);
+  }
+  {
+    const auto iv = analyzer.intervals();
+    auto out = open_csv("fig6.csv");
+    util::CsvWriter csv(out);
+    csv.write("hours", "weekday_cdf", "weekend_cdf");
+    for (double h = 0.0; h <= 14.0; h += 0.1) {
+      csv.write(h, iv.weekday.ecdf_hours(h), iv.weekend.ecdf_hours(h));
+    }
+  }
+  {
+    const auto hourly = analyzer.hourly();
+    auto out = open_csv("fig7.csv");
+    util::CsvWriter csv(out);
+    csv.write("hour", "day_class", "mean", "min", "max", "stddev");
+    for (std::size_t h = 0; h < 24; ++h) {
+      csv.write(h, "weekday", hourly.weekday[h].mean, hourly.weekday[h].min,
+                hourly.weekday[h].max, hourly.weekday[h].stddev);
+      csv.write(h, "weekend", hourly.weekend[h].mean, hourly.weekend[h].min,
+                hourly.weekend[h].max, hourly.weekend[h].stddev);
+    }
+  }
+  {
+    const auto capacity = core::run_capacity_profile(testbed);
+    auto out = open_csv("capacity.csv");
+    util::CsvWriter csv(out);
+    csv.write("hour", "weekday_cpu", "weekend_cpu", "weekday_free_mem",
+              "weekend_free_mem", "weekday_host_load", "weekend_host_load");
+    for (std::size_t h = 0; h < 24; ++h) {
+      csv.write(h, capacity.weekday_cpu[h], capacity.weekend_cpu[h],
+                capacity.weekday_free_mem[h], capacity.weekend_free_mem[h],
+                capacity.weekday_host_load[h], capacity.weekend_host_load[h]);
+    }
+  }
+  std::printf("wrote CSV series into %s\n", dir.string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv);
+  try {
+    if (args.command() == "simulate") return cmd_simulate(args);
+    if (args.command() == "analyze") return cmd_analyze(args);
+    if (args.command() == "predict") return cmd_predict(args);
+    if (args.command() == "calibrate") return cmd_calibrate(args);
+    if (args.command() == "figures") return cmd_figures(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fgcs: %s\n", e.what());
+    return 1;
+  }
+}
