@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_scheduler_params"
+  "../bench/abl_scheduler_params.pdb"
+  "CMakeFiles/abl_scheduler_params.dir/abl_scheduler_params.cpp.o"
+  "CMakeFiles/abl_scheduler_params.dir/abl_scheduler_params.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scheduler_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

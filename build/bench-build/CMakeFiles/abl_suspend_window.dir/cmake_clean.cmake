@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_suspend_window"
+  "../bench/abl_suspend_window.pdb"
+  "CMakeFiles/abl_suspend_window.dir/abl_suspend_window.cpp.o"
+  "CMakeFiles/abl_suspend_window.dir/abl_suspend_window.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_suspend_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

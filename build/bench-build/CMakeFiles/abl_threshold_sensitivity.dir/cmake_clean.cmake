@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_threshold_sensitivity"
+  "../bench/abl_threshold_sensitivity.pdb"
+  "CMakeFiles/abl_threshold_sensitivity.dir/abl_threshold_sensitivity.cpp.o"
+  "CMakeFiles/abl_threshold_sensitivity.dir/abl_threshold_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_threshold_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

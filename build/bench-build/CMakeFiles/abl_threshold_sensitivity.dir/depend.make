@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_threshold_sensitivity.
+# This may be replaced when dependencies are built.

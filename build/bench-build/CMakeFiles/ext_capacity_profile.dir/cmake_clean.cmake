@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_capacity_profile"
+  "../bench/ext_capacity_profile.pdb"
+  "CMakeFiles/ext_capacity_profile.dir/ext_capacity_profile.cpp.o"
+  "CMakeFiles/ext_capacity_profile.dir/ext_capacity_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_capacity_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

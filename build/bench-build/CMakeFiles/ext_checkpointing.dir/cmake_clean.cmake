@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_checkpointing"
+  "../bench/ext_checkpointing.pdb"
+  "CMakeFiles/ext_checkpointing.dir/ext_checkpointing.cpp.o"
+  "CMakeFiles/ext_checkpointing.dir/ext_checkpointing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

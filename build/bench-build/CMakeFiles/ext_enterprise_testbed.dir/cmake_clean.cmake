@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_enterprise_testbed"
+  "../bench/ext_enterprise_testbed.pdb"
+  "CMakeFiles/ext_enterprise_testbed.dir/ext_enterprise_testbed.cpp.o"
+  "CMakeFiles/ext_enterprise_testbed.dir/ext_enterprise_testbed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_enterprise_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

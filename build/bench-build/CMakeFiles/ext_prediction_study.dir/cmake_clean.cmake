@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_prediction_study"
+  "../bench/ext_prediction_study.pdb"
+  "CMakeFiles/ext_prediction_study.dir/ext_prediction_study.cpp.o"
+  "CMakeFiles/ext_prediction_study.dir/ext_prediction_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_prediction_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_cpu_contention"
+  "../bench/fig1_cpu_contention.pdb"
+  "CMakeFiles/fig1_cpu_contention.dir/fig1_cpu_contention.cpp.o"
+  "CMakeFiles/fig1_cpu_contention.dir/fig1_cpu_contention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cpu_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_priority_sweep"
+  "../bench/fig2_priority_sweep.pdb"
+  "CMakeFiles/fig2_priority_sweep.dir/fig2_priority_sweep.cpp.o"
+  "CMakeFiles/fig2_priority_sweep.dir/fig2_priority_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_priority_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

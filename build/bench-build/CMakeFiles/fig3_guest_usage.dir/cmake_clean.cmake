@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_guest_usage"
+  "../bench/fig3_guest_usage.pdb"
+  "CMakeFiles/fig3_guest_usage.dir/fig3_guest_usage.cpp.o"
+  "CMakeFiles/fig3_guest_usage.dir/fig3_guest_usage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_guest_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

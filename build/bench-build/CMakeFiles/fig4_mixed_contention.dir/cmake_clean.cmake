@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_mixed_contention"
+  "../bench/fig4_mixed_contention.pdb"
+  "CMakeFiles/fig4_mixed_contention.dir/fig4_mixed_contention.cpp.o"
+  "CMakeFiles/fig4_mixed_contention.dir/fig4_mixed_contention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mixed_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

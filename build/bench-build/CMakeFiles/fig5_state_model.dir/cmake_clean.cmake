@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_state_model"
+  "../bench/fig5_state_model.pdb"
+  "CMakeFiles/fig5_state_model.dir/fig5_state_model.cpp.o"
+  "CMakeFiles/fig5_state_model.dir/fig5_state_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_state_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_interval_cdf"
+  "../bench/fig6_interval_cdf.pdb"
+  "CMakeFiles/fig6_interval_cdf.dir/fig6_interval_cdf.cpp.o"
+  "CMakeFiles/fig6_interval_cdf.dir/fig6_interval_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_interval_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

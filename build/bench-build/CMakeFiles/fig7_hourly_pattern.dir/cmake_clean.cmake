@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_hourly_pattern"
+  "../bench/fig7_hourly_pattern.pdb"
+  "CMakeFiles/fig7_hourly_pattern.dir/fig7_hourly_pattern.cpp.o"
+  "CMakeFiles/fig7_hourly_pattern.dir/fig7_hourly_pattern.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_hourly_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_microbench"
+  "../bench/perf_microbench.pdb"
+  "CMakeFiles/perf_microbench.dir/perf_microbench.cpp.o"
+  "CMakeFiles/perf_microbench.dir/perf_microbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_app_usage"
+  "../bench/table1_app_usage.pdb"
+  "CMakeFiles/table1_app_usage.dir/table1_app_usage.cpp.o"
+  "CMakeFiles/table1_app_usage.dir/table1_app_usage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_app_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_unavailability_causes"
+  "../bench/table2_unavailability_causes.pdb"
+  "CMakeFiles/table2_unavailability_causes.dir/table2_unavailability_causes.cpp.o"
+  "CMakeFiles/table2_unavailability_causes.dir/table2_unavailability_causes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_unavailability_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_cluster.dir/fgcs_cluster.cpp.o"
+  "CMakeFiles/fgcs_cluster.dir/fgcs_cluster.cpp.o.d"
+  "fgcs_cluster"
+  "fgcs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

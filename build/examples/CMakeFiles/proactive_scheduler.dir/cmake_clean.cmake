@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proactive_scheduler.dir/proactive_scheduler.cpp.o"
+  "CMakeFiles/proactive_scheduler.dir/proactive_scheduler.cpp.o.d"
+  "proactive_scheduler"
+  "proactive_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proactive_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

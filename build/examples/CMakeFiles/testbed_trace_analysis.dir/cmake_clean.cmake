@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_trace_analysis.dir/testbed_trace_analysis.cpp.o"
+  "CMakeFiles/testbed_trace_analysis.dir/testbed_trace_analysis.cpp.o.d"
+  "testbed_trace_analysis"
+  "testbed_trace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_trace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

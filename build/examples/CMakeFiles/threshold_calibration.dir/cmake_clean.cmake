@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_calibration.dir/threshold_calibration.cpp.o"
+  "CMakeFiles/threshold_calibration.dir/threshold_calibration.cpp.o.d"
+  "threshold_calibration"
+  "threshold_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_core.dir/analyzer.cpp.o"
+  "CMakeFiles/fgcs_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/fgcs_core.dir/contention.cpp.o"
+  "CMakeFiles/fgcs_core.dir/contention.cpp.o.d"
+  "CMakeFiles/fgcs_core.dir/prediction_study.cpp.o"
+  "CMakeFiles/fgcs_core.dir/prediction_study.cpp.o.d"
+  "CMakeFiles/fgcs_core.dir/testbed.cpp.o"
+  "CMakeFiles/fgcs_core.dir/testbed.cpp.o.d"
+  "libfgcs_core.a"
+  "libfgcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

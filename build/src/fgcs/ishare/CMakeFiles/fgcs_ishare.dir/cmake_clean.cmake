@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_ishare.dir/discovery.cpp.o"
+  "CMakeFiles/fgcs_ishare.dir/discovery.cpp.o.d"
+  "CMakeFiles/fgcs_ishare.dir/system.cpp.o"
+  "CMakeFiles/fgcs_ishare.dir/system.cpp.o.d"
+  "libfgcs_ishare.a"
+  "libfgcs_ishare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_ishare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fgcs/monitor/availability.cpp" "src/fgcs/monitor/CMakeFiles/fgcs_monitor.dir/availability.cpp.o" "gcc" "src/fgcs/monitor/CMakeFiles/fgcs_monitor.dir/availability.cpp.o.d"
+  "/root/repo/src/fgcs/monitor/detector.cpp" "src/fgcs/monitor/CMakeFiles/fgcs_monitor.dir/detector.cpp.o" "gcc" "src/fgcs/monitor/CMakeFiles/fgcs_monitor.dir/detector.cpp.o.d"
+  "/root/repo/src/fgcs/monitor/guest_controller.cpp" "src/fgcs/monitor/CMakeFiles/fgcs_monitor.dir/guest_controller.cpp.o" "gcc" "src/fgcs/monitor/CMakeFiles/fgcs_monitor.dir/guest_controller.cpp.o.d"
+  "/root/repo/src/fgcs/monitor/machine_sampler.cpp" "src/fgcs/monitor/CMakeFiles/fgcs_monitor.dir/machine_sampler.cpp.o" "gcc" "src/fgcs/monitor/CMakeFiles/fgcs_monitor.dir/machine_sampler.cpp.o.d"
+  "/root/repo/src/fgcs/monitor/policy.cpp" "src/fgcs/monitor/CMakeFiles/fgcs_monitor.dir/policy.cpp.o" "gcc" "src/fgcs/monitor/CMakeFiles/fgcs_monitor.dir/policy.cpp.o.d"
+  "/root/repo/src/fgcs/monitor/state_timeline.cpp" "src/fgcs/monitor/CMakeFiles/fgcs_monitor.dir/state_timeline.cpp.o" "gcc" "src/fgcs/monitor/CMakeFiles/fgcs_monitor.dir/state_timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fgcs/os/CMakeFiles/fgcs_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/workload/CMakeFiles/fgcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/sim/CMakeFiles/fgcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/util/CMakeFiles/fgcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/stats/CMakeFiles/fgcs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

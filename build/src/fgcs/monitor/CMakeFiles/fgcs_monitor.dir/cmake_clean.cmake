@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_monitor.dir/availability.cpp.o"
+  "CMakeFiles/fgcs_monitor.dir/availability.cpp.o.d"
+  "CMakeFiles/fgcs_monitor.dir/detector.cpp.o"
+  "CMakeFiles/fgcs_monitor.dir/detector.cpp.o.d"
+  "CMakeFiles/fgcs_monitor.dir/guest_controller.cpp.o"
+  "CMakeFiles/fgcs_monitor.dir/guest_controller.cpp.o.d"
+  "CMakeFiles/fgcs_monitor.dir/machine_sampler.cpp.o"
+  "CMakeFiles/fgcs_monitor.dir/machine_sampler.cpp.o.d"
+  "CMakeFiles/fgcs_monitor.dir/policy.cpp.o"
+  "CMakeFiles/fgcs_monitor.dir/policy.cpp.o.d"
+  "CMakeFiles/fgcs_monitor.dir/state_timeline.cpp.o"
+  "CMakeFiles/fgcs_monitor.dir/state_timeline.cpp.o.d"
+  "libfgcs_monitor.a"
+  "libfgcs_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

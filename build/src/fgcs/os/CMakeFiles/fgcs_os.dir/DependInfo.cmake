@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fgcs/os/machine.cpp" "src/fgcs/os/CMakeFiles/fgcs_os.dir/machine.cpp.o" "gcc" "src/fgcs/os/CMakeFiles/fgcs_os.dir/machine.cpp.o.d"
+  "/root/repo/src/fgcs/os/memory.cpp" "src/fgcs/os/CMakeFiles/fgcs_os.dir/memory.cpp.o" "gcc" "src/fgcs/os/CMakeFiles/fgcs_os.dir/memory.cpp.o.d"
+  "/root/repo/src/fgcs/os/process.cpp" "src/fgcs/os/CMakeFiles/fgcs_os.dir/process.cpp.o" "gcc" "src/fgcs/os/CMakeFiles/fgcs_os.dir/process.cpp.o.d"
+  "/root/repo/src/fgcs/os/scheduler.cpp" "src/fgcs/os/CMakeFiles/fgcs_os.dir/scheduler.cpp.o" "gcc" "src/fgcs/os/CMakeFiles/fgcs_os.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fgcs/sim/CMakeFiles/fgcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/util/CMakeFiles/fgcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

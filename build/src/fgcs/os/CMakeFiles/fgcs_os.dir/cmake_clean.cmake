@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_os.dir/machine.cpp.o"
+  "CMakeFiles/fgcs_os.dir/machine.cpp.o.d"
+  "CMakeFiles/fgcs_os.dir/memory.cpp.o"
+  "CMakeFiles/fgcs_os.dir/memory.cpp.o.d"
+  "CMakeFiles/fgcs_os.dir/process.cpp.o"
+  "CMakeFiles/fgcs_os.dir/process.cpp.o.d"
+  "CMakeFiles/fgcs_os.dir/scheduler.cpp.o"
+  "CMakeFiles/fgcs_os.dir/scheduler.cpp.o.d"
+  "libfgcs_os.a"
+  "libfgcs_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fgcs/predict/baselines.cpp" "src/fgcs/predict/CMakeFiles/fgcs_predict.dir/baselines.cpp.o" "gcc" "src/fgcs/predict/CMakeFiles/fgcs_predict.dir/baselines.cpp.o.d"
+  "/root/repo/src/fgcs/predict/evaluation.cpp" "src/fgcs/predict/CMakeFiles/fgcs_predict.dir/evaluation.cpp.o" "gcc" "src/fgcs/predict/CMakeFiles/fgcs_predict.dir/evaluation.cpp.o.d"
+  "/root/repo/src/fgcs/predict/history_window.cpp" "src/fgcs/predict/CMakeFiles/fgcs_predict.dir/history_window.cpp.o" "gcc" "src/fgcs/predict/CMakeFiles/fgcs_predict.dir/history_window.cpp.o.d"
+  "/root/repo/src/fgcs/predict/interval_estimator.cpp" "src/fgcs/predict/CMakeFiles/fgcs_predict.dir/interval_estimator.cpp.o" "gcc" "src/fgcs/predict/CMakeFiles/fgcs_predict.dir/interval_estimator.cpp.o.d"
+  "/root/repo/src/fgcs/predict/predictor.cpp" "src/fgcs/predict/CMakeFiles/fgcs_predict.dir/predictor.cpp.o" "gcc" "src/fgcs/predict/CMakeFiles/fgcs_predict.dir/predictor.cpp.o.d"
+  "/root/repo/src/fgcs/predict/robust_history.cpp" "src/fgcs/predict/CMakeFiles/fgcs_predict.dir/robust_history.cpp.o" "gcc" "src/fgcs/predict/CMakeFiles/fgcs_predict.dir/robust_history.cpp.o.d"
+  "/root/repo/src/fgcs/predict/semi_markov.cpp" "src/fgcs/predict/CMakeFiles/fgcs_predict.dir/semi_markov.cpp.o" "gcc" "src/fgcs/predict/CMakeFiles/fgcs_predict.dir/semi_markov.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fgcs/trace/CMakeFiles/fgcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/stats/CMakeFiles/fgcs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/util/CMakeFiles/fgcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/monitor/CMakeFiles/fgcs_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/workload/CMakeFiles/fgcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/os/CMakeFiles/fgcs_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/sim/CMakeFiles/fgcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_predict.dir/baselines.cpp.o"
+  "CMakeFiles/fgcs_predict.dir/baselines.cpp.o.d"
+  "CMakeFiles/fgcs_predict.dir/evaluation.cpp.o"
+  "CMakeFiles/fgcs_predict.dir/evaluation.cpp.o.d"
+  "CMakeFiles/fgcs_predict.dir/history_window.cpp.o"
+  "CMakeFiles/fgcs_predict.dir/history_window.cpp.o.d"
+  "CMakeFiles/fgcs_predict.dir/interval_estimator.cpp.o"
+  "CMakeFiles/fgcs_predict.dir/interval_estimator.cpp.o.d"
+  "CMakeFiles/fgcs_predict.dir/predictor.cpp.o"
+  "CMakeFiles/fgcs_predict.dir/predictor.cpp.o.d"
+  "CMakeFiles/fgcs_predict.dir/robust_history.cpp.o"
+  "CMakeFiles/fgcs_predict.dir/robust_history.cpp.o.d"
+  "CMakeFiles/fgcs_predict.dir/semi_markov.cpp.o"
+  "CMakeFiles/fgcs_predict.dir/semi_markov.cpp.o.d"
+  "libfgcs_predict.a"
+  "libfgcs_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfgcs_predict.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/fgcs_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/fgcs_sim.dir/simulation.cpp.o"
+  "CMakeFiles/fgcs_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/fgcs_sim.dir/time.cpp.o"
+  "CMakeFiles/fgcs_sim.dir/time.cpp.o.d"
+  "libfgcs_sim.a"
+  "libfgcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fgcs/stats/bootstrap.cpp" "src/fgcs/stats/CMakeFiles/fgcs_stats.dir/bootstrap.cpp.o" "gcc" "src/fgcs/stats/CMakeFiles/fgcs_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/fgcs/stats/descriptive.cpp" "src/fgcs/stats/CMakeFiles/fgcs_stats.dir/descriptive.cpp.o" "gcc" "src/fgcs/stats/CMakeFiles/fgcs_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/fgcs/stats/distributions.cpp" "src/fgcs/stats/CMakeFiles/fgcs_stats.dir/distributions.cpp.o" "gcc" "src/fgcs/stats/CMakeFiles/fgcs_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/fgcs/stats/ecdf.cpp" "src/fgcs/stats/CMakeFiles/fgcs_stats.dir/ecdf.cpp.o" "gcc" "src/fgcs/stats/CMakeFiles/fgcs_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/fgcs/stats/histogram.cpp" "src/fgcs/stats/CMakeFiles/fgcs_stats.dir/histogram.cpp.o" "gcc" "src/fgcs/stats/CMakeFiles/fgcs_stats.dir/histogram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fgcs/util/CMakeFiles/fgcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/fgcs_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/fgcs_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/fgcs_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/fgcs_stats.dir/distributions.cpp.o"
+  "CMakeFiles/fgcs_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/fgcs_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/fgcs_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/fgcs_stats.dir/histogram.cpp.o"
+  "CMakeFiles/fgcs_stats.dir/histogram.cpp.o.d"
+  "libfgcs_stats.a"
+  "libfgcs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

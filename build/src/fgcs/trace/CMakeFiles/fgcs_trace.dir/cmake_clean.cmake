@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_trace.dir/calendar.cpp.o"
+  "CMakeFiles/fgcs_trace.dir/calendar.cpp.o.d"
+  "CMakeFiles/fgcs_trace.dir/index.cpp.o"
+  "CMakeFiles/fgcs_trace.dir/index.cpp.o.d"
+  "CMakeFiles/fgcs_trace.dir/io.cpp.o"
+  "CMakeFiles/fgcs_trace.dir/io.cpp.o.d"
+  "CMakeFiles/fgcs_trace.dir/trace_set.cpp.o"
+  "CMakeFiles/fgcs_trace.dir/trace_set.cpp.o.d"
+  "libfgcs_trace.a"
+  "libfgcs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

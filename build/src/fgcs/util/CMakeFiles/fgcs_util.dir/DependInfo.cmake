@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fgcs/util/cli.cpp" "src/fgcs/util/CMakeFiles/fgcs_util.dir/cli.cpp.o" "gcc" "src/fgcs/util/CMakeFiles/fgcs_util.dir/cli.cpp.o.d"
+  "/root/repo/src/fgcs/util/csv.cpp" "src/fgcs/util/CMakeFiles/fgcs_util.dir/csv.cpp.o" "gcc" "src/fgcs/util/CMakeFiles/fgcs_util.dir/csv.cpp.o.d"
+  "/root/repo/src/fgcs/util/error.cpp" "src/fgcs/util/CMakeFiles/fgcs_util.dir/error.cpp.o" "gcc" "src/fgcs/util/CMakeFiles/fgcs_util.dir/error.cpp.o.d"
+  "/root/repo/src/fgcs/util/parallel.cpp" "src/fgcs/util/CMakeFiles/fgcs_util.dir/parallel.cpp.o" "gcc" "src/fgcs/util/CMakeFiles/fgcs_util.dir/parallel.cpp.o.d"
+  "/root/repo/src/fgcs/util/rng.cpp" "src/fgcs/util/CMakeFiles/fgcs_util.dir/rng.cpp.o" "gcc" "src/fgcs/util/CMakeFiles/fgcs_util.dir/rng.cpp.o.d"
+  "/root/repo/src/fgcs/util/table.cpp" "src/fgcs/util/CMakeFiles/fgcs_util.dir/table.cpp.o" "gcc" "src/fgcs/util/CMakeFiles/fgcs_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_util.dir/cli.cpp.o"
+  "CMakeFiles/fgcs_util.dir/cli.cpp.o.d"
+  "CMakeFiles/fgcs_util.dir/csv.cpp.o"
+  "CMakeFiles/fgcs_util.dir/csv.cpp.o.d"
+  "CMakeFiles/fgcs_util.dir/error.cpp.o"
+  "CMakeFiles/fgcs_util.dir/error.cpp.o.d"
+  "CMakeFiles/fgcs_util.dir/parallel.cpp.o"
+  "CMakeFiles/fgcs_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/fgcs_util.dir/rng.cpp.o"
+  "CMakeFiles/fgcs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fgcs_util.dir/table.cpp.o"
+  "CMakeFiles/fgcs_util.dir/table.cpp.o.d"
+  "libfgcs_util.a"
+  "libfgcs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fgcs/workload/load_model.cpp" "src/fgcs/workload/CMakeFiles/fgcs_workload.dir/load_model.cpp.o" "gcc" "src/fgcs/workload/CMakeFiles/fgcs_workload.dir/load_model.cpp.o.d"
+  "/root/repo/src/fgcs/workload/musbus.cpp" "src/fgcs/workload/CMakeFiles/fgcs_workload.dir/musbus.cpp.o" "gcc" "src/fgcs/workload/CMakeFiles/fgcs_workload.dir/musbus.cpp.o.d"
+  "/root/repo/src/fgcs/workload/spec_cpu2000.cpp" "src/fgcs/workload/CMakeFiles/fgcs_workload.dir/spec_cpu2000.cpp.o" "gcc" "src/fgcs/workload/CMakeFiles/fgcs_workload.dir/spec_cpu2000.cpp.o.d"
+  "/root/repo/src/fgcs/workload/synthetic.cpp" "src/fgcs/workload/CMakeFiles/fgcs_workload.dir/synthetic.cpp.o" "gcc" "src/fgcs/workload/CMakeFiles/fgcs_workload.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fgcs/os/CMakeFiles/fgcs_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/stats/CMakeFiles/fgcs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/sim/CMakeFiles/fgcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/util/CMakeFiles/fgcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

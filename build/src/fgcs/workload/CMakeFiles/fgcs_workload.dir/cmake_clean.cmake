@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_workload.dir/load_model.cpp.o"
+  "CMakeFiles/fgcs_workload.dir/load_model.cpp.o.d"
+  "CMakeFiles/fgcs_workload.dir/musbus.cpp.o"
+  "CMakeFiles/fgcs_workload.dir/musbus.cpp.o.d"
+  "CMakeFiles/fgcs_workload.dir/spec_cpu2000.cpp.o"
+  "CMakeFiles/fgcs_workload.dir/spec_cpu2000.cpp.o.d"
+  "CMakeFiles/fgcs_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/fgcs_workload.dir/synthetic.cpp.o.d"
+  "libfgcs_workload.a"
+  "libfgcs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_contention_test.dir/core_contention_test.cpp.o"
+  "CMakeFiles/core_contention_test.dir/core_contention_test.cpp.o.d"
+  "core_contention_test"
+  "core_contention_test.pdb"
+  "core_contention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_contention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

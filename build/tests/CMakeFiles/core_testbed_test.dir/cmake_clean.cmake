@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_testbed_test.dir/core_testbed_test.cpp.o"
+  "CMakeFiles/core_testbed_test.dir/core_testbed_test.cpp.o.d"
+  "core_testbed_test"
+  "core_testbed_test.pdb"
+  "core_testbed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_testbed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ishare_discovery_test.dir/ishare_discovery_test.cpp.o"
+  "CMakeFiles/ishare_discovery_test.dir/ishare_discovery_test.cpp.o.d"
+  "ishare_discovery_test"
+  "ishare_discovery_test.pdb"
+  "ishare_discovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ishare_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ishare_discovery_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ishare_system_test.dir/ishare_system_test.cpp.o"
+  "CMakeFiles/ishare_system_test.dir/ishare_system_test.cpp.o.d"
+  "ishare_system_test"
+  "ishare_system_test.pdb"
+  "ishare_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ishare_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

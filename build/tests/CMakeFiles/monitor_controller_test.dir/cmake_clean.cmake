@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_controller_test.dir/monitor_controller_test.cpp.o"
+  "CMakeFiles/monitor_controller_test.dir/monitor_controller_test.cpp.o.d"
+  "monitor_controller_test"
+  "monitor_controller_test.pdb"
+  "monitor_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_detector_test.dir/monitor_detector_test.cpp.o"
+  "CMakeFiles/monitor_detector_test.dir/monitor_detector_test.cpp.o.d"
+  "monitor_detector_test"
+  "monitor_detector_test.pdb"
+  "monitor_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_sampler_test.dir/monitor_sampler_test.cpp.o"
+  "CMakeFiles/monitor_sampler_test.dir/monitor_sampler_test.cpp.o.d"
+  "monitor_sampler_test"
+  "monitor_sampler_test.pdb"
+  "monitor_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

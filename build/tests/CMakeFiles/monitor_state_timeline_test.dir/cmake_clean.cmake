@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_state_timeline_test.dir/monitor_state_timeline_test.cpp.o"
+  "CMakeFiles/monitor_state_timeline_test.dir/monitor_state_timeline_test.cpp.o.d"
+  "monitor_state_timeline_test"
+  "monitor_state_timeline_test.pdb"
+  "monitor_state_timeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_state_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

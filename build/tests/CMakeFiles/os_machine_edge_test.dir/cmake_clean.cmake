@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_machine_edge_test.dir/os_machine_edge_test.cpp.o"
+  "CMakeFiles/os_machine_edge_test.dir/os_machine_edge_test.cpp.o.d"
+  "os_machine_edge_test"
+  "os_machine_edge_test.pdb"
+  "os_machine_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_machine_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

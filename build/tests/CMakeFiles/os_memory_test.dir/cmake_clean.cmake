@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_memory_test.dir/os_memory_test.cpp.o"
+  "CMakeFiles/os_memory_test.dir/os_memory_test.cpp.o.d"
+  "os_memory_test"
+  "os_memory_test.pdb"
+  "os_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

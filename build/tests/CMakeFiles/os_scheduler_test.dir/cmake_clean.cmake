@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_scheduler_test.dir/os_scheduler_test.cpp.o"
+  "CMakeFiles/os_scheduler_test.dir/os_scheduler_test.cpp.o.d"
+  "os_scheduler_test"
+  "os_scheduler_test.pdb"
+  "os_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

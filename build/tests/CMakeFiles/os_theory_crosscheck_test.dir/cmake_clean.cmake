@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_theory_crosscheck_test.dir/os_theory_crosscheck_test.cpp.o"
+  "CMakeFiles/os_theory_crosscheck_test.dir/os_theory_crosscheck_test.cpp.o.d"
+  "os_theory_crosscheck_test"
+  "os_theory_crosscheck_test.pdb"
+  "os_theory_crosscheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_theory_crosscheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for os_theory_crosscheck_test.
+# This may be replaced when dependencies are built.

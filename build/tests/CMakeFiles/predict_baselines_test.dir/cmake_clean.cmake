@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_baselines_test.dir/predict_baselines_test.cpp.o"
+  "CMakeFiles/predict_baselines_test.dir/predict_baselines_test.cpp.o.d"
+  "predict_baselines_test"
+  "predict_baselines_test.pdb"
+  "predict_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

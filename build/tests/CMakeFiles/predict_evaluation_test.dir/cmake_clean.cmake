@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_evaluation_test.dir/predict_evaluation_test.cpp.o"
+  "CMakeFiles/predict_evaluation_test.dir/predict_evaluation_test.cpp.o.d"
+  "predict_evaluation_test"
+  "predict_evaluation_test.pdb"
+  "predict_evaluation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_evaluation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

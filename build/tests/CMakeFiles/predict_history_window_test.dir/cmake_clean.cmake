@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_history_window_test.dir/predict_history_window_test.cpp.o"
+  "CMakeFiles/predict_history_window_test.dir/predict_history_window_test.cpp.o.d"
+  "predict_history_window_test"
+  "predict_history_window_test.pdb"
+  "predict_history_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_history_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_interval_estimator_test.dir/predict_interval_estimator_test.cpp.o"
+  "CMakeFiles/predict_interval_estimator_test.dir/predict_interval_estimator_test.cpp.o.d"
+  "predict_interval_estimator_test"
+  "predict_interval_estimator_test.pdb"
+  "predict_interval_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_interval_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_robust_history_test.dir/predict_robust_history_test.cpp.o"
+  "CMakeFiles/predict_robust_history_test.dir/predict_robust_history_test.cpp.o.d"
+  "predict_robust_history_test"
+  "predict_robust_history_test.pdb"
+  "predict_robust_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_robust_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for predict_robust_history_test.
+# This may be replaced when dependencies are built.

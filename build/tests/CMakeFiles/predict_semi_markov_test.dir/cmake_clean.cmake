@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_semi_markov_test.dir/predict_semi_markov_test.cpp.o"
+  "CMakeFiles/predict_semi_markov_test.dir/predict_semi_markov_test.cpp.o.d"
+  "predict_semi_markov_test"
+  "predict_semi_markov_test.pdb"
+  "predict_semi_markov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_semi_markov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

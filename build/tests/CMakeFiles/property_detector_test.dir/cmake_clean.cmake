@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_detector_test.dir/property_detector_test.cpp.o"
+  "CMakeFiles/property_detector_test.dir/property_detector_test.cpp.o.d"
+  "property_detector_test"
+  "property_detector_test.pdb"
+  "property_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_load_model_test.dir/property_load_model_test.cpp.o"
+  "CMakeFiles/property_load_model_test.dir/property_load_model_test.cpp.o.d"
+  "property_load_model_test"
+  "property_load_model_test.pdb"
+  "property_load_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_load_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_predictors_test.dir/property_predictors_test.cpp.o"
+  "CMakeFiles/property_predictors_test.dir/property_predictors_test.cpp.o.d"
+  "property_predictors_test"
+  "property_predictors_test.pdb"
+  "property_predictors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_predictors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_trace_io_test.dir/property_trace_io_test.cpp.o"
+  "CMakeFiles/property_trace_io_test.dir/property_trace_io_test.cpp.o.d"
+  "property_trace_io_test"
+  "property_trace_io_test.pdb"
+  "property_trace_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_trace_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

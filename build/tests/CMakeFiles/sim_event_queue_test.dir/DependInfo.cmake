@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_event_queue_test.cpp" "tests/CMakeFiles/sim_event_queue_test.dir/sim_event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/sim_event_queue_test.dir/sim_event_queue_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fgcs/ishare/CMakeFiles/fgcs_ishare.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/core/CMakeFiles/fgcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/predict/CMakeFiles/fgcs_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/trace/CMakeFiles/fgcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/monitor/CMakeFiles/fgcs_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/workload/CMakeFiles/fgcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/os/CMakeFiles/fgcs_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/sim/CMakeFiles/fgcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/stats/CMakeFiles/fgcs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fgcs/util/CMakeFiles/fgcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_simulation_test.dir/sim_simulation_test.cpp.o"
+  "CMakeFiles/sim_simulation_test.dir/sim_simulation_test.cpp.o.d"
+  "sim_simulation_test"
+  "sim_simulation_test.pdb"
+  "sim_simulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_time_test.dir/sim_time_test.cpp.o"
+  "CMakeFiles/sim_time_test.dir/sim_time_test.cpp.o.d"
+  "sim_time_test"
+  "sim_time_test.pdb"
+  "sim_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_bootstrap_test.dir/stats_bootstrap_test.cpp.o"
+  "CMakeFiles/stats_bootstrap_test.dir/stats_bootstrap_test.cpp.o.d"
+  "stats_bootstrap_test"
+  "stats_bootstrap_test.pdb"
+  "stats_bootstrap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_bootstrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

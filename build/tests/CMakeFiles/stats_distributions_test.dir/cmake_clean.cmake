@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_distributions_test.dir/stats_distributions_test.cpp.o"
+  "CMakeFiles/stats_distributions_test.dir/stats_distributions_test.cpp.o.d"
+  "stats_distributions_test"
+  "stats_distributions_test.pdb"
+  "stats_distributions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_distributions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

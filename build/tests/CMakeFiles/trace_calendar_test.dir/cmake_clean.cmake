@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_calendar_test.dir/trace_calendar_test.cpp.o"
+  "CMakeFiles/trace_calendar_test.dir/trace_calendar_test.cpp.o.d"
+  "trace_calendar_test"
+  "trace_calendar_test.pdb"
+  "trace_calendar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_calendar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_filter_merge_test.dir/trace_filter_merge_test.cpp.o"
+  "CMakeFiles/trace_filter_merge_test.dir/trace_filter_merge_test.cpp.o.d"
+  "trace_filter_merge_test"
+  "trace_filter_merge_test.pdb"
+  "trace_filter_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_filter_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_io_test.dir/trace_io_test.cpp.o"
+  "CMakeFiles/trace_io_test.dir/trace_io_test.cpp.o.d"
+  "trace_io_test"
+  "trace_io_test.pdb"
+  "trace_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

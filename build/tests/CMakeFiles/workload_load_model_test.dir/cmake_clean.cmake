@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_load_model_test.dir/workload_load_model_test.cpp.o"
+  "CMakeFiles/workload_load_model_test.dir/workload_load_model_test.cpp.o.d"
+  "workload_load_model_test"
+  "workload_load_model_test.pdb"
+  "workload_load_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_load_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_synthetic_test.dir/workload_synthetic_test.cpp.o"
+  "CMakeFiles/workload_synthetic_test.dir/workload_synthetic_test.cpp.o.d"
+  "workload_synthetic_test"
+  "workload_synthetic_test.pdb"
+  "workload_synthetic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_synthetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_cli.dir/fgcs_cli.cpp.o"
+  "CMakeFiles/fgcs_cli.dir/fgcs_cli.cpp.o.d"
+  "fgcs"
+  "fgcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
