@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+#
+#   scripts/check_build.sh          # tier-1 build + full ctest
+#   scripts/check_build.sh --asan   # additionally run obs/sim tests under
+#                                   # AddressSanitizer (-DFGCS_SANITIZE=address)
+#
+# The fgcs_obs module itself always compiles with -Werror (see
+# src/fgcs/obs/CMakeLists.txt), so the observability layer stays clean
+# under -Wall -Wextra -Wpedantic in every build this script runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_asan=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) run_asan=1 ;;
+    *) echo "usage: $0 [--asan]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . -DFGCS_WERROR=OFF
+cmake --build build -j
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$run_asan" -eq 1 ]]; then
+  echo "== asan: configure + build =="
+  cmake -B build-asan -S . -DFGCS_SANITIZE=address
+  cmake --build build-asan -j
+
+  echo "== asan: obs + sim tests =="
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
+    -R '^(Obs|TraceSink|JsonEscape|Observer|Counter|Gauge|Histogram|Metric|Simulation|EventQueue|SimTime|SimDuration)'
+fi
+
+echo "check_build: OK"

@@ -4,6 +4,8 @@
 
 #include "fgcs/monitor/detector.hpp"
 #include "fgcs/monitor/machine_sampler.hpp"
+#include "fgcs/obs/observer.hpp"
+#include "fgcs/sim/simulation.hpp"
 #include "fgcs/util/error.hpp"
 #include "fgcs/util/parallel.hpp"
 
@@ -21,7 +23,11 @@ void TestbedConfig::validate() const {
 namespace {
 
 /// Drives the detector over a machine's synthesized load, invoking
-/// `on_sample(sample, state)` for every observation.
+/// `on_sample(sample, state)` for every observation. Sampling runs as a
+/// periodic task on a per-machine sim::Simulation — the same event loop
+/// the iShare monitor tier uses — so the observability layer sees the
+/// testbed's event execution, and each machine's trace events land on its
+/// own track.
 template <typename OnSample>
 monitor::UnavailabilityDetector walk_machine(const TestbedConfig& config,
                                              trace::MachineId machine,
@@ -33,16 +39,25 @@ monitor::UnavailabilityDetector walk_machine(const TestbedConfig& config,
   monitor::TrajectorySampler sampler(load, config.ram_mb, config.kernel_mb);
   monitor::UnavailabilityDetector detector(config.policy);
 
-  const sim::SimTime end =
-      sim::SimTime::epoch() + sim::SimDuration::days(config.days);
+  const obs::TrackScope track(machine);
+  const sim::SimTime begin = sim::SimTime::epoch();
+  const sim::SimTime end = begin + sim::SimDuration::days(config.days);
   const sim::SimDuration period = config.policy.sample_period;
-  for (sim::SimTime t = sim::SimTime::epoch() + period; t <= end;
-       t += period) {
-    const monitor::HostSample sample = sampler.sample(t, period);
+
+  sim::Simulation simulation;
+  simulation.every(period, [&] {
+    const monitor::HostSample sample =
+        sampler.sample(simulation.now(), period);
     const monitor::AvailabilityState state = detector.observe(sample);
     on_sample(sample, state);
-  }
+  });
+  simulation.run_until(end);
   detector.finish(end);
+
+  if (auto* o = obs::observer()) {
+    o->on_testbed_machine(machine, begin, end, detector.episodes().size(),
+                          simulation.events_executed());
+  }
   return detector;
 }
 
@@ -90,6 +105,7 @@ TestbedMachineDetail run_testbed_machine_detailed(const TestbedConfig& config,
 }
 
 CapacityProfile run_capacity_profile(const TestbedConfig& config) {
+  FGCS_OBS_SCOPE("testbed/capacity_profile");
   config.validate();
   const trace::TraceCalendar calendar(config.start_dow);
 
@@ -168,6 +184,7 @@ CapacityProfile run_capacity_profile(const TestbedConfig& config) {
 }
 
 trace::TraceSet run_testbed(const TestbedConfig& config) {
+  FGCS_OBS_SCOPE("testbed/run");
   config.validate();
   const sim::SimTime start = sim::SimTime::epoch();
   const sim::SimTime end = start + sim::SimDuration::days(config.days);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fgcs/obs/observer.hpp"
 #include "fgcs/util/error.hpp"
 
 namespace fgcs::monitor {
@@ -21,6 +22,7 @@ AvailabilityState UnavailabilityDetector::observe(HostSample sample) {
   sample.free_mem_mb = std::max(0.0, sample.free_mem_mb);
   saw_sample_ = true;
   last_time_ = sample.time;
+  if (auto* o = obs::observer()) o->on_detector_sample();
 
   AvailabilityState next;
   // CPU-excursion tracking is orthogonal to the memory check (§3.2.3);
@@ -71,10 +73,19 @@ AvailabilityState UnavailabilityDetector::observe(HostSample sample) {
 void UnavailabilityDetector::enter(AvailabilityState next, sim::SimTime when,
                                    const HostSample& sample) {
   transitions_.push_back({when, state_, next});
+  obs::Observer* const o = obs::observer();
+  if (o != nullptr) {
+    o->on_detector_transition(when, static_cast<int>(state_),
+                              static_cast<int>(next));
+  }
 
   if (is_failure(state_) && !episodes_.empty() && episodes_.back().open) {
     episodes_.back().end = when;
     episodes_.back().open = false;
+    if (o != nullptr) {
+      o->on_episode_closed(when, static_cast<int>(episodes_.back().cause),
+                           episodes_.back().duration());
+    }
   }
   if (is_failure(next)) {
     UnavailabilityEpisode ep;
@@ -96,6 +107,10 @@ void UnavailabilityDetector::enter(AvailabilityState next, sim::SimTime when,
     ep.host_cpu_at_start = sample.host_cpu;
     ep.free_mem_at_start = sample.free_mem_mb;
     episodes_.push_back(ep);
+    if (o != nullptr) {
+      o->on_episode_opened(ep.start, static_cast<int>(ep.cause),
+                           ep.host_cpu_at_start, ep.free_mem_at_start);
+    }
   }
   state_ = next;
 }
@@ -104,6 +119,10 @@ void UnavailabilityDetector::finish(sim::SimTime end) {
   if (!episodes_.empty() && episodes_.back().open) {
     episodes_.back().end = end;
     episodes_.back().open = false;
+    if (auto* o = obs::observer()) {
+      o->on_episode_closed(end, static_cast<int>(episodes_.back().cause),
+                           episodes_.back().duration());
+    }
   }
 }
 

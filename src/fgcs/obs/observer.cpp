@@ -1,0 +1,143 @@
+#include "fgcs/obs/observer.hpp"
+
+#include <cstdio>
+
+namespace fgcs::obs {
+
+namespace {
+
+// "S1".."S5" and the 25 "Sa->Sb" edge names, so the transition hot path
+// never formats strings.
+const char* state_name(int s) {
+  static const char* const kNames[kStateCount] = {"S1", "S2", "S3", "S4",
+                                                  "S5"};
+  return (s >= 1 && s <= kStateCount) ? kNames[s - 1] : "S?";
+}
+
+const char* transition_name(int from, int to) {
+  static char names[kStateCount][kStateCount][8];
+  static const bool initialized = [] {
+    for (int f = 0; f < kStateCount; ++f) {
+      for (int t = 0; t < kStateCount; ++t) {
+        std::snprintf(names[f][t], sizeof names[f][t], "S%d->S%d", f + 1,
+                      t + 1);
+      }
+    }
+    return true;
+  }();
+  (void)initialized;
+  if (from < 1 || from > kStateCount || to < 1 || to > kStateCount) {
+    return "S?->S?";
+  }
+  return names[from - 1][to - 1];
+}
+
+}  // namespace
+
+Observer::Observer(const Options& options)
+    : trace_(options.trace_capacity), trace_enabled_(options.enable_trace) {
+  sim_events_executed_ = &metrics_.counter("sim.events_executed");
+  sim_max_queue_depth_ = &metrics_.gauge("sim.max_queue_depth");
+  detector_samples_ = &metrics_.counter("detector.samples");
+  for (int f = 1; f <= kStateCount; ++f) {
+    for (int t = 1; t <= kStateCount; ++t) {
+      detector_transitions_[f - 1][t - 1] = &metrics_.counter(
+          "detector.transitions",
+          {{"from", state_name(f)}, {"to", state_name(t)}});
+    }
+  }
+  detector_episodes_opened_ = &metrics_.counter("detector.episodes_opened");
+  detector_episodes_closed_ = &metrics_.counter("detector.episodes_closed");
+  os_ticks_ = &metrics_.counter("os.scheduler_ticks");
+  os_context_switches_ = &metrics_.counter("os.context_switches");
+  os_max_runnable_ = &metrics_.gauge("os.max_runnable");
+  testbed_machines_ = &metrics_.counter("testbed.machines_simulated");
+}
+
+void Observer::on_sim_run(const char* what, sim::SimTime begin,
+                          sim::SimTime end, std::uint64_t events) {
+  if (!trace_enabled_) return;
+  char args[48];
+  std::snprintf(args, sizeof args, "\"events\":%llu",
+                static_cast<unsigned long long>(events));
+  trace_.complete("sim", what, begin, end - begin, current_track(), args);
+}
+
+void Observer::on_detector_transition(sim::SimTime at, int from, int to) {
+  if (from >= 1 && from <= kStateCount && to >= 1 && to <= kStateCount) {
+    detector_transitions_[from - 1][to - 1]->inc();
+  }
+  if (trace_enabled_) {
+    trace_.instant("detector", transition_name(from, to), at,
+                   current_track());
+  }
+}
+
+void Observer::on_episode_opened(sim::SimTime at, int cause, double host_cpu,
+                                 double free_mem_mb) {
+  detector_episodes_opened_->inc();
+  if (!trace_enabled_) return;
+  char args[96];
+  std::snprintf(args, sizeof args, "\"cause\":\"%s\",\"host_cpu\":%.4f,"
+                                   "\"free_mem_mb\":%.1f",
+                state_name(cause), host_cpu, free_mem_mb);
+  trace_.instant("detector", "episode_open", at, current_track(), args);
+}
+
+void Observer::on_episode_closed(sim::SimTime at, int cause,
+                                 sim::SimDuration duration) {
+  detector_episodes_closed_->inc();
+  if (!trace_enabled_) return;
+  char args[96];
+  std::snprintf(args, sizeof args, "\"cause\":\"%s\",\"duration_s\":%.1f",
+                state_name(cause), duration.as_seconds());
+  trace_.instant("detector", "episode_close", at, current_track(), args);
+  // Render the episode itself as a span so unavailability shows up as
+  // solid blocks on the machine's track.
+  trace_.complete("detector", state_name(cause), at - duration, duration,
+                  current_track());
+}
+
+void Observer::on_testbed_machine(std::uint32_t machine, sim::SimTime begin,
+                                  sim::SimTime end, std::size_t episodes,
+                                  std::uint64_t samples) {
+  testbed_machines_->inc();
+  if (!trace_enabled_) return;
+  char name[32];
+  std::snprintf(name, sizeof name, "machine-%u", machine);
+  trace_.name_track(machine, name);
+  char args[96];
+  std::snprintf(args, sizeof args, "\"episodes\":%llu,\"samples\":%llu",
+                static_cast<unsigned long long>(episodes),
+                static_cast<unsigned long long>(samples));
+  trace_.complete("testbed", "simulate_machine", begin, end - begin, machine,
+                  args);
+}
+
+void Observer::record_scope(std::string_view name, double seconds) {
+  metrics_
+      .histogram("scope.seconds", {{"scope", std::string(name)}})
+      .observe(seconds);
+}
+
+namespace detail {
+std::atomic<Observer*> g_observer{nullptr};
+}  // namespace detail
+
+void set_observer(Observer* observer) {
+  detail::g_observer.store(observer, std::memory_order_release);
+}
+
+namespace {
+thread_local std::uint32_t t_current_track = 0;
+}  // namespace
+
+std::uint32_t current_track() { return t_current_track; }
+
+TrackScope::TrackScope(std::uint32_t track) : previous_(t_current_track) {
+  t_current_track = track;
+}
+
+TrackScope::~TrackScope() { t_current_track = previous_; }
+
+}  // namespace fgcs::obs

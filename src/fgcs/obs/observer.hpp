@@ -1,0 +1,199 @@
+// The global observability hook.
+//
+// An Observer bundles a MetricRegistry with an optional TraceSink and
+// pre-registers the hot-path metric series so instrumented code touches
+// only atomics — no lookups, no allocation. Installation is a single
+// global atomic pointer:
+//
+//   fgcs::obs::Observer observer;
+//   fgcs::obs::ScopedObserver guard(&observer);   // or set_observer()
+//   ... run a testbed / simulation ...
+//   observer.metrics().write_csv(out);
+//   observer.trace().write_chrome_json(out);
+//
+// When no observer is installed (the default), every instrumentation site
+// costs one relaxed-ish atomic load and a predictable branch, and performs
+// zero allocations — cheap enough to leave compiled into the event loop
+// and the scheduler tick unconditionally.
+//
+// Tracks: trace events are attributed to the calling thread's *current
+// track* (a plain integer; the testbed uses the machine id). TrackScope
+// sets it RAII-style and is itself thread-local, so parallel per-machine
+// simulation attributes events correctly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fgcs/obs/metrics.hpp"
+#include "fgcs/obs/trace_sink.hpp"
+#include "fgcs/sim/time.hpp"
+
+namespace fgcs::obs {
+
+/// Number of availability-model states (S1..S5) — mirrors
+/// monitor::AvailabilityState without depending on the monitor layer.
+inline constexpr int kStateCount = 5;
+
+class Observer {
+ public:
+  struct Options {
+    /// Trace ring-buffer capacity; 0 retains every event.
+    std::size_t trace_capacity = 0;
+    /// Set false to run metrics-only (trace calls become no-ops).
+    bool enable_trace = true;
+  };
+
+  Observer() : Observer(Options{}) {}
+  explicit Observer(const Options& options);
+
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  TraceSink& trace() { return trace_; }
+  const TraceSink& trace() const { return trace_; }
+  bool trace_enabled() const { return trace_enabled_; }
+
+  // -- sim hooks -------------------------------------------------------------
+
+  /// One event popped and executed; `queue_depth` is the remaining size.
+  void on_sim_event(std::size_t queue_depth) {
+    sim_events_executed_->inc();
+    sim_max_queue_depth_->set_max(static_cast<double>(queue_depth) + 1.0);
+  }
+
+  /// A completed run_until/run_all, as a sim-time span.
+  void on_sim_run(const char* what, sim::SimTime begin, sim::SimTime end,
+                  std::uint64_t events);
+
+  // -- monitor hooks ---------------------------------------------------------
+
+  void on_detector_sample() { detector_samples_->inc(); }
+
+  /// State-machine edge; `from`/`to` are 1-based S-state numbers.
+  void on_detector_transition(sim::SimTime at, int from, int to);
+
+  void on_episode_opened(sim::SimTime at, int cause, double host_cpu,
+                         double free_mem_mb);
+  void on_episode_closed(sim::SimTime at, int cause,
+                         sim::SimDuration duration);
+
+  // -- os hooks --------------------------------------------------------------
+
+  /// One scheduler tick; `switched` means a different process (or idle)
+  /// got the CPU than on the previous tick.
+  void on_machine_tick(bool switched, std::size_t runnable) {
+    os_ticks_->inc();
+    if (switched) os_context_switches_->inc();
+    os_max_runnable_->set_max(static_cast<double>(runnable));
+  }
+
+  // -- core hooks ------------------------------------------------------------
+
+  /// A finished per-machine testbed simulation, as a sim-time span on the
+  /// machine's track.
+  void on_testbed_machine(std::uint32_t machine, sim::SimTime begin,
+                          sim::SimTime end, std::size_t episodes,
+                          std::uint64_t samples);
+
+  // -- profiling scopes ------------------------------------------------------
+
+  /// Feeds the "scope.seconds{scope=...}" histogram family (wall-clock).
+  void record_scope(std::string_view name, double seconds);
+
+ private:
+  MetricRegistry metrics_;
+  TraceSink trace_;
+  bool trace_enabled_;
+
+  // Hot-path series, registered once at construction.
+  Counter* sim_events_executed_;
+  Gauge* sim_max_queue_depth_;
+  Counter* detector_samples_;
+  Counter* detector_transitions_[kStateCount][kStateCount];
+  Counter* detector_episodes_opened_;
+  Counter* detector_episodes_closed_;
+  Counter* os_ticks_;
+  Counter* os_context_switches_;
+  Gauge* os_max_runnable_;
+  Counter* testbed_machines_;
+};
+
+namespace detail {
+extern std::atomic<Observer*> g_observer;
+}  // namespace detail
+
+/// The installed observer, or nullptr when observability is disabled.
+inline Observer* observer() {
+  return detail::g_observer.load(std::memory_order_acquire);
+}
+
+/// Installs (or, with nullptr, disables) the global observer. The caller
+/// keeps ownership and must keep it alive while installed.
+void set_observer(Observer* observer);
+
+/// RAII install/restore, for tools and tests.
+class ScopedObserver {
+ public:
+  explicit ScopedObserver(Observer* obs) : previous_(observer()) {
+    set_observer(obs);
+  }
+  ~ScopedObserver() { set_observer(previous_); }
+  ScopedObserver(const ScopedObserver&) = delete;
+  ScopedObserver& operator=(const ScopedObserver&) = delete;
+
+ private:
+  Observer* previous_;
+};
+
+/// The calling thread's trace track id (0 until set).
+std::uint32_t current_track();
+
+/// RAII thread-local track assignment.
+class TrackScope {
+ public:
+  explicit TrackScope(std::uint32_t track);
+  ~TrackScope();
+  TrackScope(const TrackScope&) = delete;
+  TrackScope& operator=(const TrackScope&) = delete;
+
+ private:
+  std::uint32_t previous_;
+};
+
+/// Wall-clock RAII timer feeding record_scope(); use via FGCS_OBS_SCOPE.
+/// `name` must outlive the scope (a string literal in practice).
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(const char* name)
+      : observer_(obs::observer()), name_(name) {
+    if (observer_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopeTimer() {
+    if (observer_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    observer_->record_scope(
+        name_, std::chrono::duration<double>(elapsed).count());
+  }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  Observer* observer_;
+  const char* name_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+#define FGCS_OBS_CONCAT_IMPL(a, b) a##b
+#define FGCS_OBS_CONCAT(a, b) FGCS_OBS_CONCAT_IMPL(a, b)
+
+/// Times the enclosing scope on the wall clock and feeds the
+/// "scope.seconds{scope=<name>}" histogram. Zero-cost when disabled.
+#define FGCS_OBS_SCOPE(name) \
+  ::fgcs::obs::ScopeTimer FGCS_OBS_CONCAT(fgcs_obs_scope_, __LINE__)(name)
+
+}  // namespace fgcs::obs

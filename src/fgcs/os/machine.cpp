@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "fgcs/obs/observer.hpp"
 #include "fgcs/util/error.hpp"
 
 namespace fgcs::os {
@@ -190,12 +191,15 @@ void Machine::step_tick(sim::SimTime until) {
   // 2. Select the runnable process with the highest goodness.
   Process* runner = nullptr;
   bool any_runnable = false;
+  std::size_t runnable_count = 0;
   for (int attempt = 0; attempt < 2 && runner == nullptr; ++attempt) {
     double best = 0.0;
     any_runnable = false;
+    runnable_count = 0;
     for (auto& p : procs_) {
       if (p.state_ != ProcState::kRunnable) continue;
       any_runnable = true;
+      ++runnable_count;
       const double g = sched_.goodness(p.counter_ticks_, p.nice_);
       if (g <= 0.0) continue;
       // Round-robin tie-break: older last_run_seq wins on equal goodness.
@@ -236,6 +240,10 @@ void Machine::step_tick(sim::SimTime until) {
     }
     totals_.idle += skipped;
     now_ += skipped;
+    if (auto* o = obs::observer()) {
+      o->on_machine_tick(last_runner_ != -1, 0);
+    }
+    last_runner_ = -1;
     return;
   }
 
@@ -261,6 +269,13 @@ void Machine::step_tick(sim::SimTime until) {
   }
   // Time lost to page faults shows up as non-CPU (I/O wait -> idle).
   totals_.idle += tick - progress;
+
+  if (auto* o = obs::observer()) {
+    o->on_machine_tick(static_cast<std::int64_t>(runner->pid()) !=
+                           last_runner_,
+                       runnable_count);
+  }
+  last_runner_ = static_cast<std::int64_t>(runner->pid());
 
   if (runner->phase_done_ >= runner->current_phase_.amount) {
     advance_phase(*runner);

@@ -136,6 +136,9 @@ class Machine {
   CpuTotals totals_{};
   sim::SimDuration thrash_time_ = sim::SimDuration::zero();
   std::uint64_t run_seq_ = 0;
+  /// Pid that held the CPU on the previous tick (-1 = idle); feeds the
+  /// observability layer's context-switch counter.
+  std::int64_t last_runner_ = -1;
 };
 
 }  // namespace fgcs::os

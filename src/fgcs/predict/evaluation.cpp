@@ -1,8 +1,10 @@
 #include "fgcs/predict/evaluation.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "fgcs/obs/observer.hpp"
 #include "fgcs/util/error.hpp"
 
 namespace fgcs::predict {
@@ -40,6 +42,11 @@ EvaluationResult evaluate_predictor(AvailabilityPredictor& predictor,
 
   EvaluationResult result;
   result.predictor = predictor.name();
+
+  obs::Observer* const o = obs::observer();
+  const auto wall_start = o != nullptr
+                              ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
 
   double brier_sum = 0.0;
   double occ_mae_sum = 0.0;
@@ -89,7 +96,27 @@ EvaluationResult evaluate_predictor(AvailabilityPredictor& predictor,
     }
   }
 
-  if (result.queries == 0) return result;
+  // Per-predictor evaluation timing and quality, labeled by name so the
+  // whole predictor panel lands in one metric family.
+  const auto record_metrics = [&] {
+    if (o == nullptr) return;
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall_start;
+    auto& metrics = o->metrics();
+    const obs::Labels labels{{"predictor", result.predictor}};
+    metrics.counter("predict.evaluations", labels).inc();
+    metrics.counter("predict.queries", labels).inc(result.queries);
+    metrics.histogram("predict.eval_seconds", labels).observe(wall.count());
+    metrics.gauge("predict.accuracy", labels).set(result.accuracy);
+    metrics.gauge("predict.brier", labels).set(result.brier);
+    metrics.gauge("predict.false_positive_rate", labels)
+        .set(result.false_positive_rate);
+  };
+
+  if (result.queries == 0) {
+    record_metrics();
+    return result;
+  }
   for (std::size_t b = 0; b < 10; ++b) {
     auto& bucket = result.reliability[b];
     if (bucket.count == 0) continue;
@@ -112,6 +139,7 @@ EvaluationResult evaluate_predictor(AvailabilityPredictor& predictor,
     result.false_positive_rate =
         static_cast<double>(fp) / static_cast<double>(truly_unavailable);
   }
+  record_metrics();
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "fgcs/obs/observer.hpp"
 #include "fgcs/util/error.hpp"
 
 namespace fgcs::sim {
@@ -45,24 +46,41 @@ EventHandle Simulation::every(SimDuration period, std::function<void()> task) {
   return EventHandle(state->cancelled);
 }
 
+// The observer is sampled once per run, not per event: installation
+// mid-run is not a supported pattern, and the single load keeps the
+// disabled-path overhead to one branch per executed event.
 void Simulation::run_until(SimTime until) {
   stop_requested_ = false;
+  obs::Observer* const o = obs::observer();
+  const SimTime begin = now_;
+  const std::uint64_t events_before = events_executed_;
   while (!queue_.empty() && !stop_requested_) {
     const SimTime next = queue_.next_time();
     if (next > until) break;
     now_ = next;
     queue_.run_next();
     ++events_executed_;
+    if (o != nullptr) o->on_sim_event(queue_.size());
   }
   if (now_ < until) now_ = until;
+  if (o != nullptr && events_executed_ > events_before) {
+    o->on_sim_run("run_until", begin, now_, events_executed_ - events_before);
+  }
 }
 
 void Simulation::run_all() {
   stop_requested_ = false;
+  obs::Observer* const o = obs::observer();
+  const SimTime begin = now_;
+  const std::uint64_t events_before = events_executed_;
   while (!queue_.empty() && !stop_requested_) {
     now_ = queue_.next_time();
     queue_.run_next();
     ++events_executed_;
+    if (o != nullptr) o->on_sim_event(queue_.size());
+  }
+  if (o != nullptr && events_executed_ > events_before) {
+    o->on_sim_run("run_all", begin, now_, events_executed_ - events_before);
   }
 }
 

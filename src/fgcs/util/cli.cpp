@@ -24,7 +24,14 @@ CliArgs CliArgs::parse(const std::vector<std::string>& tokens) {
     if (tok.rfind("--", 0) == 0) {
       const std::string key = tok.substr(2);
       fgcs::require(!key.empty(), "empty option name '--'");
-      if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      // "--key=value" binds inline; otherwise the next non-option token
+      // is consumed as the value.
+      const auto eq = key.find('=');
+      if (eq != std::string::npos) {
+        fgcs::require(eq > 0, "empty option name in '" + tok + "'");
+        args.options_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < tokens.size() &&
+                 tokens[i + 1].rfind("--", 0) != 0) {
         args.options_[key] = tokens[++i];
       } else {
         args.flags_[key] = true;

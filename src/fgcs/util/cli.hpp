@@ -1,7 +1,8 @@
 // Minimal command-line argument parsing for the fgcs tools.
 //
-// Grammar: `prog <command> [positional...] [--key value | --flag]...`.
-// An option token starting with "--" consumes the next token as its value
+// Grammar: `prog <command> [positional...] [--key value | --key=value |
+// --flag]...`. An option token starting with "--" binds an inline
+// "=value" if present; otherwise it consumes the next token as its value
 // unless that token also starts with "--" (then it is a boolean flag).
 #pragma once
 

@@ -102,6 +102,46 @@ TEST(Simulation, CancelScheduledEvent) {
   EXPECT_FALSE(fired);
 }
 
+// Regression: a periodic task cancelled from *inside* its own callback
+// must never fire again — not on the current run, not on a later run, and
+// it must not leave a live event that keeps run_all() spinning.
+TEST(Simulation, EveryCancelledInsideCallbackNeverRefires) {
+  Simulation s;
+  int count = 0;
+  EventHandle handle;
+  handle = s.every(1_s, [&] {
+    ++count;
+    handle.cancel();
+  });
+  s.run_all();  // would never terminate if the series kept rescheduling
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(handle.cancelled());
+
+  // Later activity must not resurrect the series.
+  s.after(10_s, [] {});
+  s.run_all();
+  s.run_until(s.now() + 60_s);
+  EXPECT_EQ(count, 1);
+}
+
+// Regression: stop() from inside a periodic task halts run_all() after the
+// current event, and a subsequent run resumes the series where it left off.
+TEST(Simulation, StopDuringPeriodicTaskHaltsRunAll) {
+  Simulation s;
+  std::vector<double> times;
+  s.every(2_s, [&] {
+    times.push_back(s.now().as_seconds());
+    s.stop();
+  });
+  s.run_all();
+  EXPECT_EQ(times, (std::vector<double>{2.0}));
+  EXPECT_EQ(s.now().as_seconds(), 2.0);
+
+  // run_all() clears the stop request; the series is still scheduled.
+  s.run_all();
+  EXPECT_EQ(times, (std::vector<double>{2.0, 4.0}));
+}
+
 TEST(Simulation, EventsExecutedCounts) {
   Simulation s;
   for (int i = 1; i <= 5; ++i) {

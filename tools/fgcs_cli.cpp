@@ -10,11 +10,17 @@
 // paper's Table 2 / Figure 6 / Figure 7 statistics from any saved trace;
 // `predict` runs the predictor panel; `calibrate` derives Th1/Th2 for a
 // scheduler profile via the offline contention sweep.
+//
+// Every command also accepts the observability flags:
+//   --metrics-out=<csv>   write a metrics snapshot when the command ends
+//   --trace-out=<json>    write a Chrome/Perfetto trace (simulated time)
+//   --trace-limit=<n>     trace ring-buffer capacity (default 1000000)
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +28,7 @@
 #include "fgcs/core/contention.hpp"
 #include "fgcs/core/prediction_study.hpp"
 #include "fgcs/core/testbed.hpp"
+#include "fgcs/obs/observer.hpp"
 #include "fgcs/trace/io.hpp"
 #include "fgcs/util/cli.hpp"
 #include "fgcs/util/csv.hpp"
@@ -46,9 +53,58 @@ int usage() {
       "  fgcs figures   --out <dir> [--quick]\n"
       "\ntrace format chosen by extension: .csv is textual, anything else\n"
       "is the compact binary format. `figures` writes one plottable CSV\n"
-      "per paper figure/table into <dir>.\n");
+      "per paper figure/table into <dir>.\n"
+      "\nobservability (any command):\n"
+      "  --metrics-out=<csv>  metrics snapshot (counters/gauges/histograms)\n"
+      "  --trace-out=<json>   Chrome/Perfetto trace keyed on simulated time\n"
+      "  --trace-limit=<n>    trace ring-buffer capacity (default 1000000)\n");
   return 2;
 }
+
+// Installs the global observer for the duration of one CLI command when
+// --metrics-out / --trace-out is given, and writes the outputs afterwards.
+class ObsSession {
+ public:
+  explicit ObsSession(const Args& args)
+      : metrics_path_(args.get("metrics-out", "")),
+        trace_path_(args.get("trace-out", "")) {
+    if (metrics_path_.empty() && trace_path_.empty()) return;
+    obs::Observer::Options options;
+    options.trace_capacity =
+        static_cast<std::size_t>(args.get_int("trace-limit", 1'000'000));
+    options.enable_trace = !trace_path_.empty();
+    observer_ = std::make_unique<obs::Observer>(options);
+    obs::set_observer(observer_.get());
+  }
+
+  ~ObsSession() { obs::set_observer(nullptr); }
+
+  /// Writes the requested outputs; called after the command succeeds.
+  void flush() {
+    if (observer_ == nullptr) return;
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      if (!out) throw IoError("cannot write " + metrics_path_);
+      observer_->metrics().write_csv(out);
+      std::printf("wrote metrics snapshot to %s\n", metrics_path_.c_str());
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream out(trace_path_);
+      if (!out) throw IoError("cannot write " + trace_path_);
+      observer_->trace().write_chrome_json(out);
+      std::printf(
+          "wrote %zu trace events to %s (%llu dropped by ring buffer); "
+          "open in https://ui.perfetto.dev\n",
+          observer_->trace().size(), trace_path_.c_str(),
+          static_cast<unsigned long long>(observer_->trace().dropped()));
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::unique_ptr<obs::Observer> observer_;
+};
 
 core::TestbedConfig testbed_config_from(const Args& args) {
   core::TestbedConfig config;
@@ -319,12 +375,23 @@ int cmd_figures(const Args& args) {
 int main(int argc, char** argv) {
   const Args args = Args::parse(argc, argv);
   try {
-    if (args.command() == "simulate") return cmd_simulate(args);
-    if (args.command() == "analyze") return cmd_analyze(args);
-    if (args.command() == "predict") return cmd_predict(args);
-    if (args.command() == "calibrate") return cmd_calibrate(args);
-    if (args.command() == "figures") return cmd_figures(args);
-    return usage();
+    ObsSession obs_session(args);
+    int rc = 2;
+    if (args.command() == "simulate") {
+      rc = cmd_simulate(args);
+    } else if (args.command() == "analyze") {
+      rc = cmd_analyze(args);
+    } else if (args.command() == "predict") {
+      rc = cmd_predict(args);
+    } else if (args.command() == "calibrate") {
+      rc = cmd_calibrate(args);
+    } else if (args.command() == "figures") {
+      rc = cmd_figures(args);
+    } else {
+      return usage();
+    }
+    if (rc == 0) obs_session.flush();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fgcs: %s\n", e.what());
     return 1;
