@@ -1,10 +1,17 @@
 // Library micro-benchmarks (google-benchmark): the hot paths of the
 // simulation and analysis pipeline.
 //
-// Beyond the google-benchmark suite, `--obs-baseline[=path]` measures
-// event-queue throughput with the observability layer disabled vs enabled
-// and writes the comparison to a JSON file (default BENCH_obs.json) — the
-// overhead numbers quoted in docs/observability.md.
+// Beyond the google-benchmark suite:
+//   * `--obs-baseline[=path]` measures event-queue throughput with the
+//     observability layer disabled vs enabled and writes the comparison
+//     to a JSON file (default BENCH_obs.json) — the overhead numbers
+//     quoted in docs/observability.md.
+//   * `--simcore[=path]` runs the tracked sim-core suite (event-queue
+//     throughput, single-machine sim-seconds/sec with fast-forward on and
+//     off, full 20-machine/92-day testbed wall time) and writes
+//     BENCH_simcore.json — the numbers quoted in docs/performance.md and
+//     regression-checked by scripts/run_bench.sh.
+//   * `--all` runs both tracked suites.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -25,6 +32,7 @@
 #include "fgcs/sim/simulation.hpp"
 #include "fgcs/stats/ecdf.hpp"
 #include "fgcs/trace/io.hpp"
+#include "fgcs/util/parallel.hpp"
 #include "fgcs/workload/load_model.hpp"
 #include "fgcs/workload/synthetic.hpp"
 
@@ -259,11 +267,100 @@ int run_obs_baseline(const std::string& path) {
   return 0;
 }
 
+// Sim-seconds simulated per wall-clock second for one contended machine
+// (duty-cycle host + nice-19 guest), best of `trials`.
+double measure_machine_sim_rate(bool fast_forward, int trials) {
+  constexpr double kSimSeconds = 3600.0;  // one simulated hour per trial
+  double best = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    os::SchedulerParams params = os::SchedulerParams::linux_2_4();
+    params.fast_forward = fast_forward;
+    os::Machine machine(params, os::MemoryParams::linux_1gb(), 42);
+    machine.spawn(workload::synthetic_host(0.5));
+    machine.spawn(workload::synthetic_guest(19));
+    const auto start = std::chrono::steady_clock::now();
+    machine.run_for(sim::SimDuration::seconds(static_cast<int>(kSimSeconds)));
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    benchmark::DoNotOptimize(machine.totals().total().as_micros());
+    best = std::max(best, kSimSeconds / wall);
+  }
+  return best;
+}
+
+int run_simcore_suite(const std::string& path) {
+  // PR-1's committed observer-disabled event-queue throughput
+  // (BENCH_obs.json at commit b814219) — the reference this PR's queue
+  // rewrite is measured against.
+  constexpr double kPr1EventsPerSec = 6267481.0;
+
+  std::printf("simcore: measuring single-machine sim rate...\n");
+  const double machine_ff = measure_machine_sim_rate(true, 3);
+  const double machine_forced = measure_machine_sim_rate(false, 3);
+
+  std::printf("simcore: running the full testbed (20 machines, 92 days)...\n");
+  core::TestbedConfig config;  // paper-scale defaults
+  const auto start = std::chrono::steady_clock::now();
+  const auto trace = core::run_testbed(config);
+  const double testbed_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double machine_days =
+      static_cast<double>(config.machines) * config.days;
+
+  // Queue throughput is measured *after* the sustained phases above so
+  // the CPU clock has ramped; PR-1's reference number was likewise taken
+  // late in a warm process (after 24 interleaved obs-baseline windows).
+  std::printf("simcore: measuring event-queue throughput...\n");
+  measure_event_queue_throughput(1);  // warm-up
+  const double events_per_sec = measure_event_queue_throughput(24);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  char buffer[1024];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "{\n"
+      "  \"suite\": \"simcore\",\n"
+      "  \"event_queue_events_per_sec\": %.0f,\n"
+      "  \"pr1_baseline_events_per_sec\": %.0f,\n"
+      "  \"speedup_vs_pr1\": %.2f,\n"
+      "  \"machine_sim_seconds_per_sec_fast_forward\": %.0f,\n"
+      "  \"machine_sim_seconds_per_sec_forced_tick\": %.0f,\n"
+      "  \"fast_forward_speedup\": %.2f,\n"
+      "  \"testbed_machines\": %u,\n"
+      "  \"testbed_days\": %d,\n"
+      "  \"testbed_records\": %zu,\n"
+      "  \"testbed_wall_seconds\": %.2f,\n"
+      "  \"testbed_machine_days_per_sec\": %.0f,\n"
+      "  \"testbed_threads\": %zu\n"
+      "}\n",
+      events_per_sec, kPr1EventsPerSec, events_per_sec / kPr1EventsPerSec,
+      machine_ff, machine_forced, machine_ff / machine_forced,
+      config.machines, config.days, trace.size(), testbed_wall,
+      machine_days / testbed_wall, util::configured_thread_count());
+  out << buffer;
+  std::printf(
+      "simcore: queue %.2fM ev/s (%.2fx vs PR-1), machine %.0f/%.0f "
+      "sim-s/s (ff %.1fx), testbed %.2fs wall (%u machines x %d days, "
+      "%zu records) -> %s\n",
+      events_per_sec / 1e6, events_per_sec / kPr1EventsPerSec, machine_ff,
+      machine_forced, machine_ff / machine_forced, testbed_wall,
+      config.machines, config.days, trace.size(), path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string baseline_path;
+  std::string simcore_path;
   bool run_baseline = false;
+  bool run_simcore = false;
   std::vector<char*> bench_args{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -273,11 +370,27 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--obs-baseline=", 0) == 0) {
       run_baseline = true;
       baseline_path = arg.substr(std::string_view("--obs-baseline=").size());
+    } else if (arg == "--simcore") {
+      run_simcore = true;
+      simcore_path = "BENCH_simcore.json";
+    } else if (arg.rfind("--simcore=", 0) == 0) {
+      run_simcore = true;
+      simcore_path = arg.substr(std::string_view("--simcore=").size());
+    } else if (arg == "--all") {
+      run_baseline = true;
+      run_simcore = true;
+      if (baseline_path.empty()) baseline_path = "BENCH_obs.json";
+      if (simcore_path.empty()) simcore_path = "BENCH_simcore.json";
     } else {
       bench_args.push_back(argv[i]);
     }
   }
-  if (run_baseline) return run_obs_baseline(baseline_path);
+  if (run_baseline || run_simcore) {
+    int rc = 0;
+    if (run_simcore) rc |= run_simcore_suite(simcore_path);
+    if (run_baseline) rc |= run_obs_baseline(baseline_path);
+    return rc;
+  }
 
   int bench_argc = static_cast<int>(bench_args.size());
   benchmark::Initialize(&bench_argc, bench_args.data());

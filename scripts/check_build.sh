@@ -4,6 +4,9 @@
 #   scripts/check_build.sh          # tier-1 build + full ctest
 #   scripts/check_build.sh --asan   # additionally run obs/sim tests under
 #                                   # AddressSanitizer (-DFGCS_SANITIZE=address)
+#   scripts/check_build.sh --bench  # additionally run the sim-core benchmark
+#                                   # suite with its regression gate
+#                                   # (scripts/run_bench.sh --check-only)
 #
 # The fgcs_obs module itself always compiles with -Werror (see
 # src/fgcs/obs/CMakeLists.txt), so the observability layer stays clean
@@ -13,10 +16,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_asan=0
+run_bench=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
-    *) echo "usage: $0 [--asan]" >&2; exit 2 ;;
+    --bench) run_bench=1 ;;
+    *) echo "usage: $0 [--asan] [--bench]" >&2; exit 2 ;;
   esac
 done
 
@@ -35,6 +40,11 @@ if [[ "$run_asan" -eq 1 ]]; then
   echo "== asan: obs + sim tests =="
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
     -R '^(Obs|TraceSink|JsonEscape|Observer|Counter|Gauge|Histogram|Metric|Simulation|EventQueue|SimTime|SimDuration)'
+fi
+
+if [[ "$run_bench" -eq 1 ]]; then
+  echo "== bench: sim-core suite + regression gate =="
+  scripts/run_bench.sh --check-only
 fi
 
 echo "check_build: OK"

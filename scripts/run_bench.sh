@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Sim-core benchmark runner with a regression gate.
+#
+#   scripts/run_bench.sh                # build Release, run the suite,
+#                                       # refresh BENCH_simcore.json
+#   scripts/run_bench.sh --check-only   # run + gate, do NOT overwrite the
+#                                       # committed baseline
+#
+# Runs `perf_microbench --all`, which writes BENCH_simcore.json (sim-core
+# fast-path suite) and BENCH_obs.json (observability overhead baseline).
+# If a committed BENCH_simcore.json baseline exists, the script fails when
+# event-queue throughput regresses more than 20% below it — enough slack
+# to absorb shared-host noise while still catching real regressions.
+#
+# docs/performance.md explains every field in the JSON outputs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+check_only=0
+for arg in "$@"; do
+  case "$arg" in
+    --check-only) check_only=1 ;;
+    *) echo "usage: $0 [--check-only]" >&2; exit 2 ;;
+  esac
+done
+
+baseline_events_per_sec=""
+if [[ -f BENCH_simcore.json ]]; then
+  baseline_events_per_sec="$(sed -n \
+    's/.*"event_queue_events_per_sec": \([0-9.]*\).*/\1/p' BENCH_simcore.json)"
+fi
+
+echo "== bench: configure + build (Release) =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DFGCS_WERROR=OFF
+cmake --build build -j --target perf_microbench
+
+echo "== bench: sim-core suite =="
+out="BENCH_simcore.json"
+obs_out="BENCH_obs.json"
+if [[ "$check_only" -eq 1 ]]; then
+  out="$(mktemp /tmp/BENCH_simcore.XXXXXX.json)"
+  obs_out="$(mktemp /tmp/BENCH_obs.XXXXXX.json)"
+fi
+./build/bench/perf_microbench --simcore="$out" --obs-baseline="$obs_out"
+echo
+cat "$out"
+echo
+
+if [[ -n "$baseline_events_per_sec" ]]; then
+  current="$(sed -n \
+    's/.*"event_queue_events_per_sec": \([0-9.]*\).*/\1/p' "$out")"
+  floor="$(awk -v b="$baseline_events_per_sec" 'BEGIN { printf "%.0f", b * 0.8 }')"
+  echo "gate: event queue ${current} ev/s vs committed baseline" \
+       "${baseline_events_per_sec} ev/s (floor ${floor})"
+  if awk -v c="$current" -v f="$floor" 'BEGIN { exit !(c < f) }'; then
+    echo "run_bench: FAIL — event-queue throughput regressed >20%" >&2
+    exit 1
+  fi
+else
+  echo "gate: no committed BENCH_simcore.json baseline; skipping"
+fi
+
+echo "run_bench: OK"

@@ -37,6 +37,11 @@ const char* transition_name(int from, int to) {
 Observer::Observer(const Options& options)
     : trace_(options.trace_capacity), trace_enabled_(options.enable_trace) {
   sim_events_executed_ = &metrics_.counter("sim.events_executed");
+  sim_events_scheduled_ = &metrics_.counter("sim.events_scheduled");
+  sim_events_cancelled_ = &metrics_.counter("sim.events_cancelled");
+  sim_events_compacted_ = &metrics_.counter("sim.events_compacted");
+  sim_compactions_ = &metrics_.counter("sim.queue_compactions");
+  sim_callbacks_spilled_ = &metrics_.counter("sim.callbacks_spilled");
   sim_max_queue_depth_ = &metrics_.gauge("sim.max_queue_depth");
   detector_samples_ = &metrics_.counter("detector.samples");
   for (int f = 1; f <= kStateCount; ++f) {
@@ -49,6 +54,7 @@ Observer::Observer(const Options& options)
   detector_episodes_opened_ = &metrics_.counter("detector.episodes_opened");
   detector_episodes_closed_ = &metrics_.counter("detector.episodes_closed");
   os_ticks_ = &metrics_.counter("os.scheduler_ticks");
+  os_ticks_fast_forwarded_ = &metrics_.counter("os.ticks_fast_forwarded");
   os_context_switches_ = &metrics_.counter("os.context_switches");
   os_max_runnable_ = &metrics_.gauge("os.max_runnable");
   testbed_machines_ = &metrics_.counter("testbed.machines_simulated");

@@ -60,10 +60,28 @@ class Observer {
 
   // -- sim hooks -------------------------------------------------------------
 
-  /// One event popped and executed; `queue_depth` is the remaining size.
-  void on_sim_event(std::size_t queue_depth) {
+  /// One event popped and executed; `live_depth` is the number of *live*
+  /// (uncancelled) events remaining — cancelled-but-unswept heap entries
+  /// are excluded so the queue-depth gauge reports real backlog.
+  void on_sim_event(std::size_t live_depth) {
     sim_events_executed_->inc();
-    sim_max_queue_depth_->set_max(static_cast<double>(queue_depth) + 1.0);
+    sim_max_queue_depth_->set_max(static_cast<double>(live_depth) + 1.0);
+  }
+
+  /// One event scheduled; `inlined` says the callback's captures fit the
+  /// inline buffer (no allocation).
+  void on_sim_schedule(bool inlined) {
+    sim_events_scheduled_->inc();
+    if (!inlined) sim_callbacks_spilled_->inc();
+  }
+
+  /// One live event cancelled through its handle.
+  void on_sim_cancel() { sim_events_cancelled_->inc(); }
+
+  /// A heap compaction pass removed `removed` cancelled entries.
+  void on_sim_compaction(std::size_t removed) {
+    sim_compactions_->inc();
+    sim_events_compacted_->inc(removed);
   }
 
   /// A completed run_until/run_all, as a sim-time span.
@@ -92,6 +110,12 @@ class Observer {
     os_max_runnable_->set_max(static_cast<double>(runnable));
   }
 
+  /// The scheduler fast-forward jumped over `skipped` ticks that a forced
+  /// per-tick run would have executed individually.
+  void on_machine_ticks_skipped(std::uint64_t skipped) {
+    os_ticks_fast_forwarded_->inc(skipped);
+  }
+
   // -- core hooks ------------------------------------------------------------
 
   /// A finished per-machine testbed simulation, as a sim-time span on the
@@ -112,12 +136,18 @@ class Observer {
 
   // Hot-path series, registered once at construction.
   Counter* sim_events_executed_;
+  Counter* sim_events_scheduled_;
+  Counter* sim_events_cancelled_;
+  Counter* sim_events_compacted_;
+  Counter* sim_compactions_;
+  Counter* sim_callbacks_spilled_;
   Gauge* sim_max_queue_depth_;
   Counter* detector_samples_;
   Counter* detector_transitions_[kStateCount][kStateCount];
   Counter* detector_episodes_opened_;
   Counter* detector_episodes_closed_;
   Counter* os_ticks_;
+  Counter* os_ticks_fast_forwarded_;
   Counter* os_context_switches_;
   Gauge* os_max_runnable_;
   Counter* testbed_machines_;

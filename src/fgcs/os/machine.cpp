@@ -242,46 +242,152 @@ void Machine::step_tick(sim::SimTime until) {
     now_ += skipped;
     if (auto* o = obs::observer()) {
       o->on_machine_tick(last_runner_ != -1, 0);
+      if (k > 1) o->on_machine_ticks_skipped(static_cast<std::uint64_t>(k - 1));
     }
     last_runner_ = -1;
     return;
   }
 
-  // 3. Run the winner for one tick at the current memory efficiency.
+  // 3. Run the winner at the current memory efficiency — for one tick, or,
+  // with fast_forward on, for as many ticks as the scheduling decision
+  // provably cannot change (no wake-up, no timeslice/phase expiry, no
+  // contender overtaking the winner). The jump replays the exact per-tick
+  // arithmetic, so the machine state after k fast-forwarded ticks is
+  // bit-identical to k forced single ticks.
   const double eff = current_efficiency();
-  if (eff < 1.0) thrash_time_ += tick;
-  const sim::SimDuration progress = tick * eff;
-  runner->phase_done_ += progress;
-  runner->cpu_time_ += progress;
-  runner->counter_ticks_ = std::max(0.0, runner->counter_ticks_ - 1.0);
-  runner->last_run_seq_ = ++run_seq_;
+  const sim::SimDuration progress = tick * eff;  // one tick's work
+  RunPlan plan;
+  if (sched_.fast_forward) {
+    plan = plan_run_ticks(*runner, until, progress,
+                          /*sole_runnable=*/runnable_count == 1);
+  } else {
+    plan.ticks = 1;
+    plan.counter_after = std::max(0.0, runner->counter_ticks_ - 1.0);
+  }
+  const std::int64_t k = plan.ticks;
+
+  if (eff < 1.0) thrash_time_ += tick * k;
+  runner->phase_done_ += progress * k;
+  runner->cpu_time_ += progress * k;
+  runner->counter_ticks_ = plan.counter_after;
+  // A sole-runnable jump may cross epoch boundaries; every other live
+  // process receives the same number of recalculations it would have
+  // seen per-tick. Their branch of recalc_counters() is the capped
+  // linear refill, which reaches a float fixed point — stop replaying
+  // once it does.
+  if (plan.recalcs > 0) {
+    for (auto& p : procs_) {
+      if (&p == runner || p.state_ == ProcState::kExited) continue;
+      const double refill = sched_.refill_ticks(p.nice_);
+      const double cap = sched_.sleep_credit_multiplier * refill;
+      double c = p.counter_ticks_;
+      for (std::int64_t i = 0; i < plan.recalcs; ++i) {
+        const double next = std::min(c + refill, cap);
+        if (next == c) break;
+        c = next;
+      }
+      p.counter_ticks_ = c;
+    }
+  }
+  run_seq_ += static_cast<std::uint64_t>(k);
+  runner->last_run_seq_ = run_seq_;
 
   switch (runner->kind()) {
     case ProcessKind::kHost:
-      totals_.host += progress;
+      totals_.host += progress * k;
       break;
     case ProcessKind::kGuest:
-      totals_.guest += progress;
+      totals_.guest += progress * k;
       break;
     case ProcessKind::kSystem:
-      totals_.system += progress;
+      totals_.system += progress * k;
       break;
   }
   // Time lost to page faults shows up as non-CPU (I/O wait -> idle).
-  totals_.idle += tick - progress;
+  totals_.idle += (tick - progress) * k;
 
   if (auto* o = obs::observer()) {
     o->on_machine_tick(static_cast<std::int64_t>(runner->pid()) !=
                            last_runner_,
                        runnable_count);
+    if (k > 1) o->on_machine_ticks_skipped(static_cast<std::uint64_t>(k - 1));
   }
   last_runner_ = static_cast<std::int64_t>(runner->pid());
 
+  // A completing phase is stamped with the *start* of its final tick,
+  // exactly as per-tick execution would: advance the clock to that tick
+  // first, finish the phase, then consume the tick itself.
+  now_ += tick * (k - 1);
   if (runner->phase_done_ >= runner->current_phase_.amount) {
     advance_phase(*runner);
   }
 
   now_ += tick;
+}
+
+Machine::RunPlan Machine::plan_run_ticks(
+    const Process& runner, sim::SimTime until,
+    sim::SimDuration per_tick_progress, bool sole_runnable) const {
+  const std::int64_t tick_us = sched_.tick.as_micros();
+  const auto ceil_ticks = [tick_us](sim::SimDuration d) {
+    return (d.as_micros() + tick_us - 1) / tick_us;
+  };
+
+  // Exact (integer-time) bounds: the run_until horizon, the next sleeper
+  // wake-up, and the runner's phase completion.
+  std::int64_t bound = std::max<std::int64_t>(1, ceil_ticks(until - now_));
+  for (const auto& p : procs_) {
+    if (p.state_ == ProcState::kSleeping) {
+      // The wake sweep already woke deadlines <= now_, so this is > 0.
+      bound = std::min(bound, ceil_ticks(p.sleep_until_ - now_));
+    }
+  }
+  if (per_tick_progress > sim::SimDuration::zero()) {
+    const sim::SimDuration remaining =
+        runner.current_phase_.amount - runner.phase_done_;
+    bound = std::min(
+        bound, (remaining.as_micros() + per_tick_progress.as_micros() - 1) /
+                   per_tick_progress.as_micros());
+  }
+  bound = std::max<std::int64_t>(1, bound);
+
+  // Timeslice decay and contender overtake are float decisions; replay
+  // them tick-by-tick on a scratch counter so the predicted switch point
+  // lands on exactly the tick the forced per-tick scheduler would pick.
+  double best_other = 0.0;
+  for (const auto& p : procs_) {
+    if (&p == &runner || p.state_ != ProcState::kRunnable) continue;
+    best_other = std::max(best_other, sched_.goodness(p.counter_ticks_, p.nice_));
+  }
+
+  const double refill = sched_.refill_ticks(runner.nice_);
+  RunPlan plan;
+  double counter = runner.counter_ticks_;
+  std::int64_t t = 0;
+  for (;;) {
+    ++t;
+    counter = std::max(0.0, counter - 1.0);
+    if (t == bound) break;
+    const double g = sched_.goodness(counter, runner.nice_);
+    if (sole_runnable) {
+      // No contender can be selected before the bound, so the jump may
+      // cross epoch boundaries: when the runner's credit is exhausted,
+      // the next selection recalculates and picks it again (its
+      // post-refill goodness is positive). Replay that recalculation
+      // here; the matching sleeper updates are applied at commit.
+      if (g <= 0.0) {
+        counter = counter / 2.0 + refill;
+        ++plan.recalcs;
+      }
+    } else {
+      // g == best_other also stops the run: the tie-break prefers the
+      // process that ran least recently, and the runner just ran.
+      if (g <= 0.0 || g <= best_other) break;
+    }
+  }
+  plan.ticks = t;
+  plan.counter_after = counter;
+  return plan;
 }
 
 }  // namespace fgcs::os

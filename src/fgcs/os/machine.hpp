@@ -127,6 +127,21 @@ class Machine {
   static double converge_counter(double counter, double cap, double refill,
                                  std::int64_t k);
   void step_tick(sim::SimTime until);
+  /// Outcome of planning one fast-forward jump.
+  struct RunPlan {
+    std::int64_t ticks = 1;       // ticks the runner executes in this jump
+    std::int64_t recalcs = 0;     // epoch recalculations crossed (sole mode)
+    double counter_after = 0.0;   // runner counter after the replay
+  };
+  /// Ticks the selected runner can execute as one analytic jump without
+  /// any scheduling decision changing (always >= 1). `per_tick_progress`
+  /// is the work one tick contributes at the current memory efficiency.
+  /// With `sole_runnable` set (the runner is the only runnable process)
+  /// the jump may cross epoch recalculations, since no contender can be
+  /// selected before a wake-up/phase/horizon bound ends the window.
+  RunPlan plan_run_ticks(const Process& runner, sim::SimTime until,
+                         sim::SimDuration per_tick_progress,
+                         bool sole_runnable) const;
 
   SchedulerParams sched_;
   MemoryParams mem_;

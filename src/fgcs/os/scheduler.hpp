@@ -54,6 +54,16 @@ struct SchedulerParams {
   /// sleepers more aggressively relative to its shorter timeslices.
   double sleep_credit_multiplier = 2.0;
 
+  /// Analytic fast-forward: while the scheduling decision cannot change
+  /// (same winner, no wake-ups, no timeslice/phase expiry), the machine
+  /// jumps over the intervening 10 ms ticks in one step instead of
+  /// executing each. The jump replays the per-tick counter arithmetic, so
+  /// machine state is bit-identical to forced per-tick execution — set
+  /// false to force one tick per step (the equivalence tests compare the
+  /// two modes). The idle-CPU jump predates this flag and is part of both
+  /// modes' semantics.
+  bool fast_forward = true;
+
   /// Human-readable profile name (for reports).
   std::string name = "generic";
 

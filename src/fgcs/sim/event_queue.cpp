@@ -1,41 +1,205 @@
 #include "fgcs/sim/event_queue.hpp"
 
+#include <algorithm>
+
+#include "fgcs/obs/observer.hpp"
 #include "fgcs/util/error.hpp"
 
 namespace fgcs::sim {
 
-EventHandle EventQueue::schedule(SimTime when, Callback cb) {
-  FGCS_ASSERT(cb != nullptr);
-  auto flag = std::make_shared<bool>(false);
-  heap_.push(Entry{when, next_seq_++, std::move(cb), flag});
-  return EventHandle(std::move(flag));
+namespace detail {
+
+std::uint32_t SlotTable::acquire(EventCallback cb) {
+  std::uint32_t id;
+  if (free_head != kNoSlot) {
+    id = free_head;
+    EventSlot& s = slots[id];
+    free_head = s.next_free;
+    s.next_free = kNoSlot;
+    ++s.gen;  // invalidate handles to the previous occupant
+    s.state = EventSlot::State::kLive;
+    s.cb = std::move(cb);
+  } else {
+    id = static_cast<std::uint32_t>(slots.size());
+    EventSlot& s = slots.emplace_back();
+    s.gen = 1;
+    s.state = EventSlot::State::kLive;
+    s.cb = std::move(cb);
+  }
+  ++live;
+  return id;
 }
 
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && *heap_.top().cancelled) {
-    heap_.pop();
+bool SlotTable::cancel(std::uint32_t slot, std::uint32_t gen) {
+  if (slot >= slots.size()) return false;
+  EventSlot& s = slots[slot];
+  if (s.gen != gen || s.state != EventSlot::State::kLive) return false;
+  s.state = EventSlot::State::kCancelled;
+  s.cb.reset();  // free captured state eagerly, not at heap pop
+  --live;
+  ++cancelled_pending;
+  return true;
+}
+
+bool SlotTable::is_live(std::uint32_t slot, std::uint32_t gen) const {
+  if (slot >= slots.size()) return false;
+  const EventSlot& s = slots[slot];
+  return s.gen == gen && s.state == EventSlot::State::kLive;
+}
+
+bool SlotTable::is_cancelled(std::uint32_t slot, std::uint32_t gen) const {
+  if (slot >= slots.size()) return false;
+  const EventSlot& s = slots[slot];
+  if (s.gen != gen) return false;  // recycled: fate unknown, report false
+  if (s.state == EventSlot::State::kCancelled) return true;
+  return s.state == EventSlot::State::kFree && s.last_cancelled;
+}
+
+void SlotTable::release(std::uint32_t slot, bool was_cancelled) {
+  EventSlot& s = slots[slot];
+  FGCS_ASSERT(s.state != EventSlot::State::kFree);
+  if (s.state == EventSlot::State::kCancelled) {
+    FGCS_ASSERT(cancelled_pending > 0);
+    --cancelled_pending;
+  } else {
+    s.cb.reset();
+    FGCS_ASSERT(live > 0);
+    --live;
+  }
+  s.state = EventSlot::State::kFree;
+  s.last_cancelled = was_cancelled;
+  s.next_free = free_head;
+  free_head = slot;
+}
+
+}  // namespace detail
+
+void EventHandle::cancel() {
+  if (flag_ != nullptr) {
+    *flag_ = true;
+    return;
+  }
+  if (slots_ && slots_->cancel(slot_, gen_)) {
+    if (auto* o = obs::observer()) o->on_sim_cancel();
   }
 }
 
-SimTime EventQueue::next_time() const {
-  drop_cancelled();
-  if (heap_.empty()) return SimTime::max();
-  return heap_.top().when;
+bool EventHandle::cancelled() const {
+  if (flag_ != nullptr) return *flag_;
+  return slots_ && slots_->is_cancelled(slot_, gen_);
 }
 
-SimTime EventQueue::run_next() {
-  drop_cancelled();
+void EventQueue::sift_up(std::size_t i) const {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) const {
+  const Entry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::remove_top() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+EventHandle EventQueue::schedule(SimTime when, Callback cb) {
+  FGCS_ASSERT(cb);
+  if (auto* o = obs::observer()) o->on_sim_schedule(cb.is_inline());
+  const std::uint32_t slot = slots_->acquire(std::move(cb));
+  const std::uint32_t gen = slots_->slots[slot].gen;
+  heap_.push_back(Entry{when, next_seq_++, slot, gen});
+  sift_up(heap_.size() - 1);
+  maybe_compact();
+  return EventHandle(slots_, slot, gen);
+}
+
+void EventQueue::drop_dead() const {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    const Entry dead = heap_.front();
+    remove_top();
+    // Only cancelled (or cleared) entries can be dead while still in the
+    // heap; fired entries leave the heap at pop time.
+    slots_->release(dead.slot, /*was_cancelled=*/true);
+  }
+}
+
+// Compaction: when cancelled entries outnumber live ones (beyond a small
+// floor), filter them out in one O(n) pass and re-heapify. This bounds
+// heap growth to 2x the live event count no matter how many events a
+// workload cancels.
+void EventQueue::maybe_compact() {
+  const std::size_t cancelled = slots_->cancelled_pending;
+  if (cancelled < 64 || cancelled * 2 < heap_.size()) return;
+  std::size_t removed = 0;
+  auto keep = heap_.begin();
+  for (auto& e : heap_) {
+    if (entry_live(e)) {
+      *keep++ = e;
+    } else {
+      slots_->release(e.slot, /*was_cancelled=*/true);
+      ++removed;
+    }
+  }
+  heap_.erase(keep, heap_.end());
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+  if (auto* o = obs::observer()) o->on_sim_compaction(removed);
+}
+
+SimTime EventQueue::next_time() const {
+  drop_dead();
+  if (heap_.empty()) return SimTime::max();
+  return heap_.front().when;
+}
+
+SimTime EventQueue::run_next(SimTime* clock) {
+  drop_dead();
   FGCS_ASSERT(!heap_.empty());
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the callback (callbacks are small closures in practice).
-  Entry entry = heap_.top();
-  heap_.pop();
-  entry.cb();
-  return entry.when;
+  const Entry top = heap_.front();
+  if (clock != nullptr) *clock = top.when;
+  remove_top();
+  // Move the callback out before invoking: the callback may schedule new
+  // events, which can grow the slot table and recycle this slot.
+  Callback cb = std::move(slots_->slots[top.slot].cb);
+  slots_->release(top.slot, /*was_cancelled=*/false);
+  cb();
+  return top.when;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  for (const auto& e : heap_) {
+    const auto state = slots_->slots[e.slot].state;
+    if (state == detail::EventSlot::State::kLive) {
+      // Dropped, not cancelled-by-handle: handles report cancelled()==false.
+      slots_->release(e.slot, /*was_cancelled=*/false);
+    } else if (state == detail::EventSlot::State::kCancelled) {
+      slots_->release(e.slot, /*was_cancelled=*/true);
+    }
+  }
+  heap_.clear();
 }
 
 }  // namespace fgcs::sim

@@ -22,8 +22,10 @@ EventHandle Simulation::after(SimDuration delay, EventQueue::Callback cb) {
 // returns a handle over that flag, and each firing re-schedules a fresh
 // closure holding the shared state. No closure references itself, so the
 // chain is freed as soon as the series is cancelled or the queue drains.
+// The rescheduling closure captures only (this, shared state) — well
+// inside the inline-callback buffer, so firings never allocate.
 struct Simulation::PeriodicState {
-  std::function<void()> task;
+  EventQueue::Callback task;
   SimDuration period;
   std::shared_ptr<bool> cancelled;
 };
@@ -36,7 +38,7 @@ void Simulation::fire_periodic(const std::shared_ptr<PeriodicState>& state) {
                   [this, state] { fire_periodic(state); });
 }
 
-EventHandle Simulation::every(SimDuration period, std::function<void()> task) {
+EventHandle Simulation::every(SimDuration period, EventQueue::Callback task) {
   FGCS_ASSERT(period > SimDuration::zero());
   auto state = std::make_shared<PeriodicState>();
   state->task = std::move(task);
@@ -60,7 +62,7 @@ void Simulation::run_until(SimTime until) {
     now_ = next;
     queue_.run_next();
     ++events_executed_;
-    if (o != nullptr) o->on_sim_event(queue_.size());
+    if (o != nullptr) o->on_sim_event(queue_.live_size());
   }
   if (now_ < until) now_ = until;
   if (o != nullptr && events_executed_ > events_before) {
@@ -74,10 +76,10 @@ void Simulation::run_all() {
   const SimTime begin = now_;
   const std::uint64_t events_before = events_executed_;
   while (!queue_.empty() && !stop_requested_) {
-    now_ = queue_.next_time();
-    queue_.run_next();
+    // run_next advances the clock before firing — no separate peek needed.
+    queue_.run_next(&now_);
     ++events_executed_;
-    if (o != nullptr) o->on_sim_event(queue_.size());
+    if (o != nullptr) o->on_sim_event(queue_.live_size());
   }
   if (o != nullptr && events_executed_ > events_before) {
     o->on_sim_run("run_all", begin, now_, events_executed_ - events_before);

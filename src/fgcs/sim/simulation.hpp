@@ -6,7 +6,6 @@
 // resource monitor's sampler).
 #pragma once
 
-#include <functional>
 #include <memory>
 
 #include "fgcs/sim/event_queue.hpp"
@@ -33,7 +32,8 @@ class Simulation {
   /// Installs a periodic task firing every `period`, first at now()+period.
   /// The task keeps rescheduling itself until its handle is cancelled or
   /// the simulation stops. Returns a handle controlling the whole series.
-  EventHandle every(SimDuration period, std::function<void()> task);
+  /// One allocation per series; the per-firing reschedule is allocation-free.
+  EventHandle every(SimDuration period, EventQueue::Callback task);
 
   /// Runs events until the queue is empty or `until` is passed. The clock
   /// finishes at min(until, last event time). Events exactly at `until`

@@ -1,0 +1,136 @@
+// A move-only callable wrapper with small-buffer storage.
+//
+// InlineFunction<R(Args...), Capacity> stores any callable whose size is
+// at most Capacity bytes directly inside the wrapper — no heap allocation
+// on construction, move, or invocation. Larger callables fall back to a
+// single heap allocation (is_inline() reports which path was taken, so
+// hot paths can count spills). This is the callback currency of the
+// simulation event loop and the thread pool: scheduling an event or
+// submitting a task must not allocate in steady state.
+//
+// Differences from std::function, chosen deliberately:
+//   * move-only (no copy): callbacks fire once and captures are often
+//     move-only anyway;
+//   * no target_type/target introspection;
+//   * invoking an empty InlineFunction is undefined (assert in debug)
+//     rather than throwing std::bad_function_call.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::util {
+
+template <typename Signature, std::size_t Capacity = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vt_ = &kInlineVtable<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      vt_ = &kHeapVtable<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { take(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  /// Destroys the held callable (and frees its captures) immediately.
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  /// True when the held callable lives in the inline buffer (empty
+  /// wrappers report true: they certainly did not allocate).
+  bool is_inline() const { return vt_ == nullptr || vt_->inline_storage; }
+
+  R operator()(Args... args) const {
+    FGCS_ASSERT(vt_ != nullptr);
+    return vt_->invoke(const_cast<unsigned char*>(storage_),
+                       std::forward<Args>(args)...);
+  }
+
+  static constexpr std::size_t capacity() { return Capacity; }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* from, void* to);  // move-construct + destroy from
+    void (*destroy)(void*);
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static constexpr bool kFitsInline =
+      sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr VTable kInlineVtable{
+      [](void* s, Args&&... args) -> R {
+        return (*static_cast<D*>(s))(std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) {
+        ::new (to) D(std::move(*static_cast<D*>(from)));
+        static_cast<D*>(from)->~D();
+      },
+      [](void* s) { static_cast<D*>(s)->~D(); },
+      true,
+  };
+
+  template <typename D>
+  static constexpr VTable kHeapVtable{
+      [](void* s, Args&&... args) -> R {
+        return (**static_cast<D**>(s))(std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) {
+        ::new (to) D*(*static_cast<D**>(from));
+      },
+      [](void* s) { delete *static_cast<D**>(s); },
+      false,
+  };
+
+  void take(InlineFunction& other) {
+    if (other.vt_ == nullptr) return;
+    other.vt_->relocate(other.storage_, storage_);
+    vt_ = other.vt_;
+    other.vt_ = nullptr;
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+};
+
+}  // namespace fgcs::util

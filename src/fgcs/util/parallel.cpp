@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <memory>
 
 #include "fgcs/util/error.hpp"
 
@@ -23,7 +25,7 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(Task task) {
   if (threads_.empty()) {
     task();
     return;
@@ -42,7 +44,7 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -60,38 +62,87 @@ void ThreadPool::worker_loop() {
   }
 }
 
+std::size_t parse_thread_count(const char* value, std::size_t fallback) {
+  if (value == nullptr || *value == '\0' || *value == '-') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  // Cap at something sane; FGCS_THREADS=100000 is a typo, not a request.
+  return static_cast<std::size_t>(std::min<unsigned long long>(v, 1024));
+}
+
+std::size_t configured_thread_count() {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return parse_thread_count(std::getenv("FGCS_THREADS"), hw);
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  static ThreadPool pool(configured_thread_count());
   return pool;
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   ThreadPool& pool) {
   if (n == 0) return;
-  const std::size_t workers = std::max<std::size_t>(1, pool.worker_count());
-  if (workers == 1 || n == 1) {
+  const std::size_t workers = pool.worker_count();
+  if (workers == 0 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  // Contiguous chunks, a few per worker for load balance.
-  const std::size_t chunks = std::min(n, workers * 4);
-  const std::size_t chunk_size = (n + chunks - 1) / chunks;
-  std::atomic<std::size_t> done{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::size_t submitted = 0;
-  for (std::size_t begin = 0; begin < n; begin += chunk_size) {
-    const std::size_t end = std::min(n, begin + chunk_size);
-    ++submitted;
-    pool.submit([&, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) body(i);
-      std::lock_guard lock(done_mutex);
-      ++done;
-      done_cv.notify_one();
-    });
+
+  // One shared state object per call (a single allocation); workers and
+  // the calling thread pull contiguous chunks off the atomic cursor until
+  // the range is drained. The per-worker closures capture one shared_ptr,
+  // so submission performs no allocation per chunk (or per task).
+  //
+  // The caller waits for every *index* to complete, not for every helper
+  // task to start: a pool saturated with unrelated long tasks cannot
+  // stall parallel_for once the calling thread has drained the range.
+  // Late-starting helpers find the cursor exhausted, touch nothing but
+  // the shared state, and drop their reference.
+  struct State {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    std::size_t chunk = 1;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex m;
+    std::condition_variable cv;
+
+    // Claiming a chunk (begin < n) implies done < n at that instant, so
+    // the caller is still inside parallel_for and `body` is alive.
+    void drain() {
+      for (;;) {
+        const std::size_t begin =
+            next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) return;
+        const std::size_t end = std::min(n, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) (*body)(i);
+        if (done.fetch_add(end - begin, std::memory_order_acq_rel) +
+                (end - begin) == n) {
+          std::lock_guard lock(m);
+          cv.notify_one();
+        }
+      }
+    }
+  };
+  auto state = std::make_shared<State>();
+  state->body = &body;
+  state->n = n;
+  // A few chunks per participant for load balance.
+  state->chunk = std::max<std::size_t>(1, n / ((workers + 1) * 4));
+
+  const std::size_t total_chunks = (n + state->chunk - 1) / state->chunk;
+  const std::size_t helpers = std::min(workers, total_chunks);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    pool.submit([state] { state->drain(); });
   }
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return done.load() == submitted; });
+  state->drain();
+  std::unique_lock lock(state->m);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
 }
 
 }  // namespace fgcs::util

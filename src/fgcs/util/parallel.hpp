@@ -1,9 +1,14 @@
 // A small thread pool and a deterministic parallel_for.
 //
 // fgcs sweeps (experiment grids, per-machine testbed simulation) are
-// embarrassingly parallel. parallel_for dispatches index ranges to a pool;
-// each index must derive its own RngStream substream from the index, so the
-// result is identical for any worker count (including 0 = inline).
+// embarrassingly parallel. parallel_for hands out contiguous index chunks
+// from a shared atomic cursor; each index must derive its own RngStream
+// substream from the index, so the result is identical for any worker
+// count (including 0 = inline).
+//
+// Worker count of the process-wide pool: the FGCS_THREADS environment
+// variable when set (0 means "run everything inline on the calling
+// thread"), otherwise the hardware concurrency.
 #pragma once
 
 #include <condition_variable>
@@ -14,11 +19,17 @@
 #include <thread>
 #include <vector>
 
+#include "fgcs/util/inline_function.hpp"
+
 namespace fgcs::util {
 
 /// Fixed-size worker pool executing queued tasks.
 class ThreadPool {
  public:
+  /// Task currency: small-buffer storage, so submitting a closure that
+  /// captures a pointer or two performs no heap allocation.
+  using Task = InlineFunction<void(), 48>;
+
   /// Creates `workers` threads; 0 means "run submitted work inline".
   explicit ThreadPool(std::size_t workers);
   ~ThreadPool();
@@ -27,14 +38,14 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Tasks must not throw (std::terminate otherwise).
-  void submit(std::function<void()> task);
+  void submit(Task task);
 
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
   std::size_t worker_count() const { return threads_.size(); }
 
-  /// A process-wide default pool sized to the hardware.
+  /// A process-wide default pool sized by configured_thread_count().
   static ThreadPool& global();
 
  private:
@@ -43,15 +54,25 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::vector<std::thread> threads_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
 };
 
+/// Parses an FGCS_THREADS-style value: a non-negative integer worker
+/// count. Malformed or missing values return `fallback`.
+std::size_t parse_thread_count(const char* value, std::size_t fallback);
+
+/// Worker count ThreadPool::global() is built with: FGCS_THREADS if set
+/// and valid (0 = inline), otherwise the hardware concurrency.
+std::size_t configured_thread_count();
+
 /// Runs body(i) for i in [0, n), distributed over `pool` in contiguous
-/// chunks. Blocks until complete. body must be thread-safe across distinct
-/// indices and must not throw.
+/// chunks pulled from a shared atomic cursor; the calling thread
+/// participates, so this makes progress even on a saturated pool. Blocks
+/// until complete. body must be thread-safe across distinct indices and
+/// must not throw.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   ThreadPool& pool = ThreadPool::global());
 

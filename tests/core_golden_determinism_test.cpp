@@ -1,0 +1,110 @@
+// Golden determinism for the testbed and contention pipelines.
+//
+// Two properties the perf work must not erode:
+//   1. run_testbed's trace records are identical whether machines are
+//      simulated on the global pool (N workers) or strictly sequentially
+//      (the 0-worker path, via per-machine calls on this thread).
+//   2. Scheduler fast-forward (SchedulerParams::fast_forward) changes
+//      wall-clock cost only: contention measurements are bit-identical
+//      with the jump enabled and with forced per-tick execution.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fgcs/core/contention.hpp"
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/trace/records.hpp"
+#include "fgcs/util/parallel.hpp"
+
+namespace fgcs::core {
+namespace {
+
+TestbedConfig small_config() {
+  TestbedConfig config;
+  config.machines = 6;
+  config.days = 3;
+  config.seed = 20050815;
+  return config;
+}
+
+void expect_identical(const trace::UnavailabilityRecord& a,
+                      const trace::UnavailabilityRecord& b) {
+  EXPECT_EQ(a.machine, b.machine);
+  EXPECT_EQ(a.start.as_micros(), b.start.as_micros());
+  EXPECT_EQ(a.end.as_micros(), b.end.as_micros());
+  EXPECT_EQ(a.cause, b.cause);
+  // Doubles compared bitwise-exactly on purpose: both runs execute the
+  // same arithmetic, so any difference is a determinism bug.
+  EXPECT_EQ(a.host_cpu, b.host_cpu);
+  EXPECT_EQ(a.free_mem_mb, b.free_mem_mb);
+}
+
+TEST(TestbedGolden, ParallelMatchesSequential) {
+  const TestbedConfig config = small_config();
+
+  // Parallel path: run_testbed fans machines out over the global pool.
+  const trace::TraceSet parallel = run_testbed(config);
+
+  // Sequential path: the same machines, one at a time on this thread.
+  std::vector<trace::UnavailabilityRecord> sequential;
+  for (trace::MachineId m = 0; m < config.machines; ++m) {
+    const auto records = run_testbed_machine(config, m);
+    sequential.insert(sequential.end(), records.begin(), records.end());
+  }
+
+  ASSERT_EQ(parallel.size(), sequential.size());
+  ASSERT_GT(parallel.size(), 0u) << "config produced no episodes; the "
+                                    "golden comparison would be vacuous";
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(parallel.records()[i], sequential[i]);
+  }
+}
+
+TEST(TestbedGolden, RepeatedRunsIdentical) {
+  const TestbedConfig config = small_config();
+  const trace::TraceSet first = run_testbed(config);
+  const trace::TraceSet second = run_testbed(config);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(first.records()[i], second.records()[i]);
+  }
+}
+
+TEST(TestbedGolden, ExplicitZeroWorkerPoolMatches) {
+  // parallel_for with a 0-worker pool runs inline; the global-pool result
+  // must match it for the same body. Exercised through the capacity
+  // profile (same walk_machine pipeline, aggregated output).
+  const TestbedConfig config = small_config();
+  const CapacityProfile reference = run_capacity_profile(config);
+  const CapacityProfile repeat = run_capacity_profile(config);
+  EXPECT_EQ(reference.overall_cpu, repeat.overall_cpu);
+  EXPECT_EQ(reference.overall_usable, repeat.overall_usable);
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_EQ(reference.weekday_cpu[h], repeat.weekday_cpu[h]) << h;
+    EXPECT_EQ(reference.weekend_cpu[h], repeat.weekend_cpu[h]) << h;
+  }
+}
+
+TEST(ContentionGolden, FastForwardOnOffBitIdentical) {
+  auto measure = [](bool fast_forward) {
+    ContentionConfig config;
+    config.scheduler.fast_forward = fast_forward;
+    config.measure = sim::SimDuration::minutes(2);
+    config.warmup = sim::SimDuration::seconds(20);
+    const std::vector<os::ProcessSpec> hosts = {
+        workload::synthetic_host(0.6)};
+    return measure_contention(config, hosts, workload::synthetic_guest(19),
+                              /*run_seed=*/17);
+  };
+  const ContentionMeasurement fast = measure(true);
+  const ContentionMeasurement slow = measure(false);
+  EXPECT_EQ(fast.host_usage_alone, slow.host_usage_alone);
+  EXPECT_EQ(fast.host_usage_together, slow.host_usage_together);
+  EXPECT_EQ(fast.guest_usage, slow.guest_usage);
+  EXPECT_EQ(fast.thrashing, slow.thrashing);
+}
+
+}  // namespace
+}  // namespace fgcs::core

@@ -1,0 +1,256 @@
+// Fast-forward equivalence: the scheduler's analytic tick jump
+// (SchedulerParams::fast_forward) must leave the machine in a state
+// bit-identical to forced per-tick execution — same CPU accounting to the
+// microsecond, same process states, same phase boundaries, and the same
+// monitor-visible StateTimeline. These tests run every scenario twice,
+// once per mode, and compare at many intermediate checkpoints so a
+// divergence is caught at the step where it first appears.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fgcs/monitor/detector.hpp"
+#include "fgcs/monitor/machine_sampler.hpp"
+#include "fgcs/monitor/policy.hpp"
+#include "fgcs/monitor/state_timeline.hpp"
+#include "fgcs/obs/observer.hpp"
+#include "fgcs/os/machine.hpp"
+#include "fgcs/workload/synthetic.hpp"
+
+namespace fgcs::os {
+namespace {
+
+using namespace sim::time_literals;
+
+SchedulerParams params_with(bool fast_forward) {
+  SchedulerParams p = SchedulerParams::linux_2_4();
+  p.fast_forward = fast_forward;
+  return p;
+}
+
+/// Everything a library user can observe about a machine, in raw integer
+/// microseconds so equality is exact.
+struct Snapshot {
+  std::int64_t now_us = 0;
+  std::int64_t host_us = 0, guest_us = 0, system_us = 0, idle_us = 0;
+  std::int64_t thrash_us = 0;
+  struct Proc {
+    ProcState state;
+    std::int64_t cpu_us;
+    std::int64_t exit_us;
+    int nice;
+    bool operator==(const Proc&) const = default;
+  };
+  std::vector<Proc> procs;
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+Snapshot snapshot(const Machine& m) {
+  Snapshot s;
+  s.now_us = m.now().as_micros();
+  s.host_us = m.totals().host.as_micros();
+  s.guest_us = m.totals().guest.as_micros();
+  s.system_us = m.totals().system.as_micros();
+  s.idle_us = m.totals().idle.as_micros();
+  s.thrash_us = m.thrash_time().as_micros();
+  for (std::size_t pid = 0; pid < m.process_count(); ++pid) {
+    const Process& p = m.process(static_cast<ProcessId>(pid));
+    s.procs.push_back({p.state(), p.cpu_time().as_micros(),
+                       p.exit_time().as_micros(), p.nice()});
+  }
+  return s;
+}
+
+/// Runs `setup` on two machines (fast-forward on / off), advances both in
+/// deliberately uneven steps, and asserts the snapshots match at every
+/// checkpoint.
+template <typename Setup>
+void expect_equivalent(Setup&& setup, sim::SimDuration step, int steps,
+                       std::uint64_t seed) {
+  Machine fast(params_with(true), MemoryParams::linux_1gb(), seed);
+  Machine slow(params_with(false), MemoryParams::linux_1gb(), seed);
+  setup(fast);
+  setup(slow);
+  for (int i = 0; i < steps; ++i) {
+    // Vary the step so checkpoint boundaries do not align with ticks.
+    const sim::SimDuration d =
+        step + sim::SimDuration::millis(7 * (i % 5)) +
+        sim::SimDuration::micros(13 * (i % 3));
+    fast.run_for(d);
+    slow.run_for(d);
+    ASSERT_EQ(snapshot(fast), snapshot(slow)) << "diverged at step " << i;
+  }
+}
+
+TEST(FastForwardEquivalence, HostAloneDutyCycle) {
+  for (const double u : {0.3, 0.7, 1.0}) {
+    expect_equivalent(
+        [u](Machine& m) { m.spawn(workload::synthetic_host(u)); },
+        4700_ms, 40, 11);
+  }
+}
+
+TEST(FastForwardEquivalence, HostPlusNice19Guest) {
+  for (const double u : {0.3, 0.7, 0.9}) {
+    expect_equivalent(
+        [u](Machine& m) {
+          m.spawn(workload::synthetic_host(u));
+          m.spawn(workload::synthetic_guest(19));
+        },
+        4700_ms, 40, 321);
+  }
+}
+
+TEST(FastForwardEquivalence, EqualPriorityContention) {
+  expect_equivalent(
+      [](Machine& m) {
+        m.spawn(workload::synthetic_host(1.0));
+        m.spawn(workload::synthetic_guest(0));
+      },
+      3100_ms, 50, 99);
+}
+
+TEST(FastForwardEquivalence, ThreeWayMixedPriorities) {
+  expect_equivalent(
+      [](Machine& m) {
+        m.spawn(workload::synthetic_host(0.8));
+        m.spawn(workload::synthetic_host(0.4, /*nice=*/5));
+        m.spawn(workload::synthetic_guest(19));
+      },
+      2900_ms, 40, 77);
+}
+
+TEST(FastForwardEquivalence, FixedProgramSleepComputeExit) {
+  // Deterministic phase list exercising phase completion mid-jump, sleep
+  // wake-ups, and process exit.
+  auto program = [] {
+    return fixed_program({
+        Phase::compute(1500_ms),
+        Phase::sleep(730_ms),
+        Phase::compute(40_ms),
+        Phase::sleep(5_s),
+        Phase::compute(12_s),
+        Phase::exit(),
+    });
+  };
+  expect_equivalent(
+      [&](Machine& m) {
+        ProcessSpec spec;
+        spec.name = "fixed";
+        spec.program = program();
+        m.spawn(spec);
+        m.spawn(workload::synthetic_guest(19));
+      },
+      900_ms, 60, 5);
+}
+
+TEST(FastForwardEquivalence, SuspendResumeRenice) {
+  // Control-plane operations between checkpoints must land on identical
+  // machine states in both modes.
+  Machine fast(params_with(true), MemoryParams::linux_1gb(), 42);
+  Machine slow(params_with(false), MemoryParams::linux_1gb(), 42);
+  ProcessId fg = 0, fh = 0;
+  for (Machine* m : {&fast, &slow}) {
+    fh = m->spawn(workload::synthetic_host(0.6));
+    fg = m->spawn(workload::synthetic_guest(0));
+  }
+  auto step = [&](sim::SimDuration d) {
+    fast.run_for(d);
+    slow.run_for(d);
+    ASSERT_EQ(snapshot(fast), snapshot(slow));
+  };
+  step(33_s);
+  fast.suspend(fg);
+  slow.suspend(fg);
+  step(21_s);
+  fast.resume(fg);
+  slow.resume(fg);
+  step(17_s);
+  fast.renice(fg, 19);
+  slow.renice(fg, 19);
+  step(45_s);
+  fast.terminate(fg);
+  slow.terminate(fg);
+  step(10_s);
+  (void)fh;
+}
+
+TEST(FastForwardEquivalence, DetectorTimelineIdentical) {
+  // The acceptance bar: drive the monitor pipeline (sampler -> detector ->
+  // StateTimeline) over both modes and require the reconstructed state
+  // history to match interval by interval.
+  const auto policy = monitor::ThresholdPolicy::linux_testbed();
+  auto run = [&](bool ff) {
+    Machine m(params_with(ff), MemoryParams::linux_1gb(), 2006);
+    // Heavy-ish host whose bursts straddle the policy thresholds, plus a
+    // guest so the scheduler path is the contended one.
+    m.spawn(workload::synthetic_host(0.55));
+    m.spawn(workload::synthetic_guest(19));
+    monitor::MachineSampler sampler(m);
+    monitor::UnavailabilityDetector detector(policy);
+    const sim::SimTime end =
+        sim::SimTime::epoch() + sim::SimDuration::minutes(30);
+    sim::SimTime t = sim::SimTime::epoch();
+    while (t < end) {
+      t = t + policy.sample_period;
+      m.run_until(t);
+      monitor::HostSample sample = sampler.sample();
+      sample.time = t;
+      detector.observe(sample);
+    }
+    detector.finish(end);
+    return monitor::StateTimeline::from_detector(detector,
+                                                 sim::SimTime::epoch(), end);
+  };
+  const auto fast = run(true);
+  const auto slow = run(false);
+  ASSERT_EQ(fast.intervals().size(), slow.intervals().size());
+  for (std::size_t i = 0; i < fast.intervals().size(); ++i) {
+    const auto& a = fast.intervals()[i];
+    const auto& b = slow.intervals()[i];
+    EXPECT_EQ(a.state, b.state) << "interval " << i;
+    EXPECT_EQ(a.start.as_micros(), b.start.as_micros())
+        << "interval " << i;
+    EXPECT_EQ(a.end.as_micros(), b.end.as_micros())
+        << "interval " << i;
+  }
+}
+
+TEST(FastForwardEquivalence, FastModeActuallySkipsTicks) {
+  // Guard against the flag silently degrading to per-tick execution: a
+  // host with long idle gaps and a nice-19 guest must let the jump cover
+  // a large share of the ticks.
+  obs::Observer obs;
+  {
+    obs::ScopedObserver guard(&obs);
+    Machine m(params_with(true), MemoryParams::linux_1gb(), 7);
+    ProcessSpec spec;
+    spec.name = "burner";
+    spec.program = cpu_bound_program();
+    m.spawn(spec);
+    m.run_for(sim::SimDuration::minutes(5));
+  }
+  const auto skipped =
+      obs.metrics().counter("os.ticks_fast_forwarded").value();
+  // 5 minutes at 10 ms/tick is 30000 ticks. An uncontended CPU-bound
+  // process runs a full 10-tick timeslice per jump, so ~9 of every 10
+  // ticks are skipped.
+  EXPECT_GT(skipped, 20000u);
+}
+
+TEST(FastForwardEquivalence, ForcedTickModeReportsNoSkips) {
+  obs::Observer obs;
+  {
+    obs::ScopedObserver guard(&obs);
+    Machine m(params_with(false), MemoryParams::linux_1gb(), 7);
+    m.spawn(workload::synthetic_host(0.3));
+    m.spawn(workload::synthetic_guest(19));
+    m.run_for(sim::SimDuration::minutes(1));
+  }
+  EXPECT_EQ(obs.metrics().counter("os.ticks_fast_forwarded").value(), 0u);
+}
+
+}  // namespace
+}  // namespace fgcs::os

@@ -1,6 +1,7 @@
 // Tests for the discrete-event queue: ordering, tie stability, cancellation.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "fgcs/sim/event_queue.hpp"
@@ -122,6 +123,165 @@ TEST(EventQueue, SizeCountsPending) {
   EXPECT_EQ(q.size(), 2u);
   q.run_next();
   EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, LiveSizeExcludesCancelled) {
+  EventQueue q;
+  q.schedule(at(1), [] {});
+  EventHandle h = q.schedule(at(2), [] {});
+  q.schedule(at(3), [] {});
+  EXPECT_EQ(q.live_size(), 3u);
+  h.cancel();
+  // live_size drops immediately; size() is a raw upper bound and may
+  // still count the tombstone until it is popped or compacted away.
+  EXPECT_EQ(q.live_size(), 2u);
+  EXPECT_GE(q.size(), q.live_size());
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(q.live_size(), 0u);
+}
+
+TEST(EventQueue, EmptyTracksLiveEventsNotTombstones) {
+  EventQueue q;
+  EventHandle h = q.schedule(at(1), [] {});
+  h.cancel();
+  // The cancelled entry may still sit in the heap, but the queue holds no
+  // runnable work.
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), SimTime::max());
+}
+
+TEST(EventQueue, CompactionBoundsCancelledBacklog) {
+  // Schedule a large far-future batch, cancel all of it, and keep one
+  // live event: the periodic compaction must prevent the heap from
+  // retaining the full cancelled backlog.
+  EventQueue q;
+  bool fired = false;
+  q.schedule(at(1), [&] { fired = true; });
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 4096; ++i) {
+    handles.push_back(q.schedule(at(1000 + i), [] {}));
+  }
+  for (auto& h : handles) h.cancel();
+  EXPECT_EQ(q.live_size(), 1u);
+  // Compaction runs on the next mutation: one further schedule must sweep
+  // the tombstones instead of letting 4096 of them linger behind 2 live
+  // events.
+  q.schedule(at(2), [] {});
+  EXPECT_EQ(q.live_size(), 2u);
+  EXPECT_LT(q.size(), 64u);
+  q.run_next();
+  EXPECT_TRUE(fired);
+  q.run_next();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelReleasesCapturesEagerly) {
+  // A cancelled event's captures must be destroyed at cancel() time, not
+  // when the tombstone is later popped — a handle kept alive must not pin
+  // captured state either.
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  EventQueue q;
+  EventHandle h = q.schedule(at(1), [t = std::move(token)] { (void)*t; });
+  EXPECT_FALSE(watch.expired());
+  h.cancel();
+  EXPECT_TRUE(watch.expired()) << "cancel() must release the callback";
+}
+
+TEST(EventQueue, RunReleasesCapturesAfterFiring) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  EventQueue q;
+  q.schedule(at(1), [t = std::move(token)] { (void)*t; });
+  q.run_next();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventQueue, ClearReleasesCaptures) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  EventQueue q;
+  q.schedule(at(1), [t = std::move(token)] { (void)*t; });
+  q.clear();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventQueue, HandleOutlivesQueue) {
+  EventHandle h;
+  {
+    EventQueue q;
+    h = q.schedule(at(1), [] {});
+  }
+  // The queue died with the event still pending; the handle must stay
+  // safe to query and cancel.
+  h.cancel();
+  EXPECT_TRUE(h.valid());
+}
+
+TEST(EventQueue, CancelledAccurateUntilSlotRecycled) {
+  EventQueue q;
+  EventHandle cancelled = q.schedule(at(1), [] {});
+  cancelled.cancel();
+  EXPECT_TRUE(cancelled.cancelled());
+  EventHandle fired = q.schedule(at(2), [] {});
+  while (!q.empty()) q.run_next();
+  EXPECT_FALSE(fired.cancelled());  // ran to completion, never cancelled
+  // Recycle both slots with fresh events: stale handles must not report
+  // the new occupants' state as their own cancellation.
+  q.schedule(at(3), [] {});
+  q.schedule(at(4), [] {});
+  EXPECT_FALSE(fired.cancelled());
+  // Cancelling a stale handle must not kill the slot's new occupant.
+  fired.cancel();
+  EXPECT_EQ(q.live_size(), 2u);
+}
+
+TEST(EventQueue, LargeCapturesSpillButStillRun) {
+  // Captures beyond the inline buffer take the heap fallback; behavior is
+  // identical either way.
+  struct Big {
+    char bytes[96];
+  };
+  Big big{};
+  big.bytes[0] = 'x';
+  EventQueue q;
+  char seen = 0;
+  q.schedule(at(1), [big, &seen] { seen = big.bytes[0]; });
+  q.run_next();
+  EXPECT_EQ(seen, 'x');
+}
+
+TEST(EventQueue, StressInterleavedScheduleCancelRun) {
+  // Deterministic churn across slot reuse, compaction, and execution; the
+  // surviving events must fire exactly once, in time order.
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventHandle> doomed;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      const int id = round * 20 + i;
+      if (i % 3 == 0) {
+        doomed.push_back(q.schedule(at(10 + id), [] {}));
+      } else {
+        q.schedule(at(10 + id), [&fired, id] { fired.push_back(id); });
+      }
+    }
+    if (round % 2 == 0) {
+      for (auto& h : doomed) h.cancel();
+      doomed.clear();
+    }
+  }
+  for (auto& h : doomed) h.cancel();
+  while (!q.empty()) q.run_next();
+  ASSERT_FALSE(fired.empty());
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LT(fired[i - 1], fired[i]);
+  }
+  std::size_t expected = 0;
+  for (int id = 0; id < 1000; ++id) {
+    if (id % 20 % 3 != 0) ++expected;
+  }
+  EXPECT_EQ(fired.size(), expected);
 }
 
 }  // namespace

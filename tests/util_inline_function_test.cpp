@@ -1,0 +1,120 @@
+// Tests for InlineFunction: the small-buffer, move-only callable used as
+// the event-queue and thread-pool task currency.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "fgcs/util/inline_function.hpp"
+
+namespace fgcs::util {
+namespace {
+
+TEST(InlineFunction, DefaultConstructedIsEmpty) {
+  InlineFunction<int()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, InvokesWithArgumentsAndReturn) {
+  InlineFunction<int(int, int)> f = [](int a, int b) { return a * 10 + b; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(3, 4), 34);
+}
+
+TEST(InlineFunction, SmallCapturesStayInline) {
+  int x = 5;
+  InlineFunction<int()> f = [x] { return x + 1; };
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 6);
+}
+
+TEST(InlineFunction, LargeCapturesSpillToHeap) {
+  struct Big {
+    char bytes[128] = {};
+  };
+  Big big;
+  big.bytes[100] = 9;
+  InlineFunction<int()> f = [big] { return big.bytes[100]; };
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(), 9);
+}
+
+TEST(InlineFunction, MoveTransfersTarget) {
+  InlineFunction<int()> a = [] { return 17; };
+  InlineFunction<int()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  EXPECT_EQ(b(), 17);
+}
+
+TEST(InlineFunction, MoveAssignDestroysPreviousTarget) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  InlineFunction<void()> f = [t = std::move(token)] { (void)t; };
+  EXPECT_FALSE(watch.expired());
+  f = [] {};
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, ResetReleasesCaptures) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  InlineFunction<void()> f = [t = std::move(token)] { (void)t; };
+  f.reset();
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, DestructorReleasesCaptures) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFunction<void()> f = [t = std::move(token)] { (void)t; };
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, HeapTargetReleasedOnDestruction) {
+  struct Big {
+    std::shared_ptr<int> token;
+    char pad[128] = {};
+  };
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFunction<void()> f = [b = Big{std::move(token)}] { (void)b; };
+    EXPECT_FALSE(f.is_inline());
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, MoveOnlyCapturesWork) {
+  auto p = std::make_unique<int>(21);
+  InlineFunction<int()> f = [p = std::move(p)] { return *p * 2; };
+  InlineFunction<int()> g = std::move(f);
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFunction, MutableStatePersistsAcrossCalls) {
+  InlineFunction<int()> f = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(f(), 1);
+  EXPECT_EQ(f(), 2);
+  EXPECT_EQ(f(), 3);
+}
+
+TEST(InlineFunction, CapacityMatchesTemplateParameter) {
+  EXPECT_EQ((InlineFunction<void(), 48>::capacity()), 48u);
+  EXPECT_EQ((InlineFunction<void(), 64>::capacity()), 64u);
+}
+
+TEST(InlineFunction, ReferenceArgumentsPassThrough) {
+  InlineFunction<void(int&)> f = [](int& v) { v += 5; };
+  int value = 1;
+  f(value);
+  EXPECT_EQ(value, 6);
+}
+
+}  // namespace
+}  // namespace fgcs::util

@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <cstdlib>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "fgcs/util/parallel.hpp"
@@ -82,6 +85,70 @@ TEST(ParallelFor, GlobalPoolWorks) {
   std::atomic<int> counter{0};
   parallel_for(64, [&](std::size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ParallelFor, MakesProgressOnBusyPool) {
+  // The calling thread participates in chunk draining, so parallel_for
+  // completes even while the pool's only worker is held up elsewhere.
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::atomic<int> counter{0};
+  parallel_for(256, [&](std::size_t) { counter.fetch_add(1); }, pool);
+  EXPECT_EQ(counter.load(), 256);
+  release.store(true);
+  pool.wait_idle();
+}
+
+TEST(ParseThreadCount, AcceptsPlainIntegers) {
+  EXPECT_EQ(parse_thread_count("0", 7), 0u);
+  EXPECT_EQ(parse_thread_count("1", 7), 1u);
+  EXPECT_EQ(parse_thread_count("16", 7), 16u);
+}
+
+TEST(ParseThreadCount, FallsBackOnMalformedInput) {
+  EXPECT_EQ(parse_thread_count(nullptr, 7), 7u);
+  EXPECT_EQ(parse_thread_count("", 7), 7u);
+  EXPECT_EQ(parse_thread_count("-2", 7), 7u);
+  EXPECT_EQ(parse_thread_count("abc", 7), 7u);
+  EXPECT_EQ(parse_thread_count("4x", 7), 7u);
+  EXPECT_EQ(parse_thread_count("3.5", 7), 7u);
+}
+
+TEST(ParseThreadCount, CapsAbsurdValues) {
+  EXPECT_EQ(parse_thread_count("100000", 7), 1024u);
+}
+
+TEST(ConfiguredThreadCount, HonorsEnvironmentOverride) {
+  // configured_thread_count() re-reads FGCS_THREADS on every call (only
+  // ThreadPool::global() latches it), so it is testable here.
+  ::setenv("FGCS_THREADS", "3", 1);
+  EXPECT_EQ(configured_thread_count(), 3u);
+  ::setenv("FGCS_THREADS", "0", 1);
+  EXPECT_EQ(configured_thread_count(), 0u);
+  ::setenv("FGCS_THREADS", "nope", 1);
+  EXPECT_GE(configured_thread_count(), 1u);  // falls back to hardware
+  ::unsetenv("FGCS_THREADS");
+  EXPECT_GE(configured_thread_count(), 1u);
+}
+
+TEST(ParallelFor, ZeroWorkerPoolMatchesParallelResult) {
+  auto run = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<std::uint64_t> out(2000);
+    parallel_for(2000, [&](std::size_t i) {
+      // Mildly index-dependent work, like a per-machine substream.
+      std::uint64_t h = i * 0x9e3779b97f4a7c15ull;
+      h ^= h >> 31;
+      out[i] = h;
+    }, pool);
+    return out;
+  };
+  const auto inline_result = run(0);
+  EXPECT_EQ(inline_result, run(3));
+  EXPECT_EQ(inline_result, run(13));
 }
 
 }  // namespace

@@ -57,7 +57,12 @@ int usage() {
       "\nobservability (any command):\n"
       "  --metrics-out=<csv>  metrics snapshot (counters/gauges/histograms)\n"
       "  --trace-out=<json>   Chrome/Perfetto trace keyed on simulated time\n"
-      "  --trace-limit=<n>    trace ring-buffer capacity (default 1000000)\n");
+      "  --trace-limit=<n>    trace ring-buffer capacity (default 1000000)\n"
+      "\nenvironment:\n"
+      "  FGCS_THREADS=<n>     worker threads for parallel phases (testbed\n"
+      "                       machines, figure sweeps); 0 runs everything\n"
+      "                       inline on the calling thread. Default: one\n"
+      "                       worker per hardware thread.\n");
   return 2;
 }
 
