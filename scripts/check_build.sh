@@ -7,6 +7,9 @@
 #   scripts/check_build.sh --bench  # additionally run the sim-core benchmark
 #                                   # suite with its regression gate
 #                                   # (scripts/run_bench.sh --check-only)
+#   scripts/check_build.sh --chaos  # additionally run the fault-injection /
+#                                   # robustness suites under
+#                                   # -DFGCS_SANITIZE=address,undefined
 #
 # The fgcs_obs module itself always compiles with -Werror (see
 # src/fgcs/obs/CMakeLists.txt), so the observability layer stays clean
@@ -17,11 +20,13 @@ cd "$(dirname "$0")/.."
 
 run_asan=0
 run_bench=0
+run_chaos=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --bench) run_bench=1 ;;
-    *) echo "usage: $0 [--asan] [--bench]" >&2; exit 2 ;;
+    --chaos) run_chaos=1 ;;
+    *) echo "usage: $0 [--asan] [--bench] [--chaos]" >&2; exit 2 ;;
   esac
 done
 
@@ -40,6 +45,16 @@ if [[ "$run_asan" -eq 1 ]]; then
   echo "== asan: obs + sim tests =="
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
     -R '^(Obs|TraceSink|JsonEscape|Observer|Counter|Gauge|Histogram|Metric|Simulation|EventQueue|SimTime|SimDuration)'
+fi
+
+if [[ "$run_chaos" -eq 1 ]]; then
+  echo "== chaos: configure + build (address,undefined) =="
+  cmake -B build-chaos -S . -DFGCS_SANITIZE=address,undefined
+  cmake --build build-chaos -j
+
+  echo "== chaos: fault-injection + robustness suites =="
+  ctest --test-dir build-chaos --output-on-failure -j "$(nproc)" \
+    -R '^(FaultPlan|FaultInjector|MachineFaultSession|FaultChaos|GuestStudy|GuestController|CheckpointPolicy|ControllerFixture|TraceSalvage)'
 fi
 
 if [[ "$run_bench" -eq 1 ]]; then

@@ -1,0 +1,114 @@
+// Resilient guest-job lifecycle over the testbed trace.
+//
+// The paper's guest jobs die with the resource (§1, §4): an S3/S4/S5
+// occurrence kills the guest and all progress is lost. This study layers
+// the recovery machinery a production cycle-sharing scheduler needs on
+// top of the simulated availability trace:
+//
+//   * periodic checkpointing — progress is saved every `checkpoint_interval`
+//     of useful work, each checkpoint costing `checkpoint_cost` of
+//     sim-time; a killed job resumes from its last checkpoint instead of
+//     from scratch;
+//   * restart with capped exponential backoff + deterministic jitter —
+//     consecutive failures back off `initial * factor^k` (capped), jittered
+//     by a keyed util::RngStream so reruns replay bit-identically;
+//   * optional migration — a job killed by machine revocation restarts on
+//     another machine immediately instead of waiting out the episode.
+//
+// Injected guest-kill faults (fault::FaultKind::kGuestKill in the
+// testbed's FaultPlan) kill a running job even while the machine is
+// otherwise available; the lifecycle handles them exactly like a
+// revocation. Completion/lost-work accounting is surfaced through the
+// obs counters (guest.restarts, guest.migrations, guest.checkpoints,
+// guest.completions, guest.work_lost_us) and a testbed summary table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/sim/time.hpp"
+#include "fgcs/trace/trace_set.hpp"
+
+namespace fgcs::core {
+
+/// Recovery policy for guest jobs run against the testbed trace.
+struct GuestLifecycleConfig {
+  /// CPU-work per job. Jobs are submitted every `submit_spacing` starting
+  /// at `first_submit_day` until a full run no longer fits the horizon.
+  sim::SimDuration job_length = sim::SimDuration::hours(8);
+  sim::SimDuration submit_spacing = sim::SimDuration::hours(6);
+  int first_submit_day = 0;
+
+  /// Checkpoint cadence in useful-work time; zero disables checkpointing
+  /// (a killed job restarts from scratch — the paper's behavior).
+  sim::SimDuration checkpoint_interval = sim::SimDuration::zero();
+  /// Sim-time cost of writing one checkpoint.
+  sim::SimDuration checkpoint_cost = sim::SimDuration::minutes(2);
+
+  /// Restart backoff: delay after the k-th consecutive failure is
+  /// min(cap, initial * factor^k), scaled by a deterministic jitter drawn
+  /// uniformly from [1 - jitter, 1 + jitter]. Progress (any checkpoint
+  /// completed during the attempt) resets the backoff.
+  sim::SimDuration backoff_initial = sim::SimDuration::minutes(1);
+  sim::SimDuration backoff_cap = sim::SimDuration::minutes(30);
+  double backoff_factor = 2.0;
+  double backoff_jitter = 0.25;
+
+  /// When true, a job killed by machine unavailability restarts on the
+  /// next machine (round-robin) after the backoff delay instead of
+  /// waiting for its machine to come back.
+  bool migrate_on_revocation = false;
+
+  /// Seeds the jitter stream (keyed per job and attempt; independent of
+  /// the testbed's workload and fault streams).
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// Outcome of one guest job.
+struct GuestJobOutcome {
+  sim::SimTime submit;
+  trace::MachineId first_machine = 0;
+  trace::MachineId final_machine = 0;
+  bool completed = false;
+  /// Wall time from submit to completion (or to the horizon when the job
+  /// was censored).
+  sim::SimDuration response = sim::SimDuration::zero();
+  std::uint32_t restarts = 0;
+  std::uint32_t migrations = 0;
+  std::uint32_t checkpoints = 0;
+  /// Useful work lost to kills (work done since the last checkpoint).
+  sim::SimDuration work_lost = sim::SimDuration::zero();
+};
+
+/// Aggregated lifecycle study results.
+struct GuestStudyResult {
+  std::vector<GuestJobOutcome> jobs;
+
+  std::uint32_t completed = 0;
+  std::uint32_t restarts = 0;
+  std::uint32_t migrations = 0;
+  std::uint32_t checkpoints = 0;
+  sim::SimDuration work_lost = sim::SimDuration::zero();
+  double mean_response_hours = 0.0;
+  double p90_response_hours = 0.0;
+
+  /// Testbed summary columns (one TextTable row set) for CLI output.
+  std::string summary_table() const;
+};
+
+/// Runs the lifecycle against an existing trace + the testbed config that
+/// produced it (the config supplies the fault plan, seed, and horizon, so
+/// injected guest-kill events replay identically).
+GuestStudyResult run_guest_study(const TestbedConfig& testbed,
+                                 const trace::TraceSet& trace,
+                                 const GuestLifecycleConfig& lifecycle);
+
+/// Convenience: simulates the testbed, then runs the lifecycle on it.
+GuestStudyResult run_guest_study(const TestbedConfig& testbed,
+                                 const GuestLifecycleConfig& lifecycle);
+
+}  // namespace fgcs::core

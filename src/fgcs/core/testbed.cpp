@@ -1,7 +1,10 @@
 #include "fgcs/core/testbed.hpp"
 
+#include <algorithm>
 #include <mutex>
+#include <optional>
 
+#include "fgcs/fault/injector.hpp"
 #include "fgcs/monitor/detector.hpp"
 #include "fgcs/monitor/machine_sampler.hpp"
 #include "fgcs/obs/observer.hpp"
@@ -18,20 +21,37 @@ void TestbedConfig::validate() const {
   policy.validate();
   fgcs::require(ram_mb > kernel_mb && kernel_mb >= 0,
                 "invalid testbed memory sizes");
+  faults.validate();
 }
 
 namespace {
+
+/// Per-machine fault-injection state while walking: the live session plus
+/// the dropout bookkeeping the sampling loop needs to report sensor gaps
+/// once per dropout (not once per missed sample).
+struct FaultRuntime {
+  fault::MachineFaultSession session;
+  bool dropped = false;
+  sim::SimTime last_sample_time;
+
+  FaultRuntime(const fault::FaultInjector& injector, trace::MachineId machine,
+               sim::SimTime begin)
+      : session(injector, machine), last_sample_time(begin) {}
+};
 
 /// Drives the detector over a machine's synthesized load, invoking
 /// `on_sample(sample, state)` for every observation. Sampling runs as a
 /// periodic task on a per-machine sim::Simulation — the same event loop
 /// the iShare monitor tier uses — so the observability layer sees the
 /// testbed's event execution, and each machine's trace events land on its
-/// own track.
+/// own track. `injector` (nullable) layers the config's fault plan on
+/// top: crashes flip service_alive, dropouts swallow samples (reported to
+/// the detector as sensor gaps), and clock-skew blips shift the reported
+/// sample timestamps (kept monotone and inside the horizon).
 template <typename OnSample>
-monitor::UnavailabilityDetector walk_machine(const TestbedConfig& config,
-                                             trace::MachineId machine,
-                                             OnSample&& on_sample) {
+monitor::UnavailabilityDetector walk_machine(
+    const TestbedConfig& config, trace::MachineId machine,
+    const fault::FaultInjector* injector, OnSample&& on_sample) {
   const auto load = workload::generate_machine_load(
       config.profile, config.seed, machine, config.days,
       static_cast<int>(config.start_dow));
@@ -45,13 +65,55 @@ monitor::UnavailabilityDetector walk_machine(const TestbedConfig& config,
   const sim::SimDuration period = config.policy.sample_period;
 
   sim::Simulation simulation;
-  simulation.every(period, [&] {
-    const monitor::HostSample sample =
-        sampler.sample(simulation.now(), period);
-    const monitor::AvailabilityState state = detector.observe(sample);
+  std::optional<FaultRuntime> fault_state;
+  FaultRuntime* faults = nullptr;
+  if (injector != nullptr) {
+    fault_state.emplace(*injector, machine, begin);
+    faults = &*fault_state;
+    faults->session.schedule(simulation);
+  }
+
+  // Bundled so the periodic callback captures two pointers and stays
+  // within the event queue's inline (allocation-free) budget.
+  struct WalkLoop {
+    monitor::TrajectorySampler& sampler;
+    monitor::UnavailabilityDetector& detector;
+    sim::Simulation& simulation;
+    FaultRuntime* faults;
+    sim::SimTime end;
+    sim::SimDuration period;
+  } loop{sampler, detector, simulation, faults, end, period};
+
+  simulation.every(period, [&loop, &on_sample] {
+    const sim::SimTime now = loop.simulation.now();
+    FaultRuntime* const fr = loop.faults;
+    if (fr != nullptr && fr->session.dropout_active()) {
+      fr->dropped = true;  // sample lost; gap reported on resume
+      return;
+    }
+    monitor::HostSample sample = loop.sampler.sample(now, loop.period);
+    if (fr != nullptr) {
+      if (fr->dropped) {
+        loop.detector.record_gap(fr->last_sample_time, now);
+        fr->dropped = false;
+      }
+      if (fr->session.crash_active()) sample.service_alive = false;
+      if (fr->session.skew() != sim::SimDuration::zero()) {
+        // The monitor reads current load but timestamps it with its skewed
+        // clock; keep reported times monotone and inside the horizon.
+        sample.time = std::min(
+            loop.end, std::max(now + fr->session.skew(),
+                               fr->last_sample_time));
+      }
+      fr->last_sample_time = sample.time;
+    }
+    const monitor::AvailabilityState state = loop.detector.observe(sample);
     on_sample(sample, state);
   });
   simulation.run_until(end);
+  if (faults != nullptr && faults->dropped) {
+    detector.record_gap(faults->last_sample_time, end);
+  }
   detector.finish(end);
 
   if (auto* o = obs::observer()) {
@@ -59,6 +121,14 @@ monitor::UnavailabilityDetector walk_machine(const TestbedConfig& config,
                           simulation.events_executed());
   }
   return detector;
+}
+
+/// Builds the testbed's fault injector when a plan is present.
+std::optional<fault::FaultInjector> make_injector(const TestbedConfig& config) {
+  if (config.faults.empty()) return std::nullopt;
+  const sim::SimTime begin = sim::SimTime::epoch();
+  return fault::FaultInjector(config.faults, config.seed, config.machines,
+                              begin, begin + sim::SimDuration::days(config.days));
 }
 
 std::vector<trace::UnavailabilityRecord> records_from(
@@ -85,8 +155,10 @@ std::vector<trace::UnavailabilityRecord> run_testbed_machine(
     const TestbedConfig& config, trace::MachineId machine) {
   config.validate();
   fgcs::require(machine < config.machines, "machine id out of range");
-  const auto detector =
-      walk_machine(config, machine, [](const auto&, auto) {});
+  const auto injector = make_injector(config);
+  const auto detector = walk_machine(config, machine,
+                                     injector ? &*injector : nullptr,
+                                     [](const auto&, auto) {});
   return records_from(detector, machine);
 }
 
@@ -94,8 +166,10 @@ TestbedMachineDetail run_testbed_machine_detailed(const TestbedConfig& config,
                                                   trace::MachineId machine) {
   config.validate();
   fgcs::require(machine < config.machines, "machine id out of range");
-  const auto detector =
-      walk_machine(config, machine, [](const auto&, auto) {});
+  const auto injector = make_injector(config);
+  const auto detector = walk_machine(config, machine,
+                                     injector ? &*injector : nullptr,
+                                     [](const auto&, auto) {});
   TestbedMachineDetail detail;
   detail.records = records_from(detector, machine);
   detail.timeline = monitor::StateTimeline::from_detector(
@@ -120,9 +194,11 @@ CapacityProfile run_capacity_profile(const TestbedConfig& config) {
   };
   std::vector<Acc> weekday_acc(config.machines), weekend_acc(config.machines);
 
+  const auto injector = make_injector(config);
+  const fault::FaultInjector* injector_ptr = injector ? &*injector : nullptr;
   util::parallel_for(config.machines, [&](std::size_t m) {
     walk_machine(
-        config, static_cast<trace::MachineId>(m),
+        config, static_cast<trace::MachineId>(m), injector_ptr,
         [&](const monitor::HostSample& sample,
             monitor::AvailabilityState state) {
           Acc& acc = calendar.is_weekend(sample.time)
@@ -192,9 +268,13 @@ trace::TraceSet run_testbed(const TestbedConfig& config) {
 
   std::vector<std::vector<trace::UnavailabilityRecord>> per_machine(
       config.machines);
+  const auto injector = make_injector(config);
+  const fault::FaultInjector* injector_ptr = injector ? &*injector : nullptr;
   util::parallel_for(config.machines, [&](std::size_t m) {
-    per_machine[m] =
-        run_testbed_machine(config, static_cast<trace::MachineId>(m));
+    const auto machine = static_cast<trace::MachineId>(m);
+    const auto detector =
+        walk_machine(config, machine, injector_ptr, [](const auto&, auto) {});
+    per_machine[m] = records_from(detector, machine);
   });
   for (const auto& records : per_machine) {
     for (const auto& r : records) trace.add(r);

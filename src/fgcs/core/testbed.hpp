@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "fgcs/fault/fault_plan.hpp"
 #include "fgcs/monitor/policy.hpp"
 #include "fgcs/monitor/state_timeline.hpp"
 #include "fgcs/trace/calendar.hpp"
@@ -30,6 +31,14 @@ struct TestbedConfig {
   double kernel_mb = 100.0;
 
   std::uint64_t seed = 20050815;
+
+  /// Injected faults (crashes, sensor dropouts, clock-skew blips) layered
+  /// on top of the organic workload. The empty default takes the exact
+  /// baseline code path — no injector is built, no per-sample branches on
+  /// fault state beyond one null check. Expansion is deterministic in
+  /// (faults, seed), and the workload's random streams are untouched, so
+  /// the same seed with and without a plan synthesizes the same host load.
+  fault::FaultPlan faults;
 
   void validate() const;
 };

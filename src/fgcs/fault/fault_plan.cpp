@@ -1,0 +1,212 @@
+#include "fgcs/fault/fault_plan.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::fault {
+
+namespace {
+
+constexpr char kPlanMagic[] = "# fgcs-fault-plan v1";
+
+double parse_double(const std::string& s, int line) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  fgcs::require(pos == s.size() && std::isfinite(v),
+                "fault plan line " + std::to_string(line) +
+                    ": bad number '" + s + "'");
+  return v;
+}
+
+std::string format_double(double v) {
+  std::ostringstream out;
+  out << v;  // shortest round-trippable-enough form for plan constants
+  return out.str();
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kSensorDropout:
+      return "dropout";
+    case FaultKind::kClockSkew:
+      return "skew";
+    case FaultKind::kGuestKill:
+      return "guest-kill";
+  }
+  return "?";
+}
+
+FaultKind fault_kind_from_string(const std::string& s) {
+  if (s == "crash") return FaultKind::kCrash;
+  if (s == "dropout") return FaultKind::kSensorDropout;
+  if (s == "skew") return FaultKind::kClockSkew;
+  if (s == "guest-kill") return FaultKind::kGuestKill;
+  throw ConfigError("unknown fault kind: " + s);
+}
+
+void FaultSpec::validate() const {
+  fgcs::require(machine >= kAllMachines, "fault spec: bad machine id");
+  fgcs::require(rate_per_day >= 0.0 && std::isfinite(rate_per_day),
+                "fault spec: rate_per_day must be >= 0");
+  fgcs::require(scripted() || rate_per_day > 0.0,
+                "fault spec: needs rate_per_day > 0 or at_hours");
+  for (const double h : at_hours) {
+    fgcs::require(h >= 0.0 && std::isfinite(h),
+                  "fault spec: at_hours entries must be >= 0");
+  }
+  fgcs::require(mean_minutes > 0.0 && std::isfinite(mean_minutes),
+                "fault spec: mean_minutes must be > 0");
+  fgcs::require(std::isfinite(skew_ms), "fault spec: skew_ms must be finite");
+}
+
+void FaultPlan::validate() const {
+  for (const auto& spec : specs) spec.validate();
+}
+
+void FaultPlan::write(std::ostream& out) const {
+  out << kPlanMagic << '\n';
+  for (const auto& spec : specs) {
+    out << to_string(spec.kind);
+    if (spec.scripted()) {
+      out << " at_hours=";
+      for (std::size_t i = 0; i < spec.at_hours.size(); ++i) {
+        if (i > 0) out << ',';
+        out << format_double(spec.at_hours[i]);
+      }
+    } else {
+      out << " rate_per_day=" << format_double(spec.rate_per_day);
+    }
+    out << " mean_minutes=" << format_double(spec.mean_minutes);
+    if (spec.duration_minutes >= 0.0) {
+      out << " duration_minutes=" << format_double(spec.duration_minutes);
+    }
+    if (spec.kind == FaultKind::kClockSkew) {
+      out << " skew_ms=" << format_double(spec.skew_ms);
+    }
+    if (spec.machine != kAllMachines) {
+      out << " machine=" << spec.machine;
+    }
+    out << '\n';
+  }
+}
+
+std::string FaultPlan::str() const {
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+FaultPlan FaultPlan::parse(std::istream& in) {
+  FaultPlan plan;
+  std::string line;
+  int line_no = 0;
+  bool saw_magic = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing CR (plans may come from Windows editors).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line_no == 1 && line == kPlanMagic) {
+      saw_magic = true;
+      continue;
+    }
+    // Skip blank lines and comments.
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    std::istringstream tokens(line);
+    std::string kind_token;
+    tokens >> kind_token;
+    FaultSpec spec;
+    try {
+      spec.kind = fault_kind_from_string(kind_token);
+    } catch (const ConfigError&) {
+      throw ConfigError("fault plan line " + std::to_string(line_no) + ": " +
+                        "unknown fault kind '" + kind_token + "'");
+    }
+    std::string token;
+    while (tokens >> token) {
+      const auto eq = token.find('=');
+      fgcs::require(eq != std::string::npos,
+                    "fault plan line " + std::to_string(line_no) +
+                        ": expected key=value, got '" + token + "'");
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "rate_per_day") {
+        spec.rate_per_day = parse_double(value, line_no);
+      } else if (key == "at_hours") {
+        std::istringstream list(value);
+        std::string item;
+        while (std::getline(list, item, ',')) {
+          spec.at_hours.push_back(parse_double(item, line_no));
+        }
+      } else if (key == "mean_minutes") {
+        spec.mean_minutes = parse_double(value, line_no);
+      } else if (key == "duration_minutes") {
+        spec.duration_minutes = parse_double(value, line_no);
+      } else if (key == "skew_ms") {
+        spec.skew_ms = parse_double(value, line_no);
+      } else if (key == "machine") {
+        if (value == "*") {
+          spec.machine = kAllMachines;
+        } else {
+          spec.machine =
+              static_cast<std::int64_t>(parse_double(value, line_no));
+          fgcs::require(spec.machine >= 0,
+                        "fault plan line " + std::to_string(line_no) +
+                            ": machine must be >= 0 or *");
+        }
+      } else {
+        throw ConfigError("fault plan line " + std::to_string(line_no) +
+                          ": unknown key '" + key + "'");
+      }
+    }
+    try {
+      spec.validate();
+    } catch (const ConfigError& e) {
+      throw ConfigError("fault plan line " + std::to_string(line_no) + ": " +
+                        e.what());
+    }
+    plan.specs.push_back(std::move(spec));
+  }
+  fgcs::require(saw_magic,
+                "fault plan: missing '# fgcs-fault-plan v1' magic on line 1");
+  return plan;
+}
+
+FaultPlan FaultPlan::parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+FaultPlan FaultPlan::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open fault plan: " + path);
+  try {
+    return parse(in);
+  } catch (const ConfigError& e) {
+    throw ConfigError(path + ": " + e.what());
+  }
+}
+
+void FaultPlan::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write fault plan: " + path);
+  write(out);
+  if (!out) throw IoError("failed writing fault plan: " + path);
+}
+
+}  // namespace fgcs::fault

@@ -1,0 +1,120 @@
+// Declarative fault plans for deterministic chaos injection.
+//
+// The paper's availability states are *organic*: S3/S4 emerge from host
+// workload contention and S5 from owner reboots in the load model. A
+// FaultPlan adds *injected* adversity on top — machine crashes
+// (revocations), transient sensor dropouts, clock-skew blips, and guest
+// kills — so recovery machinery (checkpoint/restart, backoff, salvage)
+// can be exercised reproducibly. A plan is pure data: it can be written
+// to / parsed from a small text format, and expansion into concrete
+// events (fault::FaultInjector) is deterministic in (plan, seed), so a
+// run replays bit-identically.
+//
+// Text format, one fault spec per line:
+//
+//   # fgcs-fault-plan v1
+//   crash      rate_per_day=0.05 mean_minutes=30
+//   dropout    rate_per_day=0.2  mean_minutes=5  machine=3
+//   skew       rate_per_day=0.1  mean_minutes=10 skew_ms=400
+//   guest-kill at_hours=12.5,40  machine=0
+//
+// `machine=*` (default) targets every machine; `rate_per_day` places
+// occurrences by a per-machine Poisson process; `at_hours` schedules them
+// at exact sim-time offsets instead. Durations are exponential around
+// `mean_minutes` (scripted specs may fix them with `duration_minutes`).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fgcs/sim/time.hpp"
+
+namespace fgcs::fault {
+
+/// What an injected fault does to the target machine.
+enum class FaultKind : std::uint8_t {
+  /// Machine revocation: the FGCS service is down for the duration; the
+  /// monitor sees service_alive == false (paper state S5).
+  kCrash = 0,
+  /// Sensor dropout: the sampler produces nothing for the duration; the
+  /// detector must hold its last state across the gap.
+  kSensorDropout = 1,
+  /// Clock-skew blip: sample timestamps drift by `skew` for the duration
+  /// (monotonicity is preserved by clamping).
+  kClockSkew = 2,
+  /// The guest process is killed out from under its controller (the
+  /// revocation case uPredict sidesteps by predicting around it).
+  kGuestKill = 3,
+};
+
+inline constexpr int kFaultKindCount = 4;
+
+/// Short kind name: "crash", "dropout", "skew", "guest-kill".
+const char* to_string(FaultKind kind);
+
+/// Parses a kind name; throws ConfigError on anything else.
+FaultKind fault_kind_from_string(const std::string& s);
+
+/// Targets every machine (the `machine=*` wildcard).
+inline constexpr std::int64_t kAllMachines = -1;
+
+/// One line of a plan: a fault kind plus where/when/how long it strikes.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCrash;
+
+  /// Target machine id, or kAllMachines.
+  std::int64_t machine = kAllMachines;
+
+  /// Rate-based placement: expected occurrences per machine-day (Poisson).
+  /// Ignored when `at_hours` is non-empty.
+  double rate_per_day = 0.0;
+
+  /// Scripted placement: exact occurrence starts, hours from the horizon
+  /// start. Occurrences outside the horizon are dropped at expansion.
+  std::vector<double> at_hours;
+
+  /// Mean duration (exponential) for rate-based occurrences, and the
+  /// fixed duration for scripted ones unless `duration_minutes` >= 0.
+  double mean_minutes = 5.0;
+
+  /// Fixed duration override for scripted occurrences (< 0: use
+  /// mean_minutes as the fixed value).
+  double duration_minutes = -1.0;
+
+  /// Clock-skew magnitude, milliseconds (kClockSkew only; may be
+  /// negative, the injector keeps timestamps monotone).
+  double skew_ms = 250.0;
+
+  bool scripted() const { return !at_hours.empty(); }
+
+  void validate() const;
+};
+
+/// An ordered list of fault specs; empty means "no injection" and every
+/// consumer must treat that as the exact zero-cost baseline path.
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+
+  bool empty() const { return specs.empty(); }
+  std::size_t size() const { return specs.size(); }
+
+  void validate() const;
+
+  /// Serializes in the text format above (stable: parse(write(p)) == p
+  /// up to floating-point formatting).
+  void write(std::ostream& out) const;
+  std::string str() const;
+
+  /// Parses the text format; throws ConfigError with a line number on
+  /// malformed input.
+  static FaultPlan parse(std::istream& in);
+  static FaultPlan parse_string(const std::string& text);
+
+  /// File conveniences; throw IoError / ConfigError on failure.
+  static FaultPlan load(const std::string& path);
+  void save(const std::string& path) const;
+};
+
+}  // namespace fgcs::fault

@@ -1,0 +1,103 @@
+// Deterministic fault injection: FaultPlan -> concrete scheduled events.
+//
+// A FaultInjector expands a declarative FaultPlan over a (machines,
+// horizon) grid into concrete FaultEvents. Expansion draws from its own
+// keyed util::RngStream substreams — (seed, spec index, machine) — so it
+// is bit-reproducible, independent of thread count, and does not perturb
+// any other random stream in the simulation (workload synthesis is
+// unchanged by adding a plan).
+//
+// At simulation time a MachineFaultSession installs the machine's events
+// on a sim::Simulation through the ordinary event queue: each occurrence
+// becomes a start event (activates the fault, counts fault.injected) and
+// an end event (deactivates it). Samplers poll the session's flags:
+//
+//   MachineFaultSession session(injector, machine_id);
+//   session.schedule(simulation);
+//   simulation.every(period, [&] {
+//     if (session.dropout_active()) { /* no sample: sensor gap */ }
+//     sample.service_alive = !session.crash_active() && ...;
+//   });
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fgcs/fault/fault_plan.hpp"
+#include "fgcs/sim/time.hpp"
+
+namespace fgcs::sim {
+class Simulation;
+}  // namespace fgcs::sim
+
+namespace fgcs::fault {
+
+/// One concrete injected fault occurrence.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  std::uint32_t machine = 0;
+  sim::SimTime start;
+  sim::SimDuration duration;
+  /// Clock-skew offset while active (kClockSkew only).
+  sim::SimDuration skew;
+};
+
+/// Expands a plan deterministically; the result is immutable and can be
+/// shared across per-machine simulations running in parallel.
+class FaultInjector {
+ public:
+  /// Events are generated for machines [0, machines) over [begin, end);
+  /// occurrences starting outside the horizon are dropped and durations
+  /// are clipped at `end`.
+  FaultInjector(const FaultPlan& plan, std::uint64_t seed,
+                std::uint32_t machines, sim::SimTime begin, sim::SimTime end);
+
+  /// All events, sorted by (machine, start).
+  std::span<const FaultEvent> events() const { return events_; }
+
+  /// One machine's events, sorted by start.
+  std::span<const FaultEvent> events_for(std::uint32_t machine) const;
+
+  std::uint32_t machine_count() const { return machines_; }
+  sim::SimTime begin() const { return begin_; }
+  sim::SimTime end() const { return end_; }
+
+ private:
+  std::uint32_t machines_;
+  sim::SimTime begin_;
+  sim::SimTime end_;
+  std::vector<FaultEvent> events_;          // sorted by (machine, start)
+  std::vector<std::size_t> machine_offset_;  // size machines_ + 1
+};
+
+/// Live fault state of one machine inside one simulation run. Window
+/// faults (crash/dropout/skew) keep activation *counts* so overlapping
+/// occurrences nest correctly; guest kills are exposed as a sorted time
+/// list for the guest lifecycle to consume.
+class MachineFaultSession {
+ public:
+  MachineFaultSession(const FaultInjector& injector, std::uint32_t machine);
+
+  /// Installs start/end events for every window fault on `simulation`
+  /// (guest kills are not scheduled here — see guest_kill_times()). Call
+  /// once, before running. Counts fault.injected{kind=...} as events fire.
+  void schedule(sim::Simulation& simulation);
+
+  bool crash_active() const { return crash_depth_ > 0; }
+  bool dropout_active() const { return dropout_depth_ > 0; }
+  /// Sum of active skew offsets (zero when no blip is active).
+  sim::SimDuration skew() const { return skew_; }
+
+  /// Scheduled guest-kill instants within the horizon, sorted.
+  std::span<const sim::SimTime> guest_kill_times() const { return kills_; }
+
+ private:
+  std::span<const FaultEvent> events_;
+  std::vector<sim::SimTime> kills_;
+  int crash_depth_ = 0;
+  int dropout_depth_ = 0;
+  sim::SimDuration skew_ = sim::SimDuration::zero();
+};
+
+}  // namespace fgcs::fault

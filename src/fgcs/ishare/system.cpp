@@ -112,11 +112,13 @@ void FgcsSystem::sweep() {
     const auto& guest = node.machine->process(node.guest_pid);
     if (guest.state() == os::ProcState::kExited) {
       const auto& actions = node.controller->actions();
-      const bool killed_by_policy =
+      const bool killed =
           !actions.empty() &&
-          actions.back().action == monitor::GuestAction::kTerminate;
-      if (killed_by_policy) {
-        // Killed by the availability policy: the work is lost; requeue
+          (actions.back().action == monitor::GuestAction::kTerminate ||
+           actions.back().action == monitor::GuestAction::kObservedKilled);
+      if (killed) {
+        // Killed by the availability policy — or observed already dead
+        // after an external/injected kill: the work is lost; requeue
         // after the detection/re-staging delay.
         ++record.restarts;
         record.status = JobStatus::kQueued;

@@ -115,6 +115,25 @@ void UnavailabilityDetector::enter(AvailabilityState next, sim::SimTime when,
   state_ = next;
 }
 
+void UnavailabilityDetector::record_gap(sim::SimTime start, sim::SimTime end) {
+  FGCS_ASSERT(end > start);
+  FGCS_ASSERT(!saw_sample_ || start >= last_time_);
+  // Merge back-to-back gaps (a dropout spanning several sample periods is
+  // reported once per period by the sampler loop).
+  if (!gaps_.empty() && gaps_.back().end == start &&
+      gaps_.back().held == state_) {
+    gaps_.back().end = end;
+  } else {
+    gaps_.push_back({start, end, state_});
+  }
+  // The excursion evidence is interrupted: load may have dipped below Th2
+  // unobserved, so the sustain clock must restart after the gap.
+  high_since_valid_ = false;
+  last_time_ = end;
+  saw_sample_ = true;
+  if (auto* o = obs::observer()) o->on_sensor_gap(start, end - start);
+}
+
 void UnavailabilityDetector::finish(sim::SimTime end) {
   if (!episodes_.empty() && episodes_.back().open) {
     episodes_.back().end = end;

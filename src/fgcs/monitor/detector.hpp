@@ -44,6 +44,16 @@ struct Transition {
   AvailabilityState to;
 };
 
+/// A period with no sensor data (sampler dropout, monitor restart). The
+/// detector holds `held` across it rather than fabricating fresh S1.
+struct SensorGap {
+  sim::SimTime start;
+  sim::SimTime end;
+  AvailabilityState held;
+
+  sim::SimDuration duration() const { return end - start; }
+};
+
 /// One unavailability episode (occurrence + duration + cause).
 struct UnavailabilityEpisode {
   sim::SimTime start;
@@ -74,11 +84,20 @@ class UnavailabilityDetector {
   /// elapsed — the guest should be *suspended*, not killed (§4).
   bool transient_high() const { return high_since_valid_ && !is_failure(state_); }
 
+  /// Declares that no samples arrived over [start, end): the model holds
+  /// its current state across the gap (the last observation remains the
+  /// best evidence — a silent sensor is not an idle machine), and any
+  /// in-progress sustained-high-CPU evidence is discarded, since the gap
+  /// interrupts it. `start` must be >= the last sample time; subsequent
+  /// samples must not precede `end`.
+  void record_gap(sim::SimTime start, sim::SimTime end);
+
   /// Closes any open episode at `end` (end-of-trace bookkeeping).
   void finish(sim::SimTime end);
 
   std::span<const Transition> transitions() const { return transitions_; }
   std::span<const UnavailabilityEpisode> episodes() const { return episodes_; }
+  std::span<const SensorGap> gaps() const { return gaps_; }
 
   const ThresholdPolicy& policy() const { return policy_; }
 
@@ -97,6 +116,7 @@ class UnavailabilityDetector {
 
   std::vector<Transition> transitions_;
   std::vector<UnavailabilityEpisode> episodes_;
+  std::vector<SensorGap> gaps_;
 };
 
 }  // namespace fgcs::monitor

@@ -8,7 +8,13 @@
 //  is terminated."
 //
 // GuestController translates detector states into renice / suspend /
-// resume / terminate actions on a simulated machine's guest process.
+// resume / terminate actions on a simulated machine's guest process. It
+// also survives the guest vanishing underneath it — an injected kill or
+// machine revocation terminates the process outside the controller's
+// control; the next apply() observes the exit and records a terminal
+// kObservedKilled action instead of touching the dead pid. With a
+// CheckpointPolicy the controller additionally saves guest progress at a
+// fixed cadence, so lost work on a kill is bounded by one interval.
 #pragma once
 
 #include <vector>
@@ -24,6 +30,12 @@ enum class GuestAction : std::uint8_t {
   kSuspend,
   kResume,
   kTerminate,
+  /// Progress saved (periodic checkpoint; see CheckpointPolicy).
+  kCheckpoint,
+  /// Terminal: the guest was found already killed by an external actor
+  /// (injected fault, revocation) — recorded so the kill is
+  /// distinguishable from natural completion.
+  kObservedKilled,
 };
 
 const char* to_string(GuestAction a);
@@ -34,31 +46,63 @@ struct GuestActionRecord {
   AvailabilityState state;
 };
 
+/// Periodic checkpointing of the guest's progress. `interval` is wall
+/// cadence between checkpoint attempts (zero disables checkpointing);
+/// `cost` is the CPU-work equivalent spent writing one checkpoint — it is
+/// deducted from the saved progress, so checkpointing too often saves
+/// less than it costs.
+struct CheckpointPolicy {
+  sim::SimDuration interval = sim::SimDuration::zero();
+  sim::SimDuration cost = sim::SimDuration::zero();
+
+  bool enabled() const { return interval > sim::SimDuration::zero(); }
+  void validate() const;
+};
+
 class GuestController {
  public:
   /// Manages `guest` on `machine`. `default_nice` is the guest's S1
   /// priority (0 in the paper's experiments).
   GuestController(os::Machine& machine, os::ProcessId guest,
-                  int default_nice = 0);
+                  int default_nice = 0, CheckpointPolicy checkpoint = {});
 
   /// Applies the policy for the detector's current state. Call after each
-  /// detector.observe().
+  /// detector.observe(). Safe to call after the guest exited or was
+  /// killed externally: the controller records the observation and goes
+  /// terminal instead of operating on the dead process.
   void apply(const UnavailabilityDetector& detector);
 
   bool terminated() const { return terminated_; }
   bool suspended() const { return suspended_; }
 
+  /// Guest CPU progress covered by the last checkpoint (zero when
+  /// checkpointing is disabled or none was taken yet).
+  sim::SimDuration checkpointed_progress() const { return checkpointed_; }
+
+  /// CPU work that would be lost if the guest died now (progress since
+  /// the last checkpoint); after a kill, the work actually lost.
+  sim::SimDuration unsaved_progress() const;
+
+  std::uint32_t checkpoint_count() const { return checkpoint_count_; }
+
   const std::vector<GuestActionRecord>& actions() const { return actions_; }
 
  private:
   void record(GuestAction a, AvailabilityState s);
+  void maybe_checkpoint(AvailabilityState s);
 
   os::Machine& machine_;
   os::ProcessId guest_;
   int default_nice_;
+  CheckpointPolicy checkpoint_;
   bool suspended_ = false;
   bool terminated_ = false;
   int current_nice_;
+  sim::SimTime last_checkpoint_;
+  sim::SimDuration checkpointed_ = sim::SimDuration::zero();
+  sim::SimDuration lost_at_exit_ = sim::SimDuration::zero();
+  bool observed_exit_ = false;
+  std::uint32_t checkpoint_count_ = 0;
   std::vector<GuestActionRecord> actions_;
 };
 

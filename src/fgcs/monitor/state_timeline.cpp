@@ -1,5 +1,7 @@
 #include "fgcs/monitor/state_timeline.hpp"
 
+#include <algorithm>
+
 #include "fgcs/util/error.hpp"
 
 namespace fgcs::monitor {
@@ -38,8 +40,24 @@ StateTimeline StateTimeline::from_transitions(
 StateTimeline StateTimeline::from_detector(
     const UnavailabilityDetector& detector, sim::SimTime start,
     sim::SimTime end) {
-  return from_transitions(AvailabilityState::kS1FullAvailability, start, end,
-                          detector.transitions());
+  StateTimeline tl = from_transitions(AvailabilityState::kS1FullAvailability,
+                                      start, end, detector.transitions());
+  for (const auto& gap : detector.gaps()) {
+    tl.add_sensor_gap(gap.start, gap.end);
+  }
+  return tl;
+}
+
+void StateTimeline::add_sensor_gap(sim::SimTime gap_start,
+                                   sim::SimTime gap_end) {
+  const sim::SimTime lo = std::max(gap_start, start_);
+  const sim::SimTime hi = std::min(gap_end, end_);
+  if (hi > lo) gap_time_ += hi - lo;
+}
+
+double StateTimeline::coverage() const {
+  if (total_ <= sim::SimDuration::zero()) return 1.0;
+  return 1.0 - gap_time_ / total_;
 }
 
 sim::SimDuration StateTimeline::time_in(AvailabilityState s) const {
@@ -83,6 +101,7 @@ void StateTimeline::accumulate(const StateTimeline& other) {
     }
   }
   total_ += other.total_;
+  gap_time_ += other.gap_time_;
   // Keep intervals of both for sojourn statistics.
   intervals_.insert(intervals_.end(), other.intervals_.begin(),
                     other.intervals_.end());

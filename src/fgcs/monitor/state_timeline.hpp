@@ -36,9 +36,15 @@ class StateTimeline {
                                         sim::SimTime start, sim::SimTime end,
                                         std::span<const Transition> transitions);
 
-  /// Convenience: reads everything from a finished detector.
+  /// Convenience: reads everything from a finished detector, including
+  /// its sensor-gap log (see coverage()).
   static StateTimeline from_detector(const UnavailabilityDetector& detector,
                                      sim::SimTime start, sim::SimTime end);
+
+  /// Declares [gap_start, gap_end) as sensor-uncovered (clipped to the
+  /// horizon). The interval structure is unchanged — the held state spans
+  /// the gap — only the coverage accounting moves.
+  void add_sensor_gap(sim::SimTime gap_start, sim::SimTime gap_end);
 
   std::span<const StateInterval> intervals() const { return intervals_; }
   sim::SimTime start() const { return start_; }
@@ -52,6 +58,13 @@ class StateTimeline {
 
   /// Fraction of time the machine was usable by a guest (S1 or S2).
   double availability() const;
+
+  /// Total time inside recorded sensor gaps (state held, not observed).
+  sim::SimDuration sensor_gap_time() const { return gap_time_; }
+
+  /// Fraction of the horizon backed by actual sensor data: 1.0 with no
+  /// gaps, lower when dropouts forced hold-last-state.
+  double coverage() const;
 
   /// Number of transitions from `from` to `to`.
   std::uint32_t transition_count(AvailabilityState from,
@@ -79,6 +92,7 @@ class StateTimeline {
   std::array<sim::SimDuration, 5> time_in_{};
   std::array<std::array<std::uint32_t, 5>, 5> transitions_{};
   sim::SimDuration total_ = sim::SimDuration::zero();
+  sim::SimDuration gap_time_ = sim::SimDuration::zero();
 };
 
 }  // namespace fgcs::monitor

@@ -43,7 +43,20 @@ Observer::Observer(const Options& options)
   sim_compactions_ = &metrics_.counter("sim.queue_compactions");
   sim_callbacks_spilled_ = &metrics_.counter("sim.callbacks_spilled");
   sim_max_queue_depth_ = &metrics_.gauge("sim.max_queue_depth");
+  static const char* const kFaultKindNames[kFaultKindCount] = {
+      "crash", "dropout", "skew", "guest-kill"};
+  for (int k = 0; k < kFaultKindCount; ++k) {
+    fault_injected_[k] =
+        &metrics_.counter("fault.injected", {{"kind", kFaultKindNames[k]}});
+  }
+  guest_restarts_ = &metrics_.counter("guest.restarts");
+  guest_migrations_ = &metrics_.counter("guest.migrations");
+  guest_checkpoints_ = &metrics_.counter("guest.checkpoints");
+  guest_completions_ = &metrics_.counter("guest.completions");
+  guest_work_lost_us_ = &metrics_.counter("guest.work_lost_us");
   detector_samples_ = &metrics_.counter("detector.samples");
+  detector_sensor_gaps_ = &metrics_.counter("detector.sensor_gaps");
+  detector_sensor_gap_us_ = &metrics_.counter("detector.sensor_gap_us");
   for (int f = 1; f <= kStateCount; ++f) {
     for (int t = 1; t <= kStateCount; ++t) {
       detector_transitions_[f - 1][t - 1] = &metrics_.counter(
@@ -67,6 +80,28 @@ void Observer::on_sim_run(const char* what, sim::SimTime begin,
   std::snprintf(args, sizeof args, "\"events\":%llu",
                 static_cast<unsigned long long>(events));
   trace_.complete("sim", what, begin, end - begin, current_track(), args);
+}
+
+void Observer::on_fault_injected(int kind, sim::SimTime at,
+                                 sim::SimDuration duration) {
+  static const char* const kFaultKindNames[kFaultKindCount] = {
+      "crash", "dropout", "skew", "guest-kill"};
+  if (kind < 0 || kind >= kFaultKindCount) return;
+  fault_injected_[kind]->inc();
+  if (trace_enabled_) {
+    trace_.complete("fault", kFaultKindNames[kind], at, duration,
+                    current_track());
+  }
+}
+
+void Observer::on_sensor_gap(sim::SimTime start, sim::SimDuration duration) {
+  detector_sensor_gaps_->inc();
+  detector_sensor_gap_us_->inc(
+      static_cast<std::uint64_t>(duration.as_micros()));
+  if (trace_enabled_) {
+    trace_.complete("detector", "sensor_gap", start, duration,
+                    current_track());
+  }
 }
 
 void Observer::on_detector_transition(sim::SimTime at, int from, int to) {

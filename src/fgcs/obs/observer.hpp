@@ -37,6 +37,10 @@ namespace fgcs::obs {
 /// monitor::AvailabilityState without depending on the monitor layer.
 inline constexpr int kStateCount = 5;
 
+/// Number of injectable fault kinds — mirrors fault::FaultKind without
+/// depending on the fault layer (which links against obs).
+inline constexpr int kFaultKindCount = 4;
+
 class Observer {
  public:
   struct Options {
@@ -88,9 +92,32 @@ class Observer {
   void on_sim_run(const char* what, sim::SimTime begin, sim::SimTime end,
                   std::uint64_t events);
 
+  // -- fault hooks -----------------------------------------------------------
+
+  /// An injected fault activated. `kind` indexes fault::FaultKind
+  /// (0 crash, 1 dropout, 2 skew, 3 guest-kill).
+  void on_fault_injected(int kind, sim::SimTime at, sim::SimDuration duration);
+
+  // -- guest lifecycle hooks -------------------------------------------------
+
+  void on_guest_restart() { guest_restarts_->inc(); }
+  void on_guest_migration() { guest_migrations_->inc(); }
+  void on_guest_checkpoint() { guest_checkpoints_->inc(); }
+  void on_guest_completed() { guest_completions_->inc(); }
+
+  /// Guest CPU work discarded because it was never checkpointed.
+  void on_guest_work_lost(sim::SimDuration lost) {
+    if (lost > sim::SimDuration::zero()) {
+      guest_work_lost_us_->inc(static_cast<std::uint64_t>(lost.as_micros()));
+    }
+  }
+
   // -- monitor hooks ---------------------------------------------------------
 
   void on_detector_sample() { detector_samples_->inc(); }
+
+  /// A sensor gap (dropped samples) was bridged by hold-last-state.
+  void on_sensor_gap(sim::SimTime start, sim::SimDuration duration);
 
   /// State-machine edge; `from`/`to` are 1-based S-state numbers.
   void on_detector_transition(sim::SimTime at, int from, int to);
@@ -142,7 +169,15 @@ class Observer {
   Counter* sim_compactions_;
   Counter* sim_callbacks_spilled_;
   Gauge* sim_max_queue_depth_;
+  Counter* fault_injected_[kFaultKindCount];
+  Counter* guest_restarts_;
+  Counter* guest_migrations_;
+  Counter* guest_checkpoints_;
+  Counter* guest_completions_;
+  Counter* guest_work_lost_us_;
   Counter* detector_samples_;
+  Counter* detector_sensor_gaps_;
+  Counter* detector_sensor_gap_us_;
   Counter* detector_transitions_[kStateCount][kStateCount];
   Counter* detector_episodes_opened_;
   Counter* detector_episodes_closed_;

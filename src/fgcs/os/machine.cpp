@@ -79,6 +79,7 @@ void Machine::resume(ProcessId pid) {
 void Machine::terminate(ProcessId pid) {
   Process& p = live_process(pid, "terminate");
   p.state_ = ProcState::kExited;
+  p.killed_ = true;
   p.exit_time_ = now_;
 }
 

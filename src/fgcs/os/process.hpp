@@ -103,6 +103,11 @@ class Process {
   sim::SimTime start_time() const { return start_; }
   sim::SimTime exit_time() const { return exit_time_; }
 
+  /// True when the process was terminated with SIGKILL (Machine::terminate)
+  /// rather than running to completion. Lets a monitor distinguish an
+  /// externally-killed guest from one that finished its work.
+  bool killed() const { return killed_; }
+
   /// CPU usage over [since, now): delta cpu_time / delta wall.
   /// Caller supplies the snapshot taken at `since`.
   double usage_since(sim::SimDuration cpu_at_since,
@@ -116,6 +121,7 @@ class Process {
   double working_set_mb_;
   int nice_;
   ProcState state_ = ProcState::kRunnable;
+  bool killed_ = false;
   sim::SimTime start_;
   sim::SimTime exit_time_ = sim::SimTime::max();
   util::RngStream rng_;

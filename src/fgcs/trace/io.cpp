@@ -1,8 +1,11 @@
 #include "fgcs/trace/io.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -15,32 +18,176 @@ namespace {
 
 constexpr char kCsvMagic[] = "# fgcs-trace v1";
 constexpr char kBinMagic[8] = {'F', 'G', 'C', 'S', 'T', 'R', 'C', '1'};
+constexpr std::size_t kMaxDiagnostics = 8;
 
 template <typename T>
 void put(std::ostream& out, T value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof value);
 }
 
-template <typename T>
-T get(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw IoError("truncated binary trace");
-  return value;
+/// Byte-offset-tracking binary reader; failures carry source + offset.
+class BinReader {
+ public:
+  BinReader(std::istream& in, const std::string& source)
+      : in_(in), source_(source) {}
+
+  /// Strict read: throws IoError with the byte offset on truncation.
+  template <typename T>
+  T get(const char* what) {
+    T value{};
+    if (!try_get(value)) {
+      throw IoError(source_ + ": truncated binary trace at byte offset " +
+                    std::to_string(offset_) + " (reading " + what + ")");
+    }
+    return value;
+  }
+
+  /// Tolerant read: returns false (without throwing) when the input ends.
+  template <typename T>
+  bool try_get(T& value) {
+    in_.read(reinterpret_cast<char*>(&value), sizeof value);
+    if (!in_) return false;
+    offset_ += sizeof value;
+    return true;
+  }
+
+  std::uint64_t offset() const { return offset_; }
+
+ private:
+  std::istream& in_;
+  const std::string& source_;
+  std::uint64_t offset_ = 0;
+};
+
+std::int64_t parse_i64(const std::string& s, const std::string& ctx) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(s, &pos);
+    if (pos != s.size()) throw IoError("");
+    return v;
+  } catch (const std::exception&) {
+    throw IoError(ctx + ": bad integer '" + s + "'");
+  }
 }
 
-std::int64_t parse_i64(const std::string& s) {
-  std::size_t pos = 0;
-  const long long v = std::stoll(s, &pos);
-  if (pos != s.size()) throw IoError("bad integer in trace: " + s);
-  return v;
+double parse_f64(const std::string& s, const std::string& ctx) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw IoError("");
+    return v;
+  } catch (const std::exception&) {
+    throw IoError(ctx + ": bad number '" + s + "'");
+  }
 }
 
-double parse_f64(const std::string& s) {
-  std::size_t pos = 0;
-  const double v = std::stod(s, &pos);
-  if (pos != s.size()) throw IoError("bad number in trace: " + s);
-  return v;
+/// `source:line` prefix for CSV diagnostics.
+std::string at_line(const std::string& source, std::size_t line) {
+  return source + ":" + std::to_string(line);
+}
+
+struct CsvMeta {
+  std::uint32_t machines = 0;
+  std::int64_t start_us = 0;
+  std::int64_t end_us = 0;
+
+  bool valid() const { return machines > 0 && end_us > start_us; }
+};
+
+/// Parses the "# fgcs-trace v1 machines=.. start_us=.. end_us=.." line.
+/// Unparseable key values are left at their defaults (the caller decides
+/// whether that is fatal).
+CsvMeta parse_csv_meta(const std::string& meta_line) {
+  CsvMeta meta;
+  std::istringstream ms(meta_line.substr(std::strlen(kCsvMagic)));
+  std::string token;
+  while (ms >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    while (!value.empty() && value.back() == '\r') value.pop_back();
+    std::int64_t parsed = 0;
+    try {
+      parsed = parse_i64(value, "");
+    } catch (const IoError&) {
+      continue;
+    }
+    if (key == "machines") {
+      meta.machines = parsed > 0 ? static_cast<std::uint32_t>(parsed) : 0;
+    } else if (key == "start_us") {
+      meta.start_us = parsed;
+    } else if (key == "end_us") {
+      meta.end_us = parsed;
+    }
+  }
+  return meta;
+}
+
+/// Semantic validation shared by both formats; returns a description of
+/// the defect, or empty when the record is well-formed.
+std::string record_defect(const UnavailabilityRecord& r) {
+  if (r.end < r.start) return "episode ends before it starts";
+  if (!std::isfinite(r.host_cpu) || r.host_cpu < 0.0 || r.host_cpu > 1.0) {
+    return "host_cpu out of [0, 1]";
+  }
+  if (!std::isfinite(r.free_mem_mb) || r.free_mem_mb < 0.0) {
+    return "negative or non-finite free_mem_mb";
+  }
+  return {};
+}
+
+void add_diagnostic(LoadReport& report, std::string message) {
+  if (report.diagnostics.size() < kMaxDiagnostics) {
+    report.diagnostics.push_back(std::move(message));
+  }
+}
+
+/// Builds the report's TraceSet from salvaged records, inferring the
+/// metadata from the records themselves when the header was unusable.
+void finish_salvage(LoadReport& report, std::vector<UnavailabilityRecord> recs,
+                    const CsvMeta& meta) {
+  CsvMeta use = meta;
+  if (!use.valid()) {
+    report.metadata_inferred = true;
+    use.machines = 1;
+    use.start_us = 0;
+    use.end_us = 1;
+    if (!recs.empty()) {
+      std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+      std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+      std::uint32_t max_machine = 0;
+      for (const auto& r : recs) {
+        lo = std::min(lo, r.start.as_micros());
+        hi = std::max(hi, r.end.as_micros());
+        max_machine = std::max(max_machine, r.machine);
+      }
+      use.machines = max_machine + 1;
+      use.start_us = lo;
+      use.end_us = hi > lo ? hi : lo + 1;
+    }
+  } else {
+    // Drop records that don't fit the declared machine grid.
+    const auto fits = [&](const UnavailabilityRecord& r) {
+      return r.machine < use.machines;
+    };
+    const auto bad = static_cast<std::size_t>(
+        std::count_if(recs.begin(), recs.end(),
+                      [&](const auto& r) { return !fits(r); }));
+    if (bad > 0) {
+      report.skipped += bad;
+      add_diagnostic(report, std::to_string(bad) +
+                                 " record(s) reference machines outside the "
+                                 "declared machine count");
+      recs.erase(std::remove_if(recs.begin(), recs.end(),
+                                [&](const auto& r) { return !fits(r); }),
+                 recs.end());
+    }
+  }
+  report.trace = TraceSet(use.machines, sim::SimTime::from_micros(use.start_us),
+                          sim::SimTime::from_micros(use.end_us));
+  for (const auto& r : recs) report.trace.add(r);
+  report.recovered = recs.size();
 }
 
 }  // namespace
@@ -60,55 +207,173 @@ void write_trace_csv(const TraceSet& trace, std::ostream& out) {
   if (!out) throw IoError("failed writing CSV trace");
 }
 
-TraceSet read_trace_csv(std::istream& in) {
+TraceSet read_trace_csv(std::istream& in, const std::string& source) {
   std::string meta_line;
-  if (!std::getline(in, meta_line) ||
-      meta_line.rfind(kCsvMagic, 0) != 0) {
-    throw IoError("missing fgcs-trace CSV header");
+  if (!std::getline(in, meta_line) || meta_line.rfind(kCsvMagic, 0) != 0) {
+    throw IoError(at_line(source, 1) + ": missing fgcs-trace CSV header");
   }
-  std::uint32_t machines = 0;
-  std::int64_t start_us = 0, end_us = 0;
-  {
-    std::istringstream ms(meta_line.substr(std::strlen(kCsvMagic)));
-    std::string token;
-    while (ms >> token) {
-      const auto eq = token.find('=');
-      if (eq == std::string::npos) continue;
-      const std::string key = token.substr(0, eq);
-      const std::string value = token.substr(eq + 1);
-      if (key == "machines") {
-        machines = static_cast<std::uint32_t>(parse_i64(value));
-      } else if (key == "start_us") {
-        start_us = parse_i64(value);
-      } else if (key == "end_us") {
-        end_us = parse_i64(value);
-      }
+  const CsvMeta meta = parse_csv_meta(meta_line);
+  if (!meta.valid()) {
+    throw IoError(at_line(source, 1) + ": invalid fgcs-trace CSV metadata");
+  }
+  TraceSet trace(meta.machines, sim::SimTime::from_micros(meta.start_us),
+                 sim::SimTime::from_micros(meta.end_us));
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw IoError(at_line(source, 2) + ": missing CSV column header");
+  }
+  const auto header = util::parse_csv_line(line);
+  const auto col = [&](const char* name) {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return i;
+    }
+    throw IoError(at_line(source, 2) + ": CSV column not found: " +
+                  std::string(name));
+  };
+  const auto c_machine = col("machine");
+  const auto c_start = col("start_us");
+  const auto c_end = col("end_us");
+  const auto c_cause = col("cause");
+  const auto c_cpu = col("host_cpu");
+  const auto c_mem = col("free_mem_mb");
+
+  std::size_t line_no = 2;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string ctx = at_line(source, line_no);
+    std::vector<std::string> row;
+    try {
+      row = util::parse_csv_line(line);
+    } catch (const IoError& e) {
+      throw IoError(ctx + ": " + e.what());
+    }
+    if (row.size() != header.size()) {
+      throw IoError(ctx + ": CSV row has " + std::to_string(row.size()) +
+                    " fields, header has " + std::to_string(header.size()));
+    }
+    UnavailabilityRecord r;
+    r.machine = static_cast<MachineId>(parse_i64(row[c_machine], ctx));
+    r.start = sim::SimTime::from_micros(parse_i64(row[c_start], ctx));
+    r.end = sim::SimTime::from_micros(parse_i64(row[c_end], ctx));
+    try {
+      r.cause = monitor::availability_state_from_string(row[c_cause].c_str());
+    } catch (const std::exception& e) {
+      throw IoError(ctx + ": " + e.what());
+    }
+    r.host_cpu = parse_f64(row[c_cpu], ctx);
+    r.free_mem_mb = parse_f64(row[c_mem], ctx);
+    try {
+      trace.add(r);
+    } catch (const std::exception& e) {
+      throw IoError(ctx + ": " + e.what());
     }
   }
-  if (machines == 0 || end_us <= start_us) {
-    throw IoError("invalid fgcs-trace CSV metadata");
-  }
-  TraceSet trace(machines, sim::SimTime::from_micros(start_us),
-                 sim::SimTime::from_micros(end_us));
-
-  util::CsvReader csv(in);
-  const auto c_machine = csv.column("machine");
-  const auto c_start = csv.column("start_us");
-  const auto c_end = csv.column("end_us");
-  const auto c_cause = csv.column("cause");
-  const auto c_cpu = csv.column("host_cpu");
-  const auto c_mem = csv.column("free_mem_mb");
-  for (const auto& row : csv.rows()) {
-    UnavailabilityRecord r;
-    r.machine = static_cast<MachineId>(parse_i64(row[c_machine]));
-    r.start = sim::SimTime::from_micros(parse_i64(row[c_start]));
-    r.end = sim::SimTime::from_micros(parse_i64(row[c_end]));
-    r.cause = monitor::availability_state_from_string(row[c_cause].c_str());
-    r.host_cpu = parse_f64(row[c_cpu]);
-    r.free_mem_mb = parse_f64(row[c_mem]);
-    trace.add(r);
-  }
   return trace;
+}
+
+LoadReport read_trace_csv_salvage(std::istream& in,
+                                  const std::string& source) {
+  LoadReport report;
+  CsvMeta meta;
+
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_magic = false, saw_header = false;
+  std::size_t c_machine = 0, c_start = 0, c_end = 0, c_cause = 0, c_cpu = 0,
+              c_mem = 0, columns = 0;
+  std::vector<UnavailabilityRecord> recs;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    if (!saw_magic && line.rfind(kCsvMagic, 0) == 0) {
+      saw_magic = true;
+      meta = parse_csv_meta(line);
+      if (!meta.valid()) {
+        add_diagnostic(report, at_line(source, line_no) +
+                                   ": unusable metadata; inferring from "
+                                   "records");
+      }
+      continue;
+    }
+    std::vector<std::string> row;
+    try {
+      row = util::parse_csv_line(line);
+    } catch (const IoError&) {
+      ++report.skipped;
+      add_diagnostic(report,
+                     at_line(source, line_no) + ": unparseable CSV line");
+      continue;
+    }
+    if (!saw_header) {
+      // The first parseable non-magic line should be the column header.
+      const auto find = [&](const char* name, std::size_t& out) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          if (row[i] == name) {
+            out = i;
+            return true;
+          }
+        }
+        return false;
+      };
+      if (find("machine", c_machine) && find("start_us", c_start) &&
+          find("end_us", c_end) && find("cause", c_cause) &&
+          find("host_cpu", c_cpu) && find("free_mem_mb", c_mem)) {
+        saw_header = true;
+        columns = row.size();
+        continue;
+      }
+      // Headerless data (the header itself was destroyed): fall back to
+      // the canonical column order.
+      c_machine = 0;
+      c_start = 1;
+      c_end = 2;
+      c_cause = 3;
+      c_cpu = 4;
+      c_mem = 5;
+      columns = 6;
+      saw_header = true;
+      add_diagnostic(report, at_line(source, line_no) +
+                                 ": no column header; assuming canonical "
+                                 "column order");
+      // fall through: treat this line as data
+    }
+    if (row.size() != columns) {
+      ++report.skipped;
+      add_diagnostic(report, at_line(source, line_no) + ": expected " +
+                                 std::to_string(columns) + " fields, got " +
+                                 std::to_string(row.size()));
+      continue;
+    }
+    try {
+      UnavailabilityRecord r;
+      r.machine = static_cast<MachineId>(parse_i64(row[c_machine], ""));
+      r.start = sim::SimTime::from_micros(parse_i64(row[c_start], ""));
+      r.end = sim::SimTime::from_micros(parse_i64(row[c_end], ""));
+      r.cause = monitor::availability_state_from_string(row[c_cause].c_str());
+      r.host_cpu = parse_f64(row[c_cpu], "");
+      r.free_mem_mb = parse_f64(row[c_mem], "");
+      const std::string defect = record_defect(r);
+      if (!defect.empty()) {
+        ++report.skipped;
+        add_diagnostic(report, at_line(source, line_no) + ": " + defect);
+        continue;
+      }
+      recs.push_back(r);
+    } catch (const std::exception&) {
+      ++report.skipped;
+      add_diagnostic(report,
+                     at_line(source, line_no) + ": malformed record");
+    }
+  }
+  if (!saw_magic) {
+    add_diagnostic(report,
+                   source + ": missing fgcs-trace magic; metadata inferred");
+  }
+  finish_salvage(report, std::move(recs), meta);
+  return report;
 }
 
 void write_trace_binary(const TraceSet& trace, std::ostream& out) {
@@ -128,34 +393,120 @@ void write_trace_binary(const TraceSet& trace, std::ostream& out) {
   if (!out) throw IoError("failed writing binary trace");
 }
 
-TraceSet read_trace_binary(std::istream& in) {
+TraceSet read_trace_binary(std::istream& in, const std::string& source) {
   char magic[sizeof kBinMagic];
   in.read(magic, sizeof magic);
   if (!in || std::memcmp(magic, kBinMagic, sizeof kBinMagic) != 0) {
-    throw IoError("not an fgcs binary trace");
+    throw IoError(source + ": not an fgcs binary trace (bad magic)");
   }
-  const auto machines = get<std::uint32_t>(in);
-  const auto start_us = get<std::int64_t>(in);
-  const auto end_us = get<std::int64_t>(in);
-  const auto count = get<std::uint64_t>(in);
+  BinReader r(in, source);
+  const auto machines = r.get<std::uint32_t>("machine count");
+  const auto start_us = r.get<std::int64_t>("horizon start");
+  const auto end_us = r.get<std::int64_t>("horizon end");
+  const auto count = r.get<std::uint64_t>("record count");
   if (machines == 0 || end_us <= start_us) {
-    throw IoError("invalid binary trace metadata");
+    throw IoError(source + ": invalid binary trace metadata");
   }
   TraceSet trace(machines, sim::SimTime::from_micros(start_us),
                  sim::SimTime::from_micros(end_us));
   for (std::uint64_t i = 0; i < count; ++i) {
-    UnavailabilityRecord r;
-    r.machine = get<std::uint32_t>(in);
-    r.start = sim::SimTime::from_micros(get<std::int64_t>(in));
-    r.end = sim::SimTime::from_micros(get<std::int64_t>(in));
-    const auto cause = get<std::uint8_t>(in);
-    if (cause < 3 || cause > 5) throw IoError("invalid cause in binary trace");
-    r.cause = static_cast<monitor::AvailabilityState>(cause);
-    r.host_cpu = get<double>(in);
-    r.free_mem_mb = get<double>(in);
-    trace.add(r);
+    UnavailabilityRecord rec;
+    rec.machine = r.get<std::uint32_t>("record machine");
+    rec.start = sim::SimTime::from_micros(r.get<std::int64_t>("record start"));
+    rec.end = sim::SimTime::from_micros(r.get<std::int64_t>("record end"));
+    const auto cause = r.get<std::uint8_t>("record cause");
+    if (cause < 3 || cause > 5) {
+      throw IoError(source + ": invalid cause at byte offset " +
+                    std::to_string(r.offset() - 1) + " (record " +
+                    std::to_string(i) + ")");
+    }
+    rec.cause = static_cast<monitor::AvailabilityState>(cause);
+    rec.host_cpu = r.get<double>("record host_cpu");
+    rec.free_mem_mb = r.get<double>("record free_mem_mb");
+    try {
+      trace.add(rec);
+    } catch (const std::exception& e) {
+      throw IoError(source + ": record " + std::to_string(i) +
+                    " (ending at byte offset " + std::to_string(r.offset()) +
+                    "): " + e.what());
+    }
   }
   return trace;
+}
+
+LoadReport read_trace_binary_salvage(std::istream& in,
+                                     const std::string& source) {
+  LoadReport report;
+  CsvMeta meta;  // reused as "binary meta" (same fields)
+  std::vector<UnavailabilityRecord> recs;
+
+  char magic[sizeof kBinMagic];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kBinMagic, sizeof kBinMagic) != 0) {
+    report.truncated = true;
+    add_diagnostic(report, source + ": not an fgcs binary trace (bad magic); "
+                               "nothing recoverable");
+    finish_salvage(report, std::move(recs), meta);
+    return report;
+  }
+
+  BinReader r(in, source);
+  std::uint32_t machines = 0;
+  std::int64_t start_us = 0, end_us = 0;
+  std::uint64_t count = 0;
+  if (!r.try_get(machines) || !r.try_get(start_us) || !r.try_get(end_us) ||
+      !r.try_get(count)) {
+    report.truncated = true;
+    add_diagnostic(report, source + ": header truncated at byte offset " +
+                               std::to_string(8 + r.offset()));
+    finish_salvage(report, std::move(recs), meta);
+    return report;
+  }
+  if (machines == 0 || end_us <= start_us) {
+    add_diagnostic(report, source + ": invalid metadata; inferring from "
+                               "records");
+  } else {
+    meta.machines = machines;
+    meta.start_us = start_us;
+    meta.end_us = end_us;
+  }
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    UnavailabilityRecord rec;
+    std::uint8_t cause = 0;
+    const std::uint64_t rec_offset = 8 + r.offset();
+    std::int64_t rec_start = 0, rec_end = 0;
+    if (!r.try_get(rec.machine) || !r.try_get(rec_start) ||
+        !r.try_get(rec_end) || !r.try_get(cause) ||
+        !r.try_get(rec.host_cpu) || !r.try_get(rec.free_mem_mb)) {
+      report.truncated = true;
+      add_diagnostic(report, source + ": record " + std::to_string(i) +
+                                 " truncated at byte offset " +
+                                 std::to_string(rec_offset) + " (" +
+                                 std::to_string(count - i) +
+                                 " declared record(s) missing)");
+      break;
+    }
+    rec.start = sim::SimTime::from_micros(rec_start);
+    rec.end = sim::SimTime::from_micros(rec_end);
+    std::string defect;
+    if (cause < 3 || cause > 5) {
+      defect = "invalid cause byte";
+    } else {
+      rec.cause = static_cast<monitor::AvailabilityState>(cause);
+      defect = record_defect(rec);
+    }
+    if (!defect.empty()) {
+      ++report.skipped;
+      add_diagnostic(report, source + ": record " + std::to_string(i) +
+                                 " at byte offset " +
+                                 std::to_string(rec_offset) + ": " + defect);
+      continue;
+    }
+    recs.push_back(rec);
+  }
+  finish_salvage(report, std::move(recs), meta);
+  return report;
 }
 
 void save_trace(const TraceSet& trace, const std::string& path) {
@@ -173,7 +524,15 @@ TraceSet load_trace(const std::string& path) {
   const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
   std::ifstream in(path, csv ? std::ios::in : std::ios::in | std::ios::binary);
   if (!in) throw IoError("cannot open for reading: " + path);
-  return csv ? read_trace_csv(in) : read_trace_binary(in);
+  return csv ? read_trace_csv(in, path) : read_trace_binary(in, path);
+}
+
+LoadReport load_trace_salvage(const std::string& path) {
+  const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
+  std::ifstream in(path, csv ? std::ios::in : std::ios::in | std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  return csv ? read_trace_csv_salvage(in, path)
+             : read_trace_binary_salvage(in, path);
 }
 
 }  // namespace fgcs::trace

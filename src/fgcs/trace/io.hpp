@@ -12,24 +12,69 @@
 //   magic "FGCSTRC1", u32 machines, i64 start_us, i64 end_us, u64 count,
 //   then per record: u32 machine, i64 start_us, i64 end_us, u8 cause,
 //   f64 host_cpu, f64 free_mem_mb.
+//
+// Strict readers throw IoError at the first defect, with the source name
+// plus the CSV line number / binary byte offset of the failure. Salvage
+// readers never throw on damaged input: they recover every well-formed
+// record (all records preceding a truncation point, and any parseable
+// record after a localized corruption) and return a LoadReport describing
+// what was skipped.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "fgcs/trace/trace_set.hpp"
 
 namespace fgcs::trace {
 
 void write_trace_csv(const TraceSet& trace, std::ostream& out);
-TraceSet read_trace_csv(std::istream& in);
-
 void write_trace_binary(const TraceSet& trace, std::ostream& out);
-TraceSet read_trace_binary(std::istream& in);
+
+/// Strict readers: throw IoError (with `source`, and line/offset context)
+/// on any malformed input.
+TraceSet read_trace_csv(std::istream& in,
+                        const std::string& source = "<csv>");
+TraceSet read_trace_binary(std::istream& in,
+                           const std::string& source = "<binary>");
+
+/// Result of a salvage read: the recovered trace plus damage diagnostics.
+struct LoadReport {
+  TraceSet trace;
+  /// Records recovered into `trace`.
+  std::size_t recovered = 0;
+  /// Malformed or invalid records dropped.
+  std::size_t skipped = 0;
+  /// Input ended before the declared record count / mid-record.
+  bool truncated = false;
+  /// Header was unusable; machines/horizon were inferred from the
+  /// recovered records instead.
+  bool metadata_inferred = false;
+  /// Human-readable descriptions of the first few defects (capped).
+  std::vector<std::string> diagnostics;
+
+  bool clean() const {
+    return skipped == 0 && !truncated && !metadata_inferred;
+  }
+};
+
+/// Salvage readers: recover all well-formed records from damaged input.
+/// They do not throw on truncation/corruption — defects are reported in
+/// the LoadReport. An input so damaged that nothing is recoverable yields
+/// an empty single-machine trace with `recovered == 0`.
+LoadReport read_trace_csv_salvage(std::istream& in,
+                                  const std::string& source = "<csv>");
+LoadReport read_trace_binary_salvage(std::istream& in,
+                                     const std::string& source = "<binary>");
 
 /// File-path conveniences; format chosen by extension (".csv" otherwise
 /// binary). Throw IoError on failure.
 void save_trace(const TraceSet& trace, const std::string& path);
 TraceSet load_trace(const std::string& path);
+
+/// Salvage load: never throws on damaged content (only on an unopenable
+/// path).
+LoadReport load_trace_salvage(const std::string& path);
 
 }  // namespace fgcs::trace

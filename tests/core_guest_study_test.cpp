@@ -1,0 +1,198 @@
+// Tests for the resilient guest lifecycle study: checkpointing, restart
+// backoff, migration, determinism, and obs accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fgcs/core/guest_study.hpp"
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/obs/observer.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::core {
+namespace {
+
+using sim::SimDuration;
+
+TestbedConfig small_testbed() {
+  TestbedConfig config;
+  config.machines = 3;
+  config.days = 7;
+  config.seed = 1234;
+  return config;
+}
+
+TestbedConfig killing_testbed() {
+  TestbedConfig config = small_testbed();
+  fault::FaultSpec kill;
+  kill.kind = fault::FaultKind::kGuestKill;
+  kill.rate_per_day = 4.0;
+  kill.mean_minutes = 1.0;
+  config.faults.specs.push_back(kill);
+  return config;
+}
+
+GuestLifecycleConfig short_jobs() {
+  GuestLifecycleConfig lifecycle;
+  lifecycle.job_length = SimDuration::hours(6);
+  lifecycle.submit_spacing = SimDuration::hours(8);
+  return lifecycle;
+}
+
+bool same_outcomes(const GuestStudyResult& a, const GuestStudyResult& b) {
+  if (a.jobs.size() != b.jobs.size()) return false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const auto& x = a.jobs[i];
+    const auto& y = b.jobs[i];
+    if (x.submit != y.submit || x.first_machine != y.first_machine ||
+        x.final_machine != y.final_machine || x.completed != y.completed ||
+        x.response != y.response || x.restarts != y.restarts ||
+        x.migrations != y.migrations || x.checkpoints != y.checkpoints ||
+        x.work_lost != y.work_lost) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(GuestStudyTest, ReplaysBitIdentically) {
+  const auto testbed = killing_testbed();
+  const auto trace = run_testbed(testbed);
+  auto lifecycle = short_jobs();
+  lifecycle.checkpoint_interval = SimDuration::hours(1);
+  lifecycle.migrate_on_revocation = true;
+
+  const auto a = run_guest_study(testbed, trace, lifecycle);
+  const auto b = run_guest_study(testbed, trace, lifecycle);
+  ASSERT_FALSE(a.jobs.empty());
+  EXPECT_TRUE(same_outcomes(a, b));
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.work_lost, b.work_lost);
+}
+
+TEST(GuestStudyTest, CheckpointingBoundsLostWork) {
+  const auto testbed = killing_testbed();
+  const auto trace = run_testbed(testbed);
+
+  auto no_ckpt = short_jobs();
+  auto with_ckpt = short_jobs();
+  with_ckpt.checkpoint_interval = SimDuration::minutes(30);
+  with_ckpt.checkpoint_cost = SimDuration::minutes(1);
+
+  const auto bare = run_guest_study(testbed, trace, no_ckpt);
+  const auto saved = run_guest_study(testbed, trace, with_ckpt);
+  ASSERT_FALSE(bare.jobs.empty());
+  EXPECT_GT(bare.restarts, 0u);
+  EXPECT_EQ(bare.checkpoints, 0u);
+  EXPECT_GT(saved.checkpoints, 0u);
+  // With checkpoints every 30 min, at most interval+cost of work is ever
+  // at risk per kill; without them the whole attempt is lost.
+  EXPECT_LT(saved.work_lost, bare.work_lost);
+  EXPECT_GE(saved.completed, bare.completed);
+}
+
+TEST(GuestStudyTest, MigrationMovesJobsOffRevokedMachines) {
+  const auto testbed = small_testbed();
+  const auto trace = run_testbed(testbed);
+
+  auto stay = short_jobs();
+  auto move = short_jobs();
+  move.migrate_on_revocation = true;
+
+  const auto pinned = run_guest_study(testbed, trace, stay);
+  const auto mobile = run_guest_study(testbed, trace, move);
+  EXPECT_EQ(pinned.migrations, 0u);
+  for (const auto& job : pinned.jobs) {
+    EXPECT_EQ(job.first_machine, job.final_machine);
+  }
+  // The organic testbed trace has unavailability episodes, so revocations
+  // occur and migrating jobs change machines.
+  EXPECT_GT(mobile.migrations, 0u);
+  bool moved = false;
+  for (const auto& job : mobile.jobs) {
+    if (job.first_machine != job.final_machine) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(GuestStudyTest, AggregatesMatchPerJobTotals) {
+  const auto testbed = killing_testbed();
+  auto lifecycle = short_jobs();
+  lifecycle.checkpoint_interval = SimDuration::hours(1);
+  const auto result = run_guest_study(testbed, lifecycle);
+
+  std::uint32_t completed = 0, restarts = 0, migrations = 0, checkpoints = 0;
+  SimDuration lost = SimDuration::zero();
+  for (const auto& job : result.jobs) {
+    completed += job.completed ? 1 : 0;
+    restarts += job.restarts;
+    migrations += job.migrations;
+    checkpoints += job.checkpoints;
+    lost += job.work_lost;
+  }
+  EXPECT_EQ(result.completed, completed);
+  EXPECT_EQ(result.restarts, restarts);
+  EXPECT_EQ(result.migrations, migrations);
+  EXPECT_EQ(result.checkpoints, checkpoints);
+  EXPECT_EQ(result.work_lost, lost);
+  EXPECT_FALSE(result.summary_table().empty());
+}
+
+TEST(GuestStudyTest, ObsCountersTrackTheRun) {
+  const auto testbed = killing_testbed();
+  const auto trace = run_testbed(testbed);
+  auto lifecycle = short_jobs();
+  lifecycle.checkpoint_interval = SimDuration::hours(1);
+  lifecycle.migrate_on_revocation = true;
+
+  obs::Observer observer;
+  GuestStudyResult result;
+  {
+    obs::ScopedObserver guard(&observer);
+    result = run_guest_study(testbed, trace, lifecycle);
+  }
+  auto& metrics = observer.metrics();
+  EXPECT_EQ(metrics.counter("guest.restarts").value(), result.restarts);
+  EXPECT_EQ(metrics.counter("guest.migrations").value(), result.migrations);
+  EXPECT_EQ(metrics.counter("guest.checkpoints").value(), result.checkpoints);
+  EXPECT_EQ(metrics.counter("guest.completions").value(), result.completed);
+  EXPECT_EQ(metrics.counter("guest.work_lost_us").value(),
+            static_cast<std::uint64_t>(result.work_lost.as_micros()));
+}
+
+TEST(GuestStudyTest, ValidationRejectsBadPolicies) {
+  const auto testbed = small_testbed();
+  const auto trace = run_testbed(testbed);
+
+  GuestLifecycleConfig bad = short_jobs();
+  bad.job_length = SimDuration::zero();
+  EXPECT_THROW(run_guest_study(testbed, trace, bad), ConfigError);
+
+  bad = short_jobs();
+  bad.backoff_factor = 0.5;
+  EXPECT_THROW(run_guest_study(testbed, trace, bad), ConfigError);
+
+  bad = short_jobs();
+  bad.backoff_jitter = 1.0;
+  EXPECT_THROW(run_guest_study(testbed, trace, bad), ConfigError);
+
+  bad = short_jobs();
+  bad.backoff_cap = SimDuration::seconds(1);  // < backoff_initial
+  EXPECT_THROW(run_guest_study(testbed, trace, bad), ConfigError);
+}
+
+TEST(GuestStudyTest, InjectedKillsForceRestarts) {
+  // Same trace, with vs without guest-kill faults: the kills must add
+  // restarts even though the availability trace is unchanged.
+  auto quiet = small_testbed();
+  auto noisy = killing_testbed();
+  const auto trace = run_testbed(quiet);  // workload streams are identical
+
+  const auto lifecycle = short_jobs();
+  const auto baseline = run_guest_study(quiet, trace, lifecycle);
+  const auto chaotic = run_guest_study(noisy, trace, lifecycle);
+  EXPECT_GT(chaotic.restarts, baseline.restarts);
+}
+
+}  // namespace
+}  // namespace fgcs::core

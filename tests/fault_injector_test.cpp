@@ -1,0 +1,271 @@
+// Tests for deterministic fault expansion (FaultInjector) and the
+// per-machine live session (MachineFaultSession).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fgcs/fault/injector.hpp"
+#include "fgcs/sim/simulation.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::fault {
+namespace {
+
+using sim::SimDuration;
+using sim::SimTime;
+
+FaultPlan rate_plan(double per_day, double mean_minutes) {
+  FaultPlan plan;
+  FaultSpec s;
+  s.kind = FaultKind::kCrash;
+  s.rate_per_day = per_day;
+  s.mean_minutes = mean_minutes;
+  plan.specs.push_back(s);
+  return plan;
+}
+
+bool same_events(std::span<const FaultEvent> a, std::span<const FaultEvent> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind || a[i].machine != b[i].machine ||
+        a[i].start != b[i].start || a[i].duration != b[i].duration ||
+        a[i].skew != b[i].skew) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(FaultInjectorTest, ExpansionIsDeterministic) {
+  const auto plan = rate_plan(4.0, 20.0);
+  const FaultInjector a(plan, 42, 3, SimTime::epoch(),
+                        SimTime::epoch() + SimDuration::days(14));
+  const FaultInjector b(plan, 42, 3, SimTime::epoch(),
+                        SimTime::epoch() + SimDuration::days(14));
+  EXPECT_FALSE(a.events().empty());
+  EXPECT_TRUE(same_events(a.events(), b.events()));
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiffer) {
+  const auto plan = rate_plan(4.0, 20.0);
+  const FaultInjector a(plan, 1, 2, SimTime::epoch(),
+                        SimTime::epoch() + SimDuration::days(14));
+  const FaultInjector b(plan, 2, 2, SimTime::epoch(),
+                        SimTime::epoch() + SimDuration::days(14));
+  EXPECT_FALSE(same_events(a.events(), b.events()));
+}
+
+TEST(FaultInjectorTest, MachinesDrawIndependentStreams) {
+  const auto plan = rate_plan(4.0, 20.0);
+  const FaultInjector inj(plan, 7, 2, SimTime::epoch(),
+                          SimTime::epoch() + SimDuration::days(30));
+  const auto m0 = inj.events_for(0);
+  const auto m1 = inj.events_for(1);
+  ASSERT_FALSE(m0.empty());
+  ASSERT_FALSE(m1.empty());
+  // Same spec, different machines: the occurrence times must not be a
+  // shared sequence.
+  bool identical = m0.size() == m1.size();
+  if (identical) {
+    for (std::size_t i = 0; i < m0.size(); ++i) {
+      if (m0[i].start != m1[i].start) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(FaultInjectorTest, ScriptedTimesAreExact) {
+  FaultPlan plan;
+  FaultSpec s;
+  s.kind = FaultKind::kSensorDropout;
+  s.at_hours = {2.0, 10.5};
+  s.duration_minutes = 15.0;
+  s.machine = 0;
+  plan.specs.push_back(s);
+
+  const SimTime begin = SimTime::from_micros(500);
+  const FaultInjector inj(plan, 9, 1, begin, begin + SimDuration::days(1));
+  const auto events = inj.events_for(0);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].start, begin + SimDuration::hours(2));
+  EXPECT_EQ(events[0].duration, SimDuration::minutes(15));
+  EXPECT_EQ(events[1].start,
+            begin + SimDuration::from_seconds(10.5 * 3600.0));
+}
+
+TEST(FaultInjectorTest, MachineTargetingRestrictsEvents) {
+  FaultPlan plan;
+  FaultSpec s;
+  s.kind = FaultKind::kCrash;
+  s.at_hours = {1.0};
+  s.machine = 1;
+  plan.specs.push_back(s);
+
+  const FaultInjector inj(plan, 3, 4, SimTime::epoch(),
+                          SimTime::epoch() + SimDuration::hours(4));
+  EXPECT_TRUE(inj.events_for(0).empty());
+  ASSERT_EQ(inj.events_for(1).size(), 1u);
+  EXPECT_TRUE(inj.events_for(2).empty());
+  EXPECT_TRUE(inj.events_for(3).empty());
+  for (const auto& ev : inj.events()) EXPECT_EQ(ev.machine, 1u);
+}
+
+TEST(FaultInjectorTest, HorizonClipsAndDrops) {
+  FaultPlan plan;
+  FaultSpec s;
+  s.kind = FaultKind::kCrash;
+  s.at_hours = {3.5, 6.0};     // 6h is outside a 4h horizon -> dropped
+  s.duration_minutes = 120.0;  // 3.5h + 2h would overrun -> clipped
+  plan.specs.push_back(s);
+
+  const SimTime begin = SimTime::epoch();
+  const SimTime end = begin + SimDuration::hours(4);
+  const FaultInjector inj(plan, 5, 1, begin, end);
+  const auto events = inj.events_for(0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start, begin + SimDuration::from_seconds(3.5 * 3600.0));
+  EXPECT_EQ(events[0].start + events[0].duration, end);
+}
+
+TEST(FaultInjectorTest, EventsAreSortedAndPartitioned) {
+  FaultPlan plan;
+  auto crash = rate_plan(6.0, 10.0);
+  plan.specs.push_back(crash.specs[0]);
+  FaultSpec drop;
+  drop.kind = FaultKind::kSensorDropout;
+  drop.rate_per_day = 6.0;
+  drop.mean_minutes = 4.0;
+  plan.specs.push_back(drop);
+
+  const FaultInjector inj(plan, 11, 3, SimTime::epoch(),
+                          SimTime::epoch() + SimDuration::days(7));
+  const auto all = inj.events();
+  ASSERT_FALSE(all.empty());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    const bool ordered =
+        all[i - 1].machine < all[i].machine ||
+        (all[i - 1].machine == all[i].machine &&
+         all[i - 1].start <= all[i].start);
+    EXPECT_TRUE(ordered) << "events out of order at index " << i;
+  }
+  std::size_t total = 0;
+  for (std::uint32_t m = 0; m < 3; ++m) {
+    for (const auto& ev : inj.events_for(m)) {
+      EXPECT_EQ(ev.machine, m);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, all.size());
+}
+
+TEST(FaultInjectorTest, RejectsEmptyHorizonAndBadMachine) {
+  const auto plan = rate_plan(1.0, 5.0);
+  EXPECT_THROW(
+      FaultInjector(plan, 1, 0, SimTime::epoch(),
+                    SimTime::epoch() + SimDuration::hours(1)),
+      ConfigError);
+  EXPECT_THROW(FaultInjector(plan, 1, 1, SimTime::epoch(), SimTime::epoch()),
+               ConfigError);
+  const FaultInjector inj(plan, 1, 2, SimTime::epoch(),
+                          SimTime::epoch() + SimDuration::hours(1));
+  EXPECT_THROW(inj.events_for(2), ConfigError);
+}
+
+TEST(MachineFaultSessionTest, WindowFaultsActivateAndDeactivate) {
+  FaultPlan plan;
+  FaultSpec crash;
+  crash.kind = FaultKind::kCrash;
+  crash.at_hours = {1.0};
+  crash.duration_minutes = 30.0;
+  plan.specs.push_back(crash);
+  FaultSpec skew;
+  skew.kind = FaultKind::kClockSkew;
+  skew.at_hours = {0.5};
+  skew.duration_minutes = 90.0;
+  skew.skew_ms = 250.0;
+  plan.specs.push_back(skew);
+
+  const FaultInjector inj(plan, 2, 1, SimTime::epoch(),
+                          SimTime::epoch() + SimDuration::hours(4));
+  MachineFaultSession session(inj, 0);
+  sim::Simulation simulation;
+  session.schedule(simulation);
+
+  struct Probe {
+    SimDuration at;
+    bool crash;
+    double skew_s;
+  };
+  const std::vector<Probe> probes = {
+      {SimDuration::minutes(10), false, 0.0},
+      {SimDuration::minutes(45), false, 0.25},   // skew blip only
+      {SimDuration::minutes(75), true, 0.25},    // crash + skew overlap
+      {SimDuration::minutes(100), false, 0.25},  // crash ended at 1h30
+      {SimDuration::minutes(150), false, 0.0},   // skew ended at 2h
+  };
+  for (const auto& probe : probes) {
+    simulation.at(SimTime::epoch() + probe.at, [&session, &probe] {
+      EXPECT_EQ(session.crash_active(), probe.crash)
+          << "at minute " << probe.at.as_minutes();
+      EXPECT_DOUBLE_EQ(session.skew().as_seconds(), probe.skew_s)
+          << "at minute " << probe.at.as_minutes();
+    });
+  }
+  simulation.run_all();
+  EXPECT_FALSE(session.crash_active());
+  EXPECT_EQ(session.skew(), SimDuration::zero());
+}
+
+TEST(MachineFaultSessionTest, GuestKillsAreListedNotScheduled) {
+  FaultPlan plan;
+  FaultSpec kill;
+  kill.kind = FaultKind::kGuestKill;
+  kill.at_hours = {5.0, 1.0, 3.0};
+  plan.specs.push_back(kill);
+
+  const FaultInjector inj(plan, 4, 1, SimTime::epoch(),
+                          SimTime::epoch() + SimDuration::hours(8));
+  MachineFaultSession session(inj, 0);
+  const auto kills = session.guest_kill_times();
+  ASSERT_EQ(kills.size(), 3u);
+  EXPECT_EQ(kills[0], SimTime::epoch() + SimDuration::hours(1));
+  EXPECT_EQ(kills[1], SimTime::epoch() + SimDuration::hours(3));
+  EXPECT_EQ(kills[2], SimTime::epoch() + SimDuration::hours(5));
+
+  sim::Simulation simulation;
+  session.schedule(simulation);
+  simulation.run_all();
+  // Kills never toggle the window-fault flags.
+  EXPECT_FALSE(session.crash_active());
+  EXPECT_FALSE(session.dropout_active());
+  EXPECT_EQ(simulation.events_executed(), 0u);
+}
+
+TEST(MachineFaultSessionTest, OverlappingDropoutsNest) {
+  FaultPlan plan;
+  FaultSpec drop;
+  drop.kind = FaultKind::kSensorDropout;
+  drop.at_hours = {1.0, 1.25};  // second starts inside the first
+  drop.duration_minutes = 30.0;
+  plan.specs.push_back(drop);
+
+  const FaultInjector inj(plan, 6, 1, SimTime::epoch(),
+                          SimTime::epoch() + SimDuration::hours(3));
+  MachineFaultSession session(inj, 0);
+  sim::Simulation simulation;
+  session.schedule(simulation);
+
+  // First window ends at 1h30, second at 1h45; the flag must stay up
+  // through the overlap seam.
+  simulation.at(SimTime::epoch() + SimDuration::minutes(95),
+                [&session] { EXPECT_TRUE(session.dropout_active()); });
+  simulation.at(SimTime::epoch() + SimDuration::minutes(110),
+                [&session] { EXPECT_FALSE(session.dropout_active()); });
+  simulation.run_all();
+}
+
+}  // namespace
+}  // namespace fgcs::fault

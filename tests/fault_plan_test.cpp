@@ -1,0 +1,158 @@
+// Tests for the declarative fault-plan format: parsing, serialization
+// round trips, and validation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "fgcs/fault/fault_plan.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::fault {
+namespace {
+
+TEST(FaultPlanTest, ParsesAllKindsAndOptions) {
+  const auto plan = FaultPlan::parse_string(
+      "# fgcs-fault-plan v1\n"
+      "crash      rate_per_day=0.05 mean_minutes=30\n"
+      "dropout    rate_per_day=0.2  mean_minutes=5  machine=3\n"
+      "skew       rate_per_day=0.1  mean_minutes=10 skew_ms=400\n"
+      "guest-kill at_hours=12.5,40  machine=0\n");
+  ASSERT_EQ(plan.size(), 4u);
+
+  EXPECT_EQ(plan.specs[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.specs[0].machine, kAllMachines);
+  EXPECT_DOUBLE_EQ(plan.specs[0].rate_per_day, 0.05);
+  EXPECT_DOUBLE_EQ(plan.specs[0].mean_minutes, 30.0);
+  EXPECT_FALSE(plan.specs[0].scripted());
+
+  EXPECT_EQ(plan.specs[1].kind, FaultKind::kSensorDropout);
+  EXPECT_EQ(plan.specs[1].machine, 3);
+
+  EXPECT_EQ(plan.specs[2].kind, FaultKind::kClockSkew);
+  EXPECT_DOUBLE_EQ(plan.specs[2].skew_ms, 400.0);
+
+  EXPECT_EQ(plan.specs[3].kind, FaultKind::kGuestKill);
+  EXPECT_TRUE(plan.specs[3].scripted());
+  ASSERT_EQ(plan.specs[3].at_hours.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.specs[3].at_hours[0], 12.5);
+  EXPECT_DOUBLE_EQ(plan.specs[3].at_hours[1], 40.0);
+  EXPECT_EQ(plan.specs[3].machine, 0);
+}
+
+TEST(FaultPlanTest, IgnoresCommentsBlankLinesAndCrlf) {
+  const auto plan = FaultPlan::parse_string(
+      "# fgcs-fault-plan v1\r\n"
+      "\n"
+      "# a comment\n"
+      "crash rate_per_day=1 mean_minutes=2\r\n");
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan.specs[0].kind, FaultKind::kCrash);
+}
+
+TEST(FaultPlanTest, RoundTripsThroughText) {
+  FaultPlan plan;
+  FaultSpec crash;
+  crash.kind = FaultKind::kCrash;
+  crash.rate_per_day = 0.25;
+  crash.mean_minutes = 12.0;
+  plan.specs.push_back(crash);
+  FaultSpec kill;
+  kill.kind = FaultKind::kGuestKill;
+  kill.machine = 2;
+  kill.at_hours = {1.0, 2.5, 100.0};
+  kill.duration_minutes = 0.0;
+  plan.specs.push_back(kill);
+
+  const auto reparsed = FaultPlan::parse_string(plan.str());
+  ASSERT_EQ(reparsed.size(), plan.size());
+  EXPECT_EQ(reparsed.specs[0].kind, FaultKind::kCrash);
+  EXPECT_DOUBLE_EQ(reparsed.specs[0].rate_per_day, 0.25);
+  EXPECT_EQ(reparsed.specs[1].machine, 2);
+  ASSERT_EQ(reparsed.specs[1].at_hours.size(), 3u);
+  EXPECT_DOUBLE_EQ(reparsed.specs[1].at_hours[2], 100.0);
+  // Stable: a second round trip produces identical text.
+  EXPECT_EQ(reparsed.str(), plan.str());
+}
+
+TEST(FaultPlanTest, MissingMagicIsAnError) {
+  EXPECT_THROW(FaultPlan::parse_string("crash rate_per_day=1\n"),
+               ConfigError);
+}
+
+TEST(FaultPlanTest, ErrorsCarryLineNumbers) {
+  try {
+    FaultPlan::parse_string(
+        "# fgcs-fault-plan v1\n"
+        "crash rate_per_day=1 mean_minutes=5\n"
+        "meteor rate_per_day=1\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultPlanTest, RejectsUnknownKeysWithLineNumber) {
+  try {
+    FaultPlan::parse_string(
+        "# fgcs-fault-plan v1\n"
+        "crash rate_per_day=1 frequency=9\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultPlanTest, ValidationRejectsUnplaceableSpec) {
+  FaultPlan plan;
+  FaultSpec s;  // neither rate-based nor scripted
+  s.rate_per_day = 0.0;
+  plan.specs.push_back(s);
+  EXPECT_THROW(plan.validate(), ConfigError);
+}
+
+TEST(FaultPlanTest, ValidationRejectsNegativeRateAndDuration) {
+  FaultSpec s;
+  s.rate_per_day = -1.0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s.rate_per_day = 1.0;
+  s.mean_minutes = -5.0;
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(FaultPlanTest, EmptyPlanIsValidAndEmpty) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.validate();  // no throw
+}
+
+TEST(FaultPlanTest, SaveLoadRoundTrip) {
+  FaultPlan plan;
+  FaultSpec s;
+  s.kind = FaultKind::kSensorDropout;
+  s.rate_per_day = 0.5;
+  s.mean_minutes = 3.0;
+  plan.specs.push_back(s);
+
+  const std::string path = ::testing::TempDir() + "fgcs_fault_plan_test.txt";
+  plan.save(path);
+  const auto loaded = FaultPlan::load(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.specs[0].kind, FaultKind::kSensorDropout);
+  EXPECT_DOUBLE_EQ(loaded.specs[0].rate_per_day, 0.5);
+}
+
+TEST(FaultPlanTest, KindNamesRoundTrip) {
+  for (const auto kind :
+       {FaultKind::kCrash, FaultKind::kSensorDropout, FaultKind::kClockSkew,
+        FaultKind::kGuestKill}) {
+    EXPECT_EQ(fault_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(fault_kind_from_string("comet"), ConfigError);
+}
+
+}  // namespace
+}  // namespace fgcs::fault

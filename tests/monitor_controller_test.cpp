@@ -115,6 +115,96 @@ TEST(GuestAction, Names) {
   EXPECT_STREQ(to_string(GuestAction::kTerminate), "terminate");
   EXPECT_STREQ(to_string(GuestAction::kSuspend), "suspend");
   EXPECT_STREQ(to_string(GuestAction::kResume), "resume");
+  EXPECT_STREQ(to_string(GuestAction::kCheckpoint), "checkpoint");
+  EXPECT_STREQ(to_string(GuestAction::kObservedKilled), "observed-killed");
+}
+
+TEST_F(ControllerFixture, ExternalKillIsObservedAndTerminal) {
+  feed(0.1);
+  machine.run_for(15_s);
+  machine.terminate(guest);  // injected kill, outside the controller
+  detector.observe({machine.now(), 0.1, 900.0, true});
+  controller.apply(detector);  // must not touch the dead pid
+  EXPECT_TRUE(controller.terminated());
+  ASSERT_FALSE(controller.actions().empty());
+  EXPECT_EQ(controller.actions().back().action, GuestAction::kObservedKilled);
+  // With no checkpointing, everything the guest computed is lost.
+  EXPECT_EQ(controller.unsaved_progress(), machine.process(guest).cpu_time());
+
+  const auto count = controller.actions().size();
+  feed(0.1);  // further applies are no-ops on the dead guest
+  EXPECT_EQ(controller.actions().size(), count);
+}
+
+TEST(GuestControllerKill, NaturalExitIsNotReportedAsKill) {
+  os::Machine m(os::SchedulerParams::linux_2_4(), os::MemoryParams::linux_1gb(),
+                6);
+  os::ProcessSpec spec;
+  spec.name = "short-guest";
+  spec.kind = os::ProcessKind::kGuest;
+  spec.program = os::fixed_program({os::Phase::compute(1_s)});
+  const auto pid = m.spawn(spec);
+  GuestController controller(m, pid, 0);
+  UnavailabilityDetector det(ThresholdPolicy::linux_testbed());
+
+  m.run_for(60_s);  // the guest finishes its 1s of work and exits
+  ASSERT_EQ(m.process(pid).state(), os::ProcState::kExited);
+  EXPECT_FALSE(m.process(pid).killed());
+
+  det.observe({m.now(), 0.1, 900.0, true});
+  controller.apply(det);
+  EXPECT_TRUE(controller.terminated());
+  for (const auto& a : controller.actions()) {
+    EXPECT_NE(a.action, GuestAction::kObservedKilled);
+  }
+  EXPECT_EQ(controller.unsaved_progress(), sim::SimDuration::zero());
+}
+
+TEST(GuestControllerCheckpoint, PeriodicCheckpointsBoundLostWork) {
+  os::Machine m(os::SchedulerParams::linux_2_4(), os::MemoryParams::linux_1gb(),
+                7);
+  const auto pid = m.spawn(workload::synthetic_guest(0));
+  CheckpointPolicy ckpt;
+  ckpt.interval = sim::SimDuration::minutes(1);
+  ckpt.cost = sim::SimDuration::seconds(5);
+  GuestController controller(m, pid, 0, ckpt);
+  UnavailabilityDetector det(ThresholdPolicy::linux_testbed());
+
+  for (int i = 0; i < 20; ++i) {
+    m.run_for(15_s);
+    det.observe({m.now(), 0.1, 900.0, true});
+    controller.apply(det);
+  }
+  EXPECT_GT(controller.checkpoint_count(), 0u);
+  EXPECT_GT(controller.checkpointed_progress(), sim::SimDuration::zero());
+  EXPECT_EQ(controller.unsaved_progress(),
+            m.process(pid).cpu_time() - controller.checkpointed_progress());
+  std::size_t checkpoint_actions = 0;
+  for (const auto& a : controller.actions()) {
+    if (a.action == GuestAction::kCheckpoint) ++checkpoint_actions;
+  }
+  EXPECT_EQ(checkpoint_actions, controller.checkpoint_count());
+
+  // Kill the guest: the recorded loss is exactly the unsaved progress.
+  const auto unsaved = controller.unsaved_progress();
+  m.terminate(pid);
+  det.observe({m.now(), 0.1, 900.0, true});
+  controller.apply(det);
+  EXPECT_EQ(controller.actions().back().action, GuestAction::kObservedKilled);
+  EXPECT_EQ(controller.unsaved_progress(), unsaved);
+}
+
+TEST(CheckpointPolicyTest, RejectsCostNotBelowInterval) {
+  os::Machine m(os::SchedulerParams::linux_2_4(), os::MemoryParams::linux_1gb(),
+                8);
+  const auto pid = m.spawn(workload::synthetic_guest(0));
+  CheckpointPolicy bad;
+  bad.interval = sim::SimDuration::seconds(30);
+  bad.cost = sim::SimDuration::seconds(30);
+  EXPECT_THROW(GuestController(m, pid, 0, bad), ConfigError);
+  bad.interval = sim::SimDuration::zero();
+  bad.cost = sim::SimDuration::seconds(-1);
+  EXPECT_THROW(GuestController(m, pid, 0, bad), ConfigError);
 }
 
 }  // namespace

@@ -1,0 +1,255 @@
+// Tests for robust trace loading: strict readers with source/line/offset
+// context in their errors, and salvage readers that recover every
+// well-formed record from damaged input.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fgcs/trace/io.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::trace {
+namespace {
+
+using sim::SimDuration;
+using sim::SimTime;
+
+// Binary layout constants (see io.hpp): 8-byte magic + 28-byte header,
+// then 37 bytes per record with the cause byte at offset 20.
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8 + 8;
+constexpr std::size_t kRecordBytes = 4 + 8 + 8 + 1 + 8 + 8;
+constexpr std::size_t kCauseOffsetInRecord = 4 + 8 + 8;
+
+TraceSet sample_trace(std::size_t per_machine = 4) {
+  TraceSet trace(2, SimTime::epoch(), SimTime::epoch() + SimDuration::days(1));
+  for (std::uint32_t m = 0; m < 2; ++m) {
+    for (std::size_t i = 0; i < per_machine; ++i) {
+      UnavailabilityRecord r;
+      r.machine = m;
+      r.start = SimTime::epoch() + SimDuration::hours(1 + 2 * i);
+      r.end = r.start + SimDuration::minutes(30);
+      r.cause = i % 2 == 0 ? monitor::AvailabilityState::kS3CpuUnavailable
+                           : monitor::AvailabilityState::kS5MachineUnavailable;
+      r.host_cpu = 0.25 + 0.125 * static_cast<double>(i);
+      r.free_mem_mb = 256.0 + 64.0 * static_cast<double>(i);
+      trace.add(r);
+    }
+  }
+  return trace;
+}
+
+std::string to_binary(const TraceSet& trace) {
+  std::ostringstream out(std::ios::binary);
+  write_trace_binary(trace, out);
+  return out.str();
+}
+
+std::string to_csv(const TraceSet& trace) {
+  std::ostringstream out;
+  write_trace_csv(trace, out);
+  return out.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void expect_same_records(const TraceSet& a, const TraceSet& b,
+                         std::size_t count) {
+  ASSERT_GE(a.size(), count);
+  ASSERT_GE(b.size(), count);
+  const auto ra = a.records();
+  const auto rb = b.records();
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(ra[i].machine, rb[i].machine) << "record " << i;
+    EXPECT_EQ(ra[i].start, rb[i].start) << "record " << i;
+    EXPECT_EQ(ra[i].end, rb[i].end) << "record " << i;
+    EXPECT_EQ(ra[i].cause, rb[i].cause) << "record " << i;
+    EXPECT_DOUBLE_EQ(ra[i].host_cpu, rb[i].host_cpu) << "record " << i;
+    EXPECT_DOUBLE_EQ(ra[i].free_mem_mb, rb[i].free_mem_mb) << "record " << i;
+  }
+}
+
+TEST(TraceSalvageTest, CleanInputsSalvageToIdenticalTraces) {
+  const auto trace = sample_trace();
+
+  std::istringstream bin(to_binary(trace), std::ios::binary);
+  const auto bin_report = read_trace_binary_salvage(bin);
+  EXPECT_TRUE(bin_report.clean());
+  EXPECT_EQ(bin_report.recovered, trace.size());
+  expect_same_records(bin_report.trace, trace, trace.size());
+
+  std::istringstream csv(to_csv(trace));
+  const auto csv_report = read_trace_csv_salvage(csv);
+  EXPECT_TRUE(csv_report.clean());
+  EXPECT_EQ(csv_report.recovered, trace.size());
+  expect_same_records(csv_report.trace, trace, trace.size());
+}
+
+TEST(TraceSalvageTest, StrictCsvErrorsNameSourceAndLine) {
+  const auto trace = sample_trace();
+  auto lines = split_lines(to_csv(trace));
+  ASSERT_GE(lines.size(), 4u);
+  lines[3] = "0,garbage,360000000,S3,0.5,128";  // line 4: bad start_us
+
+  std::istringstream in(join_lines(lines));
+  try {
+    read_trace_csv(in, "lab.csv");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lab.csv:4"), std::string::npos) << what;
+    EXPECT_NE(what.find("garbage"), std::string::npos) << what;
+  }
+}
+
+TEST(TraceSalvageTest, StrictBinaryErrorsNameSourceAndOffset) {
+  const auto trace = sample_trace();
+  const std::string bytes = to_binary(trace);
+  // Cut mid-way through the third record.
+  const std::size_t keep = kHeaderBytes + 2 * kRecordBytes + 5;
+  std::istringstream in(bytes.substr(0, keep), std::ios::binary);
+  try {
+    read_trace_binary(in, "lab.bin");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lab.bin"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte offset"), std::string::npos) << what;
+  }
+}
+
+TEST(TraceSalvageTest, BinarySalvageRecoversEveryRecordBeforeTruncation) {
+  const auto trace = sample_trace();
+  const std::string bytes = to_binary(trace);
+  for (std::size_t whole : {std::size_t{0}, std::size_t{3}, std::size_t{7}}) {
+    const std::size_t keep = kHeaderBytes + whole * kRecordBytes +
+                             (whole < trace.size() ? 9 : 0);
+    std::istringstream in(bytes.substr(0, keep), std::ios::binary);
+    const auto report = read_trace_binary_salvage(in, "cut.bin");
+    EXPECT_TRUE(report.truncated) << "whole=" << whole;
+    EXPECT_EQ(report.recovered, whole);
+    EXPECT_EQ(report.skipped, 0u);
+    expect_same_records(report.trace, trace, whole);
+    ASSERT_FALSE(report.diagnostics.empty());
+    EXPECT_NE(report.diagnostics[0].find("byte offset"), std::string::npos);
+    // Declared metadata survives the cut, so nothing is inferred.
+    EXPECT_FALSE(report.metadata_inferred);
+    EXPECT_EQ(report.trace.machine_count(), trace.machine_count());
+  }
+}
+
+TEST(TraceSalvageTest, BinarySalvageSkipsLocalizedCorruption) {
+  const auto trace = sample_trace();
+  std::string bytes = to_binary(trace);
+  // Stomp the cause byte of record 2 with an impossible state.
+  bytes[kHeaderBytes + 2 * kRecordBytes + kCauseOffsetInRecord] = 9;
+
+  std::istringstream in(bytes, std::ios::binary);
+  const auto report = read_trace_binary_salvage(in, "flip.bin");
+  EXPECT_FALSE(report.truncated);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(report.recovered, trace.size() - 1);
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_NE(report.diagnostics[0].find("invalid cause"), std::string::npos);
+}
+
+TEST(TraceSalvageTest, BinarySalvageBadMagicRecoversNothing) {
+  std::istringstream in(std::string("NOTATRACE_AT_ALL"), std::ios::binary);
+  const auto report = read_trace_binary_salvage(in, "junk.bin");
+  EXPECT_EQ(report.recovered, 0u);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_TRUE(report.trace.empty());
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_NE(report.diagnostics[0].find("bad magic"), std::string::npos);
+}
+
+TEST(TraceSalvageTest, CsvSalvageSkipsCorruptLinesAndKeepsTheRest) {
+  const auto trace = sample_trace();
+  auto lines = split_lines(to_csv(trace));
+  ASSERT_GE(lines.size(), 6u);
+  lines[4] = "@@@@ binary splatter \x01\x02 @@@@";
+  const std::size_t expected = trace.size() - 1;
+
+  std::istringstream in(join_lines(lines));
+  const auto report = read_trace_csv_salvage(in, "dirty.csv");
+  EXPECT_EQ(report.recovered, expected);
+  EXPECT_GE(report.skipped, 1u);
+  EXPECT_FALSE(report.metadata_inferred);
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_NE(report.diagnostics[0].find("dirty.csv:5"), std::string::npos);
+}
+
+TEST(TraceSalvageTest, CsvSalvageInfersMetadataWhenHeaderIsDestroyed) {
+  const auto trace = sample_trace();
+  auto lines = split_lines(to_csv(trace));
+  // Drop both the magic line and the column header: raw data only.
+  lines.erase(lines.begin(), lines.begin() + 2);
+
+  std::istringstream in(join_lines(lines));
+  const auto report = read_trace_csv_salvage(in, "headless.csv");
+  EXPECT_TRUE(report.metadata_inferred);
+  EXPECT_EQ(report.recovered, trace.size());
+  EXPECT_EQ(report.trace.machine_count(), trace.machine_count());
+  expect_same_records(report.trace, trace, trace.size());
+}
+
+TEST(TraceSalvageTest, CsvSalvageRejectsSemanticallyInvalidRecords) {
+  const auto trace = sample_trace();
+  auto lines = split_lines(to_csv(trace));
+  lines[3] = "0,7200000000,3600000000,S3,0.5,128";  // ends before it starts
+  lines[4] = "1,3600000000,7200000000,S3,1.5,128";  // host_cpu > 1
+
+  std::istringstream in(join_lines(lines));
+  const auto report = read_trace_csv_salvage(in, "bad.csv");
+  EXPECT_EQ(report.skipped, 2u);
+  EXPECT_EQ(report.recovered, trace.size() - 2);
+}
+
+TEST(TraceSalvageTest, FilePathsFlowThroughLoadHelpers) {
+  const auto trace = sample_trace();
+  const std::string path = ::testing::TempDir() + "fgcs_salvage_test.bin";
+  save_trace(trace, path);
+
+  // Truncate the file on disk to half its size.
+  const std::string bytes = to_binary(trace);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  try {
+    load_trace(path);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+
+  const auto report = load_trace_salvage(path);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_GT(report.recovered, 0u);
+  expect_same_records(report.trace, trace, report.recovered);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fgcs::trace

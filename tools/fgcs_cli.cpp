@@ -1,15 +1,19 @@
 // fgcs — command-line front end for the library.
 //
 //   fgcs simulate  --out trace.trc [--machines N] [--days D] [--seed S]
-//                  [--profile purdue|enterprise] [--csv]
-//   fgcs analyze   <trace> [--start-dow 0..6]
-//   fgcs predict   <trace> [--train-days D] [--window-hours H]
+//                  [--profile purdue|enterprise] [--fault-plan plan.txt]
+//   fgcs analyze   <trace> [--start-dow 0..6] [--salvage]
+//   fgcs predict   <trace> [--train-days D] [--window-hours H] [--salvage]
+//   fgcs guests    [<trace>] [--checkpoint-interval MIN] [--migrate] ...
 //   fgcs calibrate [--profile linux|solaris]
 //
-// `simulate` runs the testbed and writes a trace; `analyze` reproduces the
-// paper's Table 2 / Figure 6 / Figure 7 statistics from any saved trace;
-// `predict` runs the predictor panel; `calibrate` derives Th1/Th2 for a
-// scheduler profile via the offline contention sweep.
+// `simulate` runs the testbed (optionally under an injected fault plan)
+// and writes a trace; `analyze` reproduces the paper's Table 2 / Figure 6
+// / Figure 7 statistics from any saved trace; `predict` runs the
+// predictor panel; `guests` runs the resilient guest-job lifecycle
+// (checkpoint/restart/backoff/migration); `calibrate` derives Th1/Th2 for
+// a scheduler profile via the offline contention sweep. `--salvage`
+// recovers what it can from damaged traces instead of failing.
 //
 // Every command also accepts the observability flags:
 //   --metrics-out=<csv>   write a metrics snapshot when the command ends
@@ -26,8 +30,10 @@
 
 #include "fgcs/core/analyzer.hpp"
 #include "fgcs/core/contention.hpp"
+#include "fgcs/core/guest_study.hpp"
 #include "fgcs/core/prediction_study.hpp"
 #include "fgcs/core/testbed.hpp"
+#include "fgcs/fault/fault_plan.hpp"
 #include "fgcs/obs/observer.hpp"
 #include "fgcs/trace/io.hpp"
 #include "fgcs/util/cli.hpp"
@@ -46,14 +52,30 @@ int usage() {
       stderr,
       "usage:\n"
       "  fgcs simulate  --out <path> [--machines N] [--days D] [--seed S]\n"
-      "                 [--profile purdue|enterprise]\n"
-      "  fgcs analyze   <trace> [--start-dow 0..6]\n"
+      "                 [--profile purdue|enterprise] [--fault-plan <file>]\n"
+      "  fgcs analyze   <trace> [--start-dow 0..6] [--salvage]\n"
       "  fgcs predict   <trace> [--train-days D] [--window-hours H]\n"
+      "                 [--salvage]\n"
+      "  fgcs guests    [<trace>] [--machines N] [--days D] [--seed S]\n"
+      "                 [--fault-plan <file>] [--job-hours H]\n"
+      "                 [--checkpoint-interval MIN] [--checkpoint-cost MIN]\n"
+      "                 [--migrate] [--salvage]\n"
       "  fgcs calibrate [--profile linux|solaris]\n"
       "  fgcs figures   --out <dir> [--quick]\n"
       "\ntrace format chosen by extension: .csv is textual, anything else\n"
       "is the compact binary format. `figures` writes one plottable CSV\n"
       "per paper figure/table into <dir>.\n"
+      "\nrobustness:\n"
+      "  --fault-plan=<file>  inject faults from a declarative plan (see\n"
+      "                       docs/robustness.md for the format): machine\n"
+      "                       crashes, sensor dropouts, clock-skew blips,\n"
+      "                       guest kills. Deterministic in (plan, seed).\n"
+      "  --salvage            recover well-formed records from a damaged\n"
+      "                       trace instead of failing on the first defect\n"
+      "  `guests` runs the resilient guest-job lifecycle on a trace (or a\n"
+      "  fresh simulation): periodic checkpointing (--checkpoint-interval,\n"
+      "  --checkpoint-cost, minutes; 0 disables), restart with capped\n"
+      "  exponential backoff + jitter, optional migration (--migrate).\n"
       "\nobservability (any command):\n"
       "  --metrics-out=<csv>  metrics snapshot (counters/gauges/histograms)\n"
       "  --trace-out=<json>   Chrome/Perfetto trace keyed on simulated time\n"
@@ -124,15 +146,33 @@ core::TestbedConfig testbed_config_from(const Args& args) {
   } else {
     throw fgcs::ConfigError("unknown profile: " + profile);
   }
+  if (args.has_option("fault-plan")) {
+    config.faults = fault::FaultPlan::load(args.get("fault-plan", ""));
+  }
   return config;
+}
+
+/// Loads a trace path, honoring --salvage (report damage, keep going).
+trace::TraceSet load_trace_cli(const Args& args, const std::string& path) {
+  if (!args.has_flag("salvage")) return trace::load_trace(path);
+  auto report = trace::load_trace_salvage(path);
+  std::printf("salvage: recovered %zu record(s), skipped %zu%s%s\n",
+              report.recovered, report.skipped,
+              report.truncated ? ", input truncated" : "",
+              report.metadata_inferred ? ", metadata inferred" : "");
+  for (const auto& d : report.diagnostics) {
+    std::printf("  %s\n", d.c_str());
+  }
+  return std::move(report.trace);
 }
 
 int cmd_simulate(const Args& args) {
   if (!args.has_option("out")) return usage();
   const auto config = testbed_config_from(args);
-  std::printf("simulating %u machines for %d days (seed %llu)...\n",
+  std::printf("simulating %u machines for %d days (seed %llu%s)...\n",
               config.machines, config.days,
-              static_cast<unsigned long long>(config.seed));
+              static_cast<unsigned long long>(config.seed),
+              config.faults.empty() ? "" : ", fault plan loaded");
   const auto trace = core::run_testbed(config);
   const std::string path = args.get("out", "trace.trc");
   trace::save_trace(trace, path);
@@ -143,7 +183,7 @@ int cmd_simulate(const Args& args) {
 
 int cmd_analyze(const Args& args) {
   if (args.positional().empty()) return usage();
-  const auto trace = trace::load_trace(args.positional()[0]);
+  const auto trace = load_trace_cli(args, args.positional()[0]);
   const auto dow = static_cast<trace::DayOfWeek>(args.get_int("start-dow", 0));
   const core::TraceAnalyzer analyzer(trace, trace::TraceCalendar(dow));
 
@@ -196,7 +236,7 @@ int cmd_analyze(const Args& args) {
 
 int cmd_predict(const Args& args) {
   if (args.positional().empty()) return usage();
-  const auto trace = trace::load_trace(args.positional()[0]);
+  const auto trace = load_trace_cli(args, args.positional()[0]);
   core::PredictionStudyConfig study;
   study.train_days = static_cast<int>(args.get_int("train-days", 56));
   study.windows = {
@@ -212,6 +252,43 @@ int cmd_predict(const Args& args) {
               util::format_percent(row.result.false_positive_rate, 1));
   }
   std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+int cmd_guests(const Args& args) {
+  auto config = testbed_config_from(args);
+  core::GuestLifecycleConfig lifecycle;
+  lifecycle.job_length = sim::SimDuration::hours(args.get_int("job-hours", 8));
+  lifecycle.checkpoint_interval =
+      sim::SimDuration::minutes(args.get_int("checkpoint-interval", 0));
+  lifecycle.checkpoint_cost =
+      sim::SimDuration::minutes(args.get_int("checkpoint-cost", 2));
+  lifecycle.migrate_on_revocation = args.has_flag("migrate");
+  lifecycle.seed = config.seed;
+
+  core::GuestStudyResult result;
+  if (!args.positional().empty()) {
+    const auto trace = load_trace_cli(args, args.positional()[0]);
+    config.machines = trace.machine_count();
+    result = core::run_guest_study(config, trace, lifecycle);
+  } else {
+    std::printf("simulating %u machines for %d days (seed %llu%s)...\n",
+                config.machines, config.days,
+                static_cast<unsigned long long>(config.seed),
+                config.faults.empty() ? "" : ", fault plan loaded");
+    result = core::run_guest_study(config, lifecycle);
+  }
+  std::printf(
+      "guest lifecycle: %s jobs of %s, checkpoint %s, migration %s\n",
+      std::to_string(result.jobs.size()).c_str(),
+      util::format_duration_s(lifecycle.job_length.as_seconds()).c_str(),
+      lifecycle.checkpoint_interval == sim::SimDuration::zero()
+          ? "off"
+          : util::format_duration_s(
+                lifecycle.checkpoint_interval.as_seconds())
+                .c_str(),
+      lifecycle.migrate_on_revocation ? "on" : "off");
+  std::printf("%s", result.summary_table().c_str());
   return 0;
 }
 
@@ -388,6 +465,8 @@ int main(int argc, char** argv) {
       rc = cmd_analyze(args);
     } else if (args.command() == "predict") {
       rc = cmd_predict(args);
+    } else if (args.command() == "guests") {
+      rc = cmd_guests(args);
     } else if (args.command() == "calibrate") {
       rc = cmd_calibrate(args);
     } else if (args.command() == "figures") {
