@@ -10,6 +10,9 @@
 #   scripts/check_build.sh --chaos  # additionally run the fault-injection /
 #                                   # robustness suites under
 #                                   # -DFGCS_SANITIZE=address,undefined
+#   scripts/check_build.sh --fuzz   # additionally run the deterministic fuzz
+#                                   # driver (10k iterations per target) under
+#                                   # -DFGCS_SANITIZE=address,undefined
 #
 # The fgcs_obs module itself always compiles with -Werror (see
 # src/fgcs/obs/CMakeLists.txt), so the observability layer stays clean
@@ -21,14 +24,19 @@ cd "$(dirname "$0")/.."
 run_asan=0
 run_bench=0
 run_chaos=0
+run_fuzz=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --bench) run_bench=1 ;;
     --chaos) run_chaos=1 ;;
-    *) echo "usage: $0 [--asan] [--bench] [--chaos]" >&2; exit 2 ;;
+    --fuzz) run_fuzz=1 ;;
+    *) echo "usage: $0 [--asan] [--bench] [--chaos] [--fuzz]" >&2; exit 2 ;;
   esac
 done
+
+echo "== tier-1: lint =="
+scripts/lint_determinism.sh
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . -DFGCS_WERROR=OFF
@@ -55,6 +63,16 @@ if [[ "$run_chaos" -eq 1 ]]; then
   echo "== chaos: fault-injection + robustness suites =="
   ctest --test-dir build-chaos --output-on-failure -j "$(nproc)" \
     -R '^(FaultPlan|FaultInjector|MachineFaultSession|FaultChaos|GuestStudy|GuestController|CheckpointPolicy|ControllerFixture|TraceSalvage)'
+fi
+
+if [[ "$run_fuzz" -eq 1 ]]; then
+  echo "== fuzz: configure + build (address,undefined) =="
+  cmake -B build-fuzz -S . -DFGCS_SANITIZE=address,undefined
+  cmake --build build-fuzz -j --target fgcs_fuzz_driver
+
+  echo "== fuzz: deterministic driver, 10k iterations per target =="
+  build-fuzz/tests/fuzz/fgcs_fuzz_driver \
+    --target all --corpus tests/fuzz/corpus --iterations 10000 --seed 20060806
 fi
 
 if [[ "$run_bench" -eq 1 ]]; then

@@ -93,17 +93,26 @@ monitor::UnavailabilityDetector walk_machine(
     }
     monitor::HostSample sample = loop.sampler.sample(now, loop.period);
     if (fr != nullptr) {
-      if (fr->dropped) {
-        loop.detector.record_gap(fr->last_sample_time, now);
-        fr->dropped = false;
-      }
       if (fr->session.crash_active()) sample.service_alive = false;
+      // The monitor reads current load but timestamps it with its skewed
+      // clock; keep reported times monotone and inside the horizon. The
+      // monotone clamp applies even when no skew is active right now: a
+      // positive skew that just ended may have pushed last_sample_time
+      // past this sample's raw time.
       if (fr->session.skew() != sim::SimDuration::zero()) {
-        // The monitor reads current load but timestamps it with its skewed
-        // clock; keep reported times monotone and inside the horizon.
-        sample.time = std::min(
-            loop.end, std::max(now + fr->session.skew(),
-                               fr->last_sample_time));
+        sample.time = now + fr->session.skew();
+      }
+      sample.time =
+          std::min(loop.end, std::max(sample.time, fr->last_sample_time));
+      if (fr->dropped) {
+        // The gap must end exactly where observation resumes — in the
+        // monitor's (possibly skewed) clock, not the simulation's —
+        // or a negative skew would timestamp this sample before the
+        // gap end. A gap the skew collapses to nothing is dropped.
+        if (sample.time > fr->last_sample_time) {
+          loop.detector.record_gap(fr->last_sample_time, sample.time);
+        }
+        fr->dropped = false;
       }
       fr->last_sample_time = sample.time;
     }
@@ -111,7 +120,8 @@ monitor::UnavailabilityDetector walk_machine(
     on_sample(sample, state);
   });
   simulation.run_until(end);
-  if (faults != nullptr && faults->dropped) {
+  if (faults != nullptr && faults->dropped &&
+      faults->last_sample_time < end) {
     detector.record_gap(faults->last_sample_time, end);
   }
   detector.finish(end);

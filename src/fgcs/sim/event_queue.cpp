@@ -74,14 +74,17 @@ void SlotTable::release(std::uint32_t slot, bool was_cancelled) {
 
 }  // namespace detail
 
-void EventHandle::cancel() {
+bool EventHandle::cancel() {
   if (flag_ != nullptr) {
+    const bool first = !*flag_;
     *flag_ = true;
-    return;
+    return first;
   }
   if (slots_ && slots_->cancel(slot_, gen_)) {
     if (auto* o = obs::observer()) o->on_sim_cancel();
+    return true;
   }
+  return false;
 }
 
 bool EventHandle::cancelled() const {

@@ -126,8 +126,12 @@ class EventHandle {
   EventHandle() = default;
 
   /// Cancels the event if it has not fired yet; the callback and its
-  /// captured state are destroyed immediately. Idempotent.
-  void cancel();
+  /// captured state are destroyed immediately. Idempotent: calling it on
+  /// an already-fired, already-cancelled, or inert handle is a no-op.
+  /// Returns true iff THIS call cancelled a live event (so callers can
+  /// tell "I stopped it" from "it was already dead"), and the obs
+  /// cancel counter bumps only for those calls.
+  bool cancel();
 
   /// True if the handle refers to a scheduled (possibly fired) event.
   bool valid() const {

@@ -1,0 +1,446 @@
+#include "fgcs/testkit/diff_oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/os/machine.hpp"
+#include "fgcs/predict/semi_markov.hpp"
+#include "fgcs/testkit/scenario.hpp"
+#include "fgcs/trace/calendar.hpp"
+#include "fgcs/trace/index.hpp"
+#include "fgcs/trace/io.hpp"
+#include "fgcs/util/rng.hpp"
+#include "fgcs/workload/synthetic.hpp"
+
+namespace fgcs::testkit {
+
+namespace {
+
+/// "ORCL": root tag of oracle substreams.
+constexpr std::uint64_t kOracleTag = 0x4F52'434C;
+
+bool records_equal(const trace::UnavailabilityRecord& a,
+                   const trace::UnavailabilityRecord& b) {
+  return a.machine == b.machine && a.start == b.start && a.end == b.end &&
+         a.cause == b.cause && a.host_cpu == b.host_cpu &&
+         a.free_mem_mb == b.free_mem_mb;
+}
+
+DiffResult diff_traces(const trace::TraceSet& a, const trace::TraceSet& b,
+                       const char* what) {
+  if (a.machine_count() != b.machine_count() ||
+      a.horizon_start() != b.horizon_start() ||
+      a.horizon_end() != b.horizon_end()) {
+    return DiffResult::mismatch(std::string(what) + ": horizon differs");
+  }
+  const auto ra = a.records();
+  const auto rb = b.records();
+  if (ra.size() != rb.size()) {
+    std::ostringstream out;
+    out << what << ": " << ra.size() << " vs " << rb.size() << " records";
+    return DiffResult::mismatch(out.str());
+  }
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    if (!records_equal(ra[i], rb[i])) {
+      std::ostringstream out;
+      out << what << ": record " << i << " differs (machine " << ra[i].machine
+          << ", start " << ra[i].start.as_micros() << "us vs "
+          << rb[i].start.as_micros() << "us)";
+      return DiffResult::mismatch(out.str());
+    }
+  }
+  return DiffResult::ok();
+}
+
+// --- oracle 1: analytic fast-forward vs. tick-by-tick scheduler ----------
+
+/// A pre-drawn workload + action script replayed identically on both
+/// machines (ProcessSpec programs hold closure state, so each machine gets
+/// freshly built specs from the same parameters).
+struct SchedulerScript {
+  std::vector<double> host_usages;
+  std::vector<int> host_nices;
+  double guest_usage = 1.0;  // 1.0: fully CPU-bound
+  int guest_nice = 19;
+  struct Step {
+    sim::SimDuration advance;
+    enum class Action { kNone, kSuspend, kResume, kRenice } action;
+    int renice_to = 0;
+  };
+  std::vector<Step> steps;
+};
+
+SchedulerScript draw_scheduler_script(std::uint64_t seed) {
+  util::RngStream rng(seed, {kOracleTag, 1});
+  SchedulerScript script;
+  const std::size_t hosts = 1 + rng.uniform_index(3);
+  for (std::size_t i = 0; i < hosts; ++i) {
+    script.host_usages.push_back(rng.uniform(0.05, 0.95));
+    script.host_nices.push_back(rng.bernoulli(0.8) ? 0 : 10);
+  }
+  static constexpr int kNices[] = {0, 10, 19};
+  script.guest_nice = kNices[rng.uniform_index(3)];
+  script.guest_usage = rng.bernoulli(0.5) ? 1.0 : rng.uniform(0.6, 1.0);
+  const std::size_t steps = 8 + rng.uniform_index(8);
+  bool guest_suspended = false;
+  for (std::size_t i = 0; i < steps; ++i) {
+    SchedulerScript::Step step;
+    step.advance = sim::SimDuration::micros(
+        rng.uniform_int(30'000'000, 300'000'000));  // 30s .. 5min, uneven
+    step.action = SchedulerScript::Step::Action::kNone;
+    const double u = rng.uniform();
+    if (u < 0.25) {
+      step.action = guest_suspended ? SchedulerScript::Step::Action::kResume
+                                    : SchedulerScript::Step::Action::kSuspend;
+      guest_suspended = !guest_suspended;
+    } else if (u < 0.40) {
+      step.action = SchedulerScript::Step::Action::kRenice;
+      step.renice_to = kNices[rng.uniform_index(3)];
+    }
+    script.steps.push_back(step);
+  }
+  return script;
+}
+
+struct MachineUnderTest {
+  os::Machine machine;
+  std::vector<os::ProcessId> hosts;
+  os::ProcessId guest = 0;
+};
+
+MachineUnderTest build_machine(const SchedulerScript& script,
+                               std::uint64_t seed, bool fast_forward) {
+  os::SchedulerParams sched = os::SchedulerParams::linux_2_4();
+  sched.fast_forward = fast_forward;
+  MachineUnderTest mut{
+      os::Machine(sched, os::MemoryParams::linux_1gb(), seed), {}, 0};
+  for (std::size_t i = 0; i < script.host_usages.size(); ++i) {
+    mut.hosts.push_back(mut.machine.spawn(workload::synthetic_host(
+        script.host_usages[i], script.host_nices[i])));
+  }
+  mut.guest = mut.machine.spawn(
+      script.guest_usage >= 1.0
+          ? workload::synthetic_guest(script.guest_nice)
+          : workload::synthetic_guest_with_usage(script.guest_usage,
+                                                 script.guest_nice));
+  return mut;
+}
+
+DiffResult diff_machines(const MachineUnderTest& ff,
+                         const MachineUnderTest& ref, std::size_t step) {
+  std::ostringstream where;
+  where << "step " << step << ": ";
+  const auto& a = ff.machine;
+  const auto& b = ref.machine;
+  if (a.now() != b.now()) {
+    return DiffResult::mismatch(where.str() + "clocks diverged");
+  }
+  const auto& ta = a.totals();
+  const auto& tb = b.totals();
+  if (ta.host != tb.host || ta.guest != tb.guest || ta.system != tb.system ||
+      ta.idle != tb.idle) {
+    std::ostringstream out;
+    out << where.str() << "CPU totals differ: host " << ta.host.as_micros()
+        << " vs " << tb.host.as_micros() << "us, guest "
+        << ta.guest.as_micros() << " vs " << tb.guest.as_micros() << "us";
+    return DiffResult::mismatch(out.str());
+  }
+  if (a.free_memory_mb() != b.free_memory_mb() ||
+      a.thrash_time() != b.thrash_time()) {
+    return DiffResult::mismatch(where.str() + "memory state differs");
+  }
+  for (std::size_t i = 0; i <= ff.hosts.size(); ++i) {
+    const os::ProcessId pid =
+        i < ff.hosts.size() ? ff.hosts[i] : ff.guest;
+    const auto& pa = a.process(pid);
+    const auto& pb = b.process(pid);
+    if (pa.state() != pb.state() || pa.cpu_time() != pb.cpu_time()) {
+      std::ostringstream out;
+      out << where.str() << "pid " << pid << " differs: " << "cpu "
+          << pa.cpu_time().as_micros() << " vs " << pb.cpu_time().as_micros()
+          << "us, state " << to_string(pa.state()) << " vs "
+          << to_string(pb.state());
+      return DiffResult::mismatch(out.str());
+    }
+  }
+  return DiffResult::ok();
+}
+
+DiffResult oracle_scheduler_fastforward(std::uint64_t seed) {
+  const SchedulerScript script = draw_scheduler_script(seed);
+  MachineUnderTest ff = build_machine(script, seed, /*fast_forward=*/true);
+  MachineUnderTest ref = build_machine(script, seed, /*fast_forward=*/false);
+  for (std::size_t i = 0; i < script.steps.size(); ++i) {
+    const auto& step = script.steps[i];
+    for (MachineUnderTest* mut : {&ff, &ref}) {
+      switch (step.action) {
+        case SchedulerScript::Step::Action::kSuspend:
+          mut->machine.suspend(mut->guest);
+          break;
+        case SchedulerScript::Step::Action::kResume:
+          mut->machine.resume(mut->guest);
+          break;
+        case SchedulerScript::Step::Action::kRenice:
+          mut->machine.renice(mut->guest, step.renice_to);
+          break;
+        case SchedulerScript::Step::Action::kNone:
+          break;
+      }
+      mut->machine.run_for(step.advance);
+    }
+    if (auto diff = diff_machines(ff, ref, i); !diff.match) return diff;
+  }
+  return DiffResult::ok();
+}
+
+// --- oracle 2: parallel vs. sequential testbed sweep ----------------------
+
+/// A small testbed drawn through the scenario generator (capped horizon so
+/// a 200-seed sweep stays cheap).
+core::TestbedConfig small_testbed(std::uint64_t seed) {
+  core::TestbedConfig config = generate_scenario(seed).testbed;
+  config.days = std::min(config.days, 3);
+  return config;
+}
+
+DiffResult oracle_testbed_parallel(std::uint64_t seed) {
+  const core::TestbedConfig config = small_testbed(seed);
+  const trace::TraceSet parallel = core::run_testbed(config);
+  trace::TraceSet sequential(config.machines, parallel.horizon_start(),
+                             parallel.horizon_end());
+  for (std::uint32_t m = 0; m < config.machines; ++m) {
+    for (auto& record : core::run_testbed_machine(config, m)) {
+      sequential.add(record);
+    }
+  }
+  return diff_traces(parallel, sequential, "parallel vs sequential");
+}
+
+// --- oracle 3: salvage vs. strict readers on clean serializations ---------
+
+DiffResult oracle_trace_roundtrip(std::uint64_t seed) {
+  const trace::TraceSet original = core::run_testbed(small_testbed(seed));
+
+  std::ostringstream csv, binary;
+  trace::write_trace_csv(original, csv);
+  trace::write_trace_binary(original, binary);
+
+  std::istringstream csv_strict(csv.str());
+  std::istringstream csv_lenient(csv.str());
+  std::istringstream bin_strict(binary.str());
+  std::istringstream bin_lenient(binary.str());
+
+  const trace::TraceSet strict_csv = trace::read_trace_csv(csv_strict);
+  const trace::LoadReport salvage_csv =
+      trace::read_trace_csv_salvage(csv_lenient);
+  const trace::TraceSet strict_bin = trace::read_trace_binary(bin_strict);
+  const trace::LoadReport salvage_bin =
+      trace::read_trace_binary_salvage(bin_lenient);
+
+  if (!salvage_csv.clean()) {
+    return DiffResult::mismatch("CSV salvage not clean on intact input");
+  }
+  if (!salvage_bin.clean()) {
+    return DiffResult::mismatch("binary salvage not clean on intact input");
+  }
+  // Strict and salvage must agree bit-for-bit on both formats; the binary
+  // format must additionally round-trip the original exactly (CSV goes
+  // through decimal text, so it only has to match its own re-read).
+  if (auto diff = diff_traces(strict_csv, salvage_csv.trace,
+                              "CSV strict vs salvage");
+      !diff.match) {
+    return diff;
+  }
+  if (auto diff = diff_traces(strict_bin, salvage_bin.trace,
+                              "binary strict vs salvage");
+      !diff.match) {
+    return diff;
+  }
+  return diff_traces(original, strict_bin, "original vs binary round-trip");
+}
+
+// --- oracle 4: semi-Markov predictor vs. brute-force enumeration ----------
+
+struct TinyChain {
+  trace::TraceSet trace;
+  trace::DayOfWeek start_dow = trace::DayOfWeek::kMonday;
+  std::vector<predict::PredictionQuery> queries;
+};
+
+TinyChain draw_tiny_chain(std::uint64_t seed) {
+  util::RngStream rng(seed, {kOracleTag, 4});
+  TinyChain chain;
+  const int days = static_cast<int>(10 + rng.uniform_index(18));
+  const sim::SimTime start = sim::SimTime::epoch();
+  const sim::SimTime end = start + sim::SimDuration::days(days);
+  chain.start_dow = static_cast<trace::DayOfWeek>(rng.uniform_index(7));
+  chain.trace = trace::TraceSet(1, start, end);
+
+  const double gap_mean_h = rng.uniform(1.0, 8.0);
+  const double down_mean_min = rng.uniform(5.0, 90.0);
+  sim::SimTime t = start;
+  while (true) {
+    t += sim::SimDuration::from_seconds(
+        std::max(60.0, rng.exponential(gap_mean_h * 3600.0)));
+    const sim::SimTime ep_end =
+        t + sim::SimDuration::from_seconds(
+                std::max(1.0, rng.exponential(down_mean_min * 60.0)));
+    if (ep_end >= end) break;
+    trace::UnavailabilityRecord record;
+    record.machine = 0;
+    record.start = t;
+    record.end = ep_end;
+    record.cause = rng.bernoulli(0.5)
+                       ? monitor::AvailabilityState::kS3CpuUnavailable
+                       : monitor::AvailabilityState::kS5MachineUnavailable;
+    record.host_cpu = rng.uniform(0.0, 1.0);
+    record.free_mem_mb = rng.uniform(0.0, 900.0);
+    chain.trace.add(record);
+    t = ep_end;
+  }
+
+  for (int i = 0; i < 8; ++i) {
+    predict::PredictionQuery q;
+    q.machine = 0;
+    q.start = start + sim::SimDuration::from_seconds(
+                          rng.uniform(3600.0, (end - start).as_seconds()));
+    q.length = sim::SimDuration::from_seconds(rng.uniform(600.0, 6.0 * 3600.0));
+    chain.queries.push_back(q);
+  }
+  return chain;
+}
+
+/// Independent reimplementation of the semi-Markov estimate, straight from
+/// the record list (no TraceIndex, no Ecdf).
+struct BruteSemiMarkov {
+  const std::vector<trace::UnavailabilityRecord>& episodes;  // sorted
+  const trace::TraceCalendar& calendar;
+  sim::SimTime horizon_start;
+  predict::SemiMarkovConfig config;
+
+  std::vector<double> history_gaps(const predict::PredictionQuery& q) const {
+    const bool want_weekend = calendar.is_weekend(q.start);
+    std::vector<double> lengths;
+    for (std::size_t i = 1; i < episodes.size(); ++i) {
+      if (episodes[i].start >= q.start) break;
+      const sim::SimTime gap_start = episodes[i - 1].end;
+      const sim::SimTime gap_end = episodes[i].start;
+      if (gap_end <= gap_start) continue;
+      if (calendar.is_weekend(gap_start) != want_weekend) continue;
+      lengths.push_back((gap_end - gap_start).as_hours());
+    }
+    return lengths;
+  }
+
+  static double survival(const std::vector<double>& lengths, double x) {
+    std::size_t at_most = 0;
+    for (double l : lengths) {
+      if (l <= x) ++at_most;
+    }
+    return 1.0 - static_cast<double>(at_most) /
+                     static_cast<double>(lengths.size());
+  }
+
+  double availability(const predict::PredictionQuery& q) const {
+    bool inside = false;
+    sim::SimTime last_end = horizon_start;
+    for (const auto& ep : episodes) {
+      if (ep.start <= q.start && q.start < ep.end) inside = true;
+      if (ep.end <= q.start && ep.end > last_end) last_end = ep.end;
+    }
+    if (inside) return 0.0;
+    const auto lengths = history_gaps(q);
+    if (lengths.size() < config.min_samples) return config.prior_availability;
+    const double age_h = (q.start - last_end).as_hours();
+    const double surv_age = survival(lengths, age_h);
+    const double surv_horizon =
+        survival(lengths, age_h + q.length.as_hours());
+    if (surv_age <= 0.0) return std::min(config.prior_availability, 0.2);
+    return std::clamp(surv_horizon / surv_age, 0.0, 1.0);
+  }
+
+  double occurrences(const predict::PredictionQuery& q) const {
+    const auto lengths = history_gaps(q);
+    if (lengths.empty()) return 0.0;
+    double sum = 0.0;
+    for (double l : lengths) sum += l;
+    const double mean_h = sum / static_cast<double>(lengths.size());
+    if (mean_h <= 0.0) return 0.0;
+    return q.length.as_hours() / mean_h;
+  }
+};
+
+DiffResult oracle_semi_markov_brute(std::uint64_t seed) {
+  const TinyChain chain = draw_tiny_chain(seed);
+  const trace::TraceIndex index(chain.trace);
+  const trace::TraceCalendar calendar(chain.start_dow);
+  predict::SemiMarkovPredictor predictor;
+  predictor.attach(index, calendar);
+
+  const auto episodes = chain.trace.machine_records(0);
+  const BruteSemiMarkov brute{episodes, calendar,
+                              chain.trace.horizon_start(),
+                              predict::SemiMarkovConfig{}};
+
+  for (std::size_t i = 0; i < chain.queries.size(); ++i) {
+    const auto& q = chain.queries[i];
+    const double fast_a = predictor.predict_availability(q);
+    const double brute_a = brute.availability(q);
+    if (std::abs(fast_a - brute_a) > 1e-9) {
+      std::ostringstream out;
+      out << "query " << i << ": availability " << fast_a << " vs brute "
+          << brute_a;
+      return DiffResult::mismatch(out.str());
+    }
+    const double fast_n = predictor.predict_occurrences(q);
+    const double brute_n = brute.occurrences(q);
+    if (std::abs(fast_n - brute_n) > 1e-9) {
+      std::ostringstream out;
+      out << "query " << i << ": occurrences " << fast_n << " vs brute "
+          << brute_n;
+      return DiffResult::mismatch(out.str());
+    }
+  }
+  return DiffResult::ok();
+}
+
+}  // namespace
+
+const std::vector<DiffOracle>& standard_oracles() {
+  static const std::vector<DiffOracle> oracles = {
+      {"scheduler-fastforward", oracle_scheduler_fastforward},
+      {"testbed-parallel", oracle_testbed_parallel},
+      {"trace-roundtrip", oracle_trace_roundtrip},
+      {"semi-markov-brute", oracle_semi_markov_brute},
+  };
+  return oracles;
+}
+
+const DiffOracle* find_oracle(std::string_view name) {
+  for (const auto& oracle : standard_oracles()) {
+    if (oracle.name == name) return &oracle;
+  }
+  return nullptr;
+}
+
+std::vector<OracleFailure> run_oracles(std::uint64_t base_seed,
+                                       int seeds_per_oracle) {
+  std::vector<OracleFailure> failures;
+  const auto& oracles = standard_oracles();
+  for (std::size_t o = 0; o < oracles.size(); ++o) {
+    for (int i = 0; i < seeds_per_oracle; ++i) {
+      const std::uint64_t seed = util::RngStream::derive(
+          base_seed, {kOracleTag, o, static_cast<std::uint64_t>(i)});
+      const DiffResult result = oracles[o].run(seed);
+      if (!result.match) {
+        failures.push_back(OracleFailure{oracles[o].name, seed, result.detail});
+      }
+    }
+  }
+  return failures;
+}
+
+}  // namespace fgcs::testkit

@@ -1,0 +1,63 @@
+// Differential oracles: paired implementations, machine-checked equal.
+//
+// Each oracle runs the same seeded input through two implementations that
+// must agree — a fast path against its reference path, or a library
+// component against an independent brute-force reimplementation — and
+// diffs the full observable state:
+//
+//   scheduler-fastforward   os::Machine analytic fast-forward vs. the
+//                           tick-by-tick reference scheduler
+//   testbed-parallel        core::run_testbed (thread pool) vs. a
+//                           sequential per-machine sweep
+//   trace-roundtrip         salvage readers vs. strict readers on clean
+//                           CSV and binary serializations
+//   semi-markov-brute       predict::SemiMarkovPredictor vs. brute-force
+//                           enumeration of the conditional-survival
+//                           estimate on small synthetic chains
+//
+// This replaces scattered hand-rolled equivalence tests with one API the
+// CI property suite sweeps over hundreds of seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fgcs::testkit {
+
+/// Outcome of one oracle on one seed.
+struct DiffResult {
+  bool match = true;
+  std::string detail;  // first divergence found, empty on match
+
+  static DiffResult ok() { return {}; }
+  static DiffResult mismatch(std::string detail) {
+    return DiffResult{false, std::move(detail)};
+  }
+};
+
+/// A named paired-implementation check, deterministic in the seed.
+struct DiffOracle {
+  std::string name;
+  std::function<DiffResult(std::uint64_t seed)> run;
+};
+
+/// The four standard oracles above.
+const std::vector<DiffOracle>& standard_oracles();
+
+/// Finds a standard oracle by name; nullptr when unknown.
+const DiffOracle* find_oracle(std::string_view name);
+
+struct OracleFailure {
+  std::string oracle;
+  std::uint64_t seed = 0;
+  std::string detail;
+};
+
+/// Sweeps every standard oracle over `seeds_per_oracle` seeds derived from
+/// `base_seed`; returns every divergence found (empty == all agree).
+std::vector<OracleFailure> run_oracles(std::uint64_t base_seed,
+                                       int seeds_per_oracle);
+
+}  // namespace fgcs::testkit

@@ -1,0 +1,286 @@
+#include "fgcs/testkit/invariants.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "fgcs/monitor/availability.hpp"
+
+namespace fgcs::testkit {
+
+namespace {
+
+using monitor::AvailabilityState;
+
+class Battery {
+ public:
+  Battery(const Scenario& s, const ScenarioOutcome& out) : s_(s), out_(out) {
+    start_ = out.trace.horizon_start();
+    end_ = out.trace.horizon_end();
+  }
+
+  std::vector<InvariantViolation> run() {
+    check_fleet_shape();
+    for (std::uint32_t m = 0; m < out_.machines.size(); ++m) {
+      check_timeline_coverage(m);
+      check_transition_legality(m);
+      check_trace_monotonicity(m);
+      check_trace_timeline_consistency(m);
+    }
+    if (out_.lifecycle_ran) check_guest_conservation();
+    return std::move(violations_);
+  }
+
+ private:
+  template <typename... Parts>
+  void fail(const char* invariant, Parts&&... parts) {
+    std::ostringstream detail;
+    (detail << ... << parts);
+    violations_.push_back(InvariantViolation{invariant, detail.str()});
+  }
+
+  static bool legal_state(AvailabilityState st) {
+    const int v = static_cast<int>(st);
+    return v >= 1 && v <= 5;
+  }
+
+  void check_fleet_shape() {
+    if (out_.machines.size() != s_.testbed.machines) {
+      fail("fleet-shape", "expected ", s_.testbed.machines,
+           " machine outcomes, got ", out_.machines.size());
+    }
+    if (out_.trace.machine_count() != s_.testbed.machines) {
+      fail("fleet-shape", "trace machine_count ", out_.trace.machine_count(),
+           " != config machines ", s_.testbed.machines);
+    }
+  }
+
+  // The five-state timeline must tile the horizon exactly: contiguous,
+  // non-negative intervals from horizon start to horizon end, and the
+  // per-state occupancy totals must sum back to the horizon.
+  void check_timeline_coverage(std::uint32_t m) {
+    const auto& tl = out_.machines[m].timeline;
+    if (tl.start() != start_ || tl.end() != end_) {
+      fail("timeline-coverage", "machine ", m, ": timeline spans [",
+           tl.start().as_micros(), ", ", tl.end().as_micros(),
+           ")us, horizon is [", start_.as_micros(), ", ", end_.as_micros(),
+           ")us");
+      return;
+    }
+    const auto intervals = tl.intervals();
+    if (intervals.empty()) {
+      fail("timeline-coverage", "machine ", m, ": no intervals");
+      return;
+    }
+    sim::SimTime cursor = start_;
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+      const auto& iv = intervals[i];
+      if (iv.start != cursor) {
+        fail("timeline-coverage", "machine ", m, ": interval ", i,
+             " starts at ", iv.start.as_micros(), "us, expected ",
+             cursor.as_micros(), "us (gap or overlap)");
+        return;
+      }
+      if (iv.end < iv.start) {
+        fail("timeline-coverage", "machine ", m, ": interval ", i,
+             " has negative duration");
+        return;
+      }
+      cursor = iv.end;
+    }
+    if (cursor != end_) {
+      fail("timeline-coverage", "machine ", m, ": intervals end at ",
+           cursor.as_micros(), "us, horizon ends at ", end_.as_micros(), "us");
+    }
+    sim::SimDuration occupied = sim::SimDuration::zero();
+    for (int v = 1; v <= 5; ++v) {
+      occupied += tl.time_in(static_cast<AvailabilityState>(v));
+    }
+    if (occupied != end_ - start_) {
+      fail("timeline-coverage", "machine ", m, ": per-state occupancy sums to ",
+           occupied.as_micros(), "us, horizon is ",
+           (end_ - start_).as_micros(), "us");
+    }
+  }
+
+  // Adjacent intervals must change state, and every state must be S1..S5.
+  void check_transition_legality(std::uint32_t m) {
+    const auto intervals = out_.machines[m].timeline.intervals();
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+      if (!legal_state(intervals[i].state)) {
+        fail("transition-legality", "machine ", m, ": interval ", i,
+             " has out-of-range state ",
+             static_cast<int>(intervals[i].state));
+        return;
+      }
+      if (i > 0 && intervals[i].state == intervals[i - 1].state) {
+        fail("transition-legality", "machine ", m, ": intervals ", i - 1,
+             " and ", i, " are both ", to_string(intervals[i].state),
+             " (self-transition)");
+        return;
+      }
+    }
+  }
+
+  // Records are per-machine sorted, non-overlapping, inside the horizon,
+  // carry a failure-state cause, and have sane observables.
+  void check_trace_monotonicity(std::uint32_t m) {
+    sim::SimTime prev_end = start_;
+    const auto& records = out_.machines[m].records;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const auto& r = records[i];
+      if (r.machine != m) {
+        fail("trace-monotone", "machine ", m, ": record ", i,
+             " claims machine ", r.machine);
+        return;
+      }
+      if (r.end < r.start) {
+        fail("trace-monotone", "machine ", m, ": record ", i,
+             " runs backwards (", r.start.as_micros(), " -> ",
+             r.end.as_micros(), ")us");
+        return;
+      }
+      if (r.start < prev_end) {
+        fail("trace-monotone", "machine ", m, ": record ", i,
+             " starts before the previous episode ended");
+        return;
+      }
+      if (r.start < start_ || r.end > end_) {
+        fail("trace-monotone", "machine ", m, ": record ", i,
+             " leaves the horizon");
+        return;
+      }
+      if (!monitor::is_failure(r.cause)) {
+        fail("trace-monotone", "machine ", m, ": record ", i,
+             " has non-failure cause ", to_string(r.cause));
+        return;
+      }
+      if (!(r.host_cpu >= 0.0 && r.host_cpu <= 1.0 + 1e-9) ||
+          !std::isfinite(r.host_cpu)) {
+        fail("trace-monotone", "machine ", m, ": record ", i,
+             " host_cpu out of [0,1]: ", r.host_cpu);
+        return;
+      }
+      if (!(r.free_mem_mb >= 0.0) || !std::isfinite(r.free_mem_mb)) {
+        fail("trace-monotone", "machine ", m, ": record ", i,
+             " negative/NaN free_mem_mb: ", r.free_mem_mb);
+        return;
+      }
+      prev_end = r.end;
+    }
+  }
+
+  // Trace episodes and timeline failure occupancy describe the same
+  // downtime, with one documented skew: an S3 episode's start is backdated
+  // to the beginning of the load excursion (§4: the guest was already
+  // suspended), while the timeline enters S3 only once the excursion has
+  // sustained for the policy window. So per episode the record may exceed
+  // the timeline by at most sustain_window + one sample period, and never
+  // the other way around.
+  void check_trace_timeline_consistency(std::uint32_t m) {
+    const auto& tl = out_.machines[m].timeline;
+    sim::SimDuration timeline_down =
+        tl.time_in(AvailabilityState::kS3CpuUnavailable) +
+        tl.time_in(AvailabilityState::kS4MemoryThrashing) +
+        tl.time_in(AvailabilityState::kS5MachineUnavailable);
+    sim::SimDuration trace_down = sim::SimDuration::zero();
+    for (const auto& r : out_.machines[m].records) trace_down += r.duration();
+    if (trace_down < timeline_down) {
+      fail("trace-timeline", "machine ", m, ": trace episode time ",
+           trace_down.as_micros(), "us < timeline failure time ",
+           timeline_down.as_micros(), "us");
+      return;
+    }
+    const sim::SimDuration slack_per_episode =
+        s_.testbed.policy.sustain_window + s_.testbed.policy.sample_period;
+    const sim::SimDuration bound =
+        slack_per_episode *
+        static_cast<std::int64_t>(out_.machines[m].records.size());
+    if (trace_down - timeline_down > bound) {
+      fail("trace-timeline", "machine ", m, ": trace episode time exceeds ",
+           "timeline failure time by ",
+           (trace_down - timeline_down).as_micros(), "us, bound is ",
+           bound.as_micros(), "us over ", out_.machines[m].records.size(),
+           " episode(s)");
+    }
+  }
+
+  // Guest-work conservation: wall time bounds work, censoring pins jobs to
+  // the horizon, migration accounting is consistent, and aggregates are
+  // the exact sums of the per-job outcomes.
+  void check_guest_conservation() {
+    const auto& g = out_.guests;
+    std::uint32_t completed = 0, restarts = 0, migrations = 0, checkpoints = 0;
+    sim::SimDuration work_lost = sim::SimDuration::zero();
+    for (std::size_t j = 0; j < g.jobs.size(); ++j) {
+      const auto& job = g.jobs[j];
+      if (job.first_machine >= s_.testbed.machines ||
+          job.final_machine >= s_.testbed.machines) {
+        fail("guest-conservation", "job ", j, ": machine id out of fleet");
+      }
+      if (job.response < sim::SimDuration::zero()) {
+        fail("guest-conservation", "job ", j, ": negative response");
+      }
+      if (job.completed) {
+        if (job.response < s_.lifecycle.job_length) {
+          fail("guest-conservation", "job ", j, ": completed in ",
+               job.response.str(), " < job length ",
+               s_.lifecycle.job_length.str(),
+               " (work appeared out of nowhere)");
+        }
+        if (job.submit + job.response > end_) {
+          fail("guest-conservation", "job ", j, ": completes after horizon");
+        }
+      } else if (job.submit + job.response != end_) {
+        fail("guest-conservation", "job ", j,
+             ": censored but response does not reach the horizon");
+      }
+      if (job.work_lost < sim::SimDuration::zero()) {
+        fail("guest-conservation", "job ", j, ": negative work_lost");
+      }
+      if (job.migrations > job.restarts) {
+        fail("guest-conservation", "job ", j, ": ", job.migrations,
+             " migrations > ", job.restarts, " restarts");
+      }
+      if (!s_.lifecycle.migrate_on_revocation &&
+          (job.migrations != 0 || job.final_machine != job.first_machine)) {
+        fail("guest-conservation", "job ", j,
+             ": migrated with migration disabled");
+      }
+      completed += job.completed ? 1 : 0;
+      restarts += job.restarts;
+      migrations += job.migrations;
+      checkpoints += job.checkpoints;
+      work_lost += job.work_lost;
+    }
+    if (completed != g.completed || restarts != g.restarts ||
+        migrations != g.migrations || checkpoints != g.checkpoints ||
+        work_lost != g.work_lost) {
+      fail("guest-conservation",
+           "aggregate counters disagree with per-job sums");
+    }
+  }
+
+  const Scenario& s_;
+  const ScenarioOutcome& out_;
+  sim::SimTime start_;
+  sim::SimTime end_;
+  std::vector<InvariantViolation> violations_;
+};
+
+}  // namespace
+
+std::vector<InvariantViolation> check_invariants(const Scenario& s,
+                                                 const ScenarioOutcome& out) {
+  return Battery(s, out).run();
+}
+
+std::string format_violations(
+    std::span<const InvariantViolation> violations) {
+  std::ostringstream out;
+  for (const auto& v : violations) {
+    out << "  [" << v.invariant << "] " << v.detail << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fgcs::testkit

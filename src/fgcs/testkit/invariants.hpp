@@ -1,0 +1,32 @@
+// The harness's invariant battery.
+//
+// Every generated scenario, whatever its seed, must satisfy these
+// structural laws of the simulation: the five-state timeline tiles the
+// horizon, state transitions are legal, trace records are monotone and
+// consistent with the timeline, and guest work is conserved by the
+// lifecycle accounting. A violation is a bug in the stack (or in the
+// invariant), never an unlucky seed.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fgcs/testkit/scenario.hpp"
+
+namespace fgcs::testkit {
+
+/// One failed invariant: which law, and the evidence.
+struct InvariantViolation {
+  std::string invariant;  // short id, e.g. "timeline-coverage"
+  std::string detail;
+};
+
+/// Runs the full battery over one scenario outcome. Empty result == pass.
+std::vector<InvariantViolation> check_invariants(const Scenario& s,
+                                                 const ScenarioOutcome& out);
+
+/// Renders violations one per line for failure reports.
+std::string format_violations(std::span<const InvariantViolation> violations);
+
+}  // namespace fgcs::testkit

@@ -1,0 +1,214 @@
+#include "fgcs/testkit/runner.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "fgcs/util/rng.hpp"
+
+namespace fgcs::testkit {
+
+namespace {
+
+/// "SWEP": substream tag separating sweep seeds from scenario-internal ones.
+constexpr std::uint64_t kSweepTag = 0x5357'4550;
+
+std::string replay_line(std::uint64_t scenario_seed) {
+  std::ostringstream out;
+  out << "replay: fgcs::testkit::ScenarioRunner().run_one(0x" << std::hex
+      << scenario_seed << std::dec << "ULL)";
+  return out.str();
+}
+
+bool records_equal(const trace::UnavailabilityRecord& a,
+                   const trace::UnavailabilityRecord& b) {
+  return a.machine == b.machine && a.start == b.start && a.end == b.end &&
+         a.cause == b.cause && a.host_cpu == b.host_cpu &&
+         a.free_mem_mb == b.free_mem_mb;
+}
+
+/// Runs the scenario twice and diffs the observable state bit-for-bit.
+std::vector<InvariantViolation> replay_check(const Scenario& s) {
+  const ScenarioOutcome first = run_scenario(s);
+  const ScenarioOutcome second = run_scenario(s);
+  std::vector<InvariantViolation> violations;
+  const auto a = first.trace.records();
+  const auto b = second.trace.records();
+  if (a.size() != b.size()) {
+    violations.push_back(
+        {"replay-determinism", "re-run produced a different record count"});
+    return violations;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!records_equal(a[i], b[i])) {
+      std::ostringstream detail;
+      detail << "record " << i << " differs between identical runs";
+      violations.push_back({"replay-determinism", detail.str()});
+      return violations;
+    }
+  }
+  if (first.guests.jobs.size() != second.guests.jobs.size() ||
+      first.guests.restarts != second.guests.restarts ||
+      first.guests.work_lost != second.guests.work_lost) {
+    violations.push_back(
+        {"replay-determinism", "guest study differs between identical runs"});
+  }
+  return violations;
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(RunnerConfig config) : config_(config) {
+  check_ = [this](const Scenario& s) { return default_check(s); };
+}
+
+std::vector<InvariantViolation> ScenarioRunner::default_check(
+    const Scenario& s) const {
+  const ScenarioOutcome out = run_scenario(s);
+  return check_invariants(s, out);
+}
+
+std::uint64_t ScenarioRunner::scenario_seed_at(int index) const {
+  return util::RngStream::derive(
+      config_.seed, {kSweepTag, static_cast<std::uint64_t>(index)});
+}
+
+std::optional<ScenarioFailure> ScenarioRunner::run_one(
+    std::uint64_t scenario_seed) {
+  const Scenario scenario = generate_scenario(scenario_seed);
+  std::vector<InvariantViolation> violations = check_(scenario);
+  if (violations.empty()) return std::nullopt;
+
+  ScenarioFailure failure;
+  failure.scenario_seed = scenario_seed;
+  failure.scenario = scenario;
+  failure.minimized =
+      config_.shrink_failures ? shrink(scenario) : scenario;
+  failure.violations = std::move(violations);
+  failure.replay = replay_line(scenario_seed);
+  if (config_.log != nullptr) {
+    *config_.log << "testkit: scenario FAILED " << scenario.str() << "\n"
+                 << format_violations(failure.violations)
+                 << "  " << failure.replay << "\n"
+                 << "  minimized: " << failure.minimized.str() << "\n";
+  }
+  return failure;
+}
+
+RunnerReport ScenarioRunner::run() {
+  RunnerReport report;
+  for (int i = 0; i < config_.scenarios; ++i) {
+    const std::uint64_t seed = scenario_seed_at(i);
+    if (auto failure = run_one(seed)) {
+      report.failures.push_back(std::move(*failure));
+    } else if (config_.replay_check_every > 0 &&
+               i % config_.replay_check_every == 0) {
+      ++report.replay_checks;
+      const Scenario s = generate_scenario(seed);
+      auto violations = replay_check(s);
+      if (!violations.empty()) {
+        ScenarioFailure drift;
+        drift.scenario_seed = seed;
+        drift.scenario = s;
+        drift.minimized = s;
+        drift.violations = std::move(violations);
+        drift.replay = replay_line(seed);
+        report.failures.push_back(std::move(drift));
+      }
+    }
+    ++report.scenarios_run;
+  }
+  return report;
+}
+
+Scenario ScenarioRunner::shrink(const Scenario& failing) const {
+  int evals = 0;
+  auto still_fails = [&](const Scenario& candidate) {
+    if (evals >= config_.max_shrink_evals) return false;
+    ++evals;
+    return !check_(candidate).empty();
+  };
+
+  Scenario best = failing;
+  bool progressed = true;
+  while (progressed && evals < config_.max_shrink_evals) {
+    progressed = false;
+
+    // Fleet: jump straight to one machine, then binary-chop.
+    for (std::uint32_t target :
+         {std::uint32_t{1}, best.testbed.machines / 2}) {
+      if (target >= best.testbed.machines || target == 0) continue;
+      Scenario candidate = best;
+      candidate.testbed.machines = target;
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        progressed = true;
+        break;
+      }
+    }
+
+    // Horizon: shortest useful trace is ~2 days (one weekday + weekend
+    // boundary), then binary-chop toward it.
+    for (int target : {2, best.testbed.days / 2}) {
+      if (target >= best.testbed.days || target < 1) continue;
+      Scenario candidate = best;
+      candidate.testbed.days = target;
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        progressed = true;
+        break;
+      }
+    }
+
+    // Lifecycle off entirely.
+    if (best.run_lifecycle) {
+      Scenario candidate = best;
+      candidate.run_lifecycle = false;
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        progressed = true;
+      }
+    }
+
+    // Fault plan: drop one spec at a time.
+    for (std::size_t i = 0; i < best.testbed.faults.specs.size(); ++i) {
+      Scenario candidate = best;
+      candidate.testbed.faults.specs.erase(
+          candidate.testbed.faults.specs.begin() +
+          static_cast<std::ptrdiff_t>(i));
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        progressed = true;
+        break;
+      }
+    }
+
+    // Scripted specs: drop all but the first occurrence time.
+    for (std::size_t i = 0; i < best.testbed.faults.specs.size(); ++i) {
+      auto& spec = best.testbed.faults.specs[i];
+      if (spec.at_hours.size() <= 1) continue;
+      Scenario candidate = best;
+      candidate.testbed.faults.specs[i].at_hours.resize(1);
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+std::string RunnerReport::summary() const {
+  std::ostringstream out;
+  out << "testkit sweep: " << scenarios_run << " scenario(s), "
+      << replay_checks << " replay check(s), " << failures.size()
+      << " failure(s)\n";
+  for (const auto& f : failures) {
+    out << "FAILURE " << f.scenario.str() << "\n"
+        << format_violations(f.violations) << "  " << f.replay << "\n"
+        << "  minimized: " << f.minimized.str() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fgcs::testkit

@@ -1,0 +1,100 @@
+// The deterministic-simulation harness driver.
+//
+// ScenarioRunner sweeps a block of seeds, generating, running, and
+// invariant-checking one scenario per seed. Failures carry a
+// copy-pasteable replay line (the scenario seed reproduces the failure
+// bit-identically) and are auto-minimized by a delta-debugging shrinker
+// before being reported: the shrinker repeatedly tries structurally
+// smaller variants of the failing scenario (fewer machines, shorter
+// horizon, fewer fault specs, no lifecycle) and keeps any variant that
+// still fails, so the report shows the smallest reproduction found.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fgcs/testkit/invariants.hpp"
+#include "fgcs/testkit/scenario.hpp"
+
+namespace fgcs::testkit {
+
+struct RunnerConfig {
+  /// Root seed of the sweep; scenario i uses substream seed derive(seed, i).
+  std::uint64_t seed = 20060806;
+  /// Number of scenarios to generate and check.
+  int scenarios = 100;
+  /// Every Nth scenario is run twice and the two traces compared
+  /// bit-for-bit (0 disables the replay check).
+  int replay_check_every = 10;
+  /// Auto-minimize failures with the delta-debugging shrinker.
+  bool shrink_failures = true;
+  /// Budget: maximum candidate evaluations per shrink.
+  int max_shrink_evals = 200;
+  /// Failures are narrated here as they happen (replay line + violations);
+  /// null keeps the runner silent until the report.
+  std::ostream* log = nullptr;
+};
+
+/// One failing scenario, minimized.
+struct ScenarioFailure {
+  std::uint64_t scenario_seed = 0;
+  Scenario scenario;           // as generated from scenario_seed
+  Scenario minimized;          // after shrinking (== scenario if disabled)
+  std::vector<InvariantViolation> violations;  // from the original run
+  /// Copy-pasteable reproduction, e.g.
+  ///   fgcs::testkit::ScenarioRunner::replay(0x1234abcd)
+  std::string replay;
+};
+
+struct RunnerReport {
+  int scenarios_run = 0;
+  int replay_checks = 0;
+  std::vector<ScenarioFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string summary() const;
+};
+
+class ScenarioRunner {
+ public:
+  /// The failure predicate: violations found in one scenario. The default
+  /// runs run_scenario + check_invariants; tests substitute synthetic
+  /// checks to exercise the shrinker.
+  using Check = std::function<std::vector<InvariantViolation>(const Scenario&)>;
+
+  explicit ScenarioRunner(RunnerConfig config = {});
+
+  void set_check(Check check) { check_ = std::move(check); }
+
+  /// Sweeps config.scenarios seeds; returns all (minimized) failures.
+  RunnerReport run();
+
+  /// Generates + checks the single scenario named by `scenario_seed`
+  /// (the seed printed in a failure's replay line). Returns nullopt when
+  /// the scenario passes.
+  std::optional<ScenarioFailure> run_one(std::uint64_t scenario_seed);
+
+  /// The scenario a replay line names — bit-identical to the original.
+  static Scenario replay(std::uint64_t scenario_seed) {
+    return generate_scenario(scenario_seed);
+  }
+
+  /// Delta-debugging minimizer: returns the structurally smallest variant
+  /// of `failing` that the check still rejects (possibly `failing` itself).
+  Scenario shrink(const Scenario& failing) const;
+
+  /// The seed of the i-th scenario in this runner's sweep.
+  std::uint64_t scenario_seed_at(int index) const;
+
+ private:
+  std::vector<InvariantViolation> default_check(const Scenario& s) const;
+
+  RunnerConfig config_;
+  Check check_;
+};
+
+}  // namespace fgcs::testkit

@@ -1,0 +1,140 @@
+#include "fgcs/testkit/scenario.hpp"
+
+#include <sstream>
+
+#include "fgcs/util/rng.hpp"
+
+namespace fgcs::testkit {
+
+namespace {
+
+/// "SCNR": root tag of every scenario-generation substream.
+constexpr std::uint64_t kScenarioTag = 0x5343'4E52;
+
+/// Substream ids — one per independent scenario dimension.
+enum Dimension : std::uint64_t {
+  kFleet = 1,
+  kPolicy = 2,
+  kFaults = 3,
+  kLifecycle = 4,
+};
+
+sim::SimDuration minutes_of(double m) {
+  return sim::SimDuration::from_seconds(m * 60.0);
+}
+
+sim::SimDuration hours_of(double h) {
+  return sim::SimDuration::from_seconds(h * 3600.0);
+}
+
+fault::FaultSpec generate_fault_spec(util::RngStream& rng,
+                                     std::uint32_t machines, int days) {
+  fault::FaultSpec spec;
+  spec.kind = static_cast<fault::FaultKind>(
+      rng.uniform_index(fault::kFaultKindCount));
+  spec.machine = rng.bernoulli(0.5)
+                     ? fault::kAllMachines
+                     : static_cast<std::int64_t>(rng.uniform_index(machines));
+  spec.mean_minutes = rng.uniform(0.5, 30.0);
+  if (rng.bernoulli(0.35)) {
+    // Scripted occurrences at exact offsets inside the horizon.
+    const std::size_t n = 1 + rng.uniform_index(3);
+    const double horizon_h = static_cast<double>(days) * 24.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      spec.at_hours.push_back(rng.uniform(0.0, horizon_h));
+    }
+    if (rng.bernoulli(0.5)) spec.duration_minutes = rng.uniform(0.5, 20.0);
+  } else {
+    spec.rate_per_day = rng.uniform(0.2, 4.0);
+  }
+  if (spec.kind == fault::FaultKind::kClockSkew) {
+    spec.skew_ms = rng.uniform(-500.0, 500.0);
+  }
+  return spec;
+}
+
+}  // namespace
+
+Scenario generate_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.seed = seed;
+
+  util::RngStream fleet(seed, {kScenarioTag, kFleet});
+  s.testbed.machines = static_cast<std::uint32_t>(1 + fleet.uniform_index(4));
+  s.testbed.days = static_cast<int>(2 + fleet.uniform_index(5));
+  s.testbed.start_dow =
+      static_cast<trace::DayOfWeek>(fleet.uniform_index(7));
+  s.testbed.seed = fleet.next_u64();
+
+  util::RngStream policy(seed, {kScenarioTag, kPolicy});
+  static constexpr std::int64_t kPeriodsSeconds[] = {5, 15, 30, 60};
+  s.testbed.policy.sample_period =
+      sim::SimDuration::seconds(kPeriodsSeconds[policy.uniform_index(4)]);
+  s.testbed.policy.th1 = policy.uniform(0.10, 0.30);
+  s.testbed.policy.th2 = policy.uniform(0.50, 0.80);
+  s.testbed.policy.sustain_window =
+      sim::SimDuration::seconds(policy.uniform_int(30, 120));
+  s.testbed.policy.guest_working_set_mb = policy.uniform(100.0, 300.0);
+
+  util::RngStream faults(seed, {kScenarioTag, kFaults});
+  const std::size_t spec_count = faults.uniform_index(5);  // 0..4
+  for (std::size_t i = 0; i < spec_count; ++i) {
+    s.testbed.faults.specs.push_back(
+        generate_fault_spec(faults, s.testbed.machines, s.testbed.days));
+  }
+
+  util::RngStream lc(seed, {kScenarioTag, kLifecycle});
+  s.run_lifecycle = lc.bernoulli(0.6);
+  s.lifecycle.job_length = hours_of(lc.uniform(0.5, 8.0));
+  s.lifecycle.submit_spacing = hours_of(lc.uniform(2.0, 12.0));
+  s.lifecycle.checkpoint_interval =
+      lc.bernoulli(0.5) ? sim::SimDuration::zero()
+                        : minutes_of(lc.uniform(20.0, 120.0));
+  s.lifecycle.checkpoint_cost = minutes_of(lc.uniform(0.0, 3.0));
+  s.lifecycle.backoff_initial = minutes_of(lc.uniform(0.5, 2.0));
+  s.lifecycle.backoff_cap = minutes_of(lc.uniform(10.0, 45.0));
+  s.lifecycle.backoff_factor = lc.uniform(1.5, 3.0);
+  s.lifecycle.backoff_jitter = lc.uniform(0.0, 0.4);
+  s.lifecycle.migrate_on_revocation = lc.bernoulli(0.5);
+  s.lifecycle.seed = lc.next_u64();
+
+  s.testbed.validate();
+  s.lifecycle.validate();
+  return s;
+}
+
+std::string Scenario::str() const {
+  std::ostringstream out;
+  out << "scenario{seed=0x" << std::hex << seed << std::dec
+      << " machines=" << testbed.machines << " days=" << testbed.days
+      << " sample_period=" << testbed.policy.sample_period.str()
+      << " fault_specs=" << testbed.faults.size();
+  if (run_lifecycle) {
+    out << " lifecycle{job=" << lifecycle.job_length.str()
+        << " ckpt=" << lifecycle.checkpoint_interval.str()
+        << (lifecycle.migrate_on_revocation ? " migrate" : "") << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+ScenarioOutcome run_scenario(const Scenario& s) {
+  ScenarioOutcome out;
+  const sim::SimTime start = sim::SimTime::epoch();
+  const sim::SimTime end = start + sim::SimDuration::days(s.testbed.days);
+  out.trace = trace::TraceSet(s.testbed.machines, start, end);
+  out.machines.reserve(s.testbed.machines);
+  for (std::uint32_t m = 0; m < s.testbed.machines; ++m) {
+    auto detail = core::run_testbed_machine_detailed(s.testbed, m);
+    for (const auto& rec : detail.records) out.trace.add(rec);
+    out.machines.push_back(
+        MachineOutcome{std::move(detail.records), std::move(detail.timeline)});
+  }
+  if (s.run_lifecycle) {
+    out.lifecycle_ran = true;
+    out.guests = core::run_guest_study(s.testbed, out.trace, s.lifecycle);
+  }
+  return out;
+}
+
+}  // namespace fgcs::testkit

@@ -1,0 +1,67 @@
+// Seed-driven scenario generation for the deterministic-simulation harness.
+//
+// A Scenario is a complete, self-describing testbed experiment — fleet
+// size, horizon, detector policy, workload profile, fault plan, and an
+// optional guest-lifecycle study — derived from a single uint64 seed
+// through keyed util::RngStream substreams. The same seed always yields
+// the same scenario, and running a scenario is deterministic in the
+// scenario alone, so any failure anywhere in the harness is reproducible
+// from one number.
+//
+// Substream keying: every independent dimension (fleet shape, detector
+// policy, fault plan, lifecycle) draws from its own RngStream keyed as
+// (seed, {kScenarioTag, dimension}), so shrinking or editing one dimension
+// never perturbs the draws of another.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fgcs/core/guest_study.hpp"
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/monitor/state_timeline.hpp"
+#include "fgcs/trace/trace_set.hpp"
+
+namespace fgcs::testkit {
+
+/// A generated experiment. Plain data: shrinkers and tests may edit any
+/// field and re-run.
+struct Scenario {
+  /// The generating seed (replay key). Preserved verbatim by the shrinker
+  /// so a minimized scenario still names its origin.
+  std::uint64_t seed = 0;
+
+  core::TestbedConfig testbed;
+
+  /// When true the guest-lifecycle study runs on top of the trace.
+  bool run_lifecycle = false;
+  core::GuestLifecycleConfig lifecycle;
+
+  /// One-line human-readable description for failure reports.
+  std::string str() const;
+};
+
+/// Derives a randomized small scenario from `seed`. Deterministic:
+/// generate_scenario(s) == generate_scenario(s) field-for-field, always.
+Scenario generate_scenario(std::uint64_t seed);
+
+/// Per-machine detail captured during a scenario run.
+struct MachineOutcome {
+  std::vector<trace::UnavailabilityRecord> records;
+  monitor::StateTimeline timeline;
+};
+
+/// Everything observable from one scenario run.
+struct ScenarioOutcome {
+  trace::TraceSet trace;
+  std::vector<MachineOutcome> machines;
+  bool lifecycle_ran = false;
+  core::GuestStudyResult guests;
+};
+
+/// Runs the scenario to completion (testbed sweep + optional lifecycle).
+/// Deterministic in the scenario; independent of thread count.
+ScenarioOutcome run_scenario(const Scenario& s);
+
+}  // namespace fgcs::testkit

@@ -280,14 +280,15 @@ LoadReport read_trace_csv_salvage(std::istream& in,
 
   std::string line;
   std::size_t line_no = 0;
-  bool saw_magic = false, saw_header = false;
+  bool saw_magic = false, saw_header = false, saw_content = false;
   std::size_t c_machine = 0, c_start = 0, c_end = 0, c_cause = 0, c_cpu = 0,
               c_mem = 0, columns = 0;
   std::vector<UnavailabilityRecord> recs;
 
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty() || line == "\r") continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    saw_content = true;
     if (!saw_magic && line.rfind(kCsvMagic, 0) == 0) {
       saw_magic = true;
       meta = parse_csv_meta(line);
@@ -368,6 +369,13 @@ LoadReport read_trace_csv_salvage(std::istream& in,
                      at_line(source, line_no) + ": malformed record");
     }
   }
+  if (!saw_content) {
+    // A zero-length (or whitespace-only) stream is an empty trace, not
+    // damage: report it clean instead of flagging inferred metadata.
+    report.trace = TraceSet(1, sim::SimTime::from_micros(0),
+                            sim::SimTime::from_micros(1));
+    return report;
+  }
   if (!saw_magic) {
     add_diagnostic(report,
                    source + ": missing fgcs-trace magic; metadata inferred");
@@ -442,6 +450,13 @@ LoadReport read_trace_binary_salvage(std::istream& in,
 
   char magic[sizeof kBinMagic];
   in.read(magic, sizeof magic);
+  if (!in && in.gcount() == 0) {
+    // Zero-length stream: an empty trace, not damage (a *partial* magic
+    // below is still treated as truncation).
+    report.trace = TraceSet(1, sim::SimTime::from_micros(0),
+                            sim::SimTime::from_micros(1));
+    return report;
+  }
   if (!in || std::memcmp(magic, kBinMagic, sizeof kBinMagic) != 0) {
     report.truncated = true;
     add_diagnostic(report, source + ": not an fgcs binary trace (bad magic); "

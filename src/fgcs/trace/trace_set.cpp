@@ -1,6 +1,7 @@
 #include "fgcs/trace/trace_set.hpp"
 
 #include <algorithm>
+#include <compare>
 
 #include "fgcs/util/error.hpp"
 
@@ -24,10 +25,21 @@ void TraceSet::add(UnavailabilityRecord record) {
 
 void TraceSet::ensure_sorted() const {
   if (sorted_) return;
+  // Total order over every field: (machine, start) alone leaves ties to
+  // std::sort's whims, so two TraceSets holding the same records inserted
+  // in different orders could disagree on records() order. strong_order
+  // keeps the double comparisons a valid strict weak order even if a
+  // salvaged trace smuggles in a NaN.
   std::sort(records_.begin(), records_.end(),
             [](const UnavailabilityRecord& a, const UnavailabilityRecord& b) {
               if (a.machine != b.machine) return a.machine < b.machine;
-              return a.start < b.start;
+              if (a.start != b.start) return a.start < b.start;
+              if (a.end != b.end) return a.end < b.end;
+              if (a.cause != b.cause) return a.cause < b.cause;
+              if (auto c = std::strong_order(a.host_cpu, b.host_cpu); c != 0) {
+                return c < 0;
+              }
+              return std::strong_order(a.free_mem_mb, b.free_mem_mb) < 0;
             });
   sorted_ = true;
 }

@@ -6,7 +6,10 @@
 
 #include "fgcs/core/guest_study.hpp"
 #include "fgcs/core/testbed.hpp"
+#include "fgcs/monitor/availability.hpp"
 #include "fgcs/obs/observer.hpp"
+#include "fgcs/trace/records.hpp"
+#include "fgcs/trace/trace_set.hpp"
 #include "fgcs/util/error.hpp"
 
 namespace fgcs::core {
@@ -192,6 +195,172 @@ TEST(GuestStudyTest, InjectedKillsForceRestarts) {
   const auto baseline = run_guest_study(quiet, trace, lifecycle);
   const auto chaotic = run_guest_study(noisy, trace, lifecycle);
   EXPECT_GT(chaotic.restarts, baseline.restarts);
+}
+
+// --- Analytic edge cases: hand-computable traces, exact expectations. ---
+
+/// A trace with zero unavailability episodes over `days` on one machine.
+trace::TraceSet quiet_trace(std::uint32_t machines, int days) {
+  return trace::TraceSet(machines, sim::SimTime::epoch(),
+                         sim::SimTime::epoch() + SimDuration::days(days));
+}
+
+/// A testbed whose fault plan kills the guest at exact hour offsets.
+TestbedConfig scripted_kill_testbed(std::uint32_t machines, int days,
+                                    std::vector<double> kill_hours) {
+  TestbedConfig config;
+  config.machines = machines;
+  config.days = days;
+  config.seed = 1;
+  fault::FaultSpec kill;
+  kill.kind = fault::FaultKind::kGuestKill;
+  kill.at_hours = std::move(kill_hours);
+  config.faults.specs.push_back(kill);
+  return config;
+}
+
+TEST(GuestStudyTest, BackoffCapBoundsRestartDelaysExactly) {
+  // One job, no organic failures, kills at hours 1..5, no checkpoints, no
+  // jitter: every delay is min(cap, initial * factor^k) and the response
+  // time is fully hand-computable.
+  const auto testbed = scripted_kill_testbed(1, 2, {1, 2, 3, 4, 5});
+  const auto trace = quiet_trace(1, 2);
+
+  GuestLifecycleConfig lifecycle;
+  lifecycle.job_length = SimDuration::hours(10);
+  lifecycle.submit_spacing = SimDuration::hours(1000);  // single job
+  lifecycle.checkpoint_interval = SimDuration::zero();
+  lifecycle.backoff_initial = SimDuration::minutes(30);
+  lifecycle.backoff_factor = 2.0;
+  lifecycle.backoff_jitter = 0.0;
+
+  // Cap binds from the third restart: delays 30m, 60m, 60m, 60m, 60m.
+  // Kills at 1h (ran 1h) and 2h (ran 30m) hit mid-attempt; the restarts
+  // at 3h, 4h, 5h die instantly on the scripted kills. The final attempt
+  // starts at 6h and runs the full 10h: response 16h.
+  lifecycle.backoff_cap = SimDuration::hours(1);
+  const auto capped = run_guest_study(testbed, trace, lifecycle);
+  ASSERT_EQ(capped.jobs.size(), 1u);
+  EXPECT_TRUE(capped.jobs[0].completed);
+  EXPECT_EQ(capped.jobs[0].response, SimDuration::hours(16));
+  EXPECT_EQ(capped.jobs[0].restarts, 5u);
+  EXPECT_EQ(capped.jobs[0].work_lost,
+            SimDuration::hours(1) + SimDuration::minutes(30));
+  EXPECT_EQ(capped.jobs[0].checkpoints, 0u);
+
+  // With a cap that never binds, the doubling walks the job past the 4h
+  // kill entirely: delays 30m, 1h, 2h, 4h, restart at 9h, response 19h.
+  lifecycle.backoff_cap = SimDuration::hours(10);
+  const auto uncapped = run_guest_study(testbed, trace, lifecycle);
+  ASSERT_EQ(uncapped.jobs.size(), 1u);
+  EXPECT_TRUE(uncapped.jobs[0].completed);
+  EXPECT_EQ(uncapped.jobs[0].response, SimDuration::hours(19));
+  EXPECT_EQ(uncapped.jobs[0].restarts, 4u);
+  EXPECT_EQ(uncapped.jobs[0].work_lost,
+            SimDuration::hours(1) + SimDuration::minutes(30));
+}
+
+TEST(GuestStudyTest, SingleMachineFleetNeverMigrates) {
+  // Round-robin migration has nowhere to go on a one-machine fleet: the
+  // flag must be a no-op and outcomes must match the pinned run exactly.
+  TestbedConfig testbed = small_testbed();
+  testbed.machines = 1;
+  const auto trace = run_testbed(testbed);
+
+  auto pinned = short_jobs();
+  auto mobile = short_jobs();
+  mobile.migrate_on_revocation = true;
+
+  const auto a = run_guest_study(testbed, trace, pinned);
+  const auto b = run_guest_study(testbed, trace, mobile);
+  ASSERT_FALSE(b.jobs.empty());
+  EXPECT_EQ(b.migrations, 0u);
+  for (const auto& job : b.jobs) {
+    EXPECT_EQ(job.first_machine, 0u);
+    EXPECT_EQ(job.final_machine, 0u);
+  }
+  EXPECT_GT(b.restarts + static_cast<std::uint32_t>(b.jobs.size()), 0u);
+  EXPECT_TRUE(same_outcomes(a, b))
+      << "migrate_on_revocation changed a single-machine run";
+}
+
+TEST(GuestStudyTest, MigrationRoundRobinWrapsAroundTheFleet) {
+  // Three machines with staggered episodes chase one job all the way
+  // around the ring and back to machine 0.
+  trace::TraceSet trace = quiet_trace(3, 2);
+  auto episode = [](trace::MachineId m, double start_h, double end_h) {
+    trace::UnavailabilityRecord r;
+    r.machine = m;
+    r.start = sim::SimTime::epoch() + SimDuration::minutes(
+                                          static_cast<std::int64_t>(start_h * 60));
+    r.end = sim::SimTime::epoch() + SimDuration::minutes(
+                                        static_cast<std::int64_t>(end_h * 60));
+    r.cause = monitor::AvailabilityState::kS5MachineUnavailable;
+    r.host_cpu = 1.0;
+    r.free_mem_mb = 100.0;
+    return r;
+  };
+  trace.add(episode(0, 1.0, 1.5));
+  trace.add(episode(1, 2.0, 2.5));
+  trace.add(episode(2, 3.5, 4.0));
+
+  TestbedConfig testbed;
+  testbed.machines = 3;
+  testbed.days = 2;
+  testbed.seed = 1;
+
+  GuestLifecycleConfig lifecycle;
+  lifecycle.job_length = SimDuration::hours(4);
+  lifecycle.submit_spacing = SimDuration::hours(1000);  // single job
+  lifecycle.checkpoint_interval = SimDuration::zero();
+  lifecycle.backoff_initial = SimDuration::minutes(30);
+  lifecycle.backoff_factor = 2.0;
+  lifecycle.backoff_cap = SimDuration::hours(30);
+  lifecycle.backoff_jitter = 0.0;
+  lifecycle.migrate_on_revocation = true;
+
+  // Walk: die at 1h on m0 -> m1 at 1.5h; die at 2h -> m2 at 3h; die at
+  // 3.5h -> m0 (wrap) at 5.5h; m0 is clear, finish at 9.5h.
+  const auto result = run_guest_study(testbed, trace, lifecycle);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  const auto& job = result.jobs[0];
+  EXPECT_TRUE(job.completed);
+  EXPECT_EQ(job.first_machine, 0u);
+  EXPECT_EQ(job.final_machine, 0u) << "round-robin must wrap 2 -> 0";
+  EXPECT_EQ(job.migrations, 3u);
+  EXPECT_EQ(job.restarts, 3u);
+  EXPECT_EQ(job.response, SimDuration::minutes(570));  // 9.5 h
+  EXPECT_EQ(job.work_lost, SimDuration::hours(2));
+}
+
+TEST(GuestStudyTest, ZeroCostCheckpointsGiveExactAccounting) {
+  // checkpoint_cost == 0: wall time equals remaining work, checkpoints
+  // land every interval of runtime, and a kill loses only the progress
+  // since the last checkpoint boundary.
+  const auto testbed = scripted_kill_testbed(1, 2, {3});
+  const auto trace = quiet_trace(1, 2);
+
+  GuestLifecycleConfig lifecycle;
+  lifecycle.job_length = SimDuration::hours(4);
+  lifecycle.submit_spacing = SimDuration::hours(1000);  // single job
+  lifecycle.checkpoint_interval = SimDuration::hours(1);
+  lifecycle.checkpoint_cost = SimDuration::zero();
+  lifecycle.backoff_initial = SimDuration::minutes(30);
+  lifecycle.backoff_factor = 2.0;
+  lifecycle.backoff_cap = SimDuration::hours(1);
+  lifecycle.backoff_jitter = 0.0;
+
+  // Kill at 3h: exactly 3 zero-cost checkpoints, zero work lost, restart
+  // at 3.5h with 1h left, done at 4.5h.
+  const auto result = run_guest_study(testbed, trace, lifecycle);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  const auto& job = result.jobs[0];
+  EXPECT_TRUE(job.completed);
+  EXPECT_EQ(job.checkpoints, 3u);
+  EXPECT_EQ(job.restarts, 1u);
+  EXPECT_EQ(job.work_lost, SimDuration::zero());
+  EXPECT_EQ(job.response,
+            SimDuration::hours(4) + SimDuration::minutes(30));
 }
 
 }  // namespace

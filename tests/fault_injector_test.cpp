@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fgcs/fault/injector.hpp"
+#include "fgcs/obs/observer.hpp"
 #include "fgcs/sim/simulation.hpp"
 #include "fgcs/util/error.hpp"
 
@@ -265,6 +266,99 @@ TEST(MachineFaultSessionTest, OverlappingDropoutsNest) {
   simulation.at(SimTime::epoch() + SimDuration::minutes(110),
                 [&session] { EXPECT_FALSE(session.dropout_active()); });
   simulation.run_all();
+}
+
+// The obs layer's fault.injected{kind} counters must equal the expanded
+// plan exactly: one bump per scheduled window-fault activation, none for
+// guest-kills (those never enter the event loop — the lifecycle study
+// consumes them from the kill list instead).
+TEST(MachineFaultSessionTest, ObsCountersMatchExpandedPlan) {
+  FaultPlan plan;
+  FaultSpec crash;
+  crash.kind = FaultKind::kCrash;
+  crash.rate_per_day = 3.0;
+  crash.mean_minutes = 10.0;
+  plan.specs.push_back(crash);
+  FaultSpec drop;
+  drop.kind = FaultKind::kSensorDropout;
+  drop.at_hours = {2.0, 30.0, 50.0};
+  drop.duration_minutes = 5.0;
+  plan.specs.push_back(drop);
+  FaultSpec skew;
+  skew.kind = FaultKind::kClockSkew;
+  skew.rate_per_day = 1.0;
+  skew.mean_minutes = 8.0;
+  skew.skew_ms = 300.0;
+  plan.specs.push_back(skew);
+  FaultSpec kill;
+  kill.kind = FaultKind::kGuestKill;
+  kill.at_hours = {5.0, 20.0};
+  plan.specs.push_back(kill);
+
+  const std::uint32_t machines = 3;
+  const SimTime begin = SimTime::epoch();
+  const SimTime end = begin + SimDuration::days(4);
+  const FaultInjector injector(plan, 11, machines, begin, end);
+
+  // Ground truth: per-kind totals of the deterministic expansion.
+  std::size_t expected[kFaultKindCount] = {};
+  for (const auto& ev : injector.events()) {
+    ++expected[static_cast<int>(ev.kind)];
+  }
+  ASSERT_GT(expected[static_cast<int>(FaultKind::kCrash)], 0u);
+  ASSERT_EQ(expected[static_cast<int>(FaultKind::kSensorDropout)],
+            3u * machines);
+  ASSERT_GT(expected[static_cast<int>(FaultKind::kClockSkew)], 0u);
+  ASSERT_EQ(expected[static_cast<int>(FaultKind::kGuestKill)], 2u * machines);
+
+  obs::Observer observer;
+  {
+    obs::ScopedObserver guard(&observer);
+    for (std::uint32_t m = 0; m < machines; ++m) {
+      MachineFaultSession session(injector, m);
+      sim::Simulation simulation;
+      session.schedule(simulation);
+      simulation.run_until(end + SimDuration::hours(2));
+    }
+  }
+
+  auto count = [&](const char* kind) {
+    return observer.metrics()
+        .counter("fault.injected", {{"kind", kind}})
+        .value();
+  };
+  EXPECT_EQ(count("crash"), expected[static_cast<int>(FaultKind::kCrash)]);
+  EXPECT_EQ(count("dropout"),
+            expected[static_cast<int>(FaultKind::kSensorDropout)]);
+  EXPECT_EQ(count("skew"), expected[static_cast<int>(FaultKind::kClockSkew)]);
+  EXPECT_EQ(count("guest-kill"), 0u)
+      << "guest kills are not scheduled through the event loop";
+}
+
+// Running the same sessions twice under two observers yields identical
+// counter totals — injection accounting is as replayable as the events.
+TEST(MachineFaultSessionTest, ObsCountersAreDeterministicAcrossRuns) {
+  FaultPlan plan = rate_plan(5.0, 15.0);
+  const FaultInjector injector(plan, 99, 2, SimTime::epoch(),
+                               SimTime::epoch() + SimDuration::days(3));
+  auto run_once = [&]() {
+    obs::Observer observer;
+    {
+      obs::ScopedObserver guard(&observer);
+      for (std::uint32_t m = 0; m < 2; ++m) {
+        MachineFaultSession session(injector, m);
+        sim::Simulation simulation;
+        session.schedule(simulation);
+        simulation.run_all();
+      }
+    }
+    return observer.metrics()
+        .counter("fault.injected", {{"kind", "crash"}})
+        .value();
+  };
+  const auto first = run_once();
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(first, run_once());
 }
 
 }  // namespace

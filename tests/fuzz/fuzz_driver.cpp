@@ -1,0 +1,114 @@
+// Deterministic corpus-mutation fuzz driver (works on any toolchain).
+//
+// Replays each checked-in corpus entry verbatim, then feeds the target
+// seeded structure-aware mutations of corpus entries for a bounded
+// iteration count. Crashes (any exception escaping a target, or a
+// sanitizer report) abort with a replay line naming the target, seed, and
+// iteration, so the exact input can be regenerated.
+//
+//   fgcs_fuzz_driver --target all --corpus tests/fuzz/corpus
+//                    --iterations 10000 --seed 1
+//
+// With Clang and -DFGCS_FUZZ=ON the same targets also build as libFuzzer
+// binaries (see libfuzzer_entry.cpp); this driver is the portable
+// regression mode that CI runs everywhere.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "fgcs/testkit/fuzz.hpp"
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--target <name>|all] [--corpus <dir>] "
+               "[--iterations <n>] [--seed <n>]\n  targets:",
+               prog);
+  for (const auto& target : fgcs::testkit::fuzz_targets()) {
+    std::fprintf(stderr, " %s", target.name);
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+int run_target(const fgcs::testkit::FuzzTargetInfo& target,
+               const std::string& corpus_root, std::uint64_t seed,
+               std::uint64_t iterations) {
+  const std::string dir = corpus_root + "/" + target.corpus_subdir;
+  std::vector<std::vector<std::uint8_t>> corpus;
+  try {
+    corpus = fgcs::testkit::load_corpus(dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fgcs_fuzz_driver: %s\n", e.what());
+    return 2;
+  }
+  try {
+    const auto stats = fgcs::testkit::run_fuzz_iterations(
+        target, corpus, seed, iterations);
+    std::printf(
+        "%-12s OK  corpus=%llu iterations=%llu max_input=%llu bytes\n",
+        target.name, static_cast<unsigned long long>(stats.corpus_entries),
+        static_cast<unsigned long long>(stats.iterations),
+        static_cast<unsigned long long>(stats.max_input_bytes));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "%s: CRASH: %s\n  replay: fgcs_fuzz_driver --target %s "
+                 "--corpus %s --iterations %llu --seed %llu\n",
+                 target.name, e.what(), target.name, corpus_root.c_str(),
+                 static_cast<unsigned long long>(iterations),
+                 static_cast<unsigned long long>(seed));
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target_name = "all";
+  std::string corpus_root = "tests/fuzz/corpus";
+  std::uint64_t iterations = 10'000;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--target") {
+      target_name = value();
+    } else if (arg == "--corpus") {
+      corpus_root = value();
+    } else if (arg == "--iterations") {
+      iterations = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 10);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  int rc = 0;
+  if (target_name == "all") {
+    for (const auto& target : fgcs::testkit::fuzz_targets()) {
+      rc |= run_target(target, corpus_root, seed, iterations);
+    }
+  } else {
+    const auto* target = fgcs::testkit::find_fuzz_target(target_name);
+    if (target == nullptr) {
+      std::fprintf(stderr, "fgcs_fuzz_driver: unknown target '%s'\n",
+                   target_name.c_str());
+      return usage(argv[0]);
+    }
+    rc = run_target(*target, corpus_root, seed, iterations);
+  }
+  return rc;
+}

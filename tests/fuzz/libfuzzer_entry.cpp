@@ -1,0 +1,41 @@
+// libFuzzer entry point (built only with Clang and -DFGCS_FUZZ=ON).
+//
+// One binary per target: the target name is baked in at compile time via
+// FGCS_FUZZ_TARGET so libFuzzer's fork/merge modes work unchanged.
+//
+//   clang++ ... -fsanitize=fuzzer,address,undefined \
+//     -DFGCS_FUZZ_TARGET=\"trace-csv\" libfuzzer_entry.cpp ...
+//   ./fgcs_fuzz_trace_csv tests/fuzz/corpus/trace_csv
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "fgcs/testkit/fuzz.hpp"
+
+#ifndef FGCS_FUZZ_TARGET
+#error "define FGCS_FUZZ_TARGET to one of the fgcs::testkit fuzz target names"
+#endif
+
+namespace {
+
+const fgcs::testkit::FuzzTargetInfo& resolve_target() {
+  static const fgcs::testkit::FuzzTargetInfo* target = [] {
+    const auto* t = fgcs::testkit::find_fuzz_target(FGCS_FUZZ_TARGET);
+    if (t == nullptr) {
+      std::fprintf(stderr, "unknown fuzz target '%s'\n", FGCS_FUZZ_TARGET);
+      std::abort();
+    }
+    return t;
+  }();
+  return *target;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Targets signal findings by throwing std::logic_error; let it escape so
+  // libFuzzer records the crashing input.
+  resolve_target().fn(data, size);
+  return 0;
+}

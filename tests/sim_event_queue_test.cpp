@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "fgcs/obs/observer.hpp"
 #include "fgcs/sim/event_queue.hpp"
 
 namespace fgcs::sim {
@@ -282,6 +283,68 @@ TEST(EventQueue, StressInterleavedScheduleCancelRun) {
     if (id % 20 % 3 != 0) ++expected;
   }
   EXPECT_EQ(fired.size(), expected);
+}
+
+// Regression: cancel() reports whether THIS call cancelled a live event,
+// and every dead-handle path (fired, double-cancel, inert, recycled) is a
+// false-returning no-op.
+TEST(EventQueue, CancelReturnsTrueOnlyForTheCancellingCall) {
+  EventQueue q;
+  EventHandle h = q.schedule(at(1), [] {});
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.cancel()) << "second cancel of the same event";
+  EXPECT_TRUE(h.cancelled());
+}
+
+TEST(EventQueue, CancelAfterFireIsRejectedNoOp) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.schedule(at(1), [&] { fired = true; });
+  q.run_next();
+  ASSERT_TRUE(fired);
+  EXPECT_FALSE(h.cancel());
+  EXPECT_FALSE(h.cancelled());
+  EXPECT_FALSE(h.cancel()) << "repeat cancel on a fired event";
+}
+
+TEST(EventQueue, CancelOnDefaultHandleReturnsFalse) {
+  EventHandle h;
+  EXPECT_FALSE(h.cancel());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(EventQueue, CancelThroughCopyConsumesTheOneCancellation) {
+  EventQueue q;
+  EventHandle h1 = q.schedule(at(1), [] {});
+  EventHandle h2 = h1;
+  EXPECT_TRUE(h2.cancel());
+  EXPECT_FALSE(h1.cancel()) << "the copy already cancelled it";
+}
+
+TEST(EventQueue, DoubleCancelBumpsObsCounterOnce) {
+  obs::Observer observer;
+  obs::ScopedObserver guard(&observer);
+  EventQueue q;
+  EventHandle h = q.schedule(at(1), [] {});
+  h.cancel();
+  h.cancel();
+  EventHandle fired_handle = q.schedule(at(2), [] {});
+  while (!q.empty()) q.run_next();
+  fired_handle.cancel();  // after fire: must not count either
+  EXPECT_EQ(observer.metrics().counter("sim.events_cancelled").value(), 1u);
+}
+
+TEST(EventQueue, CancelOnRecycledSlotIsNoOp) {
+  // After the cancelled event's slot is reused by a later schedule, the
+  // stale handle must not be able to kill the new occupant.
+  EventQueue q;
+  EventHandle stale = q.schedule(at(1), [] {});
+  ASSERT_TRUE(stale.cancel());
+  bool fired = false;
+  q.schedule(at(2), [&] { fired = true; });  // recycles the slot
+  EXPECT_FALSE(stale.cancel());
+  while (!q.empty()) q.run_next();
+  EXPECT_TRUE(fired);
 }
 
 }  // namespace

@@ -1,0 +1,62 @@
+// Differential oracles: the four paired implementations must agree over a
+// broad seeded sweep, and each oracle must itself be deterministic.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fgcs/testkit/diff_oracle.hpp"
+
+namespace fgcs::testkit {
+namespace {
+
+TEST(TestkitDiffOracle, RegistryHasTheFourStandardOracles) {
+  const auto& oracles = standard_oracles();
+  ASSERT_EQ(oracles.size(), 4u);
+  for (const char* name : {"scheduler-fastforward", "testbed-parallel",
+                           "trace-roundtrip", "semi-markov-brute"}) {
+    const DiffOracle* oracle = find_oracle(name);
+    ASSERT_NE(oracle, nullptr) << name;
+    EXPECT_EQ(oracle->name, name);
+    EXPECT_TRUE(static_cast<bool>(oracle->run)) << name;
+  }
+  EXPECT_EQ(find_oracle("no-such-oracle"), nullptr);
+}
+
+TEST(TestkitDiffOracle, EachOracleIsDeterministicInTheSeed) {
+  for (const auto& oracle : standard_oracles()) {
+    const DiffResult a = oracle.run(0xFACEu);
+    const DiffResult b = oracle.run(0xFACEu);
+    EXPECT_EQ(a.match, b.match) << oracle.name;
+    EXPECT_EQ(a.detail, b.detail) << oracle.name;
+  }
+}
+
+TEST(TestkitDiffOracle, EachOracleAgreesOnSmokeSeeds) {
+  for (const auto& oracle : standard_oracles()) {
+    for (std::uint64_t seed : {1ULL, 2ULL, 99ULL}) {
+      const DiffResult r = oracle.run(seed);
+      EXPECT_TRUE(r.match)
+          << oracle.name << " seed " << seed << ": " << r.detail;
+    }
+  }
+}
+
+// The acceptance sweep: all four oracles, 200 derived seeds each.
+TEST(TestkitDiffOracle, AllOraclesAgreeOver200SeedsEach) {
+  const auto failures = run_oracles(20060806, 200);
+  std::ostringstream detail;
+  for (const auto& f : failures) {
+    detail << f.oracle << " seed 0x" << std::hex << f.seed << std::dec
+           << ": " << f.detail << "\n";
+  }
+  EXPECT_TRUE(failures.empty()) << detail.str();
+}
+
+TEST(TestkitDiffOracle, SweepIsDeterministic) {
+  // Same base seed, same (empty) failure set — and the derived seeds do
+  // not depend on call order, so two sweeps are interchangeable.
+  EXPECT_EQ(run_oracles(7, 3).size(), run_oracles(7, 3).size());
+}
+
+}  // namespace
+}  // namespace fgcs::testkit

@@ -1,0 +1,102 @@
+// The fuzz subsystem's own machinery: target registry, deterministic
+// mutator, corpus loading, and the in-process iteration driver (with
+// synthetic corpora, so no disk layout is assumed).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fgcs/testkit/fuzz.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::testkit {
+namespace {
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(TestkitFuzz, TargetRegistryIsComplete) {
+  const auto targets = fuzz_targets();
+  ASSERT_EQ(targets.size(), 4u);
+  for (const char* name :
+       {"trace-csv", "trace-binary", "fault-plan", "cli-args"}) {
+    const FuzzTargetInfo* t = find_fuzz_target(name);
+    ASSERT_NE(t, nullptr) << name;
+    EXPECT_STREQ(t->name, name);
+    EXPECT_NE(t->fn, nullptr);
+    EXPECT_NE(std::string(t->corpus_subdir), "");
+  }
+  EXPECT_EQ(find_fuzz_target("bogus"), nullptr);
+}
+
+TEST(TestkitFuzz, MutatorIsDeterministicAndVaried) {
+  const auto base = bytes("machine,start_us,end_us,cause,cpu,mem\n0,1,2,S5,0.5,100\n");
+  const auto other = bytes("# fgcs-fault-plan v1\ncrash rate_per_day=1\n");
+  int changed = 0;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    const auto a = mutate_input(base, other, 99, i);
+    const auto b = mutate_input(base, other, 99, i);
+    EXPECT_EQ(a, b) << "iteration " << i;
+    if (a != base) ++changed;
+  }
+  EXPECT_GE(changed, 24) << "mutator is mostly a no-op";
+  // Different seed, different stream.
+  EXPECT_NE(mutate_input(base, other, 99, 0),
+            mutate_input(base, other, 100, 0));
+}
+
+TEST(TestkitFuzz, LoadCorpusRejectsMissingAndEmptyDirs) {
+  EXPECT_THROW(load_corpus("/nonexistent/fgcs-corpus"), fgcs::IoError);
+  const auto empty =
+      std::filesystem::temp_directory_path() / "fgcs_empty_corpus";
+  std::filesystem::create_directories(empty);
+  EXPECT_THROW(load_corpus(empty.string()), fgcs::IoError);
+  std::filesystem::remove_all(empty);
+}
+
+TEST(TestkitFuzz, TargetsAreTotalOverSyntheticCorpora) {
+  // Each target digests valid input, garbage, and empty input without
+  // letting an expected parse error escape.
+  const std::vector<std::vector<std::uint8_t>> inputs = {
+      bytes(""),
+      bytes("garbage \xff\xfe bytes"),
+      bytes("# fgcs-fault-plan v1\ncrash rate_per_day=2 mean_minutes=10\n"),
+      bytes("--seed 7 --days 2 --migrate"),
+  };
+  for (const auto& target : fuzz_targets()) {
+    for (const auto& input : inputs) {
+      EXPECT_NO_THROW(target.fn(input.data(), input.size()))
+          << target.name;
+    }
+  }
+}
+
+TEST(TestkitFuzz, RunIterationsReplaysCorpusThenMutates) {
+  const FuzzTargetInfo* target = find_fuzz_target("fault-plan");
+  ASSERT_NE(target, nullptr);
+  const std::vector<std::vector<std::uint8_t>> corpus = {
+      bytes("# fgcs-fault-plan v1\ncrash rate_per_day=1 mean_minutes=5\n"),
+      bytes("# fgcs-fault-plan v1\nguest-kill at_hours=1,2 machine=0\n"),
+  };
+  const FuzzRunStats stats = run_fuzz_iterations(*target, corpus, 1, 200);
+  EXPECT_EQ(stats.corpus_entries, 2u);
+  EXPECT_EQ(stats.iterations, 200u);
+  EXPECT_GT(stats.max_input_bytes, 0u);
+}
+
+TEST(TestkitFuzz, EscapingFindingPropagatesToTheDriver) {
+  static const FuzzTargetInfo kBomb{
+      "bomb",
+      +[](const std::uint8_t*, std::size_t size) {
+        if (size > 0) throw std::logic_error("fuzz finding: planted");
+      },
+      "none"};
+  const std::vector<std::vector<std::uint8_t>> corpus = {bytes("x")};
+  EXPECT_THROW(run_fuzz_iterations(kBomb, corpus, 1, 10), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fgcs::testkit

@@ -1,0 +1,119 @@
+// The delta-debugging shrinker: a synthetic failure planted in a large
+// scenario must minimize to <= 2 machines and <= 2 fault specs while
+// still failing, without ever losing the original replay seed.
+#include <gtest/gtest.h>
+
+#include "fgcs/fault/fault_plan.hpp"
+#include "fgcs/testkit/runner.hpp"
+#include "fgcs/testkit/scenario.hpp"
+
+namespace fgcs::testkit {
+namespace {
+
+bool has_kind(const Scenario& s, fault::FaultKind kind) {
+  for (const auto& spec : s.testbed.faults.specs) {
+    if (spec.kind == kind) return true;
+  }
+  return false;
+}
+
+// A check that "fails" whenever the plan carries a sensor-dropout spec —
+// a stand-in for a real bug triggered by one fault kind. Scenario-only,
+// so shrink evaluations are cheap and the test is about search, not sim.
+ScenarioRunner::Check dropout_bug() {
+  return [](const Scenario& s) {
+    std::vector<InvariantViolation> v;
+    if (has_kind(s, fault::FaultKind::kSensorDropout)) {
+      v.push_back({"synthetic-dropout-bug", s.str()});
+    }
+    return v;
+  };
+}
+
+// A big scenario that trips the synthetic bug: >= 3 machines, >= 3 fault
+// specs among them a dropout, lifecycle on if we can get it.
+Scenario find_big_failing_scenario() {
+  for (std::uint64_t seed = 1; seed < 20000; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    if (s.testbed.machines >= 3 && s.testbed.faults.size() >= 3 &&
+        has_kind(s, fault::FaultKind::kSensorDropout) && s.run_lifecycle) {
+      return s;
+    }
+  }
+  ADD_FAILURE() << "no qualifying scenario in seed range";
+  return generate_scenario(1);
+}
+
+TEST(TestkitShrink, ReducesSyntheticFailureToMinimalReproduction) {
+  const Scenario big = find_big_failing_scenario();
+  ASSERT_GE(big.testbed.machines, 3u);
+  ASSERT_GE(big.testbed.faults.size(), 3u);
+
+  ScenarioRunner runner;
+  auto check = dropout_bug();
+  runner.set_check(check);
+  const Scenario minimized = runner.shrink(big);
+
+  // Still fails (a shrinker that "fixes" the bug is useless)...
+  EXPECT_FALSE(check(minimized).empty());
+  // ...and is structurally minimal per the acceptance bar.
+  EXPECT_LE(minimized.testbed.machines, 2u);
+  EXPECT_LE(minimized.testbed.faults.size(), 2u);
+  EXPECT_FALSE(minimized.run_lifecycle);
+  EXPECT_LE(minimized.testbed.days, big.testbed.days);
+  // The surviving spec is the culprit kind.
+  EXPECT_TRUE(has_kind(minimized, fault::FaultKind::kSensorDropout));
+  // Provenance: the replay seed rides along unchanged.
+  EXPECT_EQ(minimized.seed, big.seed);
+}
+
+TEST(TestkitShrink, TruncatesScriptedOccurrenceLists) {
+  Scenario s = generate_scenario(77);
+  s.testbed.faults.specs.clear();
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kCrash;
+  spec.at_hours = {1.0, 5.0, 9.0};
+  s.testbed.faults.specs.push_back(spec);
+
+  ScenarioRunner runner;
+  runner.set_check([](const Scenario& sc) {
+    std::vector<InvariantViolation> v;
+    if (!sc.testbed.faults.empty() &&
+        !sc.testbed.faults.specs[0].at_hours.empty()) {
+      v.push_back({"synthetic", "any scripted crash trips it"});
+    }
+    return v;
+  });
+  const Scenario minimized = runner.shrink(s);
+  ASSERT_EQ(minimized.testbed.faults.size(), 1u);
+  EXPECT_EQ(minimized.testbed.faults.specs[0].at_hours.size(), 1u);
+}
+
+TEST(TestkitShrink, ZeroEvalBudgetReturnsInputUnchanged) {
+  RunnerConfig config;
+  config.max_shrink_evals = 0;
+  ScenarioRunner runner(config);
+  runner.set_check(dropout_bug());
+  const Scenario big = find_big_failing_scenario();
+  const Scenario minimized = runner.shrink(big);
+  EXPECT_EQ(minimized.str(), big.str());
+}
+
+TEST(TestkitShrink, RunOneAttachesMinimizedScenario) {
+  RunnerConfig config;
+  config.max_shrink_evals = 200;
+  ScenarioRunner runner(config);
+  runner.set_check(dropout_bug());
+
+  // Find a sweep-visible seed that trips the bug, then check run_one's
+  // failure report carries the shrunk form.
+  const Scenario big = find_big_failing_scenario();
+  const auto failure = runner.run_one(big.seed);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_LE(failure->minimized.testbed.machines, 2u);
+  EXPECT_LE(failure->minimized.testbed.faults.size(), 2u);
+  EXPECT_EQ(failure->minimized.seed, big.seed);
+}
+
+}  // namespace
+}  // namespace fgcs::testkit

@@ -251,5 +251,72 @@ TEST(TraceSalvageTest, FilePathsFlowThroughLoadHelpers) {
   std::remove(path.c_str());
 }
 
+// Regression: a zero-length input is an empty trace, not damage — both
+// salvage readers must return a clean, empty LoadReport for it.
+TEST(TraceSalvageTest, CsvSalvageOfEmptyInputIsCleanAndEmpty) {
+  for (const char* text : {"", "\n", "\r\n\n", "   \n\n"}) {
+    SCOPED_TRACE(std::string("input: ") + text);
+    std::istringstream in(text);
+    const LoadReport report = read_trace_csv_salvage(in, "<empty>");
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(report.recovered, 0u);
+    EXPECT_EQ(report.skipped, 0u);
+    EXPECT_FALSE(report.truncated);
+    EXPECT_FALSE(report.metadata_inferred);
+    EXPECT_TRUE(report.diagnostics.empty());
+    EXPECT_EQ(report.trace.size(), 0u);
+    EXPECT_GE(report.trace.machine_count(), 1u);
+  }
+}
+
+TEST(TraceSalvageTest, BinarySalvageOfEmptyInputIsCleanAndEmpty) {
+  std::istringstream in(std::string{});
+  const LoadReport report = read_trace_binary_salvage(in, "<empty>");
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.recovered, 0u);
+  EXPECT_FALSE(report.truncated);
+  EXPECT_TRUE(report.diagnostics.empty());
+  EXPECT_EQ(report.trace.size(), 0u);
+  EXPECT_GE(report.trace.machine_count(), 1u);
+}
+
+TEST(TraceSalvageTest, CsvSalvageOfHeaderOnlyFileIsCleanAndEmpty) {
+  // A well-formed trace with zero records: magic metadata line plus the
+  // column header, nothing else. Exactly what write_trace_csv emits for
+  // an empty trace.
+  TraceSet empty(3, SimTime::from_micros(0), SimTime::from_micros(1000));
+  std::ostringstream out;
+  write_trace_csv(empty, out);
+  std::istringstream in(out.str());
+  const LoadReport report = read_trace_csv_salvage(in, "<header-only>");
+  EXPECT_TRUE(report.clean())
+      << (report.diagnostics.empty() ? "no diagnostics"
+                                     : report.diagnostics.front());
+  EXPECT_EQ(report.recovered, 0u);
+  EXPECT_EQ(report.trace.machine_count(), 3u);
+  EXPECT_EQ(report.trace.size(), 0u);
+}
+
+TEST(TraceSalvageTest, BinarySalvageOfHeaderOnlyFileIsCleanAndEmpty) {
+  TraceSet empty(2, SimTime::from_micros(0), SimTime::from_micros(500));
+  std::ostringstream out;
+  write_trace_binary(empty, out);
+  std::istringstream in(out.str());
+  const LoadReport report = read_trace_binary_salvage(in, "<header-only>");
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.recovered, 0u);
+  EXPECT_EQ(report.trace.machine_count(), 2u);
+  EXPECT_EQ(report.trace.size(), 0u);
+}
+
+TEST(TraceSalvageTest, BinarySalvageOfPartialMagicIsStillTruncation) {
+  // A few bytes that are not even a whole magic: damage, not emptiness.
+  std::istringstream in(std::string("fgcs", 4));
+  const LoadReport report = read_trace_binary_salvage(in, "<cut>");
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(report.recovered, 0u);
+}
+
 }  // namespace
 }  // namespace fgcs::trace
