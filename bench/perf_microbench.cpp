@@ -11,19 +11,35 @@
 //     off, full 20-machine/92-day testbed wall time) and writes
 //     BENCH_simcore.json — the numbers quoted in docs/performance.md and
 //     regression-checked by scripts/run_bench.sh.
-//   * `--all` runs both tracked suites.
+//   * `--fleet[=path]` runs the tracked fleet-scale suite (2,000 machines,
+//     sharded sweep engine): a threads sweep at one simulated week, an
+//     in-memory vs spill peak-RSS comparison, and the full 92-day sweep.
+//     Each configuration runs in a forked child so wait4()'s ru_maxrss
+//     reports that run's peak RSS alone. Writes BENCH_fleet.json.
+//   * `--all` runs all tracked suites.
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "fgcs/core/testbed.hpp"
+#include "fgcs/fleet/fleet.hpp"
 #include "fgcs/obs/observer.hpp"
 #include "fgcs/ishare/system.hpp"
 #include "fgcs/monitor/detector.hpp"
@@ -197,6 +213,62 @@ void BM_IshareClusterHour(benchmark::State& state) {
 }
 BENCHMARK(BM_IshareClusterHour);
 
+// The shape obs::Histogram::observe() had before the count was derived
+// from the buckets: a third shared atomic RMW per observation. Kept here
+// (and only here) so the contention benchmark below can show what the
+// dropped RMW buys.
+class ThreeRmwHistogram {
+ public:
+  explicit ThreeRmwHistogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)),
+        buckets_(std::make_unique<std::atomic<std::uint64_t>[]>(
+            bounds_.size() + 1)) {}
+
+  void observe(double v) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Many threads observing into one shared series — the profiling-scope
+// pattern under a parallel sweep. Compare against the Legacy variant to
+// see the cost of the third RMW under contention.
+void BM_HistogramObserve(benchmark::State& state) {
+  static obs::Histogram hist(obs::Histogram::default_time_bounds());
+  double v = 1e-6 * (1 + state.thread_index());
+  for (auto _ : state) {
+    v *= 1.7;
+    if (v > 120.0) v = 1e-6;
+    hist.observe(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_HistogramObserveLegacy(benchmark::State& state) {
+  static ThreeRmwHistogram hist(obs::Histogram::default_time_bounds());
+  double v = 1e-6 * (1 + state.thread_index());
+  for (auto _ : state) {
+    v *= 1.7;
+    if (v > 120.0) v = 1e-6;
+    hist.observe(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserveLegacy)->Threads(1)->Threads(2)->Threads(4);
+
 // Schedules and runs 1000-event batches for ~100ms windows and returns
 // the best observed throughput (events/sec) over `trials` windows. Using
 // the max filters scheduler noise: the interesting quantity is the cost
@@ -354,13 +426,197 @@ int run_simcore_suite(const std::string& path) {
   return 0;
 }
 
+struct FleetRun {
+  bool ok = false;
+  double wall_seconds = 0.0;
+  std::uint64_t records = 0;
+  double peak_rss_mb = 0.0;
+
+  double machine_days_per_sec(std::uint32_t machines, int days) const {
+    return static_cast<double>(machines) * days / wall_seconds;
+  }
+};
+
+// Runs one fleet sweep in a forked child: wait4()'s ru_maxrss then
+// reports that configuration's peak RSS alone, uncontaminated by earlier
+// runs in the same process (RSS high-water marks never come back down).
+// The child reports its in-process wall time and record count through a
+// pipe.
+FleetRun measure_fleet(std::uint32_t machines, int days, std::size_t threads,
+                       bool spill) {
+  namespace fs = std::filesystem;
+  fs::path dir;
+  if (spill) {
+    char tmpl[] = "/tmp/fgcs-fleet-bench-XXXXXX";
+    const char* made = mkdtemp(tmpl);
+    if (made == nullptr) {
+      std::fprintf(stderr, "fleet bench: mkdtemp failed\n");
+      return {};
+    }
+    dir = made;
+  }
+
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::fprintf(stderr, "fleet bench: pipe failed\n");
+    return {};
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "fleet bench: fork failed\n");
+    close(fds[0]);
+    close(fds[1]);
+    return {};
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    int rc = 1;
+    try {
+      fleet::FleetConfig config;
+      config.testbed.machines = machines;
+      config.testbed.days = days;
+      config.threads = threads;
+      if (spill) config.spill_dir = dir.string();
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = fleet::run_fleet(config);
+      const double wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      const std::uint64_t records = result.total_records;
+      if (write(fds[1], &wall, sizeof wall) == sizeof wall &&
+          write(fds[1], &records, sizeof records) == sizeof records) {
+        rc = 0;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fleet bench child: %s\n", e.what());
+    }
+    _exit(rc);
+  }
+
+  close(fds[1]);
+  FleetRun run;
+  const bool got = read(fds[0], &run.wall_seconds, sizeof run.wall_seconds) ==
+                       sizeof run.wall_seconds &&
+                   read(fds[0], &run.records, sizeof run.records) ==
+                       sizeof run.records;
+  close(fds[0]);
+
+  rusage usage{};
+  int status = 0;
+  wait4(pid, &status, 0, &usage);
+  run.peak_rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;  // KB
+  run.ok = got && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  if (spill) fs::remove_all(dir);
+  if (!run.ok) std::fprintf(stderr, "fleet bench: child run failed\n");
+  return run;
+}
+
+int run_fleet_suite(const std::string& path) {
+  constexpr std::uint32_t kMachines = 2000;
+  constexpr int kSweepDays = 7;
+  constexpr int kFullDays = 92;
+
+  std::vector<std::size_t> sweep{1, 2, 4};
+  const std::size_t hw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  sweep.push_back(hw);
+  std::sort(sweep.begin(), sweep.end());
+  sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+
+  std::vector<FleetRun> sweep_runs;
+  for (const auto threads : sweep) {
+    // The single-thread rate is the regression-gated scalar, so it gets
+    // best-of-3 trials; one measurement swings 2x on a noisy shared host.
+    const int trials = threads == 1 ? 3 : 1;
+    std::printf("fleet: %u machines x %d days, %zu thread(s), spilling "
+                "(best of %d)...\n",
+                kMachines, kSweepDays, threads, trials);
+    FleetRun best{};
+    for (int t = 0; t < trials; ++t) {
+      const auto run = measure_fleet(kMachines, kSweepDays, threads, true);
+      if (!run.ok) return 1;
+      std::printf("fleet:   %.2fs wall, %.0f machine-days/s, peak RSS "
+                  "%.1f MB\n",
+                  run.wall_seconds,
+                  run.machine_days_per_sec(kMachines, kSweepDays),
+                  run.peak_rss_mb);
+      if (t == 0 || run.wall_seconds < best.wall_seconds) best = run;
+    }
+    sweep_runs.push_back(best);
+  }
+
+  std::printf("fleet: %u machines x %d days, 1 thread, in-memory...\n",
+              kMachines, kSweepDays);
+  const auto inmem = measure_fleet(kMachines, kSweepDays, 1, false);
+  if (!inmem.ok) return 1;
+  std::printf("fleet:   peak RSS %.1f MB in-memory vs %.1f MB spilled\n",
+              inmem.peak_rss_mb, sweep_runs.front().peak_rss_mb);
+
+  std::printf("fleet: full sweep, %u machines x %d days, %zu thread(s)...\n",
+              kMachines, kFullDays, sweep.back());
+  const auto full = measure_fleet(kMachines, kFullDays, sweep.back(), true);
+  if (!full.ok) return 1;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  char buffer[512];
+  out << "{\n  \"suite\": \"fleet\",\n";
+  std::snprintf(buffer, sizeof buffer,
+                "  \"machines\": %u,\n  \"sweep_days\": %d,\n"
+                "  \"hardware_threads\": %zu,\n",
+                kMachines, kSweepDays, hw);
+  out << buffer << "  \"threads_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep_runs.size(); ++i) {
+    std::snprintf(buffer, sizeof buffer,
+                  "    {\"threads\": %zu, \"wall_seconds\": %.2f, "
+                  "\"machine_days_per_sec\": %.0f, \"peak_rss_mb\": %.1f}%s\n",
+                  sweep[i], sweep_runs[i].wall_seconds,
+                  sweep_runs[i].machine_days_per_sec(kMachines, kSweepDays),
+                  sweep_runs[i].peak_rss_mb,
+                  i + 1 == sweep_runs.size() ? "" : ",");
+    out << buffer;
+  }
+  out << "  ],\n";
+  std::snprintf(
+      buffer, sizeof buffer,
+      "  \"single_thread_machine_days_per_sec\": %.0f,\n"
+      "  \"inmemory_peak_rss_mb\": %.1f,\n"
+      "  \"spill_peak_rss_mb\": %.1f,\n",
+      sweep_runs.front().machine_days_per_sec(kMachines, kSweepDays),
+      inmem.peak_rss_mb, sweep_runs.front().peak_rss_mb);
+  out << buffer;
+  std::snprintf(buffer, sizeof buffer,
+                "  \"full_days\": %d,\n  \"full_threads\": %zu,\n"
+                "  \"full_records\": %llu,\n  \"full_wall_seconds\": %.2f,\n"
+                "  \"full_machine_days_per_sec\": %.0f,\n"
+                "  \"full_peak_rss_mb\": %.1f\n}\n",
+                kFullDays, sweep.back(),
+                static_cast<unsigned long long>(full.records),
+                full.wall_seconds,
+                full.machine_days_per_sec(kMachines, kFullDays),
+                full.peak_rss_mb);
+  out << buffer;
+  std::printf("fleet: full sweep %.2fs wall, %llu records, %.0f "
+              "machine-days/s, peak RSS %.1f MB -> %s\n",
+              full.wall_seconds,
+              static_cast<unsigned long long>(full.records),
+              full.machine_days_per_sec(kMachines, kFullDays),
+              full.peak_rss_mb, path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string baseline_path;
   std::string simcore_path;
+  std::string fleet_path;
   bool run_baseline = false;
   bool run_simcore = false;
+  bool run_fleet = false;
   std::vector<char*> bench_args{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -376,19 +632,28 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--simcore=", 0) == 0) {
       run_simcore = true;
       simcore_path = arg.substr(std::string_view("--simcore=").size());
+    } else if (arg == "--fleet") {
+      run_fleet = true;
+      fleet_path = "BENCH_fleet.json";
+    } else if (arg.rfind("--fleet=", 0) == 0) {
+      run_fleet = true;
+      fleet_path = arg.substr(std::string_view("--fleet=").size());
     } else if (arg == "--all") {
       run_baseline = true;
       run_simcore = true;
+      run_fleet = true;
       if (baseline_path.empty()) baseline_path = "BENCH_obs.json";
       if (simcore_path.empty()) simcore_path = "BENCH_simcore.json";
+      if (fleet_path.empty()) fleet_path = "BENCH_fleet.json";
     } else {
       bench_args.push_back(argv[i]);
     }
   }
-  if (run_baseline || run_simcore) {
+  if (run_baseline || run_simcore || run_fleet) {
     int rc = 0;
     if (run_simcore) rc |= run_simcore_suite(simcore_path);
     if (run_baseline) rc |= run_obs_baseline(baseline_path);
+    if (run_fleet) rc |= run_fleet_suite(fleet_path);
     return rc;
   }
 

@@ -13,6 +13,9 @@
 #   scripts/check_build.sh --fuzz   # additionally run the deterministic fuzz
 #                                   # driver (10k iterations per target) under
 #                                   # -DFGCS_SANITIZE=address,undefined
+#   scripts/check_build.sh --tsan   # additionally run the fleet sweep engine,
+#                                   # thread-pool, and parallel-prediction
+#                                   # suites under -DFGCS_SANITIZE=thread
 #
 # The fgcs_obs module itself always compiles with -Werror (see
 # src/fgcs/obs/CMakeLists.txt), so the observability layer stays clean
@@ -25,13 +28,16 @@ run_asan=0
 run_bench=0
 run_chaos=0
 run_fuzz=0
+run_tsan=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --bench) run_bench=1 ;;
     --chaos) run_chaos=1 ;;
     --fuzz) run_fuzz=1 ;;
-    *) echo "usage: $0 [--asan] [--bench] [--chaos] [--fuzz]" >&2; exit 2 ;;
+    --tsan) run_tsan=1 ;;
+    *) echo "usage: $0 [--asan] [--bench] [--chaos] [--fuzz] [--tsan]" >&2
+       exit 2 ;;
   esac
 done
 
@@ -73,6 +79,16 @@ if [[ "$run_fuzz" -eq 1 ]]; then
   echo "== fuzz: deterministic driver, 10k iterations per target =="
   build-fuzz/tests/fuzz/fgcs_fuzz_driver \
     --target all --corpus tests/fuzz/corpus --iterations 10000 --seed 20060806
+fi
+
+if [[ "$run_tsan" -eq 1 ]]; then
+  echo "== tsan: configure + build (thread) =="
+  cmake -B build-tsan -S . -DFGCS_SANITIZE=thread
+  cmake --build build-tsan -j
+
+  echo "== tsan: fleet + parallel suites =="
+  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+    -R '^(Fleet|TraceV2|PredictParallel|ObsShard|ThreadPool|ParallelFor|Testbed)'
 fi
 
 if [[ "$run_bench" -eq 1 ]]; then

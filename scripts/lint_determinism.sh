@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Determinism lint: the simulation core must be a pure function of its
 # seeds.  Reject sources of hidden nondeterminism in the deterministic
-# subtree (src/fgcs/{sim,os,core,fault}):
+# subtree (src/fgcs/{sim,os,core,fault,fleet}):
 #
 #   - wall-clock reads   (std::chrono clocks, time(), gettimeofday, ...)
 #   - libc / hardware RNG (rand, srand, random_device) — all randomness
@@ -17,7 +17,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-DIRS=(src/fgcs/sim src/fgcs/os src/fgcs/core src/fgcs/fault)
+DIRS=(src/fgcs/sim src/fgcs/os src/fgcs/core src/fgcs/fault src/fgcs/fleet)
 
 # pattern<TAB>human-readable reason
 RULES=$(cat <<'EOF'

@@ -7,10 +7,12 @@
 #                                       # committed baseline
 #
 # Runs `perf_microbench --all`, which writes BENCH_simcore.json (sim-core
-# fast-path suite) and BENCH_obs.json (observability overhead baseline).
-# If a committed BENCH_simcore.json baseline exists, the script fails when
-# event-queue throughput regresses more than 20% below it — enough slack
-# to absorb shared-host noise while still catching real regressions.
+# fast-path suite), BENCH_obs.json (observability overhead baseline), and
+# BENCH_fleet.json (sharded fleet sweep: threads sweep, peak RSS, the
+# full 2,000-machine x 92-day run). If a committed baseline exists, the
+# script fails when event-queue throughput or single-thread fleet
+# machine-days/sec regresses more than 20% below it — enough slack to
+# absorb shared-host noise while still catching real regressions.
 #
 # docs/performance.md explains every field in the JSON outputs.
 set -euo pipefail
@@ -30,21 +32,32 @@ if [[ -f BENCH_simcore.json ]]; then
   baseline_events_per_sec="$(sed -n \
     's/.*"event_queue_events_per_sec": \([0-9.]*\).*/\1/p' BENCH_simcore.json)"
 fi
+baseline_fleet_md_per_sec=""
+if [[ -f BENCH_fleet.json ]]; then
+  baseline_fleet_md_per_sec="$(sed -n \
+    's/.*"single_thread_machine_days_per_sec": \([0-9.]*\).*/\1/p' \
+    BENCH_fleet.json)"
+fi
 
 echo "== bench: configure + build (Release) =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DFGCS_WERROR=OFF
 cmake --build build -j --target perf_microbench
 
-echo "== bench: sim-core suite =="
+echo "== bench: sim-core + fleet suites =="
 out="BENCH_simcore.json"
 obs_out="BENCH_obs.json"
+fleet_out="BENCH_fleet.json"
 if [[ "$check_only" -eq 1 ]]; then
   out="$(mktemp /tmp/BENCH_simcore.XXXXXX.json)"
   obs_out="$(mktemp /tmp/BENCH_obs.XXXXXX.json)"
+  fleet_out="$(mktemp /tmp/BENCH_fleet.XXXXXX.json)"
 fi
-./build/bench/perf_microbench --simcore="$out" --obs-baseline="$obs_out"
+./build/bench/perf_microbench --simcore="$out" --obs-baseline="$obs_out" \
+  --fleet="$fleet_out"
 echo
 cat "$out"
+echo
+cat "$fleet_out"
 echo
 
 if [[ -n "$baseline_events_per_sec" ]]; then
@@ -59,6 +72,22 @@ if [[ -n "$baseline_events_per_sec" ]]; then
   fi
 else
   echo "gate: no committed BENCH_simcore.json baseline; skipping"
+fi
+
+if [[ -n "$baseline_fleet_md_per_sec" ]]; then
+  current_fleet="$(sed -n \
+    's/.*"single_thread_machine_days_per_sec": \([0-9.]*\).*/\1/p' \
+    "$fleet_out")"
+  fleet_floor="$(awk -v b="$baseline_fleet_md_per_sec" \
+    'BEGIN { printf "%.0f", b * 0.8 }')"
+  echo "gate: fleet ${current_fleet} machine-days/s vs committed baseline" \
+       "${baseline_fleet_md_per_sec} machine-days/s (floor ${fleet_floor})"
+  if awk -v c="$current_fleet" -v f="$fleet_floor" 'BEGIN { exit !(c < f) }'; then
+    echo "run_bench: FAIL — fleet sweep throughput regressed >20%" >&2
+    exit 1
+  fi
+else
+  echo "gate: no committed BENCH_fleet.json baseline; skipping"
 fi
 
 echo "run_bench: OK"

@@ -44,6 +44,7 @@ std::vector<PredictionStudyRow> run_prediction_study(
     eval.window = window;
     eval.stride = config.stride;
     eval.decision_threshold = config.decision_threshold;
+    eval.parallel = config.parallel;
     for (const auto& p : predictors) {
       rows.push_back({window, evaluate_predictor(*p, index, calendar, eval)});
     }

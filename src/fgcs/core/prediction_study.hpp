@@ -23,6 +23,12 @@ struct PredictionStudyConfig {
       sim::SimDuration::hours(4), sim::SimDuration::hours(8)};
   sim::SimDuration stride = sim::SimDuration::minutes(45);
   double decision_threshold = 0.5;
+
+  /// Evaluate each (machine, window) cell on the global pool instead of
+  /// sequentially. Bit-identical to the sequential study (proven by the
+  /// "prediction-parallel" diff oracle); flip off to pin everything to
+  /// the calling thread.
+  bool parallel = true;
 };
 
 struct PredictionStudyRow {

@@ -161,15 +161,24 @@ std::vector<trace::UnavailabilityRecord> records_from(
 
 }  // namespace
 
+TestbedRunner::TestbedRunner(TestbedConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+  injector_ = make_injector(config_);
+}
+
+std::vector<trace::UnavailabilityRecord> TestbedRunner::run(
+    trace::MachineId machine) const {
+  fgcs::require(machine < config_.machines, "machine id out of range");
+  const auto detector =
+      walk_machine(config_, machine, injector_ ? &*injector_ : nullptr,
+                   [](const auto&, auto) {});
+  return records_from(detector, machine);
+}
+
 std::vector<trace::UnavailabilityRecord> run_testbed_machine(
     const TestbedConfig& config, trace::MachineId machine) {
-  config.validate();
-  fgcs::require(machine < config.machines, "machine id out of range");
-  const auto injector = make_injector(config);
-  const auto detector = walk_machine(config, machine,
-                                     injector ? &*injector : nullptr,
-                                     [](const auto&, auto) {});
-  return records_from(detector, machine);
+  return TestbedRunner(config).run(machine);
 }
 
 TestbedMachineDetail run_testbed_machine_detailed(const TestbedConfig& config,
@@ -271,21 +280,20 @@ CapacityProfile run_capacity_profile(const TestbedConfig& config) {
 
 trace::TraceSet run_testbed(const TestbedConfig& config) {
   FGCS_OBS_SCOPE("testbed/run");
-  config.validate();
-  const sim::SimTime start = sim::SimTime::epoch();
-  const sim::SimTime end = start + sim::SimDuration::days(config.days);
-  trace::TraceSet trace(config.machines, start, end);
+  const TestbedRunner runner(config);
+  trace::TraceSet trace(config.machines, runner.horizon_start(),
+                        runner.horizon_end());
 
   std::vector<std::vector<trace::UnavailabilityRecord>> per_machine(
       config.machines);
-  const auto injector = make_injector(config);
-  const fault::FaultInjector* injector_ptr = injector ? &*injector : nullptr;
   util::parallel_for(config.machines, [&](std::size_t m) {
-    const auto machine = static_cast<trace::MachineId>(m);
-    const auto detector =
-        walk_machine(config, machine, injector_ptr, [](const auto&, auto) {});
-    per_machine[m] = records_from(detector, machine);
+    per_machine[m] = runner.run(static_cast<trace::MachineId>(m));
   });
+  std::size_t total = 0;
+  for (const auto& records : per_machine) total += records.size();
+  trace.reserve(total);
+  // Machine-major insertion is the canonical order: records() stays O(1),
+  // no re-sort.
   for (const auto& records : per_machine) {
     for (const auto& r : records) trace.add(r);
   }

@@ -7,8 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "fgcs/fault/fault_plan.hpp"
+#include "fgcs/fault/injector.hpp"
 #include "fgcs/monitor/policy.hpp"
 #include "fgcs/monitor/state_timeline.hpp"
 #include "fgcs/trace/calendar.hpp"
@@ -50,6 +53,28 @@ trace::TraceSet run_testbed(const TestbedConfig& config);
 /// Simulates a single machine (exposed for tests and incremental use).
 std::vector<trace::UnavailabilityRecord> run_testbed_machine(
     const TestbedConfig& config, trace::MachineId machine);
+
+/// Validates the config once and builds the (optional) fault injector
+/// once, so sweep engines can simulate machines repeatedly without paying
+/// per-machine setup. run() is const and thread-safe: concurrent calls
+/// for different machines share only immutable state, and each machine's
+/// result is identical to run_testbed_machine() for the same config.
+class TestbedRunner {
+ public:
+  explicit TestbedRunner(TestbedConfig config);
+
+  const TestbedConfig& config() const { return config_; }
+  sim::SimTime horizon_start() const { return sim::SimTime::epoch(); }
+  sim::SimTime horizon_end() const {
+    return sim::SimTime::epoch() + sim::SimDuration::days(config_.days);
+  }
+
+  std::vector<trace::UnavailabilityRecord> run(trace::MachineId machine) const;
+
+ private:
+  TestbedConfig config_;
+  std::optional<fault::FaultInjector> injector_;
+};
 
 /// Per-machine detail: the trace records plus the full five-state
 /// timeline (the empirical Figure 5 view).

@@ -1,0 +1,162 @@
+#include "fgcs/fleet/fleet.hpp"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+#include "fgcs/trace/format_v2.hpp"
+#include "fgcs/util/error.hpp"
+#include "fgcs/util/parallel.hpp"
+
+namespace fgcs::fleet {
+
+namespace {
+
+/// Partition cap: keeps segment-file count bounded for very large fleets
+/// while still giving small fleets one machine per shard (maximum
+/// scheduling freedom).
+constexpr std::uint32_t kMaxShards = 64;
+
+std::string segment_name(const std::string& dir, std::size_t shard) {
+  char name[32];
+  std::snprintf(name, sizeof name, "shard-%04zu.trc2", shard);
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += name;
+  return path;
+}
+
+void ensure_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return;
+  throw IoError("cannot create spill directory: " + dir);
+}
+
+}  // namespace
+
+void FleetConfig::validate() const {
+  testbed.validate();
+}
+
+std::uint32_t FleetConfig::effective_shard_machines() const {
+  if (shard_machines > 0) return shard_machines;
+  // Ceil-divide so shard count never exceeds kMaxShards; small fleets get
+  // one machine per shard.
+  return std::max<std::uint32_t>(
+      1, (testbed.machines + kMaxShards - 1) / kMaxShards);
+}
+
+std::vector<std::string> FleetResult::segment_paths() const {
+  std::vector<std::string> paths;
+  if (!spilled) return paths;
+  paths.reserve(shards.size());
+  for (const auto& s : shards) paths.push_back(s.segment_path);
+  return paths;
+}
+
+trace::TraceSet FleetResult::load_trace() const {
+  if (!spilled) {
+    fgcs::require(trace.has_value(), "FleetResult holds no in-memory trace");
+    return *trace;
+  }
+  trace::TraceSet out(machines, horizon_start, horizon_end);
+  out.reserve(total_records);
+  for (const auto& shard : shards) {
+    const trace::TraceView view(shard.segment_path);
+    view.for_each([&](const trace::UnavailabilityRecord& r) { out.add(r); });
+  }
+  return out;
+}
+
+FleetResult run_fleet(const FleetConfig& config) {
+  config.validate();
+  const core::TestbedRunner runner(config.testbed);
+  const bool spill = !config.spill_dir.empty();
+  if (spill) ensure_dir(config.spill_dir);
+
+  const std::uint32_t machines = config.testbed.machines;
+  const std::uint32_t per_shard = config.effective_shard_machines();
+  const std::size_t shard_count = (machines + per_shard - 1) / per_shard;
+
+  FleetResult result;
+  result.machines = machines;
+  result.days = config.testbed.days;
+  result.horizon_start = runner.horizon_start();
+  result.horizon_end = runner.horizon_end();
+  result.spilled = spill;
+  result.shards.resize(shard_count);
+
+  // In-memory mode parks each shard's records here until the ordered
+  // merge below; spill mode streams them straight to disk instead.
+  std::vector<std::vector<trace::UnavailabilityRecord>> shard_records(
+      spill ? 0 : shard_count);
+
+  const auto run_shard = [&](std::size_t s) {
+    ShardSummary& summary = result.shards[s];
+    summary.first_machine = static_cast<std::uint32_t>(s) * per_shard;
+    summary.machine_count =
+        std::min(per_shard, machines - summary.first_machine);
+
+    // All obs hooks on this thread land in the shard's plain counters for
+    // the duration; one merge at the end touches the shared atomics.
+    const obs::ShardScope scope(&summary.counters);
+
+    std::optional<trace::TraceWriterV2> writer;
+    if (spill) {
+      summary.segment_path = segment_name(config.spill_dir, s);
+      writer.emplace(summary.segment_path, machines, result.horizon_start,
+                     result.horizon_end);
+    }
+    std::vector<trace::UnavailabilityRecord> local;
+    for (std::uint32_t i = 0; i < summary.machine_count; ++i) {
+      const auto machine =
+          static_cast<trace::MachineId>(summary.first_machine + i);
+      auto records = runner.run(machine);
+      summary.records += records.size();
+      if (writer) {
+        // Finished machine's records leave memory immediately.
+        writer->append(records);
+      } else {
+        local.insert(local.end(), records.begin(), records.end());
+      }
+    }
+    if (writer) {
+      writer->finish();
+    } else {
+      shard_records[s] = std::move(local);
+    }
+  };
+
+  // A local pool sized to the requested thread count; the caller
+  // participates in parallel_for, so `threads` means total executors.
+  const std::size_t requested = config.threads != 0
+                                    ? config.threads
+                                    : util::configured_thread_count();
+  util::ThreadPool pool(requested > 1 ? requested - 1 : 0);
+  util::parallel_for(shard_count, run_shard, pool);
+
+  // Fold the per-shard counters into the installed observer (if any) in
+  // shard order, off the parallel section — deterministic merge order.
+  if (auto* o = obs::observer()) {
+    for (const auto& s : result.shards) o->merge_shard(s.counters);
+  }
+  for (const auto& s : result.shards) result.total_records += s.records;
+
+  if (!spill) {
+    trace::TraceSet trace(machines, result.horizon_start, result.horizon_end);
+    trace.reserve(result.total_records);
+    // Shard-major, machine-major: the canonical order, so records() stays
+    // re-sort-free.
+    for (auto& records : shard_records) {
+      for (const auto& r : records) trace.add(r);
+      records.clear();
+      records.shrink_to_fit();
+    }
+    result.trace.emplace(std::move(trace));
+  }
+  return result;
+}
+
+}  // namespace fgcs::fleet

@@ -1,0 +1,108 @@
+// Fleet-scale sweep engine: sharded simulation with streaming traces.
+//
+// run_testbed() holds every machine's records in one TraceSet and funnels
+// every obs counter through shared atomics — fine for the paper's 20
+// machines, hostile to fleets of thousands. run_fleet() partitions the
+// machine range into contiguous shards and runs each shard as one unit of
+// work on the pool:
+//
+//   shard worker                         global
+//   ------------------------------       ---------------------------
+//   obs::CounterShard (plain u64) --+--> Observer::merge_shard (once)
+//   core::TestbedRunner::run(m)     |
+//   trace::TraceWriterV2 segment ---+--> spill_dir/shard-NNNN.trc2
+//
+// Each shard owns a thread-local obs shard (hooks bump plain uint64_ts —
+// no cross-core cache-line ping-pong on fault.injected /
+// os.ticks_fast_forwarded) and, in spill mode, a streaming v2 trace
+// writer that appends finished machines' records to its own segment, so
+// peak memory is O(shard block) instead of O(fleet).
+//
+// Determinism: the shard partition is a pure function of the config (not
+// the thread count), every machine simulates on its own seeded substream,
+// and shard-major/machine-major ordering is the TraceSet canonical order —
+// so the merged trace is bit-identical to run_testbed() for any thread
+// count, and segment files are byte-identical run to run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/obs/observer.hpp"
+#include "fgcs/trace/trace_set.hpp"
+
+namespace fgcs::fleet {
+
+struct FleetConfig {
+  /// The per-machine simulation: machines, days, seed, workload profile,
+  /// detector policy, fault plan.
+  core::TestbedConfig testbed;
+
+  /// Worker threads for the sweep; 0 uses util::configured_thread_count()
+  /// (the FGCS_THREADS environment variable, else hardware concurrency).
+  std::size_t threads = 0;
+
+  /// Directory receiving per-shard v2 trace segments. Empty runs
+  /// in-memory (small fleets, tests): records are kept in a TraceSet on
+  /// the result instead of spilled. The directory is created if missing.
+  std::string spill_dir;
+
+  /// Machines per shard; 0 derives a partition capped at kMaxShards
+  /// shards. Must not depend on `threads` — the partition (and hence the
+  /// segment files) is deterministic in the config alone.
+  std::uint32_t shard_machines = 0;
+
+  void validate() const;
+
+  /// The effective machines-per-shard value (resolves the 0 default).
+  std::uint32_t effective_shard_machines() const;
+};
+
+/// One shard's completed work.
+struct ShardSummary {
+  std::uint32_t first_machine = 0;
+  std::uint32_t machine_count = 0;
+  std::uint64_t records = 0;
+  /// The shard's v2 segment (empty in in-memory mode).
+  std::string segment_path;
+  /// The shard's merged obs counters (also folded into the installed
+  /// Observer, when any).
+  obs::CounterShard counters;
+};
+
+struct FleetResult {
+  std::uint32_t machines = 0;
+  int days = 0;
+  sim::SimTime horizon_start;
+  sim::SimTime horizon_end;
+  std::uint64_t total_records = 0;
+  bool spilled = false;
+  std::vector<ShardSummary> shards;
+
+  /// In-memory mode only (spilled == false).
+  std::optional<trace::TraceSet> trace;
+
+  std::uint64_t machine_days() const {
+    return static_cast<std::uint64_t>(machines) *
+           static_cast<std::uint64_t>(days);
+  }
+
+  /// Segment paths in shard (= machine) order; empty in in-memory mode.
+  std::vector<std::string> segment_paths() const;
+
+  /// Materializes the full fleet trace: returns the in-memory TraceSet,
+  /// or streams every spilled segment (in shard order, so insertion is
+  /// canonical and records() never re-sorts) into one. Spilled segments
+  /// must still exist on disk.
+  trace::TraceSet load_trace() const;
+};
+
+/// Runs the sharded fleet sweep. Deterministic in the config for any
+/// thread count; bit-identical to core::run_testbed() on the same
+/// testbed config.
+FleetResult run_fleet(const FleetConfig& config);
+
+}  // namespace fgcs::fleet

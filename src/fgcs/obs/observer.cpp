@@ -87,7 +87,11 @@ void Observer::on_fault_injected(int kind, sim::SimTime at,
   static const char* const kFaultKindNames[kFaultKindCount] = {
       "crash", "dropout", "skew", "guest-kill"};
   if (kind < 0 || kind >= kFaultKindCount) return;
-  fault_injected_[kind]->inc();
+  if (CounterShard* s = current_shard()) {
+    ++s->fault_injected[kind];
+  } else {
+    fault_injected_[kind]->inc();
+  }
   if (trace_enabled_) {
     trace_.complete("fault", kFaultKindNames[kind], at, duration,
                     current_track());
@@ -95,9 +99,15 @@ void Observer::on_fault_injected(int kind, sim::SimTime at,
 }
 
 void Observer::on_sensor_gap(sim::SimTime start, sim::SimDuration duration) {
-  detector_sensor_gaps_->inc();
-  detector_sensor_gap_us_->inc(
-      static_cast<std::uint64_t>(duration.as_micros()));
+  if (CounterShard* s = current_shard()) {
+    ++s->detector_sensor_gaps;
+    s->detector_sensor_gap_us +=
+        static_cast<std::uint64_t>(duration.as_micros());
+  } else {
+    detector_sensor_gaps_->inc();
+    detector_sensor_gap_us_->inc(
+        static_cast<std::uint64_t>(duration.as_micros()));
+  }
   if (trace_enabled_) {
     trace_.complete("detector", "sensor_gap", start, duration,
                     current_track());
@@ -106,7 +116,11 @@ void Observer::on_sensor_gap(sim::SimTime start, sim::SimDuration duration) {
 
 void Observer::on_detector_transition(sim::SimTime at, int from, int to) {
   if (from >= 1 && from <= kStateCount && to >= 1 && to <= kStateCount) {
-    detector_transitions_[from - 1][to - 1]->inc();
+    if (CounterShard* s = current_shard()) {
+      ++s->detector_transitions[from - 1][to - 1];
+    } else {
+      detector_transitions_[from - 1][to - 1]->inc();
+    }
   }
   if (trace_enabled_) {
     trace_.instant("detector", transition_name(from, to), at,
@@ -116,7 +130,11 @@ void Observer::on_detector_transition(sim::SimTime at, int from, int to) {
 
 void Observer::on_episode_opened(sim::SimTime at, int cause, double host_cpu,
                                  double free_mem_mb) {
-  detector_episodes_opened_->inc();
+  if (CounterShard* s = current_shard()) {
+    ++s->detector_episodes_opened;
+  } else {
+    detector_episodes_opened_->inc();
+  }
   if (!trace_enabled_) return;
   char args[96];
   std::snprintf(args, sizeof args, "\"cause\":\"%s\",\"host_cpu\":%.4f,"
@@ -127,7 +145,11 @@ void Observer::on_episode_opened(sim::SimTime at, int cause, double host_cpu,
 
 void Observer::on_episode_closed(sim::SimTime at, int cause,
                                  sim::SimDuration duration) {
-  detector_episodes_closed_->inc();
+  if (CounterShard* s = current_shard()) {
+    ++s->detector_episodes_closed;
+  } else {
+    detector_episodes_closed_->inc();
+  }
   if (!trace_enabled_) return;
   char args[96];
   std::snprintf(args, sizeof args, "\"cause\":\"%s\",\"duration_s\":%.1f",
@@ -142,7 +164,11 @@ void Observer::on_episode_closed(sim::SimTime at, int cause,
 void Observer::on_testbed_machine(std::uint32_t machine, sim::SimTime begin,
                                   sim::SimTime end, std::size_t episodes,
                                   std::uint64_t samples) {
-  testbed_machines_->inc();
+  if (CounterShard* s = current_shard()) {
+    ++s->testbed_machines;
+  } else {
+    testbed_machines_->inc();
+  }
   if (!trace_enabled_) return;
   char name[32];
   std::snprintf(name, sizeof name, "machine-%u", machine);
@@ -161,6 +187,38 @@ void Observer::record_scope(std::string_view name, double seconds) {
       .observe(seconds);
 }
 
+void Observer::merge_shard(const CounterShard& shard) {
+  sim_events_executed_->inc(shard.sim_events_executed);
+  sim_events_scheduled_->inc(shard.sim_events_scheduled);
+  sim_events_cancelled_->inc(shard.sim_events_cancelled);
+  sim_events_compacted_->inc(shard.sim_events_compacted);
+  sim_compactions_->inc(shard.sim_compactions);
+  sim_callbacks_spilled_->inc(shard.sim_callbacks_spilled);
+  sim_max_queue_depth_->set_max(shard.sim_max_queue_depth);
+  for (int k = 0; k < kFaultKindCount; ++k) {
+    if (shard.fault_injected[k] > 0) {
+      fault_injected_[k]->inc(shard.fault_injected[k]);
+    }
+  }
+  detector_samples_->inc(shard.detector_samples);
+  detector_sensor_gaps_->inc(shard.detector_sensor_gaps);
+  detector_sensor_gap_us_->inc(shard.detector_sensor_gap_us);
+  for (int f = 0; f < kStateCount; ++f) {
+    for (int t = 0; t < kStateCount; ++t) {
+      if (shard.detector_transitions[f][t] > 0) {
+        detector_transitions_[f][t]->inc(shard.detector_transitions[f][t]);
+      }
+    }
+  }
+  detector_episodes_opened_->inc(shard.detector_episodes_opened);
+  detector_episodes_closed_->inc(shard.detector_episodes_closed);
+  os_ticks_->inc(shard.os_ticks);
+  os_ticks_fast_forwarded_->inc(shard.os_ticks_fast_forwarded);
+  os_context_switches_->inc(shard.os_context_switches);
+  os_max_runnable_->set_max(shard.os_max_runnable);
+  testbed_machines_->inc(shard.testbed_machines);
+}
+
 namespace detail {
 std::atomic<Observer*> g_observer{nullptr};
 }  // namespace detail
@@ -168,6 +226,16 @@ std::atomic<Observer*> g_observer{nullptr};
 void set_observer(Observer* observer) {
   detail::g_observer.store(observer, std::memory_order_release);
 }
+
+namespace detail {
+thread_local CounterShard* t_shard = nullptr;
+}  // namespace detail
+
+ShardScope::ShardScope(CounterShard* shard) : previous_(detail::t_shard) {
+  detail::t_shard = shard;
+}
+
+ShardScope::~ShardScope() { detail::t_shard = previous_; }
 
 namespace {
 thread_local std::uint32_t t_current_track = 0;

@@ -41,6 +41,57 @@ inline constexpr int kStateCount = 5;
 /// depending on the fault layer (which links against obs).
 inline constexpr int kFaultKindCount = 4;
 
+/// Plain (non-atomic) mirror of the Observer's hot counters.
+///
+/// A sweep worker installs one with ShardScope; every hook then bumps a
+/// thread-local uint64_t instead of a shared atomic — no cross-core
+/// cache-line ping-pong on `fault.injected`/`os.ticks_fast_forwarded`
+/// while thousands of machines simulate in parallel. The shard is folded
+/// into the global registry once, at shard completion, via
+/// Observer::merge_shard().
+struct CounterShard {
+  std::uint64_t sim_events_executed = 0;
+  std::uint64_t sim_events_scheduled = 0;
+  std::uint64_t sim_events_cancelled = 0;
+  std::uint64_t sim_events_compacted = 0;
+  std::uint64_t sim_compactions = 0;
+  std::uint64_t sim_callbacks_spilled = 0;
+  double sim_max_queue_depth = 0.0;
+  std::uint64_t fault_injected[kFaultKindCount] = {};
+  std::uint64_t detector_samples = 0;
+  std::uint64_t detector_sensor_gaps = 0;
+  std::uint64_t detector_sensor_gap_us = 0;
+  std::uint64_t detector_transitions[kStateCount][kStateCount] = {};
+  std::uint64_t detector_episodes_opened = 0;
+  std::uint64_t detector_episodes_closed = 0;
+  std::uint64_t os_ticks = 0;
+  std::uint64_t os_ticks_fast_forwarded = 0;
+  std::uint64_t os_context_switches = 0;
+  double os_max_runnable = 0.0;
+  std::uint64_t testbed_machines = 0;
+};
+
+namespace detail {
+extern thread_local CounterShard* t_shard;
+}  // namespace detail
+
+/// The calling thread's installed counter shard (nullptr when hooks write
+/// straight to the global registry).
+inline CounterShard* current_shard() { return detail::t_shard; }
+
+/// RAII thread-local shard install/restore. The caller owns the shard and
+/// is responsible for merge_shard() after the scope ends.
+class ShardScope {
+ public:
+  explicit ShardScope(CounterShard* shard);
+  ~ShardScope();
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+
+ private:
+  CounterShard* previous_;
+};
+
 class Observer {
  public:
   struct Options {
@@ -68,22 +119,44 @@ class Observer {
   /// (uncancelled) events remaining — cancelled-but-unswept heap entries
   /// are excluded so the queue-depth gauge reports real backlog.
   void on_sim_event(std::size_t live_depth) {
+    const double depth = static_cast<double>(live_depth) + 1.0;
+    if (CounterShard* s = current_shard()) {
+      ++s->sim_events_executed;
+      if (depth > s->sim_max_queue_depth) s->sim_max_queue_depth = depth;
+      return;
+    }
     sim_events_executed_->inc();
-    sim_max_queue_depth_->set_max(static_cast<double>(live_depth) + 1.0);
+    sim_max_queue_depth_->set_max(depth);
   }
 
   /// One event scheduled; `inlined` says the callback's captures fit the
   /// inline buffer (no allocation).
   void on_sim_schedule(bool inlined) {
+    if (CounterShard* s = current_shard()) {
+      ++s->sim_events_scheduled;
+      if (!inlined) ++s->sim_callbacks_spilled;
+      return;
+    }
     sim_events_scheduled_->inc();
     if (!inlined) sim_callbacks_spilled_->inc();
   }
 
   /// One live event cancelled through its handle.
-  void on_sim_cancel() { sim_events_cancelled_->inc(); }
+  void on_sim_cancel() {
+    if (CounterShard* s = current_shard()) {
+      ++s->sim_events_cancelled;
+      return;
+    }
+    sim_events_cancelled_->inc();
+  }
 
   /// A heap compaction pass removed `removed` cancelled entries.
   void on_sim_compaction(std::size_t removed) {
+    if (CounterShard* s = current_shard()) {
+      ++s->sim_compactions;
+      s->sim_events_compacted += removed;
+      return;
+    }
     sim_compactions_->inc();
     sim_events_compacted_->inc(removed);
   }
@@ -114,7 +187,13 @@ class Observer {
 
   // -- monitor hooks ---------------------------------------------------------
 
-  void on_detector_sample() { detector_samples_->inc(); }
+  void on_detector_sample() {
+    if (CounterShard* s = current_shard()) {
+      ++s->detector_samples;
+      return;
+    }
+    detector_samples_->inc();
+  }
 
   /// A sensor gap (dropped samples) was bridged by hold-last-state.
   void on_sensor_gap(sim::SimTime start, sim::SimDuration duration);
@@ -132,6 +211,14 @@ class Observer {
   /// One scheduler tick; `switched` means a different process (or idle)
   /// got the CPU than on the previous tick.
   void on_machine_tick(bool switched, std::size_t runnable) {
+    if (CounterShard* s = current_shard()) {
+      ++s->os_ticks;
+      if (switched) ++s->os_context_switches;
+      if (static_cast<double>(runnable) > s->os_max_runnable) {
+        s->os_max_runnable = static_cast<double>(runnable);
+      }
+      return;
+    }
     os_ticks_->inc();
     if (switched) os_context_switches_->inc();
     os_max_runnable_->set_max(static_cast<double>(runnable));
@@ -140,6 +227,10 @@ class Observer {
   /// The scheduler fast-forward jumped over `skipped` ticks that a forced
   /// per-tick run would have executed individually.
   void on_machine_ticks_skipped(std::uint64_t skipped) {
+    if (CounterShard* s = current_shard()) {
+      s->os_ticks_fast_forwarded += skipped;
+      return;
+    }
     os_ticks_fast_forwarded_->inc(skipped);
   }
 
@@ -155,6 +246,11 @@ class Observer {
 
   /// Feeds the "scope.seconds{scope=...}" histogram family (wall-clock).
   void record_scope(std::string_view name, double seconds);
+
+  /// Folds a completed worker shard into the global registry: counters
+  /// are added, max-gauges raised. Called once per shard, off the hot
+  /// path; safe to call concurrently from multiple finishing workers.
+  void merge_shard(const CounterShard& shard);
 
  private:
   MetricRegistry metrics_;

@@ -6,6 +6,7 @@
 
 #include "fgcs/obs/observer.hpp"
 #include "fgcs/util/error.hpp"
+#include "fgcs/util/parallel.hpp"
 
 namespace fgcs::predict {
 
@@ -33,6 +34,70 @@ void EvaluationConfig::validate() const {
                 "decision_threshold must be a probability");
 }
 
+namespace {
+
+/// One machine's evaluation partials. Both the sequential and the
+/// parallel path compute these per machine and merge them in machine
+/// order, so the two paths are floating-point bit-identical (summation
+/// order never depends on the worker count).
+struct MachineAccum {
+  std::size_t queries = 0;
+  double brier_sum = 0.0;
+  double occ_mae_sum = 0.0;
+  std::size_t correct = 0;
+  std::size_t truly_available = 0;
+  std::size_t tp = 0;  // predicted available, was available
+  std::size_t fp = 0;  // predicted available, was unavailable
+  std::array<std::size_t, 10> bucket_count{};
+  std::array<double, 10> bucket_pred_sum{};
+  std::array<std::size_t, 10> bucket_avail{};
+};
+
+MachineAccum evaluate_machine(const AvailabilityPredictor& predictor,
+                              const trace::TraceIndex& index,
+                              const EvaluationConfig& config,
+                              trace::MachineId m) {
+  MachineAccum acc;
+  for (sim::SimTime t = config.begin; t + config.window <= config.end;
+       t += config.stride) {
+    // Skip instants where the machine is already down: a scheduler
+    // would not consider submitting there.
+    bool inside = false;
+    index.last_end_before(m, t, &inside);
+    if (inside) continue;
+
+    PredictionQuery q{m, t, config.window};
+    const double p = predictor.predict_availability(q);
+    FGCS_ASSERT(p >= 0.0 && p <= 1.0);
+    const bool actual_available = !index.any_overlap(m, t, t + config.window);
+    const bool predicted_available = p >= config.decision_threshold;
+
+    ++acc.queries;
+    const double truth = actual_available ? 1.0 : 0.0;
+    acc.brier_sum += (p - truth) * (p - truth);
+    {
+      auto bucket = static_cast<std::size_t>(p * 10.0);
+      bucket = std::min<std::size_t>(bucket, 9);
+      acc.bucket_count[bucket] += 1;
+      acc.bucket_pred_sum[bucket] += p;
+      if (actual_available) acc.bucket_avail[bucket] += 1;
+    }
+    if (predicted_available == actual_available) ++acc.correct;
+    if (actual_available) ++acc.truly_available;
+    if (predicted_available) {
+      (actual_available ? acc.tp : acc.fp)++;
+    }
+
+    const double predicted_occ = predictor.predict_occurrences(q);
+    const auto actual_occ =
+        static_cast<double>(index.count_starts_in(m, t, t + config.window));
+    acc.occ_mae_sum += std::abs(predicted_occ - actual_occ);
+  }
+  return acc;
+}
+
+}  // namespace
+
 EvaluationResult evaluate_predictor(AvailabilityPredictor& predictor,
                                     const trace::TraceIndex& index,
                                     const trace::TraceCalendar& calendar,
@@ -48,51 +113,41 @@ EvaluationResult evaluate_predictor(AvailabilityPredictor& predictor,
                               ? std::chrono::steady_clock::now()
                               : std::chrono::steady_clock::time_point{};
 
+  // Per-machine partials, then an ordered merge. The parallel path only
+  // changes *where* each machine's partial is computed, never the merge
+  // order — the result is bit-identical either way.
+  const std::size_t machine_count = index.machine_count();
+  std::vector<MachineAccum> per_machine(machine_count);
+  const auto eval_machine = [&](std::size_t m) {
+    per_machine[m] = evaluate_machine(
+        predictor, index, config, static_cast<trace::MachineId>(m));
+  };
+  if (config.parallel) {
+    util::parallel_for(machine_count, eval_machine);
+  } else {
+    for (std::size_t m = 0; m < machine_count; ++m) eval_machine(m);
+  }
+
   double brier_sum = 0.0;
   double occ_mae_sum = 0.0;
   std::size_t correct = 0;
   std::size_t truly_available = 0;
-  std::size_t tp = 0;  // predicted available, was available
-  std::size_t fp = 0;  // predicted available, was unavailable
+  std::size_t tp = 0;
+  std::size_t fp = 0;
   std::array<double, 10> bucket_pred_sum{};
   std::array<std::size_t, 10> bucket_avail{};
-
-  for (trace::MachineId m = 0; m < index.machine_count(); ++m) {
-    for (sim::SimTime t = config.begin; t + config.window <= config.end;
-         t += config.stride) {
-      // Skip instants where the machine is already down: a scheduler
-      // would not consider submitting there.
-      bool inside = false;
-      index.last_end_before(m, t, &inside);
-      if (inside) continue;
-
-      PredictionQuery q{m, t, config.window};
-      const double p = predictor.predict_availability(q);
-      FGCS_ASSERT(p >= 0.0 && p <= 1.0);
-      const bool actual_available =
-          !index.any_overlap(m, t, t + config.window);
-      const bool predicted_available = p >= config.decision_threshold;
-
-      ++result.queries;
-      const double truth = actual_available ? 1.0 : 0.0;
-      brier_sum += (p - truth) * (p - truth);
-      {
-        auto bucket = static_cast<std::size_t>(p * 10.0);
-        bucket = std::min<std::size_t>(bucket, 9);
-        result.reliability[bucket].count += 1;
-        bucket_pred_sum[bucket] += p;
-        if (actual_available) bucket_avail[bucket] += 1;
-      }
-      if (predicted_available == actual_available) ++correct;
-      if (actual_available) ++truly_available;
-      if (predicted_available) {
-        (actual_available ? tp : fp)++;
-      }
-
-      const double predicted_occ = predictor.predict_occurrences(q);
-      const auto actual_occ = static_cast<double>(
-          index.count_starts_in(m, t, t + config.window));
-      occ_mae_sum += std::abs(predicted_occ - actual_occ);
+  for (const MachineAccum& acc : per_machine) {
+    result.queries += acc.queries;
+    brier_sum += acc.brier_sum;
+    occ_mae_sum += acc.occ_mae_sum;
+    correct += acc.correct;
+    truly_available += acc.truly_available;
+    tp += acc.tp;
+    fp += acc.fp;
+    for (std::size_t b = 0; b < 10; ++b) {
+      result.reliability[b].count += acc.bucket_count[b];
+      bucket_pred_sum[b] += acc.bucket_pred_sum[b];
+      bucket_avail[b] += acc.bucket_avail[b];
     }
   }
 

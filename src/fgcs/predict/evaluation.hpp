@@ -29,6 +29,14 @@ struct EvaluationConfig {
   /// Classification threshold on predicted availability.
   double decision_threshold = 0.5;
 
+  /// Evaluate machines in parallel on the global pool. Bit-identical to
+  /// the sequential path: each machine's queries accumulate into their
+  /// own partial sums, merged in machine order either way (the diff
+  /// oracle "prediction-parallel" sweeps this equivalence). Requires the
+  /// predictor's const query methods to be thread-safe after attach() —
+  /// true for every predictor in the repo (none keeps mutable caches).
+  bool parallel = true;
+
   void validate() const;
 };
 

@@ -5,7 +5,9 @@
 #include <sstream>
 #include <vector>
 
+#include "fgcs/core/prediction_study.hpp"
 #include "fgcs/core/testbed.hpp"
+#include "fgcs/fleet/fleet.hpp"
 #include "fgcs/os/machine.hpp"
 #include "fgcs/predict/semi_markov.hpp"
 #include "fgcs/testkit/scenario.hpp"
@@ -407,6 +409,97 @@ DiffResult oracle_semi_markov_brute(std::uint64_t seed) {
   return DiffResult::ok();
 }
 
+// --- oracle 5: sharded fleet sweep vs. single-threaded testbed ------------
+
+DiffResult oracle_fleet_sharded(std::uint64_t seed) {
+  const core::TestbedConfig config = small_testbed(seed);
+  const trace::TraceSet reference = core::run_testbed(config);
+
+  // Shard geometry and worker count drawn from the seed: the merged fleet
+  // trace must be bit-identical to the plain testbed for every partition.
+  util::RngStream rng(seed, {kOracleTag, 5});
+  fleet::FleetConfig fc;
+  fc.testbed = config;
+  fc.shard_machines = static_cast<std::uint32_t>(1 + rng.uniform_index(3));
+  fc.threads = 1 + rng.uniform_index(4);
+  const fleet::FleetResult result = fleet::run_fleet(fc);
+  if (result.total_records != reference.size()) {
+    std::ostringstream out;
+    out << "fleet recorded " << result.total_records << " records, testbed "
+        << reference.size();
+    return DiffResult::mismatch(out.str());
+  }
+  return diff_traces(result.load_trace(), reference,
+                     "sharded fleet vs testbed");
+}
+
+// --- oracle 6: parallel vs. sequential prediction study -------------------
+
+DiffResult diff_evaluations(const predict::EvaluationResult& a,
+                            const predict::EvaluationResult& b,
+                            const char* what) {
+  std::ostringstream out;
+  out << what << " [" << a.predictor << "]: ";
+  if (a.predictor != b.predictor || a.queries != b.queries) {
+    out << "query counts differ (" << a.queries << " vs " << b.queries << ")";
+    return DiffResult::mismatch(out.str());
+  }
+  // Bit-exact comparison on every double: the parallel path must merge
+  // per-machine partials in exactly the sequential order.
+  if (a.brier != b.brier || a.accuracy != b.accuracy ||
+      a.true_positive_rate != b.true_positive_rate ||
+      a.false_positive_rate != b.false_positive_rate ||
+      a.occurrence_mae != b.occurrence_mae ||
+      a.base_availability != b.base_availability) {
+    out << "aggregate metrics differ (brier " << a.brier << " vs " << b.brier
+        << ")";
+    return DiffResult::mismatch(out.str());
+  }
+  for (std::size_t i = 0; i < a.reliability.size(); ++i) {
+    const auto& ra = a.reliability[i];
+    const auto& rb = b.reliability[i];
+    if (ra.count != rb.count || ra.mean_predicted != rb.mean_predicted ||
+        ra.observed_available != rb.observed_available) {
+      out << "reliability bucket " << i << " differs";
+      return DiffResult::mismatch(out.str());
+    }
+  }
+  return DiffResult::ok();
+}
+
+DiffResult oracle_prediction_parallel(std::uint64_t seed) {
+  core::TestbedConfig testbed = small_testbed(seed);
+  // The study needs a held-out evaluation period after training.
+  testbed.days = std::max(testbed.days, 3);
+  const trace::TraceSet trace = core::run_testbed(testbed);
+  const trace::TraceCalendar calendar(testbed.start_dow);
+
+  core::PredictionStudyConfig study;
+  study.train_days = 1;
+  study.windows = {sim::SimDuration::hours(1), sim::SimDuration::hours(4)};
+  study.stride = sim::SimDuration::hours(1);
+
+  study.parallel = true;
+  const auto par = core::run_prediction_study(trace, calendar, study);
+  study.parallel = false;
+  const auto seq = core::run_prediction_study(trace, calendar, study);
+
+  if (par.size() != seq.size()) {
+    return DiffResult::mismatch("row counts differ");
+  }
+  for (std::size_t i = 0; i < par.size(); ++i) {
+    if (par[i].window != seq[i].window) {
+      return DiffResult::mismatch("row windows differ");
+    }
+    if (auto diff = diff_evaluations(par[i].result, seq[i].result,
+                                     "parallel vs sequential study");
+        !diff.match) {
+      return diff;
+    }
+  }
+  return DiffResult::ok();
+}
+
 }  // namespace
 
 const std::vector<DiffOracle>& standard_oracles() {
@@ -415,6 +508,8 @@ const std::vector<DiffOracle>& standard_oracles() {
       {"testbed-parallel", oracle_testbed_parallel},
       {"trace-roundtrip", oracle_trace_roundtrip},
       {"semi-markov-brute", oracle_semi_markov_brute},
+      {"fleet-sharded", oracle_fleet_sharded},
+      {"prediction-parallel", oracle_prediction_parallel},
   };
   return oracles;
 }

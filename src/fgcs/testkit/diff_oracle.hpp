@@ -14,6 +14,12 @@
 //   semi-markov-brute       predict::SemiMarkovPredictor vs. brute-force
 //                           enumeration of the conditional-survival
 //                           estimate on small synthetic chains
+//   fleet-sharded           fleet::run_fleet (sharded, multi-thread) vs.
+//                           core::run_testbed, over seed-drawn shard
+//                           geometries and worker counts
+//   prediction-parallel     core::run_prediction_study with parallel
+//                           machine evaluation vs. the sequential path,
+//                           every metric compared bit-for-bit
 //
 // This replaces scattered hand-rolled equivalence tests with one API the
 // CI property suite sweeps over hundreds of seeds.
@@ -43,7 +49,7 @@ struct DiffOracle {
   std::function<DiffResult(std::uint64_t seed)> run;
 };
 
-/// The four standard oracles above.
+/// The six standard oracles above.
 const std::vector<DiffOracle>& standard_oracles();
 
 /// Finds a standard oracle by name; nullptr when unknown.

@@ -1,0 +1,564 @@
+#include "fgcs/trace/format_v2.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'G', 'C', 'S', 'T', 'R', 'C', '2'};
+constexpr char kEndMagic[8] = {'F', 'G', 'C', 'S', 'E', 'N', 'D', '2'};
+constexpr std::uint32_t kBlockMagic = 0x324B4C42;  // "BLK2" little-endian
+constexpr std::size_t kHeaderBytes = 28;
+// u64 total_records + u64 footer_offset + trailing magic.
+constexpr std::size_t kTrailerBytes = 24;
+constexpr std::size_t kFooterEntryBytes = 24;
+constexpr std::size_t kMaxDiagnostics = 8;
+// Corruption guard for the salvage scanner: no writer produces blocks
+// this large (kDefaultBlockRecords is 4096), so a bigger count is a
+// mangled byte, not data.
+constexpr std::uint64_t kMaxPlausibleBlock = std::uint64_t{1} << 26;
+
+// Per-record bytes across all six columns (4+8+8+1+8+8).
+constexpr std::uint64_t kRecordBytes = 37;
+// Offset of the free_mem_mb column (the last one) within a block of n
+// records: machine 4n + start 8n + end 8n + cause n + host_cpu 8n.
+constexpr std::uint64_t last_column_offset(std::uint64_t n) { return 29 * n; }
+
+template <typename T>
+void store(std::vector<unsigned char>& buf, T value) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&value);
+  buf.insert(buf.end(), p, p + sizeof value);
+}
+
+template <typename T>
+T load(const unsigned char* p) {
+  T value;
+  std::memcpy(&value, p, sizeof value);
+  return value;
+}
+
+bool valid_cause(std::uint8_t cause) { return cause >= 3 && cause <= 5; }
+
+// Mirrors io.cpp's semantic validation (kept local: that one lives in
+// io.cpp's anonymous namespace).
+std::string record_defect(const UnavailabilityRecord& r) {
+  if (r.end < r.start) return "episode ends before it starts";
+  if (!std::isfinite(r.host_cpu) || r.host_cpu < 0.0 || r.host_cpu > 1.0) {
+    return "host_cpu out of [0, 1]";
+  }
+  if (!std::isfinite(r.free_mem_mb) || r.free_mem_mb < 0.0) {
+    return "negative or non-finite free_mem_mb";
+  }
+  return {};
+}
+
+void add_diagnostic(LoadReport& report, std::string message) {
+  if (report.diagnostics.size() < kMaxDiagnostics) {
+    report.diagnostics.push_back(std::move(message));
+  }
+}
+
+struct Meta {
+  std::uint32_t machines = 0;
+  std::int64_t start_us = 0;
+  std::int64_t end_us = 0;
+
+  bool valid() const { return machines > 0 && end_us > start_us; }
+};
+
+// Builds the report's TraceSet from salvaged records, inferring metadata
+// from the records when the header was unusable (same policy as the v1
+// salvage readers).
+void finish_salvage(LoadReport& report, std::vector<UnavailabilityRecord> recs,
+                    Meta meta) {
+  if (!meta.valid()) {
+    report.metadata_inferred = true;
+    meta.machines = 1;
+    meta.start_us = 0;
+    meta.end_us = 1;
+    if (!recs.empty()) {
+      std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+      std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+      std::uint32_t max_machine = 0;
+      for (const auto& r : recs) {
+        lo = std::min(lo, r.start.as_micros());
+        hi = std::max(hi, r.end.as_micros());
+        max_machine = std::max(max_machine, r.machine);
+      }
+      meta.machines = max_machine + 1;
+      meta.start_us = lo;
+      meta.end_us = hi > lo ? hi : lo + 1;
+    }
+  } else {
+    const auto bad = static_cast<std::size_t>(std::count_if(
+        recs.begin(), recs.end(),
+        [&](const auto& r) { return r.machine >= meta.machines; }));
+    if (bad > 0) {
+      report.skipped += bad;
+      add_diagnostic(report, std::to_string(bad) +
+                                 " record(s) reference machines outside the "
+                                 "declared machine count");
+      recs.erase(std::remove_if(
+                     recs.begin(), recs.end(),
+                     [&](const auto& r) { return r.machine >= meta.machines; }),
+                 recs.end());
+    }
+  }
+  report.trace =
+      TraceSet(meta.machines, sim::SimTime::from_micros(meta.start_us),
+               sim::SimTime::from_micros(meta.end_us));
+  for (const auto& r : recs) report.trace.add(r);
+  report.recovered = recs.size();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TraceWriterV2
+
+TraceWriterV2::TraceWriterV2(const std::string& path, std::uint32_t machines,
+                             sim::SimTime horizon_start,
+                             sim::SimTime horizon_end,
+                             std::size_t block_records)
+    : path_(path),
+      out_(std::make_unique<std::ofstream>(
+          path, std::ios::out | std::ios::binary | std::ios::trunc)),
+      block_records_(block_records) {
+  fgcs::require(machines > 0, "TraceWriterV2 needs at least one machine");
+  fgcs::require(horizon_end > horizon_start,
+                "TraceWriterV2 horizon must be non-empty");
+  fgcs::require(block_records_ > 0,
+                "TraceWriterV2 block size must be positive");
+  if (!*out_) throw IoError("cannot open for writing: " + path);
+  pending_.reserve(block_records_);
+  out_->write(kMagic, sizeof kMagic);
+  std::vector<unsigned char> head;
+  store<std::uint32_t>(head, machines);
+  store<std::int64_t>(head, horizon_start.as_micros());
+  store<std::int64_t>(head, horizon_end.as_micros());
+  out_->write(reinterpret_cast<const char*>(head.data()),
+              static_cast<std::streamsize>(head.size()));
+  if (!*out_) throw IoError("failed writing v2 trace header: " + path);
+  offset_ = kHeaderBytes;
+}
+
+TraceWriterV2::~TraceWriterV2() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor must not throw; callers wanting the error call finish().
+  }
+}
+
+void TraceWriterV2::append(const UnavailabilityRecord& record) {
+  fgcs::require(!finished_, "TraceWriterV2 already finished");
+  pending_.push_back(record);
+  ++total_;
+  if (pending_.size() >= block_records_) flush_block();
+}
+
+void TraceWriterV2::append(std::span<const UnavailabilityRecord> records) {
+  for (const auto& r : records) append(r);
+}
+
+void TraceWriterV2::flush_block() {
+  if (pending_.empty()) return;
+  const std::size_t n = pending_.size();
+  std::vector<unsigned char> buf;
+  buf.reserve(8 + kRecordBytes * n);
+  store<std::uint32_t>(buf, kBlockMagic);
+  store<std::uint32_t>(buf, static_cast<std::uint32_t>(n));
+
+  BlockMeta meta;
+  meta.offset = offset_ + 8;  // column data starts after magic + count
+  meta.count = n;
+  meta.min_machine = std::numeric_limits<std::uint32_t>::max();
+  meta.max_machine = 0;
+  for (const auto& r : pending_) {
+    meta.min_machine = std::min(meta.min_machine, r.machine);
+    meta.max_machine = std::max(meta.max_machine, r.machine);
+  }
+  // One column at a time: the whole point of the SoA layout.
+  for (const auto& r : pending_) store<std::uint32_t>(buf, r.machine);
+  for (const auto& r : pending_) store<std::int64_t>(buf, r.start.as_micros());
+  for (const auto& r : pending_) store<std::int64_t>(buf, r.end.as_micros());
+  for (const auto& r : pending_) {
+    store<std::uint8_t>(buf, static_cast<std::uint8_t>(r.cause));
+  }
+  for (const auto& r : pending_) store<double>(buf, r.host_cpu);
+  for (const auto& r : pending_) store<double>(buf, r.free_mem_mb);
+
+  out_->write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+  if (!*out_) throw IoError("failed writing v2 trace block: " + path_);
+  offset_ += buf.size();
+  blocks_.push_back(meta);
+  pending_.clear();
+}
+
+void TraceWriterV2::finish() {
+  if (finished_) return;
+  flush_block();
+  const std::uint64_t footer_offset = offset_;
+  std::vector<unsigned char> buf;
+  buf.reserve(8 + kFooterEntryBytes * blocks_.size() + kTrailerBytes);
+  store<std::uint64_t>(buf, blocks_.size());
+  for (const auto& b : blocks_) {
+    store<std::uint64_t>(buf, b.offset);
+    store<std::uint64_t>(buf, b.count);
+    store<std::uint32_t>(buf, b.min_machine);
+    store<std::uint32_t>(buf, b.max_machine);
+  }
+  store<std::uint64_t>(buf, total_);
+  store<std::uint64_t>(buf, footer_offset);
+  out_->write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+  out_->write(kEndMagic, sizeof kEndMagic);
+  out_->flush();
+  if (!*out_) throw IoError("failed writing v2 trace footer: " + path_);
+  out_.reset();
+  finished_ = true;
+}
+
+void write_trace_v2(const TraceSet& trace, const std::string& path) {
+  TraceWriterV2 writer(path, trace.machine_count(), trace.horizon_start(),
+                       trace.horizon_end());
+  writer.append(trace.records());
+  writer.finish();
+}
+
+// ---------------------------------------------------------------------------
+// TraceView
+
+TraceView::TraceView(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw IoError("cannot open for reading: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw IoError("cannot stat: " + path);
+  }
+  bytes_ = static_cast<std::size_t>(st.st_size);
+  if (bytes_ >= kHeaderBytes + 8 + kTrailerBytes) {
+    void* map = ::mmap(nullptr, bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      data_ = static_cast<const unsigned char*>(map);
+      mapped_ = true;
+    }
+  }
+  if (!mapped_) {
+    // mmap can fail on exotic filesystems (or zero-size files); fall back
+    // to a plain read so the strict validation below still reports a
+    // proper IoError.
+    fallback_.resize(bytes_);
+    std::size_t got = 0;
+    while (got < bytes_) {
+      const ::ssize_t n = ::read(fd, fallback_.data() + got, bytes_ - got);
+      if (n <= 0) break;
+      got += static_cast<std::size_t>(n);
+    }
+    if (got != bytes_) {
+      ::close(fd);
+      throw IoError("cannot read: " + path);
+    }
+    data_ = fallback_.data();
+  }
+  ::close(fd);  // the mapping (or buffer) outlives the descriptor
+
+  try {
+    if (bytes_ < kHeaderBytes + 8 + kTrailerBytes ||
+        std::memcmp(data_, kMagic, sizeof kMagic) != 0) {
+      throw IoError(path + ": not an fgcs v2 trace (bad magic)");
+    }
+    if (std::memcmp(data_ + bytes_ - 8, kEndMagic, sizeof kEndMagic) != 0) {
+      throw IoError(path + ": v2 trace missing end magic (truncated?)");
+    }
+    machines_ = load<std::uint32_t>(data_ + 8);
+    start_ = sim::SimTime::from_micros(load<std::int64_t>(data_ + 12));
+    end_ = sim::SimTime::from_micros(load<std::int64_t>(data_ + 20));
+    if (machines_ == 0 || end_ <= start_) {
+      throw IoError(path + ": invalid v2 trace metadata");
+    }
+    const std::uint64_t footer_offset =
+        load<std::uint64_t>(data_ + bytes_ - 16);
+    if (footer_offset < kHeaderBytes ||
+        footer_offset + 8 + kTrailerBytes > bytes_) {
+      throw IoError(path + ": v2 footer offset out of range");
+    }
+    const std::uint64_t block_count = load<std::uint64_t>(data_ + footer_offset);
+    if (footer_offset + 8 + block_count * kFooterEntryBytes + kTrailerBytes !=
+        bytes_) {
+      throw IoError(path + ": v2 footer size mismatch");
+    }
+    total_ = load<std::uint64_t>(data_ + bytes_ - 24);
+    blocks_.reserve(block_count);
+    std::uint64_t sum = 0;
+    const unsigned char* entry = data_ + footer_offset + 8;
+    for (std::uint64_t b = 0; b < block_count; ++b, entry += kFooterEntryBytes) {
+      Block blk;
+      blk.offset = load<std::uint64_t>(entry);
+      blk.count = load<std::uint64_t>(entry + 8);
+      blk.min_machine = load<std::uint32_t>(entry + 16);
+      blk.max_machine = load<std::uint32_t>(entry + 20);
+      if (blk.count == 0 || blk.offset < kHeaderBytes + 8 ||
+          blk.offset + kRecordBytes * blk.count > footer_offset) {
+        throw IoError(path + ": v2 block " + std::to_string(b) +
+                      " index entry out of range");
+      }
+      if (load<std::uint32_t>(data_ + blk.offset - 8) != kBlockMagic) {
+        throw IoError(path + ": v2 block " + std::to_string(b) +
+                      " missing block magic");
+      }
+      sum += blk.count;
+      blocks_.push_back(blk);
+    }
+    if (sum != total_) {
+      throw IoError(path + ": v2 record total disagrees with block index");
+    }
+  } catch (...) {
+    unmap();
+    throw;
+  }
+}
+
+TraceView::~TraceView() { unmap(); }
+
+void TraceView::unmap() noexcept {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), bytes_);
+  }
+  data_ = nullptr;
+  mapped_ = false;
+}
+
+TraceView::TraceView(TraceView&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)),
+      mapped_(std::exchange(other.mapped_, false)),
+      fallback_(std::move(other.fallback_)),
+      machines_(other.machines_),
+      start_(other.start_),
+      end_(other.end_),
+      total_(other.total_),
+      blocks_(std::move(other.blocks_)) {
+  if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
+}
+
+TraceView& TraceView::operator=(TraceView&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    data_ = std::exchange(other.data_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    fallback_ = std::move(other.fallback_);
+    machines_ = other.machines_;
+    start_ = other.start_;
+    end_ = other.end_;
+    total_ = other.total_;
+    blocks_ = std::move(other.blocks_);
+    if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
+  }
+  return *this;
+}
+
+std::uint64_t TraceView::block_size(std::size_t block) const {
+  return blocks_.at(block).count;
+}
+
+std::uint32_t TraceView::block_min_machine(std::size_t block) const {
+  return blocks_.at(block).min_machine;
+}
+
+std::uint32_t TraceView::block_max_machine(std::size_t block) const {
+  return blocks_.at(block).max_machine;
+}
+
+UnavailabilityRecord TraceView::record(std::size_t block, std::size_t i) const {
+  const Block& blk = blocks_[block];
+  const unsigned char* base = at(blk.offset);
+  const std::uint64_t n = blk.count;
+  UnavailabilityRecord r;
+  r.machine = load<std::uint32_t>(base + 4 * i);
+  r.start =
+      sim::SimTime::from_micros(load<std::int64_t>(base + 4 * n + 8 * i));
+  r.end =
+      sim::SimTime::from_micros(load<std::int64_t>(base + 12 * n + 8 * i));
+  r.cause = static_cast<monitor::AvailabilityState>(base[20 * n + i]);
+  r.host_cpu = load<double>(base + 21 * n + 8 * i);
+  r.free_mem_mb = load<double>(base + 29 * n + 8 * i);
+  return r;
+}
+
+TraceSet TraceView::to_trace_set() const {
+  TraceSet out(machines_, start_, end_);
+  out.reserve(total_);
+  std::uint64_t index = 0;
+  for_each([&](const UnavailabilityRecord& r) {
+    if (!valid_cause(static_cast<std::uint8_t>(r.cause))) {
+      throw IoError("v2 trace record " + std::to_string(index) +
+                    ": invalid cause byte");
+    }
+    out.add(r);
+    ++index;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Strict / salvage loads and detection
+
+bool is_trace_v2(const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in) return false;
+  char magic[sizeof kMagic];
+  in.read(magic, sizeof magic);
+  return in && std::memcmp(magic, kMagic, sizeof kMagic) == 0;
+}
+
+TraceSet load_trace_v2(const std::string& path) {
+  return TraceView(path).to_trace_set();
+}
+
+LoadReport load_trace_v2_salvage(const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path);
+
+  LoadReport report;
+  Meta meta;
+  std::vector<UnavailabilityRecord> recs;
+
+  char magic[sizeof kMagic];
+  in.read(magic, sizeof magic);
+  if (!in && in.gcount() == 0) {
+    // Zero-length file: an empty trace, not damage.
+    report.trace = TraceSet(1, sim::SimTime::from_micros(0),
+                            sim::SimTime::from_micros(1));
+    return report;
+  }
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    report.truncated = true;
+    add_diagnostic(report, path + ": not an fgcs v2 trace (bad magic); "
+                               "nothing recoverable");
+    finish_salvage(report, std::move(recs), meta);
+    return report;
+  }
+
+  std::uint32_t machines = 0;
+  std::int64_t start_us = 0, end_us = 0;
+  unsigned char head[kHeaderBytes - 8];
+  in.read(reinterpret_cast<char*>(head), sizeof head);
+  if (!in) {
+    report.truncated = true;
+    add_diagnostic(report, path + ": v2 header truncated");
+    finish_salvage(report, std::move(recs), meta);
+    return report;
+  }
+  machines = load<std::uint32_t>(head);
+  start_us = load<std::int64_t>(head + 4);
+  end_us = load<std::int64_t>(head + 12);
+  if (machines == 0 || end_us <= start_us) {
+    add_diagnostic(report,
+                   path + ": invalid v2 metadata; inferring from records");
+  } else {
+    meta.machines = machines;
+    meta.start_us = start_us;
+    meta.end_us = end_us;
+  }
+
+  // Walk the block chain without trusting the footer. A clean file ends
+  // when the scanner meets the footer (whose leading bytes are not the
+  // block magic); a truncated file ends mid-block and we recover every
+  // record whose final column element survived.
+  std::uint64_t block_index = 0;
+  std::vector<unsigned char> buf;
+  for (;;) {
+    std::uint32_t marker = 0;
+    in.read(reinterpret_cast<char*>(&marker), sizeof marker);
+    if (!in) {
+      // EOF at a block boundary: the footer never made it to disk.
+      report.truncated = true;
+      add_diagnostic(report, path + ": v2 footer missing (file ends after " +
+                                 std::to_string(block_index) + " block(s))");
+      break;
+    }
+    if (marker != kBlockMagic) {
+      // Footer (or corruption). Either way the block chain is done — every
+      // complete block has already been recovered.
+      break;
+    }
+    std::uint32_t count = 0;
+    in.read(reinterpret_cast<char*>(&count), sizeof count);
+    if (!in || count == 0 || count > kMaxPlausibleBlock) {
+      report.truncated = true;
+      add_diagnostic(report, path + ": v2 block " +
+                                 std::to_string(block_index) +
+                                 " has unreadable or implausible size");
+      break;
+    }
+    const std::uint64_t n = count;
+    buf.resize(kRecordBytes * n);
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    const auto have = static_cast<std::uint64_t>(in.gcount());
+    std::uint64_t usable = n;
+    if (have < buf.size()) {
+      // Partial block: record i is whole iff its last-column element
+      // (free_mem_mb, at 29n + 8i .. 29n + 8i+8) fits in `have` bytes.
+      report.truncated = true;
+      usable = have > last_column_offset(n)
+                   ? std::min<std::uint64_t>((have - last_column_offset(n)) / 8,
+                                             n)
+                   : 0;
+      add_diagnostic(report,
+                     path + ": v2 block " + std::to_string(block_index) +
+                         " truncated: " + std::to_string(n - usable) + " of " +
+                         std::to_string(n) + " record(s) lost");
+    }
+    const unsigned char* base = buf.data();
+    for (std::uint64_t i = 0; i < usable; ++i) {
+      UnavailabilityRecord r;
+      r.machine = load<std::uint32_t>(base + 4 * i);
+      r.start =
+          sim::SimTime::from_micros(load<std::int64_t>(base + 4 * n + 8 * i));
+      r.end =
+          sim::SimTime::from_micros(load<std::int64_t>(base + 12 * n + 8 * i));
+      const std::uint8_t cause = base[20 * n + i];
+      r.host_cpu = load<double>(base + 21 * n + 8 * i);
+      r.free_mem_mb = load<double>(base + 29 * n + 8 * i);
+      std::string defect;
+      if (!valid_cause(cause)) {
+        defect = "invalid cause byte";
+      } else {
+        r.cause = static_cast<monitor::AvailabilityState>(cause);
+        defect = record_defect(r);
+      }
+      if (!defect.empty()) {
+        ++report.skipped;
+        add_diagnostic(report, path + ": v2 block " +
+                                   std::to_string(block_index) + " record " +
+                                   std::to_string(i) + ": " + defect);
+        continue;
+      }
+      recs.push_back(r);
+    }
+    if (report.truncated) break;
+    ++block_index;
+  }
+  finish_salvage(report, std::move(recs), meta);
+  return report;
+}
+
+}  // namespace fgcs::trace

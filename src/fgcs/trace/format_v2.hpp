@@ -1,0 +1,181 @@
+// Columnar binary trace format v2: streaming writes, zero-copy reads.
+//
+// The row-oriented v1 binary format (io.hpp) writes one 37-byte record at
+// a time and must be fully materialized into a TraceSet to be read. Fleet
+// sweeps need the opposite shape: shards *stream* finished machines out
+// without holding the fleet in memory, and analyzers *scan* million-record
+// segments without copying them. Format v2 is built for that:
+//
+//   header   magic "FGCSTRC2", u32 machines, i64 start_us, i64 end_us
+//   blocks   repeated: u32 block magic, u32 count n, then SoA columns
+//            u32 machine[n], i64 start_us[n], i64 end_us[n], u8 cause[n],
+//            f64 host_cpu[n], f64 free_mem_mb[n]
+//   footer   u64 block_count, per block {u64 offset, u64 count,
+//            u32 min_machine, u32 max_machine}, u64 total_records,
+//            u64 footer_offset, trailing magic "FGCSEND2"
+//
+// All integers are native little-endian, matching v1. The footer index at
+// the tail lets TraceView open a segment by reading 16 trailing bytes and
+// one index table — no scan — and the per-block machine ranges let
+// consumers skip blocks wholesale. Truncated files lose the footer;
+// load_trace_v2_salvage() rescans the block chain instead and recovers
+// every record whose *every column element* survived the cut (the block
+// magic word keeps a partial footer from being misread as a block).
+//
+// trace::load_trace() auto-detects v2 by magic, so existing tools read
+// both formats transparently.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fgcs/trace/io.hpp"
+#include "fgcs/trace/trace_set.hpp"
+
+namespace fgcs::trace {
+
+/// Streaming columnar writer. Records are buffered into fixed-capacity
+/// blocks and spilled to disk as each block fills; memory use is O(block),
+/// not O(trace). finish() (or destruction) seals the file with the footer
+/// index.
+class TraceWriterV2 {
+ public:
+  static constexpr std::size_t kDefaultBlockRecords = 4096;
+
+  /// Opens `path` for writing and emits the header. Throws IoError when
+  /// the file cannot be created or the metadata is invalid.
+  TraceWriterV2(const std::string& path, std::uint32_t machines,
+                sim::SimTime horizon_start, sim::SimTime horizon_end,
+                std::size_t block_records = kDefaultBlockRecords);
+  ~TraceWriterV2();
+
+  TraceWriterV2(const TraceWriterV2&) = delete;
+  TraceWriterV2& operator=(const TraceWriterV2&) = delete;
+
+  void append(const UnavailabilityRecord& record);
+  void append(std::span<const UnavailabilityRecord> records);
+
+  /// Flushes the pending block and writes the footer. Idempotent; called
+  /// by the destructor if the caller forgot (destructor swallows errors,
+  /// call finish() explicitly to see them).
+  void finish();
+
+  std::uint64_t records_written() const { return total_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  struct BlockMeta {
+    std::uint64_t offset = 0;
+    std::uint64_t count = 0;
+    std::uint32_t min_machine = 0;
+    std::uint32_t max_machine = 0;
+  };
+
+  void flush_block();
+
+  std::string path_;
+  std::unique_ptr<std::ofstream> out_;
+  std::size_t block_records_;
+  std::vector<UnavailabilityRecord> pending_;
+  std::vector<BlockMeta> blocks_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t total_ = 0;
+  bool finished_ = false;
+};
+
+/// Writes a whole TraceSet as one v2 file (records in canonical order).
+void write_trace_v2(const TraceSet& trace, const std::string& path);
+
+/// Zero-copy reader over a v2 segment. The file is mmap()ed read-only
+/// (with a buffered-read fallback) and records are materialized lazily
+/// from the columns — opening a multi-million-record segment costs the
+/// footer parse, not a full load. Throws IoError on malformed input; use
+/// load_trace_v2_salvage() for damaged segments.
+class TraceView {
+ public:
+  explicit TraceView(const std::string& path);
+  ~TraceView();
+
+  TraceView(TraceView&& other) noexcept;
+  TraceView& operator=(TraceView&& other) noexcept;
+  TraceView(const TraceView&) = delete;
+  TraceView& operator=(const TraceView&) = delete;
+
+  std::uint32_t machine_count() const { return machines_; }
+  sim::SimTime horizon_start() const { return start_; }
+  sim::SimTime horizon_end() const { return end_; }
+
+  /// Total records across all blocks.
+  std::uint64_t size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  std::size_t block_count() const { return blocks_.size(); }
+  std::uint64_t block_size(std::size_t block) const;
+  /// Smallest/largest machine id present in a block — consumers scanning
+  /// for one machine can skip non-overlapping blocks without touching
+  /// their columns.
+  std::uint32_t block_min_machine(std::size_t block) const;
+  std::uint32_t block_max_machine(std::size_t block) const;
+
+  /// Record `i` of `block`, materialized from the columns.
+  UnavailabilityRecord record(std::size_t block, std::size_t i) const;
+
+  /// Visits every record in stored order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      const std::uint64_t n = block_size(b);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        f(record(b, i));
+      }
+    }
+  }
+
+  /// Materializes the whole view as a TraceSet (for code that needs the
+  /// mutable/derived APIs).
+  TraceSet to_trace_set() const;
+
+  /// True when the view is backed by an mmap (false: buffered fallback).
+  bool memory_mapped() const { return mapped_; }
+
+ private:
+  struct Block {
+    std::uint64_t offset = 0;  // file offset of the block's column data
+    std::uint64_t count = 0;
+    std::uint32_t min_machine = 0;
+    std::uint32_t max_machine = 0;
+  };
+
+  void unmap() noexcept;
+  const unsigned char* at(std::uint64_t offset) const { return data_ + offset; }
+
+  const unsigned char* data_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool mapped_ = false;
+  std::vector<unsigned char> fallback_;
+
+  std::uint32_t machines_ = 0;
+  sim::SimTime start_;
+  sim::SimTime end_;
+  std::uint64_t total_ = 0;
+  std::vector<Block> blocks_;
+};
+
+/// True when `path` starts with the v2 magic (false on short/unreadable
+/// files — callers fall back to the v1 readers).
+bool is_trace_v2(const std::string& path);
+
+/// Strict v2 load: TraceView + to_trace_set(). Throws IoError.
+TraceSet load_trace_v2(const std::string& path);
+
+/// Salvage v2 load: ignores the footer and rescans the block chain,
+/// recovering all records whose every column element precedes the
+/// truncation/corruption point. Never throws on damaged content (only on
+/// an unopenable path).
+LoadReport load_trace_v2_salvage(const std::string& path);
+
+}  // namespace fgcs::trace

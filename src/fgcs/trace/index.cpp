@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fgcs/trace/format_v2.hpp"
 #include "fgcs/util/error.hpp"
 
 namespace fgcs::trace {
@@ -17,6 +18,25 @@ TraceIndex::TraceIndex(const TraceSet& trace)
   for (const auto& bucket : by_machine_) {
     for (std::size_t i = 1; i < bucket.size(); ++i) {
       FGCS_ASSERT(bucket[i - 1].start <= bucket[i].start);
+    }
+  }
+}
+
+TraceIndex::TraceIndex(const TraceView& view)
+    : horizon_start_(view.horizon_start()),
+      by_machine_(view.machine_count()) {
+  view.for_each([&](const UnavailabilityRecord& r) {
+    fgcs::require(r.machine < by_machine_.size(),
+                  "TraceIndex: v2 segment record machine out of range");
+    by_machine_[r.machine].push_back(r);
+  });
+  // Spill segments carry records in per-shard completion order, which is
+  // machine-grouped but not guaranteed start-sorted within a machine;
+  // normalize to the canonical order (a no-op when already sorted).
+  for (auto& bucket : by_machine_) {
+    if (!std::is_sorted(bucket.begin(), bucket.end(),
+                        TraceSet::canonical_less)) {
+      std::sort(bucket.begin(), bucket.end(), TraceSet::canonical_less);
     }
   }
 }

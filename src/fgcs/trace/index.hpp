@@ -11,9 +11,15 @@
 
 namespace fgcs::trace {
 
+class TraceView;
+
 class TraceIndex {
  public:
   explicit TraceIndex(const TraceSet& trace);
+
+  /// Indexes a spilled v2 segment directly from its zero-copy view — no
+  /// intermediate TraceSet materialization.
+  explicit TraceIndex(const TraceView& view);
 
   std::uint32_t machine_count() const {
     return static_cast<std::uint32_t>(by_machine_.size());

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "fgcs/trace/format_v2.hpp"
 #include "fgcs/util/csv.hpp"
 #include "fgcs/util/error.hpp"
 
@@ -537,6 +538,9 @@ void save_trace(const TraceSet& trace, const std::string& path) {
 
 TraceSet load_trace(const std::string& path) {
   const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
+  // Format v2 (columnar) files are detected by magic, so v1 and v2 are
+  // interchangeable for every consumer of this entry point.
+  if (!csv && is_trace_v2(path)) return load_trace_v2(path);
   std::ifstream in(path, csv ? std::ios::in : std::ios::in | std::ios::binary);
   if (!in) throw IoError("cannot open for reading: " + path);
   return csv ? read_trace_csv(in, path) : read_trace_binary(in, path);
@@ -544,6 +548,7 @@ TraceSet load_trace(const std::string& path) {
 
 LoadReport load_trace_salvage(const std::string& path) {
   const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
+  if (!csv && is_trace_v2(path)) return load_trace_v2_salvage(path);
   std::ifstream in(path, csv ? std::ios::in : std::ios::in | std::ios::binary);
   if (!in) throw IoError("cannot open for reading: " + path);
   return csv ? read_trace_csv_salvage(in, path)

@@ -15,33 +15,42 @@ TraceSet::TraceSet(std::uint32_t machines, sim::SimTime horizon_start,
                 "TraceSet horizon must be non-empty");
 }
 
+// Total order over every field: (machine, start) alone leaves ties to
+// std::sort's whims, so two TraceSets holding the same records inserted
+// in different orders could disagree on records() order. strong_order
+// keeps the double comparisons a valid strict weak order even if a
+// salvaged trace smuggles in a NaN.
+bool TraceSet::canonical_less(const UnavailabilityRecord& a,
+                              const UnavailabilityRecord& b) {
+  if (a.machine != b.machine) return a.machine < b.machine;
+  if (a.start != b.start) return a.start < b.start;
+  if (a.end != b.end) return a.end < b.end;
+  if (a.cause != b.cause) return a.cause < b.cause;
+  if (auto c = std::strong_order(a.host_cpu, b.host_cpu); c != 0) {
+    return c < 0;
+  }
+  return std::strong_order(a.free_mem_mb, b.free_mem_mb) < 0;
+}
+
 void TraceSet::add(UnavailabilityRecord record) {
   fgcs::require(record.machine < machines_,
                 "record machine id out of range");
   fgcs::require(record.end >= record.start, "record end before start");
+  // An append that respects the canonical order keeps the set sorted, so
+  // streaming inserts (testbed sweeps, spill readers) never pay a re-sort
+  // in records().
+  if (sorted_ && !records_.empty() &&
+      canonical_less(record, records_.back())) {
+    sorted_ = false;
+  }
   records_.push_back(record);
-  sorted_ = false;
 }
 
 void TraceSet::ensure_sorted() const {
   if (sorted_) return;
-  // Total order over every field: (machine, start) alone leaves ties to
-  // std::sort's whims, so two TraceSets holding the same records inserted
-  // in different orders could disagree on records() order. strong_order
-  // keeps the double comparisons a valid strict weak order even if a
-  // salvaged trace smuggles in a NaN.
-  std::sort(records_.begin(), records_.end(),
-            [](const UnavailabilityRecord& a, const UnavailabilityRecord& b) {
-              if (a.machine != b.machine) return a.machine < b.machine;
-              if (a.start != b.start) return a.start < b.start;
-              if (a.end != b.end) return a.end < b.end;
-              if (a.cause != b.cause) return a.cause < b.cause;
-              if (auto c = std::strong_order(a.host_cpu, b.host_cpu); c != 0) {
-                return c < 0;
-              }
-              return std::strong_order(a.free_mem_mb, b.free_mem_mb) < 0;
-            });
+  std::sort(records_.begin(), records_.end(), canonical_less);
   sorted_ = true;
+  ++sort_passes_;
 }
 
 std::span<const UnavailabilityRecord> TraceSet::records() const {

@@ -20,6 +20,21 @@ class TraceSet {
 
   void add(UnavailabilityRecord record);
 
+  /// Pre-sizes the record store for a bulk insert of `n` total records.
+  void reserve(std::size_t n) { records_.reserve(n); }
+
+  /// The canonical record order: a total order over every field, so two
+  /// TraceSets holding the same records always agree on records() order
+  /// regardless of insertion order. Appending in this order keeps the set
+  /// sorted and records() free of re-sort work.
+  static bool canonical_less(const UnavailabilityRecord& a,
+                             const UnavailabilityRecord& b);
+
+  /// Number of actual sort passes records() has had to perform — stays 0
+  /// when every add() appended in canonical order (sweep engines rely on
+  /// this to keep records() O(1) after streaming inserts).
+  std::size_t sort_passes() const { return sort_passes_; }
+
   std::uint32_t machine_count() const { return machines_; }
   sim::SimTime horizon_start() const { return start_; }
   sim::SimTime horizon_end() const { return end_; }
@@ -58,6 +73,7 @@ class TraceSet {
   sim::SimTime end_;
   mutable std::vector<UnavailabilityRecord> records_;
   mutable bool sorted_ = true;
+  mutable std::size_t sort_passes_ = 0;
 };
 
 }  // namespace fgcs::trace

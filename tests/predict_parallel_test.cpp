@@ -1,0 +1,101 @@
+// Parallel machine evaluation must be bit-identical to the sequential
+// path — every metric, every reliability bucket, for every predictor in
+// the panel, and through the prediction study on top.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fgcs/core/prediction_study.hpp"
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/predict/baselines.hpp"
+#include "fgcs/predict/history_window.hpp"
+#include "fgcs/predict/robust_history.hpp"
+#include "fgcs/predict/semi_markov.hpp"
+#include "fgcs/trace/index.hpp"
+
+namespace fgcs::predict {
+namespace {
+
+trace::TraceSet study_trace() {
+  core::TestbedConfig config;
+  config.machines = 6;
+  config.days = 14;
+  config.seed = 20060806;
+  return core::run_testbed(config);
+}
+
+void expect_identical(const EvaluationResult& a, const EvaluationResult& b) {
+  EXPECT_EQ(a.predictor, b.predictor);
+  EXPECT_EQ(a.queries, b.queries);
+  // Bit-exact, not approximate: the parallel path must merge per-machine
+  // partial sums in the same order the sequential loop accumulates them.
+  EXPECT_EQ(a.brier, b.brier);
+  EXPECT_EQ(a.accuracy, b.accuracy);
+  EXPECT_EQ(a.true_positive_rate, b.true_positive_rate);
+  EXPECT_EQ(a.false_positive_rate, b.false_positive_rate);
+  EXPECT_EQ(a.occurrence_mae, b.occurrence_mae);
+  EXPECT_EQ(a.base_availability, b.base_availability);
+  for (std::size_t i = 0; i < a.reliability.size(); ++i) {
+    EXPECT_EQ(a.reliability[i].count, b.reliability[i].count) << i;
+    EXPECT_EQ(a.reliability[i].mean_predicted, b.reliability[i].mean_predicted)
+        << i;
+    EXPECT_EQ(a.reliability[i].observed_available,
+              b.reliability[i].observed_available)
+        << i;
+  }
+}
+
+TEST(PredictParallel, EvaluationIsBitIdenticalForThePredictorPanel) {
+  const auto trace = study_trace();
+  const trace::TraceIndex index(trace);
+  const trace::TraceCalendar calendar;
+
+  EvaluationConfig config;
+  config.begin = trace.horizon_start() + sim::SimDuration::days(7);
+  config.end = trace.horizon_end();
+  config.window = sim::SimDuration::hours(2);
+  config.stride = sim::SimDuration::minutes(45);
+
+  std::vector<std::unique_ptr<AvailabilityPredictor>> panel;
+  panel.push_back(std::make_unique<HistoryWindowPredictor>());
+  panel.push_back(std::make_unique<RobustHistoryPredictor>());
+  panel.push_back(std::make_unique<SemiMarkovPredictor>());
+  panel.push_back(std::make_unique<RecentRatePredictor>());
+  panel.push_back(std::make_unique<AlwaysAvailablePredictor>());
+
+  for (const auto& predictor : panel) {
+    config.parallel = true;
+    const auto parallel = evaluate_predictor(*predictor, index, calendar,
+                                             config);
+    config.parallel = false;
+    const auto sequential = evaluate_predictor(*predictor, index, calendar,
+                                               config);
+    EXPECT_GT(parallel.queries, 0u) << parallel.predictor;
+    expect_identical(parallel, sequential);
+  }
+}
+
+TEST(PredictParallel, PredictionStudyIsBitIdenticalAcrossTheFlag) {
+  const auto trace = study_trace();
+  const trace::TraceCalendar calendar;
+
+  core::PredictionStudyConfig study;
+  study.train_days = 7;
+  study.windows = {sim::SimDuration::hours(1), sim::SimDuration::hours(4)};
+  study.stride = sim::SimDuration::hours(1);
+
+  study.parallel = true;
+  const auto parallel = core::run_prediction_study(trace, calendar, study);
+  study.parallel = false;
+  const auto sequential = core::run_prediction_study(trace, calendar, study);
+
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i].window, sequential[i].window);
+    expect_identical(parallel[i].result, sequential[i].result);
+  }
+}
+
+}  // namespace
+}  // namespace fgcs::predict

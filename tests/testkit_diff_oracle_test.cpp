@@ -1,4 +1,4 @@
-// Differential oracles: the four paired implementations must agree over a
+// Differential oracles: the six paired implementations must agree over a
 // broad seeded sweep, and each oracle must itself be deterministic.
 #include <gtest/gtest.h>
 
@@ -9,11 +9,12 @@
 namespace fgcs::testkit {
 namespace {
 
-TEST(TestkitDiffOracle, RegistryHasTheFourStandardOracles) {
+TEST(TestkitDiffOracle, RegistryHasTheSixStandardOracles) {
   const auto& oracles = standard_oracles();
-  ASSERT_EQ(oracles.size(), 4u);
+  ASSERT_EQ(oracles.size(), 6u);
   for (const char* name : {"scheduler-fastforward", "testbed-parallel",
-                           "trace-roundtrip", "semi-markov-brute"}) {
+                           "trace-roundtrip", "semi-markov-brute",
+                           "fleet-sharded", "prediction-parallel"}) {
     const DiffOracle* oracle = find_oracle(name);
     ASSERT_NE(oracle, nullptr) << name;
     EXPECT_EQ(oracle->name, name);
@@ -41,7 +42,9 @@ TEST(TestkitDiffOracle, EachOracleAgreesOnSmokeSeeds) {
   }
 }
 
-// The acceptance sweep: all four oracles, 200 derived seeds each.
+// The acceptance sweep: all six oracles, 200 derived seeds each — the
+// sharded-fleet and parallel-prediction bit-identity guarantees ride the
+// same sweep as the original four.
 TEST(TestkitDiffOracle, AllOraclesAgreeOver200SeedsEach) {
   const auto failures = run_oracles(20060806, 200);
   std::ostringstream detail;

@@ -98,6 +98,42 @@ TEST(TraceSet, OverlappingEpisodesHandled) {
   EXPECT_EQ(intervals[0].end, at(70));
 }
 
+TEST(TraceSet, CanonicalAppendNeverTriggersASortPass) {
+  TraceSet t(2, SimTime::epoch(), at(1440));
+  t.reserve(4);  // bulk-insert pattern: reserve, then canonical appends
+  t.add(rec(0, 10, 40));
+  t.add(rec(0, 100, 130));
+  t.add(rec(0, 300, 310, AvailabilityState::kS4MemoryThrashing));
+  t.add(rec(1, 50, 55, AvailabilityState::kS5MachineUnavailable));
+  ASSERT_EQ(t.records().size(), 4u);
+  EXPECT_EQ(t.sort_passes(), 0u);
+  (void)t.machine_records(0);
+  (void)t.availability_intervals();
+  EXPECT_EQ(t.sort_passes(), 0u);
+}
+
+TEST(TraceSet, OutOfOrderAppendSortsExactlyOnce) {
+  auto t = make_trace();  // contains one deliberate out-of-order add
+  (void)t.records();
+  EXPECT_EQ(t.sort_passes(), 1u);
+  (void)t.records();
+  (void)t.records();
+  EXPECT_EQ(t.sort_passes(), 1u);  // cached; no re-sort per call
+}
+
+TEST(TraceSet, CanonicalLessIsATotalOrderOverEveryField) {
+  auto a = rec(0, 10, 20);
+  auto b = a;
+  EXPECT_FALSE(TraceSet::canonical_less(a, b));
+  EXPECT_FALSE(TraceSet::canonical_less(b, a));
+  b.free_mem_mb += 1.0;  // differs only in the last tie-break field
+  EXPECT_TRUE(TraceSet::canonical_less(a, b) !=
+              TraceSet::canonical_less(b, a));
+  b = a;
+  b.machine = 1;
+  EXPECT_TRUE(TraceSet::canonical_less(a, b));
+}
+
 TEST(UnavailabilityRecord, RebootClassification) {
   auto r = rec(0, 10, 10, AvailabilityState::kS5MachineUnavailable);
   r.end = r.start + SimDuration::seconds(40);

@@ -1,0 +1,268 @@
+// Columnar trace format v2: round trips, zero-copy views, salvage.
+//
+// The format is write-once/read-many for the fleet sweep engine: a
+// TraceWriterV2 streams SoA blocks to disk, TraceView mmaps them back
+// without materializing a TraceSet, and the strict/salvage loaders accept
+// v2 files wherever a row-format binary trace is accepted (auto-detected
+// by magic).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fgcs/core/testbed.hpp"
+#include "fgcs/trace/format_v2.hpp"
+#include "fgcs/trace/index.hpp"
+#include "fgcs/trace/io.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::trace {
+namespace {
+
+using sim::SimDuration;
+using sim::SimTime;
+
+namespace fs = std::filesystem;
+
+class TraceV2 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fgcs_trace_v2_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+TraceSet small_testbed_trace() {
+  core::TestbedConfig config;
+  config.machines = 4;
+  config.days = 10;
+  config.seed = 20060806;
+  return core::run_testbed(config);
+}
+
+void expect_equal_records(const TraceSet& a, const TraceSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.machine_count(), b.machine_count());
+  EXPECT_EQ(a.horizon_start(), b.horizon_start());
+  EXPECT_EQ(a.horizon_end(), b.horizon_end());
+  const auto ra = a.records();
+  const auto rb = b.records();
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].machine, rb[i].machine) << i;
+    EXPECT_EQ(ra[i].start, rb[i].start) << i;
+    EXPECT_EQ(ra[i].end, rb[i].end) << i;
+    EXPECT_EQ(ra[i].cause, rb[i].cause) << i;
+    EXPECT_EQ(ra[i].host_cpu, rb[i].host_cpu) << i;
+    EXPECT_EQ(ra[i].free_mem_mb, rb[i].free_mem_mb) << i;
+  }
+}
+
+TEST_F(TraceV2, RoundTripMatchesRowFormat) {
+  const auto trace = small_testbed_trace();
+  ASSERT_GT(trace.size(), 0u);
+
+  const auto v2 = path("trace.trc2");
+  const auto v1 = path("trace.trc");
+  write_trace_v2(trace, v2);
+  save_trace(trace, v1);
+
+  const TraceView view(v2);
+  EXPECT_EQ(view.size(), trace.size());
+  EXPECT_EQ(view.machine_count(), trace.machine_count());
+  EXPECT_EQ(view.horizon_start(), trace.horizon_start());
+  EXPECT_EQ(view.horizon_end(), trace.horizon_end());
+
+  expect_equal_records(view.to_trace_set(), trace);
+  expect_equal_records(view.to_trace_set(), load_trace(v1));
+}
+
+TEST_F(TraceV2, ViewIsMemoryMappedAndRandomlyAccessible) {
+  const auto trace = small_testbed_trace();
+  const auto v2 = path("trace.trc2");
+  write_trace_v2(trace, v2);
+
+  const TraceView view(v2);
+  EXPECT_TRUE(view.memory_mapped());
+
+  // for_each order is the canonical record order; record(block, i) agrees.
+  const auto records = trace.records();
+  std::size_t i = 0;
+  view.for_each([&](const UnavailabilityRecord& r) {
+    ASSERT_LT(i, records.size());
+    EXPECT_EQ(r.machine, records[i].machine);
+    EXPECT_EQ(r.start, records[i].start);
+    ++i;
+  });
+  EXPECT_EQ(i, records.size());
+
+  std::size_t flat = 0;
+  for (std::size_t b = 0; b < view.block_count(); ++b) {
+    for (std::size_t k = 0; k < view.block_size(b); ++k, ++flat) {
+      const auto r = view.record(b, k);
+      EXPECT_EQ(r.end, records[flat].end);
+      EXPECT_GE(r.machine, view.block_min_machine(b));
+      EXPECT_LE(r.machine, view.block_max_machine(b));
+    }
+  }
+  EXPECT_EQ(flat, view.size());
+}
+
+TEST_F(TraceV2, StreamingWriterSplitsBlocks) {
+  const auto trace = small_testbed_trace();
+  const auto v2 = path("blocks.trc2");
+  {
+    TraceWriterV2 writer(v2, trace.machine_count(), trace.horizon_start(),
+                         trace.horizon_end(), /*block_records=*/16);
+    for (const auto& r : trace.records()) writer.append(r);
+    writer.finish();
+    EXPECT_EQ(writer.records_written(), trace.size());
+  }
+  const TraceView view(v2);
+  EXPECT_GT(view.block_count(), 1u);
+  expect_equal_records(view.to_trace_set(), trace);
+}
+
+TEST_F(TraceV2, AutoDetectedByTheStrictAndSalvageLoaders) {
+  const auto trace = small_testbed_trace();
+  const auto v2 = path("auto.trc2");
+  write_trace_v2(trace, v2);
+  EXPECT_TRUE(is_trace_v2(v2));
+
+  expect_equal_records(load_trace(v2), trace);
+
+  const auto report = load_trace_salvage(v2);
+  EXPECT_FALSE(report.truncated);
+  EXPECT_EQ(report.skipped, 0u);
+  expect_equal_records(report.trace, trace);
+}
+
+TEST_F(TraceV2, TraceIndexAnswersFromAView) {
+  const auto trace = small_testbed_trace();
+  const auto v2 = path("index.trc2");
+  write_trace_v2(trace, v2);
+
+  const TraceView view(v2);
+  const TraceIndex from_view(view);
+  const TraceIndex from_set(trace);
+
+  const auto begin = trace.horizon_start();
+  for (MachineId m = 0; m < trace.machine_count(); ++m) {
+    for (int h = 0; h < 24 * 10; h += 7) {
+      const auto t0 = begin + SimDuration::hours(h);
+      const auto t1 = t0 + SimDuration::hours(2);
+      EXPECT_EQ(from_view.any_overlap(m, t0, t1),
+                from_set.any_overlap(m, t0, t1))
+          << "machine " << m << " hour " << h;
+      EXPECT_EQ(from_view.count_starts_in(m, t0, t1),
+                from_set.count_starts_in(m, t0, t1));
+    }
+  }
+}
+
+TEST_F(TraceV2, EmptyTraceRoundTrips) {
+  TraceSet empty(3, SimTime::epoch(), SimTime::epoch() + SimDuration::days(1));
+  const auto v2 = path("empty.trc2");
+  write_trace_v2(empty, v2);
+  const TraceView view(v2);
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.machine_count(), 3u);
+  expect_equal_records(view.to_trace_set(), empty);
+}
+
+TEST_F(TraceV2, StrictLoaderRejectsTruncation) {
+  const auto trace = small_testbed_trace();
+  const auto v2 = path("full.trc2");
+  write_trace_v2(trace, v2);
+  const auto full = fs::file_size(v2);
+
+  const auto cut = path("cut.trc2");
+  for (const std::size_t keep :
+       {full - 1, full / 2, std::size_t{64}, std::size_t{10}}) {
+    std::ifstream in(v2, std::ios::binary);
+    std::vector<char> bytes(keep);
+    in.read(bytes.data(), static_cast<std::streamsize>(keep));
+    std::ofstream out(cut, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_THROW(TraceView{cut}, IoError) << "keep=" << keep;
+    EXPECT_THROW(load_trace(cut), IoError) << "keep=" << keep;
+  }
+}
+
+TEST_F(TraceV2, SalvageRecoversThePrefixOfATruncatedFile) {
+  const auto trace = small_testbed_trace();
+  const auto v2 = path("full.trc2");
+  {
+    TraceWriterV2 writer(v2, trace.machine_count(), trace.horizon_start(),
+                         trace.horizon_end(), /*block_records=*/32);
+    for (const auto& r : trace.records()) writer.append(r);
+  }
+  const auto full = fs::file_size(v2);
+
+  // Cut in the middle of the data region: the salvage loader must recover
+  // every complete prior block plus the complete-column prefix of the
+  // partial one, and flag the truncation.
+  const auto cut = path("cut.trc2");
+  std::size_t previous_recovered = 0;
+  for (const double frac : {0.35, 0.6, 0.85}) {
+    const auto keep = static_cast<std::size_t>(full * frac);
+    std::ifstream in(v2, std::ios::binary);
+    std::vector<char> bytes(keep);
+    in.read(bytes.data(), static_cast<std::streamsize>(keep));
+    std::ofstream out(cut, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+
+    const auto report = load_trace_v2_salvage(cut);
+    EXPECT_TRUE(report.truncated) << frac;
+    EXPECT_EQ(report.skipped, 0u) << frac;
+    EXPECT_GE(report.recovered, previous_recovered) << frac;
+    EXPECT_LT(report.recovered, trace.size()) << frac;
+    previous_recovered = report.recovered;
+
+    // Whatever was recovered is a byte-exact prefix of the original.
+    const auto got = report.trace.records();
+    const auto want = trace.records();
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].machine, want[i].machine);
+      EXPECT_EQ(got[i].start, want[i].start);
+      EXPECT_EQ(got[i].end, want[i].end);
+      EXPECT_EQ(got[i].cause, want[i].cause);
+    }
+
+    // The generic salvage entry point auto-detects v2 the same way.
+    const auto generic = load_trace_salvage(cut);
+    EXPECT_EQ(generic.recovered, report.recovered) << frac;
+    EXPECT_TRUE(generic.truncated) << frac;
+  }
+  EXPECT_GT(previous_recovered, 0u);
+}
+
+TEST_F(TraceV2, SalvageOfACleanFileIsLossless) {
+  const auto trace = small_testbed_trace();
+  const auto v2 = path("clean.trc2");
+  write_trace_v2(trace, v2);
+  const auto report = load_trace_v2_salvage(v2);
+  EXPECT_FALSE(report.truncated);
+  EXPECT_FALSE(report.metadata_inferred);
+  EXPECT_EQ(report.recovered, trace.size());
+  expect_equal_records(report.trace, trace);
+}
+
+}  // namespace
+}  // namespace fgcs::trace

@@ -2,13 +2,18 @@
 //
 //   fgcs simulate  --out trace.trc [--machines N] [--days D] [--seed S]
 //                  [--profile purdue|enterprise] [--fault-plan plan.txt]
+//   fgcs fleet     --machines N [--days D] [--seed S] [--threads T]
+//                  [--spill-dir DIR] [--shard-machines M] [--out trace]
 //   fgcs analyze   <trace> [--start-dow 0..6] [--salvage]
 //   fgcs predict   <trace> [--train-days D] [--window-hours H] [--salvage]
 //   fgcs guests    [<trace>] [--checkpoint-interval MIN] [--migrate] ...
 //   fgcs calibrate [--profile linux|solaris]
 //
 // `simulate` runs the testbed (optionally under an injected fault plan)
-// and writes a trace; `analyze` reproduces the paper's Table 2 / Figure 6
+// and writes a trace; `fleet` runs the sharded sweep engine for
+// N-thousand-machine studies, spilling per-shard columnar (format v2)
+// segments instead of materializing the fleet in memory; `analyze`
+// reproduces the paper's Table 2 / Figure 6
 // / Figure 7 statistics from any saved trace; `predict` runs the
 // predictor panel; `guests` runs the resilient guest-job lifecycle
 // (checkpoint/restart/backoff/migration); `calibrate` derives Th1/Th2 for
@@ -34,6 +39,7 @@
 #include "fgcs/core/prediction_study.hpp"
 #include "fgcs/core/testbed.hpp"
 #include "fgcs/fault/fault_plan.hpp"
+#include "fgcs/fleet/fleet.hpp"
 #include "fgcs/obs/observer.hpp"
 #include "fgcs/trace/io.hpp"
 #include "fgcs/util/cli.hpp"
@@ -53,6 +59,10 @@ int usage() {
       "usage:\n"
       "  fgcs simulate  --out <path> [--machines N] [--days D] [--seed S]\n"
       "                 [--profile purdue|enterprise] [--fault-plan <file>]\n"
+      "  fgcs fleet     --machines N [--days D] [--seed S] [--threads T]\n"
+      "                 [--spill-dir <dir>] [--shard-machines M]\n"
+      "                 [--out <path>] [--profile purdue|enterprise]\n"
+      "                 [--fault-plan <file>]\n"
       "  fgcs analyze   <trace> [--start-dow 0..6] [--salvage]\n"
       "  fgcs predict   <trace> [--train-days D] [--window-hours H]\n"
       "                 [--salvage]\n"
@@ -65,6 +75,15 @@ int usage() {
       "\ntrace format chosen by extension: .csv is textual, anything else\n"
       "is the compact binary format. `figures` writes one plottable CSV\n"
       "per paper figure/table into <dir>.\n"
+      "\nfleet (sharded sweep engine):\n"
+      "  --spill-dir=<dir>    stream per-shard columnar trace segments\n"
+      "                       (format v2, shard-NNNN.trc2) to <dir> instead\n"
+      "                       of holding the fleet trace in memory; readers\n"
+      "                       (`analyze --salvage`, `predict`, ...) open\n"
+      "                       segments directly via the format-v2 loader\n"
+      "  --shard-machines=M   machines per shard (0 = derive automatically)\n"
+      "  --threads=T          worker threads (0 = FGCS_THREADS / hardware)\n"
+      "  --out=<path>         also write the merged fleet trace\n"
       "\nrobustness:\n"
       "  --fault-plan=<file>  inject faults from a declarative plan (see\n"
       "                       docs/robustness.md for the format): machine\n"
@@ -178,6 +197,40 @@ int cmd_simulate(const Args& args) {
   trace::save_trace(trace, path);
   std::printf("wrote %zu unavailability records to %s\n", trace.size(),
               path.c_str());
+  return 0;
+}
+
+int cmd_fleet(const Args& args) {
+  fleet::FleetConfig config;
+  config.testbed = testbed_config_from(args);
+  config.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  config.spill_dir = args.get("spill-dir", "");
+  config.shard_machines =
+      static_cast<std::uint32_t>(args.get_int("shard-machines", 0));
+
+  std::printf("fleet: %u machines x %d days (seed %llu, %u machines/shard%s)"
+              "...\n",
+              config.testbed.machines, config.testbed.days,
+              static_cast<unsigned long long>(config.testbed.seed),
+              config.effective_shard_machines(),
+              config.spill_dir.empty() ? ", in-memory" : ", spilling");
+  const auto result = fleet::run_fleet(config);
+
+  std::printf("fleet: %llu machine-days, %llu unavailability records across "
+              "%zu shard(s)\n",
+              static_cast<unsigned long long>(result.machine_days()),
+              static_cast<unsigned long long>(result.total_records),
+              result.shards.size());
+  if (result.spilled) {
+    std::printf("fleet: segments in %s (%s .. %s)\n", config.spill_dir.c_str(),
+                result.shards.front().segment_path.c_str(),
+                result.shards.back().segment_path.c_str());
+  }
+  if (args.has_option("out")) {
+    const std::string path = args.get("out", "fleet.trc");
+    trace::save_trace(result.load_trace(), path);
+    std::printf("wrote merged fleet trace to %s\n", path.c_str());
+  }
   return 0;
 }
 
@@ -461,6 +514,8 @@ int main(int argc, char** argv) {
     int rc = 2;
     if (args.command() == "simulate") {
       rc = cmd_simulate(args);
+    } else if (args.command() == "fleet") {
+      rc = cmd_fleet(args);
     } else if (args.command() == "analyze") {
       rc = cmd_analyze(args);
     } else if (args.command() == "predict") {
