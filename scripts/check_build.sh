@@ -88,12 +88,28 @@ if [[ "$run_tsan" -eq 1 ]]; then
 
   echo "== tsan: fleet + parallel suites =="
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R '^(Fleet|TraceV2|PredictParallel|ObsShard|ThreadPool|ParallelFor|Testbed)'
+    -R '^(Fleet|TraceV2|PredictParallel|ObsShard|ObsFlightRecorder|ThreadPool|ParallelFor|Testbed)'
 fi
 
 if [[ "$run_bench" -eq 1 ]]; then
   echo "== bench: sim-core suite + regression gate =="
   scripts/run_bench.sh --check-only
+
+  echo "== bench: fleet telemetry overhead budget =="
+  overhead="$(sed -n \
+    's/.*"fleet_telemetry_overhead_percent": \([0-9.]*\).*/\1/p' \
+    build/BENCH_obs.latest.json)"
+  if [[ -z "$overhead" ]]; then
+    echo "check_build: FAIL — build/BENCH_obs.latest.json has no" \
+         "fleet_telemetry_overhead_percent (run_bench.sh should write it)" >&2
+    exit 1
+  fi
+  echo "gate: fleet telemetry phase-accounted overhead ${overhead}% (budget 5%)"
+  if awk -v o="$overhead" 'BEGIN { exit !(o >= 5.0) }'; then
+    echo "check_build: FAIL — enabled-telemetry fleet overhead ${overhead}%" \
+         "exceeds the 5% budget" >&2
+    exit 1
+  fi
 fi
 
 echo "check_build: OK"

@@ -38,6 +38,12 @@ if [[ -f BENCH_fleet.json ]]; then
     's/.*"single_thread_machine_days_per_sec": \([0-9.]*\).*/\1/p' \
     BENCH_fleet.json)"
 fi
+baseline_obs_events_per_sec=""
+if [[ -f BENCH_obs.json ]]; then
+  baseline_obs_events_per_sec="$(sed -n \
+    's/.*"observer_enabled_events_per_sec": \([0-9.]*\).*/\1/p' \
+    BENCH_obs.json)"
+fi
 
 echo "== bench: configure + build (Release) =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DFGCS_WERROR=OFF
@@ -54,8 +60,14 @@ if [[ "$check_only" -eq 1 ]]; then
 fi
 ./build/bench/perf_microbench --simcore="$out" --obs-baseline="$obs_out" \
   --fleet="$fleet_out"
+# Keep the freshest obs numbers where check_build.sh --bench can assert
+# on them regardless of --check-only (the committed baseline is only
+# refreshed on a full run).
+cp "$obs_out" build/BENCH_obs.latest.json
 echo
 cat "$out"
+echo
+cat "$obs_out"
 echo
 cat "$fleet_out"
 echo
@@ -88,6 +100,22 @@ if [[ -n "$baseline_fleet_md_per_sec" ]]; then
   fi
 else
   echo "gate: no committed BENCH_fleet.json baseline; skipping"
+fi
+
+if [[ -n "$baseline_obs_events_per_sec" ]]; then
+  current_obs="$(sed -n \
+    's/.*"observer_enabled_events_per_sec": \([0-9.]*\).*/\1/p' "$obs_out")"
+  obs_floor="$(awk -v b="$baseline_obs_events_per_sec" \
+    'BEGIN { printf "%.0f", b * 0.8 }')"
+  echo "gate: observer-enabled event queue ${current_obs} ev/s vs committed" \
+       "baseline ${baseline_obs_events_per_sec} ev/s (floor ${obs_floor})"
+  if awk -v c="$current_obs" -v f="$obs_floor" 'BEGIN { exit !(c < f) }'; then
+    echo "run_bench: FAIL — observer-enabled event-queue throughput" \
+         "regressed >20% (telemetry hook cost grew)" >&2
+    exit 1
+  fi
+else
+  echo "gate: no committed BENCH_obs.json baseline; skipping"
 fi
 
 echo "run_bench: OK"

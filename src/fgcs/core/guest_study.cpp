@@ -144,7 +144,7 @@ GuestStudyResult run_guest_study(const TestbedConfig& testbed,
       if (fail_at == SimTime::max() && kill_at == SimTime::max()) {
         job.completed = true;
         job.response = (t + wall) - submit;
-        if (o != nullptr) o->on_guest_completed();
+        if (o != nullptr) o->on_guest_completed(t + wall);
         break;
       }
 
@@ -164,9 +164,9 @@ GuestStudyResult run_guest_study(const TestbedConfig& testbed,
       job.checkpoints += static_cast<std::uint32_t>(slots);
       job.restarts += 1;
       if (o != nullptr) {
-        for (std::int64_t i = 0; i < slots; ++i) o->on_guest_checkpoint();
-        o->on_guest_work_lost(lost);
-        o->on_guest_restart();
+        for (std::int64_t i = 0; i < slots; ++i) o->on_guest_checkpoint(died);
+        o->on_guest_work_lost(died, lost);
+        o->on_guest_restart(died);
       }
 
       const SimDuration delay =
@@ -178,7 +178,7 @@ GuestStudyResult run_guest_study(const TestbedConfig& testbed,
         m = static_cast<trace::MachineId>((m + 1) % testbed.machines);
         job.final_machine = m;
         job.migrations += 1;
-        if (o != nullptr) o->on_guest_migration();
+        if (o != nullptr) o->on_guest_migration(died);
         t = died + delay;
       } else if (revoked) {
         // Restart on the same machine once the episode clears.

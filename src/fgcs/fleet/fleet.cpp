@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstdio>
 
+#include "fgcs/obs/timeseries.hpp"
 #include "fgcs/trace/format_v2.hpp"
 #include "fgcs/util/error.hpp"
 #include "fgcs/util/parallel.hpp"
@@ -34,10 +35,53 @@ void ensure_dir(const std::string& dir) {
   throw IoError("cannot create spill directory: " + dir);
 }
 
+std::string shard_label(std::size_t shard) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%04zu", shard);
+  return buf;
+}
+
+/// Writes the sweep's FGCSMET1 segment: fleet totals (unlabeled), then
+/// each shard's series under {shard=NNNN} plus two meta gauges locating
+/// the shard in the machine range. Single-threaded, shard order — the
+/// bytes depend only on the config and seed.
+void write_metrics_segment(const FleetConfig& config, const FleetResult& result,
+                           const std::vector<obs::TimeSeriesShard>& shards) {
+  obs::MetricsWriterV1 writer(config.metrics_path, result.horizon_start,
+                              result.horizon_end, config.metrics_resolution);
+  obs::TimeSeriesShard totals(result.horizon_start, result.horizon_end,
+                              config.metrics_resolution);
+  for (const auto& ts : shards) totals.add(ts);
+  totals.write_series(writer, {});
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const std::string label = shard_label(s);
+    shards[s].write_series(writer, {{"shard", label}});
+    const auto first = writer.series_id(
+        "fleet.shard_first_machine{shard=" + label + "}",
+        obs::SeriesKind::kGauge);
+    const auto count = writer.series_id(
+        "fleet.shard_machines{shard=" + label + "}", obs::SeriesKind::kGauge);
+    writer.append(first, result.horizon_start,
+                  static_cast<double>(result.shards[s].first_machine));
+    writer.append(count, result.horizon_start,
+                  static_cast<double>(result.shards[s].machine_count));
+  }
+  writer.finish();
+}
+
 }  // namespace
 
 void FleetConfig::validate() const {
   testbed.validate();
+  if (!metrics_path.empty()) {
+    fgcs::require(metrics_resolution > sim::SimDuration::zero(),
+                  "metrics_resolution must be positive");
+  }
+}
+
+std::size_t FleetConfig::shard_count() const {
+  const std::uint32_t per_shard = effective_shard_machines();
+  return (testbed.machines + per_shard - 1) / per_shard;
 }
 
 std::uint32_t FleetConfig::effective_shard_machines() const {
@@ -78,7 +122,13 @@ FleetResult run_fleet(const FleetConfig& config) {
 
   const std::uint32_t machines = config.testbed.machines;
   const std::uint32_t per_shard = config.effective_shard_machines();
-  const std::size_t shard_count = (machines + per_shard - 1) / per_shard;
+  const std::size_t shard_count = config.shard_count();
+  const bool want_metrics = !config.metrics_path.empty();
+  if (config.progress != nullptr) {
+    fgcs::require(config.progress->shard_machines_done.size() >= shard_count,
+                  "FleetProgress was constructed for fewer shards than the "
+                  "sweep produces");
+  }
 
   FleetResult result;
   result.machines = machines;
@@ -93,6 +143,27 @@ FleetResult run_fleet(const FleetConfig& config) {
   std::vector<std::vector<trace::UnavailabilityRecord>> shard_records(
       spill ? 0 : shard_count);
 
+  // The hooks a shard's machines fire only reach the time-series bins
+  // through an installed observer; when telemetry is requested and the
+  // caller didn't install one, provide a local observer for the sweep.
+  std::optional<obs::Observer> local_observer;
+  std::optional<obs::ScopedObserver> local_observer_guard;
+  if (want_metrics && obs::observer() == nullptr) {
+    local_observer.emplace();
+    local_observer_guard.emplace(&*local_observer);
+  }
+
+  // One time-series shard per fleet shard; the binned counters fold into
+  // fleet totals and spill to the segment after the parallel section.
+  std::vector<obs::TimeSeriesShard> ts_shards;
+  if (want_metrics) {
+    ts_shards.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      ts_shards.emplace_back(result.horizon_start, result.horizon_end,
+                             config.metrics_resolution);
+    }
+  }
+
   const auto run_shard = [&](std::size_t s) {
     ShardSummary& summary = result.shards[s];
     summary.first_machine = static_cast<std::uint32_t>(s) * per_shard;
@@ -100,8 +171,12 @@ FleetResult run_fleet(const FleetConfig& config) {
         std::min(per_shard, machines - summary.first_machine);
 
     // All obs hooks on this thread land in the shard's plain counters for
-    // the duration; one merge at the end touches the shared atomics.
+    // the duration; one merge at the end touches the shared atomics. The
+    // time-series scope routes the sim-time-stamped hooks into this
+    // shard's bins the same way.
     const obs::ShardScope scope(&summary.counters);
+    std::optional<obs::TimeSeriesScope> ts_scope;
+    if (want_metrics) ts_scope.emplace(&ts_shards[s]);
 
     std::optional<trace::TraceWriterV2> writer;
     if (spill) {
@@ -115,6 +190,14 @@ FleetResult run_fleet(const FleetConfig& config) {
           static_cast<trace::MachineId>(summary.first_machine + i);
       auto records = runner.run(machine);
       summary.records += records.size();
+      if (config.progress != nullptr) {
+        config.progress->machines_done.fetch_add(1, std::memory_order_relaxed);
+        config.progress->records.fetch_add(records.size(),
+                                           std::memory_order_relaxed);
+        config.progress->shard_machines_done[s].fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      if (auto* o = obs::observer()) o->on_fleet_machine_done();
       if (writer) {
         // Finished machine's records leave memory immediately.
         writer->append(records);
@@ -126,6 +209,19 @@ FleetResult run_fleet(const FleetConfig& config) {
       writer->finish();
     } else {
       shard_records[s] = std::move(local);
+    }
+    if (config.progress != nullptr) {
+      config.progress->shards_completed.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (auto* o = obs::observer()) {
+      o->on_fleet_shard_done(s, summary.first_machine, summary.machine_count,
+                             result.horizon_end);
+    }
+    // With telemetry on, the sample count lived in the bins (the
+    // detector-sample fast path skips the shard counter); fold the total
+    // back now that the shard is done.
+    if (want_metrics) {
+      summary.counters.detector_samples += ts_shards[s].total_samples();
     }
   };
 
@@ -143,6 +239,11 @@ FleetResult run_fleet(const FleetConfig& config) {
     for (const auto& s : result.shards) o->merge_shard(s.counters);
   }
   for (const auto& s : result.shards) result.total_records += s.records;
+
+  if (want_metrics) {
+    write_metrics_segment(config, result, ts_shards);
+    result.metrics_path = config.metrics_path;
+  }
 
   if (!spill) {
     trace::TraceSet trace(machines, result.horizon_start, result.horizon_end);

@@ -25,6 +25,7 @@
 // count, and segment files are byte-identical run to run.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -35,6 +36,23 @@
 #include "fgcs/trace/trace_set.hpp"
 
 namespace fgcs::fleet {
+
+/// Live progress counters for a running sweep. The caller allocates one,
+/// points FleetConfig::progress at it, and polls from another thread
+/// (e.g. the CLI's wall-clock progress monitor) while run_fleet executes.
+/// All loads/stores are relaxed: the values are monotone counts for
+/// display, not synchronization.
+struct FleetProgress {
+  explicit FleetProgress(std::size_t shard_count)
+      : shard_machines_done(shard_count) {}
+
+  std::atomic<std::uint64_t> machines_done{0};
+  std::atomic<std::uint64_t> records{0};
+  std::atomic<std::uint64_t> shards_completed{0};
+  /// Per-shard machine completions — a stall watchdog compares snapshots
+  /// to flag shards making no progress.
+  std::vector<std::atomic<std::uint64_t>> shard_machines_done;
+};
 
 struct FleetConfig {
   /// The per-machine simulation: machines, days, seed, workload profile,
@@ -55,7 +73,27 @@ struct FleetConfig {
   /// segment files) is deterministic in the config alone.
   std::uint32_t shard_machines = 0;
 
+  /// When non-empty, each shard also collects sim-time-binned series
+  /// (obs::TimeSeriesShard) and the sweep writes one FGCSMET1 segment
+  /// here: fleet totals first (unlabeled), then every shard's series
+  /// under a {shard=NNNN} label plus fleet.shard_first_machine /
+  /// fleet.shard_machines meta gauges. Byte-identical across same-seed
+  /// runs for any thread count.
+  std::string metrics_path;
+
+  /// Bin width of the time-series collection (must be positive when
+  /// metrics_path is set).
+  sim::SimDuration metrics_resolution = sim::SimDuration::hours(1);
+
+  /// Optional live progress sink. When non-null it must outlive
+  /// run_fleet() and have been constructed with at least the sweep's
+  /// shard count (see shard_count()).
+  FleetProgress* progress = nullptr;
+
   void validate() const;
+
+  /// The number of shards the partition produces.
+  std::size_t shard_count() const;
 
   /// The effective machines-per-shard value (resolves the 0 default).
   std::uint32_t effective_shard_machines() const;
@@ -81,6 +119,10 @@ struct FleetResult {
   std::uint64_t total_records = 0;
   bool spilled = false;
   std::vector<ShardSummary> shards;
+
+  /// The FGCSMET1 segment written when FleetConfig::metrics_path was set
+  /// (empty otherwise).
+  std::string metrics_path;
 
   /// In-memory mode only (spilled == false).
   std::optional<trace::TraceSet> trace;

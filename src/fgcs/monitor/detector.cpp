@@ -9,7 +9,7 @@
 namespace fgcs::monitor {
 
 UnavailabilityDetector::UnavailabilityDetector(ThresholdPolicy policy)
-    : policy_(policy) {
+    : policy_(policy), ts_sink_(obs::current_ts_shard()) {
   policy_.validate();
 }
 
@@ -22,7 +22,14 @@ AvailabilityState UnavailabilityDetector::observe(HostSample sample) {
   sample.free_mem_mb = std::max(0.0, sample.free_mem_mb);
   saw_sample_ = true;
   last_time_ = sample.time;
-  if (auto* o = obs::observer()) o->on_detector_sample();
+  // Pinned sink first: with binned collection active this is the entire
+  // per-sample telemetry cost (Observer::on_detector_sample would reach
+  // the same bins through a thread-local load per call).
+  if (ts_sink_ != nullptr) {
+    ts_sink_->on_sample(sample.time);
+  } else if (auto* o = obs::observer()) {
+    o->on_detector_sample(sample.time);
+  }
 
   AvailabilityState next;
   // CPU-excursion tracking is orthogonal to the memory check (§3.2.3);

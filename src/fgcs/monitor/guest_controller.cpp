@@ -77,7 +77,7 @@ void GuestController::maybe_checkpoint(AvailabilityState s) {
   checkpointed_ = saved;
   ++checkpoint_count_;
   record(GuestAction::kCheckpoint, s);
-  if (auto* o = obs::observer()) o->on_guest_checkpoint();
+  if (auto* o = obs::observer()) o->on_guest_checkpoint(now);
 }
 
 void GuestController::apply(const UnavailabilityDetector& detector) {
@@ -96,7 +96,9 @@ void GuestController::apply(const UnavailabilityDetector& detector) {
                         : sim::SimDuration::zero();
     if (guest.killed()) {
       record(GuestAction::kObservedKilled, detector.state());
-      if (auto* o = obs::observer()) o->on_guest_work_lost(lost_at_exit_);
+      if (auto* o = obs::observer()) {
+        o->on_guest_work_lost(machine_.now(), lost_at_exit_);
+      }
     }
     return;
   }
@@ -110,7 +112,9 @@ void GuestController::apply(const UnavailabilityDetector& detector) {
     lost_at_exit_ = progress > checkpointed_ ? progress - checkpointed_
                                              : sim::SimDuration::zero();
     record(GuestAction::kTerminate, s);
-    if (auto* o = obs::observer()) o->on_guest_work_lost(lost_at_exit_);
+    if (auto* o = obs::observer()) {
+      o->on_guest_work_lost(machine_.now(), lost_at_exit_);
+    }
     return;
   }
 

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "fgcs/obs/trace_sink.hpp"  // json_escape
 #include "fgcs/util/csv.hpp"
 #include "fgcs/util/error.hpp"
 #include "fgcs/util/table.hpp"
@@ -68,8 +69,14 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 }
 
 double Histogram::quantile(double q) const {
+  return quantile_from_buckets(bounds_, bucket_counts(), q);
+}
+
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& counts,
+                             double q) {
+  if (bounds.empty() || counts.size() != bounds.size() + 1) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto counts = bucket_counts();
   std::uint64_t total = 0;
   for (const auto c : counts) total += c;
   if (total == 0) return 0.0;
@@ -83,13 +90,13 @@ double Histogram::quantile(double q) const {
       continue;
     }
     // The q-th observation falls in bucket i; interpolate linearly.
-    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
-    const double hi = i < bounds_.size() ? bounds_[i] : bounds_.back();
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = i < bounds.size() ? bounds[i] : bounds.back();
     if (c <= 0.0) return hi;
     const double frac = (target - cumulative) / c;
     return lo + (hi - lo) * frac;
   }
-  return bounds_.back();
+  return bounds.back();
 }
 
 std::vector<double> Histogram::default_time_bounds() {
@@ -238,12 +245,15 @@ void MetricRegistry::write_json(std::ostream& out) const {
   for (const auto& s : samples) {
     if (!first) out << ",";
     first = false;
-    out << "\n  {\"name\":\"" << s.name << "\",\"labels\":{";
+    // Names and labels are user-influenced (scope names, fault-plan
+    // strings): escape them, and rely on snapshot()'s sorted series
+    // order plus registration-sorted label keys for deterministic output.
+    out << "\n  {\"name\":\"" << json_escape(s.name) << "\",\"labels\":{";
     bool first_label = true;
     for (const auto& [k, v] : s.labels) {
       if (!first_label) out << ",";
       first_label = false;
-      out << "\"" << k << "\":\"" << v << "\"";
+      out << "\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
     }
     out << "},";
     switch (s.kind) {

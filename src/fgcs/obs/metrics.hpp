@@ -170,4 +170,14 @@ class MetricRegistry {
 /// Renders a sorted label set as "k=v,k2=v2".
 std::string format_labels(const Labels& labels);
 
+/// Quantile estimate from explicit histogram buckets, by linear
+/// interpolation inside the bucket containing the q-th observation.
+/// Bucket i counts observations <= bounds[i]; counts must have one extra
+/// overflow bucket (counts.size() == bounds.size() + 1, clamped to the
+/// last bound). Returns 0 when the buckets are empty. Shared by
+/// Histogram::quantile and the windowed quantile queries of `fgcs stats`.
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& counts,
+                             double q);
+
 }  // namespace fgcs::obs

@@ -71,6 +71,8 @@ Observer::Observer(const Options& options)
   os_context_switches_ = &metrics_.counter("os.context_switches");
   os_max_runnable_ = &metrics_.gauge("os.max_runnable");
   testbed_machines_ = &metrics_.counter("testbed.machines_simulated");
+  fleet_machines_done_ = &metrics_.counter("fleet.machines_done");
+  fleet_shards_done_ = &metrics_.counter("fleet.shards_completed");
 }
 
 void Observer::on_sim_run(const char* what, sim::SimTime begin,
@@ -82,15 +84,45 @@ void Observer::on_sim_run(const char* what, sim::SimTime begin,
   trace_.complete("sim", what, begin, end - begin, current_track(), args);
 }
 
+void Observer::on_sim_batch(std::uint64_t executed, double max_depth,
+                            std::uint64_t scheduled, std::uint64_t spilled,
+                            std::uint64_t cancelled, std::uint64_t compactions,
+                            std::uint64_t compacted) {
+  if (CounterShard* s = current_shard()) {
+    s->sim_events_executed += executed;
+    s->sim_events_scheduled += scheduled;
+    s->sim_callbacks_spilled += spilled;
+    s->sim_events_cancelled += cancelled;
+    s->sim_compactions += compactions;
+    s->sim_events_compacted += compacted;
+    if (max_depth > s->sim_max_queue_depth) s->sim_max_queue_depth = max_depth;
+    return;
+  }
+  if (executed > 0) sim_events_executed_->inc(executed);
+  if (max_depth > 0) sim_max_queue_depth_->set_max(max_depth);
+  if (scheduled > 0) sim_events_scheduled_->inc(scheduled);
+  if (spilled > 0) sim_callbacks_spilled_->inc(spilled);
+  if (cancelled > 0) sim_events_cancelled_->inc(cancelled);
+  if (compactions > 0) {
+    sim_compactions_->inc(compactions);
+    sim_events_compacted_->inc(compacted);
+  }
+}
+
 void Observer::on_fault_injected(int kind, sim::SimTime at,
                                  sim::SimDuration duration) {
   static const char* const kFaultKindNames[kFaultKindCount] = {
       "crash", "dropout", "skew", "guest-kill"};
   if (kind < 0 || kind >= kFaultKindCount) return;
+  if (TimeSeriesShard* ts = current_ts_shard()) ts->on_fault(at, kind);
   if (CounterShard* s = current_shard()) {
     ++s->fault_injected[kind];
   } else {
     fault_injected_[kind]->inc();
+  }
+  if (flight_ != nullptr) {
+    flight_->record({at, FlightEventKind::kFaultInjected, current_track(),
+                     kind, 0, duration});
   }
   if (trace_enabled_) {
     trace_.complete("fault", kFaultKindNames[kind], at, duration,
@@ -99,6 +131,13 @@ void Observer::on_fault_injected(int kind, sim::SimTime at,
 }
 
 void Observer::on_sensor_gap(sim::SimTime start, sim::SimDuration duration) {
+  if (TimeSeriesShard* ts = current_ts_shard()) {
+    ts->on_sensor_gap(start, duration);
+  }
+  if (flight_ != nullptr) {
+    flight_->record({start, FlightEventKind::kSensorGap, current_track(), 0,
+                     0, duration});
+  }
   if (CounterShard* s = current_shard()) {
     ++s->detector_sensor_gaps;
     s->detector_sensor_gap_us +=
@@ -116,10 +155,15 @@ void Observer::on_sensor_gap(sim::SimTime start, sim::SimDuration duration) {
 
 void Observer::on_detector_transition(sim::SimTime at, int from, int to) {
   if (from >= 1 && from <= kStateCount && to >= 1 && to <= kStateCount) {
+    if (TimeSeriesShard* ts = current_ts_shard()) ts->on_transition(at, to);
     if (CounterShard* s = current_shard()) {
       ++s->detector_transitions[from - 1][to - 1];
     } else {
       detector_transitions_[from - 1][to - 1]->inc();
+    }
+    if (flight_ != nullptr) {
+      flight_->record({at, FlightEventKind::kStateTransition, current_track(),
+                       from, to, {}});
     }
   }
   if (trace_enabled_) {
@@ -130,10 +174,15 @@ void Observer::on_detector_transition(sim::SimTime at, int from, int to) {
 
 void Observer::on_episode_opened(sim::SimTime at, int cause, double host_cpu,
                                  double free_mem_mb) {
+  if (TimeSeriesShard* ts = current_ts_shard()) ts->on_episode_opened(at);
   if (CounterShard* s = current_shard()) {
     ++s->detector_episodes_opened;
   } else {
     detector_episodes_opened_->inc();
+  }
+  if (flight_ != nullptr) {
+    flight_->record({at, FlightEventKind::kEpisodeOpened, current_track(),
+                     cause, 0, {}});
   }
   if (!trace_enabled_) return;
   char args[96];
@@ -145,10 +194,17 @@ void Observer::on_episode_opened(sim::SimTime at, int cause, double host_cpu,
 
 void Observer::on_episode_closed(sim::SimTime at, int cause,
                                  sim::SimDuration duration) {
+  if (TimeSeriesShard* ts = current_ts_shard()) {
+    ts->on_episode_closed(at, duration);
+  }
   if (CounterShard* s = current_shard()) {
     ++s->detector_episodes_closed;
   } else {
     detector_episodes_closed_->inc();
+  }
+  if (flight_ != nullptr) {
+    flight_->record({at, FlightEventKind::kEpisodeClosed, current_track(),
+                     cause, 0, duration});
   }
   if (!trace_enabled_) return;
   char args[96];
@@ -169,6 +225,11 @@ void Observer::on_testbed_machine(std::uint32_t machine, sim::SimTime begin,
   } else {
     testbed_machines_->inc();
   }
+  if (flight_ != nullptr) {
+    flight_->record({end, FlightEventKind::kMachineDone, machine,
+                     static_cast<std::int32_t>(episodes),
+                     static_cast<std::int32_t>(samples), end - begin});
+  }
   if (!trace_enabled_) return;
   char name[32];
   std::snprintf(name, sizeof name, "machine-%u", machine);
@@ -179,6 +240,60 @@ void Observer::on_testbed_machine(std::uint32_t machine, sim::SimTime begin,
                 static_cast<unsigned long long>(samples));
   trace_.complete("testbed", "simulate_machine", begin, end - begin, machine,
                   args);
+}
+
+void Observer::on_guest_restart(sim::SimTime at) {
+  guest_restarts_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(
+        {at, FlightEventKind::kGuestRestart, current_track(), 0, 0, {}});
+  }
+}
+
+void Observer::on_guest_migration(sim::SimTime at) {
+  guest_migrations_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(
+        {at, FlightEventKind::kGuestMigration, current_track(), 0, 0, {}});
+  }
+}
+
+void Observer::on_guest_checkpoint(sim::SimTime at) {
+  guest_checkpoints_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(
+        {at, FlightEventKind::kGuestCheckpoint, current_track(), 0, 0, {}});
+  }
+}
+
+void Observer::on_guest_completed(sim::SimTime at) {
+  guest_completions_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(
+        {at, FlightEventKind::kGuestCompleted, current_track(), 0, 0, {}});
+  }
+}
+
+void Observer::on_guest_work_lost(sim::SimTime at, sim::SimDuration lost) {
+  if (lost <= sim::SimDuration::zero()) return;
+  guest_work_lost_us_->inc(static_cast<std::uint64_t>(lost.as_micros()));
+  if (flight_ != nullptr) {
+    flight_->record(
+        {at, FlightEventKind::kGuestWorkLost, current_track(), 0, 0, lost});
+  }
+}
+
+void Observer::on_fleet_shard_done(std::size_t shard,
+                                   std::uint32_t first_machine,
+                                   std::size_t machine_count,
+                                   sim::SimTime at) {
+  fleet_shards_done_->inc();
+  if (flight_ != nullptr) {
+    flight_->record({at, FlightEventKind::kShardDone,
+                     static_cast<std::uint32_t>(shard),
+                     static_cast<std::int32_t>(first_machine),
+                     static_cast<std::int32_t>(machine_count), {}});
+  }
 }
 
 void Observer::record_scope(std::string_view name, double seconds) {
@@ -228,7 +343,7 @@ void set_observer(Observer* observer) {
 }
 
 namespace detail {
-thread_local CounterShard* t_shard = nullptr;
+constinit thread_local CounterShard* t_shard = nullptr;
 }  // namespace detail
 
 ShardScope::ShardScope(CounterShard* shard) : previous_(detail::t_shard) {
@@ -238,7 +353,7 @@ ShardScope::ShardScope(CounterShard* shard) : previous_(detail::t_shard) {
 ShardScope::~ShardScope() { detail::t_shard = previous_; }
 
 namespace {
-thread_local std::uint32_t t_current_track = 0;
+constinit thread_local std::uint32_t t_current_track = 0;
 }  // namespace
 
 std::uint32_t current_track() { return t_current_track; }

@@ -27,7 +27,9 @@
 #include <string>
 #include <string_view>
 
+#include "fgcs/obs/flight_recorder.hpp"
 #include "fgcs/obs/metrics.hpp"
+#include "fgcs/obs/timeseries.hpp"
 #include "fgcs/obs/trace_sink.hpp"
 #include "fgcs/sim/time.hpp"
 
@@ -72,7 +74,7 @@ struct CounterShard {
 };
 
 namespace detail {
-extern thread_local CounterShard* t_shard;
+extern constinit thread_local CounterShard* t_shard;
 }  // namespace detail
 
 /// The calling thread's installed counter shard (nullptr when hooks write
@@ -112,6 +114,13 @@ class Observer {
   TraceSink& trace() { return trace_; }
   const TraceSink& trace() const { return trace_; }
   bool trace_enabled() const { return trace_enabled_; }
+
+  /// Attaches (or, with nullptr, detaches) a flight recorder; timestamped
+  /// hooks then mirror their events into its ring. The caller owns the
+  /// recorder and must attach it *before* installing the observer — the
+  /// pointer is read unsynchronized from hook paths.
+  void set_flight_recorder(FlightRecorder* recorder) { flight_ = recorder; }
+  FlightRecorder* flight_recorder() const { return flight_; }
 
   // -- sim hooks -------------------------------------------------------------
 
@@ -165,6 +174,18 @@ class Observer {
   void on_sim_run(const char* what, sim::SimTime begin, sim::SimTime end,
                   std::uint64_t events);
 
+  /// One run's worth of event-loop activity, flushed by the Simulation at
+  /// the end of run_until/run_all from the queue's plain counters — the
+  /// per-event hooks above remain for direct instrumentation, but the
+  /// event loop itself reports through this batch, so enabling the
+  /// observer adds no per-event work at all. `max_depth` is the queue's
+  /// peak pending-event count over the batch (the executing event is not
+  /// counted, unlike on_sim_event); 0 leaves the gauge untouched.
+  void on_sim_batch(std::uint64_t executed, double max_depth,
+                    std::uint64_t scheduled, std::uint64_t spilled,
+                    std::uint64_t cancelled, std::uint64_t compactions,
+                    std::uint64_t compacted);
+
   // -- fault hooks -----------------------------------------------------------
 
   /// An injected fault activated. `kind` indexes fault::FaultKind
@@ -173,21 +194,30 @@ class Observer {
 
   // -- guest lifecycle hooks -------------------------------------------------
 
-  void on_guest_restart() { guest_restarts_->inc(); }
-  void on_guest_migration() { guest_migrations_->inc(); }
-  void on_guest_checkpoint() { guest_checkpoints_->inc(); }
-  void on_guest_completed() { guest_completions_->inc(); }
+  // All take the sim time of the action so the flight recorder can place
+  // them on the run's timeline.
+  void on_guest_restart(sim::SimTime at);
+  void on_guest_migration(sim::SimTime at);
+  void on_guest_checkpoint(sim::SimTime at);
+  void on_guest_completed(sim::SimTime at);
 
   /// Guest CPU work discarded because it was never checkpointed.
-  void on_guest_work_lost(sim::SimDuration lost) {
-    if (lost > sim::SimDuration::zero()) {
-      guest_work_lost_us_->inc(static_cast<std::uint64_t>(lost.as_micros()));
-    }
-  }
+  void on_guest_work_lost(sim::SimTime at, sim::SimDuration lost);
 
   // -- monitor hooks ---------------------------------------------------------
 
-  void on_detector_sample() {
+  /// Hottest hook in a telemetry-enabled sweep: one per detector sample
+  /// (one per simulated sample period per machine). With a time-series
+  /// scope installed the whole hook is one thread-local load and one bin
+  /// bump — the bins are then authoritative for the sample count, and
+  /// the scope's owner folds TimeSeriesShard::total_samples() back into
+  /// its CounterShard (or the registry) when the shard retires, as the
+  /// fleet sweep does at the end of each shard.
+  void on_detector_sample(sim::SimTime at) {
+    if (TimeSeriesShard* ts = current_ts_shard()) {
+      ts->on_sample(at);
+      return;
+    }
     if (CounterShard* s = current_shard()) {
       ++s->detector_samples;
       return;
@@ -242,6 +272,17 @@ class Observer {
                           sim::SimTime end, std::size_t episodes,
                           std::uint64_t samples);
 
+  // -- fleet hooks -----------------------------------------------------------
+
+  /// One fleet machine finished simulating (live progress counter; bumps
+  /// the registry directly so monitors see it move mid-run).
+  void on_fleet_machine_done() { fleet_machines_done_->inc(); }
+
+  /// One fleet shard finished (all its machines simulated); recorded on
+  /// the flight-recorder timeline at the horizon end.
+  void on_fleet_shard_done(std::size_t shard, std::uint32_t first_machine,
+                           std::size_t machine_count, sim::SimTime at);
+
   // -- profiling scopes ------------------------------------------------------
 
   /// Feeds the "scope.seconds{scope=...}" histogram family (wall-clock).
@@ -256,6 +297,7 @@ class Observer {
   MetricRegistry metrics_;
   TraceSink trace_;
   bool trace_enabled_;
+  FlightRecorder* flight_ = nullptr;
 
   // Hot-path series, registered once at construction.
   Counter* sim_events_executed_;
@@ -282,6 +324,8 @@ class Observer {
   Counter* os_context_switches_;
   Gauge* os_max_runnable_;
   Counter* testbed_machines_;
+  Counter* fleet_machines_done_;
+  Counter* fleet_shards_done_;
 };
 
 namespace detail {

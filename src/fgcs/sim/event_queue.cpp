@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "fgcs/obs/observer.hpp"
 #include "fgcs/util/error.hpp"
 
 namespace fgcs::sim {
@@ -27,6 +26,7 @@ std::uint32_t SlotTable::acquire(EventCallback cb) {
     s.cb = std::move(cb);
   }
   ++live;
+  if (live > stats.max_live) stats.max_live = live;
   return id;
 }
 
@@ -81,7 +81,7 @@ bool EventHandle::cancel() {
     return first;
   }
   if (slots_ && slots_->cancel(slot_, gen_)) {
-    if (auto* o = obs::observer()) o->on_sim_cancel();
+    ++slots_->stats.cancelled;
     return true;
   }
   return false;
@@ -129,7 +129,8 @@ void EventQueue::remove_top() const {
 
 EventHandle EventQueue::schedule(SimTime when, Callback cb) {
   FGCS_ASSERT(cb);
-  if (auto* o = obs::observer()) o->on_sim_schedule(cb.is_inline());
+  ++slots_->stats.scheduled;
+  if (!cb.is_inline()) ++slots_->stats.spilled;
   const std::uint32_t slot = slots_->acquire(std::move(cb));
   const std::uint32_t gen = slots_->slots[slot].gen;
   heap_.push_back(Entry{when, next_seq_++, slot, gen});
@@ -169,7 +170,8 @@ void EventQueue::maybe_compact() {
   if (heap_.size() > 1) {
     for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
   }
-  if (auto* o = obs::observer()) o->on_sim_compaction(removed);
+  ++slots_->stats.compactions;
+  slots_->stats.compacted += removed;
 }
 
 SimTime EventQueue::next_time() const {

@@ -35,6 +35,19 @@ namespace fgcs::sim {
 /// one heap allocation beyond that (counted by the observability layer).
 using EventCallback = util::InlineFunction<void(), 48>;
 
+/// Scheduling statistics, accumulated by the queue as plain increments
+/// and drained at run boundaries (see Simulation::run_until/run_all).
+/// Always on: a non-atomic increment on an already-hot struct is cheaper
+/// than the observer load + hook call per scheduling action it replaces.
+struct SimEventStats {
+  std::uint64_t scheduled = 0;
+  std::uint64_t spilled = 0;    // callbacks too big for inline storage
+  std::uint64_t cancelled = 0;  // live events cancelled through handles
+  std::uint64_t compactions = 0;
+  std::uint64_t compacted = 0;  // cancelled entries removed by compaction
+  std::uint64_t max_live = 0;   // peak pending events since the last drain
+};
+
 namespace detail {
 
 inline constexpr std::uint32_t kNoSlot = 0xffff'ffffu;
@@ -66,6 +79,9 @@ struct SlotTable {
   std::size_t cancelled_pending = 0;
   /// Intrusive refcount (queue + outstanding handles).
   std::uint32_t refs = 1;
+  /// Lives here rather than in the queue so EventHandle::cancel() (which
+  /// only holds the table) can count too.
+  SimEventStats stats;
 
   std::uint32_t acquire(EventCallback cb);
   /// Cancels (slot, gen) if it is still live; releases the callback and
@@ -184,6 +200,21 @@ class EventQueue {
 
   /// Exact number of live (uncancelled, unfired) events.
   std::size_t live_size() const { return slots_->live; }
+
+  /// Scheduling statistics accumulated since construction or the last
+  /// drain_stats() call.
+  const SimEventStats& stats() const { return slots_->stats; }
+
+  /// Returns and resets the accumulated statistics — how the owning
+  /// Simulation forwards them to the observer once per run. Events still
+  /// pending at the drain keep counting toward the next window's
+  /// high-water mark.
+  SimEventStats drain_stats() {
+    const SimEventStats out = slots_->stats;
+    slots_->stats = SimEventStats{};
+    slots_->stats.max_live = slots_->live;
+    return out;
+  }
 
   /// Timestamp of the earliest live event; SimTime::max() when empty.
   SimTime next_time() const;

@@ -1,5 +1,6 @@
 #include "fgcs/sim/simulation.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -49,8 +50,9 @@ EventHandle Simulation::every(SimDuration period, EventQueue::Callback task) {
 }
 
 // The observer is sampled once per run, not per event: installation
-// mid-run is not a supported pattern, and the single load keeps the
-// disabled-path overhead to one branch per executed event.
+// mid-run is not a supported pattern, and sampling it once per run keeps
+// the event loop itself free of observer work — the queue's plain stats
+// (including the live high-water mark) carry everything the flush needs.
 void Simulation::run_until(SimTime until) {
   stop_requested_ = false;
   obs::Observer* const o = obs::observer();
@@ -62,11 +64,10 @@ void Simulation::run_until(SimTime until) {
     now_ = next;
     queue_.run_next();
     ++events_executed_;
-    if (o != nullptr) o->on_sim_event(queue_.live_size());
   }
   if (now_ < until) now_ = until;
-  if (o != nullptr && events_executed_ > events_before) {
-    o->on_sim_run("run_until", begin, now_, events_executed_ - events_before);
+  if (o != nullptr) {
+    flush_obs(o, "run_until", begin, events_executed_ - events_before);
   }
 }
 
@@ -79,11 +80,23 @@ void Simulation::run_all() {
     // run_next advances the clock before firing — no separate peek needed.
     queue_.run_next(&now_);
     ++events_executed_;
-    if (o != nullptr) o->on_sim_event(queue_.live_size());
   }
-  if (o != nullptr && events_executed_ > events_before) {
-    o->on_sim_run("run_all", begin, now_, events_executed_ - events_before);
+  if (o != nullptr) {
+    flush_obs(o, "run_all", begin, events_executed_ - events_before);
   }
+}
+
+// One observer update per run: per-event costs stay in plain queue
+// counters, so enabling telemetry adds no work at all to the event loop.
+void Simulation::flush_obs(obs::Observer* o, const char* what, SimTime begin,
+                           std::uint64_t events) {
+  const SimEventStats stats = queue_.drain_stats();
+  // Depth is the queue's peak pending-event count over the run — the
+  // executing event is not counted (unlike on_sim_event's convention).
+  o->on_sim_batch(events, static_cast<double>(stats.max_live),
+                  stats.scheduled, stats.spilled, stats.cancelled,
+                  stats.compactions, stats.compacted);
+  if (events > 0) o->on_sim_run(what, begin, now_, events);
 }
 
 }  // namespace fgcs::sim

@@ -11,6 +11,10 @@
 #include "fgcs/sim/event_queue.hpp"
 #include "fgcs/sim/time.hpp"
 
+namespace fgcs::obs {
+class Observer;
+}  // namespace fgcs::obs
+
 namespace fgcs::sim {
 
 class Simulation {
@@ -52,6 +56,10 @@ class Simulation {
  private:
   struct PeriodicState;
   void fire_periodic(const std::shared_ptr<PeriodicState>& state);
+  /// Drains the queue's scheduling stats and reports one observer batch
+  /// (plus the run's trace span) — the only observer touch per run.
+  void flush_obs(obs::Observer* o, const char* what, SimTime begin,
+                 std::uint64_t events);
 
   EventQueue queue_;
   SimTime now_ = SimTime::epoch();

@@ -10,6 +10,7 @@
 #include "fgcs/fleet/fleet.hpp"
 #include "fgcs/os/machine.hpp"
 #include "fgcs/predict/semi_markov.hpp"
+#include "fgcs/testkit/invariants.hpp"
 #include "fgcs/testkit/scenario.hpp"
 #include "fgcs/trace/calendar.hpp"
 #include "fgcs/trace/index.hpp"
@@ -500,6 +501,58 @@ DiffResult oracle_prediction_parallel(std::uint64_t seed) {
   return DiffResult::ok();
 }
 
+// --- oracle 7: flight-recorder capture vs. replayed capture --------------
+
+/// Renders a capture the way a post-mortem dump does: sim-time-ordered,
+/// one formatted line per event.
+std::string render_flight(const ScenarioOutcome& out) {
+  std::ostringstream text;
+  for (const auto& e : obs::sim_time_ordered(out.flight)) {
+    text << obs::format_flight_event(e) << "\n";
+  }
+  return text.str();
+}
+
+DiffResult oracle_flight_recorder(std::uint64_t seed) {
+  Scenario s = generate_scenario(seed);
+  // The capture is O(transitions); cap the horizon so two full runs stay
+  // cheap while fault specs and the lifecycle still exercise every
+  // event kind.
+  s.testbed.days = std::min(s.testbed.days, 3);
+
+  const ScenarioOutcome a = run_scenario_recorded(s);
+  const ScenarioOutcome b = run_scenario_recorded(s);
+
+  // The stream must satisfy its own invariant battery...
+  const auto violations = check_invariants(s, a);
+  if (!violations.empty()) {
+    return DiffResult::mismatch("invariant violations:\n" +
+                                format_violations(violations));
+  }
+  if (a.flight_dropped != b.flight_dropped) {
+    std::ostringstream out;
+    out << "dropped counts differ (" << a.flight_dropped << " vs "
+        << b.flight_dropped << ")";
+    return DiffResult::mismatch(out.str());
+  }
+  // ...and two same-seed captures must render to byte-identical
+  // post-mortems (the total sort order leaves no room for ties to land
+  // differently).
+  const std::string ra = render_flight(a);
+  const std::string rb = render_flight(b);
+  if (ra != rb) {
+    std::ostringstream out;
+    out << "rendered post-mortems differ (" << a.flight.size() << " vs "
+        << b.flight.size() << " events)";
+    return DiffResult::mismatch(out.str());
+  }
+  if (a.flight.empty() && !a.trace.records().empty()) {
+    return DiffResult::mismatch(
+        "trace has episodes but the flight capture is empty");
+  }
+  return DiffResult::ok();
+}
+
 }  // namespace
 
 const std::vector<DiffOracle>& standard_oracles() {
@@ -510,6 +563,7 @@ const std::vector<DiffOracle>& standard_oracles() {
       {"semi-markov-brute", oracle_semi_markov_brute},
       {"fleet-sharded", oracle_fleet_sharded},
       {"prediction-parallel", oracle_prediction_parallel},
+      {"flight-recorder", oracle_flight_recorder},
   };
   return oracles;
 }

@@ -20,6 +20,10 @@
 //   prediction-parallel     core::run_prediction_study with parallel
 //                           machine evaluation vs. the sequential path,
 //                           every metric compared bit-for-bit
+//   flight-recorder         run_scenario_recorded twice on the same
+//                           scenario: both captures must pass the flight
+//                           invariant battery and render to
+//                           byte-identical sim-time-ordered post-mortems
 //
 // This replaces scattered hand-rolled equivalence tests with one API the
 // CI property suite sweeps over hundreds of seeds.
@@ -49,7 +53,7 @@ struct DiffOracle {
   std::function<DiffResult(std::uint64_t seed)> run;
 };
 
-/// The six standard oracles above.
+/// The seven standard oracles above.
 const std::vector<DiffOracle>& standard_oracles();
 
 /// Finds a standard oracle by name; nullptr when unknown.

@@ -1,6 +1,7 @@
 #include "fgcs/testkit/invariants.hpp"
 
 #include <cmath>
+#include <map>
 #include <sstream>
 
 #include "fgcs/monitor/availability.hpp"
@@ -27,6 +28,7 @@ class Battery {
       check_trace_timeline_consistency(m);
     }
     if (out_.lifecycle_ran) check_guest_conservation();
+    if (out_.flight_recorded) check_flight_stream();
     return std::move(violations_);
   }
 
@@ -257,6 +259,64 @@ class Battery {
         work_lost != g.work_lost) {
       fail("guest-conservation",
            "aggregate counters disagree with per-job sums");
+    }
+  }
+
+  // The flight-recorder event stream (run_scenario_recorded) must agree
+  // with the simulation it watched: every event lies inside the horizon,
+  // per-machine detector events arrive in nondecreasing sim time (the
+  // ring preserves recording order, and dropping oldest events keeps a
+  // contiguous suffix, so this survives wrap-around), and — when nothing
+  // was dropped — no machine closes more episodes than it opened.
+  void check_flight_stream() {
+    std::map<std::uint32_t, sim::SimTime> last_transition;
+    std::map<std::uint32_t, sim::SimTime> last_episode;
+    std::map<std::uint32_t, std::int64_t> episode_balance;
+    for (std::size_t i = 0; i < out_.flight.size(); ++i) {
+      const auto& e = out_.flight[i];
+      if (e.at < start_ || e.at > end_) {
+        fail("flight-horizon", "event ", i, " (",
+             obs::format_flight_event(e), ") leaves the horizon [",
+             start_.as_micros(), ", ", end_.as_micros(), ")us");
+        return;
+      }
+      switch (e.kind) {
+        case obs::FlightEventKind::kStateTransition: {
+          auto [it, fresh] = last_transition.try_emplace(e.machine, e.at);
+          if (!fresh && e.at < it->second) {
+            fail("flight-monotone", "machine ", e.machine, ": transition at ",
+                 e.at.as_micros(), "us recorded after one at ",
+                 it->second.as_micros(), "us");
+            return;
+          }
+          it->second = e.at;
+          break;
+        }
+        case obs::FlightEventKind::kEpisodeOpened:
+        case obs::FlightEventKind::kEpisodeClosed: {
+          // Opens and closes interleave: an episode never starts before
+          // the previous one ended (the detector clamps backdated S3
+          // starts), so the combined sequence is nondecreasing.
+          auto [it, fresh] = last_episode.try_emplace(e.machine, e.at);
+          if (!fresh && e.at < it->second) {
+            fail("flight-monotone", "machine ", e.machine,
+                 ": episode event at ", e.at.as_micros(),
+                 "us recorded after one at ", it->second.as_micros(), "us");
+            return;
+          }
+          it->second = e.at;
+          episode_balance[e.machine] +=
+              e.kind == obs::FlightEventKind::kEpisodeOpened ? 1 : -1;
+          if (out_.flight_dropped == 0 && episode_balance[e.machine] < 0) {
+            fail("flight-episode-balance", "machine ", e.machine,
+                 ": episode closed that was never opened (event ", i, ")");
+            return;
+          }
+          break;
+        }
+        default:
+          break;
+      }
     }
   }
 

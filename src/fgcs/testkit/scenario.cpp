@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "fgcs/obs/observer.hpp"
 #include "fgcs/util/rng.hpp"
 
 namespace fgcs::testkit {
@@ -134,6 +135,28 @@ ScenarioOutcome run_scenario(const Scenario& s) {
     out.lifecycle_ran = true;
     out.guests = core::run_guest_study(s.testbed, out.trace, s.lifecycle);
   }
+  return out;
+}
+
+ScenarioOutcome run_scenario_recorded(const Scenario& s,
+                                      std::size_t flight_capacity) {
+  obs::FlightRecorder::Options options;
+  options.capacity = flight_capacity;
+  // No dump_path: the capture stays in memory for the caller to audit
+  // (or render via obs::format_flight_event).
+  obs::FlightRecorder flight(options);
+  obs::Observer observer;
+  observer.set_flight_recorder(&flight);  // attach before installing
+  ScenarioOutcome out;
+  {
+    // run_scenario drives machines serially on this thread, so a scoped
+    // global observer sees exactly this scenario's hooks.
+    const obs::ScopedObserver guard(&observer);
+    out = run_scenario(s);
+  }
+  out.flight_recorded = true;
+  out.flight = flight.events();
+  out.flight_dropped = flight.dropped();
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include "fgcs/core/guest_study.hpp"
 #include "fgcs/core/testbed.hpp"
 #include "fgcs/monitor/state_timeline.hpp"
+#include "fgcs/obs/flight_recorder.hpp"
 #include "fgcs/trace/trace_set.hpp"
 
 namespace fgcs::testkit {
@@ -58,10 +59,24 @@ struct ScenarioOutcome {
   std::vector<MachineOutcome> machines;
   bool lifecycle_ran = false;
   core::GuestStudyResult guests;
+
+  /// Flight-recorder capture (run_scenario_recorded only). `flight` holds
+  /// the retained ring contents in recorded order; check_invariants runs
+  /// the flight battery when `flight_recorded` is set.
+  bool flight_recorded = false;
+  std::uint64_t flight_dropped = 0;
+  std::vector<obs::FlightEvent> flight;
 };
 
 /// Runs the scenario to completion (testbed sweep + optional lifecycle).
 /// Deterministic in the scenario; independent of thread count.
 ScenarioOutcome run_scenario(const Scenario& s);
+
+/// run_scenario under a scoped observer with an attached flight recorder:
+/// the outcome additionally carries the recorded event ring, so
+/// invariants (and the flight-recorder diff oracle) can audit the
+/// telemetry stream itself. Deterministic in the scenario.
+ScenarioOutcome run_scenario_recorded(const Scenario& s,
+                                      std::size_t flight_capacity = 1 << 16);
 
 }  // namespace fgcs::testkit

@@ -1,10 +1,5 @@
 #include "fgcs/trace/format_v2.hpp"
 
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -12,11 +7,15 @@
 #include <limits>
 #include <utility>
 
+#include "fgcs/util/binio.hpp"
 #include "fgcs/util/error.hpp"
 
 namespace fgcs::trace {
 
 namespace {
+
+using util::load;
+using util::store;
 
 constexpr char kMagic[8] = {'F', 'G', 'C', 'S', 'T', 'R', 'C', '2'};
 constexpr char kEndMagic[8] = {'F', 'G', 'C', 'S', 'E', 'N', 'D', '2'};
@@ -36,19 +35,6 @@ constexpr std::uint64_t kRecordBytes = 37;
 // Offset of the free_mem_mb column (the last one) within a block of n
 // records: machine 4n + start 8n + end 8n + cause n + host_cpu 8n.
 constexpr std::uint64_t last_column_offset(std::uint64_t n) { return 29 * n; }
-
-template <typename T>
-void store(std::vector<unsigned char>& buf, T value) {
-  const auto* p = reinterpret_cast<const unsigned char*>(&value);
-  buf.insert(buf.end(), p, p + sizeof value);
-}
-
-template <typename T>
-T load(const unsigned char* p) {
-  T value;
-  std::memcpy(&value, p, sizeof value);
-  return value;
-}
 
 bool valid_cause(std::uint8_t cause) { return cause >= 3 && cause <= 5; }
 
@@ -243,135 +229,59 @@ void write_trace_v2(const TraceSet& trace, const std::string& path) {
 // ---------------------------------------------------------------------------
 // TraceView
 
-TraceView::TraceView(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) throw IoError("cannot open for reading: " + path);
-  struct stat st{};
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
-    throw IoError("cannot stat: " + path);
+TraceView::TraceView(const std::string& path) : file_(path) {
+  // MappedFile owns the bytes; on any validation throw below it unmaps
+  // via its destructor.
+  const unsigned char* data = file_.data();
+  const std::size_t bytes = file_.size();
+  if (bytes < kHeaderBytes + 8 + kTrailerBytes ||
+      std::memcmp(data, kMagic, sizeof kMagic) != 0) {
+    throw IoError(path + ": not an fgcs v2 trace (bad magic)");
   }
-  bytes_ = static_cast<std::size_t>(st.st_size);
-  if (bytes_ >= kHeaderBytes + 8 + kTrailerBytes) {
-    void* map = ::mmap(nullptr, bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
-    if (map != MAP_FAILED) {
-      data_ = static_cast<const unsigned char*>(map);
-      mapped_ = true;
-    }
+  if (std::memcmp(data + bytes - 8, kEndMagic, sizeof kEndMagic) != 0) {
+    throw IoError(path + ": v2 trace missing end magic (truncated?)");
   }
-  if (!mapped_) {
-    // mmap can fail on exotic filesystems (or zero-size files); fall back
-    // to a plain read so the strict validation below still reports a
-    // proper IoError.
-    fallback_.resize(bytes_);
-    std::size_t got = 0;
-    while (got < bytes_) {
-      const ::ssize_t n = ::read(fd, fallback_.data() + got, bytes_ - got);
-      if (n <= 0) break;
-      got += static_cast<std::size_t>(n);
-    }
-    if (got != bytes_) {
-      ::close(fd);
-      throw IoError("cannot read: " + path);
-    }
-    data_ = fallback_.data();
+  machines_ = load<std::uint32_t>(data + 8);
+  start_ = sim::SimTime::from_micros(load<std::int64_t>(data + 12));
+  end_ = sim::SimTime::from_micros(load<std::int64_t>(data + 20));
+  if (machines_ == 0 || end_ <= start_) {
+    throw IoError(path + ": invalid v2 trace metadata");
   }
-  ::close(fd);  // the mapping (or buffer) outlives the descriptor
-
-  try {
-    if (bytes_ < kHeaderBytes + 8 + kTrailerBytes ||
-        std::memcmp(data_, kMagic, sizeof kMagic) != 0) {
-      throw IoError(path + ": not an fgcs v2 trace (bad magic)");
-    }
-    if (std::memcmp(data_ + bytes_ - 8, kEndMagic, sizeof kEndMagic) != 0) {
-      throw IoError(path + ": v2 trace missing end magic (truncated?)");
-    }
-    machines_ = load<std::uint32_t>(data_ + 8);
-    start_ = sim::SimTime::from_micros(load<std::int64_t>(data_ + 12));
-    end_ = sim::SimTime::from_micros(load<std::int64_t>(data_ + 20));
-    if (machines_ == 0 || end_ <= start_) {
-      throw IoError(path + ": invalid v2 trace metadata");
-    }
-    const std::uint64_t footer_offset =
-        load<std::uint64_t>(data_ + bytes_ - 16);
-    if (footer_offset < kHeaderBytes ||
-        footer_offset + 8 + kTrailerBytes > bytes_) {
-      throw IoError(path + ": v2 footer offset out of range");
-    }
-    const std::uint64_t block_count = load<std::uint64_t>(data_ + footer_offset);
-    if (footer_offset + 8 + block_count * kFooterEntryBytes + kTrailerBytes !=
-        bytes_) {
-      throw IoError(path + ": v2 footer size mismatch");
-    }
-    total_ = load<std::uint64_t>(data_ + bytes_ - 24);
-    blocks_.reserve(block_count);
-    std::uint64_t sum = 0;
-    const unsigned char* entry = data_ + footer_offset + 8;
-    for (std::uint64_t b = 0; b < block_count; ++b, entry += kFooterEntryBytes) {
-      Block blk;
-      blk.offset = load<std::uint64_t>(entry);
-      blk.count = load<std::uint64_t>(entry + 8);
-      blk.min_machine = load<std::uint32_t>(entry + 16);
-      blk.max_machine = load<std::uint32_t>(entry + 20);
-      if (blk.count == 0 || blk.offset < kHeaderBytes + 8 ||
-          blk.offset + kRecordBytes * blk.count > footer_offset) {
-        throw IoError(path + ": v2 block " + std::to_string(b) +
-                      " index entry out of range");
-      }
-      if (load<std::uint32_t>(data_ + blk.offset - 8) != kBlockMagic) {
-        throw IoError(path + ": v2 block " + std::to_string(b) +
-                      " missing block magic");
-      }
-      sum += blk.count;
-      blocks_.push_back(blk);
-    }
-    if (sum != total_) {
-      throw IoError(path + ": v2 record total disagrees with block index");
-    }
-  } catch (...) {
-    unmap();
-    throw;
+  const std::uint64_t footer_offset = load<std::uint64_t>(data + bytes - 16);
+  if (footer_offset < kHeaderBytes ||
+      footer_offset + 8 + kTrailerBytes > bytes) {
+    throw IoError(path + ": v2 footer offset out of range");
   }
-}
-
-TraceView::~TraceView() { unmap(); }
-
-void TraceView::unmap() noexcept {
-  if (mapped_ && data_ != nullptr) {
-    ::munmap(const_cast<unsigned char*>(data_), bytes_);
+  const std::uint64_t block_count = load<std::uint64_t>(data + footer_offset);
+  if (footer_offset + 8 + block_count * kFooterEntryBytes + kTrailerBytes !=
+      bytes) {
+    throw IoError(path + ": v2 footer size mismatch");
   }
-  data_ = nullptr;
-  mapped_ = false;
-}
-
-TraceView::TraceView(TraceView&& other) noexcept
-    : data_(std::exchange(other.data_, nullptr)),
-      bytes_(std::exchange(other.bytes_, 0)),
-      mapped_(std::exchange(other.mapped_, false)),
-      fallback_(std::move(other.fallback_)),
-      machines_(other.machines_),
-      start_(other.start_),
-      end_(other.end_),
-      total_(other.total_),
-      blocks_(std::move(other.blocks_)) {
-  if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
-}
-
-TraceView& TraceView::operator=(TraceView&& other) noexcept {
-  if (this != &other) {
-    unmap();
-    data_ = std::exchange(other.data_, nullptr);
-    bytes_ = std::exchange(other.bytes_, 0);
-    mapped_ = std::exchange(other.mapped_, false);
-    fallback_ = std::move(other.fallback_);
-    machines_ = other.machines_;
-    start_ = other.start_;
-    end_ = other.end_;
-    total_ = other.total_;
-    blocks_ = std::move(other.blocks_);
-    if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
+  total_ = load<std::uint64_t>(data + bytes - 24);
+  blocks_.reserve(block_count);
+  std::uint64_t sum = 0;
+  const unsigned char* entry = data + footer_offset + 8;
+  for (std::uint64_t b = 0; b < block_count; ++b, entry += kFooterEntryBytes) {
+    Block blk;
+    blk.offset = load<std::uint64_t>(entry);
+    blk.count = load<std::uint64_t>(entry + 8);
+    blk.min_machine = load<std::uint32_t>(entry + 16);
+    blk.max_machine = load<std::uint32_t>(entry + 20);
+    if (blk.count == 0 || blk.offset < kHeaderBytes + 8 ||
+        blk.offset + kRecordBytes * blk.count > footer_offset) {
+      throw IoError(path + ": v2 block " + std::to_string(b) +
+                    " index entry out of range");
+    }
+    if (load<std::uint32_t>(data + blk.offset - 8) != kBlockMagic) {
+      throw IoError(path + ": v2 block " + std::to_string(b) +
+                    " missing block magic");
+    }
+    sum += blk.count;
+    blocks_.push_back(blk);
   }
-  return *this;
+  if (sum != total_) {
+    throw IoError(path + ": v2 record total disagrees with block index");
+  }
 }
 
 std::uint64_t TraceView::block_size(std::size_t block) const {

@@ -35,6 +35,7 @@
 
 #include "fgcs/trace/io.hpp"
 #include "fgcs/trace/trace_set.hpp"
+#include "fgcs/util/binio.hpp"
 
 namespace fgcs::trace {
 
@@ -98,10 +99,9 @@ void write_trace_v2(const TraceSet& trace, const std::string& path);
 class TraceView {
  public:
   explicit TraceView(const std::string& path);
-  ~TraceView();
 
-  TraceView(TraceView&& other) noexcept;
-  TraceView& operator=(TraceView&& other) noexcept;
+  TraceView(TraceView&& other) noexcept = default;
+  TraceView& operator=(TraceView&& other) noexcept = default;
   TraceView(const TraceView&) = delete;
   TraceView& operator=(const TraceView&) = delete;
 
@@ -140,7 +140,7 @@ class TraceView {
   TraceSet to_trace_set() const;
 
   /// True when the view is backed by an mmap (false: buffered fallback).
-  bool memory_mapped() const { return mapped_; }
+  bool memory_mapped() const { return file_.memory_mapped(); }
 
  private:
   struct Block {
@@ -150,13 +150,11 @@ class TraceView {
     std::uint32_t max_machine = 0;
   };
 
-  void unmap() noexcept;
-  const unsigned char* at(std::uint64_t offset) const { return data_ + offset; }
+  const unsigned char* at(std::uint64_t offset) const {
+    return file_.at(offset);
+  }
 
-  const unsigned char* data_ = nullptr;
-  std::size_t bytes_ = 0;
-  bool mapped_ = false;
-  std::vector<unsigned char> fallback_;
+  util::MappedFile file_;
 
   std::uint32_t machines_ = 0;
   sim::SimTime start_;

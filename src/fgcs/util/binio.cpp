@@ -1,0 +1,77 @@
+#include "fgcs/util/binio.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::util {
+
+MappedFile::MappedFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw IoError("cannot open for reading: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw IoError("cannot stat: " + path);
+  }
+  bytes_ = static_cast<std::size_t>(st.st_size);
+  if (bytes_ > 0) {
+    void* map = ::mmap(nullptr, bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      data_ = static_cast<const unsigned char*>(map);
+      mapped_ = true;
+    }
+  }
+  if (!mapped_) {
+    fallback_.resize(bytes_);
+    std::size_t got = 0;
+    while (got < bytes_) {
+      const ::ssize_t n = ::read(fd, fallback_.data() + got, bytes_ - got);
+      if (n <= 0) break;
+      got += static_cast<std::size_t>(n);
+    }
+    if (got != bytes_) {
+      ::close(fd);
+      throw IoError("cannot read: " + path);
+    }
+    data_ = fallback_.data();
+  }
+  ::close(fd);  // the mapping (or buffer) outlives the descriptor
+}
+
+MappedFile::~MappedFile() { unmap(); }
+
+void MappedFile::unmap() noexcept {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), bytes_);
+  }
+  data_ = nullptr;
+  mapped_ = false;
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)),
+      mapped_(std::exchange(other.mapped_, false)),
+      fallback_(std::move(other.fallback_)) {
+  if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    data_ = std::exchange(other.data_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    fallback_ = std::move(other.fallback_);
+    if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
+  }
+  return *this;
+}
+
+}  // namespace fgcs::util

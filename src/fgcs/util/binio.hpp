@@ -1,0 +1,67 @@
+// Binary-file building blocks shared by the columnar on-disk formats.
+//
+// The trace-v2 segment format (trace/format_v2.hpp) and the metrics
+// time-series format (obs/timeseries.hpp) use the same byte idiom:
+// little-endian scalars memcpy'd in and out of byte buffers, and a
+// read-only mmap of the whole file with a buffered-read fallback for
+// filesystems where mmap fails. Those pieces live here so both formats —
+// which sit in layers that cannot include each other — share one
+// implementation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace fgcs::util {
+
+/// Appends the raw bytes of `value` to `buf` (native little-endian, the
+/// byte order every fgcs on-disk format declares).
+template <typename T>
+void store(std::vector<unsigned char>& buf, T value) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&value);
+  buf.insert(buf.end(), p, p + sizeof value);
+}
+
+/// Reads a `T` from `p` without alignment assumptions.
+template <typename T>
+T load(const unsigned char* p) {
+  T value;
+  std::memcpy(&value, p, sizeof value);
+  return value;
+}
+
+/// Read-only view of a whole file. The file is mmap()ed when possible;
+/// on exotic filesystems (or zero-size files) it falls back to a plain
+/// buffered read so callers always get a contiguous byte range. Throws
+/// IoError when the file cannot be opened, stat'ed, or read.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return bytes_; }
+  const unsigned char* at(std::uint64_t offset) const {
+    return data_ + offset;
+  }
+
+  /// True when backed by an mmap (false: buffered fallback).
+  bool memory_mapped() const { return mapped_; }
+
+ private:
+  void unmap() noexcept;
+
+  const unsigned char* data_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool mapped_ = false;
+  std::vector<unsigned char> fallback_;
+};
+
+}  // namespace fgcs::util

@@ -1,0 +1,121 @@
+// Flight recorder: ring wrap-around, sim-time-ordered dumps, dump-on-fault
+// plumbing, and concurrent recording (this suite also runs under
+// ThreadSanitizer via check_build.sh --tsan).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fgcs/obs/flight_recorder.hpp"
+
+namespace fgcs::obs {
+namespace {
+
+using sim::SimDuration;
+using sim::SimTime;
+
+FlightEvent transition_at(std::int64_t micros, std::uint32_t machine,
+                          int from, int to) {
+  FlightEvent e;
+  e.at = SimTime::from_micros(micros);
+  e.kind = FlightEventKind::kStateTransition;
+  e.machine = machine;
+  e.a = from;
+  e.b = to;
+  return e;
+}
+
+TEST(ObsFlightRecorder, RingWrapsKeepingTheMostRecent) {
+  FlightRecorder::Options options;
+  options.capacity = 4;
+  FlightRecorder recorder(options);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record(transition_at(i * 1000, 0, 1, 2));
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Survivors are the four most recent, oldest-first.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].at.as_micros(),
+              static_cast<std::int64_t>((6 + i) * 1000));
+  }
+}
+
+TEST(ObsFlightRecorder, SimTimeOrderedSortsStably) {
+  std::vector<FlightEvent> events;
+  events.push_back(transition_at(3000, 1, 1, 3));
+  events.push_back(transition_at(1000, 2, 1, 2));
+  events.push_back(transition_at(3000, 0, 2, 1));  // same time, lower machine
+  const auto sorted = sim_time_ordered(events);
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].at.as_micros(), 1000);
+  EXPECT_EQ(sorted[1].at.as_micros(), 3000);
+  EXPECT_EQ(sorted[1].machine, 0u);  // equal-time tie broken by fields
+  EXPECT_EQ(sorted[2].machine, 1u);
+  EXPECT_TRUE(flight_event_before(sorted[0], sorted[1]));
+  EXPECT_FALSE(flight_event_before(sorted[1], sorted[0]));
+}
+
+TEST(ObsFlightRecorder, DumpWritesSimTimeOrderedPostMortem) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "obs_flight_dump.txt")
+          .string();
+  FlightRecorder::Options options;
+  options.capacity = 16;
+  options.dump_path = path;
+  FlightRecorder recorder(options);
+  recorder.record(transition_at(2'000'000, 3, 1, 5));
+  recorder.record(transition_at(1'000'000, 7, 1, 2));
+  ASSERT_TRUE(recorder.dump("test fault"));
+
+  std::ifstream in(path);
+  const std::string dump{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  EXPECT_NE(dump.find("test fault"), std::string::npos);
+  // Events appear in sim-time order even though recorded out of order.
+  const auto first = dump.find("m0007");
+  const auto second = dump.find("m0003");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  std::remove(path.c_str());
+}
+
+TEST(ObsFlightRecorder, FormatIsHumanReadable) {
+  const std::string line = format_flight_event(transition_at(0, 2, 1, 3));
+  EXPECT_NE(line.find("m0002"), std::string::npos);
+  EXPECT_NE(line.find("S1"), std::string::npos);
+  EXPECT_NE(line.find("S3"), std::string::npos);
+}
+
+TEST(ObsFlightRecorder, ConcurrentRecordersCountEveryEvent) {
+  FlightRecorder::Options options;
+  options.capacity = 64;
+  FlightRecorder recorder(options);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.record(
+            transition_at(i * 100, static_cast<std::uint32_t>(t), 1, 2));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(recorder.events().size(), 64u);
+  EXPECT_EQ(recorder.dropped(), recorder.recorded() - 64u);
+}
+
+}  // namespace
+}  // namespace fgcs::obs

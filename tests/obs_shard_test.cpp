@@ -1,6 +1,9 @@
 // Thread-local counter shards and the derived histogram count.
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "fgcs/obs/observer.hpp"
 
 namespace fgcs::obs {
@@ -18,7 +21,7 @@ TEST(ObsShard, HooksBumpTheInstalledShardInsteadOfTheRegistry) {
     observer.on_sim_event(9);
     observer.on_sim_schedule(true);
     observer.on_sim_schedule(false);
-    observer.on_detector_sample();
+    observer.on_detector_sample(sim::SimTime::epoch());
     observer.on_machine_tick(true, 3);
     observer.on_machine_ticks_skipped(17);
     observer.on_fault_injected(1, sim::SimTime::epoch(),
@@ -116,6 +119,33 @@ TEST(HistogramDerivedCount, CountIsTheSumOfTheBuckets) {
   EXPECT_EQ(buckets[1], 2u);
   EXPECT_EQ(buckets[2], 1u);
   EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(ObsShard, ConcurrentMergesFromWorkerThreadsAreExact) {
+  // The fleet merges one shard per worker as shards complete, so merges
+  // race with each other; totals must still be exact and max-gauges must
+  // keep the global peak. Runs under TSan via check_build.sh --tsan.
+  Observer observer;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kEventsPerShard = 1000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&observer, t] {
+      CounterShard shard;
+      shard.sim_events_executed = kEventsPerShard;
+      shard.detector_samples = kEventsPerShard / 2;
+      shard.sim_max_queue_depth = static_cast<double>(t + 1);
+      observer.merge_shard(shard);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(observer.metrics().counter("sim.events_executed").value(),
+            kThreads * kEventsPerShard);
+  EXPECT_EQ(observer.metrics().counter("detector.samples").value(),
+            kThreads * kEventsPerShard / 2);
+  EXPECT_DOUBLE_EQ(observer.metrics().gauge("sim.max_queue_depth").value(),
+                   static_cast<double>(kThreads));
 }
 
 }  // namespace

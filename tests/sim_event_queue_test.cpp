@@ -321,9 +321,7 @@ TEST(EventQueue, CancelThroughCopyConsumesTheOneCancellation) {
   EXPECT_FALSE(h1.cancel()) << "the copy already cancelled it";
 }
 
-TEST(EventQueue, DoubleCancelBumpsObsCounterOnce) {
-  obs::Observer observer;
-  obs::ScopedObserver guard(&observer);
+TEST(EventQueue, DoubleCancelBumpsStatsOnce) {
   EventQueue q;
   EventHandle h = q.schedule(at(1), [] {});
   h.cancel();
@@ -331,7 +329,19 @@ TEST(EventQueue, DoubleCancelBumpsObsCounterOnce) {
   EventHandle fired_handle = q.schedule(at(2), [] {});
   while (!q.empty()) q.run_next();
   fired_handle.cancel();  // after fire: must not count either
-  EXPECT_EQ(observer.metrics().counter("sim.events_cancelled").value(), 1u);
+  EXPECT_EQ(q.stats().scheduled, 2u);
+  EXPECT_EQ(q.stats().cancelled, 1u);
+}
+
+TEST(EventQueue, DrainStatsResetsTheCounters) {
+  EventQueue q;
+  EventHandle h = q.schedule(at(1), [] {});
+  h.cancel();
+  const SimEventStats drained = q.drain_stats();
+  EXPECT_EQ(drained.scheduled, 1u);
+  EXPECT_EQ(drained.cancelled, 1u);
+  EXPECT_EQ(q.stats().scheduled, 0u);
+  EXPECT_EQ(q.stats().cancelled, 0u);
 }
 
 TEST(EventQueue, CancelOnRecycledSlotIsNoOp) {

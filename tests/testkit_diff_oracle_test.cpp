@@ -1,5 +1,5 @@
-// Differential oracles: the six paired implementations must agree over a
-// broad seeded sweep, and each oracle must itself be deterministic.
+// Differential oracles: the seven paired implementations must agree over
+// a broad seeded sweep, and each oracle must itself be deterministic.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -9,12 +9,13 @@
 namespace fgcs::testkit {
 namespace {
 
-TEST(TestkitDiffOracle, RegistryHasTheSixStandardOracles) {
+TEST(TestkitDiffOracle, RegistryHasTheSevenStandardOracles) {
   const auto& oracles = standard_oracles();
-  ASSERT_EQ(oracles.size(), 6u);
+  ASSERT_EQ(oracles.size(), 7u);
   for (const char* name : {"scheduler-fastforward", "testbed-parallel",
                            "trace-roundtrip", "semi-markov-brute",
-                           "fleet-sharded", "prediction-parallel"}) {
+                           "fleet-sharded", "prediction-parallel",
+                           "flight-recorder"}) {
     const DiffOracle* oracle = find_oracle(name);
     ASSERT_NE(oracle, nullptr) << name;
     EXPECT_EQ(oracle->name, name);
@@ -42,9 +43,9 @@ TEST(TestkitDiffOracle, EachOracleAgreesOnSmokeSeeds) {
   }
 }
 
-// The acceptance sweep: all six oracles, 200 derived seeds each — the
-// sharded-fleet and parallel-prediction bit-identity guarantees ride the
-// same sweep as the original four.
+// The acceptance sweep: all seven oracles, 200 derived seeds each — the
+// sharded-fleet, parallel-prediction, and flight-recorder bit-identity
+// guarantees ride the same sweep as the original four.
 TEST(TestkitDiffOracle, AllOraclesAgreeOver200SeedsEach) {
   const auto failures = run_oracles(20060806, 200);
   std::ostringstream detail;

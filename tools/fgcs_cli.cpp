@@ -8,6 +8,7 @@
 //   fgcs predict   <trace> [--train-days D] [--window-hours H] [--salvage]
 //   fgcs guests    [<trace>] [--checkpoint-interval MIN] [--migrate] ...
 //   fgcs calibrate [--profile linux|solaris]
+//   fgcs stats     <segment.met1> [--series NAME] [--op ...] [--q Q] ...
 //
 // `simulate` runs the testbed (optionally under an injected fault plan)
 // and writes a trace; `fleet` runs the sharded sweep engine for
@@ -17,20 +18,33 @@
 // / Figure 7 statistics from any saved trace; `predict` runs the
 // predictor panel; `guests` runs the resilient guest-job lifecycle
 // (checkpoint/restart/backoff/migration); `calibrate` derives Th1/Th2 for
-// a scheduler profile via the offline contention sweep. `--salvage`
-// recovers what it can from damaged traces instead of failing.
+// a scheduler profile via the offline contention sweep; `stats` queries a
+// sim-time-aligned FGCSMET1 metrics segment (windowed value / delta /
+// rate / quantile, per-shard or per-machine-range) without materializing
+// it. `--salvage` recovers what it can from damaged traces instead of
+// failing.
 //
 // Every command also accepts the observability flags:
 //   --metrics-out=<csv>   write a metrics snapshot when the command ends
 //   --trace-out=<json>    write a Chrome/Perfetto trace (simulated time)
 //   --trace-limit=<n>     trace ring-buffer capacity (default 1000000)
+//   --metrics-ts-out=<f>  FGCSMET1 time-series segment (see `fgcs stats`)
+//   --flight-out=<txt>    flight-recorder post-mortem (first fault,
+//                         SIGUSR1, or end of run)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fgcs/core/analyzer.hpp"
@@ -40,7 +54,9 @@
 #include "fgcs/core/testbed.hpp"
 #include "fgcs/fault/fault_plan.hpp"
 #include "fgcs/fleet/fleet.hpp"
+#include "fgcs/obs/flight_recorder.hpp"
 #include "fgcs/obs/observer.hpp"
+#include "fgcs/obs/timeseries.hpp"
 #include "fgcs/trace/io.hpp"
 #include "fgcs/util/cli.hpp"
 #include "fgcs/util/csv.hpp"
@@ -72,6 +88,10 @@ int usage() {
       "                 [--migrate] [--salvage]\n"
       "  fgcs calibrate [--profile linux|solaris]\n"
       "  fgcs figures   --out <dir> [--quick]\n"
+      "  fgcs stats     <segment.met1> [--series NAME]\n"
+      "                 [--op value|delta|rate|quantile] [--q Q]\n"
+      "                 [--window-hours W | --from-hours F --to-hours T]\n"
+      "                 [--shard K | --machines A-B]\n"
       "\ntrace format chosen by extension: .csv is textual, anything else\n"
       "is the compact binary format. `figures` writes one plottable CSV\n"
       "per paper figure/table into <dir>.\n"
@@ -84,6 +104,15 @@ int usage() {
       "  --shard-machines=M   machines per shard (0 = derive automatically)\n"
       "  --threads=T          worker threads (0 = FGCS_THREADS / hardware)\n"
       "  --out=<path>         also write the merged fleet trace\n"
+      "  --metrics-ts-out=<f> write a sim-time-binned FGCSMET1 metrics\n"
+      "                       segment (fleet totals + per-shard series);\n"
+      "                       query with `fgcs stats`\n"
+      "  --ts-resolution-hours=<h>  bin width of that segment (default 1)\n"
+      "  --progress           live progress to stderr: machines/shards\n"
+      "                       done, machine-days/sec, ETA, stall watchdog\n"
+      "  --stall-days=<d>     watchdog: flag a started shard once the rest\n"
+      "                       of the fleet advances d machine-days without\n"
+      "                       it moving (default 30)\n"
       "\nrobustness:\n"
       "  --fault-plan=<file>  inject faults from a declarative plan (see\n"
       "                       docs/robustness.md for the format): machine\n"
@@ -99,6 +128,26 @@ int usage() {
       "  --metrics-out=<csv>  metrics snapshot (counters/gauges/histograms)\n"
       "  --trace-out=<json>   Chrome/Perfetto trace keyed on simulated time\n"
       "  --trace-limit=<n>    trace ring-buffer capacity (default 1000000)\n"
+      "  --metrics-ts-out=<f> FGCSMET1 time-series segment: fleet bins the\n"
+      "                       sweep over sim time; other commands write a\n"
+      "                       final whole-registry snapshot\n"
+      "  --flight-out=<txt>   flight recorder: ring of recent structured\n"
+      "                       events, dumped sim-time-ordered on the first\n"
+      "                       injected fault, on SIGUSR1, or at exit\n"
+      "  --flight-capacity=<n> flight-recorder ring capacity (default 4096)\n"
+      "\nstats (FGCSMET1 segments, e.g. fleet --metrics-ts-out):\n"
+      "  no --series          segment summary: horizon, resolution, every\n"
+      "                       series with its sample count and final value\n"
+      "  --op value           cumulative value at the window end (default)\n"
+      "  --op delta           increase across the window\n"
+      "  --op rate            delta per hour\n"
+      "  --op quantile --q Q  quantile from a histogram family's buckets\n"
+      "                       (--series names the family, e.g.\n"
+      "                       detector.episode_minutes)\n"
+      "  --window-hours=W     last W hours of the horizon\n"
+      "  --from-hours/--to-hours  explicit window (hours from start)\n"
+      "  --shard=K            one shard's series instead of fleet totals\n"
+      "  --machines=A-B       sum over shards covering machines A..B\n"
       "\nenvironment:\n"
       "  FGCS_THREADS=<n>     worker threads for parallel phases (testbed\n"
       "                       machines, figure sweeps); 0 runs everything\n"
@@ -107,23 +156,69 @@ int usage() {
   return 2;
 }
 
+// SIGUSR1 asks a running command for a live flight-recorder post-mortem.
+// The handler only sets a flag; a watcher thread inside ObsSession does
+// the actual dump (writing files from a signal handler isn't safe).
+volatile std::sig_atomic_t g_flight_dump_requested = 0;
+void handle_sigusr1(int) { g_flight_dump_requested = 1; }
+
 // Installs the global observer for the duration of one CLI command when
-// --metrics-out / --trace-out is given, and writes the outputs afterwards.
+// --metrics-out / --trace-out / --flight-out / --metrics-ts-out is
+// given, and writes the outputs afterwards. `fleet` consumes
+// --metrics-ts-out itself (it bins the sweep over sim time); every other
+// command gets a final whole-registry snapshot segment here.
 class ObsSession {
  public:
   explicit ObsSession(const Args& args)
       : metrics_path_(args.get("metrics-out", "")),
-        trace_path_(args.get("trace-out", "")) {
-    if (metrics_path_.empty() && trace_path_.empty()) return;
+        trace_path_(args.get("trace-out", "")),
+        flight_path_(args.get("flight-out", "")),
+        ts_path_(args.command() == "fleet" ? ""
+                                           : args.get("metrics-ts-out", "")) {
+    if (metrics_path_.empty() && trace_path_.empty() &&
+        flight_path_.empty() && ts_path_.empty()) {
+      return;
+    }
     obs::Observer::Options options;
     options.trace_capacity =
         static_cast<std::size_t>(args.get_int("trace-limit", 1'000'000));
     options.enable_trace = !trace_path_.empty();
     observer_ = std::make_unique<obs::Observer>(options);
+    if (!flight_path_.empty()) {
+      obs::FlightRecorder::Options fopts;
+      fopts.capacity =
+          static_cast<std::size_t>(args.get_int("flight-capacity", 4096));
+      fopts.dump_path = flight_path_;
+      flight_ = std::make_unique<obs::FlightRecorder>(fopts);
+      // Attach before installing the observer: hooks read the pointer
+      // unsynchronized.
+      observer_->set_flight_recorder(flight_.get());
+      std::signal(SIGUSR1, handle_sigusr1);
+      sig_watcher_ = std::thread([this] {
+        while (!stop_watcher_.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          if (g_flight_dump_requested != 0) {
+            g_flight_dump_requested = 0;
+            if (flight_->dump("signal SIGUSR1")) {
+              std::fprintf(stderr,
+                           "fgcs: wrote flight-recorder dump to %s "
+                           "(SIGUSR1)\n",
+                           flight_path_.c_str());
+            }
+          }
+        }
+      });
+    }
     obs::set_observer(observer_.get());
   }
 
-  ~ObsSession() { obs::set_observer(nullptr); }
+  ~ObsSession() {
+    obs::set_observer(nullptr);
+    if (sig_watcher_.joinable()) {
+      stop_watcher_.store(true, std::memory_order_relaxed);
+      sig_watcher_.join();
+    }
+  }
 
   /// Writes the requested outputs; called after the command succeeds.
   void flush() {
@@ -144,12 +239,45 @@ class ObsSession {
           observer_->trace().size(), trace_path_.c_str(),
           static_cast<unsigned long long>(observer_->trace().dropped()));
     }
+    if (flight_ != nullptr) {
+      if (flight_->dumped()) {
+        // A fault (or SIGUSR1) already wrote the interesting post-mortem;
+        // leave it in place.
+        std::printf("flight recorder: post-mortem already dumped to %s\n",
+                    flight_path_.c_str());
+      } else if (flight_->dump("run-complete")) {
+        std::printf(
+            "wrote flight-recorder timeline (%llu events, %llu dropped) "
+            "to %s\n",
+            static_cast<unsigned long long>(flight_->recorded()),
+            static_cast<unsigned long long>(flight_->dropped()),
+            flight_path_.c_str());
+      }
+    }
+    if (!ts_path_.empty()) {
+      // Single final snapshot of every registered series, stamped at the
+      // sim epoch: enough for `fgcs stats --op value` over any command's
+      // end-state. The fleet command writes real binned series instead.
+      obs::TimeSeriesRecorder recorder(observer_->metrics(), ts_path_,
+                                       sim::SimTime::epoch(),
+                                       sim::SimTime::epoch(),
+                                       sim::SimDuration::hours(1));
+      recorder.sample(sim::SimTime::epoch());
+      recorder.finish();
+      std::printf("wrote metrics time-series snapshot to %s\n",
+                  ts_path_.c_str());
+    }
   }
 
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string flight_path_;
+  std::string ts_path_;
   std::unique_ptr<obs::Observer> observer_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::atomic<bool> stop_watcher_{false};
+  std::thread sig_watcher_;
 };
 
 core::TestbedConfig testbed_config_from(const Args& args) {
@@ -207,6 +335,9 @@ int cmd_fleet(const Args& args) {
   config.spill_dir = args.get("spill-dir", "");
   config.shard_machines =
       static_cast<std::uint32_t>(args.get_int("shard-machines", 0));
+  config.metrics_path = args.get("metrics-ts-out", "");
+  config.metrics_resolution =
+      sim::SimDuration::hours(args.get_int("ts-resolution-hours", 1));
 
   std::printf("fleet: %u machines x %d days (seed %llu, %u machines/shard%s)"
               "...\n",
@@ -214,13 +345,95 @@ int cmd_fleet(const Args& args) {
               static_cast<unsigned long long>(config.testbed.seed),
               config.effective_shard_machines(),
               config.spill_dir.empty() ? ", in-memory" : ", spilling");
-  const auto result = fleet::run_fleet(config);
+
+  // Live introspection (wall-clock, so it lives here and not in the
+  // deterministic fleet library): a monitor thread polls the progress
+  // counters, prints throughput + ETA, and flags stalled shards.
+  std::optional<fleet::FleetProgress> progress;
+  std::atomic<bool> fleet_done{false};
+  std::thread monitor;
+  if (args.has_flag("progress")) {
+    progress.emplace(config.shard_count());
+    config.progress = &*progress;
+    const std::uint64_t total_machines = config.testbed.machines;
+    const std::uint32_t per_shard = config.effective_shard_machines();
+    const double day_span = static_cast<double>(config.testbed.days);
+    const double stall_md =
+        static_cast<double>(args.get_int("stall-days", 30));
+    monitor = std::thread([&progress, &fleet_done, total_machines, per_shard,
+                           day_span, stall_md] {
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::size_t shards = progress->shard_machines_done.size();
+      std::vector<std::uint64_t> last(shards, 0);
+      std::vector<double> md_at_change(shards, 0.0);
+      std::vector<bool> flagged(shards, false);
+      while (!fleet_done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+        const double elapsed = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+        const std::uint64_t done =
+            progress->machines_done.load(std::memory_order_relaxed);
+        const double md = static_cast<double>(done) * day_span;
+        const double rate = elapsed > 0.0 ? md / elapsed : 0.0;
+        const double remaining =
+            static_cast<double>(total_machines - done) * day_span;
+        std::fprintf(
+            stderr,
+            "fleet: %llu/%llu machines, %llu/%zu shards, "
+            "%.1f machine-days/s, ETA %.0fs\n",
+            static_cast<unsigned long long>(done),
+            static_cast<unsigned long long>(total_machines),
+            static_cast<unsigned long long>(
+                progress->shards_completed.load(std::memory_order_relaxed)),
+            shards, rate, rate > 0.0 ? remaining / rate : 0.0);
+        // Stall watchdog: a shard that has started but not advanced while
+        // the rest of the fleet covered `stall_md` machine-days.
+        for (std::size_t s = 0; s < shards; ++s) {
+          const std::uint64_t c =
+              progress->shard_machines_done[s].load(std::memory_order_relaxed);
+          const std::uint64_t expect = std::min<std::uint64_t>(
+              per_shard, total_machines - s * per_shard);
+          if (c != last[s]) {
+            last[s] = c;
+            md_at_change[s] = md;
+            flagged[s] = false;
+          } else if (!flagged[s] && c > 0 && c < expect &&
+                     md - md_at_change[s] > stall_md) {
+            flagged[s] = true;
+            std::fprintf(stderr,
+                         "fleet: WARNING shard %04zu stalled at %llu/%llu "
+                         "machines (no progress in the last %.0f fleet "
+                         "machine-days)\n",
+                         s, static_cast<unsigned long long>(c),
+                         static_cast<unsigned long long>(expect),
+                         md - md_at_change[s]);
+          }
+        }
+      }
+    });
+  }
+
+  fleet::FleetResult result;
+  try {
+    result = fleet::run_fleet(config);
+  } catch (...) {
+    fleet_done.store(true, std::memory_order_relaxed);
+    if (monitor.joinable()) monitor.join();
+    throw;
+  }
+  fleet_done.store(true, std::memory_order_relaxed);
+  if (monitor.joinable()) monitor.join();
 
   std::printf("fleet: %llu machine-days, %llu unavailability records across "
               "%zu shard(s)\n",
               static_cast<unsigned long long>(result.machine_days()),
               static_cast<unsigned long long>(result.total_records),
               result.shards.size());
+  if (!result.metrics_path.empty()) {
+    std::printf("wrote metrics time series to %s\n",
+                result.metrics_path.c_str());
+  }
   if (result.spilled) {
     std::printf("fleet: segments in %s (%s .. %s)\n", config.spill_dir.c_str(),
                 result.shards.front().segment_path.c_str(),
@@ -362,6 +575,263 @@ int cmd_calibrate(const Args& args) {
               sweep.base.scheduler.name.c_str());
   const auto result = core::run_fig1(sweep);
   std::printf("Th1 = %.2f, Th2 = %.2f\n", result.th1, result.th2);
+  return 0;
+}
+
+// -- fgcs stats --------------------------------------------------------------
+
+// A series string split into base name + sorted labels, so queries can
+// inject a {shard=NNNN} label into any series the segment spells with
+// other labels (label order is canonical: sorted by key).
+struct SeriesName {
+  std::string base;
+  std::map<std::string, std::string> labels;
+};
+
+SeriesName parse_series_name(const std::string& s) {
+  SeriesName out;
+  const auto brace = s.find('{');
+  if (brace == std::string::npos || s.back() != '}') {
+    out.base = s;
+    return out;
+  }
+  out.base = s.substr(0, brace);
+  const std::string body = s.substr(brace + 1, s.size() - brace - 2);
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    auto comma = body.find(',', pos);
+    if (comma == std::string::npos) comma = body.size();
+    const std::string kv = body.substr(pos, comma - pos);
+    const auto eq = kv.find('=');
+    if (eq != std::string::npos) {
+      out.labels[kv.substr(0, eq)] = kv.substr(eq + 1);
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string render_series_name(const SeriesName& n) {
+  std::string out = n.base;
+  if (n.labels.empty()) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : n.labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += '=';
+    out += v;
+  }
+  out += '}';
+  return out;
+}
+
+/// Step-function value of a cumulative series at `t` (last sample <= t;
+/// 0 before the first sample). Visits only blocks that can match.
+double value_at(const obs::MetricsView& view, std::uint32_t series,
+                sim::SimTime t) {
+  double value = 0.0;
+  view.for_each_of(series, sim::SimTime::from_micros(INT64_MIN), t,
+                   [&](const obs::MetricPoint& p) { value = p.value; });
+  return value;
+}
+
+double delta_over(const obs::MetricsView& view, std::uint32_t series,
+                  sim::SimTime t0, sim::SimTime t1) {
+  const sim::SimTime before =
+      sim::SimTime::from_micros(t0.as_micros() - 1);
+  return value_at(view, series, t1) - value_at(view, series, before);
+}
+
+/// The shard labels whose machine ranges intersect [lo, hi], read from
+/// the fleet.shard_first_machine / fleet.shard_machines meta gauges the
+/// fleet sweep writes into the segment.
+std::vector<std::string> shards_for_machines(const obs::MetricsView& view,
+                                             std::uint32_t lo,
+                                             std::uint32_t hi) {
+  constexpr std::string_view kPrefix = "fleet.shard_first_machine{shard=";
+  std::vector<std::string> out;
+  for (const auto& info : view.series()) {
+    if (info.name.rfind(kPrefix, 0) != 0) continue;
+    std::string label = info.name.substr(kPrefix.size());
+    label.pop_back();  // trailing '}'
+    const auto first_id = view.find_series(info.name);
+    const auto count_id =
+        view.find_series("fleet.shard_machines{shard=" + label + "}");
+    if (!first_id || !count_id) continue;
+    const auto first = static_cast<std::uint32_t>(
+        value_at(view, *first_id, view.horizon_end()));
+    const auto count = static_cast<std::uint32_t>(
+        value_at(view, *count_id, view.horizon_end()));
+    if (count == 0) continue;
+    if (first <= hi && lo <= first + count - 1) out.push_back(label);
+  }
+  return out;
+}
+
+/// Quantile of the histogram family `family` over [t0, t1]: per-bucket
+/// deltas are summed across the selected shard labels ("" = fleet
+/// totals) and fed to the shared bucket-interpolation.
+double quantile_over(const obs::MetricsView& view, const std::string& family,
+                     const std::vector<std::string>& shard_labels,
+                     sim::SimTime t0, sim::SimTime t1, double q) {
+  const SeriesName fam = parse_series_name(family);
+  std::map<double, double> by_bound;
+  double overflow = 0.0;
+  bool any = false;
+  for (const auto& info : view.series()) {
+    if (info.kind != obs::SeriesKind::kHistBucket) continue;
+    SeriesName n = parse_series_name(info.name);
+    if (n.base != fam.base + ".bucket") continue;
+    const auto le = n.labels.find("le");
+    if (le == n.labels.end()) continue;
+    const std::string bound = le->second;
+    n.labels.erase("le");
+    std::string shard;
+    if (auto it = n.labels.find("shard"); it != n.labels.end()) {
+      shard = it->second;
+      n.labels.erase(it);
+    }
+    if (std::find(shard_labels.begin(), shard_labels.end(), shard) ==
+        shard_labels.end()) {
+      continue;
+    }
+    if (n.labels != fam.labels) continue;
+    const auto id = view.find_series(info.name);
+    if (!id) continue;
+    const double d = delta_over(view, *id, t0, t1);
+    any = true;
+    if (bound == "+inf") {
+      overflow += d;
+    } else {
+      by_bound[std::strtod(bound.c_str(), nullptr)] += d;
+    }
+  }
+  fgcs::require(any, "no bucket series for histogram family: " + family);
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  for (const auto& [b, c] : by_bound) {
+    bounds.push_back(b);
+    counts.push_back(static_cast<std::uint64_t>(std::llround(c)));
+  }
+  counts.push_back(static_cast<std::uint64_t>(std::llround(overflow)));
+  return obs::quantile_from_buckets(bounds, counts, q);
+}
+
+int cmd_stats(const Args& args) {
+  if (args.positional().empty()) return usage();
+  const std::string path = args.positional()[0];
+  fgcs::require(obs::is_metrics_v1(path),
+                path + " is not an FGCSMET1 metrics segment");
+  const obs::MetricsView view(path);
+
+  // The query window, in hours from the horizon start.
+  sim::SimTime t0 = view.horizon_start();
+  sim::SimTime t1 = view.horizon_end();
+  if (args.has_option("window-hours")) {
+    t0 = t1 - sim::SimDuration::hours(args.get_int("window-hours", 0));
+    if (t0 < view.horizon_start()) t0 = view.horizon_start();
+  }
+  if (args.has_option("from-hours")) {
+    t0 = view.horizon_start() +
+         sim::SimDuration::hours(args.get_int("from-hours", 0));
+  }
+  if (args.has_option("to-hours")) {
+    t1 = view.horizon_start() +
+         sim::SimDuration::hours(args.get_int("to-hours", 0));
+  }
+  fgcs::require(t1 >= t0, "stats window is empty (to < from)");
+  const double from_h =
+      static_cast<double>(t0.as_micros() - view.horizon_start().as_micros()) /
+      3.6e9;
+  const double to_h =
+      static_cast<double>(t1.as_micros() - view.horizon_start().as_micros()) /
+      3.6e9;
+
+  if (!args.has_option("series")) {
+    // Segment summary: one streaming pass, nothing materialized.
+    const double horizon_h =
+        static_cast<double>(view.horizon_end().as_micros() -
+                            view.horizon_start().as_micros()) /
+        3.6e9;
+    std::printf("segment: %s\n", path.c_str());
+    std::printf("horizon: %.6g h, resolution %.6g h, %llu samples in %zu "
+                "block(s), %zu series\n",
+                horizon_h,
+                static_cast<double>(view.resolution().as_micros()) / 3.6e9,
+                static_cast<unsigned long long>(view.size()),
+                view.block_count(), view.series().size());
+    std::vector<std::uint64_t> samples(view.series().size(), 0);
+    std::vector<double> last(view.series().size(), 0.0);
+    view.for_each([&](const obs::MetricPoint& p) {
+      ++samples[p.series];
+      last[p.series] = p.value;
+    });
+    util::TextTable table({"Series", "Kind", "Samples", "Last"});
+    for (std::size_t i = 0; i < view.series().size(); ++i) {
+      const auto& info = view.series()[i];
+      char value[32];
+      std::snprintf(value, sizeof value, "%.6g", last[i]);
+      table.add(info.name, std::string(series_kind_name(info.kind)),
+                std::to_string(samples[i]), value);
+    }
+    std::printf("%s", table.str().c_str());
+    return 0;
+  }
+
+  const std::string name = args.get("series", "");
+  const std::string op = args.get("op", "value");
+
+  // Shard selection: fleet totals by default, one shard with --shard,
+  // every overlapping shard with --machines A-B.
+  std::vector<std::string> shard_labels{""};
+  if (args.has_option("shard")) {
+    char label[16];
+    std::snprintf(label, sizeof label, "%04lld",
+                  static_cast<long long>(args.get_int("shard", 0)));
+    shard_labels = {label};
+  } else if (args.has_option("machines")) {
+    const std::string range = args.get("machines", "");
+    const auto dash = range.find('-');
+    fgcs::require(dash != std::string::npos && dash > 0,
+                  "--machines wants A-B (e.g. 0-127)");
+    const auto lo =
+        static_cast<std::uint32_t>(std::strtoul(range.c_str(), nullptr, 10));
+    const auto hi = static_cast<std::uint32_t>(
+        std::strtoul(range.c_str() + dash + 1, nullptr, 10));
+    fgcs::require(lo <= hi, "--machines wants A <= B");
+    shard_labels = shards_for_machines(view, lo, hi);
+    fgcs::require(!shard_labels.empty(),
+                  "no shards in the segment cover machines " + range);
+  }
+
+  double result = 0.0;
+  if (op == "quantile") {
+    const double q = std::strtod(args.get("q", "0.5").c_str(), nullptr);
+    fgcs::require(q >= 0.0 && q <= 1.0, "--q must be in [0, 1]");
+    result = quantile_over(view, name, shard_labels, t0, t1, q);
+  } else {
+    fgcs::require(op == "value" || op == "delta" || op == "rate",
+                  "unknown --op: " + op + " (value|delta|rate|quantile)");
+    for (const auto& shard : shard_labels) {
+      SeriesName n = parse_series_name(name);
+      if (!shard.empty()) n.labels["shard"] = shard;
+      const std::string full = render_series_name(n);
+      const auto id = view.find_series(full);
+      fgcs::require(id.has_value(), "no such series in segment: " + full);
+      result += op == "value" ? value_at(view, *id, t1)
+                              : delta_over(view, *id, t0, t1);
+    }
+    if (op == "rate") {
+      const double hours =
+          static_cast<double>(t1.as_micros() - t0.as_micros()) / 3.6e9;
+      fgcs::require(hours > 0.0, "rate needs a non-empty window");
+      result /= hours;
+    }
+  }
+  std::printf("%s %s [%.6gh, %.6gh] = %.6g\n", name.c_str(), op.c_str(),
+              from_h, to_h, result);
   return 0;
 }
 
@@ -524,6 +994,8 @@ int main(int argc, char** argv) {
       rc = cmd_guests(args);
     } else if (args.command() == "calibrate") {
       rc = cmd_calibrate(args);
+    } else if (args.command() == "stats") {
+      rc = cmd_stats(args);
     } else if (args.command() == "figures") {
       rc = cmd_figures(args);
     } else {
