@@ -2,7 +2,7 @@
 # Tier-1 verification: configure, build, and run the full test suite.
 #
 #   scripts/check_build.sh          # tier-1 build + full ctest
-#   scripts/check_build.sh --asan   # additionally run obs/sim tests under
+#   scripts/check_build.sh --asan   # additionally run obs/sim/arena tests under
 #                                   # AddressSanitizer (-DFGCS_SANITIZE=address)
 #   scripts/check_build.sh --bench  # additionally run the sim-core benchmark
 #                                   # suite with its regression gate
@@ -14,8 +14,9 @@
 #                                   # driver (10k iterations per target) under
 #                                   # -DFGCS_SANITIZE=address,undefined
 #   scripts/check_build.sh --tsan   # additionally run the fleet sweep engine,
-#                                   # thread-pool, and parallel-prediction
-#                                   # suites under -DFGCS_SANITIZE=thread
+#                                   # thread-pool, parallel-prediction, and
+#                                   # arena/knob suites under
+#                                   # -DFGCS_SANITIZE=thread
 #
 # The fgcs_obs module itself always compiles with -Werror (see
 # src/fgcs/obs/CMakeLists.txt), so the observability layer stays clean
@@ -56,9 +57,9 @@ if [[ "$run_asan" -eq 1 ]]; then
   cmake -B build-asan -S . -DFGCS_SANITIZE=address
   cmake --build build-asan -j
 
-  echo "== asan: obs + sim tests =="
+  echo "== asan: obs + sim + arena tests =="
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R '^(Obs|TraceSink|JsonEscape|Observer|Counter|Gauge|Histogram|Metric|Simulation|EventQueue|SimTime|SimDuration)'
+    -R '^(Obs|TraceSink|JsonEscape|Observer|Counter|Gauge|Histogram|Metric|Simulation|EventQueue|SimTime|SimDuration|Arena|Knobs)'
 fi
 
 if [[ "$run_chaos" -eq 1 ]]; then
@@ -86,9 +87,9 @@ if [[ "$run_tsan" -eq 1 ]]; then
   cmake -B build-tsan -S . -DFGCS_SANITIZE=thread
   cmake --build build-tsan -j
 
-  echo "== tsan: fleet + parallel suites =="
+  echo "== tsan: fleet + parallel + columnar suites =="
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R '^(Fleet|TraceV2|PredictParallel|ObsShard|ObsFlightRecorder|ThreadPool|ParallelFor|Testbed)'
+    -R '^(Fleet|TraceV2|PredictParallel|ObsShard|ObsFlightRecorder|ThreadPool|ParallelFor|Testbed|Arena|Knobs)'
 fi
 
 if [[ "$run_bench" -eq 1 ]]; then
@@ -96,18 +97,28 @@ if [[ "$run_bench" -eq 1 ]]; then
   scripts/run_bench.sh --check-only
 
   echo "== bench: fleet telemetry overhead budget =="
-  overhead="$(sed -n \
-    's/.*"fleet_telemetry_overhead_percent": \([0-9.]*\).*/\1/p' \
-    build/BENCH_obs.latest.json)"
-  if [[ -z "$overhead" ]]; then
-    echo "check_build: FAIL — build/BENCH_obs.latest.json has no" \
-         "fleet_telemetry_overhead_percent (run_bench.sh should write it)" >&2
+  # Budget the telemetry's *absolute* cost per machine-day, not a percent
+  # of sweep wall time: the columnar engine made the sweep ~30x faster,
+  # so a relative budget would flag sim speedups as telemetry regressions.
+  # Measured cost is ~4 us/machine-day; 15 us leaves shared-host headroom
+  # while still catching a real hook-cost regression.
+  usec_per_md="$(awk '
+    match($0, /"fleet_telemetry_machines": [0-9.]+/)   { m = substr($0, RSTART + 27, RLENGTH - 27) }
+    match($0, /"fleet_telemetry_days": [0-9.]+/)       { d = substr($0, RSTART + 23, RLENGTH - 23) }
+    match($0, /"fleet_telemetry_alloc_ms": [0-9.]+/)   { a = substr($0, RSTART + 27, RLENGTH - 27) }
+    match($0, /"fleet_telemetry_collect_ms": [0-9.]+/) { c = substr($0, RSTART + 29, RLENGTH - 29) }
+    match($0, /"fleet_telemetry_write_ms": [0-9.]+/)   { w = substr($0, RSTART + 27, RLENGTH - 27) }
+    END { if (m && d) printf "%.2f", (a + c + w) * 1000.0 / (m * d) }
+  ' build/BENCH_obs.latest.json)"
+  if [[ -z "$usec_per_md" ]]; then
+    echo "check_build: FAIL — build/BENCH_obs.latest.json is missing the" \
+         "fleet_telemetry_* phase fields (run_bench.sh should write them)" >&2
     exit 1
   fi
-  echo "gate: fleet telemetry phase-accounted overhead ${overhead}% (budget 5%)"
-  if awk -v o="$overhead" 'BEGIN { exit !(o >= 5.0) }'; then
-    echo "check_build: FAIL — enabled-telemetry fleet overhead ${overhead}%" \
-         "exceeds the 5% budget" >&2
+  echo "gate: fleet telemetry phase-accounted cost ${usec_per_md} us/machine-day (budget 15)"
+  if awk -v o="$usec_per_md" 'BEGIN { exit !(o >= 15.0) }'; then
+    echo "check_build: FAIL — enabled-telemetry fleet cost ${usec_per_md}" \
+         "us/machine-day exceeds the 15 us budget" >&2
     exit 1
   fi
 fi

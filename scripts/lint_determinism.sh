@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Determinism lint: the simulation core must be a pure function of its
 # seeds.  Reject sources of hidden nondeterminism in the deterministic
-# subtree (src/fgcs/{sim,os,core,fault,fleet}):
+# subtree (src/fgcs/{sim,os,core,fault,fleet,monitor,workload,util}):
 #
 #   - wall-clock reads   (std::chrono clocks, time(), gettimeofday, ...)
 #   - libc / hardware RNG (rand, srand, random_device) — all randomness
@@ -17,7 +17,11 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-DIRS=(src/fgcs/sim src/fgcs/os src/fgcs/core src/fgcs/fault src/fgcs/fleet)
+# monitor, workload, and util joined the deterministic subtree when the
+# columnar engine moved detector batching, load generation, and the arena
+# allocator onto the per-machine hot path.
+DIRS=(src/fgcs/sim src/fgcs/os src/fgcs/core src/fgcs/fault src/fgcs/fleet
+      src/fgcs/monitor src/fgcs/workload src/fgcs/util)
 
 # pattern<TAB>human-readable reason
 RULES=$(cat <<'EOF'

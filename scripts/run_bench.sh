@@ -86,6 +86,19 @@ else
   echo "gate: no committed BENCH_simcore.json baseline; skipping"
 fi
 
+# The columnar engine's zero-allocation steady state is an invariant, not
+# a noisy measurement: after warm-up a machine-day must perform zero heap
+# allocations. Any nonzero count is a hard failure.
+allocs_per_md="$(sed -n \
+  's/.*"steady_state_allocs_per_machine_day": \([0-9.]*\).*/\1/p' \
+  "$fleet_out")"
+echo "gate: steady-state allocations ${allocs_per_md:-<missing>} per machine-day (must be 0)"
+if [[ -z "$allocs_per_md" ]] || \
+   awk -v a="$allocs_per_md" 'BEGIN { exit !(a > 0) }'; then
+  echo "run_bench: FAIL — columnar engine allocated on the steady-state path" >&2
+  exit 1
+fi
+
 if [[ -n "$baseline_fleet_md_per_sec" ]]; then
   current_fleet="$(sed -n \
     's/.*"single_thread_machine_days_per_sec": \([0-9.]*\).*/\1/p' \

@@ -133,6 +133,120 @@ monitor::UnavailabilityDetector walk_machine(
   return detector;
 }
 
+/// The columnar fast-path walk for fault-free configs.
+///
+/// The legacy walk above fires one simulation event per sample period
+/// (5,760 per machine-day) and re-evaluates the trajectory cursor and
+/// detector state machine each time. But the synthesized load is
+/// piecewise-constant with segments far longer than the sample period,
+/// so consecutive samples overwhelmingly carry identical inputs. This
+/// walk iterates the *columns* directly — trajectory points and
+/// downtimes, each with a monotone cursor — and hands every maximal run
+/// of constant-input samples to observe_run in one call. Per sample
+/// period the work drops from an event dispatch plus full sampler and
+/// state-machine evaluation to amortized column arithmetic.
+///
+/// Equivalence with the legacy walk (checked end-to-end by the
+/// soa-machine-step oracle):
+///  * sample times are begin+period, ..., end — exactly the periodic
+///    event times Simulation::every produces, since the horizon is a
+///    whole multiple of the period;
+///  * cpu/mem/alive per sample reproduce TrajectorySampler::sample
+///    (same cursor advance rules, same free-memory expression);
+///  * observe_run is bit-identical to per-sample observe();
+///  * the obs batch mirrors the numbers the event loop would flush:
+///    one live periodic event peak, total+1 schedules (the final fire
+///    reschedules past the horizon), nothing spilled or cancelled.
+monitor::UnavailabilityDetector walk_machine_columnar(
+    const TestbedConfig& config, trace::MachineId machine,
+    util::Arena& arena) {
+  workload::ArenaLoadTrace load(&arena);
+  workload::generate_machine_load_into(
+      config.profile, config.seed, machine, config.days,
+      static_cast<int>(config.start_dow), &arena, load);
+
+  monitor::UnavailabilityDetector detector(config.policy, &arena);
+
+  const obs::TrackScope track(machine);
+  const sim::SimTime begin = sim::SimTime::epoch();
+  const sim::SimTime end = begin + sim::SimDuration::days(config.days);
+  const sim::SimDuration period = config.policy.sample_period;
+
+  const std::int64_t period_us = period.as_micros();
+  const std::int64_t begin_us = begin.as_micros();
+  const std::int64_t end_us = end.as_micros();
+  const auto total =
+      static_cast<std::uint64_t>((end_us - begin_us) / period_us);
+
+  const auto& pts = load.points;
+  const auto& downs = load.downtimes;
+  FGCS_ASSERT(!pts.empty());
+
+  std::size_t pi = 0;  // invariant: pts[pi].t <= t (< pts[pi+1].t)
+  std::size_t di = 0;  // first downtime not entirely before t
+  std::uint64_t done = 0;
+  std::int64_t t_us = begin_us + period_us;
+  while (done < total) {
+    const sim::SimTime t = sim::SimTime::from_micros(t_us);
+    while (pi + 1 < pts.size() && pts[pi + 1].t <= t) ++pi;
+    while (di < downs.size() &&
+           downs[di].start + downs[di].duration <= t) {
+      ++di;
+    }
+    // Downtimes cover [start, start+duration), matching
+    // TrajectorySampler::in_downtime.
+    const bool alive = !(di < downs.size() && downs[di].start <= t);
+
+    // The instant any input changes: the next trajectory point, or the
+    // near edge of the pending downtime.
+    std::int64_t change_us = end_us + period_us;  // past the last sample
+    if (pi + 1 < pts.size()) {
+      change_us = std::min(change_us, pts[pi + 1].t.as_micros());
+    }
+    if (di < downs.size()) {
+      const sim::SimTime edge =
+          alive ? downs[di].start : downs[di].start + downs[di].duration;
+      change_us = std::min(change_us, edge.as_micros());
+    }
+    // Samples at t, t+period, ... strictly before the change (cursors
+    // guarantee change_us > t_us, so the run is never empty).
+    auto run =
+        static_cast<std::uint64_t>((change_us - t_us - 1) / period_us) + 1;
+    if (run > total - done) run = total - done;
+
+    const double host_mem = pts[pi].mem_mb;
+    const double free_mem =
+        std::max(0.0, config.ram_mb - config.kernel_mb - host_mem);
+    detector.observe_run(t, period, run, pts[pi].cpu, free_mem, alive);
+    done += run;
+    t_us += period_us * static_cast<std::int64_t>(run);
+  }
+  detector.finish(end);
+
+  if (auto* o = obs::observer()) {
+    o->on_sim_batch(total, 1.0, total + 1, 0, 0, 0, 0);
+    if (total > 0) o->on_sim_run("run_until", begin, end, total);
+    o->on_testbed_machine(machine, begin, end, detector.episodes().size(),
+                          total);
+  }
+  return detector;
+}
+
+void append_records(const monitor::UnavailabilityDetector& detector,
+                    trace::MachineId machine,
+                    std::vector<trace::UnavailabilityRecord>& out) {
+  for (const auto& ep : detector.episodes()) {
+    trace::UnavailabilityRecord r;
+    r.machine = machine;
+    r.start = ep.start;
+    r.end = ep.end;
+    r.cause = ep.cause;
+    r.host_cpu = ep.host_cpu_at_start;
+    r.free_mem_mb = ep.free_mem_at_start;
+    out.push_back(r);
+  }
+}
+
 /// Builds the testbed's fault injector when a plan is present.
 std::optional<fault::FaultInjector> make_injector(const TestbedConfig& config) {
   if (config.faults.empty()) return std::nullopt;
@@ -146,16 +260,7 @@ std::vector<trace::UnavailabilityRecord> records_from(
     trace::MachineId machine) {
   std::vector<trace::UnavailabilityRecord> records;
   records.reserve(detector.episodes().size());
-  for (const auto& ep : detector.episodes()) {
-    trace::UnavailabilityRecord r;
-    r.machine = machine;
-    r.start = ep.start;
-    r.end = ep.end;
-    r.cause = ep.cause;
-    r.host_cpu = ep.host_cpu_at_start;
-    r.free_mem_mb = ep.free_mem_at_start;
-    records.push_back(r);
-  }
+  append_records(detector, machine, records);
   return records;
 }
 
@@ -168,6 +273,32 @@ TestbedRunner::TestbedRunner(TestbedConfig config)
 }
 
 std::vector<trace::UnavailabilityRecord> TestbedRunner::run(
+    trace::MachineId machine) const {
+  MachineScratch scratch;
+  std::vector<trace::UnavailabilityRecord> records;
+  run_into(machine, scratch, records);
+  return records;
+}
+
+void TestbedRunner::run_into(
+    trace::MachineId machine, MachineScratch& scratch,
+    std::vector<trace::UnavailabilityRecord>& out) const {
+  fgcs::require(machine < config_.machines, "machine id out of range");
+  out.clear();
+  if (injector_) {
+    // Fault plans perturb individual samples (crashes, dropouts, skew);
+    // batching buys nothing there, so they keep the event-loop walk.
+    const auto detector = walk_machine(config_, machine, &*injector_,
+                                       [](const auto&, auto) {});
+    append_records(detector, machine, out);
+    return;
+  }
+  scratch.arena.reset();
+  const auto detector = walk_machine_columnar(config_, machine, scratch.arena);
+  append_records(detector, machine, out);
+}
+
+std::vector<trace::UnavailabilityRecord> TestbedRunner::run_reference(
     trace::MachineId machine) const {
   fgcs::require(machine < config_.machines, "machine id out of range");
   const auto detector =

@@ -16,6 +16,7 @@
 #include "fgcs/monitor/state_timeline.hpp"
 #include "fgcs/trace/calendar.hpp"
 #include "fgcs/trace/trace_set.hpp"
+#include "fgcs/util/arena.hpp"
 #include "fgcs/workload/load_model.hpp"
 
 namespace fgcs::core {
@@ -54,11 +55,28 @@ trace::TraceSet run_testbed(const TestbedConfig& config);
 std::vector<trace::UnavailabilityRecord> run_testbed_machine(
     const TestbedConfig& config, trace::MachineId machine);
 
+/// Reusable per-worker scratch for TestbedRunner::run_into: one bump
+/// arena that every transient per-machine allocation (trajectory points,
+/// downtimes, overlay deltas, detector transitions/episodes/gaps) draws
+/// from. The arena is reset per machine but its chunks are retained, so
+/// after the first machine warms it a machine-day performs zero heap
+/// allocations. One scratch per worker thread; not shareable.
+struct MachineScratch {
+  util::Arena arena;
+};
+
 /// Validates the config once and builds the (optional) fault injector
 /// once, so sweep engines can simulate machines repeatedly without paying
 /// per-machine setup. run() is const and thread-safe: concurrent calls
 /// for different machines share only immutable state, and each machine's
 /// result is identical to run_testbed_machine() for the same config.
+///
+/// Engine selection: fault-free configs take the columnar fast path —
+/// the piecewise-constant trajectory is walked run-of-constant-samples
+/// at a time through UnavailabilityDetector::observe_run, with all
+/// scratch in the arena — while fault-injected configs (and the
+/// reference entry point below) run the legacy per-sample event loop.
+/// Both engines produce bit-identical records and telemetry.
 class TestbedRunner {
  public:
   explicit TestbedRunner(TestbedConfig config);
@@ -70,6 +88,18 @@ class TestbedRunner {
   }
 
   std::vector<trace::UnavailabilityRecord> run(trace::MachineId machine) const;
+
+  /// Allocation-free steady-state variant: all transient state draws
+  /// from `scratch` (reset here, per call) and records are appended to
+  /// `out` (cleared here; its capacity is retained across machines).
+  void run_into(trace::MachineId machine, MachineScratch& scratch,
+                std::vector<trace::UnavailabilityRecord>& out) const;
+
+  /// Reference implementation: always the legacy per-sample event-loop
+  /// walk, regardless of engine eligibility. The soa-machine-step diff
+  /// oracle checks run() against this bit-for-bit.
+  std::vector<trace::UnavailabilityRecord> run_reference(
+      trace::MachineId machine) const;
 
  private:
   TestbedConfig config_;

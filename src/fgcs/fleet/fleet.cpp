@@ -185,10 +185,15 @@ FleetResult run_fleet(const FleetConfig& config) {
                      result.horizon_end);
     }
     std::vector<trace::UnavailabilityRecord> local;
+    // Reused across the shard's machines: the arena's chunks and the
+    // record buffer's capacity persist, so after the first machine warms
+    // them a machine simulation allocates nothing.
+    core::MachineScratch scratch;
+    std::vector<trace::UnavailabilityRecord> records;
     for (std::uint32_t i = 0; i < summary.machine_count; ++i) {
       const auto machine =
           static_cast<trace::MachineId>(summary.first_machine + i);
-      auto records = runner.run(machine);
+      runner.run_into(machine, scratch, records);
       summary.records += records.size();
       if (config.progress != nullptr) {
         config.progress->machines_done.fetch_add(1, std::memory_order_relaxed);

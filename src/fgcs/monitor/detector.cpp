@@ -8,8 +8,13 @@
 
 namespace fgcs::monitor {
 
-UnavailabilityDetector::UnavailabilityDetector(ThresholdPolicy policy)
-    : policy_(policy), ts_sink_(obs::current_ts_shard()) {
+UnavailabilityDetector::UnavailabilityDetector(ThresholdPolicy policy,
+                                               util::Arena* arena)
+    : policy_(policy),
+      ts_sink_(obs::current_ts_shard()),
+      transitions_(util::ArenaAllocator<Transition>(arena)),
+      episodes_(util::ArenaAllocator<UnavailabilityEpisode>(arena)),
+      gaps_(util::ArenaAllocator<SensorGap>(arena)) {
   policy_.validate();
 }
 
@@ -74,6 +79,105 @@ AvailabilityState UnavailabilityDetector::observe(HostSample sample) {
   }
 
   if (next != state_) enter(next, sample.time, sample);
+  return state_;
+}
+
+AvailabilityState UnavailabilityDetector::observe_run(
+    sim::SimTime t0, sim::SimDuration stride, std::uint64_t count,
+    double host_cpu, double free_mem_mb, bool service_alive) {
+  if (count == 0) return state_;
+  FGCS_ASSERT(!saw_sample_ || t0 >= last_time_);
+  FGCS_ASSERT(stride >= sim::SimDuration::zero());
+  FGCS_ASSERT(!std::isnan(host_cpu) && !std::isnan(free_mem_mb));
+  host_cpu = std::clamp(host_cpu, 0.0, 1.0);
+  free_mem_mb = std::max(0.0, free_mem_mb);
+  saw_sample_ = true;
+  last_time_ = t0 + stride * static_cast<std::int64_t>(count - 1);
+  if (ts_sink_ != nullptr) {
+    ts_sink_->on_samples(t0, stride, count);
+  } else if (auto* o = obs::observer()) {
+    o->on_detector_samples(t0, stride, count);
+  }
+
+  // The (clamped) sample enter() snapshots when it opens an episode;
+  // only its time varies across the run.
+  HostSample rep;
+  rep.host_cpu = host_cpu;
+  rep.free_mem_mb = free_mem_mb;
+  rep.service_alive = service_alive;
+
+  if (!service_alive) {
+    high_since_valid_ = false;
+    if (state_ != AvailabilityState::kS5MachineUnavailable) {
+      rep.time = t0;
+      enter(AvailabilityState::kS5MachineUnavailable, t0, rep);
+    }
+    return state_;
+  }
+
+  // CPU-excursion tracking runs before the memory check in the scalar
+  // path; with constant inputs its end-of-run state collapses to this.
+  if (host_cpu > policy_.th2) {
+    if (!high_since_valid_) {
+      high_since_valid_ = true;
+      high_since_ = t0;
+    }
+  } else {
+    high_since_valid_ = false;
+  }
+
+  if (free_mem_mb < policy_.guest_working_set_mb) {
+    if (state_ != AvailabilityState::kS4MemoryThrashing) {
+      rep.time = t0;
+      enter(AvailabilityState::kS4MemoryThrashing, t0, rep);
+    }
+    return state_;
+  }
+
+  if (host_cpu > policy_.th2) {
+    // Already failed on CPU: every sample keeps S3.
+    if (state_ == AvailabilityState::kS3CpuUnavailable) return state_;
+    if (t0 - high_since_ >= policy_.sustain_window) {
+      rep.time = t0;
+      enter(AvailabilityState::kS3CpuUnavailable, t0, rep);
+      return state_;
+    }
+    // Pre-sustain samples hold S1/S2 (transient spike) or force S2 when
+    // recovering from a failure state.
+    AvailabilityState inter = state_;
+    if (state_ != AvailabilityState::kS1FullAvailability &&
+        state_ != AvailabilityState::kS2LowestPriority) {
+      inter = AvailabilityState::kS2LowestPriority;
+    }
+    if (inter != state_) {
+      rep.time = t0;
+      enter(inter, t0, rep);
+    }
+    if (stride == sim::SimDuration::zero()) return state_;
+    // First sample index with (t_i - high_since_) >= sustain_window;
+    // need > 0 here because the first sample was not yet sustained.
+    const std::int64_t need =
+        (high_since_ + policy_.sustain_window - t0).as_micros();
+    const std::int64_t step = stride.as_micros();
+    const auto istar = static_cast<std::uint64_t>((need + step - 1) / step);
+    if (istar < count) {
+      const sim::SimTime ts3 =
+          t0 + stride * static_cast<std::int64_t>(istar);
+      rep.time = ts3;
+      // enter() backdates the S3 episode to high_since_, exactly as the
+      // scalar path would at this sample.
+      enter(AvailabilityState::kS3CpuUnavailable, ts3, rep);
+    }
+    return state_;
+  }
+
+  const AvailabilityState next = host_cpu >= policy_.th1
+                                     ? AvailabilityState::kS2LowestPriority
+                                     : AvailabilityState::kS1FullAvailability;
+  if (next != state_) {
+    rep.time = t0;
+    enter(next, t0, rep);
+  }
   return state_;
 }
 

@@ -16,12 +16,13 @@
 // begins there.
 #pragma once
 
+#include <cstdint>
 #include <span>
-#include <vector>
 
 #include "fgcs/monitor/availability.hpp"
 #include "fgcs/monitor/policy.hpp"
 #include "fgcs/sim/time.hpp"
+#include "fgcs/util/arena.hpp"
 
 namespace fgcs::obs {
 class TimeSeriesShard;
@@ -74,12 +75,28 @@ struct UnavailabilityEpisode {
 
 class UnavailabilityDetector {
  public:
-  explicit UnavailabilityDetector(ThresholdPolicy policy);
+  /// With a non-null `arena`, the transition/episode/gap records draw
+  /// from it instead of the heap (the span accessors are unchanged) —
+  /// the fleet engine hands each machine's detector its shard arena so
+  /// a warmed-up machine-day allocates nothing.
+  explicit UnavailabilityDetector(ThresholdPolicy policy,
+                                  util::Arena* arena = nullptr);
 
   /// Processes one sample (times must be non-decreasing) and returns the
   /// state after it. Out-of-range CPU/memory readings are clamped (real
   /// vmstat output can momentarily exceed bounds); NaNs are rejected.
   AvailabilityState observe(HostSample sample);
+
+  /// Batched observe(): processes `count` samples at t0, t0+stride, ...,
+  /// all sharing one (cpu, mem, alive) reading — the fast path for
+  /// piecewise-constant load trajectories, where a run of thousands of
+  /// identical samples produces at most two transitions (an intermediate
+  /// S1/S2 hold and the sustain-window S3 crossing). State, transitions,
+  /// episodes, telemetry counts, and bins are bit-identical to `count`
+  /// scalar observe() calls.
+  AvailabilityState observe_run(sim::SimTime t0, sim::SimDuration stride,
+                                std::uint64_t count, double host_cpu,
+                                double free_mem_mb, bool service_alive);
 
   /// Current model state.
   AvailabilityState state() const { return state_; }
@@ -124,9 +141,9 @@ class UnavailabilityDetector {
   bool high_since_valid_ = false;
   sim::SimTime high_since_ = sim::SimTime::epoch();
 
-  std::vector<Transition> transitions_;
-  std::vector<UnavailabilityEpisode> episodes_;
-  std::vector<SensorGap> gaps_;
+  util::ArenaVector<Transition> transitions_;
+  util::ArenaVector<UnavailabilityEpisode> episodes_;
+  util::ArenaVector<SensorGap> gaps_;
 };
 
 }  // namespace fgcs::monitor

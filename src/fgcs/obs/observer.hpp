@@ -225,6 +225,24 @@ class Observer {
     detector_samples_->inc();
   }
 
+  /// Batched equivalent of `count` on_detector_sample calls at at,
+  /// at+stride, ... — the columnar testbed walk reports a whole run of
+  /// constant-input samples at once. Totals and bins end up identical
+  /// to the per-sample hook.
+  void on_detector_samples(sim::SimTime at, sim::SimDuration stride,
+                           std::uint64_t count) {
+    if (count == 0) return;
+    if (TimeSeriesShard* ts = current_ts_shard()) {
+      ts->on_samples(at, stride, count);
+      return;
+    }
+    if (CounterShard* s = current_shard()) {
+      s->detector_samples += count;
+      return;
+    }
+    detector_samples_->inc(count);
+  }
+
   /// A sensor gap (dropped samples) was bridged by hold-last-state.
   void on_sensor_gap(sim::SimTime start, sim::SimDuration duration);
 

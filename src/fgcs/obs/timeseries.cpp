@@ -382,6 +382,31 @@ std::size_t TimeSeriesShard::bin_slow(std::int64_t t) const {
   return b;
 }
 
+void TimeSeriesShard::on_samples(sim::SimTime at, sim::SimDuration stride,
+                                 std::uint64_t count) {
+  std::int64_t t = at.as_micros();
+  const std::int64_t step = stride.as_micros();
+  while (count > 0) {
+    if (t >= cached_lo_ && t < cached_hi_) {
+      // How many of the remaining samples land in the cached bin.
+      std::uint64_t n = count;
+      if (step > 0 &&
+          cached_hi_ != std::numeric_limits<std::int64_t>::max()) {
+        const auto fit =
+            static_cast<std::uint64_t>((cached_hi_ - t + step - 1) / step);
+        if (fit < n) n = fit;
+      }
+      pending_samples_ += n;
+      count -= n;
+      t += step * static_cast<std::int64_t>(n);
+      continue;
+    }
+    ++samples_[bin_slow(t)];  // refreshes the bin cache for the run
+    --count;
+    t += step;
+  }
+}
+
 void TimeSeriesShard::on_transition(sim::SimTime at, int to) {
   const std::size_t b = bin(at);
   ++transitions_[b];

@@ -230,6 +230,12 @@ class TimeSeriesShard {
     }
     ++samples_[bin_slow(t)];  // bin_slow flushes the pending count first
   }
+  /// Batched equivalent of `count` on_sample calls at at, at+stride,
+  /// ..., at+stride*(count-1): bins advance run-at-a-time, so a
+  /// machine-day of samples costs O(bins touched), not O(samples).
+  /// Final bin contents are identical to the per-sample calls.
+  void on_samples(sim::SimTime at, sim::SimDuration stride,
+                  std::uint64_t count);
   void on_transition(sim::SimTime at, int to);
   void on_episode_opened(sim::SimTime at) { ++episodes_opened_[bin(at)]; }
   void on_episode_closed(sim::SimTime at, sim::SimDuration length);

@@ -36,6 +36,13 @@ ProcessId Machine::spawn(ProcessSpec spec) {
   // New processes start with a fresh timeslice, runnable, in their first
   // phase.
   p.counter_ticks_ = sched_.refill_ticks(p.nice_);
+  col_state_.push_back(p.state_);
+  col_counter_.push_back(p.counter_ticks_);
+  col_nice_.push_back(p.nice_);
+  col_last_seq_.push_back(p.last_run_seq_);
+  col_sleep_until_.push_back(p.sleep_until_);
+  col_resident_mb_.push_back(p.resident_mb());
+  col_working_set_mb_.push_back(p.working_set_mb());
   procs_.push_back(std::move(p));
   advance_phase(procs_.back());  // pull the first phase from the program
   return pid;
@@ -44,41 +51,40 @@ ProcessId Machine::spawn(ProcessSpec spec) {
 Process& Machine::live_process(ProcessId pid, const char* op) {
   fgcs::require(pid < procs_.size(),
                 std::string(op) + ": no such pid " + std::to_string(pid));
-  Process& p = procs_[pid];
-  fgcs::require(p.state_ != ProcState::kExited,
+  fgcs::require(col_state_[pid] != ProcState::kExited,
                 std::string(op) + ": process already exited");
-  return p;
+  return procs_[pid];
 }
 
 void Machine::renice(ProcessId pid, int nice) {
   fgcs::require(nice >= 0 && nice <= 19, "renice: nice must be in [0, 19]");
-  Process& p = live_process(pid, "renice");
-  p.nice_ = nice;
+  live_process(pid, "renice");
+  col_nice_[pid] = nice;
   // Credit above the new cap is clipped (renicing down sheds privilege).
-  p.counter_ticks_ = std::min(
-      p.counter_ticks_,
+  col_counter_[pid] = std::min(
+      col_counter_[pid],
       sched_.sleep_credit_multiplier * sched_.refill_ticks(nice));
 }
 
 void Machine::suspend(ProcessId pid) {
   Process& p = live_process(pid, "suspend");
-  if (p.state_ == ProcState::kSuspended) return;
-  p.was_runnable_before_suspend_ = (p.state_ == ProcState::kRunnable);
-  p.state_ = ProcState::kSuspended;
+  if (col_state_[pid] == ProcState::kSuspended) return;
+  p.was_runnable_before_suspend_ = (col_state_[pid] == ProcState::kRunnable);
+  col_state_[pid] = ProcState::kSuspended;
 }
 
 void Machine::resume(ProcessId pid) {
   Process& p = live_process(pid, "resume");
-  if (p.state_ != ProcState::kSuspended) return;
+  if (col_state_[pid] != ProcState::kSuspended) return;
   // If the sleep deadline passed while suspended, the wake sweep at the
   // next tick advances the phase.
-  p.state_ = p.was_runnable_before_suspend_ ? ProcState::kRunnable
-                                            : ProcState::kSleeping;
+  col_state_[pid] = p.was_runnable_before_suspend_ ? ProcState::kRunnable
+                                                   : ProcState::kSleeping;
 }
 
 void Machine::terminate(ProcessId pid) {
   Process& p = live_process(pid, "terminate");
-  p.state_ = ProcState::kExited;
+  col_state_[pid] = ProcState::kExited;
   p.killed_ = true;
   p.exit_time_ = now_;
 }
@@ -86,22 +92,33 @@ void Machine::terminate(ProcessId pid) {
 const Process& Machine::process(ProcessId pid) const {
   fgcs::require(pid < procs_.size(),
                 "process(): no such pid " + std::to_string(pid));
+  sync_mirror(pid);
   return procs_[pid];
+}
+
+void Machine::sync_mirror(ProcessId pid) const {
+  Process& p = procs_[pid];
+  p.state_ = col_state_[pid];
+  p.counter_ticks_ = col_counter_[pid];
+  p.nice_ = col_nice_[pid];
+  p.last_run_seq_ = col_last_seq_[pid];
+  p.sleep_until_ = col_sleep_until_[pid];
 }
 
 std::size_t Machine::live_count() const {
   std::size_t n = 0;
-  for (const auto& p : procs_) {
-    if (p.state_ != ProcState::kExited) ++n;
+  for (const ProcState s : col_state_) {
+    if (s != ProcState::kExited) ++n;
   }
   return n;
 }
 
 double Machine::free_memory_mb() const {
   double resident = 0.0;
-  for (const auto& p : procs_) {
-    if (p.state_ != ProcState::kExited && p.state_ != ProcState::kSuspended) {
-      resident += p.resident_mb();
+  for (std::size_t i = 0; i < col_state_.size(); ++i) {
+    if (col_state_[i] != ProcState::kExited &&
+        col_state_[i] != ProcState::kSuspended) {
+      resident += col_resident_mb_[i];
     }
   }
   return std::max(0.0, mem_.ram_mb - mem_.kernel_mb - resident);
@@ -109,15 +126,17 @@ double Machine::free_memory_mb() const {
 
 double Machine::active_working_set_mb() const {
   double ws = 0.0;
-  for (const auto& p : procs_) {
-    if (p.state_ != ProcState::kExited && p.state_ != ProcState::kSuspended) {
-      ws += p.working_set_mb();
+  for (std::size_t i = 0; i < col_state_.size(); ++i) {
+    if (col_state_[i] != ProcState::kExited &&
+        col_state_[i] != ProcState::kSuspended) {
+      ws += col_working_set_mb_[i];
     }
   }
   return ws;
 }
 
 void Machine::advance_phase(Process& p) {
+  const ProcessId pid = p.pid_;
   // Pull phases until we land on one with work to do (or the process
   // exits). A guard bounds pathological programs that emit endless
   // zero-length phases.
@@ -127,19 +146,19 @@ void Machine::advance_phase(Process& p) {
     p.phase_done_ = sim::SimDuration::zero();
     switch (phase.kind) {
       case Phase::Kind::kExit:
-        p.state_ = ProcState::kExited;
+        col_state_[pid] = ProcState::kExited;
         p.exit_time_ = now_;
         return;
       case Phase::Kind::kCompute:
         if (phase.amount > sim::SimDuration::zero()) {
-          p.state_ = ProcState::kRunnable;
+          col_state_[pid] = ProcState::kRunnable;
           return;
         }
         break;  // zero work: pull the next phase
       case Phase::Kind::kSleep:
         if (phase.amount > sim::SimDuration::zero()) {
-          p.state_ = ProcState::kSleeping;
-          p.sleep_until_ = now_ + phase.amount;
+          col_state_[pid] = ProcState::kSleeping;
+          col_sleep_until_[pid] = now_ + phase.amount;
           return;
         }
         break;
@@ -149,18 +168,18 @@ void Machine::advance_phase(Process& p) {
 }
 
 void Machine::recalc_counters() {
-  for (auto& p : procs_) {
-    if (p.state_ == ProcState::kExited) continue;
-    const double refill = sched_.refill_ticks(p.nice_);
-    if (p.state_ == ProcState::kRunnable) {
+  for (std::size_t i = 0; i < col_state_.size(); ++i) {
+    if (col_state_[i] == ProcState::kExited) continue;
+    const double refill = sched_.refill_ticks(col_nice_[i]);
+    if (col_state_[i] == ProcState::kRunnable) {
       // Linux-2.4 style: runnable credit halves and refills (bounded by
       // 2x refill through the recursion itself).
-      p.counter_ticks_ = p.counter_ticks_ / 2.0 + refill;
+      col_counter_[i] = col_counter_[i] / 2.0 + refill;
     } else {
       // Sleepers accumulate linearly up to the sleeper-credit cap — the
       // interactivity boost that protects light host processes.
-      p.counter_ticks_ = std::min(p.counter_ticks_ + refill,
-                                  sched_.sleep_credit_multiplier * refill);
+      col_counter_[i] = std::min(col_counter_[i] + refill,
+                                 sched_.sleep_credit_multiplier * refill);
     }
   }
 }
@@ -180,37 +199,39 @@ void Machine::run_until(sim::SimTime until) {
 
 void Machine::step_tick(sim::SimTime until) {
   const sim::SimDuration tick = sched_.tick;
+  const std::size_t n = col_state_.size();
+  constexpr std::size_t kNoRunner = std::numeric_limits<std::size_t>::max();
 
   // 1. Wake sleepers whose deadline has passed: the sleep phase is over,
   // so pull the next phase from the program.
-  for (auto& p : procs_) {
-    if (p.state_ == ProcState::kSleeping && p.sleep_until_ <= now_) {
-      advance_phase(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (col_state_[i] == ProcState::kSleeping && col_sleep_until_[i] <= now_) {
+      advance_phase(procs_[i]);
     }
   }
 
   // 2. Select the runnable process with the highest goodness.
-  Process* runner = nullptr;
+  std::size_t runner = kNoRunner;
   bool any_runnable = false;
   std::size_t runnable_count = 0;
-  for (int attempt = 0; attempt < 2 && runner == nullptr; ++attempt) {
+  for (int attempt = 0; attempt < 2 && runner == kNoRunner; ++attempt) {
     double best = 0.0;
     any_runnable = false;
     runnable_count = 0;
-    for (auto& p : procs_) {
-      if (p.state_ != ProcState::kRunnable) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (col_state_[i] != ProcState::kRunnable) continue;
       any_runnable = true;
       ++runnable_count;
-      const double g = sched_.goodness(p.counter_ticks_, p.nice_);
+      const double g = sched_.goodness(col_counter_[i], col_nice_[i]);
       if (g <= 0.0) continue;
       // Round-robin tie-break: older last_run_seq wins on equal goodness.
-      if (runner == nullptr || g > best ||
-          (g == best && p.last_run_seq_ < runner->last_run_seq_)) {
+      if (runner == kNoRunner || g > best ||
+          (g == best && col_last_seq_[i] < col_last_seq_[runner])) {
         best = g;
-        runner = &p;
+        runner = i;
       }
     }
-    if (runner == nullptr && any_runnable) {
+    if (runner == kNoRunner && any_runnable) {
       // Epoch boundary: all runnable credit exhausted.
       recalc_counters();
     } else {
@@ -218,13 +239,13 @@ void Machine::step_tick(sim::SimTime until) {
     }
   }
 
-  if (runner == nullptr) {
+  if (runner == kNoRunner) {
     // CPU idle. Fast-forward to the next wake-up (or `until`), crediting
     // sleepers with the epoch recalculations they would have received.
     sim::SimTime next_wake = until;
-    for (const auto& p : procs_) {
-      if (p.state_ == ProcState::kSleeping) {
-        next_wake = std::min(next_wake, p.sleep_until_);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (col_state_[i] == ProcState::kSleeping) {
+        next_wake = std::min(next_wake, col_sleep_until_[i]);
       }
     }
     // Advance at least one tick, in whole ticks.
@@ -232,11 +253,11 @@ void Machine::step_tick(sim::SimTime until) {
     if (gap < tick) gap = tick;
     const std::int64_t k = gap.as_micros() / tick.as_micros();
     const sim::SimDuration skipped = tick * k;
-    for (auto& p : procs_) {
-      if (p.state_ == ProcState::kExited) continue;
-      const double refill = sched_.refill_ticks(p.nice_);
-      p.counter_ticks_ = converge_counter(
-          p.counter_ticks_, sched_.sleep_credit_multiplier * refill, refill,
+    for (std::size_t i = 0; i < n; ++i) {
+      if (col_state_[i] == ProcState::kExited) continue;
+      const double refill = sched_.refill_ticks(col_nice_[i]);
+      col_counter_[i] = converge_counter(
+          col_counter_[i], sched_.sleep_credit_multiplier * refill, refill,
           k);
     }
     totals_.idle += skipped;
@@ -255,45 +276,46 @@ void Machine::step_tick(sim::SimTime until) {
   // contender overtaking the winner). The jump replays the exact per-tick
   // arithmetic, so the machine state after k fast-forwarded ticks is
   // bit-identical to k forced single ticks.
+  Process& rp = procs_[runner];
   const double eff = current_efficiency();
   const sim::SimDuration progress = tick * eff;  // one tick's work
   RunPlan plan;
   if (sched_.fast_forward) {
-    plan = plan_run_ticks(*runner, until, progress,
+    plan = plan_run_ticks(runner, until, progress,
                           /*sole_runnable=*/runnable_count == 1);
   } else {
     plan.ticks = 1;
-    plan.counter_after = std::max(0.0, runner->counter_ticks_ - 1.0);
+    plan.counter_after = std::max(0.0, col_counter_[runner] - 1.0);
   }
   const std::int64_t k = plan.ticks;
 
   if (eff < 1.0) thrash_time_ += tick * k;
-  runner->phase_done_ += progress * k;
-  runner->cpu_time_ += progress * k;
-  runner->counter_ticks_ = plan.counter_after;
+  rp.phase_done_ += progress * k;
+  rp.cpu_time_ += progress * k;
+  col_counter_[runner] = plan.counter_after;
   // A sole-runnable jump may cross epoch boundaries; every other live
   // process receives the same number of recalculations it would have
   // seen per-tick. Their branch of recalc_counters() is the capped
   // linear refill, which reaches a float fixed point — stop replaying
   // once it does.
   if (plan.recalcs > 0) {
-    for (auto& p : procs_) {
-      if (&p == runner || p.state_ == ProcState::kExited) continue;
-      const double refill = sched_.refill_ticks(p.nice_);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == runner || col_state_[i] == ProcState::kExited) continue;
+      const double refill = sched_.refill_ticks(col_nice_[i]);
       const double cap = sched_.sleep_credit_multiplier * refill;
-      double c = p.counter_ticks_;
-      for (std::int64_t i = 0; i < plan.recalcs; ++i) {
+      double c = col_counter_[i];
+      for (std::int64_t r = 0; r < plan.recalcs; ++r) {
         const double next = std::min(c + refill, cap);
         if (next == c) break;
         c = next;
       }
-      p.counter_ticks_ = c;
+      col_counter_[i] = c;
     }
   }
   run_seq_ += static_cast<std::uint64_t>(k);
-  runner->last_run_seq_ = run_seq_;
+  col_last_seq_[runner] = run_seq_;
 
-  switch (runner->kind()) {
+  switch (rp.kind()) {
     case ProcessKind::kHost:
       totals_.host += progress * k;
       break;
@@ -308,44 +330,45 @@ void Machine::step_tick(sim::SimTime until) {
   totals_.idle += (tick - progress) * k;
 
   if (auto* o = obs::observer()) {
-    o->on_machine_tick(static_cast<std::int64_t>(runner->pid()) !=
-                           last_runner_,
+    o->on_machine_tick(static_cast<std::int64_t>(rp.pid()) != last_runner_,
                        runnable_count);
     if (k > 1) o->on_machine_ticks_skipped(static_cast<std::uint64_t>(k - 1));
   }
-  last_runner_ = static_cast<std::int64_t>(runner->pid());
+  last_runner_ = static_cast<std::int64_t>(rp.pid());
 
   // A completing phase is stamped with the *start* of its final tick,
   // exactly as per-tick execution would: advance the clock to that tick
   // first, finish the phase, then consume the tick itself.
   now_ += tick * (k - 1);
-  if (runner->phase_done_ >= runner->current_phase_.amount) {
-    advance_phase(*runner);
+  if (rp.phase_done_ >= rp.current_phase_.amount) {
+    advance_phase(rp);
   }
 
   now_ += tick;
 }
 
 Machine::RunPlan Machine::plan_run_ticks(
-    const Process& runner, sim::SimTime until,
+    std::size_t runner, sim::SimTime until,
     sim::SimDuration per_tick_progress, bool sole_runnable) const {
   const std::int64_t tick_us = sched_.tick.as_micros();
   const auto ceil_ticks = [tick_us](sim::SimDuration d) {
     return (d.as_micros() + tick_us - 1) / tick_us;
   };
+  const std::size_t n = col_state_.size();
 
   // Exact (integer-time) bounds: the run_until horizon, the next sleeper
   // wake-up, and the runner's phase completion.
   std::int64_t bound = std::max<std::int64_t>(1, ceil_ticks(until - now_));
-  for (const auto& p : procs_) {
-    if (p.state_ == ProcState::kSleeping) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (col_state_[i] == ProcState::kSleeping) {
       // The wake sweep already woke deadlines <= now_, so this is > 0.
-      bound = std::min(bound, ceil_ticks(p.sleep_until_ - now_));
+      bound = std::min(bound, ceil_ticks(col_sleep_until_[i] - now_));
     }
   }
+  const Process& rp = procs_[runner];
   if (per_tick_progress > sim::SimDuration::zero()) {
     const sim::SimDuration remaining =
-        runner.current_phase_.amount - runner.phase_done_;
+        rp.current_phase_.amount - rp.phase_done_;
     bound = std::min(
         bound, (remaining.as_micros() + per_tick_progress.as_micros() - 1) /
                    per_tick_progress.as_micros());
@@ -356,20 +379,21 @@ Machine::RunPlan Machine::plan_run_ticks(
   // them tick-by-tick on a scratch counter so the predicted switch point
   // lands on exactly the tick the forced per-tick scheduler would pick.
   double best_other = 0.0;
-  for (const auto& p : procs_) {
-    if (&p == &runner || p.state_ != ProcState::kRunnable) continue;
-    best_other = std::max(best_other, sched_.goodness(p.counter_ticks_, p.nice_));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == runner || col_state_[i] != ProcState::kRunnable) continue;
+    best_other =
+        std::max(best_other, sched_.goodness(col_counter_[i], col_nice_[i]));
   }
 
-  const double refill = sched_.refill_ticks(runner.nice_);
+  const double refill = sched_.refill_ticks(col_nice_[runner]);
   RunPlan plan;
-  double counter = runner.counter_ticks_;
+  double counter = col_counter_[runner];
   std::int64_t t = 0;
   for (;;) {
     ++t;
     counter = std::max(0.0, counter - 1.0);
     if (t == bound) break;
-    const double g = sched_.goodness(counter, runner.nice_);
+    const double g = sched_.goodness(counter, col_nice_[runner]);
     if (sole_runnable) {
       // No contender can be selected before the bound, so the jump may
       // cross epoch boundaries: when the runner's credit is exhausted,

@@ -139,15 +139,37 @@ class Machine {
   /// With `sole_runnable` set (the runner is the only runnable process)
   /// the jump may cross epoch recalculations, since no contender can be
   /// selected before a wake-up/phase/horizon bound ends the window.
-  RunPlan plan_run_ticks(const Process& runner, sim::SimTime until,
+  RunPlan plan_run_ticks(std::size_t runner, sim::SimTime until,
                          sim::SimDuration per_tick_progress,
                          bool sole_runnable) const;
+  /// Copies the hot columns back into the pid's Process record so the
+  /// read-only view observers get is current.
+  void sync_mirror(ProcessId pid) const;
 
   SchedulerParams sched_;
   MemoryParams mem_;
   util::RngStream rng_;
   sim::SimTime now_ = sim::SimTime::epoch();
-  std::vector<Process> procs_;
+
+  // Process table, split columnar. The col_* vectors are the
+  // *authoritative* copy of the scheduler-hot fields: every per-tick loop
+  // (wake sweep, goodness selection, counter recalculation, idle
+  // fast-forward, memory accounting) is a contiguous column scan in
+  // ascending pid order — the same visitation order and arithmetic as the
+  // old per-object loops, so results are bit-identical. `procs_` keeps
+  // the cold majority (spec, phase program, RNG, CPU accounting) and
+  // doubles as the observation mirror: process() syncs the columns back
+  // into the record before handing it out — hence mutable, the sync
+  // happens under a const accessor.
+  mutable std::vector<Process> procs_;
+  std::vector<ProcState> col_state_;
+  std::vector<double> col_counter_;
+  std::vector<int> col_nice_;
+  std::vector<std::uint64_t> col_last_seq_;
+  std::vector<sim::SimTime> col_sleep_until_;
+  std::vector<double> col_resident_mb_;
+  std::vector<double> col_working_set_mb_;
+
   CpuTotals totals_{};
   sim::SimDuration thrash_time_ = sim::SimDuration::zero();
   std::uint64_t run_seq_ = 0;

@@ -553,6 +553,30 @@ DiffResult oracle_flight_recorder(std::uint64_t seed) {
   return DiffResult::ok();
 }
 
+// --- oracle 8: columnar machine walk vs. per-sample event loop ------------
+
+DiffResult oracle_soa_machine_step(std::uint64_t seed) {
+  // Strip faults so the runner takes the columnar engine; the reference
+  // entry point always runs the legacy per-sample event loop over the
+  // identical config.
+  core::TestbedConfig config = small_testbed(seed);
+  config.faults = {};
+  const core::TestbedRunner runner(config);
+
+  trace::TraceSet columnar(config.machines, runner.horizon_start(),
+                           runner.horizon_end());
+  trace::TraceSet legacy(config.machines, runner.horizon_start(),
+                         runner.horizon_end());
+  core::MachineScratch scratch;
+  std::vector<trace::UnavailabilityRecord> records;
+  for (std::uint32_t m = 0; m < config.machines; ++m) {
+    runner.run_into(m, scratch, records);
+    for (const auto& r : records) columnar.add(r);
+    for (const auto& r : runner.run_reference(m)) legacy.add(r);
+  }
+  return diff_traces(columnar, legacy, "columnar vs legacy walk");
+}
+
 }  // namespace
 
 const std::vector<DiffOracle>& standard_oracles() {
@@ -564,6 +588,7 @@ const std::vector<DiffOracle>& standard_oracles() {
       {"fleet-sharded", oracle_fleet_sharded},
       {"prediction-parallel", oracle_prediction_parallel},
       {"flight-recorder", oracle_flight_recorder},
+      {"soa-machine-step", oracle_soa_machine_step},
   };
   return oracles;
 }

@@ -24,6 +24,9 @@
 //                           scenario: both captures must pass the flight
 //                           invariant battery and render to
 //                           byte-identical sim-time-ordered post-mortems
+//   soa-machine-step        TestbedRunner's columnar arena-backed walk
+//                           (run_into) vs. run_reference's per-sample
+//                           event loop, traces compared bit-for-bit
 //
 // This replaces scattered hand-rolled equivalence tests with one API the
 // CI property suite sweeps over hundreds of seeds.
@@ -53,7 +56,7 @@ struct DiffOracle {
   std::function<DiffResult(std::uint64_t seed)> run;
 };
 
-/// The seven standard oracles above.
+/// The eight standard oracles above.
 const std::vector<DiffOracle>& standard_oracles();
 
 /// Finds a standard oracle by name; nullptr when unknown.

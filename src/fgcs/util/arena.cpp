@@ -1,0 +1,106 @@
+#include "fgcs/util/arena.hpp"
+
+#include "fgcs/util/knobs.hpp"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace fgcs::util {
+namespace {
+
+// Chunks at or above this size are eligible for transparent huge pages
+// when FGCS_HUGE_PAGES is set.
+constexpr std::size_t kHugeThresholdBytes = std::size_t{2} << 20;
+
+std::size_t round_up(std::size_t v, std::size_t to) {
+  return (v + to - 1) / to * to;
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t initial_chunk_bytes)
+    : next_chunk_bytes_(initial_chunk_bytes < 64 ? 64 : initial_chunk_bytes) {}
+
+Arena::~Arena() {
+  for (auto& c : chunks_) release_chunk(c);
+}
+
+Arena::Chunk Arena::new_chunk(std::size_t min_bytes) {
+  std::size_t want = next_chunk_bytes_;
+  if (want < min_bytes) want = min_bytes;
+  Chunk c;
+#if defined(__linux__)
+  if (want >= kHugeThresholdBytes && env_flag("FGCS_HUGE_PAGES")) {
+    const std::size_t mapped = round_up(want, kHugeThresholdBytes);
+    void* p = ::mmap(nullptr, mapped, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+      ::madvise(p, mapped, MADV_HUGEPAGE);
+      c.base = static_cast<std::byte*>(p);
+      c.capacity = mapped;
+      c.huge = true;
+    }
+  }
+#endif
+  if (c.base == nullptr) {
+    c.base = static_cast<std::byte*>(
+        ::operator new(want, std::align_val_t{alignof(std::max_align_t)}));
+    c.capacity = want;
+  }
+  // Grow geometrically so N bytes of demand costs O(log N) chunks.
+  if (next_chunk_bytes_ <= (std::size_t{1} << 30)) next_chunk_bytes_ *= 2;
+  return c;
+}
+
+void Arena::release_chunk(Chunk& c) {
+  if (c.base == nullptr) return;
+#if defined(__linux__)
+  if (c.huge) {
+    ::munmap(c.base, c.capacity);
+    c.base = nullptr;
+    return;
+  }
+#endif
+  ::operator delete(c.base, std::align_val_t{alignof(std::max_align_t)});
+  c.base = nullptr;
+}
+
+void* Arena::allocate_slow(std::size_t bytes, std::size_t align) {
+  // Advance through already-reserved chunks (post-reset reuse) before
+  // reserving a new one.
+  while (!chunks_.empty() && active_ + 1 < chunks_.size()) {
+    ++active_;
+    Chunk& c = chunks_[active_];
+    const std::size_t off = aligned_offset(c, align);
+    if (off + bytes <= c.capacity) {
+      c.used = off + bytes;
+      return c.base + off;
+    }
+  }
+  chunks_.push_back(new_chunk(bytes + align));
+  active_ = chunks_.size() - 1;
+  Chunk& c = chunks_[active_];
+  const std::size_t off = aligned_offset(c, align);
+  c.used = off + bytes;
+  return c.base + off;
+}
+
+void Arena::reset() {
+  for (auto& c : chunks_) c.used = 0;
+  active_ = 0;
+}
+
+std::size_t Arena::bytes_reserved() const {
+  std::size_t total = 0;
+  for (const auto& c : chunks_) total += c.capacity;
+  return total;
+}
+
+std::size_t Arena::bytes_used() const {
+  std::size_t total = 0;
+  for (const auto& c : chunks_) total += c.used;
+  return total;
+}
+
+}  // namespace fgcs::util

@@ -1,0 +1,142 @@
+// Bump/arena allocation for per-shard simulation scratch.
+//
+// Arena hands out aligned pointers from geometrically grown chunks;
+// reset() rewinds to the first chunk without returning memory to the
+// OS, so a warmed-up arena satisfies the same allocation pattern with
+// zero heap traffic. This is what makes a steady-state machine-day in
+// the columnar sim core allocation-free: the fleet engine keeps one
+// Arena per shard, resets it per machine, and every transient vector
+// (trajectory points, downtimes, detector transitions/episodes/gaps,
+// overlay scratch) draws from it.
+//
+// ArenaAllocator<T> adapts an Arena to the standard allocator
+// interface. A null arena falls back to the plain heap, so
+// arena-backed containers inside long-lived objects keep working when
+// no arena is supplied. ArenaVector<T> is the container alias the sim
+// core uses.
+//
+// With FGCS_HUGE_PAGES set (see knobs.hpp), chunks of at least 2 MiB
+// are mapped with mmap + madvise(MADV_HUGEPAGE), vmcache-style;
+// otherwise chunks come from operator new.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace fgcs::util {
+
+/// A chunked bump allocator. Not thread-safe: one Arena per shard.
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{1} << 20;
+
+  explicit Arena(std::size_t initial_chunk_bytes = kDefaultChunkBytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Never returns nullptr; grows by appending a chunk when the active
+  /// one is full. Zero-byte requests return a valid unique pointer.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (!chunks_.empty()) {
+      Chunk& c = chunks_[active_];
+      const std::size_t off = aligned_offset(c, align);
+      if (off + bytes <= c.capacity && off + bytes >= off) {
+        c.used = off + bytes;
+        return c.base + off;
+      }
+    }
+    return allocate_slow(bytes, align);
+  }
+
+  /// Rewinds to empty. Chunks are retained for reuse, so the next pass
+  /// over the same allocation pattern touches the heap zero times.
+  void reset();
+
+  /// Sum of chunk capacities currently held.
+  std::size_t bytes_reserved() const;
+  /// Bytes bumped since the last reset (includes alignment padding).
+  std::size_t bytes_used() const;
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::byte* base = nullptr;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+    bool huge = false;
+  };
+
+  // Offset into `c` of the next address aligned to `align` in absolute
+  // terms (the chunk base itself is only max_align_t-aligned).
+  static std::size_t aligned_offset(const Chunk& c, std::size_t align) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(c.base) + c.used;
+    const auto aligned = (addr + align - 1) & ~(std::uintptr_t{align} - 1);
+    return c.used + static_cast<std::size_t>(aligned - addr);
+  }
+
+  Chunk new_chunk(std::size_t min_bytes);
+  void release_chunk(Chunk& c);
+  void* allocate_slow(std::size_t bytes, std::size_t align);
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  // index of the chunk being bumped
+  std::size_t next_chunk_bytes_ = 0;
+};
+
+/// Standard-allocator adapter over Arena. A default-constructed (null)
+/// ArenaAllocator uses the plain heap, so container members typed on it
+/// behave like ordinary std containers until an arena is supplied.
+///
+/// Allocators propagate on copy/move/swap and compare by arena pointer,
+/// so moving an arena-backed vector steals its buffer (no element-wise
+/// reallocation into the destination's arena).
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() = default;
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (arena_ == nullptr) {
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    }
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    // Arena memory is reclaimed wholesale by Arena::reset().
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  Arena* arena() const { return arena_; }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+template <class T, class U>
+bool operator==(const ArenaAllocator<T>& a, const ArenaAllocator<U>& b) {
+  return a.arena() == b.arena();
+}
+template <class T, class U>
+bool operator!=(const ArenaAllocator<T>& a, const ArenaAllocator<U>& b) {
+  return !(a == b);
+}
+
+/// The vector alias the columnar sim core builds on.
+template <class T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace fgcs::util

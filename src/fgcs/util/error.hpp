@@ -34,6 +34,13 @@ inline void require(bool ok, const std::string& message) {
   if (!ok) detail::require_fail(message);
 }
 
+/// Literal-message overload: the common `require(ok, "...")` call builds
+/// no std::string on the success path, keeping checks in per-machine hot
+/// loops allocation-free.
+inline void require(bool ok, const char* message) {
+  if (!ok) detail::require_fail(message);
+}
+
 }  // namespace fgcs
 
 /// Always-on invariant check (simulation correctness is not optional).

@@ -1,0 +1,43 @@
+#include "fgcs/util/knobs.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace fgcs::util {
+
+std::uint64_t env_or(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0' || *value == '-') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return false;
+  return std::strcmp(value, "0") != 0;
+}
+
+bool pin_thread_to_core(std::size_t core) {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(core % hw), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+}  // namespace fgcs::util

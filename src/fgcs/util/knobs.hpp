@@ -1,0 +1,34 @@
+// vmcache-style runtime knobs: environment-or-default parsing plus
+// thread-to-core pinning.
+//
+// The fgcs performance knobs are plain environment variables so runs
+// stay reproducible from the command line alone:
+//
+//   FGCS_THREADS      worker count for the global pool (parallel.hpp)
+//   FGCS_PIN_THREADS  pin pool workers to cores round-robin
+//   FGCS_HUGE_PAGES   back large arena chunks with transparent huge
+//                     pages (arena.hpp)
+//
+// None of these knobs may change simulation results — they are
+// throughput-only. lint_determinism.sh keeps wall-clock and libc RNG
+// out of this file like the rest of the sim core.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fgcs::util {
+
+/// Returns the integer value of environment variable `name`, or
+/// `fallback` when unset or malformed.
+std::uint64_t env_or(const char* name, std::uint64_t fallback);
+
+/// True when `name` is set to anything other than "" or "0".
+bool env_flag(const char* name);
+
+/// Pins the calling thread to `core` (modulo the hardware thread
+/// count). Returns false when the platform does not support affinity
+/// or the call fails; pinning failures are never fatal.
+bool pin_thread_to_core(std::size_t core);
+
+}  // namespace fgcs::util

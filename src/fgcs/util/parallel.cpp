@@ -6,13 +6,22 @@
 #include <memory>
 
 #include "fgcs/util/error.hpp"
+#include "fgcs/util/knobs.hpp"
 
 namespace fgcs::util {
 
 ThreadPool::ThreadPool(std::size_t workers) {
+  // vmcache-style affinity knob: with FGCS_PIN_THREADS set, worker i is
+  // pinned to core (i + 1) % hw — the calling thread keeps core 0 (it
+  // participates in every parallel_for), and workers stop migrating
+  // between cores mid-sweep. Throughput-only; results are unchanged.
+  const bool pin = env_flag("FGCS_PIN_THREADS");
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, pin, i] {
+      if (pin) pin_thread_to_core(i + 1);
+      worker_loop();
+    });
   }
 }
 

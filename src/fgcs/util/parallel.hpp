@@ -8,7 +8,9 @@
 //
 // Worker count of the process-wide pool: the FGCS_THREADS environment
 // variable when set (0 means "run everything inline on the calling
-// thread"), otherwise the hardware concurrency.
+// thread"), otherwise the hardware concurrency. With FGCS_PIN_THREADS
+// set, pool workers are pinned round-robin to cores 1..hw-1 (the
+// caller keeps core 0); see util/knobs.hpp.
 #pragma once
 
 #include <condition_variable>

@@ -97,31 +97,14 @@ void LoadOverlay::add_mem(SimTime start, SimTime end, double mem_mb) {
 }
 
 LoadTrajectory LoadOverlay::build(SimTime origin) const {
-  std::vector<Delta> sorted = deltas_;
-  std::sort(sorted.begin(), sorted.end(),
-            [](const Delta& a, const Delta& b) { return a.t < b.t; });
   std::vector<LoadPoint> points;
-  points.push_back({origin, 0.0, 0.0});
-  double cpu = 0.0, mem = 0.0;
-  std::size_t i = 0;
-  while (i < sorted.size()) {
-    const SimTime t = sorted[i].t;
-    while (i < sorted.size() && sorted[i].t == t) {
-      cpu += sorted[i].cpu;
-      mem += sorted[i].mem;
-      ++i;
-    }
-    // Numerical noise from +=/-= pairs can leave tiny negatives.
-    const double cpu_val = std::clamp(cpu, 0.0, 1.0);
-    const double mem_val = std::max(0.0, mem);
-    if (t <= points.back().t) {
-      points.back().cpu = cpu_val;
-      points.back().mem_mb = mem_val;
-    } else {
-      points.push_back({t, cpu_val, mem_val});
-    }
-  }
+  sweep_into(origin, points);
   return LoadTrajectory(std::move(points));
+}
+
+void LoadOverlay::build_into(SimTime origin,
+                             util::ArenaVector<LoadPoint>& out) const {
+  sweep_into(origin, out);
 }
 
 // ---------------------------------------------------------------------------
@@ -317,7 +300,9 @@ void emit_cpu_episode(LoadOverlay& ov, const LabProfile& p, SimTime start,
   }
   const int dips = static_cast<int>(rng.uniform_int(1, p.choppy_dips_max));
   // Dip midpoints uniformly in the middle 70% of the episode, sorted.
-  std::vector<double> mids;
+  // Scratch shares the overlay's arena so the choppy path stays
+  // allocation-free in steady state.
+  util::ArenaVector<double> mids{util::ArenaAllocator<double>(ov.arena())};
   for (int i = 0; i < dips; ++i) mids.push_back(rng.uniform(0.15, 0.85));
   std::sort(mids.begin(), mids.end());
   SimTime cursor = start;
@@ -338,15 +323,14 @@ void emit_cpu_episode(LoadOverlay& ov, const LabProfile& p, SimTime start,
 
 }  // namespace
 
-MachineLoadTrace generate_machine_load(const LabProfile& profile,
-                                       std::uint64_t seed,
-                                       std::uint32_t machine_id, int days,
-                                       int start_dow) {
-  profile.validate();
+void generate_machine_load_into(const LabProfile& profile, std::uint64_t seed,
+                                std::uint32_t machine_id, int days,
+                                int start_dow, util::Arena* arena,
+                                ArenaLoadTrace& out) {
   fgcs::require(days > 0, "trace horizon must be at least one day");
 
-  LoadOverlay ov;
-  std::vector<Downtime> downtimes;
+  LoadOverlay ov(arena);
+  util::ArenaVector<Downtime> downtimes{util::ArenaAllocator<Downtime>(arena)};
   const SimTime epoch = SimTime::epoch();
 
   for (int day = 0; day < days; ++day) {
@@ -396,7 +380,7 @@ MachineLoadTrace generate_machine_load(const LabProfile& profile,
       SimTime start;
       SimDuration dur;
     };
-    std::vector<Span> cpu_episodes;
+    util::ArenaVector<Span> cpu_episodes{util::ArenaAllocator<Span>(arena)};
     {
       const auto& rates =
           we ? profile.cpu_episode_rate.weekend : profile.cpu_episode_rate.weekday;
@@ -516,7 +500,7 @@ MachineLoadTrace generate_machine_load(const LabProfile& profile,
   std::sort(downtimes.begin(), downtimes.end(),
             [](const Downtime& a, const Downtime& b) { return a.start < b.start; });
   // Drop downtimes swallowed by a preceding one (rare).
-  std::vector<Downtime> merged;
+  auto& merged = out.downtimes;
   for (const auto& d : downtimes) {
     if (!merged.empty() && d.start < merged.back().start + merged.back().duration) {
       continue;
@@ -524,9 +508,24 @@ MachineLoadTrace generate_machine_load(const LabProfile& profile,
     merged.push_back(d);
   }
 
+  ov.build_into(epoch, out.points);
+}
+
+MachineLoadTrace generate_machine_load(const LabProfile& profile,
+                                       std::uint64_t seed,
+                                       std::uint32_t machine_id, int days,
+                                       int start_dow) {
+  profile.validate();
+  // One generation core: the public API materializes the arena-native
+  // result into the std::vector-backed types, so both paths are
+  // value-identical by construction.
+  ArenaLoadTrace scratch(nullptr);
+  generate_machine_load_into(profile, seed, machine_id, days, start_dow,
+                             nullptr, scratch);
   MachineLoadTrace trace;
-  trace.load = ov.build(epoch);
-  trace.downtimes = std::move(merged);
+  trace.load = LoadTrajectory(
+      std::vector<LoadPoint>(scratch.points.begin(), scratch.points.end()));
+  trace.downtimes.assign(scratch.downtimes.begin(), scratch.downtimes.end());
   return trace;
 }
 

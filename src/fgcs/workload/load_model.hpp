@@ -22,11 +22,13 @@
 // unavailability.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
 
 #include "fgcs/sim/time.hpp"
+#include "fgcs/util/arena.hpp"
 #include "fgcs/util/rng.hpp"
 
 namespace fgcs::workload {
@@ -73,6 +75,11 @@ class LoadTrajectory {
 /// trajectory (CPU capped at 1.0).
 class LoadOverlay {
  public:
+  /// With a non-null arena, all internal storage (the delta list and the
+  /// sort scratch of build/build_into) bump-allocates from it.
+  explicit LoadOverlay(util::Arena* arena = nullptr)
+      : deltas_(util::ArenaAllocator<Delta>(arena)) {}
+
   /// Adds `cpu` load over [start, end).
   void add_cpu(sim::SimTime start, sim::SimTime end, double cpu);
   /// Adds `mem_mb` of host memory over [start, end).
@@ -81,13 +88,52 @@ class LoadOverlay {
   /// Sweeps all contributions into a LoadTrajectory starting at `origin`.
   LoadTrajectory build(sim::SimTime origin) const;
 
+  /// Identical sweep, written into `out` (typically arena-backed)
+  /// without constructing a LoadTrajectory. Points are strictly
+  /// increasing in time by construction.
+  void build_into(sim::SimTime origin,
+                  util::ArenaVector<LoadPoint>& out) const;
+
+  util::Arena* arena() const { return deltas_.get_allocator().arena(); }
+
  private:
   struct Delta {
     sim::SimTime t;
     double cpu;
     double mem;
   };
-  std::vector<Delta> deltas_;
+
+  // The one sweep implementation both build flavors share; Vec only
+  // needs push_back/back/clear.
+  template <class Vec>
+  void sweep_into(sim::SimTime origin, Vec& points) const {
+    util::ArenaVector<Delta> sorted(deltas_.begin(), deltas_.end(),
+                                    deltas_.get_allocator());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Delta& a, const Delta& b) { return a.t < b.t; });
+    points.push_back({origin, 0.0, 0.0});
+    double cpu = 0.0, mem = 0.0;
+    std::size_t i = 0;
+    while (i < sorted.size()) {
+      const sim::SimTime t = sorted[i].t;
+      while (i < sorted.size() && sorted[i].t == t) {
+        cpu += sorted[i].cpu;
+        mem += sorted[i].mem;
+        ++i;
+      }
+      // Numerical noise from +=/-= pairs can leave tiny negatives.
+      const double cpu_val = std::clamp(cpu, 0.0, 1.0);
+      const double mem_val = std::max(0.0, mem);
+      if (t <= points.back().t) {
+        points.back().cpu = cpu_val;
+        points.back().mem_mb = mem_val;
+      } else {
+        points.push_back({t, cpu_val, mem_val});
+      }
+    }
+  }
+
+  util::ArenaVector<Delta> deltas_;
 };
 
 /// A URR downtime event (owner reboot or hardware/software failure).
@@ -194,11 +240,35 @@ struct MachineLoadTrace {
   std::vector<Downtime> downtimes;  // sorted by start, non-overlapping
 };
 
+/// Synthesized host behavior of one machine, arena-backed: the columnar
+/// testbed walk reads the raw point/downtime columns directly, and every
+/// byte lives in the caller's arena (or the heap when none is given).
+struct ArenaLoadTrace {
+  explicit ArenaLoadTrace(util::Arena* arena)
+      : points(util::ArenaAllocator<LoadPoint>(arena)),
+        downtimes(util::ArenaAllocator<Downtime>(arena)) {}
+
+  /// Strictly increasing in time; value_i holds on [t_i, t_{i+1}).
+  util::ArenaVector<LoadPoint> points;
+  /// Sorted by start, non-overlapping.
+  util::ArenaVector<Downtime> downtimes;
+};
+
 /// Generates machine `machine_id`'s load trace for `days` days.
 /// Deterministic in (profile, seed, machine_id).
 MachineLoadTrace generate_machine_load(const LabProfile& profile,
                                        std::uint64_t seed,
                                        std::uint32_t machine_id, int days,
                                        int start_dow = 0);
+
+/// The generation core the wrapper above delegates to: identical values
+/// (same RNG draw order, same arithmetic), but all transient and output
+/// storage draws from `arena` and the profile is NOT re-validated —
+/// callers on the per-machine hot path validate once up front. With a
+/// warmed-up arena this performs zero heap allocations.
+void generate_machine_load_into(const LabProfile& profile, std::uint64_t seed,
+                                std::uint32_t machine_id, int days,
+                                int start_dow, util::Arena* arena,
+                                ArenaLoadTrace& out);
 
 }  // namespace fgcs::workload

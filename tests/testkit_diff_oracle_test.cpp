@@ -1,4 +1,4 @@
-// Differential oracles: the seven paired implementations must agree over
+// Differential oracles: the eight paired implementations must agree over
 // a broad seeded sweep, and each oracle must itself be deterministic.
 #include <gtest/gtest.h>
 
@@ -9,13 +9,13 @@
 namespace fgcs::testkit {
 namespace {
 
-TEST(TestkitDiffOracle, RegistryHasTheSevenStandardOracles) {
+TEST(TestkitDiffOracle, RegistryHasTheEightStandardOracles) {
   const auto& oracles = standard_oracles();
-  ASSERT_EQ(oracles.size(), 7u);
+  ASSERT_EQ(oracles.size(), 8u);
   for (const char* name : {"scheduler-fastforward", "testbed-parallel",
                            "trace-roundtrip", "semi-markov-brute",
                            "fleet-sharded", "prediction-parallel",
-                           "flight-recorder"}) {
+                           "flight-recorder", "soa-machine-step"}) {
     const DiffOracle* oracle = find_oracle(name);
     ASSERT_NE(oracle, nullptr) << name;
     EXPECT_EQ(oracle->name, name);
@@ -43,9 +43,9 @@ TEST(TestkitDiffOracle, EachOracleAgreesOnSmokeSeeds) {
   }
 }
 
-// The acceptance sweep: all seven oracles, 200 derived seeds each — the
-// sharded-fleet, parallel-prediction, and flight-recorder bit-identity
-// guarantees ride the same sweep as the original four.
+// The acceptance sweep: all eight oracles, 200 derived seeds each — the
+// sharded-fleet, parallel-prediction, flight-recorder, and columnar-walk
+// bit-identity guarantees ride the same sweep as the original four.
 TEST(TestkitDiffOracle, AllOraclesAgreeOver200SeedsEach) {
   const auto failures = run_oracles(20060806, 200);
   std::ostringstream detail;

@@ -1,0 +1,141 @@
+// Tests for the bump arena and its std-allocator adapter: alignment,
+// reset-and-reuse (the zero-steady-state-allocation contract), growth
+// past the initial chunk, move semantics, and the env knobs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <utility>
+
+#include "fgcs/util/arena.hpp"
+#include "fgcs/util/knobs.hpp"
+
+namespace fgcs::util {
+namespace {
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena(256);
+  for (std::size_t align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    void* p = arena.allocate(3, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+}
+
+TEST(Arena, BumpsWithinOneChunk) {
+  Arena arena(1024);
+  auto* a = static_cast<char*>(arena.allocate(16, 8));
+  auto* b = static_cast<char*>(arena.allocate(16, 8));
+  EXPECT_EQ(b, a + 16);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  EXPECT_GE(arena.bytes_used(), 32u);
+}
+
+TEST(Arena, GrowsPastInitialChunk) {
+  Arena arena(64);
+  // Demand far more than the first chunk; every allocation must succeed
+  // and the reserve must grow to cover it.
+  std::size_t total = 0;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.allocate(100, 8);
+    ASSERT_NE(p, nullptr);
+    total += 100;
+  }
+  EXPECT_GT(arena.chunk_count(), 1u);
+  EXPECT_GE(arena.bytes_reserved(), total);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(64);
+  void* p = arena.allocate(10'000, 16);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), 10'000u);
+  // The oversized chunk is still bump-usable afterwards.
+  void* q = arena.allocate(8, 8);
+  ASSERT_NE(q, nullptr);
+}
+
+TEST(Arena, ResetRetainsChunksAndReusesThem) {
+  Arena arena(128);
+  for (int i = 0; i < 50; ++i) arena.allocate(64, 8);
+  const std::size_t chunks = arena.chunk_count();
+  const std::size_t reserved = arena.bytes_reserved();
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+
+  // Re-running the identical pattern must not reserve anything new:
+  // this is the steady-state zero-allocation contract the fleet engine
+  // relies on.
+  for (int i = 0; i < 50; ++i) arena.allocate(64, 8);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, ZeroByteAllocationIsValid) {
+  Arena arena(64);
+  void* p = arena.allocate(0, 1);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(ArenaAllocator, VectorDrawsFromArena) {
+  Arena arena(4096);
+  ArenaVector<int> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v[99], 99);
+  EXPECT_GT(arena.bytes_used(), 0u);
+  // The live buffer lives inside the arena's reserve.
+  const auto* p = reinterpret_cast<const std::byte*>(v.data());
+  (void)p;
+}
+
+TEST(ArenaAllocator, NullArenaFallsBackToHeap) {
+  ArenaVector<int> v;  // default allocator: no arena
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.front(), 0);
+}
+
+TEST(ArenaAllocator, MoveStealsBuffer) {
+  Arena arena(4096);
+  ArenaVector<int> a{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 16; ++i) a.push_back(i);
+  const int* buf = a.data();
+  ArenaVector<int> b = std::move(a);
+  EXPECT_EQ(b.data(), buf);  // allocator propagated, no reallocation
+  EXPECT_EQ(b.size(), 16u);
+}
+
+TEST(ArenaAllocator, ComparesByArena) {
+  Arena x(64), y(64);
+  EXPECT_TRUE(ArenaAllocator<int>(&x) == ArenaAllocator<int>(&x));
+  EXPECT_TRUE(ArenaAllocator<int>(&x) != ArenaAllocator<int>(&y));
+  EXPECT_TRUE(ArenaAllocator<int>() == ArenaAllocator<char>());
+}
+
+TEST(Knobs, EnvOrParsesAndFallsBack) {
+  ::setenv("FGCS_TEST_KNOB", "1234", 1);
+  EXPECT_EQ(env_or("FGCS_TEST_KNOB", 7), 1234u);
+  ::setenv("FGCS_TEST_KNOB", "not-a-number", 1);
+  EXPECT_EQ(env_or("FGCS_TEST_KNOB", 7), 7u);
+  ::unsetenv("FGCS_TEST_KNOB");
+  EXPECT_EQ(env_or("FGCS_TEST_KNOB", 7), 7u);
+}
+
+TEST(Knobs, EnvFlagSemantics) {
+  ::unsetenv("FGCS_TEST_FLAG");
+  EXPECT_FALSE(env_flag("FGCS_TEST_FLAG"));
+  ::setenv("FGCS_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("FGCS_TEST_FLAG"));
+  ::setenv("FGCS_TEST_FLAG", "", 1);
+  EXPECT_FALSE(env_flag("FGCS_TEST_FLAG"));
+  ::setenv("FGCS_TEST_FLAG", "1", 1);
+  EXPECT_TRUE(env_flag("FGCS_TEST_FLAG"));
+  ::unsetenv("FGCS_TEST_FLAG");
+}
+
+}  // namespace
+}  // namespace fgcs::util

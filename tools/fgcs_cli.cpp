@@ -152,7 +152,13 @@ int usage() {
       "  FGCS_THREADS=<n>     worker threads for parallel phases (testbed\n"
       "                       machines, figure sweeps); 0 runs everything\n"
       "                       inline on the calling thread. Default: one\n"
-      "                       worker per hardware thread.\n");
+      "                       worker per hardware thread.\n"
+      "  FGCS_PIN_THREADS=1   pin pool workers to cores (worker i -> core\n"
+      "                       i+1); reduces migration jitter on dedicated\n"
+      "                       multi-core hosts. Default: off.\n"
+      "  FGCS_HUGE_PAGES=1    back arena chunks >= 2 MiB with huge-page\n"
+      "                       hinted mappings; falls back to the heap if\n"
+      "                       unavailable. Default: off.\n");
   return 2;
 }
 
