@@ -9,7 +9,13 @@
 #                                   # (scripts/run_bench.sh --check-only)
 #   scripts/check_build.sh --chaos  # additionally run the fault-injection /
 #                                   # robustness suites under
-#                                   # -DFGCS_SANITIZE=address,undefined
+#                                   # -DFGCS_SANITIZE=address,undefined, plus
+#                                   # the kill(-9) crash harness (--crash)
+#   scripts/check_build.sh --crash  # additionally run the crash-injection
+#                                   # harness (tools/fgcs_crashtest): SIGKILL a
+#                                   # checkpointed sweep at randomized commit
+#                                   # points, resume, and require bit-identical
+#                                   # output across >= 20 kill points
 #   scripts/check_build.sh --fuzz   # additionally run the deterministic fuzz
 #                                   # driver (10k iterations per target) under
 #                                   # -DFGCS_SANITIZE=address,undefined
@@ -28,16 +34,18 @@ cd "$(dirname "$0")/.."
 run_asan=0
 run_bench=0
 run_chaos=0
+run_crash=0
 run_fuzz=0
 run_tsan=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --bench) run_bench=1 ;;
-    --chaos) run_chaos=1 ;;
+    --chaos) run_chaos=1; run_crash=1 ;;
+    --crash) run_crash=1 ;;
     --fuzz) run_fuzz=1 ;;
     --tsan) run_tsan=1 ;;
-    *) echo "usage: $0 [--asan] [--bench] [--chaos] [--fuzz] [--tsan]" >&2
+    *) echo "usage: $0 [--asan] [--bench] [--chaos] [--crash] [--fuzz] [--tsan]" >&2
        exit 2 ;;
   esac
 done
@@ -70,6 +78,13 @@ if [[ "$run_chaos" -eq 1 ]]; then
   echo "== chaos: fault-injection + robustness suites =="
   ctest --test-dir build-chaos --output-on-failure -j "$(nproc)" \
     -R '^(FaultPlan|FaultInjector|MachineFaultSession|FaultChaos|GuestStudy|GuestController|CheckpointPolicy|ControllerFixture|TraceSalvage)'
+fi
+
+if [[ "$run_crash" -eq 1 ]]; then
+  echo "== crash: kill(-9) + resume bit-identity harness =="
+  cmake --build build -j --target fgcs_crashtest
+  build/tools/fgcs_crashtest --points 20 --machines 16 --days 4 \
+    --dir build/crash_harness.tmp
 fi
 
 if [[ "$run_fuzz" -eq 1 ]]; then

@@ -19,9 +19,11 @@ cd "$(dirname "$0")/.."
 
 # monitor, workload, and util joined the deterministic subtree when the
 # columnar engine moved detector batching, load generation, and the arena
-# allocator onto the per-machine hot path.
+# allocator onto the per-machine hot path; recover joined with the
+# checkpoint/resume path (a resumed sweep must be a pure function of the
+# config plus the bytes on disk).
 DIRS=(src/fgcs/sim src/fgcs/os src/fgcs/core src/fgcs/fault src/fgcs/fleet
-      src/fgcs/monitor src/fgcs/workload src/fgcs/util)
+      src/fgcs/monitor src/fgcs/workload src/fgcs/util src/fgcs/recover)
 
 # pattern<TAB>human-readable reason
 RULES=$(cat <<'EOF'

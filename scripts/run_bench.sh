@@ -12,7 +12,10 @@
 # full 2,000-machine x 92-day run). If a committed baseline exists, the
 # script fails when event-queue throughput or single-thread fleet
 # machine-days/sec regresses more than 20% below it — enough slack to
-# absorb shared-host noise while still catching real regressions.
+# absorb shared-host noise while still catching real regressions. Two
+# absolute gates ride along: the columnar steady state must allocate
+# zero, and per-shard checkpointing may cost at most 3% of a spilled
+# sweep's wall time.
 #
 # docs/performance.md explains every field in the JSON outputs.
 set -euo pipefail
@@ -96,6 +99,21 @@ echo "gate: steady-state allocations ${allocs_per_md:-<missing>} per machine-day
 if [[ -z "$allocs_per_md" ]] || \
    awk -v a="$allocs_per_md" 'BEGIN { exit !(a > 0) }'; then
   echo "run_bench: FAIL — columnar engine allocated on the steady-state path" >&2
+  exit 1
+fi
+
+# Crash tolerance must stay effectively free: the per-shard commit
+# (state blob + atomic manifest rewrite, plus the one sweep-final durable
+# sync), measured by replaying the full sweep's commit sequence, may cost
+# at most 3% of the measured full-sweep wall time.
+ckpt_overhead="$(sed -n \
+  's/.*"checkpoint_overhead_percent": \(-\{0,1\}[0-9.]*\).*/\1/p' \
+  "$fleet_out")"
+echo "gate: checkpoint overhead ${ckpt_overhead:-<missing>}% of spilled sweep wall (budget 3%)"
+if [[ -z "$ckpt_overhead" ]] || \
+   awk -v o="$ckpt_overhead" 'BEGIN { exit !(o >= 3.0) }'; then
+  echo "run_bench: FAIL — per-shard checkpointing costs ${ckpt_overhead:-<missing>}%" \
+       "of sweep wall time, over the 3% budget" >&2
   exit 1
 fi
 

@@ -23,10 +23,23 @@
 // and shard-major/machine-major ordering is the TraceSet canonical order —
 // so the merged trace is bit-identical to run_testbed() for any thread
 // count, and segment files are byte-identical run to run.
+//
+// Crash tolerance (spill mode): each sealed shard also commits a durable
+// checkpoint — a state blob next to its segment, plus a line in the
+// directory's MANIFEST (fgcs::recover) — and `resume = true` re-runs only
+// the shards whose checkpoints don't validate. Because shards are
+// deterministic and their obs state is restored from the blobs, a resumed
+// sweep's merged trace and metrics segment are byte-identical to an
+// uninterrupted run's. Shard workers run under a supervisor: a machine
+// that throws fails its shard's attempt, the attempt is retried with
+// everything attempt-local discarded, and a machine that keeps failing is
+// quarantined (excluded, counted, flight-recorder-dumped) so one poison
+// machine degrades the sweep instead of sinking it.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -90,6 +103,29 @@ struct FleetConfig {
   /// shard count (see shard_count()).
   FleetProgress* progress = nullptr;
 
+  /// Spill mode only: commit a durable checkpoint (segment CRC + state
+  /// blob + MANIFEST line, see fgcs::recover) as each shard completes.
+  /// Costs one small fsynced file and a manifest rewrite per shard.
+  bool checkpoint = true;
+
+  /// Validate spill_dir's checkpoint and skip every shard that proves
+  /// complete; invalid or missing checkpoints run again. Requires
+  /// spill_dir. A checkpoint from a different config (fingerprint
+  /// mismatch) is an error, not a silent re-run.
+  bool resume = false;
+
+  /// Per-machine failure budget: when a machine has failed this many
+  /// shard attempts it is quarantined (skipped, reported, flight-recorder
+  /// dumped) instead of failing the sweep. Must be >= 1.
+  int max_shard_retries = 2;
+
+  /// Test seam: invoked before each machine's simulation with the
+  /// machine id and the shard's attempt number (1-based). Throwing
+  /// simulates a machine failure; the supervisor treats it exactly like
+  /// a simulation fault. Must be thread-safe. Not part of determinism —
+  /// production runs leave it empty.
+  std::function<void(trace::MachineId, int)> machine_hook;
+
   void validate() const;
 
   /// The number of shards the partition produces.
@@ -109,6 +145,14 @@ struct ShardSummary {
   /// The shard's merged obs counters (also folded into the installed
   /// Observer, when any).
   obs::CounterShard counters;
+  /// Attempts the supervisor had to discard before this shard succeeded.
+  std::uint32_t retries = 0;
+  /// Machines excluded from this shard after exhausting the retry budget
+  /// (their records are absent from the segment).
+  std::vector<trace::MachineId> quarantined;
+  /// True when the shard was spliced from a validated checkpoint instead
+  /// of simulated.
+  bool resumed = false;
 };
 
 struct FleetResult {
@@ -123,6 +167,15 @@ struct FleetResult {
   /// The FGCSMET1 segment written when FleetConfig::metrics_path was set
   /// (empty otherwise).
   std::string metrics_path;
+
+  /// Shards restored from the checkpoint rather than simulated.
+  std::size_t resumed_shards = 0;
+  /// Attempts discarded across all shards (sum of ShardSummary::retries).
+  std::uint64_t total_retries = 0;
+  /// Every quarantined machine, fleet-wide, ascending.
+  std::vector<trace::MachineId> quarantined;
+  /// Human-readable reasons checkpointed shards were re-run (resume only).
+  std::vector<std::string> resume_dropped;
 
   /// In-memory mode only (spilled == false).
   std::optional<trace::TraceSet> trace;

@@ -101,14 +101,23 @@ std::string format_flight_event(const FlightEvent& e) {
       std::snprintf(body, sizeof body,
                     "shard_done first_machine=%d machines=%d", e.a, e.b);
       break;
+    case FlightEventKind::kMachineQuarantined:
+      std::snprintf(body, sizeof body, "machine_quarantined failures=%d", e.a);
+      break;
+    case FlightEventKind::kShardRetry:
+      std::snprintf(body, sizeof body,
+                    "shard_retry attempt=%d failed_machine=%d", e.a, e.b);
+      break;
     default:
       std::snprintf(body, sizeof body, "event kind=%d a=%d b=%d",
                     static_cast<int>(e.kind), e.a, e.b);
       break;
   }
   char line[200];
-  const char* scope =
-      e.kind == FlightEventKind::kShardDone ? "shard" : "m";
+  const char* scope = e.kind == FlightEventKind::kShardDone ||
+                              e.kind == FlightEventKind::kShardRetry
+                          ? "shard"
+                          : "m";
   std::snprintf(line, sizeof line, "%s %s%04u %s", format_stamp(e.at).c_str(),
                 scope, e.machine, body);
   return line;
@@ -131,13 +140,23 @@ void FlightRecorder::record(const FlightEvent& e) {
       head_ = (head_ + 1) % options_.capacity;
     }
     ++recorded_;
-    if (e.kind == FlightEventKind::kFaultInjected && options_.dump_on_fault &&
-        !options_.dump_path.empty() && !dumped_) {
+    // A quarantine is the supervisor giving up on a machine — as much of
+    // a "something went wrong, capture the context" moment as the first
+    // injected fault, so it latches the same automatic dump.
+    const bool latching =
+        e.kind == FlightEventKind::kFaultInjected ||
+        e.kind == FlightEventKind::kMachineQuarantined;
+    if (latching && options_.dump_on_fault && !options_.dump_path.empty() &&
+        !dumped_) {
       dumped_ = true;  // latch before unlocking so only one thread dumps
       fire = true;
     }
   }
-  if (fire) write_dump("fault-injected");
+  if (fire) {
+    write_dump(FlightEventKind::kMachineQuarantined == e.kind
+                   ? "machine-quarantined"
+                   : "fault-injected");
+  }
 }
 
 std::vector<FlightEvent> FlightRecorder::events() const {

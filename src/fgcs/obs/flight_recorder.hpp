@@ -47,6 +47,13 @@ enum class FlightEventKind : std::uint8_t {
   kGuestWorkLost = 9,
   kMachineDone = 10,
   kShardDone = 11,
+  /// A machine failed its shard attempt enough times that the supervisor
+  /// quarantined it (latches an automatic dump like the first injected
+  /// fault — a quarantine is the supervisor declaring a post-mortem).
+  kMachineQuarantined = 12,
+  /// A shard attempt failed and is being retried (`machine` is the shard
+  /// id, a = attempt number, b = the machine that failed it).
+  kShardRetry = 13,
 };
 
 /// One recorded event. `machine` is the thread's current track (the

@@ -73,6 +73,9 @@ Observer::Observer(const Options& options)
   testbed_machines_ = &metrics_.counter("testbed.machines_simulated");
   fleet_machines_done_ = &metrics_.counter("fleet.machines_done");
   fleet_shards_done_ = &metrics_.counter("fleet.shards_completed");
+  fleet_shard_retries_ = &metrics_.counter("fleet.shard_retries");
+  fleet_machines_quarantined_ =
+      &metrics_.counter("fleet.machines_quarantined");
 }
 
 void Observer::on_sim_run(const char* what, sim::SimTime begin,
@@ -293,6 +296,25 @@ void Observer::on_fleet_shard_done(std::size_t shard,
                      static_cast<std::uint32_t>(shard),
                      static_cast<std::int32_t>(first_machine),
                      static_cast<std::int32_t>(machine_count), {}});
+  }
+}
+
+void Observer::on_fleet_shard_retry(std::size_t shard, std::uint32_t failed,
+                                    int attempt, sim::SimTime at) {
+  fleet_shard_retries_->inc();
+  if (flight_ != nullptr) {
+    flight_->record({at, FlightEventKind::kShardRetry,
+                     static_cast<std::uint32_t>(shard), attempt,
+                     static_cast<std::int32_t>(failed), {}});
+  }
+}
+
+void Observer::on_fleet_machine_quarantined(std::uint32_t machine,
+                                            int failures, sim::SimTime at) {
+  fleet_machines_quarantined_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(
+        {at, FlightEventKind::kMachineQuarantined, machine, failures, 0, {}});
   }
 }
 

@@ -301,6 +301,18 @@ class Observer {
   void on_fleet_shard_done(std::size_t shard, std::uint32_t first_machine,
                            std::size_t machine_count, sim::SimTime at);
 
+  /// A shard attempt failed (machine `failed` threw) and the supervisor
+  /// is retrying it; `attempt` is the attempt that failed (1-based).
+  /// Bumps the registry directly, like on_fleet_machine_done.
+  void on_fleet_shard_retry(std::size_t shard, std::uint32_t failed,
+                            int attempt, sim::SimTime at);
+
+  /// The supervisor gave up on `machine` after `failures` failed shard
+  /// attempts and excluded it from the sweep. Latches a flight-recorder
+  /// dump (via the recorder's first-fault mechanism).
+  void on_fleet_machine_quarantined(std::uint32_t machine, int failures,
+                                    sim::SimTime at);
+
   // -- profiling scopes ------------------------------------------------------
 
   /// Feeds the "scope.seconds{scope=...}" histogram family (wall-clock).
@@ -344,6 +356,8 @@ class Observer {
   Counter* testbed_machines_;
   Counter* fleet_machines_done_;
   Counter* fleet_shards_done_;
+  Counter* fleet_shard_retries_;
+  Counter* fleet_machines_quarantined_;
 };
 
 namespace detail {

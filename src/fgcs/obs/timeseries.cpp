@@ -17,7 +17,8 @@ using util::store;
 
 constexpr char kMagic[8] = {'F', 'G', 'C', 'S', 'M', 'E', 'T', '1'};
 constexpr char kEndMagic[8] = {'F', 'G', 'C', 'S', 'E', 'N', 'D', '1'};
-constexpr std::uint32_t kBlockMagic = 0x314B424D;  // "MBK1" little-endian
+constexpr std::uint32_t kBlockMagic = 0x314B424D;    // "MBK1" little-endian
+constexpr std::uint32_t kBlockMagicV2 = 0x324B424D;  // "MBK2": trailing CRC
 constexpr std::size_t kHeaderBytes = 32;
 // u64 total_samples + u64 footer_offset + trailing magic.
 constexpr std::size_t kTrailerBytes = 24;
@@ -74,25 +75,20 @@ std::string_view series_kind_name(SeriesKind kind) {
 MetricsWriterV1::MetricsWriterV1(const std::string& path, sim::SimTime start,
                                  sim::SimTime end, sim::SimDuration resolution,
                                  std::size_t block_samples)
-    : path_(path),
-      out_(std::make_unique<std::ofstream>(
-          path, std::ios::out | std::ios::binary | std::ios::trunc)),
-      block_samples_(block_samples) {
+    : path_(path), block_samples_(block_samples) {
   fgcs::require(end > start, "MetricsWriterV1 horizon must be non-empty");
   fgcs::require(resolution > sim::SimDuration::zero(),
                 "MetricsWriterV1 resolution must be positive");
   fgcs::require(block_samples_ > 0,
                 "MetricsWriterV1 block size must be positive");
-  if (!*out_) throw IoError("cannot open for writing: " + path);
+  out_ = std::make_unique<util::SyncFile>(path);
   pending_.reserve(block_samples_);
-  out_->write(kMagic, sizeof kMagic);
   std::vector<unsigned char> head;
+  head.insert(head.end(), kMagic, kMagic + sizeof kMagic);
   store<std::int64_t>(head, start.as_micros());
   store<std::int64_t>(head, end.as_micros());
   store<std::int64_t>(head, resolution.as_micros());
-  out_->write(reinterpret_cast<const char*>(head.data()),
-              static_cast<std::streamsize>(head.size()));
-  if (!*out_) throw IoError("failed writing metrics header: " + path);
+  out_->write(head.data(), head.size());
   offset_ = kHeaderBytes;
 }
 
@@ -139,7 +135,7 @@ void MetricsWriterV1::flush_block() {
   const std::size_t n = pending_.size();
   std::vector<unsigned char> buf;
   buf.reserve(8 + kSampleBytes * n);
-  store<std::uint32_t>(buf, kBlockMagic);
+  store<std::uint32_t>(buf, kBlockMagicV2);
   store<std::uint32_t>(buf, static_cast<std::uint32_t>(n));
 
   BlockMeta meta;
@@ -159,10 +155,16 @@ void MetricsWriterV1::flush_block() {
   for (const auto& p : pending_) store<std::int64_t>(buf, p.at.as_micros());
   for (const auto& p : pending_) store<double>(buf, p.value);
 
-  out_->write(reinterpret_cast<const char*>(buf.data()),
-              static_cast<std::streamsize>(buf.size()));
-  if (!*out_) throw IoError("failed writing metrics block: " + path_);
-  offset_ += buf.size();
+  out_->write(buf.data(), buf.size());
+  // Commit mark: the CRC over (count || columns) lands after the data it
+  // covers, so a crash mid-flush leaves a detectably torn block.
+  util::crashpoint(util::CrashPoint::kBlockWrite);
+  const std::uint32_t crc = util::crc32(buf.data() + 4, buf.size() - 4);
+  std::vector<unsigned char> tail;
+  store<std::uint32_t>(tail, crc);
+  out_->write(tail.data(), tail.size());
+  out_->sync(util::Durability::kBlock);
+  offset_ += buf.size() + tail.size();
   blocks_.push_back(meta);
   pending_.clear();
 }
@@ -190,13 +192,16 @@ void MetricsWriterV1::finish() {
   }
   store<std::uint64_t>(buf, total_);
   store<std::uint64_t>(buf, footer_offset);
-  out_->write(reinterpret_cast<const char*>(buf.data()),
-              static_cast<std::streamsize>(buf.size()));
-  out_->write(kEndMagic, sizeof kEndMagic);
-  out_->flush();
-  if (!*out_) throw IoError("failed writing metrics footer: " + path_);
-  out_.reset();
+  buf.insert(buf.end(), kEndMagic, kEndMagic + sizeof kEndMagic);
+  out_->write(buf.data(), buf.size());
+  // Segment seal — durable before any manifest claims the file exists.
+  out_->sync(util::Durability::kCommit);
+  out_->close();
   finished_ = true;
+}
+
+std::uint32_t MetricsWriterV1::content_crc() const {
+  return out_ ? out_->content_crc() : 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -275,13 +280,30 @@ MetricsView::MetricsView(const std::string& path) : file_(path) {
     blk.min_ts = load<std::int64_t>(entry + 24);
     blk.max_ts = load<std::int64_t>(entry + 32);
     if (blk.count == 0 || blk.offset < kHeaderBytes + 8 ||
+        blk.offset > footer_offset ||
         blk.offset + kSampleBytes * blk.count > footer_offset ||
         blk.max_series >= series_.size() ||
         blk.min_series > blk.max_series) {
       throw IoError(path + ": metrics block " + std::to_string(b) +
                     " index entry out of range");
     }
-    if (load<std::uint32_t>(data + blk.offset - 8) != kBlockMagic) {
+    const std::uint32_t block_magic = load<std::uint32_t>(data + blk.offset - 8);
+    if (block_magic == kBlockMagicV2) {
+      // Checksummed blocks carry 4 trailing CRC bytes after the columns;
+      // verify eagerly — metrics segments are small next to traces, and a
+      // reader of aggregates must not average corrupted samples.
+      if (blk.offset + kSampleBytes * blk.count + 4 > footer_offset) {
+        throw IoError(path + ": metrics block " + std::to_string(b) +
+                      " checksum out of range");
+      }
+      const std::uint64_t payload = kSampleBytes * blk.count;
+      const std::uint32_t computed = util::crc32(
+          data + blk.offset - 4, static_cast<std::size_t>(payload + 4));
+      if (computed != load<std::uint32_t>(data + blk.offset + payload)) {
+        throw IoError(path + ": metrics block " + std::to_string(b) +
+                      " checksum mismatch");
+      }
+    } else if (block_magic != kBlockMagic) {
       throw IoError(path + ": metrics block " + std::to_string(b) +
                     " missing block magic");
     }
@@ -476,6 +498,86 @@ const std::vector<double>& TimeSeriesShard::episode_minute_bounds() {
   static const std::vector<double> kBounds = {1,   2,   5,   10,  20,   30,  60,
                                               120, 240, 480, 960, 1440, 2880};
   return kBounds;
+}
+
+void TimeSeriesShard::save_bins(std::vector<unsigned char>& out) const {
+  flush_pending();
+  // Geometry header first, so a resume against a different config fails
+  // loudly in load_bins instead of folding misaligned bins.
+  store<std::int64_t>(out, start_.as_micros());
+  store<std::int64_t>(out, end_.as_micros());
+  store<std::int64_t>(out, resolution_.as_micros());
+  store<std::uint64_t>(out, samples_.size());
+  const auto put = [&](const std::vector<std::uint64_t>& bins) {
+    for (const std::uint64_t v : bins) store<std::uint64_t>(out, v);
+  };
+  const auto put_family = [&](const std::vector<std::vector<std::uint64_t>>& f) {
+    store<std::uint64_t>(out, f.size());
+    for (const auto& bins : f) put(bins);
+  };
+  put(samples_);
+  put(transitions_);
+  put_family(state_entered_);
+  put(episodes_opened_);
+  put(episodes_closed_);
+  put(episode_us_);
+  put_family(episode_buckets_);
+  put(sensor_gaps_);
+  put(sensor_gap_us_);
+  put_family(faults_);
+}
+
+void TimeSeriesShard::load_bins(const unsigned char* data, std::size_t size) {
+  std::size_t cur = 0;
+  const auto need = [&](std::size_t n) {
+    if (cur + n > size) {
+      throw IoError("time-series checkpoint blob truncated");
+    }
+  };
+  const auto get_u64 = [&]() {
+    need(8);
+    const std::uint64_t v = load<std::uint64_t>(data + cur);
+    cur += 8;
+    return v;
+  };
+  const auto get_i64 = [&]() {
+    need(8);
+    const std::int64_t v = load<std::int64_t>(data + cur);
+    cur += 8;
+    return v;
+  };
+  if (get_i64() != start_.as_micros() || get_i64() != end_.as_micros() ||
+      get_i64() != resolution_.as_micros() || get_u64() != samples_.size()) {
+    throw IoError(
+        "time-series checkpoint geometry does not match this run's "
+        "horizon/resolution");
+  }
+  const auto take = [&](std::vector<std::uint64_t>& bins) {
+    for (std::uint64_t& v : bins) v = get_u64();
+  };
+  const auto take_family = [&](std::vector<std::vector<std::uint64_t>>& f) {
+    if (get_u64() != f.size()) {
+      throw IoError("time-series checkpoint family count mismatch");
+    }
+    for (auto& bins : f) take(bins);
+  };
+  take(samples_);
+  take(transitions_);
+  take_family(state_entered_);
+  take(episodes_opened_);
+  take(episodes_closed_);
+  take(episode_us_);
+  take_family(episode_buckets_);
+  take(sensor_gaps_);
+  take(sensor_gap_us_);
+  take_family(faults_);
+  if (cur != size) {
+    throw IoError("time-series checkpoint blob has trailing bytes");
+  }
+  // The bin cache describes pre-load state; invalidate it.
+  pending_samples_ = 0;
+  cached_lo_ = 1;
+  cached_hi_ = 0;
 }
 
 void TimeSeriesShard::write_series(MetricsWriterV1& w,

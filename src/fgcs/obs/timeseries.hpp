@@ -9,8 +9,11 @@
 //
 //      header   magic "FGCSMET1", i64 start_us, i64 end_us,
 //               i64 resolution_us
-//      blocks   repeated: u32 block magic, u32 count n, then SoA columns
-//               u32 series[n], i64 ts_us[n], f64 value[n]
+//      blocks   repeated: u32 block magic "MBK2", u32 count n, then SoA
+//               columns u32 series[n], i64 ts_us[n], f64 value[n], then a
+//               u32 CRC-32 of (count || columns) written last — the
+//               block's commit mark, same idiom as trace "BLK3" blocks
+//               (legacy "MBK1" blocks without the CRC still read fine)
 //      footer   u64 series_count, per series {u32 name_len, u8 kind,
 //               name bytes}, u64 block_count, per block {u64 offset,
 //               u64 count, u32 min_series, u32 max_series, i64 min_ts_us,
@@ -49,6 +52,7 @@
 #include "fgcs/obs/metrics.hpp"
 #include "fgcs/sim/time.hpp"
 #include "fgcs/util/binio.hpp"
+#include "fgcs/util/io.hpp"
 
 namespace fgcs::obs {
 
@@ -106,6 +110,10 @@ class MetricsWriterV1 {
   std::uint64_t samples_written() const { return total_; }
   const std::string& path() const { return path_; }
 
+  /// CRC-32 of every byte written so far; after finish() this is the
+  /// content hash of the whole segment.
+  std::uint32_t content_crc() const;
+
  private:
   struct BlockMeta {
     std::uint64_t offset = 0;
@@ -119,7 +127,7 @@ class MetricsWriterV1 {
   void flush_block();
 
   std::string path_;
-  std::unique_ptr<std::ofstream> out_;
+  std::unique_ptr<util::SyncFile> out_;
   std::size_t block_samples_;
   std::vector<MetricPoint> pending_;
   std::vector<SeriesInfo> series_;
@@ -273,6 +281,18 @@ class TimeSeriesShard {
   /// Upper bounds (minutes) of the episode-length histogram family
   /// "detector.episode_minutes" that shards collect per bin.
   static const std::vector<double>& episode_minute_bounds();
+
+  /// Serializes every bin family (geometry header + raw u64 bins) onto
+  /// `out` — the checkpointable image of this shard's metrics state. A
+  /// resumed fleet run load_bins()es completed shards so the merged
+  /// FGCSMET1 segment is byte-identical to an uninterrupted run's.
+  void save_bins(std::vector<unsigned char>& out) const;
+
+  /// Restores bins saved by save_bins() into this shard (which must have
+  /// been constructed with the same horizon/resolution). Throws IoError
+  /// on a size/geometry mismatch — a checkpoint from a different config
+  /// must not silently merge.
+  void load_bins(const unsigned char* data, std::size_t size);
 
  private:
   // Hot hooks arrive in near-monotone sim time, so consecutive calls

@@ -1,0 +1,317 @@
+#include "fgcs/recover/manifest.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "fgcs/util/error.hpp"
+#include "fgcs/util/rng.hpp"
+
+namespace fgcs::recover {
+
+namespace {
+
+constexpr char kHeaderLine[] = "fgcs-checkpoint v1";
+// Mixed into the fingerprint; bump when the manifest or shard-state
+// format changes so old checkpoints stop matching instead of misparsing.
+constexpr std::uint64_t kFormatVersion = 1;
+// The workload model's per-machine substream tag (load_model.cpp). The
+// constant is duplicated deliberately: the manifest's rng field must
+// track what the *simulation* derives, so if the derivation scheme ever
+// changes, recomputed keys diverge from checkpointed ones and resume
+// refuses to splice stale results.
+constexpr std::uint64_t kLoadTag = 0x4C4F4144;  // "LOAD"
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // SplitMix64 finalizer over a running combine — order-sensitive, cheap,
+  // and stable across platforms.
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
+std::uint64_t mix_bytes(std::uint64_t h, const std::string& s) {
+  h = mix(h, s.size());
+  for (const unsigned char c : s) h = mix(h, c);
+  return h;
+}
+
+}  // namespace
+
+std::string manifest_path(const std::string& dir) {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "MANIFEST";
+  return path;
+}
+
+std::uint64_t fingerprint(const SweepIdentity& id) {
+  std::uint64_t h = mix(0x46474353u /* "FGCS" */, kFormatVersion);
+  h = mix(h, id.machines);
+  h = mix(h, static_cast<std::uint64_t>(id.days));
+  h = mix(h, static_cast<std::uint64_t>(id.start_dow));
+  h = mix(h, id.seed);
+  h = mix(h, id.shard_machines);
+  h = mix_bytes(h, id.fault_plan);
+  h = mix(h, id.metrics ? 1 : 0);
+  h = mix(h, static_cast<std::uint64_t>(id.metrics_resolution_us));
+  const auto mix_double = [&](double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    h = mix(h, bits);
+  };
+  mix_double(id.ram_mb);
+  mix_double(id.kernel_mb);
+  mix_double(id.th1);
+  mix_double(id.th2);
+  h = mix(h, static_cast<std::uint64_t>(id.sample_period_us));
+  return h;
+}
+
+std::uint64_t shard_rng_key(std::uint64_t seed, std::uint32_t first_machine) {
+  return util::RngStream::derive(seed, {kLoadTag, first_machine, 0});
+}
+
+std::string Manifest::serialize() const {
+  std::string out = kHeaderLine;
+  out += '\n';
+  char line[512];
+  std::snprintf(line, sizeof line, "fingerprint %016" PRIx64 "\n", fingerprint);
+  out += line;
+  std::snprintf(line, sizeof line, "shard_count %" PRIu64 "\n", shard_count);
+  out += line;
+  for (const auto& s : shards) {
+    std::snprintf(line, sizeof line,
+                  "shard %" PRIu64 " %s %s %" PRIu32 " %" PRIu32 " %" PRIu64
+                  " %08" PRIx32 " %" PRIu64 " %08" PRIx32 " %016" PRIx64 "\n",
+                  s.shard, s.segment_name.c_str(), s.state_name.c_str(),
+                  s.first_machine, s.machine_count, s.records, s.segment_crc,
+                  s.segment_bytes, s.state_crc, s.rng_key);
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "crc %08x\n",
+                util::crc32(out.data(), out.size()));
+  out += line;
+  return out;
+}
+
+Manifest Manifest::parse(const std::string& text, const std::string& source) {
+  // Split off the trailing "crc <hex8>\n" line and verify it first — a
+  // manifest that fails its own checksum is not worth field-level errors.
+  const auto fail = [&](const std::string& why) -> IoError {
+    return IoError(source + ": " + why);
+  };
+  if (text.empty()) throw fail("empty checkpoint manifest");
+  std::size_t crc_line = text.rfind("crc ", text.size() - 1);
+  // The crc line must start a line (offset 0 would mean no content).
+  while (crc_line != std::string::npos && crc_line != 0 &&
+         text[crc_line - 1] != '\n') {
+    crc_line = text.rfind("crc ", crc_line - 1);
+  }
+  if (crc_line == std::string::npos || crc_line == 0) {
+    throw fail("checkpoint manifest has no trailing crc line");
+  }
+  unsigned long stored = 0;
+  if (std::sscanf(text.c_str() + crc_line, "crc %08lx", &stored) != 1) {
+    throw fail("checkpoint manifest crc line is malformed");
+  }
+  const std::uint32_t computed = util::crc32(text.data(), crc_line);
+  if (computed != static_cast<std::uint32_t>(stored)) {
+    throw fail("checkpoint manifest failed its checksum (stored " +
+               std::to_string(stored) + ", computed " +
+               std::to_string(computed) + ")");
+  }
+
+  Manifest m;
+  std::istringstream in(text.substr(0, crc_line));
+  std::string line;
+  if (!std::getline(in, line) || line != kHeaderLine) {
+    throw fail("not an fgcs checkpoint manifest (bad header line)");
+  }
+  if (!std::getline(in, line) ||
+      std::sscanf(line.c_str(), "fingerprint %16" SCNx64, &m.fingerprint) !=
+          1) {
+    throw fail("checkpoint manifest missing fingerprint");
+  }
+  if (!std::getline(in, line) ||
+      std::sscanf(line.c_str(), "shard_count %" SCNu64, &m.shard_count) != 1) {
+    throw fail("checkpoint manifest missing shard_count");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ShardCheckpoint s;
+    char segment[128] = {0};
+    char state[128] = {0};
+    if (std::sscanf(line.c_str(),
+                    "shard %" SCNu64 " %127s %127s %" SCNu32 " %" SCNu32
+                    " %" SCNu64 " %8" SCNx32 " %" SCNu64 " %8" SCNx32
+                    " %16" SCNx64,
+                    &s.shard, segment, state, &s.first_machine,
+                    &s.machine_count, &s.records, &s.segment_crc,
+                    &s.segment_bytes, &s.state_crc, &s.rng_key) != 10) {
+      throw fail("checkpoint manifest has a malformed shard line: " + line);
+    }
+    s.segment_name = segment;
+    s.state_name = state;
+    if (s.shard >= m.shard_count) {
+      throw fail("checkpoint manifest shard index " + std::to_string(s.shard) +
+                 " exceeds shard_count " + std::to_string(m.shard_count));
+    }
+    if (s.machine_count == 0) {
+      throw fail("checkpoint manifest shard " + std::to_string(s.shard) +
+                 " claims zero machines");
+    }
+    m.shards.push_back(std::move(s));
+  }
+  std::sort(m.shards.begin(), m.shards.end(),
+            [](const auto& a, const auto& b) { return a.shard < b.shard; });
+  for (std::size_t i = 1; i < m.shards.size(); ++i) {
+    if (m.shards[i].shard == m.shards[i - 1].shard) {
+      throw fail("checkpoint manifest lists shard " +
+                 std::to_string(m.shards[i].shard) + " twice");
+    }
+  }
+  return m;
+}
+
+CheckpointLog::CheckpointLog(std::string dir, std::uint64_t fingerprint,
+                             std::uint64_t shard_count)
+    : dir_(std::move(dir)) {
+  manifest_.fingerprint = fingerprint;
+  manifest_.shard_count = shard_count;
+}
+
+void CheckpointLog::preload(const std::vector<ShardCheckpoint>& shards) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  manifest_.shards = shards;
+  std::sort(manifest_.shards.begin(), manifest_.shards.end(),
+            [](const auto& a, const auto& b) { return a.shard < b.shard; });
+}
+
+void CheckpointLog::commit(const ShardCheckpoint& shard) {
+  // The shard's segment/state files are sealed and durable by the time a
+  // worker gets here; a kill between here and the rename below loses only
+  // the manifest *claim*, so resume re-runs the shard — correct, just
+  // wasteful.
+  util::crashpoint(util::CrashPoint::kShardCommit);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto pos = std::lower_bound(
+      manifest_.shards.begin(), manifest_.shards.end(), shard.shard,
+      [](const ShardCheckpoint& s, std::uint64_t idx) { return s.shard < idx; });
+  fgcs::require(pos == manifest_.shards.end() || pos->shard != shard.shard,
+                "checkpoint commit for an already-committed shard");
+  manifest_.shards.insert(pos, shard);
+  const std::string text = manifest_.serialize();
+  // Intermediate rewrites are rename-only below kBlock: the atomic
+  // rename fully protects against process death (page cache survives
+  // SIGKILL), and per-shard fsync pairs would dominate short sweeps —
+  // sync() makes the final state durable once at the end. kBlock, the
+  // paranoid level, hardens every rewrite against OS crash too.
+  const auto level = util::durability_level() >= util::Durability::kBlock
+                         ? util::Durability::kBlock
+                         : util::Durability::kNone;
+  util::atomic_replace_file(manifest_path(dir_), text.data(), text.size(),
+                            level);
+  util::crashpoint(util::CrashPoint::kManifestWrite);
+}
+
+void CheckpointLog::sync() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (manifest_.shards.empty()) return;
+  const std::string path = manifest_path(dir_);
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw IoError("cannot open checkpoint manifest: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw IoError("fsync failed: " + path);
+  util::fsync_parent_dir(path);
+}
+
+Manifest CheckpointLog::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return manifest_;
+}
+
+ResumePlan plan_resume(const std::string& dir, std::uint64_t fingerprint,
+                       std::uint64_t shard_count, std::uint64_t seed) {
+  ResumePlan plan;
+  const std::string path = manifest_path(dir);
+  std::string text;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      if (errno == ENOENT) return plan;  // fresh start
+      throw IoError("cannot open checkpoint manifest: " + path);
+    }
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+    std::fclose(f);
+  }
+  const Manifest m = Manifest::parse(text, path);
+  if (m.fingerprint != fingerprint) {
+    throw IoError(path +
+                  ": checkpoint belongs to a different sweep configuration "
+                  "(fingerprint mismatch) — refusing to resume");
+  }
+  if (m.shard_count != shard_count) {
+    throw IoError(path + ": checkpoint shard count " +
+                  std::to_string(m.shard_count) +
+                  " does not match this sweep's " +
+                  std::to_string(shard_count));
+  }
+
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  for (const auto& s : m.shards) {
+    if (s.rng_key != shard_rng_key(seed, s.first_machine)) {
+      plan.dropped.push_back("shard " + std::to_string(s.shard) +
+                             ": rng substream derivation changed since the "
+                             "checkpoint");
+      continue;
+    }
+    const std::string seg_path = prefix + s.segment_name;
+    struct ::stat st{};
+    if (::stat(seg_path.c_str(), &st) != 0) {
+      plan.dropped.push_back("shard " + std::to_string(s.shard) +
+                             ": segment missing (" + s.segment_name + ")");
+      continue;
+    }
+    if (static_cast<std::uint64_t>(st.st_size) != s.segment_bytes) {
+      plan.dropped.push_back("shard " + std::to_string(s.shard) +
+                             ": segment resized");
+      continue;
+    }
+    if (util::file_crc32(seg_path) != s.segment_crc) {
+      plan.dropped.push_back("shard " + std::to_string(s.shard) +
+                             ": segment failed its checksum");
+      continue;
+    }
+    const std::string state_path = prefix + s.state_name;
+    if (::stat(state_path.c_str(), &st) != 0) {
+      plan.dropped.push_back("shard " + std::to_string(s.shard) +
+                             ": state blob missing (" + s.state_name + ")");
+      continue;
+    }
+    if (util::file_crc32(state_path) != s.state_crc) {
+      plan.dropped.push_back("shard " + std::to_string(s.shard) +
+                             ": state blob failed its checksum");
+      continue;
+    }
+    plan.valid.push_back(s);
+  }
+  return plan;
+}
+
+}  // namespace fgcs::recover

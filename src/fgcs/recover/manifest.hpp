@@ -1,0 +1,175 @@
+// Durable checkpoint manifest for resumable fleet sweeps.
+//
+// A checkpointed sweep leaves three kinds of files in its spill
+// directory:
+//
+//   shard-NNNN.trc2    sealed v2 trace segments (one per finished shard)
+//   shard-NNNN.state   per-shard obs state blobs (shard_state.hpp)
+//   MANIFEST           this file: which shards completed, and how to
+//                      prove it
+//
+// The manifest is a small line-oriented text file:
+//
+//   fgcs-checkpoint v1
+//   fingerprint <hex16>          config identity (fingerprint())
+//   shard_count <N>              total shards in the sweep
+//   shard <idx> <segment> <state> <first> <count> <records>
+//         ... <seg_crc8> <seg_bytes> <state_crc8> <rng16>  (one line)
+//   ...                          one line per *completed* shard
+//   crc <hex8>                   CRC-32 of every preceding byte
+//
+// Durability protocol: a shard's segment is fsynced and closed — and its
+// state blob written, though deliberately not fsynced — before its
+// manifest line exists (write-ahead of the data, behind of the claim),
+// and every manifest rewrite goes through util::atomic_replace_file's
+// temp + rename. Below Durability::kBlock the intermediate rewrites skip
+// fsync entirely: atomic renames in the page cache survive any process
+// death (SIGKILL included), which is the failure mode checkpointing
+// targets, and CheckpointLog::sync() hardens the final manifest against
+// OS crash once per sweep. kBlock additionally fsyncs every rewrite.
+// A reader therefore always sees a manifest that is (a) internally
+// consistent (trailing CRC) and (b) an *underestimate* of the work on
+// disk, never an overestimate. Resume re-validates anyway: plan_resume()
+// re-hashes every claimed file and silently drops shards whose segment or
+// state blob is missing, resized, or corrupted — those shards simply run
+// again. Only a manifest that lies about its identity (wrong fingerprint,
+// alien format) is an error, because silently re-running a *different*
+// sweep's directory would destroy data the user may want.
+//
+// The per-shard rng field pins the RNG substream derivation for the
+// shard's first machine. Machine results depend on that derivation; if a
+// future code change alters it, every old checkpoint's rng field stops
+// matching and resume refuses to splice stale segments into a fresh run.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fgcs/util/io.hpp"
+
+namespace fgcs::recover {
+
+/// One completed shard's manifest entry.
+struct ShardCheckpoint {
+  std::uint64_t shard = 0;
+  std::uint32_t first_machine = 0;
+  std::uint32_t machine_count = 0;
+  std::uint64_t records = 0;
+  std::string segment_name;  // file name inside the checkpoint dir
+  std::uint32_t segment_crc = 0;
+  std::uint64_t segment_bytes = 0;
+  std::string state_name;
+  std::uint32_t state_crc = 0;
+  std::uint64_t rng_key = 0;
+};
+
+/// The parsed/serializable manifest.
+struct Manifest {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t shard_count = 0;
+  /// Completed shards, sorted by shard index.
+  std::vector<ShardCheckpoint> shards;
+
+  std::string serialize() const;
+
+  /// Parses manifest text. Throws IoError (naming `source`) on anything
+  /// malformed: bad header, bad trailing CRC, unparseable lines,
+  /// duplicate or out-of-range shard indices.
+  static Manifest parse(const std::string& text, const std::string& source);
+};
+
+/// The manifest's path inside a checkpoint directory.
+std::string manifest_path(const std::string& dir);
+
+/// The inputs that make two sweeps "the same work". Everything a machine
+/// result depends on must be here: splicing a checkpoint into a run with
+/// any of these changed would silently mix incompatible data.
+struct SweepIdentity {
+  std::uint32_t machines = 0;
+  int days = 0;
+  int start_dow = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t shard_machines = 0;  // effective machines per shard
+  std::string fault_plan;            // FaultPlan::str()
+  bool metrics = false;
+  std::int64_t metrics_resolution_us = 0;
+  // Detector/machine knobs that change results. (The full workload
+  // profile has no canonical serialization; runs that hand-edit profile
+  // internals beyond these should use a fresh checkpoint directory.)
+  double ram_mb = 0.0;
+  double kernel_mb = 0.0;
+  double th1 = 0.0;
+  double th2 = 0.0;
+  std::int64_t sample_period_us = 0;
+};
+
+/// Order-sensitive 64-bit hash of the identity (includes a format-version
+/// salt, so manifest-format changes also invalidate old checkpoints).
+std::uint64_t fingerprint(const SweepIdentity& id);
+
+/// The RNG substream guard stored per shard: the derived seed of the
+/// shard's first machine's first simulated day, mirroring the workload
+/// model's derivation.
+std::uint64_t shard_rng_key(std::uint64_t seed, std::uint32_t first_machine);
+
+/// Serializes manifest rewrites during a sweep. Thread-safe: shard
+/// workers commit() concurrently; each commit inserts the shard (in index
+/// order) and atomically replaces the manifest on disk, so the on-disk
+/// file always lists a prefix-consistent set of completed shards.
+class CheckpointLog {
+ public:
+  CheckpointLog(std::string dir, std::uint64_t fingerprint,
+                std::uint64_t shard_count);
+
+  /// Seeds the log with already-validated checkpoints (resume), so the
+  /// next rewrite preserves them.
+  void preload(const std::vector<ShardCheckpoint>& shards);
+
+  /// Records a completed shard and atomically rewrites the manifest.
+  /// Below Durability::kBlock the rewrite is rename-only (no fsync):
+  /// atomic renames fully protect against process death, and sync()
+  /// hardens the final state against OS crash once per sweep instead of
+  /// per shard. Crash-injection points: kShardCommit fires before the
+  /// rewrite (the shard's files exist but its manifest line does not —
+  /// resume must re-run it), kManifestWrite fires after the rename lands
+  /// (the canonical clean resume point).
+  void commit(const ShardCheckpoint& shard);
+
+  /// Makes the manifest as last renamed durable against OS crash: fsyncs
+  /// the file and its directory. Called once at the end of a sweep; a
+  /// no-op when nothing was ever committed.
+  void sync();
+
+  /// The manifest as last written.
+  Manifest snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::string dir_;
+  Manifest manifest_;
+};
+
+/// What a resumed sweep can skip.
+struct ResumePlan {
+  /// Shards whose manifest entry, segment file, and state blob all
+  /// validated — safe to splice into the merged result.
+  std::vector<ShardCheckpoint> valid;
+  /// Manifest entries dropped because a file was missing, resized, or
+  /// failed its CRC — these shards run again. Human-readable reasons.
+  std::vector<std::string> dropped;
+};
+
+/// Loads and validates `dir`'s checkpoint for a sweep with the given
+/// identity. A missing manifest yields an empty plan (fresh start). A
+/// manifest that exists but is malformed, carries a different
+/// fingerprint, or disagrees on shard_count throws IoError — resuming a
+/// different sweep's directory must be loud, not silent re-work. `seed`
+/// re-derives each shard's rng key; entries whose stored key no longer
+/// matches (the substream derivation changed since the checkpoint) are
+/// dropped and re-run.
+ResumePlan plan_resume(const std::string& dir, std::uint64_t fingerprint,
+                       std::uint64_t shard_count, std::uint64_t seed);
+
+}  // namespace fgcs::recover

@@ -1,0 +1,105 @@
+#include "fgcs/recover/shard_state.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <type_traits>
+
+#include "fgcs/util/binio.hpp"
+#include "fgcs/util/error.hpp"
+#include "fgcs/util/io.hpp"
+
+namespace fgcs::recover {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'G', 'C', 'S', 'S', 'H', 'D', '1'};
+constexpr std::size_t kFixedBytes = 8 + 4 + 8 + 8;  // magic + sizes + records
+
+static_assert(std::is_trivially_copyable_v<obs::CounterShard>,
+              "CounterShard is memcpy'd into shard-state blobs");
+
+}  // namespace
+
+std::string shard_state_name(std::size_t shard) {
+  char name[32];
+  std::snprintf(name, sizeof name, "shard-%04zu.state", shard);
+  return name;
+}
+
+std::uint32_t write_shard_state(const std::string& path,
+                                const ShardState& state) {
+  std::vector<unsigned char> buf;
+  buf.reserve(kFixedBytes + sizeof(obs::CounterShard) + state.ts_bins.size() +
+              4);
+  buf.insert(buf.end(), kMagic, kMagic + sizeof kMagic);
+  util::store<std::uint32_t>(
+      buf, static_cast<std::uint32_t>(sizeof(obs::CounterShard)));
+  util::store<std::uint64_t>(buf, state.records);
+  util::store<std::uint64_t>(buf, state.ts_bins.size());
+  const auto* counters =
+      reinterpret_cast<const unsigned char*>(&state.counters);
+  buf.insert(buf.end(), counters, counters + sizeof(obs::CounterShard));
+  buf.insert(buf.end(), state.ts_bins.begin(), state.ts_bins.end());
+  const std::uint32_t body_crc = util::crc32(buf.data(), buf.size());
+  util::store<std::uint32_t>(buf, body_crc);
+  // Deliberately no fsync (Durability::kNone) regardless of the policy
+  // level: the manifest records this blob's CRC and plan_resume()
+  // re-validates it, so a blob torn by an OS crash costs one re-run
+  // shard, never wrong data. Skipping the two fsyncs (file + parent dir)
+  // halves the per-shard-commit fsync count — the difference between
+  // checkpointing being free and it dominating short sweeps.
+  util::atomic_replace_file(path, buf.data(), buf.size(),
+                            util::Durability::kNone);
+  return util::crc32(buf.data(), buf.size());
+}
+
+ShardState read_shard_state(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw IoError("cannot open shard state: " + path);
+  std::vector<unsigned char> buf;
+  char chunk[4096];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+
+  const auto fail = [&](const std::string& why) -> IoError {
+    return IoError(path + ": " + why);
+  };
+  if (buf.size() < kFixedBytes + sizeof(obs::CounterShard) + 4) {
+    throw fail("shard state blob too small");
+  }
+  if (std::memcmp(buf.data(), kMagic, sizeof kMagic) != 0) {
+    throw fail("not an fgcs shard state blob (bad magic)");
+  }
+  const std::uint32_t counter_bytes = util::load<std::uint32_t>(buf.data() + 8);
+  if (counter_bytes != sizeof(obs::CounterShard)) {
+    throw fail("shard state counter layout mismatch (blob " +
+               std::to_string(counter_bytes) + " bytes, this build " +
+               std::to_string(sizeof(obs::CounterShard)) + ")");
+  }
+  ShardState state;
+  state.records = util::load<std::uint64_t>(buf.data() + 12);
+  const std::uint64_t ts_bytes = util::load<std::uint64_t>(buf.data() + 20);
+  const std::uint64_t expect =
+      kFixedBytes + sizeof(obs::CounterShard) + ts_bytes + 4;
+  if (buf.size() != expect) {
+    throw fail("shard state blob size mismatch");
+  }
+  const std::size_t body = buf.size() - 4;
+  const std::uint32_t stored = util::load<std::uint32_t>(buf.data() + body);
+  const std::uint32_t computed = util::crc32(buf.data(), body);
+  if (stored != computed) {
+    throw fail("shard state blob failed its checksum");
+  }
+  std::memcpy(&state.counters, buf.data() + kFixedBytes,
+              sizeof(obs::CounterShard));
+  state.ts_bins.assign(
+      buf.begin() + static_cast<std::ptrdiff_t>(kFixedBytes +
+                                                sizeof(obs::CounterShard)),
+      buf.begin() + static_cast<std::ptrdiff_t>(body));
+  return state;
+}
+
+}  // namespace fgcs::recover

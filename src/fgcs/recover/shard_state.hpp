@@ -1,0 +1,56 @@
+// Per-shard observability state blobs for checkpointed sweeps.
+//
+// A fleet shard's *trace* records live in its sealed v2 segment, but its
+// obs side effects — the CounterShard totals and (with telemetry on) the
+// TimeSeriesShard bins — exist only in memory. A resumed sweep that
+// skipped a completed shard would report zero counters for it and write a
+// metrics segment missing its bins, breaking the bit-identical-resume
+// guarantee. So each shard commit also persists this blob:
+//
+//   magic "FGCSSHD1"
+//   u32 counter_bytes (= sizeof(obs::CounterShard), layout guard)
+//   u64 records
+//   u64 ts_bytes (0 = sweep ran without telemetry)
+//   counter_bytes of CounterShard (trivially-copyable POD)
+//   ts_bytes of TimeSeriesShard::save_bins() output
+//   u32 CRC-32 of everything above
+//
+// Written via util::atomic_replace_file but never fsynced: the manifest
+// records the blob's CRC and plan_resume() re-validates it, so a blob
+// lost to an OS crash re-runs its shard instead of corrupting the
+// resume. Validated (magic, sizes, CRC) on read. A CounterShard layout
+// change shifts counter_bytes and invalidates old blobs instead of
+// reinterpreting them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fgcs/obs/observer.hpp"
+
+namespace fgcs::recover {
+
+/// Everything a resumed run must restore for a skipped shard, beyond the
+/// trace segment itself.
+struct ShardState {
+  obs::CounterShard counters;
+  std::uint64_t records = 0;
+  /// TimeSeriesShard::save_bins() image; empty when the sweep collects no
+  /// metrics.
+  std::vector<unsigned char> ts_bins;
+};
+
+/// "shard-NNNN.state" — the blob's file name for shard `shard`.
+std::string shard_state_name(std::size_t shard);
+
+/// Serializes and atomically writes the blob. Returns the written file's
+/// content CRC (what the manifest records as state_crc).
+std::uint32_t write_shard_state(const std::string& path,
+                                const ShardState& state);
+
+/// Reads and validates a blob. Throws IoError on a missing file, bad
+/// magic, size mismatch, or CRC failure.
+ShardState read_shard_state(const std::string& path);
+
+}  // namespace fgcs::recover

@@ -1,7 +1,13 @@
 #include "fgcs/testkit/diff_oracle.hpp"
 
+#include <sys/stat.h>
+
+#include <dirent.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <vector>
 
@@ -577,6 +583,155 @@ DiffResult oracle_soa_machine_step(std::uint64_t seed) {
   return diff_traces(columnar, legacy, "columnar vs legacy walk");
 }
 
+// --- oracle 9: resumed fleet sweep vs. uninterrupted sweep ----------------
+
+bool read_file_bytes(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+void write_file_bytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return;
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+void remove_tree_flat(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    ::unlink((dir + "/" + name).c_str());
+  }
+  ::closedir(d);
+  ::rmdir(dir.c_str());
+}
+
+DiffResult oracle_fleet_resume(std::uint64_t seed) {
+  // Two checkpointed sweeps of the same config; the second directory is
+  // "doctored" (a segment deleted, a byte flipped, a state blob removed,
+  // or the whole manifest erased — drawn from the seed) and then resumed.
+  // The resumed directory must come back byte-identical to the clean one:
+  // skipped shards splice, damaged shards re-run, and the metrics segment
+  // rebuilds from the restored bins.
+  util::RngStream rng(seed, {kOracleTag, 9});
+  const std::string base = "fgcs-oracle-resume." +
+                           std::to_string(::getpid()) + "." +
+                           std::to_string(seed);
+  const std::string clean_dir = base + "/clean";
+  const std::string crash_dir = base + "/doctored";
+  ::mkdir(base.c_str(), 0755);
+
+  fleet::FleetConfig fc;
+  fc.testbed = small_testbed(seed);
+  fc.shard_machines = static_cast<std::uint32_t>(1 + rng.uniform_index(3));
+  fc.threads = 1 + rng.uniform_index(4);
+  fc.metrics_resolution = sim::SimDuration::hours(6);
+
+  const auto sweep = [&](const std::string& dir, bool resume) {
+    if (!resume) {
+      remove_tree_flat(dir);
+      ::mkdir(dir.c_str(), 0755);
+    }
+    fleet::FleetConfig run = fc;
+    run.spill_dir = dir;
+    run.metrics_path = dir + "/metrics.met1";
+    run.resume = resume;
+    return fleet::run_fleet(run);
+  };
+
+  const auto cleanup = [&] {
+    remove_tree_flat(clean_dir);
+    remove_tree_flat(crash_dir);
+    ::rmdir(base.c_str());
+  };
+
+  const fleet::FleetResult clean = sweep(clean_dir, false);
+  fleet::FleetResult doctored = sweep(crash_dir, false);
+
+  // Doctor the second directory.
+  const std::size_t victim = rng.uniform_index(doctored.shards.size());
+  char victim_name[32];
+  std::snprintf(victim_name, sizeof victim_name, "shard-%04zu", victim);
+  const std::string victim_seg =
+      crash_dir + "/" + victim_name + std::string(".trc2");
+  const int damage = static_cast<int>(rng.uniform_index(4));
+  switch (damage) {
+    case 0:  // segment vanishes
+      ::unlink(victim_seg.c_str());
+      break;
+    case 1: {  // one byte of the segment flips
+      std::string bytes;
+      if (!read_file_bytes(victim_seg, bytes) || bytes.empty()) {
+        cleanup();
+        return DiffResult::mismatch("doctored segment unreadable");
+      }
+      bytes[rng.uniform_index(bytes.size())] ^= 0x40;
+      write_file_bytes(victim_seg, bytes);
+      break;
+    }
+    case 2:  // state blob vanishes
+      ::unlink((crash_dir + "/" + victim_name + std::string(".state")).c_str());
+      break;
+    default:  // the whole manifest vanishes: full (fresh-start) resume
+      ::unlink((crash_dir + "/MANIFEST").c_str());
+      break;
+  }
+
+  fleet::FleetResult resumed;
+  try {
+    resumed = sweep(crash_dir, true);
+  } catch (const std::exception& e) {
+    cleanup();
+    return DiffResult::mismatch(std::string("resume threw: ") + e.what());
+  }
+  // A missing manifest means a fresh start (0 resumed); any other damage
+  // invalidates exactly the victim shard.
+  const std::size_t expected =
+      damage == 3 ? 0 : clean.shards.size() - 1;
+  if (resumed.resumed_shards != expected) {
+    cleanup();
+    std::ostringstream out;
+    out << "resumed " << resumed.resumed_shards << " shards, expected "
+        << expected << " (damage mode " << damage << ")";
+    return DiffResult::mismatch(out.str());
+  }
+
+  std::vector<std::string> names;
+  for (std::size_t s = 0; s < clean.shards.size(); ++s) {
+    char name[32];
+    std::snprintf(name, sizeof name, "shard-%04zu.trc2", s);
+    names.emplace_back(name);
+  }
+  names.emplace_back("metrics.met1");
+  names.emplace_back("MANIFEST");
+  for (const auto& name : names) {
+    std::string a, b;
+    if (!read_file_bytes(clean_dir + "/" + name, a) ||
+        !read_file_bytes(crash_dir + "/" + name, b)) {
+      cleanup();
+      return DiffResult::mismatch(name + " unreadable after resume");
+    }
+    if (a != b) {
+      cleanup();
+      std::ostringstream out;
+      out << name << " diverges after resume (" << b.size() << " vs "
+          << a.size() << " bytes, damage mode " << damage << ")";
+      return DiffResult::mismatch(out.str());
+    }
+  }
+  cleanup();
+  return DiffResult::ok();
+}
+
 }  // namespace
 
 const std::vector<DiffOracle>& standard_oracles() {
@@ -589,6 +744,7 @@ const std::vector<DiffOracle>& standard_oracles() {
       {"prediction-parallel", oracle_prediction_parallel},
       {"flight-recorder", oracle_flight_recorder},
       {"soa-machine-step", oracle_soa_machine_step},
+      {"fleet-resume", oracle_fleet_resume},
   };
   return oracles;
 }

@@ -27,6 +27,11 @@
 //   soa-machine-step        TestbedRunner's columnar arena-backed walk
 //                           (run_into) vs. run_reference's per-sample
 //                           event loop, traces compared bit-for-bit
+//   fleet-resume            a checkpointed sweep, crash-doctored (segment
+//                           deleted / byte-flipped, state blob or
+//                           manifest removed) and resumed, vs. the clean
+//                           sweep — every segment, the metrics file, and
+//                           the manifest byte-compared
 //
 // This replaces scattered hand-rolled equivalence tests with one API the
 // CI property suite sweeps over hundreds of seeds.
@@ -56,7 +61,7 @@ struct DiffOracle {
   std::function<DiffResult(std::uint64_t seed)> run;
 };
 
-/// The eight standard oracles above.
+/// The nine standard oracles above.
 const std::vector<DiffOracle>& standard_oracles();
 
 /// Finds a standard oracle by name; nullptr when unknown.

@@ -9,6 +9,7 @@
 
 #include "fgcs/util/binio.hpp"
 #include "fgcs/util/error.hpp"
+#include "fgcs/util/io.hpp"
 
 namespace fgcs::trace {
 
@@ -19,7 +20,8 @@ using util::store;
 
 constexpr char kMagic[8] = {'F', 'G', 'C', 'S', 'T', 'R', 'C', '2'};
 constexpr char kEndMagic[8] = {'F', 'G', 'C', 'S', 'E', 'N', 'D', '2'};
-constexpr std::uint32_t kBlockMagic = 0x324B4C42;  // "BLK2" little-endian
+constexpr std::uint32_t kBlockMagic = 0x324B4C42;    // "BLK2" little-endian
+constexpr std::uint32_t kBlockMagicV3 = 0x334B4C42;  // "BLK3": trailing CRC
 constexpr std::size_t kHeaderBytes = 28;
 // u64 total_records + u64 footer_offset + trailing magic.
 constexpr std::size_t kTrailerBytes = 24;
@@ -119,25 +121,20 @@ TraceWriterV2::TraceWriterV2(const std::string& path, std::uint32_t machines,
                              sim::SimTime horizon_start,
                              sim::SimTime horizon_end,
                              std::size_t block_records)
-    : path_(path),
-      out_(std::make_unique<std::ofstream>(
-          path, std::ios::out | std::ios::binary | std::ios::trunc)),
-      block_records_(block_records) {
+    : path_(path), block_records_(block_records) {
   fgcs::require(machines > 0, "TraceWriterV2 needs at least one machine");
   fgcs::require(horizon_end > horizon_start,
                 "TraceWriterV2 horizon must be non-empty");
   fgcs::require(block_records_ > 0,
                 "TraceWriterV2 block size must be positive");
-  if (!*out_) throw IoError("cannot open for writing: " + path);
+  out_ = std::make_unique<util::SyncFile>(path);
   pending_.reserve(block_records_);
-  out_->write(kMagic, sizeof kMagic);
   std::vector<unsigned char> head;
+  head.insert(head.end(), kMagic, kMagic + sizeof kMagic);
   store<std::uint32_t>(head, machines);
   store<std::int64_t>(head, horizon_start.as_micros());
   store<std::int64_t>(head, horizon_end.as_micros());
-  out_->write(reinterpret_cast<const char*>(head.data()),
-              static_cast<std::streamsize>(head.size()));
-  if (!*out_) throw IoError("failed writing v2 trace header: " + path);
+  out_->write(head.data(), head.size());
   offset_ = kHeaderBytes;
 }
 
@@ -165,7 +162,7 @@ void TraceWriterV2::flush_block() {
   const std::size_t n = pending_.size();
   std::vector<unsigned char> buf;
   buf.reserve(8 + kRecordBytes * n);
-  store<std::uint32_t>(buf, kBlockMagic);
+  store<std::uint32_t>(buf, kBlockMagicV3);
   store<std::uint32_t>(buf, static_cast<std::uint32_t>(n));
 
   BlockMeta meta;
@@ -187,10 +184,18 @@ void TraceWriterV2::flush_block() {
   for (const auto& r : pending_) store<double>(buf, r.host_cpu);
   for (const auto& r : pending_) store<double>(buf, r.free_mem_mb);
 
-  out_->write(reinterpret_cast<const char*>(buf.data()),
-              static_cast<std::streamsize>(buf.size()));
-  if (!*out_) throw IoError("failed writing v2 trace block: " + path_);
-  offset_ += buf.size();
+  out_->write(buf.data(), buf.size());
+  // The commit mark: a CRC over (count || columns), written strictly after
+  // the data it covers. A crash between the two writes (the kBlockWrite
+  // crashpoint below) leaves a block whose checksum is missing or wrong —
+  // exactly what the salvage reader treats as torn and truncates away.
+  util::crashpoint(util::CrashPoint::kBlockWrite);
+  const std::uint32_t crc = util::crc32(buf.data() + 4, buf.size() - 4);
+  std::vector<unsigned char> tail;
+  store<std::uint32_t>(tail, crc);
+  out_->write(tail.data(), tail.size());
+  out_->sync(util::Durability::kBlock);
+  offset_ += buf.size() + tail.size();
   blocks_.push_back(meta);
   pending_.clear();
 }
@@ -210,13 +215,21 @@ void TraceWriterV2::finish() {
   }
   store<std::uint64_t>(buf, total_);
   store<std::uint64_t>(buf, footer_offset);
-  out_->write(reinterpret_cast<const char*>(buf.data()),
-              static_cast<std::streamsize>(buf.size()));
-  out_->write(kEndMagic, sizeof kEndMagic);
-  out_->flush();
-  if (!*out_) throw IoError("failed writing v2 trace footer: " + path_);
-  out_.reset();
+  buf.insert(buf.end(), kEndMagic, kEndMagic + sizeof kEndMagic);
+  out_->write(buf.data(), buf.size());
+  // Segment seal: the sealed file must survive a crash before its
+  // manifest record claims it exists.
+  out_->sync(util::Durability::kCommit);
+  out_->close();
   finished_ = true;
+}
+
+std::uint32_t TraceWriterV2::content_crc() const {
+  return out_ ? out_->content_crc() : 0;
+}
+
+std::uint64_t TraceWriterV2::bytes_written() const {
+  return out_ ? out_->bytes_written() : 0;
 }
 
 void write_trace_v2(const TraceSet& trace, const std::string& path) {
@@ -268,11 +281,20 @@ TraceView::TraceView(const std::string& path) : file_(path) {
     blk.min_machine = load<std::uint32_t>(entry + 16);
     blk.max_machine = load<std::uint32_t>(entry + 20);
     if (blk.count == 0 || blk.offset < kHeaderBytes + 8 ||
+        blk.offset > footer_offset ||
         blk.offset + kRecordBytes * blk.count > footer_offset) {
       throw IoError(path + ": v2 block " + std::to_string(b) +
                     " index entry out of range");
     }
-    if (load<std::uint32_t>(data + blk.offset - 8) != kBlockMagic) {
+    const std::uint32_t block_magic = load<std::uint32_t>(data + blk.offset - 8);
+    if (block_magic == kBlockMagicV3) {
+      blk.checksummed = true;
+      // Checksummed blocks carry 4 trailing CRC bytes after the columns.
+      if (blk.offset + kRecordBytes * blk.count + 4 > footer_offset) {
+        throw IoError(path + ": v2 block " + std::to_string(b) +
+                      " checksum out of range");
+      }
+    } else if (block_magic != kBlockMagic) {
       throw IoError(path + ": v2 block " + std::to_string(b) +
                     " missing block magic");
     }
@@ -312,6 +334,27 @@ UnavailabilityRecord TraceView::record(std::size_t block, std::size_t i) const {
   return r;
 }
 
+std::size_t TraceView::verify_block_checksums() const {
+  std::size_t verified = 0;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const Block& blk = blocks_[b];
+    if (!blk.checksummed) continue;
+    const std::uint64_t payload = kRecordBytes * blk.count;
+    // The CRC covers (count || columns): start 4 bytes before the column
+    // data, where the writer put the count word.
+    const std::uint32_t computed =
+        util::crc32(at(blk.offset - 4), static_cast<std::size_t>(payload + 4));
+    const std::uint32_t stored = load<std::uint32_t>(at(blk.offset + payload));
+    if (computed != stored) {
+      throw IoError("v2 trace block " + std::to_string(b) +
+                    " checksum mismatch (stored " + std::to_string(stored) +
+                    ", computed " + std::to_string(computed) + ")");
+    }
+    ++verified;
+  }
+  return verified;
+}
+
 TraceSet TraceView::to_trace_set() const {
   TraceSet out(machines_, start_, end_);
   out.reserve(total_);
@@ -339,7 +382,9 @@ bool is_trace_v2(const std::string& path) {
 }
 
 TraceSet load_trace_v2(const std::string& path) {
-  return TraceView(path).to_trace_set();
+  TraceView view(path);
+  view.verify_block_checksums();
+  return view.to_trace_set();
 }
 
 LoadReport load_trace_v2_salvage(const std::string& path) {
@@ -389,55 +434,25 @@ LoadReport load_trace_v2_salvage(const std::string& path) {
   }
 
   // Walk the block chain without trusting the footer. A clean file ends
-  // when the scanner meets the footer (whose leading bytes are not the
-  // block magic); a truncated file ends mid-block and we recover every
-  // record whose final column element survived.
+  // when the scanner meets the footer (whose leading bytes are not a
+  // block magic). Damage classification:
+  //   * EOF at a block boundary → truncated_footer (crash after the last
+  //     flush, before finish());
+  //   * "BLK3" block cut short or with a bad trailing CRC at EOF →
+  //     torn_final_block, the whole block is dropped (the checksum is the
+  //     commit mark — a block without it never happened);
+  //   * "BLK3" checksum mismatch with more data following → media
+  //     corruption: skip the block, keep walking (the count word still
+  //     frames the chain);
+  //   * legacy "BLK2" blocks have no commit mark, so a mid-block cut
+  //     falls back to the old last-column heuristic (and still counts as
+  //     torn_final_block).
   std::uint64_t block_index = 0;
   std::vector<unsigned char> buf;
-  for (;;) {
-    std::uint32_t marker = 0;
-    in.read(reinterpret_cast<char*>(&marker), sizeof marker);
-    if (!in) {
-      // EOF at a block boundary: the footer never made it to disk.
-      report.truncated = true;
-      add_diagnostic(report, path + ": v2 footer missing (file ends after " +
-                                 std::to_string(block_index) + " block(s))");
-      break;
-    }
-    if (marker != kBlockMagic) {
-      // Footer (or corruption). Either way the block chain is done — every
-      // complete block has already been recovered.
-      break;
-    }
-    std::uint32_t count = 0;
-    in.read(reinterpret_cast<char*>(&count), sizeof count);
-    if (!in || count == 0 || count > kMaxPlausibleBlock) {
-      report.truncated = true;
-      add_diagnostic(report, path + ": v2 block " +
-                                 std::to_string(block_index) +
-                                 " has unreadable or implausible size");
-      break;
-    }
-    const std::uint64_t n = count;
-    buf.resize(kRecordBytes * n);
-    in.read(reinterpret_cast<char*>(buf.data()),
-            static_cast<std::streamsize>(buf.size()));
-    const auto have = static_cast<std::uint64_t>(in.gcount());
-    std::uint64_t usable = n;
-    if (have < buf.size()) {
-      // Partial block: record i is whole iff its last-column element
-      // (free_mem_mb, at 29n + 8i .. 29n + 8i+8) fits in `have` bytes.
-      report.truncated = true;
-      usable = have > last_column_offset(n)
-                   ? std::min<std::uint64_t>((have - last_column_offset(n)) / 8,
-                                             n)
-                   : 0;
-      add_diagnostic(report,
-                     path + ": v2 block " + std::to_string(block_index) +
-                         " truncated: " + std::to_string(n - usable) + " of " +
-                         std::to_string(n) + " record(s) lost");
-    }
-    const unsigned char* base = buf.data();
+  // Decodes `usable` leading records of an n-record column block at
+  // `base`, appending the semantically valid ones.
+  const auto decode_records = [&](const unsigned char* base, std::uint64_t n,
+                                  std::uint64_t usable) {
     for (std::uint64_t i = 0; i < usable; ++i) {
       UnavailabilityRecord r;
       r.machine = load<std::uint32_t>(base + 4 * i);
@@ -464,6 +479,110 @@ LoadReport load_trace_v2_salvage(const std::string& path) {
       }
       recs.push_back(r);
     }
+  };
+  for (;;) {
+    std::uint32_t marker = 0;
+    in.read(reinterpret_cast<char*>(&marker), sizeof marker);
+    if (!in) {
+      // EOF at a block boundary: every block committed, only the footer
+      // never made it to disk.
+      report.truncated = true;
+      report.truncated_footer = true;
+      add_diagnostic(report, path + ": v2 footer missing (file ends after " +
+                                 std::to_string(block_index) + " block(s))");
+      break;
+    }
+    if (marker != kBlockMagic && marker != kBlockMagicV3) {
+      // Footer (or corruption). Either way the block chain is done — every
+      // complete block has already been recovered.
+      break;
+    }
+    const bool checksummed = marker == kBlockMagicV3;
+    std::uint32_t count = 0;
+    in.read(reinterpret_cast<char*>(&count), sizeof count);
+    if (!in) {
+      // Cut between the magic and the count: a torn block with nothing
+      // recoverable in it.
+      report.truncated = true;
+      report.torn_final_block = true;
+      add_diagnostic(report, path + ": v2 block " +
+                                 std::to_string(block_index) +
+                                 " torn before its size word");
+      break;
+    }
+    if (count == 0 || count > kMaxPlausibleBlock) {
+      report.truncated = true;
+      add_diagnostic(report, path + ": v2 block " +
+                                 std::to_string(block_index) +
+                                 " has an implausible size");
+      break;
+    }
+    const std::uint64_t n = count;
+    buf.resize(kRecordBytes * n + (checksummed ? 4 : 0));
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    const auto have = static_cast<std::uint64_t>(in.gcount());
+    if (checksummed) {
+      if (have < buf.size()) {
+        // Torn block: its commit mark (the trailing CRC) is missing, so
+        // nothing in it counts — drop it whole, like a database drops an
+        // uncommitted transaction.
+        report.truncated = true;
+        report.torn_final_block = true;
+        add_diagnostic(report, path + ": v2 block " +
+                                   std::to_string(block_index) + " torn: " +
+                                   std::to_string(n) + " uncommitted record(s) "
+                                   "discarded");
+        break;
+      }
+      const std::uint32_t stored = load<std::uint32_t>(buf.data() + n * kRecordBytes);
+      std::uint32_t computed = util::crc32(&count, sizeof count);
+      computed = util::crc32(buf.data(), n * kRecordBytes, computed);
+      if (computed != stored) {
+        if (in.peek() == std::char_traits<char>::eof()) {
+          // Bad checksum at the very end of the file: a torn final write
+          // (the CRC bytes themselves were cut or scrambled mid-flush).
+          report.truncated = true;
+          report.torn_final_block = true;
+          add_diagnostic(report, path + ": v2 final block " +
+                                     std::to_string(block_index) +
+                                     " checksum mismatch: " +
+                                     std::to_string(n) + " uncommitted "
+                                     "record(s) discarded");
+          break;
+        }
+        // Bad checksum mid-file: media corruption, not a crash. The size
+        // word still frames the chain, so skip this block and keep
+        // scanning — later blocks are independent.
+        report.skipped += n;
+        add_diagnostic(report, path + ": v2 block " +
+                                   std::to_string(block_index) +
+                                   " checksum mismatch mid-file: " +
+                                   std::to_string(n) + " record(s) skipped");
+        ++block_index;
+        continue;
+      }
+      decode_records(buf.data(), n, n);
+      ++block_index;
+      continue;
+    }
+    // Legacy "BLK2" block: no commit mark. A partial block falls back to
+    // the last-column heuristic — record i is whole iff its final column
+    // element (free_mem_mb, at 29n + 8i .. 29n + 8i+8) fits.
+    std::uint64_t usable = n;
+    if (have < buf.size()) {
+      report.truncated = true;
+      report.torn_final_block = true;
+      usable = have > last_column_offset(n)
+                   ? std::min<std::uint64_t>((have - last_column_offset(n)) / 8,
+                                             n)
+                   : 0;
+      add_diagnostic(report,
+                     path + ": v2 block " + std::to_string(block_index) +
+                         " truncated: " + std::to_string(n - usable) + " of " +
+                         std::to_string(n) + " record(s) lost");
+    }
+    decode_records(buf.data(), n, usable);
     if (report.truncated) break;
     ++block_index;
   }

@@ -7,9 +7,11 @@
 // segments without copying them. Format v2 is built for that:
 //
 //   header   magic "FGCSTRC2", u32 machines, i64 start_us, i64 end_us
-//   blocks   repeated: u32 block magic, u32 count n, then SoA columns
-//            u32 machine[n], i64 start_us[n], i64 end_us[n], u8 cause[n],
-//            f64 host_cpu[n], f64 free_mem_mb[n]
+//   blocks   repeated: u32 block magic "BLK3", u32 count n, then SoA
+//            columns u32 machine[n], i64 start_us[n], i64 end_us[n],
+//            u8 cause[n], f64 host_cpu[n], f64 free_mem_mb[n], then a
+//            u32 CRC-32 of (count || columns) — written *last*, so a
+//            block is committed iff its checksum is present and matches
 //   footer   u64 block_count, per block {u64 offset, u64 count,
 //            u32 min_machine, u32 max_machine}, u64 total_records,
 //            u64 footer_offset, trailing magic "FGCSEND2"
@@ -17,10 +19,18 @@
 // All integers are native little-endian, matching v1. The footer index at
 // the tail lets TraceView open a segment by reading 16 trailing bytes and
 // one index table — no scan — and the per-block machine ranges let
-// consumers skip blocks wholesale. Truncated files lose the footer;
-// load_trace_v2_salvage() rescans the block chain instead and recovers
-// every record whose *every column element* survived the cut (the block
-// magic word keeps a partial footer from being misread as a block).
+// consumers skip blocks wholesale.
+//
+// Crash tolerance: the writer goes through util::SyncFile and fsyncs on
+// the FGCS_DURABILITY policy (every block at `block` level, segment seal
+// at `commit`). The trailing per-block checksum makes torn writes
+// *detectable*, not just survivable: load_trace_v2_salvage() rescans the
+// block chain, keeps every committed block, truncates a torn final block
+// wholesale (LoadReport::torn_final_block) instead of guessing at partial
+// columns, and reports a missing footer after a clean block boundary as
+// LoadReport::truncated_footer — so a crash is distinguishable from media
+// corruption. Blocks with the legacy "BLK2" magic (no checksum) are still
+// read and salvaged with the old last-column heuristic.
 //
 // trace::load_trace() auto-detects v2 by magic, so existing tools read
 // both formats transparently.
@@ -36,6 +46,7 @@
 #include "fgcs/trace/io.hpp"
 #include "fgcs/trace/trace_set.hpp"
 #include "fgcs/util/binio.hpp"
+#include "fgcs/util/io.hpp"
 
 namespace fgcs::trace {
 
@@ -68,6 +79,14 @@ class TraceWriterV2 {
   std::uint64_t records_written() const { return total_; }
   const std::string& path() const { return path_; }
 
+  /// CRC-32 of every byte written so far; after finish() this is the
+  /// content hash of the whole file (what the checkpoint manifest
+  /// records, and what resume validation recomputes).
+  std::uint32_t content_crc() const;
+
+  /// File bytes written so far (the sealed file's size after finish()).
+  std::uint64_t bytes_written() const;
+
  private:
   struct BlockMeta {
     std::uint64_t offset = 0;
@@ -79,7 +98,7 @@ class TraceWriterV2 {
   void flush_block();
 
   std::string path_;
-  std::unique_ptr<std::ofstream> out_;
+  std::unique_ptr<util::SyncFile> out_;
   std::size_t block_records_;
   std::vector<UnavailabilityRecord> pending_;
   std::vector<BlockMeta> blocks_;
@@ -139,6 +158,13 @@ class TraceView {
   /// mutable/derived APIs).
   TraceSet to_trace_set() const;
 
+  /// Recomputes every checksummed ("BLK3") block's CRC against the stored
+  /// value; throws IoError naming the first mismatching block. Legacy
+  /// "BLK2" blocks carry no checksum and are skipped. Returns the number
+  /// of blocks verified. O(file) — the strict loader calls this; the
+  /// zero-copy scan paths stay lazy.
+  std::size_t verify_block_checksums() const;
+
   /// True when the view is backed by an mmap (false: buffered fallback).
   bool memory_mapped() const { return file_.memory_mapped(); }
 
@@ -148,6 +174,7 @@ class TraceView {
     std::uint64_t count = 0;
     std::uint32_t min_machine = 0;
     std::uint32_t max_machine = 0;
+    bool checksummed = false;  // "BLK3" (trailing CRC) vs legacy "BLK2"
   };
 
   const unsigned char* at(std::uint64_t offset) const {
@@ -167,7 +194,8 @@ class TraceView {
 /// files — callers fall back to the v1 readers).
 bool is_trace_v2(const std::string& path);
 
-/// Strict v2 load: TraceView + to_trace_set(). Throws IoError.
+/// Strict v2 load: TraceView + verify_block_checksums() + to_trace_set().
+/// Throws IoError.
 TraceSet load_trace_v2(const std::string& path);
 
 /// Salvage v2 load: ignores the footer and rescans the block chain,

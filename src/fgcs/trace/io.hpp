@@ -48,6 +48,18 @@ struct LoadReport {
   std::size_t skipped = 0;
   /// Input ended before the declared record count / mid-record.
   bool truncated = false;
+  /// v2 segments only: the final block of the chain was cut mid-write
+  /// (missing bytes, or a block checksum that does not match) — the
+  /// signature of a crash during a block flush. The torn block's records
+  /// are dropped; everything up to the last committed block is recovered.
+  bool torn_final_block = false;
+  /// v2 segments only: the block chain ends cleanly but the footer and
+  /// trailer never made it to disk — the signature of a crash between
+  /// the last block flush and finish(). Nothing is lost but the index.
+  /// Damage with neither flag set (bad magic mid-file, a checksum
+  /// mismatch with more data following) points at media corruption, not
+  /// a crash.
+  bool truncated_footer = false;
   /// Header was unusable; machines/horizon were inferred from the
   /// recovered records instead.
   bool metadata_inferred = false;

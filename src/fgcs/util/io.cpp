@@ -1,0 +1,222 @@
+#include "fgcs/util/io.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::util {
+
+namespace {
+
+// IEEE CRC-32 lookup table, built once (reflected polynomial 0xEDB88320).
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto& table = crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t file_crc32(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw IoError("cannot open for reading: " + path);
+  std::uint32_t crc = 0;
+  unsigned char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw IoError("read failed: " + path);
+    }
+    crc = crc32(buf, static_cast<std::size_t>(n), crc);
+  }
+  ::close(fd);
+  return crc;
+}
+
+const char* durability_name(Durability level) {
+  switch (level) {
+    case Durability::kNone:
+      return "none";
+    case Durability::kCommit:
+      return "commit";
+    case Durability::kBlock:
+      return "block";
+  }
+  return "?";
+}
+
+Durability durability_level() {
+  static const Durability level = [] {
+    const char* value = std::getenv("FGCS_DURABILITY");
+    if (value == nullptr || *value == '\0') return Durability::kCommit;
+    if (std::strcmp(value, "0") == 0 || std::strcmp(value, "none") == 0) {
+      return Durability::kNone;
+    }
+    if (std::strcmp(value, "1") == 0 || std::strcmp(value, "commit") == 0) {
+      return Durability::kCommit;
+    }
+    if (std::strcmp(value, "2") == 0 || std::strcmp(value, "block") == 0) {
+      return Durability::kBlock;
+    }
+    std::fprintf(stderr,
+                 "fgcs: ignoring malformed FGCS_DURABILITY='%s' (expected "
+                 "none|commit|block or 0|1|2); using the default 'commit'\n",
+                 value);
+    return Durability::kCommit;
+  }();
+  return level;
+}
+
+// ---------------------------------------------------------------------------
+// SyncFile
+
+SyncFile::SyncFile(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw IoError("cannot open for writing: " + path);
+}
+
+SyncFile::~SyncFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SyncFile::write(const void* data, std::size_t n) {
+  fgcs::require(fd_ >= 0, "SyncFile already closed: " + path_);
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    const ssize_t wrote = ::write(fd_, p, remaining);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("write failed: " + path_);
+    }
+    p += wrote;
+    remaining -= static_cast<std::size_t>(wrote);
+  }
+  crc_ = crc32(data, n, crc_);
+  bytes_ += n;
+}
+
+void SyncFile::sync(Durability only_at) {
+  fgcs::require(fd_ >= 0, "SyncFile already closed: " + path_);
+  if (durability_level() < only_at) return;
+  if (::fsync(fd_) != 0) throw IoError("fsync failed: " + path_);
+}
+
+void SyncFile::close() {
+  if (fd_ < 0) return;
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) throw IoError("close failed: " + path_);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic replace
+
+bool fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+void atomic_replace_file(const std::string& path, const void* data,
+                         std::size_t n, Durability level) {
+  const std::string tmp = path + ".tmp";
+  {
+    SyncFile out(tmp);
+    out.write(data, n);
+    if (level >= Durability::kCommit) out.sync(Durability::kNone);
+    out.close();
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw IoError("rename failed: " + tmp + " -> " + path);
+  }
+  // Make the rename itself durable; best-effort (some filesystems refuse
+  // directory fsync — the rename is still atomic there).
+  if (level >= Durability::kCommit) fsync_parent_dir(path);
+}
+
+// ---------------------------------------------------------------------------
+// Crash injection
+
+namespace {
+
+const char* crashpoint_env(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kBlockWrite:
+      return "FGCS_CRASH_AFTER_BLOCK_WRITES";
+    case CrashPoint::kShardCommit:
+      return "FGCS_CRASH_AFTER_SHARD_COMMITS";
+    case CrashPoint::kManifestWrite:
+      return "FGCS_CRASH_AFTER_MANIFEST_WRITES";
+  }
+  return nullptr;
+}
+
+std::atomic<std::uint64_t> g_crossings[3] = {};
+
+}  // namespace
+
+void crashpoint(CrashPoint point) {
+  // Re-read the environment on every crossing: these points fire per
+  // block / per shard, so the getenv cost is invisible, and a fork()ed
+  // harness child can set the knob after the parent ran clean.
+  const char* value = std::getenv(crashpoint_env(point));
+  const std::uint64_t crossed =
+      g_crossings[static_cast<int>(point)].fetch_add(
+          1, std::memory_order_relaxed) +
+      1;
+  if (value == nullptr || *value == '\0') return;
+  char* end = nullptr;
+  const unsigned long long limit = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || limit == 0) return;
+  if (crossed >= limit) {
+    // SIGKILL, not abort(): no atexit handlers, no stream flushes — the
+    // torn state on disk is exactly what a power cut would leave.
+    ::kill(::getpid(), SIGKILL);
+  }
+}
+
+void reset_crashpoints() {
+  for (auto& c : g_crossings) c.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fgcs::util

@@ -1,0 +1,139 @@
+// Durable-file building blocks for crash-tolerant writers.
+//
+// The checkpoint manifest (recover/manifest.hpp) and the columnar segment
+// writers (trace/format_v2.hpp, obs/timeseries.hpp) share one durability
+// idiom:
+//
+//   * every byte funnels through an fd-backed SyncFile that keeps a
+//     running CRC-32 of the stream, so a writer knows its own file's
+//     content hash without re-reading it;
+//   * commit points fsync according to one process-wide policy knob,
+//     FGCS_DURABILITY (none | commit | block), so tests and benches can
+//     trade durability for speed without code changes; and
+//   * whole-file replacement goes through write-to-temp + rename — with
+//     temp and parent-directory fsyncs per policy (atomic_replace_file) —
+//     so a reader never observes a half-written manifest: it sees the
+//     old file or the new one, nothing in between.
+//
+// The crashpoint() hook is the test seam for all of it: the crash
+// harness (tools/fgcs_crashtest.cpp) sets FGCS_CRASH_AFTER_* and the
+// process SIGKILLs itself mid-block, between a segment seal and its
+// manifest record, or right after a manifest rename — the exact torn
+// states the recovery path must survive.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fgcs::util {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) of `n` bytes, continuing from
+/// `seed` (pass a previous return value to checksum a stream in pieces;
+/// start from the default for a fresh sum).
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+/// CRC-32 of a whole file. Throws IoError when the file cannot be read.
+std::uint32_t file_crc32(const std::string& path);
+
+/// How hard the durable writers try to survive power loss / SIGKILL.
+/// Selected process-wide by FGCS_DURABILITY (accepts the names below or
+/// 0/1/2); unknown values warn once to stderr and fall back to the
+/// default, kCommit.
+enum class Durability : int {
+  /// Never fsync. Torn-write *detection* (block checksums, manifest CRC)
+  /// still works, but after an OS crash recent commits may be lost.
+  kNone = 0,
+  /// Fsync at commit points only: segment seal and the sweep-final
+  /// manifest sync. Intermediate manifest rewrites are atomic renames
+  /// without fsync — the page cache survives process death, so a SIGKILL
+  /// at any instant still loses at most the work since the last commit;
+  /// only an *OS* crash can roll the claim trail back further (resume
+  /// then re-runs those shards). The default.
+  kCommit = 1,
+  /// Additionally fsync every block flush and every manifest rewrite —
+  /// every sealed block and every committed shard survive even an OS
+  /// crash. The paranoid (and slowest) level.
+  kBlock = 2,
+};
+
+/// The process-wide FGCS_DURABILITY policy (parsed once, cached).
+Durability durability_level();
+
+/// Canonical name of a level ("none", "commit", "block").
+const char* durability_name(Durability level);
+
+/// Write-only fd-backed file with a running content CRC. No internal
+/// buffering: callers (the block writers) already batch bytes, so each
+/// write() is one syscall. Throws IoError on any failure.
+class SyncFile {
+ public:
+  /// Creates/truncates `path` for writing.
+  explicit SyncFile(const std::string& path);
+  ~SyncFile();
+
+  SyncFile(const SyncFile&) = delete;
+  SyncFile& operator=(const SyncFile&) = delete;
+
+  void write(const void* data, std::size_t n);
+
+  /// fsync(2) the file. No-op when the policy says so (`only_at` is the
+  /// weakest level at which this sync point applies).
+  void sync(Durability only_at);
+
+  /// Closes the fd (idempotent); further writes are a logic error.
+  void close();
+
+  const std::string& path() const { return path_; }
+  std::uint64_t bytes_written() const { return bytes_; }
+  /// CRC-32 of everything written so far.
+  std::uint32_t content_crc() const { return crc_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t bytes_ = 0;
+  std::uint32_t crc_ = 0;
+};
+
+/// Atomically replaces `path` with `bytes`: writes `path`.tmp, fsyncs it
+/// (per policy), rename(2)s over `path`, then fsyncs the parent
+/// directory so the rename itself is durable. Readers racing the replace
+/// see the complete old or complete new content, never a prefix.
+void atomic_replace_file(const std::string& path, const void* data,
+                         std::size_t n, Durability level = durability_level());
+
+/// fsync the directory containing `path` (making a rename/creation in it
+/// durable). Best-effort: returns false when the platform refuses.
+bool fsync_parent_dir(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Crash injection (test-only; no-ops unless FGCS_CRASH_AFTER_* is set)
+
+/// Named fault points the durable-write paths pass through.
+enum class CrashPoint : int {
+  /// Between a block's column bytes and its trailing checksum — killing
+  /// here leaves a torn (uncommitted) final block.
+  kBlockWrite = 0,
+  /// After a shard's segment is sealed but before its manifest record —
+  /// killing here loses the shard from the manifest but not the disk.
+  kShardCommit = 1,
+  /// Right after the manifest rename lands — killing here must leave a
+  /// fully consistent resume point.
+  kManifestWrite = 2,
+};
+
+/// SIGKILLs the current process when the matching FGCS_CRASH_AFTER_*
+/// environment knob (FGCS_CRASH_AFTER_BLOCK_WRITES,
+/// FGCS_CRASH_AFTER_SHARD_COMMITS, FGCS_CRASH_AFTER_MANIFEST_WRITES) is
+/// set to N and this is the Nth crossing of that point. The environment
+/// is re-read on every crossing (the points are rare — per block / per
+/// shard, never per record) so a fork()ed harness child can arm a knob
+/// after the parent already ran clean sweeps.
+void crashpoint(CrashPoint point);
+
+/// Resets the crossing counters (between harness iterations in-process;
+/// a fork()ed child inherits the parent's counts otherwise).
+void reset_crashpoints();
+
+}  // namespace fgcs::util

@@ -1,7 +1,11 @@
 #include "fgcs/util/knobs.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
 #include <thread>
 
 #if defined(__linux__)
@@ -11,12 +15,40 @@
 
 namespace fgcs::util {
 
+namespace {
+
+// A malformed knob silently behaving like an unset one cost real
+// debugging time (FGCS_THREADS=abc ran single-threaded without a word);
+// warn to stderr, but only once per variable so hot callers can re-read
+// knobs freely.
+void warn_malformed_once(const char* name, const char* value,
+                         std::uint64_t fallback) {
+  static std::mutex mutex;
+  static std::set<std::string> warned;
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (!warned.insert(name).second) return;
+  std::fprintf(stderr,
+               "fgcs: ignoring malformed %s='%s' (expected an unsigned "
+               "integer); using the default %llu\n",
+               name, value, static_cast<unsigned long long>(fallback));
+}
+
+}  // namespace
+
 std::uint64_t env_or(const char* name, std::uint64_t fallback) {
   const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0' || *value == '-') return fallback;
+  // Unset and empty mean "use the default" — that is not an error.
+  if (value == nullptr || *value == '\0') return fallback;
+  if (*value == '-') {
+    warn_malformed_once(name, value, fallback);
+    return fallback;
+  }
   char* end = nullptr;
   const unsigned long long v = std::strtoull(value, &end, 10);
-  if (end == value || *end != '\0') return fallback;
+  if (end == value || *end != '\0') {
+    warn_malformed_once(name, value, fallback);
+    return fallback;
+  }
   return static_cast<std::uint64_t>(v);
 }
 

@@ -20,7 +20,9 @@
 namespace fgcs::util {
 
 /// Returns the integer value of environment variable `name`, or
-/// `fallback` when unset or malformed.
+/// `fallback` when unset or malformed. A malformed value (non-numeric,
+/// negative, trailing junk) additionally warns once per variable to
+/// stderr — a typo'd knob must not silently behave like an unset one.
 std::uint64_t env_or(const char* name, std::uint64_t fallback);
 
 /// True when `name` is set to anything other than "" or "0".

@@ -1,0 +1,267 @@
+// Crash-tolerant fleet sweeps: durable checkpoints, resume bit-identity,
+// shard supervision (retries), and poison-machine quarantine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "fgcs/fleet/fleet.hpp"
+#include "fgcs/obs/observer.hpp"
+#include "fgcs/recover/manifest.hpp"
+#include "fgcs/recover/shard_state.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FleetResume : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fgcs_resume_" + std::string(::testing::UnitTest::GetInstance()
+                                             ->current_test_info()
+                                             ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string read_file(const fs::path& p) const {
+    std::ifstream in(p, std::ios::binary);
+    EXPECT_TRUE(in.good()) << p;
+    return std::string{std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>()};
+  }
+
+  fs::path dir_;
+};
+
+core::TestbedConfig small_testbed() {
+  core::TestbedConfig config;
+  config.machines = 8;
+  config.days = 4;
+  config.seed = 20060807;
+  return config;
+}
+
+FleetConfig spill_config(const fs::path& dir) {
+  FleetConfig config;
+  config.testbed = small_testbed();
+  config.shard_machines = 3;  // shards of 3, 3, 2 machines
+  config.threads = 2;
+  config.spill_dir = dir.string();
+  config.metrics_path = (dir / "metrics.met1").string();
+  config.metrics_resolution = sim::SimDuration::hours(6);
+  return config;
+}
+
+TEST_F(FleetResume, CheckpointedRunLeavesAValidatedManifest) {
+  const auto result = run_fleet(spill_config(dir_));
+  EXPECT_EQ(result.resumed_shards, 0u);
+  EXPECT_EQ(result.total_retries, 0u);
+  EXPECT_TRUE(result.quarantined.empty());
+
+  // MANIFEST parses, matches this config's fingerprint, and every claimed
+  // file validates (plan_resume drops nothing).
+  const std::string text = read_file(dir_ / "MANIFEST");
+  const recover::Manifest m = recover::Manifest::parse(text, "MANIFEST");
+  EXPECT_EQ(m.shard_count, 3u);
+  ASSERT_EQ(m.shards.size(), 3u);
+  const auto plan = recover::plan_resume(dir_.string(), m.fingerprint, 3,
+                                         small_testbed().seed);
+  EXPECT_EQ(plan.valid.size(), 3u);
+  EXPECT_TRUE(plan.dropped.empty());
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_TRUE(fs::exists(dir_ / recover::shard_state_name(s))) << s;
+  }
+}
+
+TEST_F(FleetResume, NoCheckpointModeWritesNoManifestOrStateBlobs) {
+  FleetConfig config = spill_config(dir_);
+  config.checkpoint = false;
+  run_fleet(config);
+  EXPECT_FALSE(fs::exists(dir_ / "MANIFEST"));
+  EXPECT_FALSE(fs::exists(dir_ / recover::shard_state_name(0)));
+}
+
+TEST_F(FleetResume, ResumeRequiresASpillDir) {
+  FleetConfig config;
+  config.testbed = small_testbed();
+  config.resume = true;
+  EXPECT_THROW(run_fleet(config), ConfigError);
+  config.max_shard_retries = 0;
+  config.resume = false;
+  config.spill_dir = dir_.string();
+  EXPECT_THROW(run_fleet(config), ConfigError);
+}
+
+TEST_F(FleetResume, ResumingACompleteSweepSimulatesNothing) {
+  const auto clean = run_fleet(spill_config(dir_));
+  std::vector<std::string> before;
+  for (const auto& seg : clean.segment_paths()) before.push_back(read_file(seg));
+  const std::string metrics_before = read_file(dir_ / "metrics.met1");
+  const std::string manifest_before = read_file(dir_ / "MANIFEST");
+
+  FleetConfig config = spill_config(dir_);
+  config.resume = true;
+  std::atomic<int> simulated{0};
+  config.machine_hook = [&](trace::MachineId, int) { ++simulated; };
+  const auto resumed = run_fleet(config);
+
+  EXPECT_EQ(resumed.resumed_shards, 3u);
+  EXPECT_EQ(simulated.load(), 0);
+  EXPECT_TRUE(resumed.resume_dropped.empty());
+  EXPECT_EQ(resumed.total_records, clean.total_records);
+  for (const auto& shard : resumed.shards) EXPECT_TRUE(shard.resumed);
+
+  // Byte-identity: segments untouched, metrics and manifest rewritten
+  // identically from the restored state.
+  const auto after = resumed.segment_paths();
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(read_file(after[i]), before[i]) << i;
+  }
+  EXPECT_EQ(read_file(dir_ / "metrics.met1"), metrics_before);
+  EXPECT_EQ(read_file(dir_ / "MANIFEST"), manifest_before);
+}
+
+TEST_F(FleetResume, DamagedSegmentReRunsOnlyThatShard) {
+  const auto clean = run_fleet(spill_config(dir_));
+  std::vector<std::string> before;
+  for (const auto& seg : clean.segment_paths()) before.push_back(read_file(seg));
+
+  fs::remove(clean.segment_paths()[1]);
+
+  FleetConfig config = spill_config(dir_);
+  config.resume = true;
+  std::atomic<int> simulated{0};
+  config.machine_hook = [&](trace::MachineId, int) { ++simulated; };
+  const auto resumed = run_fleet(config);
+
+  EXPECT_EQ(resumed.resumed_shards, 2u);
+  EXPECT_EQ(simulated.load(), 3);  // shard 1's machines only
+  ASSERT_EQ(resumed.resume_dropped.size(), 1u);
+  EXPECT_NE(resumed.resume_dropped[0].find("segment missing"),
+            std::string::npos)
+      << resumed.resume_dropped[0];
+  EXPECT_TRUE(resumed.shards[0].resumed);
+  EXPECT_FALSE(resumed.shards[1].resumed);
+  EXPECT_TRUE(resumed.shards[2].resumed);
+
+  // The re-run shard reproduced its segment bit-identically.
+  const auto after = resumed.segment_paths();
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(read_file(after[i]), before[i]) << i;
+  }
+}
+
+TEST_F(FleetResume, ResumingADifferentConfigsDirectoryIsLoud) {
+  run_fleet(spill_config(dir_));
+  FleetConfig config = spill_config(dir_);
+  config.testbed.seed ^= 1;
+  config.resume = true;
+  EXPECT_THROW(run_fleet(config), IoError);
+}
+
+TEST_F(FleetResume, TransientFailureIsRetriedAndInvisibleInTheResult) {
+  const auto clean = run_fleet(spill_config(dir_));
+  std::vector<std::string> before;
+  for (const auto& seg : clean.segment_paths()) before.push_back(read_file(seg));
+  fs::remove_all(dir_);
+  fs::create_directories(dir_);
+
+  obs::Observer observer;
+  FleetConfig config = spill_config(dir_);
+  // Machine 4 (in shard 1) fails its first attempt, succeeds on retry.
+  std::atomic<int> failures{0};
+  config.machine_hook = [&](trace::MachineId m, int attempt) {
+    if (m == 4 && attempt == 1) {
+      ++failures;
+      throw std::runtime_error("transient sensor wedge");
+    }
+  };
+  FleetResult result;
+  {
+    obs::ScopedObserver guard(&observer);
+    result = run_fleet(config);
+  }
+
+  EXPECT_EQ(failures.load(), 1);
+  EXPECT_EQ(result.total_retries, 1u);
+  EXPECT_EQ(result.shards[1].retries, 1u);
+  EXPECT_TRUE(result.quarantined.empty());
+  EXPECT_EQ(
+      observer.metrics().counter("fleet.shard_retries").value(), 1u);
+  EXPECT_EQ(
+      observer.metrics().counter("fleet.machines_quarantined").value(), 0u);
+
+  // The discarded attempt left no trace: every segment is bit-identical
+  // to the failure-free sweep.
+  const auto after = result.segment_paths();
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(read_file(after[i]), before[i]) << i;
+  }
+}
+
+TEST_F(FleetResume, PoisonMachineIsQuarantinedNotFatal) {
+  obs::Observer observer;
+  FleetConfig config = spill_config(dir_);
+  config.max_shard_retries = 2;
+  config.machine_hook = [](trace::MachineId m, int) {
+    if (m == 4) throw std::runtime_error("poison machine");
+  };
+  FleetResult result;
+  {
+    obs::ScopedObserver guard(&observer);
+    result = run_fleet(config);
+  }
+
+  ASSERT_EQ(result.quarantined.size(), 1u);
+  EXPECT_EQ(result.quarantined[0], 4u);
+  EXPECT_EQ(result.shards[1].quarantined, result.quarantined);
+  EXPECT_GE(result.shards[1].retries, 2u);
+  EXPECT_EQ(
+      observer.metrics().counter("fleet.machines_quarantined").value(), 1u);
+
+  // The quarantined machine's records are absent; everyone else's match
+  // a sweep that never had machine 4.
+  const auto trace = result.load_trace();
+  for (const auto& r : trace.records()) EXPECT_NE(r.machine, 4u);
+  EXPECT_EQ(result.total_records, trace.size());
+
+  // A sweep whose budget is exhausted fleet-wide still completes, and the
+  // checkpointed result resumes cleanly.
+  FleetConfig again = spill_config(dir_);
+  again.resume = true;
+  const auto resumed = run_fleet(again);
+  EXPECT_EQ(resumed.resumed_shards, 3u);
+  EXPECT_EQ(resumed.total_records, result.total_records);
+}
+
+TEST_F(FleetResume, FullyPoisonedShardDegradesToEmptyNotFatal) {
+  // Every machine of shard 0 fails every attempt: the supervisor
+  // quarantines them one by one and the shard completes empty — one bad
+  // rack degrades the sweep, it doesn't sink it.
+  FleetConfig config = spill_config(dir_);
+  config.max_shard_retries = 1;
+  config.machine_hook = [](trace::MachineId m, int) {
+    if (m < 3) throw std::runtime_error("rack on fire");
+  };
+  const auto result = run_fleet(config);
+  EXPECT_EQ(result.quarantined,
+            (std::vector<trace::MachineId>{0, 1, 2}));
+  EXPECT_EQ(result.shards[0].records, 0u);
+  EXPECT_EQ(result.shards[0].retries, 3u);
+  EXPECT_GT(result.shards[1].records, 0u);
+  const auto trace = result.load_trace();
+  for (const auto& r : trace.records()) EXPECT_GE(r.machine, 3u);
+}
+
+}  // namespace
+}  // namespace fgcs::fleet

@@ -87,6 +87,66 @@ TEST(ObsFlightRecorder, DumpWritesSimTimeOrderedPostMortem) {
   std::remove(path.c_str());
 }
 
+TEST(ObsFlightRecorder, QuarantineLatchesTheAutomaticDump) {
+  // The supervisor giving up on a machine is as much a "capture the
+  // context" moment as the first injected fault: a kMachineQuarantined
+  // event must trip the dump-on-fault latch.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "obs_flight_quarantine.txt")
+          .string();
+  std::remove(path.c_str());
+  FlightRecorder::Options options;
+  options.capacity = 16;
+  options.dump_path = path;
+  options.dump_on_fault = true;
+  FlightRecorder recorder(options);
+  recorder.record(transition_at(1'000'000, 4, 1, 2));
+
+  FlightEvent q;
+  q.at = SimTime::from_micros(2'000'000);
+  q.kind = FlightEventKind::kMachineQuarantined;
+  q.machine = 4;
+  q.a = 2;  // failures
+  recorder.record(q);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "quarantine did not latch a dump";
+  const std::string dump{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  EXPECT_NE(dump.find("machine-quarantined"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("machine_quarantined failures=2"), std::string::npos)
+      << dump;
+  std::remove(path.c_str());
+}
+
+TEST(ObsFlightRecorder, ShardRetryRecordsButDoesNotLatch) {
+  // Retries are routine supervision, not a post-mortem moment: the event
+  // lands in the ring (with its shard-scoped format) but trips no dump.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "obs_flight_retry.txt")
+          .string();
+  std::remove(path.c_str());
+  FlightRecorder::Options options;
+  options.capacity = 16;
+  options.dump_path = path;
+  options.dump_on_fault = true;
+  FlightRecorder recorder(options);
+
+  FlightEvent r;
+  r.at = SimTime::from_micros(3'000'000);
+  r.kind = FlightEventKind::kShardRetry;
+  r.machine = 1;  // shard index in the shard-scoped events
+  r.a = 2;        // attempt
+  r.b = 4;        // failed machine
+  recorder.record(r);
+
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_EQ(recorder.recorded(), 1u);
+  EXPECT_NE(format_flight_event(recorder.events()[0])
+                .find("shard_retry attempt=2 failed_machine=4"),
+            std::string::npos);
+}
+
 TEST(ObsFlightRecorder, FormatIsHumanReadable) {
   const std::string line = format_flight_event(transition_at(0, 2, 1, 3));
   EXPECT_NE(line.find("m0002"), std::string::npos);

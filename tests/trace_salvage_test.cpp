@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "fgcs/trace/format_v2.hpp"
 #include "fgcs/trace/io.hpp"
 #include "fgcs/util/error.hpp"
 
@@ -316,6 +318,104 @@ TEST(TraceSalvageTest, BinarySalvageOfPartialMagicIsStillTruncation) {
   EXPECT_FALSE(report.clean());
   EXPECT_TRUE(report.truncated);
   EXPECT_EQ(report.recovered, 0u);
+}
+
+// --- v2 damage classification: crash signatures vs. media corruption ------
+//
+// Checksummed ("BLK3") v2 layout, for surgical cuts:
+//   28-byte header, then per block: u32 magic + u32 count + 37*count
+//   column bytes + u32 trailing CRC (the commit mark), then the footer.
+constexpr std::size_t kV2HeaderBytes = 28;
+constexpr std::size_t kV2BlockRecords = 2;
+constexpr std::size_t kV2BlockBytes = 4 + 4 + 37 * kV2BlockRecords + 4;
+
+std::string v2_temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// sample_trace() as a sealed v2 file (4 blocks of 2 records), returned
+/// as bytes for surgical damage.
+std::string sample_v2_bytes(const std::string& path) {
+  const TraceSet trace = sample_trace();
+  TraceWriterV2 writer(path, trace.machine_count(), trace.horizon_start(),
+                       trace.horizon_end(), kV2BlockRecords);
+  for (const auto& r : trace.records()) writer.append(r);
+  writer.finish();
+  std::ifstream in(path, std::ios::binary);
+  return std::string{std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(TraceSalvageTest, V2TornFinalBlockIsDiscardedWholesale) {
+  const std::string path = v2_temp_path("salvage_v2_torn.trc2");
+  const std::string full = sample_v2_bytes(path);
+  ASSERT_GT(full.size(), kV2HeaderBytes + 3 * kV2BlockBytes);
+
+  // A kill between a block's column bytes and its trailing CRC: the third
+  // block's columns are complete on disk but the commit mark is missing.
+  // The whole block must be dropped (an uncommitted transaction), not
+  // half-recovered via the legacy last-column heuristic.
+  const std::size_t cut = kV2HeaderBytes + 2 * kV2BlockBytes +
+                          (kV2BlockBytes - 4 /* everything but the CRC */);
+  write_bytes(path, full.substr(0, cut));
+  const LoadReport report = load_trace_v2_salvage(path);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_TRUE(report.torn_final_block);
+  EXPECT_FALSE(report.truncated_footer);
+  EXPECT_EQ(report.recovered, 2 * kV2BlockRecords);
+  EXPECT_EQ(report.skipped, 0u);
+
+  // A cut mid-columns classifies the same way.
+  write_bytes(path, full.substr(0, kV2HeaderBytes + 2 * kV2BlockBytes + 20));
+  const LoadReport partial = load_trace_v2_salvage(path);
+  EXPECT_TRUE(partial.torn_final_block);
+  EXPECT_FALSE(partial.truncated_footer);
+  EXPECT_EQ(partial.recovered, 2 * kV2BlockRecords);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSalvageTest, V2CutAtBlockBoundaryIsTruncatedFooterNotTorn) {
+  const std::string path = v2_temp_path("salvage_v2_boundary.trc2");
+  const std::string full = sample_v2_bytes(path);
+
+  // A kill after a block flush but before finish(): every block on disk
+  // is committed, only the footer is missing. Distinct from a torn block —
+  // nothing was lost mid-write.
+  write_bytes(path, full.substr(0, kV2HeaderBytes + 3 * kV2BlockBytes));
+  const LoadReport report = load_trace_v2_salvage(path);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_TRUE(report.truncated_footer);
+  EXPECT_FALSE(report.torn_final_block);
+  EXPECT_EQ(report.recovered, 3 * kV2BlockRecords);
+  EXPECT_EQ(report.skipped, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSalvageTest, V2MidFileCorruptionIsSkippedNotTruncation) {
+  const std::string path = v2_temp_path("salvage_v2_corrupt.trc2");
+  std::string bytes = sample_v2_bytes(path);
+
+  // Flip a column byte inside the second block of an otherwise intact
+  // file: media corruption, not a crash. The reader drops that block,
+  // keeps walking the chain, and raises neither crash flag.
+  bytes[kV2HeaderBytes + kV2BlockBytes + 8 + 5] ^= 0x20;
+  write_bytes(path, bytes);
+  const LoadReport report = load_trace_v2_salvage(path);
+  EXPECT_FALSE(report.truncated);
+  EXPECT_FALSE(report.torn_final_block);
+  EXPECT_FALSE(report.truncated_footer);
+  EXPECT_EQ(report.skipped, kV2BlockRecords);
+  EXPECT_EQ(report.recovered, 3 * kV2BlockRecords);
+  EXPECT_FALSE(report.clean());
+
+  // The strict loader refuses the same file outright.
+  EXPECT_THROW(load_trace_v2(path), IoError);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -125,6 +125,48 @@ TEST(Knobs, EnvOrParsesAndFallsBack) {
   EXPECT_EQ(env_or("FGCS_TEST_KNOB", 7), 7u);
 }
 
+TEST(Knobs, MalformedKnobWarnsExactlyOnce) {
+  // A malformed knob must not be silently treated as unset — but hot
+  // callers re-read knobs freely, so the warning fires once per variable.
+  // (The warned-set persists for the process; use a name no other test
+  // touches.)
+  ::setenv("FGCS_TEST_WARN_KNOB", "12cores", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_or("FGCS_TEST_WARN_KNOB", 3), 3u);
+  const std::string first = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(first.find("ignoring malformed"), std::string::npos) << first;
+  EXPECT_NE(first.find("FGCS_TEST_WARN_KNOB"), std::string::npos) << first;
+  EXPECT_NE(first.find("12cores"), std::string::npos) << first;
+
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_or("FGCS_TEST_WARN_KNOB", 3), 3u);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+  ::unsetenv("FGCS_TEST_WARN_KNOB");
+}
+
+TEST(Knobs, NegativeValueWarnsAndFallsBack) {
+  // strtoull would happily wrap "-4" to a huge unsigned; a leading '-'
+  // is malformed, not a 2^64 thread count.
+  ::setenv("FGCS_TEST_NEG_KNOB", "-4", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_or("FGCS_TEST_NEG_KNOB", 9), 9u);
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(warning.find("ignoring malformed"), std::string::npos) << warning;
+  ::unsetenv("FGCS_TEST_NEG_KNOB");
+}
+
+TEST(Knobs, WellFormedAndUnsetKnobsStaySilent) {
+  ::setenv("FGCS_TEST_QUIET_KNOB", "42", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_or("FGCS_TEST_QUIET_KNOB", 7), 42u);
+  ::unsetenv("FGCS_TEST_QUIET_KNOB");
+  EXPECT_EQ(env_or("FGCS_TEST_QUIET_KNOB", 7), 7u);
+  ::setenv("FGCS_TEST_QUIET_KNOB", "", 1);
+  EXPECT_EQ(env_or("FGCS_TEST_QUIET_KNOB", 7), 7u);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+  ::unsetenv("FGCS_TEST_QUIET_KNOB");
+}
+
 TEST(Knobs, EnvFlagSemantics) {
   ::unsetenv("FGCS_TEST_FLAG");
   EXPECT_FALSE(env_flag("FGCS_TEST_FLAG"));

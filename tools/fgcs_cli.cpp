@@ -78,7 +78,8 @@ int usage() {
       "  fgcs fleet     --machines N [--days D] [--seed S] [--threads T]\n"
       "                 [--spill-dir <dir>] [--shard-machines M]\n"
       "                 [--out <path>] [--profile purdue|enterprise]\n"
-      "                 [--fault-plan <file>]\n"
+      "                 [--fault-plan <file>] [--resume] [--no-checkpoint]\n"
+      "                 [--max-shard-retries N]\n"
       "  fgcs analyze   <trace> [--start-dow 0..6] [--salvage]\n"
       "  fgcs predict   <trace> [--train-days D] [--window-hours H]\n"
       "                 [--salvage]\n"
@@ -113,6 +114,14 @@ int usage() {
       "  --stall-days=<d>     watchdog: flag a started shard once the rest\n"
       "                       of the fleet advances d machine-days without\n"
       "                       it moving (default 30)\n"
+      "  --resume             validate --spill-dir's checkpoint (MANIFEST +\n"
+      "                       per-shard CRCs) and skip every shard that\n"
+      "                       proves complete; the merged trace and metrics\n"
+      "                       are byte-identical to an uninterrupted run\n"
+      "  --no-checkpoint      skip the per-shard durable checkpoint commit\n"
+      "                       (state blob + MANIFEST line) in spill mode\n"
+      "  --max-shard-retries=<n>  per-machine failure budget before the\n"
+      "                       supervisor quarantines a machine (default 2)\n"
       "\nrobustness:\n"
       "  --fault-plan=<file>  inject faults from a declarative plan (see\n"
       "                       docs/robustness.md for the format): machine\n"
@@ -158,7 +167,11 @@ int usage() {
       "                       multi-core hosts. Default: off.\n"
       "  FGCS_HUGE_PAGES=1    back arena chunks >= 2 MiB with huge-page\n"
       "                       hinted mappings; falls back to the heap if\n"
-      "                       unavailable. Default: off.\n");
+      "                       unavailable. Default: off.\n"
+      "  FGCS_DURABILITY=<l>  fsync policy for spilled segments/checkpoints:\n"
+      "                       none (no fsync), commit (fsync at seal/rename,\n"
+      "                       the default), block (also fsync every sealed\n"
+      "                       block — slow, max crash safety).\n");
   return 2;
 }
 
@@ -344,13 +357,18 @@ int cmd_fleet(const Args& args) {
   config.metrics_path = args.get("metrics-ts-out", "");
   config.metrics_resolution =
       sim::SimDuration::hours(args.get_int("ts-resolution-hours", 1));
+  config.checkpoint = !args.has_flag("no-checkpoint");
+  config.resume = args.has_flag("resume");
+  config.max_shard_retries =
+      static_cast<int>(args.get_int("max-shard-retries", 2));
 
-  std::printf("fleet: %u machines x %d days (seed %llu, %u machines/shard%s)"
+  std::printf("fleet: %u machines x %d days (seed %llu, %u machines/shard%s%s)"
               "...\n",
               config.testbed.machines, config.testbed.days,
               static_cast<unsigned long long>(config.testbed.seed),
               config.effective_shard_machines(),
-              config.spill_dir.empty() ? ", in-memory" : ", spilling");
+              config.spill_dir.empty() ? ", in-memory" : ", spilling",
+              config.resume ? ", resuming" : "");
 
   // Live introspection (wall-clock, so it lives here and not in the
   // deterministic fleet library): a monitor thread polls the progress
@@ -436,6 +454,23 @@ int cmd_fleet(const Args& args) {
               static_cast<unsigned long long>(result.machine_days()),
               static_cast<unsigned long long>(result.total_records),
               result.shards.size());
+  if (result.resumed_shards > 0 || !result.resume_dropped.empty()) {
+    std::printf("fleet: resumed %zu shard(s) from checkpoint, re-ran %zu\n",
+                result.resumed_shards,
+                result.shards.size() - result.resumed_shards);
+    for (const auto& reason : result.resume_dropped) {
+      std::printf("fleet: re-ran %s\n", reason.c_str());
+    }
+  }
+  if (result.total_retries > 0) {
+    std::printf("fleet: %llu shard attempt(s) retried\n",
+                static_cast<unsigned long long>(result.total_retries));
+  }
+  for (const auto m : result.quarantined) {
+    std::printf("fleet: WARNING machine %u quarantined — its records are "
+                "absent from the sweep\n",
+                static_cast<unsigned>(m));
+  }
   if (!result.metrics_path.empty()) {
     std::printf("wrote metrics time series to %s\n",
                 result.metrics_path.c_str());

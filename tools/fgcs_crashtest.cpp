@@ -1,0 +1,268 @@
+// Crash-injection harness for the fleet checkpoint/resume path.
+//
+//   fgcs_crashtest [--points N] [--machines M] [--days D] [--seed S]
+//                  [--dir BASE]
+//
+// Protocol, per kill point:
+//
+//   1. The parent runs one clean, checkpointed, metrics-collecting sweep
+//      into BASE/ref — the byte-level ground truth.
+//   2. It forks a child that arms exactly one FGCS_CRASH_AFTER_* knob
+//      (point and crossing count drawn from a seeded SplitMix64 stream —
+//      no wall clock, so a failing point number reproduces exactly) and
+//      runs the same sweep into a fresh directory. The knob SIGKILLs the
+//      child mid-block, between a segment seal and its manifest record,
+//      or right after a manifest rename; a count past the sweep's total
+//      crossings lets the child finish clean, which is also a valid
+//      outcome (resume then validates a complete checkpoint).
+//   3. The parent reaps the child (anything but SIGKILL or exit 0 fails
+//      the harness), resumes the sweep in-process with the knobs unset,
+//      and byte-compares every shard segment, the metrics segment, and
+//      the MANIFEST against BASE/ref.
+//
+// Any divergence — a torn block the salvage path missed, a resumed shard
+// whose restored counters drift, a manifest that lies — fails the run
+// with a per-file diagnosis. Exit 0 means every kill point recovered to
+// a bit-identical sweep.
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <string>
+#include <vector>
+
+#include "fgcs/fleet/fleet.hpp"
+#include "fgcs/util/cli.hpp"
+#include "fgcs/util/error.hpp"
+#include "fgcs/util/io.hpp"
+
+namespace {
+
+using fgcs::util::CliArgs;
+
+constexpr const char* kKnobs[] = {
+    "FGCS_CRASH_AFTER_BLOCK_WRITES",
+    "FGCS_CRASH_AFTER_SHARD_COMMITS",
+    "FGCS_CRASH_AFTER_MANIFEST_WRITES",
+};
+constexpr const char* kKnobShort[] = {"block-write", "shard-commit",
+                                      "manifest-write"};
+
+std::uint64_t splitmix(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::string join(const std::string& dir, const std::string& name) {
+  return dir + "/" + name;
+}
+
+void ensure_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return;
+  std::fprintf(stderr, "crashtest: cannot create %s: %s\n", dir.c_str(),
+               std::strerror(errno));
+  std::exit(2);
+}
+
+/// Removes `dir`'s regular files and the directory itself (the harness
+/// only ever creates flat directories).
+void remove_flat_dir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    ::unlink(join(dir, name).c_str());
+  }
+  ::closedir(d);
+  ::rmdir(dir.c_str());
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+fgcs::fleet::FleetConfig sweep_config(const CliArgs& args,
+                                      const std::string& dir) {
+  fgcs::fleet::FleetConfig config;
+  config.testbed.machines =
+      static_cast<std::uint32_t>(args.get_int("machines", 24));
+  config.testbed.days = static_cast<int>(args.get_int("days", 5));
+  config.testbed.seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 20050815));
+  config.spill_dir = dir;
+  config.metrics_path = join(dir, "metrics.met1");
+  config.checkpoint = true;
+  return config;
+}
+
+/// Byte-compares one file between the crash directory and the reference.
+bool compare_file(const std::string& crash_dir, const std::string& ref_dir,
+                  const std::string& name, int point) {
+  std::string got;
+  std::string want;
+  if (!read_file(join(ref_dir, name), want)) {
+    std::fprintf(stderr, "crashtest: point %d: reference %s unreadable\n",
+                 point, name.c_str());
+    return false;
+  }
+  if (!read_file(join(crash_dir, name), got)) {
+    std::fprintf(stderr, "crashtest: point %d: %s missing after resume\n",
+                 point, name.c_str());
+    return false;
+  }
+  if (got != want) {
+    std::fprintf(stderr,
+                 "crashtest: point %d: %s diverges from the reference "
+                 "(%zu vs %zu bytes)\n",
+                 point, name.c_str(), got.size(), want.size());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  const int points = static_cast<int>(args.get_int("points", 20));
+  const std::string base = args.get("dir", "fgcs-crashtest.tmp");
+  std::uint64_t rng =
+      static_cast<std::uint64_t>(args.get_int("seed", 20050815)) ^
+      0xC7A5B7E57ULL;
+
+  // The knobs must be unarmed in this process: the reference sweep and
+  // every resume run here.
+  for (const char* knob : kKnobs) ::unsetenv(knob);
+
+  ensure_dir(base);
+  const std::string ref_dir = join(base, "ref");
+  remove_flat_dir(ref_dir);
+  ensure_dir(ref_dir);
+
+  const fgcs::fleet::FleetConfig ref_config = sweep_config(args, ref_dir);
+  const std::size_t shard_count = ref_config.shard_count();
+  std::printf("crashtest: reference sweep (%u machines x %d days, %zu "
+              "shards, durability=%s)\n",
+              ref_config.testbed.machines, ref_config.testbed.days,
+              shard_count,
+              fgcs::util::durability_name(fgcs::util::durability_level()));
+  const auto ref = fgcs::fleet::run_fleet(ref_config);
+
+  std::vector<std::string> names;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    char name[32];
+    std::snprintf(name, sizeof name, "shard-%04zu.trc2", s);
+    names.emplace_back(name);
+  }
+  names.emplace_back("metrics.met1");
+  names.emplace_back("MANIFEST");
+
+  int failures = 0;
+  for (int point = 0; point < points; ++point) {
+    const int knob = static_cast<int>(splitmix(rng) % 3);
+    // Counts reach past the sweep's crossing totals on purpose: the tail
+    // exercises "armed but never fired" (clean child, complete
+    // checkpoint, no-op resume).
+    const int count =
+        1 + static_cast<int>(splitmix(rng) %
+                             (knob == 0 ? shard_count + 8 : shard_count + 2));
+    const std::string crash_dir = join(base, "pt-" + std::to_string(point));
+    remove_flat_dir(crash_dir);
+    ensure_dir(crash_dir);
+
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "crashtest: fork failed: %s\n",
+                   std::strerror(errno));
+      return 2;
+    }
+    if (pid == 0) {
+      // Child: arm exactly one knob, zero the crossing counters inherited
+      // from the parent's reference sweep, run until the kill (or clean).
+      char value[16];
+      std::snprintf(value, sizeof value, "%d", count);
+      ::setenv(kKnobs[knob], value, 1);
+      fgcs::util::reset_crashpoints();
+      try {
+        fgcs::fleet::run_fleet(sweep_config(args, crash_dir));
+      } catch (...) {
+        ::_exit(3);
+      }
+      ::_exit(0);
+    }
+
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    const bool killed = WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!killed && !clean) {
+      std::fprintf(stderr,
+                   "crashtest: point %d: child neither SIGKILLed nor clean "
+                   "(status 0x%x)\n",
+                   point, status);
+      ++failures;
+      continue;
+    }
+
+    fgcs::util::reset_crashpoints();
+    fgcs::fleet::FleetConfig resume_config = sweep_config(args, crash_dir);
+    resume_config.resume = true;
+    std::size_t resumed = 0;
+    try {
+      const auto result = fgcs::fleet::run_fleet(resume_config);
+      resumed = result.resumed_shards;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "crashtest: point %d: resume threw: %s\n", point,
+                   e.what());
+      ++failures;
+      continue;
+    }
+
+    bool ok = true;
+    for (const auto& name : names) {
+      ok = compare_file(crash_dir, ref_dir, name, point) && ok;
+    }
+    std::printf("crashtest: point %2d: %s after %2d %-14s -> resumed "
+                "%2zu/%zu shards, %s\n",
+                point, killed ? "killed" : "clean ", count, kKnobShort[knob],
+                resumed, shard_count, ok ? "bit-identical" : "DIVERGED");
+    if (!ok) {
+      ++failures;
+      continue;
+    }
+    remove_flat_dir(crash_dir);
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "crashtest: %d/%d kill points FAILED\n", failures,
+                 points);
+    return 1;
+  }
+  std::printf("crashtest: all %d kill points recovered bit-identically\n",
+              points);
+  remove_flat_dir(ref_dir);
+  ::rmdir(base.c_str());
+  return 0;
+}
