@@ -18,6 +18,12 @@
 //     in-memory vs spill peak-RSS comparison, and the full 92-day sweep.
 //     Each configuration runs in a forked child so wait4()'s ru_maxrss
 //     reports that run's peak RSS alone. Writes BENCH_fleet.json.
+//   * `--serve[=path]` runs the tracked serving-layer suite: a 2,000-
+//     machine/28-day fleet ingested live into an AvailabilityFeed, then
+//     one million point queries (hot-machine zipf mix) against the
+//     published snapshot — ingest events/sec, queries/sec, and p50/p99
+//     per-query latency. Writes BENCH_serve.json, gated by
+//     scripts/run_bench.sh and scripts/check_build.sh --bench.
 //   * `--all` runs all tracked suites.
 #include <benchmark/benchmark.h>
 
@@ -49,6 +55,7 @@
 #include "fgcs/os/machine.hpp"
 #include "fgcs/predict/history_window.hpp"
 #include "fgcs/recover/manifest.hpp"
+#include "fgcs/serve/load.hpp"
 #include "fgcs/recover/shard_state.hpp"
 #include "fgcs/sim/simulation.hpp"
 #include "fgcs/stats/ecdf.hpp"
@@ -961,13 +968,125 @@ int run_fleet_suite(const std::string& path) {
 
 }  // namespace
 
+// The serving layer end to end at benchmark scale: a 2,000-machine fleet
+// ingested record-by-record through AvailabilityFeed::ingest (the same
+// incremental fold the observer event seam drives), then one million
+// zipf-mixed point queries against the published snapshot. Latency is
+// measured per query over a 200k sample; throughput over the full load.
+int run_serve_suite(const std::string& path) {
+  constexpr std::uint32_t kMachines = 2000;
+  constexpr int kDays = 28;
+  constexpr std::uint64_t kQueries = 1'000'000;
+  constexpr std::uint64_t kLatencySample = 200'000;
+
+  serve::FeedConfig fc;
+  fc.machines = kMachines;
+  fc.horizon_start = sim::SimTime::epoch();
+  fc.publish_every = 1024;
+  serve::AvailabilityFeed feed(fc);
+
+  std::printf("serve: ingesting %u machines x %d days...\n", kMachines,
+              kDays);
+  core::TestbedConfig config;
+  config.machines = kMachines;
+  config.days = kDays;
+  const core::TestbedRunner runner(config);
+  core::MachineScratch scratch;
+  std::vector<trace::UnavailabilityRecord> records;
+  const auto ingest_start = std::chrono::steady_clock::now();
+  for (std::uint32_t m = 0; m < kMachines; ++m) {
+    runner.run_into(m, scratch, records);
+    for (const auto& r : records) feed.ingest(r);
+  }
+  feed.publish();
+  const double ingest_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ingest_start)
+          .count();
+  const double ingested = static_cast<double>(feed.events_ingested());
+
+  serve::LoadSpec spec;
+  spec.machines = kMachines;
+  spec.queries = kQueries;
+  spec.mix = serve::MixSpec::parse("zipf:1.1");
+  spec.at_hours = 24.0 * kDays + 1.0;  // strictly past every episode
+  spec.horizon_hours = 4.0;
+  const serve::LoadGenerator gen(spec);
+  const serve::QueryEngine engine(feed);
+
+  std::printf("serve: timing %llu sampled queries...\n",
+              static_cast<unsigned long long>(kLatencySample));
+  std::vector<double> lat_us;
+  lat_us.reserve(kLatencySample);
+  {
+    const auto snap = engine.pin();
+    for (std::uint64_t i = 0; i < kLatencySample; ++i) {
+      const serve::ServeQuery q = gen.query(i);
+      const auto t0 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(engine.query(*snap, q).p_available);
+      lat_us.push_back(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+    }
+  }
+  std::sort(lat_us.begin(), lat_us.end());
+  const double p50 = lat_us[lat_us.size() / 2];
+  const double p99 = lat_us[lat_us.size() * 99 / 100];
+
+  std::printf("serve: running the %lluM-query load...\n",
+              static_cast<unsigned long long>(kQueries / 1'000'000));
+  const auto load_start = std::chrono::steady_clock::now();
+  const serve::LoadStats stats = serve::run_load(engine, gen, 0, kQueries);
+  const double load_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    load_start)
+          .count();
+  const double qps = static_cast<double>(stats.queries) / load_wall;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  char buffer[1024];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "{\n"
+      "  \"suite\": \"serve\",\n"
+      "  \"serve_machines\": %u,\n"
+      "  \"serve_days\": %d,\n"
+      "  \"serve_ingest_events\": %.0f,\n"
+      "  \"serve_ingest_events_per_sec\": %.0f,\n"
+      "  \"serve_snapshot_swaps\": %llu,\n"
+      "  \"serve_mix\": \"%s\",\n"
+      "  \"serve_queries\": %llu,\n"
+      "  \"serve_queries_per_sec\": %.0f,\n"
+      "  \"serve_latency_p50_us\": %.4f,\n"
+      "  \"serve_latency_p99_us\": %.4f,\n"
+      "  \"serve_prob_checksum\": %.6f\n"
+      "}\n",
+      kMachines, kDays, ingested, ingested / ingest_wall,
+      static_cast<unsigned long long>(feed.snapshots_published()),
+      spec.mix.str().c_str(), static_cast<unsigned long long>(stats.queries),
+      qps, p50, p99, stats.prob_sum);
+  out << buffer;
+  std::printf(
+      "serve: ingest %.0f ev/s (%.0f episodes, %.2fs), %.2fM q/s, "
+      "latency p50 %.3fus p99 %.3fus -> %s\n",
+      ingested / ingest_wall, ingested, ingest_wall, qps / 1e6, p50, p99,
+      path.c_str());
+  return 0;
+}
+
 int main(int argc, char** argv) {
   std::string baseline_path;
   std::string simcore_path;
   std::string fleet_path;
+  std::string serve_path;
   bool run_baseline = false;
   bool run_simcore = false;
   bool run_fleet = false;
+  bool run_serve = false;
   std::vector<char*> bench_args{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -989,22 +1108,31 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--fleet=", 0) == 0) {
       run_fleet = true;
       fleet_path = arg.substr(std::string_view("--fleet=").size());
+    } else if (arg == "--serve") {
+      run_serve = true;
+      serve_path = "BENCH_serve.json";
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      run_serve = true;
+      serve_path = arg.substr(std::string_view("--serve=").size());
     } else if (arg == "--all") {
       run_baseline = true;
       run_simcore = true;
       run_fleet = true;
+      run_serve = true;
       if (baseline_path.empty()) baseline_path = "BENCH_obs.json";
       if (simcore_path.empty()) simcore_path = "BENCH_simcore.json";
       if (fleet_path.empty()) fleet_path = "BENCH_fleet.json";
+      if (serve_path.empty()) serve_path = "BENCH_serve.json";
     } else {
       bench_args.push_back(argv[i]);
     }
   }
-  if (run_baseline || run_simcore || run_fleet) {
+  if (run_baseline || run_simcore || run_fleet || run_serve) {
     int rc = 0;
     if (run_simcore) rc |= run_simcore_suite(simcore_path);
     if (run_baseline) rc |= run_obs_baseline(baseline_path);
     if (run_fleet) rc |= run_fleet_suite(fleet_path);
+    if (run_serve) rc |= run_serve_suite(serve_path);
     return rc;
   }
 

@@ -102,9 +102,9 @@ if [[ "$run_tsan" -eq 1 ]]; then
   cmake -B build-tsan -S . -DFGCS_SANITIZE=thread
   cmake --build build-tsan -j
 
-  echo "== tsan: fleet + parallel + columnar suites =="
+  echo "== tsan: fleet + parallel + columnar + serve suites =="
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R '^(Fleet|TraceV2|PredictParallel|ObsShard|ObsFlightRecorder|ThreadPool|ParallelFor|Testbed|Arena|Knobs)'
+    -R '^(Fleet|TraceV2|PredictParallel|ObsShard|ObsFlightRecorder|ThreadPool|ParallelFor|Testbed|Arena|Knobs|Serve)'
 fi
 
 if [[ "$run_bench" -eq 1 ]]; then
@@ -134,6 +134,23 @@ if [[ "$run_bench" -eq 1 ]]; then
   if awk -v o="$usec_per_md" 'BEGIN { exit !(o >= 15.0) }'; then
     echo "check_build: FAIL — enabled-telemetry fleet cost ${usec_per_md}" \
          "us/machine-day exceeds the 15 us budget" >&2
+    exit 1
+  fi
+fi
+
+if [[ "$run_bench" -eq 1 ]]; then
+  echo "== bench: serve suite scale gate =="
+  # The serving layer's headline claim is absolute, not relative: the
+  # committed BENCH_serve.json must come from >= 1M queries against a
+  # >= 2000-machine fleet. A smaller run would make the qps/p99 gates
+  # meaningless, so it fails here regardless of how fast it was.
+  serve_json="build/BENCH_serve.latest.json"
+  serve_queries="$(sed -n 's/.*"serve_queries": \([0-9]*\).*/\1/p' "$serve_json")"
+  serve_machines="$(sed -n 's/.*"serve_machines": \([0-9]*\).*/\1/p' "$serve_json")"
+  echo "gate: serve load ${serve_queries:-<missing>} queries over ${serve_machines:-<missing>} machines (need >= 1000000 / >= 2000)"
+  if [[ -z "$serve_queries" || -z "$serve_machines" ]] || \
+     [[ "$serve_queries" -lt 1000000 || "$serve_machines" -lt 2000 ]]; then
+    echo "check_build: FAIL — serve bench below the 1M-query / 2000-machine floor" >&2
     exit 1
   fi
 fi

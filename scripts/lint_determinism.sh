@@ -21,9 +21,13 @@ cd "$(dirname "$0")/.."
 # columnar engine moved detector batching, load generation, and the arena
 # allocator onto the per-machine hot path; recover joined with the
 # checkpoint/resume path (a resumed sweep must be a pure function of the
-# config plus the bytes on disk).
+# config plus the bytes on disk); serve joined when the online predictor
+# service landed (snapshot contents and load-generator draws must be a
+# pure function of the ingested records and the query seed — latency
+# timing lives in bench/ and tools/, outside this subtree).
 DIRS=(src/fgcs/sim src/fgcs/os src/fgcs/core src/fgcs/fault src/fgcs/fleet
-      src/fgcs/monitor src/fgcs/workload src/fgcs/util src/fgcs/recover)
+      src/fgcs/monitor src/fgcs/workload src/fgcs/util src/fgcs/recover
+      src/fgcs/serve)
 
 # pattern<TAB>human-readable reason
 RULES=$(cat <<'EOF'

@@ -7,11 +7,13 @@
 #                                       # committed baseline
 #
 # Runs `perf_microbench --all`, which writes BENCH_simcore.json (sim-core
-# fast-path suite), BENCH_obs.json (observability overhead baseline), and
+# fast-path suite), BENCH_obs.json (observability overhead baseline),
 # BENCH_fleet.json (sharded fleet sweep: threads sweep, peak RSS, the
-# full 2,000-machine x 92-day run). If a committed baseline exists, the
-# script fails when event-queue throughput or single-thread fleet
-# machine-days/sec regresses more than 20% below it — enough slack to
+# full 2,000-machine x 92-day run), and BENCH_serve.json (online
+# availability service: live ingest + a million-query load). If a
+# committed baseline exists, the script fails when event-queue
+# throughput, single-thread fleet machine-days/sec, or serve
+# queries/sec regresses more than 20% below it — enough slack to
 # absorb shared-host noise while still catching real regressions. Two
 # absolute gates ride along: the columnar steady state must allocate
 # zero, and per-shard checkpointing may cost at most 3% of a spilled
@@ -47,6 +49,14 @@ if [[ -f BENCH_obs.json ]]; then
     's/.*"observer_enabled_events_per_sec": \([0-9.]*\).*/\1/p' \
     BENCH_obs.json)"
 fi
+baseline_serve_qps=""
+baseline_serve_p99=""
+if [[ -f BENCH_serve.json ]]; then
+  baseline_serve_qps="$(sed -n \
+    's/.*"serve_queries_per_sec": \([0-9.]*\).*/\1/p' BENCH_serve.json)"
+  baseline_serve_p99="$(sed -n \
+    's/.*"serve_latency_p99_us": \([0-9.]*\).*/\1/p' BENCH_serve.json)"
+fi
 
 echo "== bench: configure + build (Release) =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DFGCS_WERROR=OFF
@@ -56,23 +66,28 @@ echo "== bench: sim-core + fleet suites =="
 out="BENCH_simcore.json"
 obs_out="BENCH_obs.json"
 fleet_out="BENCH_fleet.json"
+serve_out="BENCH_serve.json"
 if [[ "$check_only" -eq 1 ]]; then
   out="$(mktemp /tmp/BENCH_simcore.XXXXXX.json)"
   obs_out="$(mktemp /tmp/BENCH_obs.XXXXXX.json)"
   fleet_out="$(mktemp /tmp/BENCH_fleet.XXXXXX.json)"
+  serve_out="$(mktemp /tmp/BENCH_serve.XXXXXX.json)"
 fi
 ./build/bench/perf_microbench --simcore="$out" --obs-baseline="$obs_out" \
-  --fleet="$fleet_out"
-# Keep the freshest obs numbers where check_build.sh --bench can assert
-# on them regardless of --check-only (the committed baseline is only
-# refreshed on a full run).
+  --fleet="$fleet_out" --serve="$serve_out"
+# Keep the freshest obs + serve numbers where check_build.sh --bench can
+# assert on them regardless of --check-only (the committed baseline is
+# only refreshed on a full run).
 cp "$obs_out" build/BENCH_obs.latest.json
+cp "$serve_out" build/BENCH_serve.latest.json
 echo
 cat "$out"
 echo
 cat "$obs_out"
 echo
 cat "$fleet_out"
+echo
+cat "$serve_out"
 echo
 
 if [[ -n "$baseline_events_per_sec" ]]; then
@@ -147,6 +162,35 @@ if [[ -n "$baseline_obs_events_per_sec" ]]; then
   fi
 else
   echo "gate: no committed BENCH_obs.json baseline; skipping"
+fi
+
+if [[ -n "$baseline_serve_qps" ]]; then
+  current_qps="$(sed -n \
+    's/.*"serve_queries_per_sec": \([0-9.]*\).*/\1/p' "$serve_out")"
+  qps_floor="$(awk -v b="$baseline_serve_qps" 'BEGIN { printf "%.0f", b * 0.8 }')"
+  echo "gate: serve ${current_qps} queries/s vs committed baseline" \
+       "${baseline_serve_qps} queries/s (floor ${qps_floor})"
+  if awk -v c="$current_qps" -v f="$qps_floor" 'BEGIN { exit !(c < f) }'; then
+    echo "run_bench: FAIL — serve query throughput regressed >20%" >&2
+    exit 1
+  fi
+else
+  echo "gate: no committed BENCH_serve.json baseline; skipping"
+fi
+
+# Tail latency gets a looser 2x ceiling: p99 on a shared host is noisier
+# than throughput, but an order-of-magnitude blowup (a lock on the read
+# path, an accidental deep copy per query) must still fail the gate.
+if [[ -n "$baseline_serve_p99" ]]; then
+  current_p99="$(sed -n \
+    's/.*"serve_latency_p99_us": \([0-9.]*\).*/\1/p' "$serve_out")"
+  p99_ceiling="$(awk -v b="$baseline_serve_p99" 'BEGIN { printf "%.4f", b * 2.0 }')"
+  echo "gate: serve p99 ${current_p99}us vs committed baseline" \
+       "${baseline_serve_p99}us (ceiling ${p99_ceiling}us)"
+  if awk -v c="$current_p99" -v f="$p99_ceiling" 'BEGIN { exit !(c > f) }'; then
+    echo "run_bench: FAIL — serve p99 query latency more than doubled" >&2
+    exit 1
+  fi
 fi
 
 echo "run_bench: OK"

@@ -76,6 +76,9 @@ Observer::Observer(const Options& options)
   fleet_shard_retries_ = &metrics_.counter("fleet.shard_retries");
   fleet_machines_quarantined_ =
       &metrics_.counter("fleet.machines_quarantined");
+  serve_ingest_events_ = &metrics_.counter("serve.ingest_events");
+  serve_queries_ = &metrics_.counter("serve.queries");
+  serve_snapshot_swaps_ = &metrics_.counter("serve.snapshot_swaps");
 }
 
 void Observer::on_sim_run(const char* what, sim::SimTime begin,
@@ -187,6 +190,10 @@ void Observer::on_episode_opened(sim::SimTime at, int cause, double host_cpu,
     flight_->record({at, FlightEventKind::kEpisodeOpened, current_track(),
                      cause, 0, {}});
   }
+  if (sink_ != nullptr) {
+    sink_->on_flight_event({at, FlightEventKind::kEpisodeOpened,
+                            current_track(), cause, 0, {}});
+  }
   if (!trace_enabled_) return;
   char args[96];
   std::snprintf(args, sizeof args, "\"cause\":\"%s\",\"host_cpu\":%.4f,"
@@ -208,6 +215,10 @@ void Observer::on_episode_closed(sim::SimTime at, int cause,
   if (flight_ != nullptr) {
     flight_->record({at, FlightEventKind::kEpisodeClosed, current_track(),
                      cause, 0, duration});
+  }
+  if (sink_ != nullptr) {
+    sink_->on_flight_event({at, FlightEventKind::kEpisodeClosed,
+                            current_track(), cause, 0, duration});
   }
   if (!trace_enabled_) return;
   char args[96];
@@ -318,6 +329,37 @@ void Observer::on_fleet_machine_quarantined(std::uint32_t machine,
   }
 }
 
+void Observer::on_serve_ingest(sim::SimTime at) {
+  if (TimeSeriesShard* ts = current_ts_shard()) {
+    ts->on_serve_ingest(at);
+    // Fall through: unlike detector samples, serve totals are not
+    // reconstructed from bins, so the counter path always runs.
+  }
+  if (CounterShard* s = current_shard()) {
+    ++s->serve_ingest_events;
+    return;
+  }
+  serve_ingest_events_->inc();
+}
+
+void Observer::on_serve_queries(sim::SimTime at, std::uint64_t n) {
+  if (n == 0) return;
+  if (TimeSeriesShard* ts = current_ts_shard()) ts->on_serve_queries(at, n);
+  if (CounterShard* s = current_shard()) {
+    s->serve_queries += n;
+    return;
+  }
+  serve_queries_->inc(n);
+}
+
+void Observer::on_serve_snapshot_swap() {
+  if (CounterShard* s = current_shard()) {
+    ++s->serve_snapshot_swaps;
+    return;
+  }
+  serve_snapshot_swaps_->inc();
+}
+
 void Observer::record_scope(std::string_view name, double seconds) {
   metrics_
       .histogram("scope.seconds", {{"scope", std::string(name)}})
@@ -354,6 +396,9 @@ void Observer::merge_shard(const CounterShard& shard) {
   os_context_switches_->inc(shard.os_context_switches);
   os_max_runnable_->set_max(shard.os_max_runnable);
   testbed_machines_->inc(shard.testbed_machines);
+  serve_ingest_events_->inc(shard.serve_ingest_events);
+  serve_queries_->inc(shard.serve_queries);
+  serve_snapshot_swaps_->inc(shard.serve_snapshot_swaps);
 }
 
 namespace detail {

@@ -71,6 +71,9 @@ struct CounterShard {
   std::uint64_t os_context_switches = 0;
   double os_max_runnable = 0.0;
   std::uint64_t testbed_machines = 0;
+  std::uint64_t serve_ingest_events = 0;
+  std::uint64_t serve_queries = 0;
+  std::uint64_t serve_snapshot_swaps = 0;
 };
 
 namespace detail {
@@ -92,6 +95,19 @@ class ShardScope {
 
  private:
   CounterShard* previous_;
+};
+
+/// Receives a copy of every timestamped flight event the Observer sees,
+/// synchronously on the emitting thread. This is the seam the online
+/// serving layer (fgcs::serve) subscribes through: episode open/close
+/// events carry everything AvailabilityFeed needs to maintain incremental
+/// predictor state without rescanning the trace. Like the flight
+/// recorder, a sink must be attached *before* the observer is installed —
+/// the pointer is read unsynchronized from hook paths.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_flight_event(const FlightEvent& event) = 0;
 };
 
 class Observer {
@@ -121,6 +137,12 @@ class Observer {
   /// pointer is read unsynchronized from hook paths.
   void set_flight_recorder(FlightRecorder* recorder) { flight_ = recorder; }
   FlightRecorder* flight_recorder() const { return flight_; }
+
+  /// Attaches (or, with nullptr, detaches) an event sink; episode
+  /// open/close hooks then forward their events to it synchronously.
+  /// Same ownership and attach-before-install rules as the recorder.
+  void set_event_sink(EventSink* sink) { sink_ = sink; }
+  EventSink* event_sink() const { return sink_; }
 
   // -- sim hooks -------------------------------------------------------------
 
@@ -313,6 +335,19 @@ class Observer {
   void on_fleet_machine_quarantined(std::uint32_t machine, int failures,
                                     sim::SimTime at);
 
+  // -- serve hooks -----------------------------------------------------------
+
+  /// One availability record ingested by the online serving feed, at the
+  /// record's end time.
+  void on_serve_ingest(sim::SimTime at);
+
+  /// A batch of `n` predictor queries answered, attributed to sim time
+  /// `at` (the queries' nominal arrival time).
+  void on_serve_queries(sim::SimTime at, std::uint64_t n);
+
+  /// The serving feed published a fresh fleet snapshot.
+  void on_serve_snapshot_swap();
+
   // -- profiling scopes ------------------------------------------------------
 
   /// Feeds the "scope.seconds{scope=...}" histogram family (wall-clock).
@@ -328,6 +363,7 @@ class Observer {
   TraceSink trace_;
   bool trace_enabled_;
   FlightRecorder* flight_ = nullptr;
+  EventSink* sink_ = nullptr;
 
   // Hot-path series, registered once at construction.
   Counter* sim_events_executed_;
@@ -358,6 +394,9 @@ class Observer {
   Counter* fleet_shards_done_;
   Counter* fleet_shard_retries_;
   Counter* fleet_machines_quarantined_;
+  Counter* serve_ingest_events_;
+  Counter* serve_queries_;
+  Counter* serve_snapshot_swaps_;
 };
 
 namespace detail {

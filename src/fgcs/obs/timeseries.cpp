@@ -370,6 +370,8 @@ TimeSeriesShard::TimeSeriesShard(sim::SimTime start, sim::SimTime end,
   sensor_gaps_.assign(n, 0);
   sensor_gap_us_.assign(n, 0);
   faults_.assign(4, std::vector<std::uint64_t>(n, 0));
+  serve_ingests_.assign(n, 0);
+  serve_queries_.assign(n, 0);
 }
 
 void TimeSeriesShard::flush_pending() const {
@@ -492,6 +494,8 @@ void TimeSeriesShard::add(const TimeSeriesShard& other) {
   for (std::size_t k = 0; k < faults_.size(); ++k) {
     fold(faults_[k], other.faults_[k]);
   }
+  fold(serve_ingests_, other.serve_ingests_);
+  fold(serve_queries_, other.serve_queries_);
 }
 
 const std::vector<double>& TimeSeriesShard::episode_minute_bounds() {
@@ -525,6 +529,10 @@ void TimeSeriesShard::save_bins(std::vector<unsigned char>& out) const {
   put(sensor_gaps_);
   put(sensor_gap_us_);
   put_family(faults_);
+  // Serve families go last so pre-serve checkpoints fail the size check
+  // (load_bins rejects short blobs) instead of silently misaligning.
+  put(serve_ingests_);
+  put(serve_queries_);
 }
 
 void TimeSeriesShard::load_bins(const unsigned char* data, std::size_t size) {
@@ -571,6 +579,8 @@ void TimeSeriesShard::load_bins(const unsigned char* data, std::size_t size) {
   take(sensor_gaps_);
   take(sensor_gap_us_);
   take_family(faults_);
+  take(serve_ingests_);
+  take(serve_queries_);
   if (cur != size) {
     throw IoError("time-series checkpoint blob has trailing bytes");
   }
@@ -628,6 +638,8 @@ void TimeSeriesShard::write_series(MetricsWriterV1& w,
     emit("fault.injected", {{"kind", kFaultNames[k]}}, SeriesKind::kCounter,
          faults_[k], 1.0);
   }
+  emit("serve.ingest_events", {}, SeriesKind::kCounter, serve_ingests_, 1.0);
+  emit("serve.queries", {}, SeriesKind::kCounter, serve_queries_, 1.0);
   emit("detector.episode_minutes.count", {}, SeriesKind::kHistCount,
        episodes_closed_, 1.0);
   emit("detector.episode_minutes.sum", {}, SeriesKind::kHistSum, episode_us_,

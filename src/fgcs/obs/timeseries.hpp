@@ -249,6 +249,10 @@ class TimeSeriesShard {
   void on_episode_closed(sim::SimTime at, sim::SimDuration length);
   void on_sensor_gap(sim::SimTime at, sim::SimDuration gap);
   void on_fault(sim::SimTime at, int kind);
+  void on_serve_ingest(sim::SimTime at) { ++serve_ingests_[bin(at)]; }
+  void on_serve_queries(sim::SimTime at, std::uint64_t n) {
+    serve_queries_[bin(at)] += n;
+  }
 
   sim::SimTime start() const { return start_; }
   sim::SimTime end() const { return end_; }
@@ -335,6 +339,8 @@ class TimeSeriesShard {
   std::vector<std::uint64_t> sensor_gaps_;
   std::vector<std::uint64_t> sensor_gap_us_;
   std::vector<std::vector<std::uint64_t>> faults_;  // [kind]
+  std::vector<std::uint64_t> serve_ingests_;
+  std::vector<std::uint64_t> serve_queries_;
 };
 
 namespace detail {

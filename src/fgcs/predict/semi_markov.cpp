@@ -30,6 +30,29 @@ std::vector<double> SemiMarkovPredictor::interval_samples(
   return lengths_h;
 }
 
+double conditional_availability(std::span<const double> sorted_h,
+                                double age_h, double window_h,
+                                const SemiMarkovConfig& config) {
+  if (sorted_h.size() < config.min_samples) {
+    return config.prior_availability;
+  }
+  const double surv_age = 1.0 - stats::ecdf_at(sorted_h, age_h);
+  const double surv_horizon = 1.0 - stats::ecdf_at(sorted_h, age_h + window_h);
+  if (surv_age <= 0.0) {
+    // Interval already older than anything in history; be pessimistic but
+    // not absolute.
+    return std::min(config.prior_availability, 0.2);
+  }
+  return std::clamp(surv_horizon / surv_age, 0.0, 1.0);
+}
+
+double renewal_occurrences(double sum_h, std::size_t count, double window_h) {
+  if (count == 0) return 0.0;
+  const double mean_h = sum_h / static_cast<double>(count);
+  if (mean_h <= 0.0) return 0.0;
+  return window_h / mean_h;
+}
+
 double SemiMarkovPredictor::predict_availability(
     const PredictionQuery& q) const {
   bool inside = false;
@@ -37,32 +60,19 @@ double SemiMarkovPredictor::predict_availability(
                                                         &inside);
   if (inside) return 0.0;  // the machine is down right now
 
-  const auto lengths = interval_samples(q);
-  if (lengths.size() < config_.min_samples) {
-    return config_.prior_availability;
-  }
-  const stats::Ecdf ecdf{lengths};
+  auto lengths = interval_samples(q);
+  std::sort(lengths.begin(), lengths.end());
   const double age_h = (q.start - last_end).as_hours();
-  const double horizon_h = age_h + q.length.as_hours();
-  const double surv_age = 1.0 - ecdf(age_h);
-  const double surv_horizon = 1.0 - ecdf(horizon_h);
-  if (surv_age <= 0.0) {
-    // Interval already older than anything in history; be pessimistic but
-    // not absolute.
-    return std::min(config_.prior_availability, 0.2);
-  }
-  return std::clamp(surv_horizon / surv_age, 0.0, 1.0);
+  return conditional_availability(lengths, age_h, q.length.as_hours(),
+                                  config_);
 }
 
 double SemiMarkovPredictor::predict_occurrences(
     const PredictionQuery& q) const {
   const auto lengths = interval_samples(q);
-  if (lengths.empty()) return 0.0;
   double sum = 0.0;
   for (double l : lengths) sum += l;
-  const double mean_h = sum / static_cast<double>(lengths.size());
-  if (mean_h <= 0.0) return 0.0;
-  return q.length.as_hours() / mean_h;
+  return renewal_occurrences(sum, lengths.size(), q.length.as_hours());
 }
 
 }  // namespace fgcs::predict

@@ -8,6 +8,8 @@
 // approximation w / E[L].
 #pragma once
 
+#include <span>
+
 #include "fgcs/predict/predictor.hpp"
 
 namespace fgcs::predict {
@@ -19,6 +21,27 @@ struct SemiMarkovConfig {
   /// Prior P(available) used when history is too thin.
   double prior_availability = 0.7;
 };
+
+// -- incremental-update core -------------------------------------------------
+//
+// The estimate itself is a pure function of (sorted gap lengths, age,
+// window, config). Both the batch predictor below and the online
+// fgcs::serve feed — which maintains the sorted sample vector
+// incrementally, one episode at a time — evaluate these exact functions,
+// so the two paths agree bit-for-bit (the serve-incremental diff oracle
+// enforces this over hundreds of seeds).
+
+/// Conditional survival P(L > age + window | L > age) over the
+/// ascending-sorted availability-gap lengths `sorted_h` (hours), with the
+/// config's thin-history prior and exhausted-history pessimism applied.
+double conditional_availability(std::span<const double> sorted_h,
+                                double age_h, double window_h,
+                                const SemiMarkovConfig& config);
+
+/// Renewal occurrence estimate window / E[L]. `sum_h` must be the
+/// episode-time-order sum of the same `count` gap lengths — summation
+/// order matters for bit-identity with a batch recomputation.
+double renewal_occurrences(double sum_h, std::size_t count, double window_h);
 
 class SemiMarkovPredictor : public AvailabilityPredictor {
  public:

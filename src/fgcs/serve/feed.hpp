@@ -1,0 +1,161 @@
+// Online availability ingestion: the profiler half of the serving layer.
+//
+// AvailabilityFeed subscribes to the simulation through the Observer's
+// event seam (obs::EventSink) and folds every unavailability episode into
+// incremental per-machine semi-Markov state the moment it closes — the
+// trace is never rescanned. The state a feed maintains is, by
+// construction, exactly what the batch SemiMarkovPredictor would derive
+// from the trace prefix ingested so far: per-day-class sorted gap-length
+// vectors (evaluated through the shared stats::ecdf_at), episode-time-
+// order running sums, and the last episode's span. The serve-incremental
+// diff oracle holds the two bit-identical over hundreds of seeds.
+//
+// Consistency model: ingestion runs under one mutex; readers never take
+// it. publish() builds an immutable FleetSnapshot and swaps it into an
+// atomic shared_ptr (epoch swap); QueryEngine pins a snapshot with one
+// acquire load and reads freely. Machine states are copy-on-write — a
+// publish shares them with the build side, and the next ingest touching
+// a shared machine clones it first — so a publish costs O(machines)
+// pointer copies, not a deep copy, and steady-state ingest allocates
+// nothing beyond amortized vector growth.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fgcs/obs/observer.hpp"
+#include "fgcs/predict/semi_markov.hpp"
+#include "fgcs/trace/calendar.hpp"
+#include "fgcs/trace/records.hpp"
+
+namespace fgcs::serve {
+
+/// Upper bounds (minutes) of the incremental episode-duration histogram;
+/// one overflow bucket follows.
+inline constexpr double kDurationMinuteBounds[] = {1, 5, 15, 60, 240, 1440};
+inline constexpr std::size_t kDurationBuckets =
+    sizeof(kDurationMinuteBounds) / sizeof(kDurationMinuteBounds[0]) + 1;
+
+/// Gap-length history of one day class (weekday or weekend).
+struct ClassHistory {
+  /// Availability-gap lengths in hours, ascending — the incremental twin
+  /// of the batch predictor's Ecdf sample vector.
+  std::vector<double> sorted_h;
+  /// Sum of the same lengths accumulated in episode-time order; renewal
+  /// estimates need this exact summation order for bit-identity with a
+  /// batch recomputation.
+  double sum_h = 0.0;
+
+  void add(double length_h);
+};
+
+/// Everything the feed knows about one machine. Value-semantic so the
+/// copy-on-write snapshot scheme can clone it wholesale.
+struct MachineState {
+  /// [0] weekday-start gaps, [1] weekend-start gaps — the batch
+  /// predictor's day-class split (Figure 6).
+  ClassHistory gaps[2];
+  std::uint64_t episodes = 0;
+  /// Span of the most recently ingested (closed) episode.
+  sim::SimTime last_start;
+  sim::SimTime last_end;
+  /// An episode-open event arrived without its close yet: the machine is
+  /// known-down from open_start onward.
+  bool open = false;
+  sim::SimTime open_start;
+  /// Closed episodes by cause (index = S-state - 1).
+  std::uint64_t cause_episodes[obs::kStateCount] = {};
+  /// Closed-episode duration histogram over kDurationMinuteBounds.
+  std::uint64_t duration_buckets[kDurationBuckets] = {};
+  /// Total unavailable hours ingested.
+  double down_sum_h = 0.0;
+};
+
+struct FeedConfig {
+  /// Fleet size; ingesting a record for a machine >= this throws.
+  std::uint32_t machines = 0;
+  /// Trace horizon start: the age base for machines with no history yet
+  /// (mirrors TraceIndex::last_end_before's fallback).
+  sim::SimTime horizon_start;
+  /// Day-of-week of the horizon's first day, for day-class splits.
+  trace::DayOfWeek start_dow = trace::DayOfWeek::kMonday;
+  /// Estimator knobs, shared with the batch predictor.
+  predict::SemiMarkovConfig model;
+  /// Auto-publish a snapshot every N ingested records; 0 = only on
+  /// explicit publish().
+  std::uint64_t publish_every = 1024;
+};
+
+/// An immutable point-in-time view of the whole fleet's predictor state.
+struct FleetSnapshot {
+  /// Monotone publish counter; 0 is the empty pre-ingest snapshot.
+  std::uint64_t version = 0;
+  /// Records ingested when this snapshot was published.
+  std::uint64_t events = 0;
+  FeedConfig config;
+  std::vector<std::shared_ptr<const MachineState>> machines;
+};
+
+class AvailabilityFeed : public obs::EventSink {
+ public:
+  explicit AvailabilityFeed(FeedConfig config);
+
+  AvailabilityFeed(const AvailabilityFeed&) = delete;
+  AvailabilityFeed& operator=(const AvailabilityFeed&) = delete;
+
+  const FeedConfig& config() const { return config_; }
+
+  /// Folds one closed unavailability episode into the machine's state.
+  /// Records must arrive in start order per machine (throws ConfigError
+  /// on a sim-time regression — ingest time is monotone by contract).
+  void ingest(const trace::UnavailabilityRecord& record);
+
+  /// Marks an episode as opened-but-unclosed; queries at or past `at`
+  /// report the machine down until the matching close is ingested.
+  void open_episode(trace::MachineId machine, sim::SimTime at);
+
+  /// obs::EventSink: translates the observer's episode open/close events
+  /// into open_episode()/ingest() calls. Close events carry (end, cause,
+  /// duration), so the record is reconstructed as [at - dur, at).
+  void on_flight_event(const obs::FlightEvent& event) override;
+
+  /// Publishes the current build state as a fresh immutable snapshot.
+  void publish();
+
+  /// The most recently published snapshot (never null; version 0 before
+  /// the first publish). Wait-free for readers.
+  std::shared_ptr<const FleetSnapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Sim time up to which machine `m`'s history is complete: the start of
+  /// its last ingested or opened episode (horizon start when none).
+  /// Queries strictly after the watermark see predictions bit-identical
+  /// to the batch predictor run on the ingested prefix.
+  sim::SimTime watermark(trace::MachineId machine) const;
+
+  std::uint64_t events_ingested() const;
+  std::uint64_t snapshots_published() const;
+
+ private:
+  /// The build-side state of `machine`, cloned first if a published
+  /// snapshot still shares it (copy-on-write). Callers hold mutex_.
+  MachineState& writable(trace::MachineId machine);
+  void publish_locked();
+
+  FeedConfig config_;
+  trace::TraceCalendar calendar_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<MachineState>> build_;
+  std::uint64_t events_ = 0;
+  std::uint64_t since_publish_ = 0;
+  std::uint64_t version_ = 0;
+
+  std::atomic<std::shared_ptr<const FleetSnapshot>> snapshot_;
+};
+
+}  // namespace fgcs::serve

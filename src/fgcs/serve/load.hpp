@@ -1,0 +1,101 @@
+// Deterministic query load generation for the serving layer.
+//
+// A LoadGenerator materializes query i of a spec on demand from a keyed
+// substream RngStream(seed, {kServeTag, i}) — random access, no stored
+// query list, identical sequences regardless of chunking or thread
+// count. Three arrival mixes:
+//
+//   uniform          every machine equally likely, fixed window
+//   zipf:<skew>      hot-machine skew: machine k drawn with probability
+//                    proportional to 1/(k+1)^skew, fixed window
+//   sweep:<lo>-<hi>  uniform machines, window swept uniformly over
+//                    [lo, hi] hours
+//
+// Specs parse from a line-oriented text format ("# fgcs-serve-load v1"
+// header + key=value lines) with line-numbered diagnostics, and mix
+// strings from their compact form with field-named diagnostics — the
+// structure the serve-query fuzz target leans on. str() renders are
+// exact round-trips (%.17g), so parse(str(x)) is a fixpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fgcs/serve/query.hpp"
+
+namespace fgcs::serve {
+
+/// Substream tag ("SERV") separating load-generator draws from every
+/// other keyed stream in the repo.
+inline constexpr std::uint64_t kServeTag = 0x5345'5256;
+
+struct MixSpec {
+  enum class Kind { kUniform, kZipf, kSweep };
+  Kind kind = Kind::kUniform;
+  double zipf_skew = 1.1;
+  double sweep_lo_hours = 1.0;
+  double sweep_hi_hours = 24.0;
+
+  /// Parses "uniform", "zipf:<skew>" or "sweep:<lo>-<hi>". Throws
+  /// ConfigError naming the offending field.
+  static MixSpec parse(std::string_view text);
+
+  /// Canonical compact form; parse(str()) reproduces *this exactly.
+  std::string str() const;
+};
+
+struct LoadSpec {
+  std::uint32_t machines = 2000;
+  std::uint64_t queries = 1'000'000;
+  MixSpec mix;
+  /// Nominal query arrival time (hours since horizon start); each query
+  /// jitters uniformly within the following hour.
+  double at_hours = 672.0;
+  /// Fixed query window for the uniform and zipf mixes, hours.
+  double horizon_hours = 4.0;
+  std::uint64_t seed = 20060806;
+
+  /// Parses the "# fgcs-serve-load v1" text format. Throws ConfigError
+  /// with a 1-based line number on malformed input.
+  static LoadSpec parse(std::string_view text);
+
+  /// Canonical text form; parse(str()) reproduces *this exactly.
+  std::string str() const;
+
+  /// Bounds checks (also run by parse): machine/query counts in range,
+  /// hours finite and positive, mix parameters sane.
+  void validate() const;
+};
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(LoadSpec spec);
+
+  const LoadSpec& spec() const { return spec_; }
+
+  /// Query i of the load, computed independently of every other query.
+  ServeQuery query(std::uint64_t i) const;
+
+ private:
+  LoadSpec spec_;
+  /// Normalized cumulative Zipf weights over machine rank (empty for
+  /// non-Zipf mixes); machine draw is one binary search.
+  std::vector<double> zipf_cdf_;
+};
+
+/// Aggregate of one load run: checksums let benches assert the work was
+/// real (and deterministic) without storing per-query results.
+struct LoadStats {
+  std::uint64_t queries = 0;
+  double prob_sum = 0.0;
+  double occ_sum = 0.0;
+};
+
+/// Runs queries [begin, end) of `gen` against one pinned snapshot of
+/// `engine`'s feed; accounts the whole range with a single batched
+/// serve.queries bump.
+LoadStats run_load(const QueryEngine& engine, const LoadGenerator& gen,
+                   std::uint64_t begin, std::uint64_t end);
+
+}  // namespace fgcs::serve

@@ -1,0 +1,74 @@
+// Online availability queries: the predictor half of the serving layer.
+//
+// A QueryEngine answers "P(machine m stays available for the next W
+// hours, asked at sim time t)" against the feed's latest published
+// snapshot. Reads are wait-free: pinning a snapshot is one atomic
+// acquire load, after which every evaluation touches only immutable
+// state — safe to run from any number of threads concurrently with
+// ingestion, and two evaluations against the same pinned snapshot are
+// bit-identical no matter what the ingest side does in between.
+//
+// Query contract: predictions are bit-identical to the batch
+// SemiMarkovPredictor run on the ingested prefix for queries strictly
+// after the machine's watermark (see AvailabilityFeed::watermark).
+// Queries inside the machine's last known episode report 0 availability,
+// like the batch predictor's down-right-now check.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fgcs/serve/feed.hpp"
+
+namespace fgcs::serve {
+
+struct ServeQuery {
+  trace::MachineId machine = 0;
+  /// When the question is asked, in sim time.
+  sim::SimTime at;
+  /// How long the machine must stay available.
+  sim::SimDuration window;
+};
+
+struct QueryAnswer {
+  /// P(no unavailability occurrence overlaps [at, at + window)).
+  double p_available = 0.0;
+  /// Expected unavailability occurrences starting within the window.
+  double expected_occurrences = 0.0;
+};
+
+/// Pure evaluation of one query against one machine's incremental state —
+/// the shared core under both the point and the batched entry points.
+QueryAnswer evaluate(const MachineState& state, const FeedConfig& config,
+                     sim::SimTime at, sim::SimDuration window);
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(const AvailabilityFeed& feed) : feed_(&feed) {}
+
+  /// Pins the feed's latest snapshot (one acquire load). Hold the result
+  /// to answer a batch of queries against one consistent fleet view.
+  std::shared_ptr<const FleetSnapshot> pin() const {
+    return feed_->snapshot();
+  }
+
+  /// Point query against the latest snapshot; bumps serve.queries.
+  QueryAnswer query(const ServeQuery& q) const;
+
+  /// Point query against a pinned snapshot. Pure: no observer traffic,
+  /// so million-query load loops account their count in one batched bump
+  /// (see run_load) instead of per call.
+  QueryAnswer query(const FleetSnapshot& snap, const ServeQuery& q) const;
+
+  /// Batched fleet query: p_available for every machine at one (at,
+  /// window), against a pinned snapshot; one serve.queries bump of
+  /// machine_count.
+  std::vector<double> p_available_fleet(const FleetSnapshot& snap,
+                                        sim::SimTime at,
+                                        sim::SimDuration window) const;
+
+ private:
+  const AvailabilityFeed* feed_;
+};
+
+}  // namespace fgcs::serve

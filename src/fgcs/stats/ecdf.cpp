@@ -12,12 +12,14 @@ Ecdf::Ecdf(std::span<const double> samples)
   std::sort(sorted_.begin(), sorted_.end());
 }
 
-double Ecdf::operator()(double x) const {
-  if (sorted_.empty()) return 0.0;
-  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
-  return static_cast<double>(it - sorted_.begin()) /
-         static_cast<double>(sorted_.size());
+double ecdf_at(std::span<const double> sorted, double x) {
+  if (sorted.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
 }
+
+double Ecdf::operator()(double x) const { return ecdf_at(sorted_, x); }
 
 double Ecdf::quantile(double p) const {
   FGCS_ASSERT(p >= 0.0 && p <= 1.0);

@@ -10,6 +10,13 @@
 
 namespace fgcs::stats {
 
+/// P(X <= x) over an ascending-sorted sample span; 0 when empty. This is
+/// the single evaluation expression shared by Ecdf::operator() and by
+/// incremental callers that maintain their own sorted sample vectors
+/// (fgcs::serve) — sharing it makes batch and online estimates
+/// bit-identical by construction, not merely approximately equal.
+double ecdf_at(std::span<const double> sorted, double x);
+
 class Ecdf {
  public:
   Ecdf() = default;

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <iomanip>
 #include <sstream>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "fgcs/fleet/fleet.hpp"
 #include "fgcs/os/machine.hpp"
 #include "fgcs/predict/semi_markov.hpp"
+#include "fgcs/serve/query.hpp"
 #include "fgcs/testkit/invariants.hpp"
 #include "fgcs/testkit/scenario.hpp"
 #include "fgcs/trace/calendar.hpp"
@@ -732,6 +734,121 @@ DiffResult oracle_fleet_resume(std::uint64_t seed) {
   return DiffResult::ok();
 }
 
+// --- oracle 10: online serve feed vs. batch predictor on each prefix ------
+
+DiffResult oracle_serve_incremental(std::uint64_t seed) {
+  util::RngStream rng(seed, {kOracleTag, 10});
+  const auto machines = static_cast<std::uint32_t>(1 + rng.uniform_index(3));
+  const int days = static_cast<int>(10 + rng.uniform_index(18));
+  const sim::SimTime start = sim::SimTime::epoch();
+  const sim::SimTime end = start + sim::SimDuration::days(days);
+  const auto start_dow = static_cast<trace::DayOfWeek>(rng.uniform_index(7));
+
+  // Per-machine renewal chains (the tiny-chain generator of oracle 4,
+  // widened to a small fleet), delivered in global sim-time order the way
+  // a live simulation's close events would arrive.
+  std::vector<trace::UnavailabilityRecord> records;
+  for (std::uint32_t m = 0; m < machines; ++m) {
+    const double gap_mean_h = rng.uniform(1.0, 8.0);
+    const double down_mean_min = rng.uniform(5.0, 90.0);
+    sim::SimTime t = start;
+    while (true) {
+      t += sim::SimDuration::from_seconds(
+          std::max(60.0, rng.exponential(gap_mean_h * 3600.0)));
+      const sim::SimTime ep_end =
+          t + sim::SimDuration::from_seconds(
+                  std::max(1.0, rng.exponential(down_mean_min * 60.0)));
+      if (ep_end >= end) break;
+      trace::UnavailabilityRecord record;
+      record.machine = m;
+      record.start = t;
+      record.end = ep_end;
+      record.cause = rng.bernoulli(0.5)
+                         ? monitor::AvailabilityState::kS3CpuUnavailable
+                         : monitor::AvailabilityState::kS5MachineUnavailable;
+      record.host_cpu = rng.uniform(0.0, 1.0);
+      record.free_mem_mb = rng.uniform(0.0, 900.0);
+      records.push_back(record);
+      t = ep_end;
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const trace::UnavailabilityRecord& a,
+               const trace::UnavailabilityRecord& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.machine < b.machine;
+            });
+
+  serve::FeedConfig fc;
+  fc.machines = machines;
+  fc.horizon_start = start;
+  fc.start_dow = start_dow;
+  fc.publish_every = 0;  // explicit publishes at the cut points
+  serve::AvailabilityFeed feed(fc);
+  const serve::QueryEngine engine(feed);
+  const trace::TraceCalendar calendar(start_dow);
+
+  // Prefix cuts: two random ones plus the full ingest (an empty chain
+  // degenerates to the single empty-prefix check).
+  std::vector<std::size_t> cuts;
+  if (!records.empty()) {
+    cuts.push_back(rng.uniform_index(records.size()) + 1);
+    cuts.push_back(rng.uniform_index(records.size()) + 1);
+  }
+  cuts.push_back(records.size());
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::size_t ingested = 0;
+  for (const std::size_t cut : cuts) {
+    while (ingested < cut) feed.ingest(records[ingested++]);
+    feed.publish();
+    const auto snap = feed.snapshot();
+    if (snap->events != ingested) {
+      std::ostringstream out;
+      out << "snapshot events " << snap->events << " after ingesting "
+          << ingested;
+      return DiffResult::mismatch(out.str());
+    }
+
+    // The batch predictor trained on exactly this prefix.
+    trace::TraceSet prefix(machines, start, end);
+    for (std::size_t i = 0; i < ingested; ++i) prefix.add(records[i]);
+    const trace::TraceIndex index(prefix);
+    predict::SemiMarkovPredictor batch;
+    batch.attach(index, calendar);
+
+    for (std::uint32_t m = 0; m < machines; ++m) {
+      for (int k = 0; k < 4; ++k) {
+        // Strictly past the machine's watermark, so the batch predictor's
+        // history window covers the same episodes the feed ingested.
+        const sim::SimTime at =
+            feed.watermark(m) +
+            sim::SimDuration::from_seconds(rng.uniform(1.0, 72.0 * 3600.0));
+        const sim::SimDuration window =
+            sim::SimDuration::from_seconds(rng.uniform(600.0, 6.0 * 3600.0));
+        const serve::QueryAnswer online =
+            engine.query(*snap, serve::ServeQuery{m, at, window});
+        const predict::PredictionQuery pq{m, at, window};
+        const double batch_a = batch.predict_availability(pq);
+        const double batch_n = batch.predict_occurrences(pq);
+        // Bit-identical, not approximately equal: both paths must reduce
+        // to the same shared arithmetic on the same sample multiset.
+        if (online.p_available != batch_a ||
+            online.expected_occurrences != batch_n) {
+          std::ostringstream out;
+          out << std::setprecision(17) << "prefix " << ingested
+              << ", machine " << m << ", query " << k << ": online ("
+              << online.p_available << ", " << online.expected_occurrences
+              << ") vs batch (" << batch_a << ", " << batch_n << ")";
+          return DiffResult::mismatch(out.str());
+        }
+      }
+    }
+  }
+  return DiffResult::ok();
+}
+
 }  // namespace
 
 const std::vector<DiffOracle>& standard_oracles() {
@@ -745,6 +862,7 @@ const std::vector<DiffOracle>& standard_oracles() {
       {"flight-recorder", oracle_flight_recorder},
       {"soa-machine-step", oracle_soa_machine_step},
       {"fleet-resume", oracle_fleet_resume},
+      {"serve-incremental", oracle_serve_incremental},
   };
   return oracles;
 }

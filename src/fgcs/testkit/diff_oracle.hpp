@@ -32,6 +32,11 @@
 //                           manifest removed) and resumed, vs. the clean
 //                           sweep — every segment, the metrics file, and
 //                           the manifest byte-compared
+//   serve-incremental       serve::AvailabilityFeed's incremental
+//                           per-event state, queried at several ingest
+//                           prefixes, vs. predict::SemiMarkovPredictor
+//                           trained batch-style on the same prefix —
+//                           predictions compared bit-for-bit
 //
 // This replaces scattered hand-rolled equivalence tests with one API the
 // CI property suite sweeps over hundreds of seeds.
@@ -61,7 +66,7 @@ struct DiffOracle {
   std::function<DiffResult(std::uint64_t seed)> run;
 };
 
-/// The nine standard oracles above.
+/// The ten standard oracles above.
 const std::vector<DiffOracle>& standard_oracles();
 
 /// Finds a standard oracle by name; nullptr when unknown.

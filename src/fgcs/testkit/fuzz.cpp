@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "fgcs/fault/fault_plan.hpp"
+#include "fgcs/serve/load.hpp"
 #include "fgcs/trace/io.hpp"
 #include "fgcs/util/cli.hpp"
 #include "fgcs/util/error.hpp"
@@ -169,12 +170,81 @@ void fuzz_cli_args(const std::uint8_t* data, std::size_t size) {
   }
 }
 
+void fuzz_serve_query(const std::uint8_t* data, std::size_t size) {
+  const std::string text = to_text(data, size);
+
+  // The mix sub-grammar alone, fed the first line: ConfigError with a
+  // field diagnosis is the contract for junk; an accepted mix must
+  // round-trip through str() as a parser fixpoint.
+  {
+    const std::size_t eol = text.find('\n');
+    const std::string first =
+        eol == std::string::npos ? text : text.substr(0, eol);
+    try {
+      const serve::MixSpec mix = serve::MixSpec::parse(first);
+      serve::MixSpec reparsed;
+      try {
+        reparsed = serve::MixSpec::parse(mix.str());
+      } catch (const ConfigError& e) {
+        finding(std::string("MixSpec::str emitted an unparseable mix: ") +
+                e.what());
+      }
+      if (reparsed.str() != mix.str()) {
+        finding("mix spec parse -> str -> parse is not a fixpoint");
+      }
+    } catch (const ConfigError&) {
+    }
+  }
+
+  // The full load-spec surface (the bytes behind the CLI's --mix /
+  // --machines / --queries arguments and the serve config file).
+  serve::LoadSpec spec;
+  try {
+    spec = serve::LoadSpec::parse(text);
+  } catch (const ConfigError&) {
+    return;  // line/field-diagnosed rejection: the documented path
+  }
+  const std::string written = spec.str();
+  serve::LoadSpec reparsed;
+  try {
+    reparsed = serve::LoadSpec::parse(written);
+  } catch (const ConfigError& e) {
+    finding(std::string("LoadSpec::str emitted an unparseable spec: ") +
+            e.what());
+  }
+  if (reparsed.str() != written) {
+    finding("load spec parse -> str -> parse is not a fixpoint");
+  }
+
+  // Accepted spec: a bounded generator probe. Every drawn query must
+  // respect the spec's own bounds; the draw is random-access so probing
+  // scattered indices is cheap regardless of spec.queries.
+  const serve::LoadGenerator gen(spec);
+  const std::uint64_t probes = std::min<std::uint64_t>(spec.queries, 64);
+  for (std::uint64_t i = 0; i < probes; ++i) {
+    const std::uint64_t index = (i * 977) % spec.queries;
+    const serve::ServeQuery q = gen.query(index);
+    if (q.machine >= spec.machines) {
+      finding("generated query targets a machine outside the fleet");
+    }
+    if (!(q.window > sim::SimDuration{})) {
+      finding("generated query has a non-positive window");
+    }
+    const serve::ServeQuery again = gen.query(index);
+    if (again.machine != q.machine || again.at != q.at ||
+        again.window != q.window) {
+      finding("load generator is not deterministic in the query index");
+    }
+  }
+}
+
 std::span<const FuzzTargetInfo> fuzz_targets() {
   static constexpr FuzzTargetInfo kTargets[] = {
       {"trace-csv", fuzz_trace_csv, "trace_csv"},
       {"trace-binary", fuzz_trace_binary, "trace_binary"},
       {"fault-plan", fuzz_fault_plan, "fault_plan"},
       {"cli-args", fuzz_cli_args, "cli"},
+      {"serve-query", fuzz_serve_query, "serve_query"},
   };
   return kTargets;
 }

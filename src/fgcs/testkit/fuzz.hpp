@@ -37,6 +37,10 @@ void fuzz_fault_plan(const std::uint8_t* data, std::size_t size);
 /// util::CliArgs tokenizer/lookup surface.
 void fuzz_cli_args(const std::uint8_t* data, std::size_t size);
 
+/// serve::LoadSpec / serve::MixSpec query-surface parsers with str()
+/// fixpoint checks and a bounded LoadGenerator probe on accepted specs.
+void fuzz_serve_query(const std::uint8_t* data, std::size_t size);
+
 struct FuzzTargetInfo {
   const char* name;
   void (*fn)(const std::uint8_t* data, std::size_t size);

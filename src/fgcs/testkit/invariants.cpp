@@ -1,10 +1,16 @@
 #include "fgcs/testkit/invariants.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <sstream>
 
 #include "fgcs/monitor/availability.hpp"
+#include "fgcs/predict/semi_markov.hpp"
+#include "fgcs/serve/query.hpp"
+#include "fgcs/trace/index.hpp"
+#include "fgcs/util/error.hpp"
+#include "fgcs/util/rng.hpp"
 
 namespace fgcs::testkit {
 
@@ -29,6 +35,7 @@ class Battery {
     }
     if (out_.lifecycle_ran) check_guest_conservation();
     if (out_.flight_recorded) check_flight_stream();
+    check_serve();
     return std::move(violations_);
   }
 
@@ -316,6 +323,129 @@ class Battery {
         }
         default:
           break;
+      }
+    }
+  }
+
+  // The online serving layer, driven live by the scenario's trace in
+  // global sim-time order (the order a running fleet's close events would
+  // arrive): ingest must accept the monotone stream, probabilities must
+  // be probabilities, answers must be bit-identical to the batch
+  // predictor on the same history, stable across a snapshot swap, and
+  // bit-identical under a full ingest+query replay.
+  void check_serve() {
+    if (s_.testbed.machines == 0 || out_.trace.machine_count() == 0) return;
+    const auto records = out_.trace.records();
+    std::vector<trace::UnavailabilityRecord> order(records.begin(),
+                                                   records.end());
+    std::sort(order.begin(), order.end(),
+              [](const trace::UnavailabilityRecord& a,
+                 const trace::UnavailabilityRecord& b) {
+                if (a.start != b.start) return a.start < b.start;
+                return a.machine < b.machine;
+              });
+
+    serve::FeedConfig fc;
+    fc.machines = s_.testbed.machines;
+    fc.horizon_start = start_;
+    fc.start_dow = s_.testbed.start_dow;
+    fc.publish_every = 64;
+    const auto drive = [&](serve::AvailabilityFeed& feed) {
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        try {
+          feed.ingest(order[i]);
+        } catch (const ConfigError& e) {
+          fail("serve-ingest", "feed rejected record ", i,
+               " of the sim-time-ordered trace: ", e.what());
+          return false;
+        }
+      }
+      return true;
+    };
+
+    serve::AvailabilityFeed feed(fc);
+    if (!drive(feed)) return;
+    feed.publish();
+
+    const trace::TraceIndex index(out_.trace);
+    const trace::TraceCalendar calendar(s_.testbed.start_dow);
+    predict::SemiMarkovPredictor batch;
+    batch.attach(index, calendar);
+
+    const serve::QueryEngine engine(feed);
+    const auto snap = engine.pin();
+    util::RngStream rng(s_.seed, {0x5345'5256ULL, 1});  // "SERV"
+    struct Asked {
+      serve::ServeQuery query;
+      serve::QueryAnswer answer;
+    };
+    std::vector<Asked> asked;
+    for (std::uint32_t m = 0; m < fc.machines; ++m) {
+      for (int k = 0; k < 2; ++k) {
+        serve::ServeQuery q;
+        q.machine = m;
+        q.at = feed.watermark(m) + sim::SimDuration::from_seconds(
+                                       rng.uniform(1.0, 48.0 * 3600.0));
+        q.window = sim::SimDuration::from_seconds(
+            rng.uniform(600.0, 6.0 * 3600.0));
+        const serve::QueryAnswer a = engine.query(*snap, q);
+        if (!(a.p_available >= 0.0 && a.p_available <= 1.0)) {
+          fail("serve-probability", "machine ", m, ": p_available ",
+               a.p_available, " outside [0, 1]");
+          return;
+        }
+        if (!(a.expected_occurrences >= 0.0) ||
+            !std::isfinite(a.expected_occurrences)) {
+          fail("serve-probability", "machine ", m,
+               ": expected_occurrences not a finite non-negative value: ",
+               a.expected_occurrences);
+          return;
+        }
+        const predict::PredictionQuery pq{m, q.at, q.window};
+        if (a.p_available != batch.predict_availability(pq) ||
+            a.expected_occurrences != batch.predict_occurrences(pq)) {
+          fail("serve-batch-equivalence", "machine ", m,
+               ": incremental answer diverges from the batch predictor at ",
+               q.at.as_micros(), "us");
+          return;
+        }
+        asked.push_back({q, a});
+      }
+    }
+
+    // A publish with no intervening ingest must advance the version and
+    // leave every answer bit-identical.
+    feed.publish();
+    const auto reswapped = engine.pin();
+    if (reswapped->version <= snap->version) {
+      fail("serve-swap", "publish did not advance the snapshot version (",
+           reswapped->version, " after ", snap->version, ")");
+      return;
+    }
+    for (const auto& [q, a] : asked) {
+      const serve::QueryAnswer b = engine.query(*reswapped, q);
+      if (b.p_available != a.p_available ||
+          b.expected_occurrences != a.expected_occurrences) {
+        fail("serve-swap-stability", "machine ", q.machine,
+             ": answer changed across a snapshot swap with no ingest");
+        return;
+      }
+    }
+
+    // Replaying the identical ingest+query sequence on a fresh feed must
+    // reproduce every answer bit-for-bit.
+    serve::AvailabilityFeed replay(fc);
+    if (!drive(replay)) return;
+    replay.publish();
+    const serve::QueryEngine replay_engine(replay);
+    const auto replay_snap = replay_engine.pin();
+    for (const auto& [q, a] : asked) {
+      const serve::QueryAnswer b = replay_engine.query(*replay_snap, q);
+      if (b.p_available != a.p_available ||
+          b.expected_occurrences != a.expected_occurrences) {
+        fail("serve-replay", "machine ", q.machine,
+             ": replayed ingest+query sequence diverged");
+        return;
       }
     }
   }

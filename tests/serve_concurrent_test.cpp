@@ -1,0 +1,166 @@
+// Ingest/query concurrency: one ingester thread streams episodes while
+// reader threads pin snapshots and query. Run under --tsan by
+// check_build.sh (the Serve suite prefix is in the tsan regex); the
+// assertions here catch semantic races — torn probabilities, version
+// regressions, answers drifting from their pinned snapshot — while TSan
+// catches the memory kind.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fgcs/serve/feed.hpp"
+#include "fgcs/serve/query.hpp"
+
+namespace fgcs::serve {
+namespace {
+
+using sim::SimDuration;
+using sim::SimTime;
+
+constexpr std::uint32_t kMachines = 64;
+constexpr int kEpisodesPerMachine = 40;
+constexpr int kReaders = 3;
+
+trace::UnavailabilityRecord episode(std::uint32_t machine, int k) {
+  trace::UnavailabilityRecord r;
+  r.machine = machine;
+  // Per-machine phase shift so ingest interleaves machines.
+  r.start = SimTime::epoch() +
+            SimDuration::minutes(60 * k + static_cast<int>(machine % 7));
+  r.end = r.start + SimDuration::minutes(5 + static_cast<int>(machine % 11));
+  return r;
+}
+
+TEST(ServeConcurrent, ReadersSeeConsistentSnapshotsDuringIngest) {
+  FeedConfig fc;
+  fc.machines = kMachines;
+  fc.horizon_start = SimTime::epoch();
+  fc.publish_every = 16;
+  AvailabilityFeed feed(fc);
+  const QueryEngine engine(feed);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  std::thread ingester([&] {
+    for (int k = 0; k < kEpisodesPerMachine; ++k) {
+      for (std::uint32_t m = 0; m < kMachines; ++m) {
+        feed.ingest(episode(m, k));
+      }
+    }
+    feed.publish();
+    done.store(true, std::memory_order_release);
+  });
+
+  struct Pinned {
+    std::shared_ptr<const FleetSnapshot> snap;
+    ServeQuery q;
+    QueryAnswer a;
+  };
+  std::vector<std::vector<Pinned>> kept(kReaders);
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      std::uint64_t last_version = 0;
+      std::uint32_t machine = static_cast<std::uint32_t>(t);
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snap = engine.pin();
+        // Versions can only march forward for any single reader.
+        if (snap->version < last_version) {
+          ++failures;
+          return;
+        }
+        last_version = snap->version;
+        ServeQuery q;
+        q.machine = machine % kMachines;
+        // Strictly past anything the ingester will ever write.
+        q.at = SimTime::epoch() + SimDuration::days(30) +
+               SimDuration::minutes(static_cast<int>(machine));
+        q.window = SimDuration::hours(2);
+        const QueryAnswer a = engine.query(*snap, q);
+        if (!(a.p_available >= 0.0 && a.p_available <= 1.0) ||
+            !(a.expected_occurrences >= 0.0)) {
+          ++failures;  // a torn read would show up as garbage here
+          return;
+        }
+        // Same pinned snapshot, same bits — no matter what ingest does.
+        const QueryAnswer again = engine.query(*snap, q);
+        if (again.p_available != a.p_available ||
+            again.expected_occurrences != a.expected_occurrences) {
+          ++failures;
+          return;
+        }
+        if (kept[t].size() < 64) kept[t].push_back({snap, q, a});
+        machine += 13;
+      }
+    });
+  }
+
+  ingester.join();
+  for (auto& r : readers) r.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Quiesced: every answer recorded live must reproduce bit-identically
+  // against its pinned snapshot now that ingest has stopped.
+  for (const auto& lane : kept) {
+    for (const auto& p : lane) {
+      const QueryAnswer now = engine.query(*p.snap, p.q);
+      ASSERT_EQ(now.p_available, p.a.p_available);
+      ASSERT_EQ(now.expected_occurrences, p.a.expected_occurrences);
+    }
+  }
+
+  // And the final snapshot holds the whole stream.
+  const auto final_snap = engine.pin();
+  EXPECT_EQ(final_snap->events,
+            static_cast<std::uint64_t>(kMachines) * kEpisodesPerMachine);
+  EXPECT_EQ(feed.events_ingested(), final_snap->events);
+  for (std::uint32_t m = 0; m < kMachines; ++m) {
+    EXPECT_EQ(final_snap->machines[m]->episodes,
+              static_cast<std::uint64_t>(kEpisodesPerMachine));
+  }
+}
+
+TEST(ServeConcurrent, ConcurrentReadersShareOneSnapshotWithoutInterference) {
+  FeedConfig fc;
+  fc.machines = 8;
+  fc.horizon_start = SimTime::epoch();
+  fc.publish_every = 0;
+  AvailabilityFeed feed(fc);
+  for (int k = 0; k < 10; ++k) {
+    for (std::uint32_t m = 0; m < 8; ++m) feed.ingest(episode(m, k));
+  }
+  feed.publish();
+  const QueryEngine engine(feed);
+  const auto snap = engine.pin();
+
+  ServeQuery q;
+  q.machine = 3;
+  q.at = SimTime::epoch() + SimDuration::days(2);
+  q.window = SimDuration::hours(4);
+  const QueryAnswer expected = engine.query(*snap, q);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        const QueryAnswer a = engine.query(*snap, q);
+        if (a.p_available != expected.p_available ||
+            a.expected_occurrences != expected.expected_occurrences) {
+          ++mismatches;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace fgcs::serve

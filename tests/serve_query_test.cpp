@@ -1,0 +1,224 @@
+// QueryEngine + load-generation surface: mix/spec parsing diagnostics,
+// str() fixpoints, generator determinism and mix shapes, and the batched
+// fleet query path.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fgcs/serve/load.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::serve {
+namespace {
+
+using sim::SimDuration;
+using sim::SimTime;
+
+std::string error_of(const char* text) {
+  try {
+    (void)LoadSpec::parse(text);
+  } catch (const ConfigError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ServeQuery, MixSpecParsesTheThreeArrivalMixes) {
+  EXPECT_EQ(MixSpec::parse("uniform").kind, MixSpec::Kind::kUniform);
+  const MixSpec zipf = MixSpec::parse("zipf:1.5");
+  EXPECT_EQ(zipf.kind, MixSpec::Kind::kZipf);
+  EXPECT_DOUBLE_EQ(zipf.zipf_skew, 1.5);
+  const MixSpec sweep = MixSpec::parse("sweep:0.5-24");
+  EXPECT_EQ(sweep.kind, MixSpec::Kind::kSweep);
+  EXPECT_DOUBLE_EQ(sweep.sweep_lo_hours, 0.5);
+  EXPECT_DOUBLE_EQ(sweep.sweep_hi_hours, 24.0);
+}
+
+TEST(ServeQuery, MixSpecDiagnosesTheOffendingField) {
+  for (const char* bad : {"", "unknown", "zipf:", "zipf:0", "zipf:nan",
+                          "sweep:1", "sweep:-1-4", "sweep:9-2", "sweep:a-b"}) {
+    EXPECT_THROW((void)MixSpec::parse(bad), ConfigError) << bad;
+  }
+  try {
+    (void)MixSpec::parse("zipf:oops");
+    FAIL() << "accepted zipf:oops";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("skew"), std::string::npos);
+  }
+}
+
+TEST(ServeQuery, MixSpecStrIsAParseFixpoint) {
+  for (const char* text : {"uniform", "zipf:1.1", "zipf:0.25",
+                           "sweep:1-24", "sweep:0.125-0.5"}) {
+    const MixSpec mix = MixSpec::parse(text);
+    const MixSpec again = MixSpec::parse(mix.str());
+    EXPECT_EQ(again.str(), mix.str()) << text;
+  }
+}
+
+TEST(ServeQuery, LoadSpecRoundTripsThroughItsTextForm) {
+  LoadSpec spec;
+  spec.machines = 3000;
+  spec.queries = 2'000'000;
+  spec.mix = MixSpec::parse("zipf:1.25");
+  spec.at_hours = 500.5;
+  spec.horizon_hours = 8.0;
+  spec.seed = 42;
+  const LoadSpec reparsed = LoadSpec::parse(spec.str());
+  EXPECT_EQ(reparsed.str(), spec.str());
+  EXPECT_EQ(reparsed.machines, spec.machines);
+  EXPECT_EQ(reparsed.queries, spec.queries);
+  EXPECT_EQ(reparsed.seed, spec.seed);
+}
+
+TEST(ServeQuery, LoadSpecDiagnosesLineAndField) {
+  // Wrong header on line 1.
+  EXPECT_NE(error_of("machines=4\n").find("line 1"), std::string::npos);
+  // A bad value names its 1-based line.
+  const std::string e =
+      error_of("# fgcs-serve-load v1\nmachines=4\nqueries=x\n");
+  EXPECT_NE(e.find("line 3"), std::string::npos);
+  EXPECT_NE(e.find("queries"), std::string::npos);
+  // Unknown keys are rejected, not ignored.
+  EXPECT_NE(error_of("# fgcs-serve-load v1\nbogus=1\n").find("line 2"),
+            std::string::npos);
+  // Out-of-range values fail validation even when well-formed.
+  EXPECT_NE(error_of("# fgcs-serve-load v1\nmachines=0\n"), "");
+  EXPECT_NE(error_of("# fgcs-serve-load v1\nhorizon_hours=0\n"), "");
+}
+
+TEST(ServeQuery, LoadGeneratorIsRandomAccessDeterministic) {
+  LoadSpec spec;
+  spec.machines = 50;
+  spec.queries = 1000;
+  const LoadGenerator gen(spec);
+  const LoadGenerator twin(spec);
+  for (std::uint64_t i : {0ULL, 1ULL, 17ULL, 999ULL}) {
+    const ServeQuery a = gen.query(i);
+    const ServeQuery b = twin.query(i);
+    EXPECT_EQ(a.machine, b.machine);
+    EXPECT_EQ(a.at, b.at);
+    EXPECT_EQ(a.window, b.window);
+    EXPECT_LT(a.machine, spec.machines);
+    // Fixed-window mixes pin the window to the spec.
+    EXPECT_EQ(a.window,
+              SimDuration::from_seconds(spec.horizon_hours * 3600.0));
+  }
+  // Order independence: reading backwards reproduces the same queries.
+  EXPECT_EQ(gen.query(999).at, twin.query(999).at);
+}
+
+TEST(ServeQuery, ZipfMixSkewsTowardLowRanks) {
+  LoadSpec spec;
+  spec.machines = 100;
+  spec.queries = 20'000;
+  spec.mix = MixSpec::parse("zipf:1.5");
+  const LoadGenerator gen(spec);
+  std::uint64_t low = 0, high = 0;
+  for (std::uint64_t i = 0; i < spec.queries; ++i) {
+    const auto q = gen.query(i);
+    ASSERT_LT(q.machine, spec.machines);
+    (q.machine < 10 ? low : high) += 1;
+  }
+  // Ranks 0-9 must dominate ranks 10-99 under skew 1.5.
+  EXPECT_GT(low, high);
+}
+
+TEST(ServeQuery, SweepMixDrawsWindowsInsideTheBand) {
+  LoadSpec spec;
+  spec.machines = 10;
+  spec.queries = 5000;
+  spec.mix = MixSpec::parse("sweep:2-6");
+  const LoadGenerator gen(spec);
+  for (std::uint64_t i = 0; i < spec.queries; ++i) {
+    const auto q = gen.query(i);
+    const double h = q.window.as_hours();
+    EXPECT_GE(h, 2.0);
+    EXPECT_LE(h, 6.0);
+  }
+}
+
+TEST(ServeQuery, EngineValidatesAndBatchesFleetQueries) {
+  FeedConfig fc;
+  fc.machines = 3;
+  fc.horizon_start = SimTime::epoch();
+  fc.publish_every = 0;
+  AvailabilityFeed feed(fc);
+  trace::UnavailabilityRecord r;
+  r.machine = 1;
+  r.start = SimTime::epoch() + SimDuration::hours(2);
+  r.end = SimTime::epoch() + SimDuration::hours(3);
+  feed.ingest(r);
+  feed.publish();
+
+  const QueryEngine engine(feed);
+  const auto snap = engine.pin();
+  const SimTime at = SimTime::epoch() + SimDuration::hours(10);
+  const SimDuration window = SimDuration::hours(4);
+  EXPECT_THROW((void)engine.query(*snap, {99, at, window}), ConfigError);
+  EXPECT_THROW((void)engine.query(*snap, {0, at, SimDuration{}}), ConfigError);
+
+  const auto fleet = engine.p_available_fleet(*snap, at, window);
+  ASSERT_EQ(fleet.size(), 3u);
+  for (std::uint32_t m = 0; m < 3; ++m) {
+    const auto point = engine.query(*snap, {m, at, window});
+    EXPECT_EQ(fleet[m], point.p_available) << m;
+    EXPECT_GE(point.p_available, 0.0);
+    EXPECT_LE(point.p_available, 1.0);
+  }
+  // No history -> the configured prior; some history -> still a probability.
+  EXPECT_EQ(fleet[0], fc.model.prior_availability);
+}
+
+TEST(ServeQuery, EvaluateClampsHostileTimes) {
+  FeedConfig fc;
+  fc.machines = 1;
+  fc.horizon_start = SimTime::epoch() + SimDuration::hours(100);
+  AvailabilityFeed feed(fc);
+  feed.publish();
+  const QueryEngine engine(feed);
+  // A query before the horizon start (unreachable through the CLI, easy
+  // through the fuzzer) must still yield a probability, not UB.
+  const auto a = engine.query(*feed.snapshot(),
+                              {0, SimTime::epoch(), SimDuration::hours(1)});
+  EXPECT_GE(a.p_available, 0.0);
+  EXPECT_LE(a.p_available, 1.0);
+  EXPECT_GE(a.expected_occurrences, 0.0);
+}
+
+TEST(ServeQuery, RunLoadAccumulatesDeterministicChecksums) {
+  FeedConfig fc;
+  fc.machines = 8;
+  fc.horizon_start = SimTime::epoch();
+  fc.publish_every = 0;
+  AvailabilityFeed feed(fc);
+  for (int i = 0; i < 8; ++i) {
+    trace::UnavailabilityRecord r;
+    r.machine = static_cast<trace::MachineId>(i);
+    r.start = SimTime::epoch() + SimDuration::hours(1 + i);
+    r.end = SimTime::epoch() + SimDuration::hours(2 + i);
+    feed.ingest(r);
+  }
+  feed.publish();
+  const QueryEngine engine(feed);
+
+  LoadSpec spec;
+  spec.machines = 8;
+  spec.queries = 4000;
+  spec.at_hours = 100.0;
+  const LoadGenerator gen(spec);
+  const LoadStats all = run_load(engine, gen, 0, spec.queries);
+  EXPECT_EQ(all.queries, spec.queries);
+  EXPECT_GT(all.prob_sum, 0.0);
+  EXPECT_LE(all.prob_sum, static_cast<double>(spec.queries));
+
+  // Chunked runs sum to the same checksums (random-access generation).
+  const LoadStats head = run_load(engine, gen, 0, 1000);
+  const LoadStats tail = run_load(engine, gen, 1000, spec.queries);
+  EXPECT_NEAR(head.prob_sum + tail.prob_sum, all.prob_sum,
+              1e-9 * all.prob_sum);
+  EXPECT_EQ(head.queries + tail.queries, all.queries);
+}
+
+}  // namespace
+}  // namespace fgcs::serve

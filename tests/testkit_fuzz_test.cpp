@@ -20,9 +20,9 @@ std::vector<std::uint8_t> bytes(const std::string& s) {
 
 TEST(TestkitFuzz, TargetRegistryIsComplete) {
   const auto targets = fuzz_targets();
-  ASSERT_EQ(targets.size(), 4u);
-  for (const char* name :
-       {"trace-csv", "trace-binary", "fault-plan", "cli-args"}) {
+  ASSERT_EQ(targets.size(), 5u);
+  for (const char* name : {"trace-csv", "trace-binary", "fault-plan",
+                           "cli-args", "serve-query"}) {
     const FuzzTargetInfo* t = find_fuzz_target(name);
     ASSERT_NE(t, nullptr) << name;
     EXPECT_STREQ(t->name, name);
@@ -65,6 +65,8 @@ TEST(TestkitFuzz, TargetsAreTotalOverSyntheticCorpora) {
       bytes("garbage \xff\xfe bytes"),
       bytes("# fgcs-fault-plan v1\ncrash rate_per_day=2 mean_minutes=10\n"),
       bytes("--seed 7 --days 2 --migrate"),
+      bytes("# fgcs-serve-load v1\nmachines=8\nqueries=100\nmix=zipf:2\n"),
+      bytes("# fgcs-serve-load v1\nmix=sweep:1--4\nmachines=99999999999\n"),
   };
   for (const auto& target : fuzz_targets()) {
     for (const auto& input : inputs) {

@@ -9,6 +9,8 @@
 //   fgcs guests    [<trace>] [--checkpoint-interval MIN] [--migrate] ...
 //   fgcs calibrate [--profile linux|solaris]
 //   fgcs stats     <segment.met1> [--series NAME] [--op ...] [--q Q] ...
+//   fgcs serve     [--machines N] [--days D] [--queries Q] [--mix M]
+//                  [--window-hours H] [--seed S] [--out report.json]
 //
 // `simulate` runs the testbed (optionally under an injected fault plan)
 // and writes a trace; `fleet` runs the sharded sweep engine for
@@ -57,6 +59,7 @@
 #include "fgcs/obs/flight_recorder.hpp"
 #include "fgcs/obs/observer.hpp"
 #include "fgcs/obs/timeseries.hpp"
+#include "fgcs/serve/load.hpp"
 #include "fgcs/trace/io.hpp"
 #include "fgcs/util/cli.hpp"
 #include "fgcs/util/csv.hpp"
@@ -93,6 +96,10 @@ int usage() {
       "                 [--op value|delta|rate|quantile] [--q Q]\n"
       "                 [--window-hours W | --from-hours F --to-hours T]\n"
       "                 [--shard K | --machines A-B]\n"
+      "  fgcs serve     [--machines N] [--days D] [--queries Q]\n"
+      "                 [--mix uniform|zipf:<skew>|sweep:<lo>-<hi>]\n"
+      "                 [--window-hours H] [--publish-every N] [--seed S]\n"
+      "                 [--out report.json]\n"
       "\ntrace format chosen by extension: .csv is textual, anything else\n"
       "is the compact binary format. `figures` writes one plottable CSV\n"
       "per paper figure/table into <dir>.\n"
@@ -157,6 +164,17 @@ int usage() {
       "  --from-hours/--to-hours  explicit window (hours from start)\n"
       "  --shard=K            one shard's series instead of fleet totals\n"
       "  --machines=A-B       sum over shards covering machines A..B\n"
+      "\nserve (online availability service):\n"
+      "  simulates the fleet with a live AvailabilityFeed subscribed to\n"
+      "  the observer's episode events (ingest-as-you-go, the trace is\n"
+      "  never rescanned), then drives the configured query load against\n"
+      "  the published snapshot and reports qps + p50/p99 query latency\n"
+      "  (see docs/serving.md)\n"
+      "  --mix=uniform        every machine equally likely\n"
+      "  --mix=zipf:<skew>    hot-machine skew (default zipf:1.1)\n"
+      "  --mix=sweep:<lo>-<hi>  window swept over [lo, hi] hours\n"
+      "  --publish-every=<n>  ingests per snapshot swap (default 1024)\n"
+      "  --out=<json>         machine-readable report\n"
       "\nenvironment:\n"
       "  FGCS_THREADS=<n>     worker threads for parallel phases (testbed\n"
       "                       machines, figure sweeps); 0 runs everything\n"
@@ -876,6 +894,141 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+// `serve` — the online availability service: the testbed runs with a
+// live AvailabilityFeed subscribed to the observer's episode events, so
+// predictor state is folded in as each episode closes (the trace is
+// never rescanned); then the configured query load runs against the
+// published snapshot. Wall-clock timing is deliberate here — tools/ is
+// outside the determinism lint, and throughput is the point.
+int cmd_serve(const Args& args) {
+  serve::LoadSpec spec;
+  spec.machines = static_cast<std::uint32_t>(args.get_int("machines", 2000));
+  const int days = static_cast<int>(args.get_int("days", 28));
+  spec.queries = static_cast<std::uint64_t>(
+      args.get_int("queries", 1'000'000));
+  spec.mix = serve::MixSpec::parse(args.get("mix", "zipf:1.1"));
+  spec.horizon_hours =
+      static_cast<double>(args.get_int("window-hours", 4));
+  spec.at_hours = 24.0 * days + 1.0;  // strictly past every episode
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 20060806));
+  spec.validate();
+  fgcs::require(days >= 1, "serve: --days must be >= 1");
+
+  serve::FeedConfig fc;
+  fc.machines = spec.machines;
+  fc.horizon_start = sim::SimTime::epoch();
+  fc.publish_every =
+      static_cast<std::uint64_t>(args.get_int("publish-every", 1024));
+  serve::AvailabilityFeed feed(fc);
+
+  // Subscribe the feed to episode events. ObsSession may already have
+  // installed an observer (obs flags); otherwise install a local one for
+  // the duration of the run. Either way the sink is detached before the
+  // feed goes out of scope.
+  std::unique_ptr<obs::Observer> local;
+  obs::Observer* observer = obs::observer();
+  std::optional<obs::ScopedObserver> guard;
+  if (observer == nullptr) {
+    local = std::make_unique<obs::Observer>();
+    observer = local.get();
+    observer->set_event_sink(&feed);  // attach before install
+    guard.emplace(observer);
+  } else {
+    observer->set_event_sink(&feed);
+  }
+  struct SinkDetach {
+    obs::Observer* obs;
+    ~SinkDetach() { obs->set_event_sink(nullptr); }
+  } detach{observer};
+
+  core::TestbedConfig tb;
+  tb.machines = spec.machines;
+  tb.days = days;
+  tb.seed = spec.seed;
+  std::printf("serve: ingesting %u machines x %d days live...\n",
+              spec.machines, days);
+  const auto ingest_t0 = std::chrono::steady_clock::now();
+  const auto trace = core::run_testbed(tb);
+  feed.publish();
+  const double ingest_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ingest_t0)
+          .count();
+  const std::uint64_t ingested = feed.events_ingested();
+  fgcs::require(ingested == trace.size(),
+                "serve: event seam dropped episodes");
+  std::printf(
+      "serve: ingested %llu episodes in %.2fs (%.0f events/s), "
+      "%llu snapshot swaps\n",
+      static_cast<unsigned long long>(ingested), ingest_s,
+      ingest_s > 0 ? static_cast<double>(ingested) / ingest_s : 0.0,
+      static_cast<unsigned long long>(feed.snapshots_published()));
+
+  const serve::QueryEngine engine(feed);
+  const serve::LoadGenerator gen(spec);
+
+  // Latency pass: time a bounded sample of point queries individually.
+  const std::uint64_t sample =
+      std::min<std::uint64_t>(spec.queries, 100'000);
+  std::vector<double> lat_us;
+  lat_us.reserve(static_cast<std::size_t>(sample));
+  {
+    const auto snap = engine.pin();
+    for (std::uint64_t i = 0; i < sample; ++i) {
+      const serve::ServeQuery q = gen.query(i);
+      const auto t0 = std::chrono::steady_clock::now();
+      volatile double p = engine.query(*snap, q).p_available;
+      (void)p;
+      lat_us.push_back(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+    }
+  }
+  std::sort(lat_us.begin(), lat_us.end());
+  const double p50 = lat_us[lat_us.size() / 2];
+  const double p99 = lat_us[lat_us.size() * 99 / 100];
+
+  // Throughput pass: the full load through the batched path.
+  const auto load_t0 = std::chrono::steady_clock::now();
+  const serve::LoadStats stats = serve::run_load(engine, gen, 0,
+                                                 spec.queries);
+  const double load_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    load_t0)
+          .count();
+  const double qps =
+      load_s > 0 ? static_cast<double>(stats.queries) / load_s : 0.0;
+  std::printf(
+      "serve: %llu queries (%s) in %.2fs -> %.0f queries/s, "
+      "latency p50 %.3fus p99 %.3fus, mean p_available %.4f\n",
+      static_cast<unsigned long long>(stats.queries), spec.mix.str().c_str(),
+      load_s, qps, p50, p99,
+      stats.prob_sum / static_cast<double>(stats.queries));
+
+  if (args.has_option("out")) {
+    const std::string path = args.get("out", "");
+    std::ofstream out(path);
+    if (!out) throw IoError("cannot write " + path);
+    out << "{\n"
+        << "  \"machines\": " << spec.machines << ",\n"
+        << "  \"days\": " << days << ",\n"
+        << "  \"ingest_events\": " << ingested << ",\n"
+        << "  \"ingest_events_per_sec\": "
+        << (ingest_s > 0 ? static_cast<double>(ingested) / ingest_s : 0.0)
+        << ",\n"
+        << "  \"snapshot_swaps\": " << feed.snapshots_published() << ",\n"
+        << "  \"mix\": \"" << spec.mix.str() << "\",\n"
+        << "  \"queries\": " << stats.queries << ",\n"
+        << "  \"queries_per_sec\": " << qps << ",\n"
+        << "  \"latency_p50_us\": " << p50 << ",\n"
+        << "  \"latency_p99_us\": " << p99 << ",\n"
+        << "  \"prob_checksum\": " << stats.prob_sum << "\n"
+        << "}\n";
+    std::printf("wrote serve report to %s\n", path.c_str());
+  }
+  return 0;
+}
+
 int cmd_figures(const Args& args) {
   if (!args.has_option("out")) return usage();
   const std::filesystem::path dir = args.get("out", "figures");
@@ -1039,6 +1192,8 @@ int main(int argc, char** argv) {
       rc = cmd_stats(args);
     } else if (args.command() == "figures") {
       rc = cmd_figures(args);
+    } else if (args.command() == "serve") {
+      rc = cmd_serve(args);
     } else {
       return usage();
     }
