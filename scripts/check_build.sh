@@ -20,9 +20,9 @@
 #                                   # driver (10k iterations per target) under
 #                                   # -DFGCS_SANITIZE=address,undefined
 #   scripts/check_build.sh --tsan   # additionally run the fleet sweep engine,
-#                                   # thread-pool, parallel-prediction, and
-#                                   # arena/knob suites under
-#                                   # -DFGCS_SANITIZE=thread
+#                                   # thread-pool, parallel-prediction,
+#                                   # parallel-query-scan, and arena/knob
+#                                   # suites under -DFGCS_SANITIZE=thread
 #
 # The fgcs_obs module itself always compiles with -Werror (see
 # src/fgcs/obs/CMakeLists.txt), so the observability layer stays clean
@@ -102,9 +102,9 @@ if [[ "$run_tsan" -eq 1 ]]; then
   cmake -B build-tsan -S . -DFGCS_SANITIZE=thread
   cmake --build build-tsan -j
 
-  echo "== tsan: fleet + parallel + columnar + serve suites =="
+  echo "== tsan: fleet + parallel + columnar + serve + query suites =="
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R '^(Fleet|TraceV2|PredictParallel|ObsShard|ObsFlightRecorder|ThreadPool|ParallelFor|Testbed|Arena|Knobs|Serve)'
+    -R '^(Fleet|TraceV2|PredictParallel|ObsShard|ObsFlightRecorder|ThreadPool|ParallelFor|Testbed|Arena|Knobs|Serve|Query)'
 fi
 
 if [[ "$run_bench" -eq 1 ]]; then
@@ -151,6 +151,26 @@ if [[ "$run_bench" -eq 1 ]]; then
   if [[ -z "$serve_queries" || -z "$serve_machines" ]] || \
      [[ "$serve_queries" -lt 1000000 || "$serve_machines" -lt 2000 ]]; then
     echo "check_build: FAIL — serve bench below the 1M-query / 2000-machine floor" >&2
+    exit 1
+  fi
+fi
+
+if [[ "$run_bench" -eq 1 ]]; then
+  echo "== bench: query suite scale gate =="
+  # The streaming-analytics claim is also absolute: the committed
+  # BENCH_query.json must come from a >= 1,000,000-machine spill, and the
+  # scan's peak RSS must sit under a fixed budget — O(shard + block)
+  # memory is the engine's contract, so a fleet-sized RSS is a failure
+  # no matter how fast the scan was.
+  query_json="build/BENCH_query.latest.json"
+  query_machines="$(sed -n 's/.*"query_machines": \([0-9]*\).*/\1/p' "$query_json")"
+  query_rss="$(sed -n 's/.*"query_full_scan_peak_rss_mb": \([0-9.]*\).*/\1/p' "$query_json")"
+  echo "gate: query bench ${query_machines:-<missing>} machines, full-scan peak RSS ${query_rss:-<missing>} MB (need >= 1000000 machines, RSS <= 256 MB)"
+  if [[ -z "$query_machines" || -z "$query_rss" ]] || \
+     [[ "$query_machines" -lt 1000000 ]] || \
+     awk -v r="$query_rss" 'BEGIN { exit !(r > 256.0) }'; then
+    echo "check_build: FAIL — query bench below the 1M-machine floor or" \
+         "over the 256 MB scan-RSS budget" >&2
     exit 1
   fi
 fi

@@ -24,10 +24,13 @@ cd "$(dirname "$0")/.."
 # config plus the bytes on disk); serve joined when the online predictor
 # service landed (snapshot contents and load-generator draws must be a
 # pure function of the ingested records and the query seed — latency
-# timing lives in bench/ and tools/, outside this subtree).
+# timing lives in bench/ and tools/, outside this subtree); query joined
+# with the streaming analytics engine (a parallel segment scan must fold
+# to bit-identical aggregates regardless of worker count or timing —
+# scan-throughput clocks live in bench/ and tools/).
 DIRS=(src/fgcs/sim src/fgcs/os src/fgcs/core src/fgcs/fault src/fgcs/fleet
       src/fgcs/monitor src/fgcs/workload src/fgcs/util src/fgcs/recover
-      src/fgcs/serve)
+      src/fgcs/serve src/fgcs/query)
 
 # pattern<TAB>human-readable reason
 RULES=$(cat <<'EOF'

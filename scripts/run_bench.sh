@@ -9,15 +9,22 @@
 # Runs `perf_microbench --all`, which writes BENCH_simcore.json (sim-core
 # fast-path suite), BENCH_obs.json (observability overhead baseline),
 # BENCH_fleet.json (sharded fleet sweep: threads sweep, peak RSS, the
-# full 2,000-machine x 92-day run), and BENCH_serve.json (online
-# availability service: live ingest + a million-query load). If a
-# committed baseline exists, the script fails when event-queue
-# throughput, single-thread fleet machine-days/sec, or serve
-# queries/sec regresses more than 20% below it — enough slack to
-# absorb shared-host noise while still catching real regressions. Two
-# absolute gates ride along: the columnar steady state must allocate
-# zero, and per-shard checkpointing may cost at most 3% of a spilled
-# sweep's wall time.
+# full 2,000-machine x 92-day run), BENCH_serve.json (online
+# availability service: live ingest + a million-query load), and
+# BENCH_query.json (streaming analytics: the full aggregation pass over
+# a million-machine spill). If a committed baseline exists, the script
+# fails when event-queue throughput, single-thread fleet
+# machine-days/sec, serve queries/sec, or single-thread query
+# records/sec regresses more than 20% below it — enough slack to
+# absorb shared-host noise while still catching real regressions.
+# Absolute gates ride along: the columnar steady state must allocate
+# zero, per-shard checkpointing may cost at most 3% of a spilled
+# sweep's wall time, the query scan's peak RSS must stay under a fixed
+# ceiling (O(shard), never O(fleet)), and the selective query must skip
+# at least 90% of blocks via pushdown. The query throughput gate is
+# single-thread only: the bench box exposes one hardware thread, so
+# parallel-scan scaling is not measurable here (scaling_note in the
+# JSON records this).
 #
 # docs/performance.md explains every field in the JSON outputs.
 set -euo pipefail
@@ -57,6 +64,12 @@ if [[ -f BENCH_serve.json ]]; then
   baseline_serve_p99="$(sed -n \
     's/.*"serve_latency_p99_us": \([0-9.]*\).*/\1/p' BENCH_serve.json)"
 fi
+baseline_query_rps=""
+if [[ -f BENCH_query.json ]]; then
+  baseline_query_rps="$(sed -n \
+    's/.*"query_single_thread_records_per_sec": \([0-9.]*\).*/\1/p' \
+    BENCH_query.json)"
+fi
 
 echo "== bench: configure + build (Release) =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DFGCS_WERROR=OFF
@@ -67,19 +80,22 @@ out="BENCH_simcore.json"
 obs_out="BENCH_obs.json"
 fleet_out="BENCH_fleet.json"
 serve_out="BENCH_serve.json"
+query_out="BENCH_query.json"
 if [[ "$check_only" -eq 1 ]]; then
   out="$(mktemp /tmp/BENCH_simcore.XXXXXX.json)"
   obs_out="$(mktemp /tmp/BENCH_obs.XXXXXX.json)"
   fleet_out="$(mktemp /tmp/BENCH_fleet.XXXXXX.json)"
   serve_out="$(mktemp /tmp/BENCH_serve.XXXXXX.json)"
+  query_out="$(mktemp /tmp/BENCH_query.XXXXXX.json)"
 fi
 ./build/bench/perf_microbench --simcore="$out" --obs-baseline="$obs_out" \
-  --fleet="$fleet_out" --serve="$serve_out"
-# Keep the freshest obs + serve numbers where check_build.sh --bench can
-# assert on them regardless of --check-only (the committed baseline is
-# only refreshed on a full run).
+  --fleet="$fleet_out" --serve="$serve_out" --query="$query_out"
+# Keep the freshest obs + serve + query numbers where check_build.sh
+# --bench can assert on them regardless of --check-only (the committed
+# baseline is only refreshed on a full run).
 cp "$obs_out" build/BENCH_obs.latest.json
 cp "$serve_out" build/BENCH_serve.latest.json
+cp "$query_out" build/BENCH_query.latest.json
 echo
 cat "$out"
 echo
@@ -88,6 +104,8 @@ echo
 cat "$fleet_out"
 echo
 cat "$serve_out"
+echo
+cat "$query_out"
 echo
 
 if [[ -n "$baseline_events_per_sec" ]]; then
@@ -191,6 +209,50 @@ if [[ -n "$baseline_serve_p99" ]]; then
     echo "run_bench: FAIL — serve p99 query latency more than doubled" >&2
     exit 1
   fi
+fi
+
+if [[ -n "$baseline_query_rps" ]]; then
+  current_query="$(sed -n \
+    's/.*"query_single_thread_records_per_sec": \([0-9.]*\).*/\1/p' \
+    "$query_out")"
+  query_floor="$(awk -v b="$baseline_query_rps" 'BEGIN { printf "%.0f", b * 0.8 }')"
+  echo "gate: query scan ${current_query} records/s (single thread) vs" \
+       "committed baseline ${baseline_query_rps} records/s (floor ${query_floor})"
+  if awk -v c="$current_query" -v f="$query_floor" 'BEGIN { exit !(c < f) }'; then
+    echo "run_bench: FAIL — query scan throughput regressed >20%" >&2
+    exit 1
+  fi
+else
+  echo "gate: no committed BENCH_query.json baseline; skipping"
+fi
+
+# The streaming engine's memory bound is an invariant: scanning a
+# million-machine spill must hold peak RSS O(shard + block), never
+# O(fleet). A fixed absolute ceiling (not a relative drift gate) catches
+# any accidental materialization — the measured scan sits under 100 MB
+# while materializing the fleet would need several hundred.
+query_rss_ceiling_mb=256
+query_rss="$(sed -n \
+  's/.*"query_full_scan_peak_rss_mb": \([0-9.]*\).*/\1/p' "$query_out")"
+echo "gate: query full-scan peak RSS ${query_rss:-<missing>} MB (ceiling ${query_rss_ceiling_mb} MB)"
+if [[ -z "$query_rss" ]] || \
+   awk -v r="$query_rss" -v c="$query_rss_ceiling_mb" 'BEGIN { exit !(r > c) }'; then
+  echo "run_bench: FAIL — query scan peak RSS ${query_rss:-<missing>} MB" \
+       "breaches the ${query_rss_ceiling_mb} MB O(shard) ceiling" >&2
+  exit 1
+fi
+
+# Pushdown effectiveness: the tracked 1%-of-machines predicate must skip
+# at least 90% of blocks via footer machine ranges + zone maps.
+query_skip="$(sed -n \
+  's/.*"query_selective_blocks_skipped_fraction": \([0-9.]*\).*/\1/p' \
+  "$query_out")"
+echo "gate: query selective scan skips ${query_skip:-<missing>} of blocks (floor 0.90)"
+if [[ -z "$query_skip" ]] || \
+   awk -v s="$query_skip" 'BEGIN { exit !(s < 0.90) }'; then
+  echo "run_bench: FAIL — selective query pushdown skipped only" \
+       "${query_skip:-<missing>} of blocks, under the 0.90 floor" >&2
+  exit 1
 fi
 
 echo "run_bench: OK"

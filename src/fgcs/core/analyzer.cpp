@@ -90,7 +90,15 @@ IntervalClassStats summarize_intervals(const std::vector<double>& hours) {
   IntervalClassStats s;
   s.count = hours.size();
   s.ecdf_hours = stats::Ecdf{hours};
-  s.mean_hours = s.ecdf_hours.mean();
+  // Mean over the samples in *canonical* (machine-then-time) order, not
+  // Ecdf::mean()'s sorted order: float addition is order-sensitive, and
+  // the streaming query engine reproduces this sum while scanning
+  // intervals in canonical order without materializing them — summing
+  // here in sorted order would break that bit-identity.
+  double sum = 0.0;
+  for (const double h : hours) sum += h;
+  s.mean_hours =
+      hours.empty() ? 0.0 : sum / static_cast<double>(hours.size());
   if (!hours.empty()) {
     const double five_min = 5.0 / 60.0;
     s.frac_under_5min = s.ecdf_hours(five_min);

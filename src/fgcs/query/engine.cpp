@@ -1,0 +1,643 @@
+#include "fgcs/query/engine.hpp"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <array>
+#include <exception>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fgcs/trace/trace_set.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::query {
+
+namespace {
+
+using monitor::AvailabilityState;
+using trace::TraceView;
+using trace::UnavailabilityRecord;
+
+// One machine's semi-Markov evaluation, deferred so the merge can fold
+// availability/occurrence sums in global machine order (float addition
+// is order-sensitive; the analyzer-side baseline folds machine 0..n-1).
+struct TrainEntry {
+  std::uint32_t machine = 0;
+  double availability = 0.0;
+  double occurrences = 0.0;
+  std::uint64_t samples = 0;
+};
+
+// Everything one segment scan produces. Interval lengths and training
+// entries are kept as values (O(shard)) rather than folded sums so the
+// sequential merge can replay the materializing code's exact left-to-
+// right addition order.
+struct SegmentPartial {
+  ScanStats stats;
+  bool any = false;  // any matched record
+  std::uint32_t first_machine = 0;
+  std::uint32_t last_machine = 0;
+  std::uint64_t machines_with_records = 0;
+  // Table 2 folds over this segment's machines: total, cpu, mem, urr.
+  bool t2_any = false;
+  std::array<int, 4> t2_min{};
+  std::array<int, 4> t2_max{};
+  std::array<std::int64_t, 4> t2_sum{};
+  std::uint64_t urr_total = 0;
+  std::uint64_t urr_reboots = 0;
+  bool pct_any = false;
+  std::array<double, 3> pct_min{};  // cpu, mem, urr
+  std::array<double, 3> pct_max{};
+  // Figure 6 interval lengths in emission (canonical) order.
+  std::vector<double> weekday_hours;
+  std::vector<double> weekend_hours;
+  // Figure 7 per-day hour-of-day counts (order-independent 1.0 adds).
+  std::vector<std::array<double, 24>> day_counts;
+  // Training-scan entries in ascending machine order.
+  std::vector<TrainEntry> train;
+  std::exception_ptr error;
+};
+
+// Per-segment scratch reused across machine groups: steady-state scans
+// allocate only when a machine outgrows every previous one.
+struct MachineScratch {
+  std::vector<UnavailabilityRecord> records;
+  std::vector<double> gaps;
+  std::vector<double> sorted_gaps;
+};
+
+struct ScanContext {
+  const QueryOptions* opt = nullptr;
+  sim::SimTime horizon_start;
+  sim::SimTime horizon_end;
+  int days = 0;
+};
+
+constexpr double kFiveMinHours = 5.0 / 60.0;
+
+bool valid_cause_byte(std::uint8_t cause) { return cause >= 3 && cause <= 5; }
+
+// Mirrors load_trace_v2_salvage's per-record semantic validation: a
+// salvaged block is committed bytes, but its records still get the same
+// scrutiny the salvage loader applies before trusting them.
+bool salvage_record_ok(const UnavailabilityRecord& r) {
+  if (r.end < r.start) return false;
+  if (!(r.host_cpu >= 0.0 && r.host_cpu <= 1.0)) return false;  // non-finite fails
+  if (!(r.free_mem_mb >= 0.0)) return false;
+  return true;
+}
+
+// Folds one finished machine group into the segment partial, replicating
+// core::TraceAnalyzer's per-machine arithmetic and the semi-Markov
+// predictor's per-machine evaluation exactly.
+void finalize_machine(SegmentPartial& part, MachineScratch& scratch,
+                      const ScanContext& ctx) {
+  auto& recs = scratch.records;
+  if (recs.empty()) return;
+  // Normalize to canonical order the way TraceSet / TraceIndex do — a
+  // no-op for spill segments, whose per-machine records already arrive
+  // time-sorted.
+  if (!std::is_sorted(recs.begin(), recs.end(),
+                      trace::TraceSet::canonical_less)) {
+    std::sort(recs.begin(), recs.end(), trace::TraceSet::canonical_less);
+  }
+  const std::uint32_t m = recs.front().machine;
+  if (!part.any) {
+    part.first_machine = m;
+    part.any = true;
+  }
+  part.last_machine = m;
+  ++part.machines_with_records;
+
+  // --- Table 2 (TraceAnalyzer::table2's per-machine Counts) ----------
+  int total = 0, cpu = 0, mem = 0, urr = 0;
+  for (const auto& r : recs) {
+    ++total;
+    switch (r.cause) {
+      case AvailabilityState::kS3CpuUnavailable:
+        ++cpu;
+        break;
+      case AvailabilityState::kS4MemoryThrashing:
+        ++mem;
+        break;
+      case AvailabilityState::kS5MachineUnavailable:
+        ++urr;
+        ++part.urr_total;
+        if (r.is_reboot()) ++part.urr_reboots;
+        break;
+      default:
+        break;  // the scan layer already rejected invalid cause bytes
+    }
+  }
+  const std::array<int, 4> counts{total, cpu, mem, urr};
+  if (!part.t2_any) {
+    part.t2_min = counts;
+    part.t2_max = counts;
+    part.t2_any = true;
+  } else {
+    for (std::size_t k = 0; k < 4; ++k) {
+      part.t2_min[k] = std::min(part.t2_min[k], counts[k]);
+      part.t2_max[k] = std::max(part.t2_max[k], counts[k]);
+    }
+  }
+  for (std::size_t k = 0; k < 4; ++k) part.t2_sum[k] += counts[k];
+  if (total > 0) {
+    const double t = total;
+    const std::array<double, 3> pcts{cpu / t, mem / t, urr / t};
+    if (!part.pct_any) {
+      part.pct_min = pcts;
+      part.pct_max = pcts;
+      part.pct_any = true;
+    } else {
+      for (std::size_t k = 0; k < 3; ++k) {
+        part.pct_min[k] = std::min(part.pct_min[k], pcts[k]);
+        part.pct_max[k] = std::max(part.pct_max[k], pcts[k]);
+      }
+    }
+  }
+
+  // --- Figure 6 (TraceSet::availability_intervals' merged gap walk) --
+  sim::SimTime prev_end = recs.front().end;
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    const auto& r = recs[i];
+    if (r.start > prev_end) {
+      const double h = (r.start - prev_end).as_hours();
+      if (ctx.opt->calendar.is_weekend(prev_end)) {
+        part.weekend_hours.push_back(h);
+      } else {
+        part.weekday_hours.push_back(h);
+      }
+    }
+    prev_end = std::max(prev_end, r.end);
+  }
+
+  // --- Training scan (SemiMarkovPredictor::predict_* replicated) -----
+  const sim::SimTime q_start =
+      ctx.opt->training_start.value_or(ctx.horizon_end);
+  const bool want_weekend = ctx.opt->calendar.is_weekend(q_start);
+  auto& gaps = scratch.gaps;
+  gaps.clear();
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    if (recs[i].start >= q_start) break;  // history only
+    const sim::SimTime gap_start = recs[i - 1].end;
+    const sim::SimTime gap_end = recs[i].start;
+    if (gap_end <= gap_start) continue;
+    if (ctx.opt->calendar.is_weekend(gap_start) != want_weekend) continue;
+    gaps.push_back((gap_end - gap_start).as_hours());
+  }
+  // TraceIndex::last_end_before(m, q_start): the latest episode starting
+  // at or before q_start; horizon_start when none exists.
+  bool inside = false;
+  sim::SimTime last_end = ctx.horizon_start;
+  auto it = std::lower_bound(
+      recs.begin(), recs.end(), q_start,
+      [](const UnavailabilityRecord& r, sim::SimTime t) {
+        return r.start <= t;
+      });
+  if (it != recs.begin()) {
+    --it;
+    last_end = it->end;
+    if (it->end > q_start) inside = true;
+  }
+  TrainEntry entry;
+  entry.machine = m;
+  entry.samples = gaps.size();
+  const double window_h = ctx.opt->training_window.as_hours();
+  if (inside) {
+    entry.availability = 0.0;  // the machine is down right now
+  } else {
+    scratch.sorted_gaps.assign(gaps.begin(), gaps.end());
+    std::sort(scratch.sorted_gaps.begin(), scratch.sorted_gaps.end());
+    const double age_h = (q_start - last_end).as_hours();
+    entry.availability = predict::conditional_availability(
+        scratch.sorted_gaps, age_h, window_h, ctx.opt->semi_markov);
+  }
+  double gap_sum = 0.0;
+  for (const double g : gaps) gap_sum += g;
+  entry.occurrences =
+      predict::renewal_occurrences(gap_sum, gaps.size(), window_h);
+  part.train.push_back(entry);
+
+  recs.clear();
+}
+
+SegmentPartial scan_segment(const TraceView& view, const ScanContext& ctx) {
+  SegmentPartial part;
+  part.day_counts.assign(static_cast<std::size_t>(ctx.days), {});
+  const Predicate& pred = ctx.opt->predicate;
+  MachineScratch scratch;
+  bool have_current = false;
+  std::uint32_t current = 0;
+  const std::int64_t hour_us = sim::SimDuration::hours(1).as_micros();
+  part.stats.blocks_total = view.block_count();
+  for (std::size_t b = 0; b < view.block_count(); ++b) {
+    const bool indexed = view.block_indexed(b);
+    if (!ctx.opt->disable_pruning) {
+      // Machine ranges come from the classic footer (absent only on
+      // salvaged opens); time/cause zones need the zone section.
+      if (!view.salvaged() &&
+          !pred.may_match_machines(view.block_min_machine(b),
+                                   view.block_max_machine(b))) {
+        ++part.stats.blocks_skipped;
+        continue;
+      }
+      if (indexed && !pred.may_match_zone(view.block_zone(b))) {
+        ++part.stats.blocks_skipped;
+        continue;
+      }
+    }
+    ++part.stats.blocks_scanned;
+    if (!indexed) ++part.stats.blocks_unindexed;
+    const TraceView::ColumnSpans cols = view.columns(b);
+    part.stats.records_scanned += cols.count;
+    for (std::uint64_t i = 0; i < cols.count; ++i) {
+      const std::uint32_t machine = cols.machine_at(i);
+      const std::int64_t start_us = cols.start_at(i);
+      const std::int64_t end_us = cols.end_at(i);
+      const std::uint8_t cause = cols.cause_at(i);
+      if (!valid_cause_byte(cause)) {
+        if (view.salvaged()) continue;  // the salvage loader drops these
+        throw IoError("v2 segment block " + std::to_string(b) + " record " +
+                      std::to_string(i) + ": invalid cause byte");
+      }
+      if (!pred.matches(machine, start_us, end_us, cause)) continue;
+      UnavailabilityRecord r;
+      r.machine = machine;
+      r.start = sim::SimTime::from_micros(start_us);
+      r.end = sim::SimTime::from_micros(end_us);
+      r.cause = static_cast<AvailabilityState>(cause);
+      r.host_cpu = cols.host_cpu_at(i);
+      r.free_mem_mb = cols.free_mem_at(i);
+      if (view.salvaged() && !salvage_record_ok(r)) continue;
+      ++part.stats.records_matched;
+      if (!have_current || machine != current) {
+        if (have_current) {
+          if (machine < current) {
+            throw ConfigError(
+                "segment records are not machine-grouped in ascending "
+                "order (machine " +
+                std::to_string(machine) + " after " +
+                std::to_string(current) +
+                "); materialize with load_trace() instead");
+          }
+          finalize_machine(part, scratch, ctx);
+        }
+        current = machine;
+        have_current = true;
+      }
+      scratch.records.push_back(r);
+      // --- Figure 7 counts (TraceAnalyzer::hourly, order-independent) -
+      const sim::SimTime start = std::max(r.start, ctx.horizon_start);
+      const sim::SimTime end =
+          std::min(std::max(r.end, start + sim::SimDuration::micros(1)),
+                   ctx.horizon_end);
+      const std::int64_t first_hour = start.as_micros() / hour_us;
+      const std::int64_t last_hour = (end.as_micros() - 1) / hour_us;
+      for (std::int64_t hh = first_hour; hh <= last_hour; ++hh) {
+        const auto day = static_cast<std::size_t>(hh / 24);
+        if (day >= part.day_counts.size()) break;
+        part.day_counts[day][static_cast<std::size_t>(hh % 24)] += 1.0;
+      }
+    }
+  }
+  if (have_current) finalize_machine(part, scratch, ctx);
+  if (ctx.opt->release_pages) view.release_pages();
+  return part;
+}
+
+// Sequential in-segment-order fold of partials into the final result —
+// the single place the deterministic merge order lives.
+class Merger {
+ public:
+  Merger(const ScanContext& ctx, std::uint32_t machines)
+      : ctx_(ctx), machines_(machines) {
+    day_counts_.assign(static_cast<std::size_t>(ctx.days), {});
+    // A machine with no (matched) records evaluates to the same
+    // prediction everywhere: no gap samples, age measured from the
+    // horizon start, never inside an episode.
+    const sim::SimTime q_start =
+        ctx_.opt->training_start.value_or(ctx_.horizon_end);
+    const double age_h = (q_start - ctx_.horizon_start).as_hours();
+    default_availability_ = predict::conditional_availability(
+        {}, age_h, ctx_.opt->training_window.as_hours(),
+        ctx_.opt->semi_markov);
+  }
+
+  void fold(const SegmentPartial& p) {
+    if (p.any) {
+      if (seg_any_ && p.first_machine <= last_machine_) {
+        throw ConfigError(
+            "segments overlap or are out of order in machine ranges "
+            "(machine " +
+            std::to_string(p.first_machine) + " after " +
+            std::to_string(last_machine_) + ")");
+      }
+      seg_any_ = true;
+      last_machine_ = p.last_machine;
+    }
+    stats_.blocks_total += p.stats.blocks_total;
+    stats_.blocks_scanned += p.stats.blocks_scanned;
+    stats_.blocks_skipped += p.stats.blocks_skipped;
+    stats_.blocks_unindexed += p.stats.blocks_unindexed;
+    stats_.records_scanned += p.stats.records_scanned;
+    stats_.records_matched += p.stats.records_matched;
+
+    if (p.t2_any) {
+      if (!t2_any_) {
+        t2_min_ = p.t2_min;
+        t2_max_ = p.t2_max;
+        t2_any_ = true;
+      } else {
+        for (std::size_t k = 0; k < 4; ++k) {
+          t2_min_[k] = std::min(t2_min_[k], p.t2_min[k]);
+          t2_max_[k] = std::max(t2_max_[k], p.t2_max[k]);
+        }
+      }
+      for (std::size_t k = 0; k < 4; ++k) t2_sum_[k] += p.t2_sum[k];
+    }
+    urr_total_ += p.urr_total;
+    urr_reboots_ += p.urr_reboots;
+    machines_with_records_ += p.machines_with_records;
+    if (p.pct_any) {
+      if (!pct_any_) {
+        pct_min_ = p.pct_min;
+        pct_max_ = p.pct_max;
+        pct_any_ = true;
+      } else {
+        for (std::size_t k = 0; k < 3; ++k) {
+          pct_min_[k] = std::min(pct_min_[k], p.pct_min[k]);
+          pct_max_[k] = std::max(pct_max_[k], p.pct_max[k]);
+        }
+      }
+    }
+
+    for (const double h : p.weekday_hours) fold_interval(weekday_, h);
+    for (const double h : p.weekend_hours) fold_interval(weekend_, h);
+
+    for (std::size_t d = 0; d < day_counts_.size(); ++d) {
+      for (std::size_t h = 0; h < 24; ++h) {
+        day_counts_[d][h] += p.day_counts[d][h];
+      }
+    }
+
+    for (const TrainEntry& e : p.train) {
+      while (next_machine_ < e.machine) fold_default_machine();
+      ++training_.machines;
+      training_.availability_sum += e.availability;
+      training_.occurrences_sum += e.occurrences;
+      training_.gap_samples += e.samples;
+      if (e.samples >= ctx_.opt->semi_markov.min_samples) {
+        ++training_.machines_with_history;
+      }
+      next_machine_ = e.machine + 1;
+    }
+  }
+
+  QueryResult finish() {
+    while (next_machine_ < machines_) fold_default_machine();
+
+    QueryResult out;
+    out.stats = stats_;
+
+    // Table 2: TraceAnalyzer::table2's fold over machines 0..n-1 — the
+    // min/max over {group counts} ∪ {0 for each recordless machine},
+    // and mean = (exact integer sum) / n.
+    out.table2.machines = machines_;
+    const bool zeros = machines_with_records_ < machines_;
+    auto range = [&](std::size_t k) {
+      core::Table2Stats::Range r;
+      if (!t2_any_) return r;  // every machine empty: 0/0/0.0
+      r.min = zeros ? std::min(t2_min_[k], 0) : t2_min_[k];
+      r.max = zeros ? std::max(t2_max_[k], 0) : t2_max_[k];
+      r.mean = static_cast<double>(t2_sum_[k]) / static_cast<double>(machines_);
+      return r;
+    };
+    out.table2.total = range(0);
+    out.table2.cpu_contention = range(1);
+    out.table2.mem_contention = range(2);
+    out.table2.urr = range(3);
+    if (pct_any_) {
+      out.table2.cpu_pct_min = pct_min_[0];
+      out.table2.cpu_pct_max = pct_max_[0];
+      out.table2.mem_pct_min = pct_min_[1];
+      out.table2.mem_pct_max = pct_max_[1];
+      out.table2.urr_pct_min = pct_min_[2];
+      out.table2.urr_pct_max = pct_max_[2];
+    }
+    if (urr_total_ > 0) {
+      out.table2.reboot_fraction_of_urr = static_cast<double>(urr_reboots_) /
+                                          static_cast<double>(urr_total_);
+    }
+
+    out.intervals.weekday = summarize(weekday_);
+    out.intervals.weekend = summarize(weekend_);
+
+    // Figure 7: identical day-count matrix, identical binner.
+    stats::HourOfDayBinner weekday_binner, weekend_binner;
+    int wd = 0, we = 0;
+    for (int d = 0; d < ctx_.days; ++d) {
+      if (ctx_.opt->calendar.is_weekend_day(d)) {
+        weekend_binner.add_day(day_counts_[static_cast<std::size_t>(d)]);
+        ++we;
+      } else {
+        weekday_binner.add_day(day_counts_[static_cast<std::size_t>(d)]);
+        ++wd;
+      }
+    }
+    out.hourly.weekday_days = wd;
+    out.hourly.weekend_days = we;
+    for (std::size_t h = 0; h < 24; ++h) {
+      const auto w = weekday_binner.hour(h);
+      out.hourly.weekday[h] = {w.mean, w.min, w.max, w.stddev};
+      const auto e = weekend_binner.hour(h);
+      out.hourly.weekend[h] = {e.mean, e.min, e.max, e.stddev};
+    }
+    out.relative_deviation_weekday = relative_deviation(out.hourly.weekday);
+    out.relative_deviation_weekend = relative_deviation(out.hourly.weekend);
+
+    out.training = training_;
+    return out;
+  }
+
+ private:
+  // Running Figure 6 accumulator: integer threshold counts (exact) plus
+  // the emission-order sum (replayed left-to-right, matching the
+  // analyzer's canonical-order sum).
+  struct ClassAcc {
+    std::uint64_t n = 0;
+    std::uint64_t le_5min = 0;
+    std::uint64_t le_2h = 0;
+    std::uint64_t le_4h = 0;
+    std::uint64_t le_6h = 0;
+    double sum = 0.0;
+  };
+
+  static void fold_interval(ClassAcc& acc, double h) {
+    ++acc.n;
+    if (h <= kFiveMinHours) ++acc.le_5min;
+    if (h <= 2.0) ++acc.le_2h;
+    if (h <= 4.0) ++acc.le_4h;
+    if (h <= 6.0) ++acc.le_6h;
+    acc.sum += h;
+  }
+
+  static IntervalClassSummary summarize(const ClassAcc& acc) {
+    IntervalClassSummary s;
+    s.count = acc.n;
+    if (acc.n == 0) return s;
+    const auto n = static_cast<double>(acc.n);
+    // stats::ecdf_at is count/size; mass_between is F(hi) - F(lo). The
+    // same divisions and subtractions on the same integer counts are
+    // bit-identical to evaluating the materialized ECDF.
+    const double f5 = static_cast<double>(acc.le_5min) / n;
+    const double f2 = static_cast<double>(acc.le_2h) / n;
+    const double f4 = static_cast<double>(acc.le_4h) / n;
+    const double f6 = static_cast<double>(acc.le_6h) / n;
+    s.mean_hours = acc.sum / n;
+    s.frac_under_5min = f5;
+    s.frac_5min_to_2h = f2 - f5;
+    s.frac_2h_to_4h = f4 - f2;
+    s.frac_4h_to_6h = f6 - f4;
+    return s;
+  }
+
+  static double relative_deviation(
+      const std::array<core::HourlyPattern::HourRow, 24>& rows) {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& row : rows) {
+      if (row.mean < 0.5) continue;  // skip near-empty hours
+      sum += row.stddev / row.mean;
+      ++n;
+    }
+    return n == 0 ? 0.0 : sum / n;
+  }
+
+  void fold_default_machine() {
+    ++training_.machines;
+    training_.availability_sum += default_availability_;
+    ++next_machine_;
+  }
+
+  const ScanContext& ctx_;
+  std::uint32_t machines_;
+  double default_availability_ = 0.0;
+
+  ScanStats stats_;
+  bool seg_any_ = false;
+  std::uint32_t last_machine_ = 0;
+
+  bool t2_any_ = false;
+  std::array<int, 4> t2_min_{};
+  std::array<int, 4> t2_max_{};
+  std::array<std::int64_t, 4> t2_sum_{};
+  std::uint64_t urr_total_ = 0;
+  std::uint64_t urr_reboots_ = 0;
+  std::uint64_t machines_with_records_ = 0;
+  bool pct_any_ = false;
+  std::array<double, 3> pct_min_{};
+  std::array<double, 3> pct_max_{};
+
+  ClassAcc weekday_;
+  ClassAcc weekend_;
+  std::vector<std::array<double, 24>> day_counts_;
+
+  TrainingScan training_;
+  std::uint32_t next_machine_ = 0;
+};
+
+}  // namespace
+
+SegmentQuery::SegmentQuery(const std::vector<std::string>& paths) {
+  fgcs::require(!paths.empty(), "SegmentQuery needs at least one segment");
+  views_.reserve(paths.size());
+  for (const auto& path : paths) {
+    bool salvage = false;
+    try {
+      views_.emplace_back(path);
+    } catch (const IoError&) {
+      // Damaged (torn / footerless) segment: fall back to the chain
+      // rescan. A path that cannot be opened at all rethrows from here.
+      views_.push_back(trace::TraceView::open_salvaged(path));
+      salvage = true;
+    }
+    if (salvage) ++salvaged_;
+    const auto& a = views_.front();
+    const auto& b = views_.back();
+    if (b.machine_count() != a.machine_count() ||
+        b.horizon_start() != a.horizon_start() ||
+        b.horizon_end() != a.horizon_end()) {
+      throw ConfigError("segment header disagrees with the first segment: " +
+                        path);
+    }
+  }
+}
+
+std::vector<std::string> SegmentQuery::list_segments(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) throw IoError("cannot open directory: " + dir);
+  std::vector<std::string> names;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    constexpr const char* kSuffix = ".trc2";
+    if (name.size() > 5 && name.compare(name.size() - 5, 5, kSuffix) == 0) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  if (names.empty()) throw IoError("no *.trc2 segments in: " + dir);
+  std::sort(names.begin(), names.end());
+  std::vector<std::string> paths;
+  paths.reserve(names.size());
+  for (const auto& name : names) paths.push_back(dir + "/" + name);
+  return paths;
+}
+
+QueryResult SegmentQuery::run(const QueryOptions& options) const {
+  ScanContext ctx;
+  ctx.opt = &options;
+  ctx.horizon_start = horizon_start();
+  ctx.horizon_end = horizon_end();
+  ctx.days = std::max(
+      1, options.calendar.day_index(ctx.horizon_end -
+                                    sim::SimDuration::micros(1)) +
+             1);
+
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : util::ThreadPool::global();
+  Merger merger(ctx, machine_count());
+
+  // Segments scan in parallel but merge sequentially in segment order.
+  // Waves bound how many partials (each O(shard)) are alive at once, so
+  // peak memory tracks the worker count, not the segment count.
+  const std::size_t wave =
+      std::max<std::size_t>(2, 2 * std::max<std::size_t>(
+                                       pool.worker_count(), 1));
+  for (std::size_t base = 0; base < views_.size(); base += wave) {
+    const std::size_t count = std::min(wave, views_.size() - base);
+    std::vector<SegmentPartial> partials(count);
+    util::parallel_for(
+        count,
+        [&](std::size_t i) {
+          try {
+            partials[i] = scan_segment(views_[base + i], ctx);
+          } catch (...) {
+            partials[i].error = std::current_exception();
+          }
+        },
+        pool);
+    for (const auto& partial : partials) {
+      if (partial.error) std::rethrow_exception(partial.error);
+      merger.fold(partial);
+    }
+  }
+
+  QueryResult out = merger.finish();
+  out.stats.segments = views_.size();
+  out.stats.segments_salvaged = salvaged_;
+  return out;
+}
+
+}  // namespace fgcs::query

@@ -1,0 +1,152 @@
+// Streaming analytics over spilled v2 segments — the analyzer and the
+// semi-Markov training scan without ever materializing a TraceSet.
+//
+// The engine scans segments block by block through TraceView's typed
+// column spans, skips blocks the predicate cannot match (footer machine
+// ranges + zone maps), and folds four aggregations in one pass:
+//
+//   * Table 2   per-machine unavailability counts by cause
+//   * Figure 6  availability-interval lengths by day class
+//   * Figure 7  hour-of-day occurrence pattern (+ relative deviation)
+//   * training  every machine's semi-Markov predictor evaluated at one
+//               query, folded in machine order
+//
+// Bit-identity with core::TraceAnalyzer / predict::SemiMarkovPredictor
+// is a hard contract (the query-pushdown diff oracle sweeps it over
+// hundreds of seeds). Float addition is order-sensitive, so the engine
+// reproduces the materializing code's exact fold orders: segments are
+// scanned in parallel (util::parallel_for) but their partial aggregates
+// are merged sequentially in segment order, and each partial carries its
+// per-interval / per-machine values so the merge can replay the global
+// machine-ascending left-to-right sums the analyzer performs.
+//
+// Memory stays O(shard + block): one machine's episode buffer plus one
+// wave of per-segment partials; scanned segments drop their mapped pages
+// (TraceView::release_pages) so a million-machine sweep's RSS is bounded
+// by the largest shard, not the fleet.
+//
+// Segments must partition the machine space: records machine-grouped in
+// ascending order within a segment, segment machine ranges disjoint and
+// ascending in path order (exactly what fleet spill mode produces, and
+// what write_trace_v2's canonical order produces for a single segment).
+// The engine throws ConfigError when a scan disproves this.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fgcs/core/analyzer.hpp"
+#include "fgcs/predict/semi_markov.hpp"
+#include "fgcs/query/predicate.hpp"
+#include "fgcs/trace/calendar.hpp"
+#include "fgcs/trace/format_v2.hpp"
+#include "fgcs/util/parallel.hpp"
+
+namespace fgcs::query {
+
+/// Scan accounting: how much work pushdown actually skipped.
+struct ScanStats {
+  std::size_t segments = 0;
+  std::size_t segments_salvaged = 0;
+  std::size_t blocks_total = 0;
+  std::size_t blocks_scanned = 0;
+  std::size_t blocks_skipped = 0;    // pruned whole via index metadata
+  std::size_t blocks_unindexed = 0;  // scanned without index metadata
+                                     // (salvaged or pre-zone segments)
+  std::uint64_t records_scanned = 0;
+  std::uint64_t records_matched = 0;
+};
+
+/// Figure 6 for one day class: core::IntervalClassStats' scalar fields,
+/// without the O(intervals) ECDF the streaming path never builds.
+struct IntervalClassSummary {
+  std::size_t count = 0;
+  double mean_hours = 0.0;
+  double frac_under_5min = 0.0;
+  double frac_5min_to_2h = 0.0;
+  double frac_2h_to_4h = 0.0;
+  double frac_4h_to_6h = 0.0;
+};
+
+struct IntervalSummary {
+  IntervalClassSummary weekday;
+  IntervalClassSummary weekend;
+};
+
+/// Semi-Markov training scan: predict_availability / predict_occurrences
+/// for every machine at one fixed query, folded in machine order —
+/// bit-identical to running predict::SemiMarkovPredictor per machine on
+/// the materialized trace.
+struct TrainingScan {
+  std::uint64_t machines = 0;
+  std::uint64_t machines_with_history = 0;  // >= min_samples gap samples
+  std::uint64_t gap_samples = 0;
+  double availability_sum = 0.0;
+  double occurrences_sum = 0.0;
+};
+
+struct QueryOptions {
+  Predicate predicate;  // default: all
+  trace::TraceCalendar calendar{};
+  predict::SemiMarkovConfig semi_markov{};
+  /// Training-scan query window; the query start defaults to the horizon
+  /// end (train on the full trace).
+  sim::SimDuration training_window = sim::SimDuration::hours(1);
+  std::optional<sim::SimTime> training_start;
+  /// Disables block pruning — the brute-force full scan the
+  /// query-pushdown diff oracle compares against.
+  bool disable_pruning = false;
+  /// Releases each segment's mapped pages after scanning it, keeping
+  /// peak RSS O(shard) instead of O(fleet data).
+  bool release_pages = true;
+  /// Worker pool for the segment-parallel scan; nullptr uses the
+  /// process-wide pool.
+  util::ThreadPool* pool = nullptr;
+};
+
+struct QueryResult {
+  core::Table2Stats table2;
+  IntervalSummary intervals;
+  core::HourlyPattern hourly;
+  double relative_deviation_weekday = 0.0;
+  double relative_deviation_weekend = 0.0;
+  TrainingScan training;
+  ScanStats stats;
+};
+
+/// A set of v2 segments opened for querying. Strict opens first; a
+/// damaged segment falls back to TraceView::open_salvaged so a torn or
+/// footerless spill stays queryable (its blocks full-scan, surfaced via
+/// ScanStats::blocks_unindexed).
+class SegmentQuery {
+ public:
+  /// Opens every path. Throws IoError when a path cannot be opened at
+  /// all, ConfigError when segment headers disagree.
+  explicit SegmentQuery(const std::vector<std::string>& paths);
+
+  /// The *.trc2 files directly inside `dir`, sorted by name (fleet spill
+  /// segments sort into ascending shard — and machine — order). Throws
+  /// IoError when the directory cannot be read or holds no segments.
+  static std::vector<std::string> list_segments(const std::string& dir);
+
+  std::size_t segment_count() const { return views_.size(); }
+  const trace::TraceView& segment(std::size_t i) const {
+    return views_.at(i);
+  }
+  std::size_t salvaged_count() const { return salvaged_; }
+
+  std::uint32_t machine_count() const { return views_.front().machine_count(); }
+  sim::SimTime horizon_start() const { return views_.front().horizon_start(); }
+  sim::SimTime horizon_end() const { return views_.front().horizon_end(); }
+
+  /// One parallel pass over every segment: scan, prune, fold, merge.
+  QueryResult run(const QueryOptions& options = {}) const;
+
+ private:
+  std::vector<trace::TraceView> views_;
+  std::size_t salvaged_ = 0;
+};
+
+}  // namespace fgcs::query

@@ -1,0 +1,128 @@
+#include "fgcs/query/predicate.hpp"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::query {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& text, const std::string& why) {
+  throw ConfigError("bad query predicate \"" + text + "\": " + why);
+}
+
+// Strict integer parse: the token must be consumed entirely, with no
+// leading '+', whitespace, or base prefixes — whatever parses must
+// re-render to the same token, or the parse→str fixpoint breaks.
+template <typename T>
+bool parse_int(std::string_view token, T& out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+// Parses "[lo,hi)" into two integers.
+template <typename T>
+void parse_range(const std::string& text, std::string_view body, T& lo,
+                 T& hi, const char* what) {
+  if (body.size() < 4 || body.front() != '[' || body.back() != ')') {
+    bad(text, std::string(what) + " range must look like [lo,hi)");
+  }
+  body.remove_prefix(1);
+  body.remove_suffix(1);
+  const std::size_t comma = body.find(',');
+  if (comma == std::string_view::npos) {
+    bad(text, std::string(what) + " range is missing its comma");
+  }
+  if (!parse_int(body.substr(0, comma), lo) ||
+      !parse_int(body.substr(comma + 1), hi)) {
+    bad(text, std::string(what) + " range bounds are not valid integers");
+  }
+}
+
+}  // namespace
+
+Predicate Predicate::parse(const std::string& text) {
+  // Tokenize on runs of spaces; canonical output uses single spaces.
+  std::vector<std::string_view> tokens;
+  const std::string_view sv(text);
+  std::size_t pos = 0;
+  while (pos < sv.size()) {
+    const std::size_t start = sv.find_first_not_of(' ', pos);
+    if (start == std::string_view::npos) break;
+    std::size_t stop = sv.find(' ', start);
+    if (stop == std::string_view::npos) stop = sv.size();
+    tokens.push_back(sv.substr(start, stop - start));
+    pos = stop;
+  }
+  if (tokens.empty()) bad(text, "empty predicate (use \"all\")");
+
+  Predicate p;
+  if (tokens.size() == 1 && tokens[0] == "all") return p;
+  for (const std::string_view token : tokens) {
+    if (token == "all") {
+      bad(text, "\"all\" cannot be combined with other clauses");
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      bad(text, "clause \"" + std::string(token) + "\" is missing '='");
+    }
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (key == "machine") {
+      if (p.has_machine) bad(text, "duplicate machine clause");
+      parse_range(text, value, p.machine_lo, p.machine_hi, "machine");
+      p.has_machine = true;
+    } else if (key == "cause") {
+      if (p.has_cause) bad(text, "duplicate cause clause");
+      if (value == "S3") {
+        p.cause = 3;
+      } else if (value == "S4") {
+        p.cause = 4;
+      } else if (value == "S5") {
+        p.cause = 5;
+      } else {
+        bad(text, "cause must be S3, S4, or S5");
+      }
+      p.has_cause = true;
+    } else if (key == "time") {
+      if (p.has_time) bad(text, "duplicate time clause");
+      parse_range(text, value, p.time_lo_us, p.time_hi_us, "time");
+      p.has_time = true;
+    } else {
+      bad(text, "unknown clause \"" + std::string(key) + "\"");
+    }
+  }
+  return p;
+}
+
+std::string Predicate::str() const {
+  if (empty()) return "all";
+  char buf[96];
+  std::string out;
+  if (has_machine) {
+    std::snprintf(buf, sizeof buf, "machine=[%" PRIu32 ",%" PRIu32 ")",
+                  machine_lo, machine_hi);
+    out += buf;
+  }
+  if (has_cause) {
+    if (!out.empty()) out += ' ';
+    std::snprintf(buf, sizeof buf, "cause=S%d", static_cast<int>(cause));
+    out += buf;
+  }
+  if (has_time) {
+    if (!out.empty()) out += ' ';
+    std::snprintf(buf, sizeof buf, "time=[%" PRId64 ",%" PRId64 ")",
+                  time_lo_us, time_hi_us);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace fgcs::query

@@ -1,0 +1,83 @@
+// Query predicates: the text format users type, the per-record match, and
+// the zone-map pruning tests the scan engine uses to skip whole blocks.
+//
+// Grammar (clauses joined by single spaces; parse accepts any clause
+// order, str() renders the canonical machine→cause→time order):
+//
+//   pred   := "all" | clause (" " clause)*
+//   clause := "machine=[" u32 "," u32 ")"     half-open machine id range
+//           | "cause=" ("S3" | "S4" | "S5")   single-cause equality
+//           | "time=[" i64 "," i64 ")"        microseconds; a record
+//                                             matches when its episode
+//                                             overlaps the range
+//
+// parse(str(p)) is a fixpoint for every valid predicate — the
+// query-pred fuzz target hammers exactly that property. Empty ranges
+// ([a,a) or [b,a)) are valid and match nothing; at most one clause of
+// each kind may appear.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fgcs/trace/format_v2.hpp"
+
+namespace fgcs::query {
+
+struct Predicate {
+  bool has_machine = false;
+  std::uint32_t machine_lo = 0;
+  std::uint32_t machine_hi = 0;  // half-open
+  bool has_cause = false;
+  std::uint8_t cause = 3;  // 3 (S3), 4 (S4), or 5 (S5)
+  bool has_time = false;
+  std::int64_t time_lo_us = 0;
+  std::int64_t time_hi_us = 0;  // half-open; records match by overlap
+
+  /// Parses the text format above. Throws ConfigError on malformed
+  /// input, duplicate clauses, or unknown clause names.
+  static Predicate parse(const std::string& text);
+
+  /// Canonical text rendering; "all" for the empty predicate.
+  std::string str() const;
+
+  bool empty() const { return !has_machine && !has_cause && !has_time; }
+
+  /// Record-level match on the raw column values.
+  bool matches(std::uint32_t machine, std::int64_t start_us,
+               std::int64_t end_us, std::uint8_t cause_byte) const {
+    if (has_machine && (machine < machine_lo || machine >= machine_hi)) {
+      return false;
+    }
+    if (has_cause && cause_byte != cause) return false;
+    if (has_time && !(start_us < time_hi_us && end_us > time_lo_us)) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Block-level machine pruning against a footer index entry: false
+  /// means no record in [min_machine, max_machine] can match.
+  bool may_match_machines(std::uint32_t min_machine,
+                          std::uint32_t max_machine) const {
+    if (!has_machine) return true;
+    return min_machine < machine_hi && max_machine >= machine_lo;
+  }
+
+  /// Block-level time/cause pruning against a zone map: false means no
+  /// record summarized by `zone` can match.
+  bool may_match_zone(const trace::TraceView::BlockZone& zone) const {
+    if (has_cause &&
+        (zone.cause_mask & static_cast<std::uint8_t>(1u << (cause - 3))) ==
+            0) {
+      return false;
+    }
+    if (has_time && !(zone.min_start_us < time_hi_us &&
+                      zone.max_end_us > time_lo_us)) {
+      return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace fgcs::query

@@ -17,6 +17,7 @@
 #include "fgcs/fleet/fleet.hpp"
 #include "fgcs/os/machine.hpp"
 #include "fgcs/predict/semi_markov.hpp"
+#include "fgcs/query/engine.hpp"
 #include "fgcs/serve/query.hpp"
 #include "fgcs/testkit/invariants.hpp"
 #include "fgcs/testkit/scenario.hpp"
@@ -849,6 +850,242 @@ DiffResult oracle_serve_incremental(std::uint64_t seed) {
   return DiffResult::ok();
 }
 
+// --- oracle 11: pushdown segment scan vs. brute force and materializer ----
+
+DiffResult diff_query_results(const query::QueryResult& a,
+                              const query::QueryResult& b, const char* what) {
+  std::ostringstream out;
+  out << std::setprecision(17) << what << ": ";
+  const auto range_eq = [](const core::Table2Stats::Range& x,
+                           const core::Table2Stats::Range& y) {
+    return x.min == y.min && x.max == y.max && x.mean == y.mean;
+  };
+  if (a.table2.machines != b.table2.machines ||
+      !range_eq(a.table2.total, b.table2.total) ||
+      !range_eq(a.table2.cpu_contention, b.table2.cpu_contention) ||
+      !range_eq(a.table2.mem_contention, b.table2.mem_contention) ||
+      !range_eq(a.table2.urr, b.table2.urr) ||
+      a.table2.cpu_pct_min != b.table2.cpu_pct_min ||
+      a.table2.cpu_pct_max != b.table2.cpu_pct_max ||
+      a.table2.mem_pct_min != b.table2.mem_pct_min ||
+      a.table2.mem_pct_max != b.table2.mem_pct_max ||
+      a.table2.urr_pct_min != b.table2.urr_pct_min ||
+      a.table2.urr_pct_max != b.table2.urr_pct_max ||
+      a.table2.reboot_fraction_of_urr != b.table2.reboot_fraction_of_urr) {
+    out << "table2 differs (total mean " << a.table2.total.mean << " vs "
+        << b.table2.total.mean << ")";
+    return DiffResult::mismatch(out.str());
+  }
+  const auto class_eq = [](const query::IntervalClassSummary& x,
+                           const query::IntervalClassSummary& y) {
+    return x.count == y.count && x.mean_hours == y.mean_hours &&
+           x.frac_under_5min == y.frac_under_5min &&
+           x.frac_5min_to_2h == y.frac_5min_to_2h &&
+           x.frac_2h_to_4h == y.frac_2h_to_4h &&
+           x.frac_4h_to_6h == y.frac_4h_to_6h;
+  };
+  if (!class_eq(a.intervals.weekday, b.intervals.weekday) ||
+      !class_eq(a.intervals.weekend, b.intervals.weekend)) {
+    out << "intervals differ (weekday mean " << a.intervals.weekday.mean_hours
+        << " vs " << b.intervals.weekday.mean_hours << ")";
+    return DiffResult::mismatch(out.str());
+  }
+  if (a.hourly.weekday_days != b.hourly.weekday_days ||
+      a.hourly.weekend_days != b.hourly.weekend_days) {
+    out << "hourly day counts differ";
+    return DiffResult::mismatch(out.str());
+  }
+  for (std::size_t h = 0; h < 24; ++h) {
+    const auto row_eq = [](const core::HourlyPattern::HourRow& x,
+                           const core::HourlyPattern::HourRow& y) {
+      return x.mean == y.mean && x.min == y.min && x.max == y.max &&
+             x.stddev == y.stddev;
+    };
+    if (!row_eq(a.hourly.weekday[h], b.hourly.weekday[h]) ||
+        !row_eq(a.hourly.weekend[h], b.hourly.weekend[h])) {
+      out << "hourly row " << h << " differs";
+      return DiffResult::mismatch(out.str());
+    }
+  }
+  if (a.relative_deviation_weekday != b.relative_deviation_weekday ||
+      a.relative_deviation_weekend != b.relative_deviation_weekend) {
+    out << "relative deviation differs";
+    return DiffResult::mismatch(out.str());
+  }
+  if (a.training.machines != b.training.machines ||
+      a.training.machines_with_history != b.training.machines_with_history ||
+      a.training.gap_samples != b.training.gap_samples ||
+      a.training.availability_sum != b.training.availability_sum ||
+      a.training.occurrences_sum != b.training.occurrences_sum) {
+    out << "training scan differs (availability sum "
+        << a.training.availability_sum << " vs " << b.training.availability_sum
+        << ")";
+    return DiffResult::mismatch(out.str());
+  }
+  if (a.stats.records_matched != b.stats.records_matched) {
+    out << "matched " << a.stats.records_matched << " vs "
+        << b.stats.records_matched << " records";
+    return DiffResult::mismatch(out.str());
+  }
+  return DiffResult::ok();
+}
+
+DiffResult oracle_query_pushdown(std::uint64_t seed) {
+  // A spilled fleet queried three ways: the zone-map pushdown scan, the
+  // brute-force full scan (pruning disabled), and the materializing
+  // analyzer + predictor on the predicate-filtered TraceSet. All three
+  // must agree bit-for-bit on every aggregate.
+  util::RngStream rng(seed, {kOracleTag, 11});
+  const std::string dir = "fgcs-oracle-query." + std::to_string(::getpid()) +
+                          "." + std::to_string(seed);
+  remove_tree_flat(dir);
+  ::mkdir(dir.c_str(), 0755);
+  const auto cleanup = [&] { remove_tree_flat(dir); };
+
+  fleet::FleetConfig fc;
+  fc.testbed = small_testbed(seed);
+  fc.shard_machines = static_cast<std::uint32_t>(1 + rng.uniform_index(3));
+  fc.threads = 1 + rng.uniform_index(4);
+  fc.spill_dir = dir;
+  fc.metrics_path = dir + "/metrics.met1";
+  fleet::run_fleet(fc);
+  ::unlink((dir + "/metrics.met1").c_str());  // only *.trc2 is queried
+
+  DiffResult result = DiffResult::ok();
+  try {
+    const query::SegmentQuery segments(query::SegmentQuery::list_segments(dir));
+    const std::uint32_t machines = segments.machine_count();
+    const sim::SimTime hs = segments.horizon_start();
+    const sim::SimTime he = segments.horizon_end();
+
+    // A seed-drawn predicate: any subset of the three clause kinds,
+    // including empty machine/time ranges (which must match nothing).
+    query::Predicate pred;
+    if (rng.bernoulli(0.6)) {
+      pred.has_machine = true;
+      pred.machine_lo = static_cast<std::uint32_t>(
+          rng.uniform_index(machines + 1));
+      pred.machine_hi = static_cast<std::uint32_t>(
+          rng.uniform_index(machines + 2));
+    }
+    if (rng.bernoulli(0.5)) {
+      pred.has_cause = true;
+      pred.cause = static_cast<std::uint8_t>(3 + rng.uniform_index(3));
+    }
+    if (rng.bernoulli(0.5)) {
+      pred.has_time = true;
+      const auto span =
+          static_cast<std::uint64_t>((he - hs).as_micros());
+      pred.time_lo_us =
+          hs.as_micros() + static_cast<std::int64_t>(rng.uniform_index(span));
+      pred.time_hi_us =
+          hs.as_micros() + static_cast<std::int64_t>(rng.uniform_index(span));
+    }
+    if (query::Predicate::parse(pred.str()).str() != pred.str()) {
+      cleanup();
+      return DiffResult::mismatch("predicate parse/str fixpoint broken: " +
+                                  pred.str());
+    }
+
+    query::QueryOptions opts;
+    opts.predicate = pred;
+    const query::QueryResult pushdown = segments.run(opts);
+    query::QueryOptions brute_opts = opts;
+    brute_opts.disable_pruning = true;
+    const query::QueryResult brute = segments.run(brute_opts);
+
+    if (pushdown.stats.blocks_scanned + pushdown.stats.blocks_skipped !=
+        pushdown.stats.blocks_total) {
+      cleanup();
+      return DiffResult::mismatch("pushdown block accounting broken");
+    }
+    if (brute.stats.blocks_skipped != 0 ||
+        brute.stats.blocks_scanned != brute.stats.blocks_total) {
+      cleanup();
+      return DiffResult::mismatch("brute scan skipped blocks");
+    }
+    if (auto diff = diff_query_results(pushdown, brute,
+                                       "pushdown vs brute");
+        !diff.match) {
+      cleanup();
+      return diff;
+    }
+
+    // Materializing baseline: the analyzer and per-machine predictor on
+    // the predicate-filtered trace.
+    trace::TraceSet filtered(machines, hs, he);
+    std::uint64_t kept = 0;
+    for (std::size_t s = 0; s < segments.segment_count(); ++s) {
+      const trace::TraceSet seg = segments.segment(s).to_trace_set();
+      for (const auto& r : seg.records()) {
+        if (!pred.matches(r.machine, r.start.as_micros(), r.end.as_micros(),
+                          static_cast<std::uint8_t>(r.cause))) {
+          continue;
+        }
+        filtered.add(r);
+        ++kept;
+      }
+    }
+    if (kept != pushdown.stats.records_matched) {
+      cleanup();
+      std::ostringstream out;
+      out << "engine matched " << pushdown.stats.records_matched
+          << " records, materializer kept " << kept;
+      return DiffResult::mismatch(out.str());
+    }
+
+    const trace::TraceCalendar calendar;
+    const core::TraceAnalyzer analyzer(filtered, calendar);
+    query::QueryResult ref;
+    ref.table2 = analyzer.table2();
+    const core::IntervalStats intervals = analyzer.intervals();
+    const auto to_summary = [](const core::IntervalClassStats& c) {
+      query::IntervalClassSummary s;
+      s.count = c.count;
+      s.mean_hours = c.mean_hours;
+      s.frac_under_5min = c.frac_under_5min;
+      s.frac_5min_to_2h = c.frac_5min_to_2h;
+      s.frac_2h_to_4h = c.frac_2h_to_4h;
+      s.frac_4h_to_6h = c.frac_4h_to_6h;
+      return s;
+    };
+    ref.intervals.weekday = to_summary(intervals.weekday);
+    ref.intervals.weekend = to_summary(intervals.weekend);
+    ref.hourly = analyzer.hourly();
+    ref.relative_deviation_weekday = analyzer.hourly_relative_deviation(false);
+    ref.relative_deviation_weekend = analyzer.hourly_relative_deviation(true);
+
+    const trace::TraceIndex index(filtered);
+    predict::SemiMarkovPredictor batch;
+    batch.attach(index, calendar);
+    const sim::SimDuration window = sim::SimDuration::hours(1);
+    ref.training.machines = machines;
+    for (std::uint32_t m = 0; m < machines; ++m) {
+      const predict::PredictionQuery pq{m, he, window};
+      ref.training.availability_sum += batch.predict_availability(pq);
+      ref.training.occurrences_sum += batch.predict_occurrences(pq);
+    }
+    // gap_samples / machines_with_history are engine-side observability
+    // the batch predictor does not expose; the pushdown-vs-brute diff
+    // already pinned them.
+    ref.training.gap_samples = pushdown.training.gap_samples;
+    ref.training.machines_with_history = pushdown.training.machines_with_history;
+    ref.stats.records_matched = kept;
+
+    if (auto diff = diff_query_results(pushdown, ref,
+                                       "streaming vs materializing");
+        !diff.match) {
+      cleanup();
+      return diff;
+    }
+  } catch (const std::exception& e) {
+    cleanup();
+    return DiffResult::mismatch(std::string("query threw: ") + e.what());
+  }
+  cleanup();
+  return result;
+}
+
 }  // namespace
 
 const std::vector<DiffOracle>& standard_oracles() {
@@ -863,6 +1100,7 @@ const std::vector<DiffOracle>& standard_oracles() {
       {"soa-machine-step", oracle_soa_machine_step},
       {"fleet-resume", oracle_fleet_resume},
       {"serve-incremental", oracle_serve_incremental},
+      {"query-pushdown", oracle_query_pushdown},
   };
   return oracles;
 }

@@ -37,6 +37,11 @@
 //                           prefixes, vs. predict::SemiMarkovPredictor
 //                           trained batch-style on the same prefix —
 //                           predictions compared bit-for-bit
+//   query-pushdown          query::SegmentQuery's zone-map pushdown scan
+//                           vs. the brute-force full scan (pruning off)
+//                           vs. the materializing analyzer + predictor on
+//                           the predicate-filtered trace, under seed-drawn
+//                           predicates — every aggregate bit-compared
 //
 // This replaces scattered hand-rolled equivalence tests with one API the
 // CI property suite sweeps over hundreds of seeds.
@@ -66,7 +71,7 @@ struct DiffOracle {
   std::function<DiffResult(std::uint64_t seed)> run;
 };
 
-/// The ten standard oracles above.
+/// The eleven standard oracles above.
 const std::vector<DiffOracle>& standard_oracles();
 
 /// Finds a standard oracle by name; nullptr when unknown.

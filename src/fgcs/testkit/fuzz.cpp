@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "fgcs/fault/fault_plan.hpp"
+#include "fgcs/query/predicate.hpp"
 #include "fgcs/serve/load.hpp"
 #include "fgcs/trace/io.hpp"
 #include "fgcs/util/cli.hpp"
@@ -238,6 +239,64 @@ void fuzz_serve_query(const std::uint8_t* data, std::size_t size) {
   }
 }
 
+void fuzz_query_pred(const std::uint8_t* data, std::size_t size) {
+  const std::string text = to_text(data, size);
+  query::Predicate pred;
+  try {
+    pred = query::Predicate::parse(text);
+  } catch (const ConfigError&) {
+    return;  // diagnosed rejection: the documented path
+  }
+
+  // Accepted predicate: str() must be a parser fixpoint.
+  const std::string written = pred.str();
+  query::Predicate reparsed;
+  try {
+    reparsed = query::Predicate::parse(written);
+  } catch (const ConfigError& e) {
+    finding(std::string("Predicate::str emitted an unparseable predicate: ") +
+            e.what());
+  }
+  if (reparsed.str() != written) {
+    finding("predicate parse -> str -> parse is not a fixpoint");
+  }
+
+  // Eval consistency on a probe grid clustered at the predicate's own
+  // boundaries: the reparsed predicate must agree record-for-record, and
+  // block-level pruning must never contradict a record-level match (a
+  // zone summarizing exactly one matching record may not be prunable).
+  const std::uint32_t machine_probes[] = {
+      0, 1, pred.machine_lo, pred.machine_hi,
+      pred.machine_hi == 0 ? 0 : pred.machine_hi - 1, 0xFFFF'FFFFu};
+  const std::int64_t time_probes[] = {
+      pred.time_lo_us, pred.time_hi_us, pred.time_lo_us - 1,
+      pred.time_hi_us + 1, 0, 86'400'000'000};
+  for (const std::uint32_t m : machine_probes) {
+    for (const std::int64_t start : time_probes) {
+      const std::int64_t end = start + 1'800'000'000;
+      for (std::uint8_t cause = 3; cause <= 5; ++cause) {
+        const bool hit = pred.matches(m, start, end, cause);
+        if (hit != reparsed.matches(m, start, end, cause)) {
+          finding("reparsed predicate disagrees with the original");
+        }
+        if (!hit) continue;
+        if (!pred.may_match_machines(m, m)) {
+          finding("machine pruning contradicts a record match");
+        }
+        trace::TraceView::BlockZone zone;
+        zone.min_start_us = start;
+        zone.max_start_us = start;
+        zone.min_end_us = end;
+        zone.max_end_us = end;
+        zone.cause_mask = static_cast<std::uint8_t>(1u << (cause - 3));
+        if (!pred.may_match_zone(zone)) {
+          finding("zone pruning contradicts a record match");
+        }
+      }
+    }
+  }
+}
+
 std::span<const FuzzTargetInfo> fuzz_targets() {
   static constexpr FuzzTargetInfo kTargets[] = {
       {"trace-csv", fuzz_trace_csv, "trace_csv"},
@@ -245,6 +304,7 @@ std::span<const FuzzTargetInfo> fuzz_targets() {
       {"fault-plan", fuzz_fault_plan, "fault_plan"},
       {"cli-args", fuzz_cli_args, "cli"},
       {"serve-query", fuzz_serve_query, "serve_query"},
+      {"query-pred", fuzz_query_pred, "query_pred"},
   };
   return kTargets;
 }

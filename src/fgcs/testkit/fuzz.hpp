@@ -41,6 +41,10 @@ void fuzz_cli_args(const std::uint8_t* data, std::size_t size);
 /// fixpoint checks and a bounded LoadGenerator probe on accepted specs.
 void fuzz_serve_query(const std::uint8_t* data, std::size_t size);
 
+/// query::Predicate text parser: str() fixpoint, reparse/eval agreement,
+/// and zone/machine pruning soundness against matching records.
+void fuzz_query_pred(const std::uint8_t* data, std::size_t size);
+
 struct FuzzTargetInfo {
   const char* name;
   void (*fn)(const std::uint8_t* data, std::size_t size);

@@ -20,12 +20,19 @@ using util::store;
 
 constexpr char kMagic[8] = {'F', 'G', 'C', 'S', 'T', 'R', 'C', '2'};
 constexpr char kEndMagic[8] = {'F', 'G', 'C', 'S', 'E', 'N', 'D', '2'};
+constexpr char kZoneMagic[8] = {'F', 'G', 'C', 'S', 'Z', 'O', 'N', '1'};
 constexpr std::uint32_t kBlockMagic = 0x324B4C42;    // "BLK2" little-endian
 constexpr std::uint32_t kBlockMagicV3 = 0x334B4C42;  // "BLK3": trailing CRC
 constexpr std::size_t kHeaderBytes = 28;
 // u64 total_records + u64 footer_offset + trailing magic.
 constexpr std::size_t kTrailerBytes = 24;
 constexpr std::size_t kFooterEntryBytes = 24;
+// Zone section: 4x i64 time bounds + u8 cause bitmask per block.
+constexpr std::size_t kZoneEntryBytes = 33;
+// Zone magic + u64 entry_count + per-block entries.
+constexpr std::uint64_t zone_section_bytes(std::uint64_t blocks) {
+  return 16 + kZoneEntryBytes * blocks;
+}
 constexpr std::size_t kMaxDiagnostics = 8;
 // Corruption guard for the salvage scanner: no writer produces blocks
 // this large (kDefaultBlockRecords is 4096), so a bigger count is a
@@ -39,6 +46,14 @@ constexpr std::uint64_t kRecordBytes = 37;
 constexpr std::uint64_t last_column_offset(std::uint64_t n) { return 29 * n; }
 
 bool valid_cause(std::uint8_t cause) { return cause >= 3 && cause <= 5; }
+
+// Zone-map cause bit: bit k covers state S(3+k). An out-of-range byte
+// (never produced by the sim, but the format must stay conservative)
+// sets every bit so pruning can never skip it.
+std::uint8_t cause_bit(std::uint8_t cause) {
+  return valid_cause(cause) ? static_cast<std::uint8_t>(1u << (cause - 3))
+                            : std::uint8_t{0xFF};
+}
 
 // Mirrors io.cpp's semantic validation (kept local: that one lives in
 // io.cpp's anonymous namespace).
@@ -170,9 +185,18 @@ void TraceWriterV2::flush_block() {
   meta.count = n;
   meta.min_machine = std::numeric_limits<std::uint32_t>::max();
   meta.max_machine = 0;
+  meta.min_start_us = std::numeric_limits<std::int64_t>::max();
+  meta.max_start_us = std::numeric_limits<std::int64_t>::min();
+  meta.min_end_us = std::numeric_limits<std::int64_t>::max();
+  meta.max_end_us = std::numeric_limits<std::int64_t>::min();
   for (const auto& r : pending_) {
     meta.min_machine = std::min(meta.min_machine, r.machine);
     meta.max_machine = std::max(meta.max_machine, r.machine);
+    meta.min_start_us = std::min(meta.min_start_us, r.start.as_micros());
+    meta.max_start_us = std::max(meta.max_start_us, r.start.as_micros());
+    meta.min_end_us = std::min(meta.min_end_us, r.end.as_micros());
+    meta.max_end_us = std::max(meta.max_end_us, r.end.as_micros());
+    meta.cause_mask |= cause_bit(static_cast<std::uint8_t>(r.cause));
   }
   // One column at a time: the whole point of the SoA layout.
   for (const auto& r : pending_) store<std::uint32_t>(buf, r.machine);
@@ -203,9 +227,24 @@ void TraceWriterV2::flush_block() {
 void TraceWriterV2::finish() {
   if (finished_) return;
   flush_block();
-  const std::uint64_t footer_offset = offset_;
+  // Zone section first: it must sit *before* footer_offset so readers
+  // that predate it never look at it (their block-extent checks only run
+  // up to footer_offset, and their salvage scanner stops at the zone
+  // magic because it is not a block magic).
   std::vector<unsigned char> buf;
-  buf.reserve(8 + kFooterEntryBytes * blocks_.size() + kTrailerBytes);
+  buf.reserve(zone_section_bytes(blocks_.size()) + 8 +
+              kFooterEntryBytes * blocks_.size() + kTrailerBytes);
+  buf.insert(buf.end(), kZoneMagic, kZoneMagic + sizeof kZoneMagic);
+  store<std::uint64_t>(buf, blocks_.size());
+  for (const auto& b : blocks_) {
+    store<std::int64_t>(buf, b.min_start_us);
+    store<std::int64_t>(buf, b.max_start_us);
+    store<std::int64_t>(buf, b.min_end_us);
+    store<std::int64_t>(buf, b.max_end_us);
+    store<std::uint8_t>(buf, b.cause_mask);
+  }
+  const std::uint64_t footer_offset =
+      offset_ + zone_section_bytes(blocks_.size());
   store<std::uint64_t>(buf, blocks_.size());
   for (const auto& b : blocks_) {
     store<std::uint64_t>(buf, b.offset);
@@ -304,6 +343,104 @@ TraceView::TraceView(const std::string& path) : file_(path) {
   if (sum != total_) {
     throw IoError(path + ": v2 record total disagrees with block index");
   }
+  // Zone section detection: written immediately before the classic
+  // footer, so when present it ends exactly at footer_offset. The
+  // 8-byte magic plus the entry-count match make a false positive on
+  // pre-zone segments (where these bytes are block data) vanishingly
+  // unlikely — and a miss just degrades to unpruned scans.
+  const std::uint64_t zone_bytes = zone_section_bytes(block_count);
+  if (footer_offset >= kHeaderBytes + zone_bytes) {
+    const unsigned char* zone = data + (footer_offset - zone_bytes);
+    if (std::memcmp(zone, kZoneMagic, sizeof kZoneMagic) == 0 &&
+        load<std::uint64_t>(zone + 8) == block_count) {
+      has_zones_ = true;
+      const unsigned char* ze = zone + 16;
+      for (auto& blk : blocks_) {
+        blk.zone.min_start_us = load<std::int64_t>(ze);
+        blk.zone.max_start_us = load<std::int64_t>(ze + 8);
+        blk.zone.min_end_us = load<std::int64_t>(ze + 16);
+        blk.zone.max_end_us = load<std::int64_t>(ze + 24);
+        blk.zone.cause_mask = ze[32];
+        blk.indexed = true;
+        ze += kZoneEntryBytes;
+      }
+    }
+  }
+}
+
+TraceView::TraceView(const std::string& path, SalvageTag) : file_(path) {
+  const unsigned char* data = file_.data();
+  const std::size_t bytes = file_.size();
+  salvaged_ = true;
+  if (bytes < kHeaderBytes || std::memcmp(data, kMagic, sizeof kMagic) != 0) {
+    throw IoError(path + ": not an fgcs v2 trace (bad magic)");
+  }
+  machines_ = load<std::uint32_t>(data + 8);
+  start_ = sim::SimTime::from_micros(load<std::int64_t>(data + 12));
+  end_ = sim::SimTime::from_micros(load<std::int64_t>(data + 20));
+  if (machines_ == 0 || end_ <= start_) {
+    throw IoError(path + ": invalid v2 trace metadata");
+  }
+  // Walk the block chain exactly like load_trace_v2_salvage: keep every
+  // committed block, drop a torn final block whole, skip a mid-file
+  // checksum mismatch, stop at the first non-block marker (footer or
+  // zone section) or EOF.
+  std::uint64_t off = kHeaderBytes;
+  while (off + 8 <= bytes) {
+    const std::uint32_t marker = load<std::uint32_t>(data + off);
+    if (marker != kBlockMagic && marker != kBlockMagicV3) break;
+    const bool checksummed = marker == kBlockMagicV3;
+    const std::uint64_t count = load<std::uint32_t>(data + off + 4);
+    if (count == 0 || count > kMaxPlausibleBlock) break;
+    const std::uint64_t payload = kRecordBytes * count;
+    const std::uint64_t need = 8 + payload + (checksummed ? 4 : 0);
+    if (off + need > bytes) break;  // torn final block: dropped whole
+    if (checksummed) {
+      const std::uint32_t stored =
+          load<std::uint32_t>(data + off + 8 + payload);
+      const std::uint32_t computed = util::crc32(
+          data + off + 4, static_cast<std::size_t>(payload) + 4);
+      if (computed != stored) {
+        // Uncommitted at EOF → drop and stop; corrupt mid-file → skip.
+        off += need;
+        continue;
+      }
+    }
+    Block blk;
+    blk.offset = off + 8;
+    blk.count = count;
+    blk.checksummed = checksummed;
+    total_ += count;
+    blocks_.push_back(blk);
+    off += need;
+  }
+}
+
+TraceView TraceView::open_salvaged(const std::string& path) {
+  return TraceView(path, SalvageTag{});
+}
+
+bool TraceView::block_indexed(std::size_t block) const {
+  return blocks_.at(block).indexed;
+}
+
+const TraceView::BlockZone& TraceView::block_zone(std::size_t block) const {
+  return blocks_.at(block).zone;
+}
+
+TraceView::ColumnSpans TraceView::columns(std::size_t block) const {
+  const Block& blk = blocks_.at(block);
+  const unsigned char* base = at(blk.offset);
+  const std::uint64_t n = blk.count;
+  ColumnSpans spans;
+  spans.machine = base;
+  spans.start_us = base + 4 * n;
+  spans.end_us = base + 12 * n;
+  spans.cause = base + 20 * n;
+  spans.host_cpu = base + 21 * n;
+  spans.free_mem = base + 29 * n;
+  spans.count = n;
+  return spans;
 }
 
 std::uint64_t TraceView::block_size(std::size_t block) const {

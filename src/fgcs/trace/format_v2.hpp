@@ -12,6 +12,11 @@
 //            u8 cause[n], f64 host_cpu[n], f64 free_mem_mb[n], then a
 //            u32 CRC-32 of (count || columns) — written *last*, so a
 //            block is committed iff its checksum is present and matches
+//   zones    magic "FGCSZON1", u64 entry_count (== block_count), per
+//            block {i64 min_start_us, i64 max_start_us, i64 min_end_us,
+//            i64 max_end_us, u8 cause_mask} — the per-block zone maps
+//            the query engine prunes on (cause_mask bit k set when cause
+//            S(3+k) occurs in the block)
 //   footer   u64 block_count, per block {u64 offset, u64 count,
 //            u32 min_machine, u32 max_machine}, u64 total_records,
 //            u64 footer_offset, trailing magic "FGCSEND2"
@@ -20,6 +25,17 @@
 // the tail lets TraceView open a segment by reading 16 trailing bytes and
 // one index table — no scan — and the per-block machine ranges let
 // consumers skip blocks wholesale.
+//
+// The zone section is a *backward-compatible* footer extension: it sits
+// between the last block and the classic footer, inside the byte range
+// old readers never interpret (their block extents are only checked
+// against footer_offset, and the salvage scanner stops at the first
+// non-block marker — which the zone magic is). New readers find it by
+// looking exactly 16 + 33 * block_count bytes before footer_offset for
+// the zone magic; segments written before this extension simply don't
+// have it, and every block in them reports block_indexed() == false for
+// the time/cause dimensions while machine pruning still works off the
+// classic footer ranges.
 //
 // Crash tolerance: the writer goes through util::SyncFile and fsyncs on
 // the FGCS_DURABILITY policy (every block at `block` level, segment seal
@@ -93,6 +109,13 @@ class TraceWriterV2 {
     std::uint64_t count = 0;
     std::uint32_t min_machine = 0;
     std::uint32_t max_machine = 0;
+    // Zone map, accumulated at spill time and emitted into the footer's
+    // zone section by finish().
+    std::int64_t min_start_us = 0;
+    std::int64_t max_start_us = 0;
+    std::int64_t min_end_us = 0;
+    std::int64_t max_end_us = 0;
+    std::uint8_t cause_mask = 0;
   };
 
   void flush_block();
@@ -117,7 +140,59 @@ void write_trace_v2(const TraceSet& trace, const std::string& path);
 /// load_trace_v2_salvage() for damaged segments.
 class TraceView {
  public:
+  /// Typed in-place accessors over one block's SoA columns. The pointers
+  /// alias the mapped file; every element access goes through util::load
+  /// because the i64/f64 columns start at 4n-byte offsets and are not
+  /// 8-aligned.
+  struct ColumnSpans {
+    const unsigned char* machine = nullptr;   // u32[n]
+    const unsigned char* start_us = nullptr;  // i64[n]
+    const unsigned char* end_us = nullptr;    // i64[n]
+    const unsigned char* cause = nullptr;     // u8[n]
+    const unsigned char* host_cpu = nullptr;  // f64[n]
+    const unsigned char* free_mem = nullptr;  // f64[n]
+    std::uint64_t count = 0;
+
+    std::uint32_t machine_at(std::uint64_t i) const {
+      return util::load<std::uint32_t>(machine + 4 * i);
+    }
+    std::int64_t start_at(std::uint64_t i) const {
+      return util::load<std::int64_t>(start_us + 8 * i);
+    }
+    std::int64_t end_at(std::uint64_t i) const {
+      return util::load<std::int64_t>(end_us + 8 * i);
+    }
+    std::uint8_t cause_at(std::uint64_t i) const { return cause[i]; }
+    double host_cpu_at(std::uint64_t i) const {
+      return util::load<double>(host_cpu + 8 * i);
+    }
+    double free_mem_at(std::uint64_t i) const {
+      return util::load<double>(free_mem + 8 * i);
+    }
+  };
+
+  /// Per-block zone map (time ranges + cause bitmask) parsed from the
+  /// segment's zone section, when present.
+  struct BlockZone {
+    std::int64_t min_start_us = 0;
+    std::int64_t max_start_us = 0;
+    std::int64_t min_end_us = 0;
+    std::int64_t max_end_us = 0;
+    std::uint8_t cause_mask = 0;
+  };
+
   explicit TraceView(const std::string& path);
+
+  /// Opens a *damaged* segment (torn final block, truncated or missing
+  /// footer) by rescanning the block chain the way load_trace_v2_salvage
+  /// does, keeping every committed block: "BLK3" blocks whose trailing
+  /// CRC verifies, complete legacy "BLK2" blocks. A torn final block is
+  /// dropped whole; a mid-file checksum mismatch skips that block and
+  /// keeps walking. The header must be intact. Recovered blocks carry no
+  /// index metadata (block_indexed() == false), so query scans fall back
+  /// to full-scanning them. Throws IoError only when the path cannot be
+  /// opened or the header itself is unusable.
+  static TraceView open_salvaged(const std::string& path);
 
   TraceView(TraceView&& other) noexcept = default;
   TraceView& operator=(TraceView&& other) noexcept = default;
@@ -139,6 +214,22 @@ class TraceView {
   /// their columns.
   std::uint32_t block_min_machine(std::size_t block) const;
   std::uint32_t block_max_machine(std::size_t block) const;
+
+  /// True when `block` has index metadata (footer machine range + zone
+  /// map) usable for pruning. False for every block of a salvaged
+  /// segment, and for every block of a pre-zone-section segment.
+  bool block_indexed(std::size_t block) const;
+  /// Zone map of an indexed block; meaningful only when
+  /// block_indexed(block) is true.
+  const BlockZone& block_zone(std::size_t block) const;
+  /// True when the segment carries the zone section (written by current
+  /// TraceWriterV2; absent in older segments and salvaged opens).
+  bool has_zone_maps() const { return has_zones_; }
+  /// True when this view came from open_salvaged().
+  bool salvaged() const { return salvaged_; }
+
+  /// The six column spans of `block`, for in-place scans.
+  ColumnSpans columns(std::size_t block) const;
 
   /// Record `i` of `block`, materialized from the columns.
   UnavailabilityRecord record(std::size_t block, std::size_t i) const;
@@ -168,6 +259,10 @@ class TraceView {
   /// True when the view is backed by an mmap (false: buffered fallback).
   bool memory_mapped() const { return file_.memory_mapped(); }
 
+  /// Drops the mapping's resident pages after a scan (see
+  /// util::MappedFile::release_pages). The view stays usable.
+  void release_pages() const noexcept { file_.release_pages(); }
+
  private:
   struct Block {
     std::uint64_t offset = 0;  // file offset of the block's column data
@@ -175,7 +270,12 @@ class TraceView {
     std::uint32_t min_machine = 0;
     std::uint32_t max_machine = 0;
     bool checksummed = false;  // "BLK3" (trailing CRC) vs legacy "BLK2"
+    bool indexed = false;      // footer machine range + zone map present
+    BlockZone zone;
   };
+
+  struct SalvageTag {};
+  TraceView(const std::string& path, SalvageTag);
 
   const unsigned char* at(std::uint64_t offset) const {
     return file_.at(offset);
@@ -188,6 +288,8 @@ class TraceView {
   sim::SimTime end_;
   std::uint64_t total_ = 0;
   std::vector<Block> blocks_;
+  bool has_zones_ = false;
+  bool salvaged_ = false;
 };
 
 /// True when `path` starts with the v2 magic (false on short/unreadable

@@ -46,6 +46,12 @@ MappedFile::MappedFile(const std::string& path) {
 
 MappedFile::~MappedFile() { unmap(); }
 
+void MappedFile::release_pages() const noexcept {
+  if (mapped_ && data_ != nullptr && bytes_ > 0) {
+    ::madvise(const_cast<unsigned char*>(data_), bytes_, MADV_DONTNEED);
+  }
+}
+
 void MappedFile::unmap() noexcept {
   if (mapped_ && data_ != nullptr) {
     ::munmap(const_cast<unsigned char*>(data_), bytes_);

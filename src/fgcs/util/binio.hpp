@@ -55,6 +55,13 @@ class MappedFile {
   /// True when backed by an mmap (false: buffered fallback).
   bool memory_mapped() const { return mapped_; }
 
+  /// Drops this mapping's resident pages (madvise MADV_DONTNEED) so a
+  /// scan over many large files keeps peak RSS at O(one file), not
+  /// O(all files). The data stays readable — touched pages simply fault
+  /// back in from the page cache. No-op on the buffered fallback and on
+  /// madvise failure.
+  void release_pages() const noexcept;
+
  private:
   void unmap() noexcept;
 

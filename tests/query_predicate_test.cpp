@@ -1,0 +1,128 @@
+// Query predicate text format: parse/str fixpoint, canonical rendering,
+// malformed-input diagnostics, and the record/zone match semantics the
+// pushdown scan relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fgcs/query/predicate.hpp"
+#include "fgcs/util/error.hpp"
+
+namespace fgcs::query {
+namespace {
+
+TEST(QueryPredicate, AllParsesToTheEmptyPredicate) {
+  const Predicate p = Predicate::parse("all");
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.str(), "all");
+  EXPECT_TRUE(p.matches(0, 0, 1, 3));
+  EXPECT_TRUE(p.matches(4'000'000'000u, -5, 5, 5));
+}
+
+TEST(QueryPredicate, ClausesParseInAnyOrderAndRenderCanonically) {
+  const std::string canonical = "machine=[10,20) cause=S5 time=[0,3600000000)";
+  const std::vector<std::string> variants = {
+      canonical, "cause=S5 time=[0,3600000000) machine=[10,20)",
+      "time=[0,3600000000) machine=[10,20) cause=S5",
+      "  machine=[10,20)   cause=S5  time=[0,3600000000)  "};
+  for (const std::string& text : variants) {
+    const Predicate p = Predicate::parse(text);
+    EXPECT_EQ(p.str(), canonical) << text;
+    EXPECT_TRUE(p.has_machine);
+    EXPECT_TRUE(p.has_cause);
+    EXPECT_TRUE(p.has_time);
+    EXPECT_EQ(p.machine_lo, 10u);
+    EXPECT_EQ(p.machine_hi, 20u);
+    EXPECT_EQ(p.cause, 5);
+    EXPECT_EQ(p.time_lo_us, 0);
+    EXPECT_EQ(p.time_hi_us, 3'600'000'000);
+  }
+}
+
+TEST(QueryPredicate, ParseStrIsAFixpoint) {
+  for (const std::string text :
+       {"all", "machine=[0,1)", "machine=[7,7)", "cause=S3", "cause=S4",
+        "time=[-100,100)", "machine=[0,4294967295) cause=S5",
+        "cause=S3 time=[86400000000,172800000000)",
+        "machine=[1,2) cause=S4 time=[0,1)"}) {
+    const Predicate p = Predicate::parse(text);
+    EXPECT_EQ(Predicate::parse(p.str()).str(), p.str()) << text;
+  }
+}
+
+TEST(QueryPredicate, MalformedInputsThrowConfigError) {
+  for (const std::string text :
+       {"", "   ", "all cause=S3", "bogus", "machine=", "machine=[0,1]",
+        "machine=(0,1)", "machine=[0;1)", "machine=[a,b)", "machine=[+1,2)",
+        "machine=[0x1,2)", "machine=[ 0,1)", "cause=S2", "cause=S6",
+        "cause=s3", "time=[0)", "time=[0,1) time=[2,3)",
+        "machine=[0,1) machine=[1,2)", "cause=S3 cause=S3", "machine[0,1)",
+        "time=[1,2"}) {
+    EXPECT_THROW(Predicate::parse(text), ConfigError) << "\"" << text << "\"";
+  }
+}
+
+TEST(QueryPredicate, MachineMatchIsHalfOpen) {
+  const Predicate p = Predicate::parse("machine=[10,20)");
+  EXPECT_FALSE(p.matches(9, 0, 1, 3));
+  EXPECT_TRUE(p.matches(10, 0, 1, 3));
+  EXPECT_TRUE(p.matches(19, 0, 1, 3));
+  EXPECT_FALSE(p.matches(20, 0, 1, 3));
+  // Empty range matches nothing.
+  const Predicate empty = Predicate::parse("machine=[10,10)");
+  EXPECT_FALSE(empty.matches(10, 0, 1, 3));
+}
+
+TEST(QueryPredicate, TimeMatchIsEpisodeOverlap) {
+  const Predicate p = Predicate::parse("time=[100,200)");
+  EXPECT_TRUE(p.matches(0, 150, 160, 3));   // inside
+  EXPECT_TRUE(p.matches(0, 50, 101, 3));    // overlaps the left edge
+  EXPECT_TRUE(p.matches(0, 199, 300, 3));   // overlaps the right edge
+  EXPECT_TRUE(p.matches(0, 0, 1000, 3));    // spans the range
+  EXPECT_FALSE(p.matches(0, 0, 100, 3));    // ends exactly at lo
+  EXPECT_FALSE(p.matches(0, 200, 300, 3));  // starts exactly at hi
+}
+
+TEST(QueryPredicate, CauseMatchIsEquality) {
+  const Predicate p = Predicate::parse("cause=S4");
+  EXPECT_FALSE(p.matches(0, 0, 1, 3));
+  EXPECT_TRUE(p.matches(0, 0, 1, 4));
+  EXPECT_FALSE(p.matches(0, 0, 1, 5));
+}
+
+TEST(QueryPredicate, MachinePruningAgainstFooterRanges) {
+  const Predicate p = Predicate::parse("machine=[10,20)");
+  EXPECT_FALSE(p.may_match_machines(0, 9));
+  EXPECT_TRUE(p.may_match_machines(0, 10));
+  EXPECT_TRUE(p.may_match_machines(19, 50));
+  EXPECT_FALSE(p.may_match_machines(20, 50));
+  EXPECT_TRUE(Predicate::parse("all").may_match_machines(0, 0));
+}
+
+TEST(QueryPredicate, ZonePruningAgainstCauseMaskAndTimeBounds) {
+  trace::TraceView::BlockZone zone;
+  zone.min_start_us = 100;
+  zone.max_start_us = 500;
+  zone.min_end_us = 150;
+  zone.max_end_us = 600;
+  zone.cause_mask = 0b001 | 0b100;  // S3 and S5 present, no S4
+
+  EXPECT_TRUE(Predicate::parse("cause=S3").may_match_zone(zone));
+  EXPECT_FALSE(Predicate::parse("cause=S4").may_match_zone(zone));
+  EXPECT_TRUE(Predicate::parse("cause=S5").may_match_zone(zone));
+
+  EXPECT_TRUE(Predicate::parse("time=[0,101)").may_match_zone(zone));
+  EXPECT_FALSE(Predicate::parse("time=[0,100)").may_match_zone(zone));
+  EXPECT_TRUE(Predicate::parse("time=[599,1000)").may_match_zone(zone));
+  EXPECT_FALSE(Predicate::parse("time=[600,1000)").may_match_zone(zone));
+
+  // Pruning must never contradict a per-record match: any record the
+  // zone summarizes that matches implies may_match_zone is true (spot
+  // check at the boundaries).
+  const Predicate edge = Predicate::parse("time=[600,1000)");
+  EXPECT_FALSE(edge.matches(0, 500, 600, 3));  // max_end record: no match
+}
+
+}  // namespace
+}  // namespace fgcs::query

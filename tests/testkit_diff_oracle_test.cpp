@@ -1,4 +1,4 @@
-// Differential oracles: the ten paired implementations must agree over
+// Differential oracles: the eleven paired implementations must agree over
 // a broad seeded sweep, and each oracle must itself be deterministic.
 #include <gtest/gtest.h>
 
@@ -9,14 +9,15 @@
 namespace fgcs::testkit {
 namespace {
 
-TEST(TestkitDiffOracle, RegistryHasTheTenStandardOracles) {
+TEST(TestkitDiffOracle, RegistryHasTheElevenStandardOracles) {
   const auto& oracles = standard_oracles();
-  ASSERT_EQ(oracles.size(), 10u);
+  ASSERT_EQ(oracles.size(), 11u);
   for (const char* name : {"scheduler-fastforward", "testbed-parallel",
                            "trace-roundtrip", "semi-markov-brute",
                            "fleet-sharded", "prediction-parallel",
                            "flight-recorder", "soa-machine-step",
-                           "fleet-resume", "serve-incremental"}) {
+                           "fleet-resume", "serve-incremental",
+                           "query-pushdown"}) {
     const DiffOracle* oracle = find_oracle(name);
     ASSERT_NE(oracle, nullptr) << name;
     EXPECT_EQ(oracle->name, name);
@@ -44,10 +45,10 @@ TEST(TestkitDiffOracle, EachOracleAgreesOnSmokeSeeds) {
   }
 }
 
-// The acceptance sweep: all ten oracles, 200 derived seeds each — the
+// The acceptance sweep: all eleven oracles, 200 derived seeds each — the
 // sharded-fleet, parallel-prediction, flight-recorder, columnar-walk,
-// checkpoint-resume, and serve-incremental bit-identity guarantees ride
-// the same sweep as the original four.
+// checkpoint-resume, serve-incremental, and query-pushdown bit-identity
+// guarantees ride the same sweep as the original four.
 TEST(TestkitDiffOracle, AllOraclesAgreeOver200SeedsEach) {
   const auto failures = run_oracles(20060806, 200);
   std::ostringstream detail;

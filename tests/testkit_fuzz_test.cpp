@@ -20,9 +20,9 @@ std::vector<std::uint8_t> bytes(const std::string& s) {
 
 TEST(TestkitFuzz, TargetRegistryIsComplete) {
   const auto targets = fuzz_targets();
-  ASSERT_EQ(targets.size(), 5u);
+  ASSERT_EQ(targets.size(), 6u);
   for (const char* name : {"trace-csv", "trace-binary", "fault-plan",
-                           "cli-args", "serve-query"}) {
+                           "cli-args", "serve-query", "query-pred"}) {
     const FuzzTargetInfo* t = find_fuzz_target(name);
     ASSERT_NE(t, nullptr) << name;
     EXPECT_STREQ(t->name, name);
@@ -67,6 +67,8 @@ TEST(TestkitFuzz, TargetsAreTotalOverSyntheticCorpora) {
       bytes("--seed 7 --days 2 --migrate"),
       bytes("# fgcs-serve-load v1\nmachines=8\nqueries=100\nmix=zipf:2\n"),
       bytes("# fgcs-serve-load v1\nmix=sweep:1--4\nmachines=99999999999\n"),
+      bytes("machine=[0,100) cause=S5 time=[0,86400000000)"),
+      bytes("machine=[9,3) cause=S9 time=[5,)"),
   };
   for (const auto& target : fuzz_targets()) {
     for (const auto& input : inputs) {

@@ -9,6 +9,8 @@
 //   fgcs guests    [<trace>] [--checkpoint-interval MIN] [--migrate] ...
 //   fgcs calibrate [--profile linux|solaris]
 //   fgcs stats     <segment.met1> [--series NAME] [--op ...] [--q Q] ...
+//   fgcs query     <spill-dir | segment.trc2...> [--pred P] [--no-pushdown]
+//                  [--threads T] [--start-dow 0..6] [--window-hours H]
 //   fgcs serve     [--machines N] [--days D] [--queries Q] [--mix M]
 //                  [--window-hours H] [--seed S] [--out report.json]
 //
@@ -23,8 +25,10 @@
 // a scheduler profile via the offline contention sweep; `stats` queries a
 // sim-time-aligned FGCSMET1 metrics segment (windowed value / delta /
 // rate / quantile, per-shard or per-machine-range) without materializing
-// it. `--salvage` recovers what it can from damaged traces instead of
-// failing.
+// it; `query` runs the analyzer + training-scan aggregations directly on
+// spilled v2 segments (zone-map pushdown, no TraceSet materialization —
+// see docs/analytics.md). `--salvage` recovers what it can from damaged
+// traces instead of failing.
 //
 // Every command also accepts the observability flags:
 //   --metrics-out=<csv>   write a metrics snapshot when the command ends
@@ -59,6 +63,7 @@
 #include "fgcs/obs/flight_recorder.hpp"
 #include "fgcs/obs/observer.hpp"
 #include "fgcs/obs/timeseries.hpp"
+#include "fgcs/query/engine.hpp"
 #include "fgcs/serve/load.hpp"
 #include "fgcs/trace/io.hpp"
 #include "fgcs/util/cli.hpp"
@@ -96,6 +101,9 @@ int usage() {
       "                 [--op value|delta|rate|quantile] [--q Q]\n"
       "                 [--window-hours W | --from-hours F --to-hours T]\n"
       "                 [--shard K | --machines A-B]\n"
+      "  fgcs query     <spill-dir | segment.trc2...> [--pred <predicate>]\n"
+      "                 [--no-pushdown] [--threads T] [--start-dow 0..6]\n"
+      "                 [--window-hours H]\n"
       "  fgcs serve     [--machines N] [--days D] [--queries Q]\n"
       "                 [--mix uniform|zipf:<skew>|sweep:<lo>-<hi>]\n"
       "                 [--window-hours H] [--publish-every N] [--seed S]\n"
@@ -164,6 +172,17 @@ int usage() {
       "  --from-hours/--to-hours  explicit window (hours from start)\n"
       "  --shard=K            one shard's series instead of fleet totals\n"
       "  --machines=A-B       sum over shards covering machines A..B\n"
+      "\nquery (streaming analytics over spilled v2 segments):\n"
+      "  runs the analyze aggregations (Table 2, Figures 6/7) plus the\n"
+      "  semi-Markov training scan directly on shard-NNNN.trc2 segments\n"
+      "  (e.g. fleet --spill-dir output) without materializing a TraceSet;\n"
+      "  per-block zone maps skip blocks the predicate cannot match\n"
+      "  (see docs/analytics.md)\n"
+      "  --pred=<p>           predicate: \"all\" (default) or clauses like\n"
+      "                       \"machine=[0,100) cause=S5 time=[0,86400000000)\"\n"
+      "  --no-pushdown        disable block pruning (brute-force full scan)\n"
+      "  --threads=T          scan worker threads (0 = FGCS_THREADS / hw)\n"
+      "  --window-hours=H     training-scan prediction window (default 1)\n"
       "\nserve (online availability service):\n"
       "  simulates the fleet with a live AvailabilityFeed subscribed to\n"
       "  the observer's episode events (ingest-as-you-go, the trace is\n"
@@ -556,6 +575,108 @@ int cmd_analyze(const Args& args) {
                     util::format_double(hourly.weekend[hh].max, 0));
   }
   std::printf("%s", pattern.str().c_str());
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  if (args.positional().empty()) return usage();
+
+  // One positional directory → every *.trc2 inside it (fleet spill
+  // layout); otherwise the positionals are explicit segment paths.
+  std::vector<std::string> paths;
+  if (args.positional().size() == 1 &&
+      std::filesystem::is_directory(args.positional()[0])) {
+    paths = query::SegmentQuery::list_segments(args.positional()[0]);
+  } else {
+    paths.assign(args.positional().begin(), args.positional().end());
+  }
+
+  const query::SegmentQuery segments(paths);
+
+  query::QueryOptions options;
+  options.predicate = query::Predicate::parse(args.get("pred", "all"));
+  const auto dow = static_cast<trace::DayOfWeek>(args.get_int("start-dow", 0));
+  options.calendar = trace::TraceCalendar(dow);
+  options.training_window =
+      sim::SimDuration::hours(args.get_int("window-hours", 1));
+  options.disable_pruning = args.has_flag("no-pushdown");
+  std::unique_ptr<util::ThreadPool> pool;
+  if (args.has_option("threads")) {
+    pool = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(args.get_int("threads", 0)));
+    options.pool = pool.get();
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = segments.run(options);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("segments: %zu (%zu salvaged), %u machines, horizon %s\n",
+              segments.segment_count(), segments.salvaged_count(),
+              segments.machine_count(),
+              util::format_duration_s(
+                  (segments.horizon_end() - segments.horizon_start())
+                      .as_seconds())
+                  .c_str());
+  std::printf("predicate: %s%s\n\n", options.predicate.str().c_str(),
+              options.disable_pruning ? " (pushdown disabled)" : "");
+
+  const auto& t2 = result.table2;
+  util::TextTable causes({"Cause", "Per-machine", "Share"});
+  auto range = [](const core::Table2Stats::Range& r) {
+    return std::to_string(r.min) + "-" + std::to_string(r.max);
+  };
+  auto share = [&](double lo, double hi) {
+    return util::format_percent(lo, 0) + "-" + util::format_percent(hi, 0);
+  };
+  causes.add("total", range(t2.total), "100%");
+  causes.add("UEC: CPU (S3)", range(t2.cpu_contention),
+             share(t2.cpu_pct_min, t2.cpu_pct_max));
+  causes.add("UEC: memory (S4)", range(t2.mem_contention),
+             share(t2.mem_pct_min, t2.mem_pct_max));
+  causes.add("URR (S5)", range(t2.urr), share(t2.urr_pct_min, t2.urr_pct_max));
+  std::printf("%s", causes.str().c_str());
+  std::printf("reboot share of URR: %s\n\n",
+              util::format_percent(t2.reboot_fraction_of_urr, 0).c_str());
+
+  const auto& iv = result.intervals;
+  std::printf("availability intervals: weekday n=%zu mean=%s | "
+              "weekend n=%zu mean=%s\n",
+              iv.weekday.count,
+              util::format_duration_s(iv.weekday.mean_hours * 3600).c_str(),
+              iv.weekend.count,
+              util::format_duration_s(iv.weekend.mean_hours * 3600).c_str());
+  std::printf("hourly relative deviation: weekday=%s weekend=%s\n\n",
+              util::format_double(result.relative_deviation_weekday, 3).c_str(),
+              util::format_double(result.relative_deviation_weekend, 3).c_str());
+
+  const auto& tr = result.training;
+  const double m = tr.machines ? static_cast<double>(tr.machines) : 1.0;
+  std::printf("training scan: %llu machines (%llu with history, %llu gap "
+              "samples)\n",
+              static_cast<unsigned long long>(tr.machines),
+              static_cast<unsigned long long>(tr.machines_with_history),
+              static_cast<unsigned long long>(tr.gap_samples));
+  std::printf("  mean availability=%s mean occurrences=%s (window %s)\n\n",
+              util::format_double(tr.availability_sum / m, 4).c_str(),
+              util::format_double(tr.occurrences_sum / m, 4).c_str(),
+              util::format_duration_s(options.training_window.as_seconds())
+                  .c_str());
+
+  const auto& st = result.stats;
+  std::printf("scan: blocks %zu total = %zu scanned + %zu skipped "
+              "(%zu unindexed)\n",
+              st.blocks_total, st.blocks_scanned, st.blocks_skipped,
+              st.blocks_unindexed);
+  const double rate =
+      wall_s > 0.0 ? static_cast<double>(st.records_scanned) / wall_s : 0.0;
+  std::printf("      records %llu scanned, %llu matched in %s "
+              "(%.0f records/s)\n",
+              static_cast<unsigned long long>(st.records_scanned),
+              static_cast<unsigned long long>(st.records_matched),
+              util::format_duration_s(wall_s).c_str(), rate);
   return 0;
 }
 
@@ -1188,6 +1309,8 @@ int main(int argc, char** argv) {
       rc = cmd_guests(args);
     } else if (args.command() == "calibrate") {
       rc = cmd_calibrate(args);
+    } else if (args.command() == "query") {
+      rc = cmd_query(args);
     } else if (args.command() == "stats") {
       rc = cmd_stats(args);
     } else if (args.command() == "figures") {
